@@ -1,0 +1,61 @@
+// Shared helpers for the bench (table/figure regeneration) binaries.
+//
+// Every bench accepts two optional positional arguments:
+//   argv[1]  instructions per workload  (default 2'000'000)
+//   argv[2]  PMU sample interval        (default instructions/100)
+// so the full-fidelity runs used for EXPERIMENTS.md and quick smoke runs
+// share one binary.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/counter_matrix.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/simulator.hpp"
+#include "suites/suite_factory.hpp"
+
+namespace perspector::bench {
+
+struct BenchConfig {
+  std::uint64_t instructions = 2'000'000;
+  std::uint64_t sample_interval = 20'000;
+};
+
+inline BenchConfig parse_args(int argc, char** argv) {
+  BenchConfig config;
+  if (argc > 1) config.instructions = std::strtoull(argv[1], nullptr, 10);
+  if (config.instructions == 0) config.instructions = 2'000'000;
+  config.sample_interval = config.instructions / 100;
+  if (argc > 2) config.sample_interval = std::strtoull(argv[2], nullptr, 10);
+  if (config.sample_interval == 0) config.sample_interval = 1;
+  return config;
+}
+
+inline suites::SuiteBuildOptions build_options(const BenchConfig& config) {
+  suites::SuiteBuildOptions options;
+  options.instructions_per_workload = config.instructions;
+  return options;
+}
+
+inline sim::SimOptions sim_options(const BenchConfig& config) {
+  sim::SimOptions options;
+  options.sample_interval = config.sample_interval;
+  return options;
+}
+
+/// Simulates all six paper suites and returns their counter matrices.
+inline std::vector<core::CounterMatrix> collect_all_suites(
+    const BenchConfig& config) {
+  const auto machine = sim::MachineConfig::xeon_e2186g();
+  std::vector<core::CounterMatrix> data;
+  for (const auto& spec : suites::all_suites(build_options(config))) {
+    data.push_back(
+        core::collect_counters(spec, machine, sim_options(config)));
+  }
+  return data;
+}
+
+}  // namespace perspector::bench

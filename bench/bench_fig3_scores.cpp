@@ -1,0 +1,38 @@
+// Regenerates paper Fig. 3: Perspector scores for the six suites under
+//   (a) all PMU counters, (b) LLC-only events, (c) TLB-only events.
+//
+// Expected shapes (paper Section IV-A/B):
+//   a) Ligra worst (highest) ClusterScore; PARSEC & SGXGauge top TrendScore;
+//      LMbench top CoverageScore; SpreadScores similar across suites.
+//   b) LLC-only: LMbench still top coverage but sharply reduced.
+//   c) TLB-only: LMbench coverage collapses further; SPEC'17 gains.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/event_group.hpp"
+#include "core/perspector.hpp"
+#include "core/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace perspector;
+  const auto config = bench::parse_args(argc, argv);
+
+  std::cout << "Fig. 3 — benchmark scores, " << config.instructions
+            << " instructions/workload, sample interval "
+            << config.sample_interval << "\n\n";
+
+  const auto data = bench::collect_all_suites(config);
+
+  for (const auto& [panel, group] :
+       {std::pair{"a) all PMU counters", core::EventGroup::all()},
+        std::pair{"b) LLC-only events", core::EventGroup::llc()},
+        std::pair{"c) TLB-only events", core::EventGroup::tlb()}}) {
+    core::PerspectorOptions options;
+    options.events = group;
+    const auto scores = core::Perspector(options).score_suites(data);
+    std::cout << "=== Fig. 3" << panel << " ===\n"
+              << core::scores_table(scores).to_text() << "\n";
+  }
+  std::cout << core::score_legend() << "\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Computational-cost characterization of the Perspector metrics themselves
+// (google-benchmark): how each score scales with workload count n, counter
+// count m, and series length. Not a paper figure — this is the tool-cost
+// table an adopter would want.
+#include <benchmark/benchmark.h>
+
+#include "core/cluster_score.hpp"
+#include "core/coverage_score.hpp"
+#include "core/spread_score.hpp"
+#include "dtw/dtw.hpp"
+#include "dtw/trend_normalize.hpp"
+#include "la/matrix.hpp"
+#include "sampling/latin_hypercube.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace perspector;
+
+la::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed) {
+  stats::Rng rng(seed);
+  la::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.uniform();
+  }
+  return m;
+}
+
+std::vector<double> random_series(std::size_t length, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> s(length);
+  for (double& v : s) v = rng.uniform(0.0, 1000.0);
+  return s;
+}
+
+void BM_ClusterScore(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const la::Matrix data = random_matrix(n, 14, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cluster_score_from_normalized(data));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ClusterScore)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_CoverageScore(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const la::Matrix data = random_matrix(32, m, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::coverage_score(data));
+  }
+}
+BENCHMARK(BM_CoverageScore)->Arg(4)->Arg(8)->Arg(14)->Arg(28);
+
+void BM_SpreadScore(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const la::Matrix data = random_matrix(n, 14, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::spread_score(data));
+  }
+}
+BENCHMARK(BM_SpreadScore)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_DtwDistance(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const auto a = random_series(len, 4);
+  const auto b = random_series(len, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::dtw_distance(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DtwDistance)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Complexity();
+
+void BM_DtwBanded(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const auto a = random_series(len, 6);
+  const auto b = random_series(len, 7);
+  dtw::DtwOptions options;
+  options.band_fraction = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::dtw_distance(a, b, options));
+  }
+}
+BENCHMARK(BM_DtwBanded)->Arg(100)->Arg(400);
+
+void BM_TrendNormalize(benchmark::State& state) {
+  const auto series = random_series(static_cast<std::size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::normalize_trend(series));
+  }
+}
+BENCHMARK(BM_TrendNormalize)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_LatinHypercube(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampling::latin_hypercube(samples, 14));
+  }
+}
+BENCHMARK(BM_LatinHypercube)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Regenerates paper Section IV-C: SPEC'17 subset generation, 43 -> 8
+// workloads via Latin hypercube sampling; the paper reports a 6.53% mean
+// score deviation. LHS and random selection are stochastic, so each is
+// evaluated over five seeds (mean and worst case); the prior-work recipe
+// (PCA + hierarchical clustering) is deterministic. A size sweep follows.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+#include "core/subset.hpp"
+
+namespace {
+
+struct MethodSummary {
+  double mean = 0.0;
+  double worst = 0.0;
+  double best = 0.0;
+};
+
+MethodSummary evaluate_method(const perspector::core::CounterMatrix& data,
+                              perspector::core::SubsetMethod method,
+                              std::size_t size) {
+  using namespace perspector;
+  MethodSummary summary;
+  summary.best = 1e18;
+  double total = 0.0;
+  constexpr std::uint64_t kSeeds[] = {101, 202, 303, 404, 505};
+  for (const std::uint64_t seed : kSeeds) {
+    core::SubsetOptions options;
+    options.method = method;
+    options.target_size = size;
+    options.seed = seed;
+    const auto result = core::generate_subset(data, options);
+    total += result.mean_deviation_pct;
+    summary.worst = std::max(summary.worst, result.mean_deviation_pct);
+    summary.best = std::min(summary.best, result.mean_deviation_pct);
+  }
+  summary.mean = total / 5.0;
+  return summary;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace perspector;
+  const auto config = bench::parse_args(argc, argv);
+  const auto machine = sim::MachineConfig::xeon_e2186g();
+
+  const auto data = core::collect_counters(
+      suites::spec17(bench::build_options(config)), machine,
+      bench::sim_options(config));
+
+  std::cout << "Section IV-C — SPEC'17 subset generation ("
+            << data.num_workloads() << " workloads), 5 seeds per "
+            << "stochastic method\n\n";
+
+  {
+    core::SubsetOptions options;
+    options.target_size = 8;
+    options.seed = 101;
+    const auto result = core::generate_subset(data, options);
+    std::cout << "example LHS subset (seed 101):";
+    for (const auto& name : result.names) std::cout << " " << name;
+    std::cout << "\nper-score deviation:";
+    const char* labels[] = {"cluster", "trend", "coverage", "spread"};
+    for (std::size_t i = 0; i < 4; ++i) {
+      std::printf(" %s %.1f%%", labels[i],
+                  result.per_score_deviation_pct[i]);
+    }
+    std::cout << "\n\n";
+  }
+
+  core::Table table({"method", "size", "mean-dev%", "best-dev%", "worst-dev%"});
+  for (const auto method :
+       {core::SubsetMethod::Lhs, core::SubsetMethod::Random,
+        core::SubsetMethod::HierarchicalPrior}) {
+    const auto summary = evaluate_method(data, method, 8);
+    table.add_row({core::to_string(method), "8",
+                   core::format_double(summary.mean, 2),
+                   core::format_double(summary.best, 2),
+                   core::format_double(summary.worst, 2)});
+  }
+  std::cout << table.to_text();
+
+  std::cout << "\nSubset-size sweep (LHS, 5-seed mean):\n";
+  core::Table sweep({"size", "mean-dev%", "worst-dev%"});
+  for (std::size_t size : {4, 6, 8, 12, 16, 24}) {
+    const auto summary =
+        evaluate_method(data, core::SubsetMethod::Lhs, size);
+    sweep.add_row({std::to_string(size),
+                   core::format_double(summary.mean, 2),
+                   core::format_double(summary.worst, 2)});
+  }
+  std::cout << sweep.to_text()
+            << "\nPaper reference: 6.53% deviation at 43 -> 8 via LHS. See "
+               "EXPERIMENTS.md for the\ndiscussion of the gap (our "
+               "ClusterScore is far more n-sensitive than the rest).\n";
+  return 0;
+}

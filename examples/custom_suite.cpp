@@ -1,0 +1,105 @@
+// custom_suite: build and evaluate *your own* workload suite with the
+// public API — the workflow a suite designer would follow to tune a new
+// benchmark suite for a target system (paper Section I, contribution 4).
+//
+// We assemble a deliberately unbalanced suite (three near-identical
+// streaming kernels plus one pointer chaser), score it, then fix it by
+// swapping one clone for a branchy workload, and show the scores improve.
+#include <iostream>
+
+#include "core/counter_matrix.hpp"
+#include "core/perspector.hpp"
+#include "core/report.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace perspector;
+
+sim::WorkloadSpec streaming(const std::string& name, std::uint64_t ws_bytes) {
+  sim::WorkloadSpec w;
+  w.name = name;
+  w.instructions = 400'000;
+  sim::PhaseSpec p;
+  p.name = "stream";
+  p.load_frac = 0.4;
+  p.store_frac = 0.2;
+  p.branch_frac = 0.05;
+  p.pattern = {.kind = sim::AccessPatternKind::Sequential,
+               .working_set_bytes = ws_bytes,
+               .stride_bytes = 8};
+  p.branch_taken_prob = 0.97;
+  p.branch_randomness = 0.01;
+  w.phases = {p};
+  return w;
+}
+
+sim::WorkloadSpec chaser(const std::string& name) {
+  sim::WorkloadSpec w;
+  w.name = name;
+  w.instructions = 400'000;
+  sim::PhaseSpec p;
+  p.name = "chase";
+  p.load_frac = 0.6;
+  p.branch_frac = 0.05;
+  p.pattern = {.kind = sim::AccessPatternKind::PointerChase,
+               .working_set_bytes = 32ull * 1024 * 1024};
+  w.phases = {p};
+  return w;
+}
+
+sim::WorkloadSpec branchy(const std::string& name) {
+  sim::WorkloadSpec w;
+  w.name = name;
+  w.instructions = 400'000;
+  sim::PhaseSpec decision;
+  decision.name = "decide";
+  decision.weight = 0.6;
+  decision.load_frac = 0.2;
+  decision.store_frac = 0.05;
+  decision.branch_frac = 0.35;
+  decision.branch_taken_prob = 0.55;
+  decision.branch_randomness = 0.35;
+  decision.branch_sites = 512;
+  decision.pattern = {.kind = sim::AccessPatternKind::RandomUniform,
+                      .working_set_bytes = 4ull * 1024 * 1024};
+  sim::PhaseSpec update = decision;
+  update.name = "update";
+  update.weight = 0.4;
+  update.store_frac = 0.25;
+  update.pattern.kind = sim::AccessPatternKind::Zipf;
+  w.phases = {decision, update};
+  return w;
+}
+
+core::SuiteScores score(const sim::SuiteSpec& suite) {
+  const auto machine = sim::MachineConfig::xeon_e2186g();
+  sim::SimOptions sim_options;
+  sim_options.sample_interval = 8'000;
+  const auto data = core::collect_counters(suite, machine, sim_options);
+  return core::Perspector().score_suite(data);
+}
+
+}  // namespace
+
+int main() {
+  sim::SuiteSpec unbalanced;
+  unbalanced.name = "custom-v1 (3 clones + 1 chaser)";
+  unbalanced.workloads = {streaming("stream-a", 8ull << 20),
+                          streaming("stream-b", 9ull << 20),
+                          streaming("stream-c", 10ull << 20),
+                          chaser("chase-x")};
+
+  sim::SuiteSpec balanced = unbalanced;
+  balanced.name = "custom-v2 (clone swapped for branchy)";
+  balanced.workloads[2] = branchy("branchy-z");
+
+  const auto v1 = score(unbalanced);
+  const auto v2 = score(balanced);
+
+  std::cout << core::scores_table({v1, v2}).to_text() << "\n"
+            << core::score_legend() << "\n\n"
+            << "Swapping a redundant clone for a distinct workload should\n"
+            << "lower the ClusterScore (more diversity) and raise coverage.\n";
+  return 0;
+}

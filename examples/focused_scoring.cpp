@@ -1,0 +1,42 @@
+// focused_scoring: score suites against a single subsystem of interest
+// (paper Section IV-B) — here the LLC and the TLB — and show how the
+// rankings shift relative to all-events scoring (Fig. 3b/3c).
+#include <iostream>
+
+#include "core/counter_matrix.hpp"
+#include "core/event_group.hpp"
+#include "core/perspector.hpp"
+#include "core/report.hpp"
+#include "suites/suite_factory.hpp"
+
+int main() {
+  using namespace perspector;
+
+  suites::SuiteBuildOptions build;
+  build.instructions_per_workload = 400'000;  // demo scale
+  const sim::MachineConfig machine = sim::MachineConfig::xeon_e2186g();
+  sim::SimOptions sim_options;
+  sim_options.sample_interval = 8'000;
+
+  // A focused comparison is most interesting between a micro-benchmark
+  // suite (LMbench) and a general-purpose one (SPEC'17-like model).
+  std::vector<core::CounterMatrix> data;
+  for (const auto& spec : {suites::lmbench(build), suites::spec17(build)}) {
+    std::cout << "simulating " << spec.name << "...\n";
+    data.push_back(core::collect_counters(spec, machine, sim_options));
+  }
+
+  for (const auto& group :
+       {core::EventGroup::all(), core::EventGroup::llc(),
+        core::EventGroup::tlb(), core::EventGroup::branch()}) {
+    core::PerspectorOptions options;
+    options.events = group;
+    const core::Perspector engine(options);
+    const auto scores = engine.score_suites(data);
+
+    std::cout << "\n=== event group: " << group.name() << " ===\n"
+              << core::scores_table(scores).to_text();
+  }
+  std::cout << "\n" << core::score_legend() << "\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: score one benchmark suite with all four Perspector metrics.
+//
+// Pipeline: build a suite model -> simulate it to collect PMU counters
+// (aggregates + sampled time series) -> run the Perspector scoring engine.
+#include <cstdio>
+#include <iostream>
+
+#include "core/counter_matrix.hpp"
+#include "core/perspector.hpp"
+#include "core/report.hpp"
+#include "suites/suite_factory.hpp"
+
+int main() {
+  using namespace perspector;
+
+  // 1. A suite model (here: the Nbench micro-kernel suite) and the paper's
+  //    evaluation machine (Table II).
+  suites::SuiteBuildOptions build;
+  build.instructions_per_workload = 500'000;  // quick demo run
+  const sim::SuiteSpec suite = suites::nbench(build);
+  const sim::MachineConfig machine = sim::MachineConfig::xeon_e2186g();
+
+  // 2. Collect the counter matrix: one row per workload, one column per
+  //    Table IV PMU event, plus per-counter sampled time series.
+  sim::SimOptions sim_options;
+  sim_options.sample_interval = 10'000;
+  const core::CounterMatrix data =
+      core::collect_counters(suite, machine, sim_options);
+
+  std::cout << "Collected " << data.num_workloads() << " workloads x "
+            << data.num_counters() << " PMU counters from suite '"
+            << data.suite_name() << "'\n\n";
+
+  // 3. Score it.
+  const core::Perspector engine;
+  const core::SuiteScores scores = engine.score_suite(data);
+
+  std::cout << core::scores_table({scores}).to_text() << "\n"
+            << core::score_legend() << "\n\n";
+
+  std::cout << "ClusterScore averaged over k=2.." << data.num_workloads() - 1
+            << "; per-k silhouettes:";
+  for (double s : scores.cluster_detail.per_k) {
+    std::printf(" %.3f", s);
+  }
+  std::cout << "\n\n";
+
+  // 4. The full per-workload report (rates, silhouettes, trend detail).
+  std::cout << core::suite_report(data, scores);
+  return 0;
+}

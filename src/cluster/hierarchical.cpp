@@ -1,0 +1,191 @@
+#include "cluster/hierarchical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace perspector::cluster {
+
+const char* to_string(Linkage linkage) {
+  switch (linkage) {
+    case Linkage::Single:
+      return "single";
+    case Linkage::Complete:
+      return "complete";
+    case Linkage::Average:
+      return "average";
+    case Linkage::Ward:
+      return "ward";
+  }
+  return "unknown";
+}
+
+std::vector<std::size_t> Dendrogram::cut(std::size_t k) const {
+  if (k == 0 || k > leaves) {
+    throw std::invalid_argument("Dendrogram::cut: k out of range");
+  }
+  // Apply the first (leaves - k) merges with union-find; the roots form the
+  // k flat clusters.
+  std::vector<std::size_t> parent(leaves + merges.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  const std::size_t applied = leaves - k;
+  for (std::size_t s = 0; s < applied; ++s) {
+    const std::size_t merged_id = leaves + s;
+    parent[find(merges[s].left)] = merged_id;
+    parent[find(merges[s].right)] = merged_id;
+  }
+  std::vector<std::size_t> labels(leaves);
+  std::unordered_map<std::size_t, std::size_t> renumber;
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const std::size_t root = find(i);
+    auto [it, inserted] = renumber.try_emplace(root, renumber.size());
+    labels[i] = it->second;
+  }
+  return labels;
+}
+
+double Dendrogram::cophenetic_distance(std::size_t a, std::size_t b) const {
+  if (a >= leaves || b >= leaves) {
+    throw std::out_of_range("Dendrogram::cophenetic_distance");
+  }
+  if (a == b) return 0.0;
+  // Merge tree: node ids 0..leaves-1 are leaves; leaves+s is merge s.
+  std::vector<std::size_t> parent(leaves + merges.size(),
+                                  std::numeric_limits<std::size_t>::max());
+  for (std::size_t s = 0; s < merges.size(); ++s) {
+    parent[merges[s].left] = leaves + s;
+    parent[merges[s].right] = leaves + s;
+  }
+  std::vector<bool> on_path(parent.size(), false);
+  for (std::size_t x = a; x != std::numeric_limits<std::size_t>::max();
+       x = parent[x]) {
+    on_path[x] = true;
+  }
+  for (std::size_t x = b; x != std::numeric_limits<std::size_t>::max();
+       x = parent[x]) {
+    if (on_path[x]) {
+      if (x < leaves) break;  // unreachable for a != b
+      return merges[x - leaves].distance;
+    }
+  }
+  throw std::logic_error("cophenetic_distance: leaves never join");
+}
+
+namespace {
+
+Dendrogram lance_williams(la::Matrix dist, Linkage linkage) {
+  const std::size_t n = dist.rows();
+  Dendrogram tree;
+  tree.leaves = n;
+  if (n == 0) throw std::invalid_argument("agglomerate: empty point set");
+  if (n == 1) return tree;
+
+  // Ward runs on squared distances internally; merge heights are reported
+  // as square roots (scipy convention).
+  const bool ward = linkage == Linkage::Ward;
+  if (ward) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) dist(i, j) *= dist(i, j);
+    }
+  }
+
+  std::vector<bool> active(n, true);
+  std::vector<std::size_t> sizes(n, 1);
+  std::vector<std::size_t> ids(n);  // current dendrogram id per slot
+  for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+
+  for (std::size_t step = 0; step + 1 < n; ++step) {
+    // Find the closest active pair.
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (dist(i, j) < best) {
+          best = dist(i, j);
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+
+    const double ni = static_cast<double>(sizes[bi]);
+    const double nj = static_cast<double>(sizes[bj]);
+    MergeStep merge;
+    merge.left = std::min(ids[bi], ids[bj]);
+    merge.right = std::max(ids[bi], ids[bj]);
+    merge.distance = ward ? std::sqrt(best) : best;
+    merge.size = sizes[bi] + sizes[bj];
+    tree.merges.push_back(merge);
+
+    // Lance-Williams update of distances from the merged cluster (kept in
+    // slot bi) to every other active cluster.
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!active[t] || t == bi || t == bj) continue;
+      const double dit = dist(bi, t);
+      const double djt = dist(bj, t);
+      double d = 0.0;
+      switch (linkage) {
+        case Linkage::Single:
+          d = std::min(dit, djt);
+          break;
+        case Linkage::Complete:
+          d = std::max(dit, djt);
+          break;
+        case Linkage::Average:
+          d = (ni * dit + nj * djt) / (ni + nj);
+          break;
+        case Linkage::Ward: {
+          const double nt = static_cast<double>(sizes[t]);
+          d = ((ni + nt) * dit + (nj + nt) * djt - nt * best) /
+              (ni + nj + nt);
+          break;
+        }
+      }
+      dist(bi, t) = d;
+      dist(t, bi) = d;
+    }
+
+    sizes[bi] += sizes[bj];
+    ids[bi] = n + step;
+    active[bj] = false;
+  }
+  return tree;
+}
+
+}  // namespace
+
+Dendrogram agglomerate(const la::Matrix& points, Linkage linkage) {
+  if (points.rows() == 0) {
+    throw std::invalid_argument("agglomerate: empty point set");
+  }
+  return lance_williams(la::pairwise_distances(points), linkage);
+}
+
+Dendrogram agglomerate_from_distances(const la::Matrix& distances,
+                                      Linkage linkage) {
+  if (distances.rows() != distances.cols()) {
+    throw std::invalid_argument(
+        "agglomerate_from_distances: matrix must be square");
+  }
+  if (distances.rows() == 0) {
+    throw std::invalid_argument("agglomerate_from_distances: empty matrix");
+  }
+  if (linkage == Linkage::Ward) {
+    throw std::invalid_argument(
+        "agglomerate_from_distances: Ward requires raw points");
+  }
+  return lance_williams(distances, linkage);
+}
+
+}  // namespace perspector::cluster

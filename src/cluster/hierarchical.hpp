@@ -1,0 +1,50 @@
+// Agglomerative hierarchical clustering — the methodology used by the prior
+// work Perspector critiques (Section II). Implemented as the baseline for
+// the methodology-ablation bench and the prior-work subset generator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace perspector::cluster {
+
+/// Linkage criterion for merging clusters.
+enum class Linkage : std::uint8_t { Single, Complete, Average, Ward };
+
+const char* to_string(Linkage linkage);
+
+/// One merge step of the dendrogram, scipy-style: clusters `left` and
+/// `right` (ids < n are leaves, ids >= n are prior merges) merge at
+/// `distance` into a cluster of `size` leaves with id n + step.
+struct MergeStep {
+  std::size_t left = 0;
+  std::size_t right = 0;
+  double distance = 0.0;
+  std::size_t size = 0;
+};
+
+/// Full dendrogram of an agglomerative clustering run.
+struct Dendrogram {
+  std::size_t leaves = 0;
+  std::vector<MergeStep> merges;  // exactly leaves-1 entries
+
+  /// Flat clustering with exactly `k` clusters, obtained by undoing the last
+  /// k-1 merges. Labels are renumbered 0..k-1 in first-appearance order.
+  std::vector<std::size_t> cut(std::size_t k) const;
+
+  /// Cophenetic distance between two leaves (merge height where they join).
+  double cophenetic_distance(std::size_t a, std::size_t b) const;
+};
+
+/// Runs agglomerative clustering over the rows of `points`.
+/// Throws std::invalid_argument on an empty point set.
+Dendrogram agglomerate(const la::Matrix& points, Linkage linkage);
+
+/// Runs agglomerative clustering from a precomputed symmetric distance
+/// matrix (Ward is not supported in this form and throws).
+Dendrogram agglomerate_from_distances(const la::Matrix& distances,
+                                      Linkage linkage);
+
+}  // namespace perspector::cluster

@@ -1,0 +1,172 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace perspector::cluster {
+
+namespace {
+
+// k-means++ seeding: first centroid uniform, subsequent centroids drawn with
+// probability proportional to squared distance from the nearest chosen one.
+la::Matrix seed_centroids(const la::Matrix& points, std::size_t k,
+                          stats::Rng& rng) {
+  const std::size_t n = points.rows();
+  la::Matrix centroids(k, points.cols());
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+
+  std::size_t first = rng.uniform_int(0, n - 1);
+  centroids.set_row(0, points.row(first));
+
+  for (std::size_t c = 1; c < k; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(
+          d2[i], la::squared_distance(points.row(i), centroids.row(c - 1)));
+    }
+    double total = 0.0;
+    for (double v : d2) total += v;
+    std::size_t chosen;
+    if (total <= 0.0) {
+      // All points coincide with existing centroids; fall back to uniform.
+      chosen = rng.uniform_int(0, n - 1);
+    } else {
+      chosen = rng.weighted_index(d2);
+    }
+    centroids.set_row(c, points.row(chosen));
+  }
+  return centroids;
+}
+
+struct LloydOutcome {
+  std::vector<std::size_t> labels;
+  la::Matrix centroids;
+  double inertia = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+LloydOutcome lloyd(const la::Matrix& points, la::Matrix centroids,
+                   const KMeansConfig& config) {
+  const std::size_t n = points.rows();
+  const std::size_t k = config.k;
+  std::vector<std::size_t> labels(n, 0);
+
+  LloydOutcome out;
+  for (std::size_t iter = 0; iter < config.max_iters; ++iter) {
+    // Assignment step.
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = la::squared_distance(points.row(i), centroids.row(c));
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      labels[i] = best_c;
+    }
+
+    // Update step.
+    la::Matrix next(k, points.cols(), 0.0);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = points.row(i);
+      auto dst = next.row(labels[i]);
+      for (std::size_t j = 0; j < row.size(); ++j) dst[j] += row[j];
+      ++counts[labels[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: re-seed at the point farthest from its centroid.
+        double worst = -1.0;
+        std::size_t worst_i = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d =
+              la::squared_distance(points.row(i), centroids.row(labels[i]));
+          if (d > worst) {
+            worst = d;
+            worst_i = i;
+          }
+        }
+        next.set_row(c, points.row(worst_i));
+        continue;
+      }
+      auto dst = next.row(c);
+      for (double& v : dst) v /= static_cast<double>(counts[c]);
+    }
+
+    const double movement = centroids.max_abs_diff(next);
+    centroids = std::move(next);
+    out.iterations = iter + 1;
+    if (movement <= config.tol) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  // Final assignment against the settled centroids, plus inertia.
+  out.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double d = la::squared_distance(points.row(i), centroids.row(c));
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    labels[i] = best_c;
+    out.inertia += best;
+  }
+  out.labels = std::move(labels);
+  out.centroids = std::move(centroids);
+  return out;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const la::Matrix& points, const KMeansConfig& config) {
+  if (points.rows() == 0 || points.cols() == 0) {
+    throw std::invalid_argument("kmeans: empty point set");
+  }
+  if (config.k == 0) throw std::invalid_argument("kmeans: k must be > 0");
+  if (config.k > points.rows()) {
+    throw std::invalid_argument("kmeans: k exceeds number of points");
+  }
+  if (config.restarts == 0) {
+    throw std::invalid_argument("kmeans: restarts must be > 0");
+  }
+
+  stats::Rng rng(config.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < config.restarts; ++r) {
+    auto child = rng.fork();
+    auto outcome = lloyd(points, seed_centroids(points, config.k, child),
+                         config);
+    if (outcome.inertia < best.inertia) {
+      best.labels = std::move(outcome.labels);
+      best.centroids = std::move(outcome.centroids);
+      best.inertia = outcome.inertia;
+      best.iterations = outcome.iterations;
+      best.converged = outcome.converged;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> cluster_sizes(const std::vector<std::size_t>& labels,
+                                       std::size_t k) {
+  std::vector<std::size_t> sizes(k, 0);
+  for (std::size_t label : labels) {
+    if (label >= k) throw std::invalid_argument("cluster_sizes: label >= k");
+    ++sizes[label];
+  }
+  return sizes;
+}
+
+}  // namespace perspector::cluster

@@ -1,0 +1,104 @@
+#include "cluster/silhouette.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "cluster/kmeans.hpp"
+
+namespace perspector::cluster {
+
+namespace {
+
+void validate(const la::Matrix& points, const std::vector<std::size_t>& labels,
+              std::size_t k) {
+  if (labels.size() != points.rows()) {
+    throw std::invalid_argument("silhouette: labels/points size mismatch");
+  }
+  for (std::size_t label : labels) {
+    if (label >= k) {
+      throw std::invalid_argument("silhouette: label out of range");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> silhouette_values(const la::Matrix& points,
+                                      const std::vector<std::size_t>& labels,
+                                      std::size_t k) {
+  validate(points, labels, k);
+  const std::size_t n = points.rows();
+  std::vector<double> values(n, 0.0);
+  if (k <= 1 || n == 0) return values;
+
+  const la::Matrix dist = la::pairwise_distances(points);
+  const auto sizes = cluster_sizes(labels, k);
+
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t own = labels[p];
+    if (sizes[own] <= 1) {
+      values[p] = 0.0;  // singleton cluster
+      continue;
+    }
+    // Mean distance to every other cluster; intra handled separately.
+    std::vector<double> sum_to(k, 0.0);
+    for (std::size_t q = 0; q < n; ++q) {
+      if (q == p) continue;
+      sum_to[labels[q]] += dist(p, q);
+    }
+    const double eta =
+        sum_to[own] / static_cast<double>(sizes[own] - 1);  // Eq. 1
+    double lambda = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == own || sizes[c] == 0) continue;
+      lambda = std::min(lambda, sum_to[c] / static_cast<double>(sizes[c]));
+    }
+    if (!std::isfinite(lambda)) {
+      values[p] = 0.0;  // every other cluster empty
+      continue;
+    }
+    const double denom = std::max(lambda, eta);  // Eq. 3
+    values[p] = denom == 0.0 ? 0.0 : (lambda - eta) / denom;
+  }
+  return values;
+}
+
+std::vector<double> silhouette_per_cluster(
+    const la::Matrix& points, const std::vector<std::size_t>& labels,
+    std::size_t k) {
+  const auto values = silhouette_values(points, labels, k);
+  std::vector<double> totals(k, 0.0);
+  std::vector<std::size_t> counts(k, 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    totals[labels[i]] += values[i];
+    ++counts[labels[i]];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    totals[c] = counts[c] == 0 ? 0.0 : totals[c] / static_cast<double>(counts[c]);
+  }
+  return totals;
+}
+
+double silhouette_score(const la::Matrix& points,
+                        const std::vector<std::size_t>& labels,
+                        std::size_t k) {
+  if (k <= 1) return 0.0;
+  const auto per_cluster = silhouette_per_cluster(points, labels, k);
+  double total = 0.0;
+  for (double s : per_cluster) total += s;
+  return total / static_cast<double>(k);  // Eq. 5
+}
+
+double silhouette_score_pointwise(const la::Matrix& points,
+                                  const std::vector<std::size_t>& labels,
+                                  std::size_t k) {
+  if (k <= 1) return 0.0;
+  const auto values = silhouette_values(points, labels, k);
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+}  // namespace perspector::cluster

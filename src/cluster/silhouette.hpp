@@ -1,0 +1,38 @@
+// Silhouette score (Rousseeuw 1987), following the paper's formulation
+// (Eq. 1-5): per-point scores, per-cluster averages, and the suite-level
+// score that averages over *clusters* (not points).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace perspector::cluster {
+
+/// Per-point silhouette values for a labelled point set.
+///
+/// Convention: a point in a singleton cluster has silhouette 0 (the paper's
+/// k == 1 degenerate case applied per point). Throws std::invalid_argument
+/// when labels/points disagree in size or labels reference >= k clusters.
+std::vector<double> silhouette_values(const la::Matrix& points,
+                                      const std::vector<std::size_t>& labels,
+                                      std::size_t k);
+
+/// Per-cluster silhouette score: mean of the member points' values (Eq. 4).
+/// Empty clusters score 0.
+std::vector<double> silhouette_per_cluster(
+    const la::Matrix& points, const std::vector<std::size_t>& labels,
+    std::size_t k);
+
+/// Suite-level silhouette for a k-clustering: the unweighted mean of the
+/// per-cluster scores (Eq. 5). Returns 0 when k <= 1 (Eq. 3 degenerate case).
+double silhouette_score(const la::Matrix& points,
+                        const std::vector<std::size_t>& labels, std::size_t k);
+
+/// Conventional (point-averaged) silhouette, provided for comparison with
+/// scikit-learn-style tooling and used in ablation benches.
+double silhouette_score_pointwise(const la::Matrix& points,
+                                  const std::vector<std::size_t>& labels,
+                                  std::size_t k);
+
+}  // namespace perspector::cluster

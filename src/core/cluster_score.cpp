@@ -1,0 +1,44 @@
+#include "core/cluster_score.hpp"
+
+#include <stdexcept>
+
+#include "cluster/kmeans.hpp"
+#include "cluster/silhouette.hpp"
+#include "stats/normalize.hpp"
+
+namespace perspector::core {
+
+ClusterScoreResult cluster_score(const CounterMatrix& suite,
+                                 const ClusterScoreOptions& options) {
+  return cluster_score_from_normalized(
+      stats::minmax_normalize_columns(suite.values()), options);
+}
+
+ClusterScoreResult cluster_score_from_normalized(
+    const la::Matrix& normalized, const ClusterScoreOptions& options) {
+  const std::size_t n = normalized.rows();
+  if (n < 4) {
+    throw std::invalid_argument(
+        "cluster_score: need at least 4 workloads (k sweeps 2..n-1)");
+  }
+
+  ClusterScoreResult result;
+  double total = 0.0;
+  for (std::size_t k = 2; k <= n - 1; ++k) {
+    cluster::KMeansConfig config;
+    config.k = k;
+    config.restarts = options.kmeans_restarts;
+    config.max_iters = options.kmeans_max_iters;
+    // Stable per-k seed so adding workloads does not reshuffle smaller k.
+    config.seed = options.seed + k * 1000003ull;
+    const auto clustering = cluster::kmeans(normalized, config);
+    const double s =
+        cluster::silhouette_score(normalized, clustering.labels, k);  // Eq. 5
+    result.per_k.push_back(s);
+    total += s;
+  }
+  result.score = total / static_cast<double>(n - 2);  // Eq. 6
+  return result;
+}
+
+}  // namespace perspector::core

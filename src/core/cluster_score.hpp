@@ -1,0 +1,40 @@
+// ClusterScore (paper Section III-A, Eq. 1-6).
+//
+// Diversity metric: normalize the counter matrix, K-means it for every
+// k in [2, n-1], take the suite-level silhouette of each clustering (Eq. 5)
+// and average (Eq. 6). Lower is better — a diverse suite resists clustering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/counter_matrix.hpp"
+
+namespace perspector::core {
+
+/// Knobs for the ClusterScore computation.
+struct ClusterScoreOptions {
+  std::size_t kmeans_restarts = 8;
+  std::size_t kmeans_max_iters = 100;
+  std::uint64_t seed = 42;
+};
+
+/// Result with per-k detail (used by Fig. 4-style diagnostics).
+struct ClusterScoreResult {
+  double score = 0.0;          // Eq. 6 — mean over k of S(W)_k
+  std::vector<double> per_k;   // S(W)_k for k = 2 .. n-1, in order
+  std::size_t k_min = 2;
+};
+
+/// Computes the ClusterScore on a suite's counter data. The matrix is
+/// min-max normalized per counter (suite-local) before clustering.
+/// Requires at least 4 workloads (so k ranges over at least 2..3);
+/// throws std::invalid_argument otherwise.
+ClusterScoreResult cluster_score(const CounterMatrix& suite,
+                                 const ClusterScoreOptions& options = {});
+
+/// Same computation from an already-normalized raw matrix.
+ClusterScoreResult cluster_score_from_normalized(
+    const la::Matrix& normalized, const ClusterScoreOptions& options = {});
+
+}  // namespace perspector::core

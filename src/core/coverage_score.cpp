@@ -1,0 +1,30 @@
+#include "core/coverage_score.hpp"
+
+#include <stdexcept>
+
+#include "pca/pca.hpp"
+
+namespace perspector::core {
+
+CoverageScoreResult coverage_score(const la::Matrix& normalized,
+                                   const CoverageScoreOptions& options) {
+  if (normalized.rows() < 2) {
+    throw std::invalid_argument("coverage_score: need at least 2 workloads");
+  }
+  const pca::PcaResult fitted =
+      pca::fit_pca(normalized, options.variance_target);  // Eq. 11-12
+
+  CoverageScoreResult result;
+  result.components = fitted.retained;
+  double total = 0.0;
+  for (std::size_t i = 0; i < fitted.retained; ++i) {
+    const double v = fitted.component_variance(i);
+    result.component_variances.push_back(v);
+    result.explained_ratio.push_back(fitted.explained_ratio[i]);
+    total += v;
+  }
+  result.score = total / static_cast<double>(fitted.retained);  // Eq. 13
+  return result;
+}
+
+}  // namespace perspector::core

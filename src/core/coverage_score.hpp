@@ -1,0 +1,34 @@
+// CoverageScore (paper Section III-C, Eq. 9-13).
+//
+// Coverage metric: after joint min-max normalization (Eq. 9-10, see
+// joint_normalize.hpp), run PCA retaining 98% variance (Eq. 11-12) and
+// report the mean variance of the transformed components (Eq. 13). Higher
+// is better — a suite that exercises more of the parameter space carries
+// more variance.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace perspector::core {
+
+/// Knobs for the CoverageScore computation.
+struct CoverageScoreOptions {
+  double variance_target = 0.98;  // PCA retention threshold
+};
+
+/// Result with PCA detail.
+struct CoverageScoreResult {
+  double score = 0.0;                       // Eq. 13
+  std::size_t components = 0;               // d — retained components
+  std::vector<double> component_variances;  // per retained component
+  std::vector<double> explained_ratio;      // per retained component
+};
+
+/// Computes the CoverageScore on an already (jointly) normalized matrix
+/// (rows = workloads). Requires at least 2 rows.
+CoverageScoreResult coverage_score(const la::Matrix& normalized,
+                                   const CoverageScoreOptions& options = {});
+
+}  // namespace perspector::core

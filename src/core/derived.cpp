@@ -1,0 +1,50 @@
+#include "core/derived.hpp"
+
+namespace perspector::core {
+
+namespace {
+
+double ratio(double num, double den) { return den <= 0.0 ? 0.0 : num / den; }
+
+}  // namespace
+
+DerivedMetrics derive_metrics_for(const CounterMatrix& suite,
+                                  std::size_t workload) {
+  const auto v = [&](const char* name) {
+    return suite.value(workload, suite.counter_index(name));
+  };
+
+  const double cycles = v("cpu-cycles");
+  const double llc_misses = v("LLC-load-misses") + v("LLC-store-misses");
+  const double llc_accesses = v("LLC-loads") + v("LLC-stores");
+  const double tlb_misses = v("dTLB-load-misses") + v("dTLB-store-misses");
+  const double tlb_accesses = v("dTLB-loads") + v("dTLB-stores");
+  const double branches = v("branch-instructions");
+  const double branch_misses = v("branch-misses");
+
+  DerivedMetrics m;
+  m.workload = suite.workload_names()[workload];
+  m.llc_miss_pkc = ratio(llc_misses * 1000.0, cycles);
+  m.llc_access_pkc = ratio(llc_accesses * 1000.0, cycles);
+  m.dtlb_miss_pkc = ratio(tlb_misses * 1000.0, cycles);
+  m.page_fault_pkc = ratio(v("page-faults") * 1000.0, cycles);
+  m.branch_mpki_cycles = ratio(branch_misses * 1000.0, cycles);
+  m.branch_miss_ratio = ratio(branch_misses, branches);
+  m.llc_miss_ratio = ratio(llc_misses, llc_accesses);
+  m.dtlb_miss_ratio = ratio(tlb_misses, tlb_accesses);
+  m.stall_fraction = ratio(v("cycle_activity.stalls_mem_any"), cycles);
+  m.walk_fraction = ratio(v("dtlb_misses.walk_pending"), cycles);
+  m.memory_intensity = ratio(tlb_accesses, cycles);
+  return m;
+}
+
+std::vector<DerivedMetrics> derive_metrics(const CounterMatrix& suite) {
+  std::vector<DerivedMetrics> out;
+  out.reserve(suite.num_workloads());
+  for (std::size_t w = 0; w < suite.num_workloads(); ++w) {
+    out.push_back(derive_metrics_for(suite, w));
+  }
+  return out;
+}
+
+}  // namespace perspector::core

@@ -1,0 +1,43 @@
+// Derived per-workload metrics from the Table IV counters.
+//
+// Raw counts are machine- and runtime-scale dependent; architects think in
+// *rates*: misses per kilo-cycle, misprediction ratios, stall fractions.
+// These feed the detailed suite report and are handy features for custom
+// analyses on top of a CounterMatrix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/counter_matrix.hpp"
+
+namespace perspector::core {
+
+/// Rates derived from one workload's counters. All "per-kilo-cycle" (pkc)
+/// rates are counts per 1000 cpu-cycles; ratios are in [0, 1]. A rate whose
+/// denominator is zero reports 0.
+struct DerivedMetrics {
+  std::string workload;
+  double llc_miss_pkc = 0.0;        // (LLC load+store misses) * 1000 / cycles
+  double llc_access_pkc = 0.0;      // (LLC loads+stores) * 1000 / cycles
+  double dtlb_miss_pkc = 0.0;       // (dTLB load+store misses) * 1000 / cycles
+  double page_fault_pkc = 0.0;      // page-faults * 1000 / cycles
+  double branch_mpki_cycles = 0.0;  // branch-misses * 1000 / cycles
+  double branch_miss_ratio = 0.0;   // branch-misses / branch-instructions
+  double llc_miss_ratio = 0.0;      // LLC misses / LLC accesses
+  double dtlb_miss_ratio = 0.0;     // dTLB misses / dTLB accesses
+  double stall_fraction = 0.0;      // stalls_mem_any / cycles
+  double walk_fraction = 0.0;       // walk_pending / cycles
+  double memory_intensity = 0.0;    // (dTLB loads+stores) / cycles
+};
+
+/// Computes derived metrics for every workload of a suite. The suite must
+/// carry the Table IV counters by name; throws std::invalid_argument when
+/// any required counter is missing.
+std::vector<DerivedMetrics> derive_metrics(const CounterMatrix& suite);
+
+/// Derived metrics for a single workload row.
+DerivedMetrics derive_metrics_for(const CounterMatrix& suite,
+                                  std::size_t workload);
+
+}  // namespace perspector::core

@@ -1,0 +1,413 @@
+#include "core/io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace perspector::core {
+
+namespace {
+
+// Minimal RFC-4180-ish CSV line splitter (handles quoted cells with
+// embedded commas and doubled quotes).
+std::vector<std::string> split_csv_line(const std::string& line,
+                                        std::size_t line_no) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += ch;
+      }
+    } else if (ch == '"') {
+      quoted = true;
+    } else if (ch == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (ch != '\r') {
+      cell += ch;
+    }
+  }
+  if (quoted) {
+    throw std::runtime_error("CSV line " + std::to_string(line_no) +
+                             ": unterminated quote");
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+double parse_double(const std::string& cell, std::size_t line_no) {
+  double value = 0.0;
+  const char* first = cell.data();
+  const char* last = cell.data() + cell.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) {
+    throw std::runtime_error("CSV line " + std::to_string(line_no) +
+                             ": expected a number, got '" + cell + "'");
+  }
+  return value;
+}
+
+std::size_t parse_index(const std::string& cell, std::size_t line_no) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  if (ec != std::errc{} || ptr != cell.data() + cell.size()) {
+    throw std::runtime_error("CSV line " + std::to_string(line_no) +
+                             ": expected an index, got '" + cell + "'");
+  }
+  return value;
+}
+
+std::ofstream open_for_write(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  return out;
+}
+
+std::ifstream open_for_read(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open '" + path + "' for reading");
+  }
+  return in;
+}
+
+}  // namespace
+
+void write_aggregates_csv(const CounterMatrix& data, const std::string& path) {
+  auto out = open_for_write(path);
+  out << "workload";
+  for (const auto& counter : data.counter_names()) {
+    out << ',' << csv_escape(counter);
+  }
+  out << '\n';
+  for (std::size_t w = 0; w < data.num_workloads(); ++w) {
+    out << csv_escape(data.workload_names()[w]);
+    for (std::size_t c = 0; c < data.num_counters(); ++c) {
+      out << ',' << data.value(w, c);
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed for '" + path + "'");
+}
+
+void write_series_csv(const CounterMatrix& data, const std::string& path) {
+  if (!data.has_series()) {
+    throw std::logic_error("write_series_csv: matrix carries no series");
+  }
+  auto out = open_for_write(path);
+  out << "workload,counter,sample,value\n";
+  for (std::size_t w = 0; w < data.num_workloads(); ++w) {
+    for (std::size_t c = 0; c < data.num_counters(); ++c) {
+      const auto& series = data.series(w, c);
+      for (std::size_t s = 0; s < series.size(); ++s) {
+        out << csv_escape(data.workload_names()[w]) << ','
+            << csv_escape(data.counter_names()[c]) << ',' << s << ','
+            << series[s] << '\n';
+      }
+    }
+  }
+  if (!out) throw std::runtime_error("write failed for '" + path + "'");
+}
+
+CounterMatrix read_aggregates_csv(const std::string& suite_name,
+                                  const std::string& path) {
+  auto in = open_for_read(path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("'" + path + "': empty file");
+  }
+  auto header = split_csv_line(line, 1);
+  if (header.size() < 2 || header[0] != "workload") {
+    throw std::runtime_error(
+        "'" + path + "': header must be 'workload,<counter>,...'");
+  }
+  std::vector<std::string> counters(header.begin() + 1, header.end());
+
+  std::vector<std::string> workloads;
+  std::set<std::string> seen;
+  la::Matrix values;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line, line_no);
+    if (cells.size() != counters.size() + 1) {
+      throw std::runtime_error(
+          "CSV line " + std::to_string(line_no) + ": expected " +
+          std::to_string(counters.size() + 1) + " cells, got " +
+          std::to_string(cells.size()));
+    }
+    if (!seen.insert(cells[0]).second) {
+      throw std::runtime_error("CSV line " + std::to_string(line_no) +
+                               ": duplicate workload '" + cells[0] + "'");
+    }
+    workloads.push_back(cells[0]);
+    std::vector<double> row(counters.size());
+    for (std::size_t c = 0; c < counters.size(); ++c) {
+      row[c] = parse_double(cells[c + 1], line_no);
+    }
+    values.append_row(row);
+  }
+  if (workloads.empty()) {
+    throw std::runtime_error("'" + path + "': no data rows");
+  }
+  return CounterMatrix(suite_name, std::move(workloads), std::move(counters),
+                       std::move(values));
+}
+
+CounterMatrix read_with_series_csv(const std::string& suite_name,
+                                   const std::string& aggregates_path,
+                                   const std::string& series_path) {
+  const CounterMatrix bare = read_aggregates_csv(suite_name, aggregates_path);
+
+  std::vector<std::vector<std::vector<double>>> series(
+      bare.num_workloads(),
+      std::vector<std::vector<double>>(bare.num_counters()));
+
+  auto in = open_for_read(series_path);
+  std::string line;
+  if (!std::getline(in, line) ||
+      split_csv_line(line, 1) !=
+          std::vector<std::string>{"workload", "counter", "sample", "value"}) {
+    throw std::runtime_error(
+        "'" + series_path +
+        "': header must be 'workload,counter,sample,value'");
+  }
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line, line_no);
+    if (cells.size() != 4) {
+      throw std::runtime_error("CSV line " + std::to_string(line_no) +
+                               ": expected 4 cells");
+    }
+    const std::size_t w = bare.workload_index(cells[0]);
+    const std::size_t c = bare.counter_index(cells[1]);
+    const std::size_t s = parse_index(cells[2], line_no);
+    auto& target = series[w][c];
+    if (s != target.size()) {
+      throw std::runtime_error("CSV line " + std::to_string(line_no) +
+                               ": sample indices must be dense from 0 "
+                               "(expected " +
+                               std::to_string(target.size()) + ", got " +
+                               std::to_string(s) + ")");
+    }
+    target.push_back(parse_double(cells[3], line_no));
+  }
+  for (std::size_t w = 0; w < bare.num_workloads(); ++w) {
+    for (std::size_t c = 0; c < bare.num_counters(); ++c) {
+      if (series[w][c].empty()) {
+        throw std::runtime_error(
+            "'" + series_path + "': no samples for workload '" +
+            bare.workload_names()[w] + "' counter '" +
+            bare.counter_names()[c] + "'");
+      }
+    }
+  }
+  return CounterMatrix(suite_name, bare.workload_names(),
+                       bare.counter_names(), bare.values(),
+                       std::move(series));
+}
+
+std::vector<PerfStatRecord> parse_perf_stat(const std::string& text) {
+  std::vector<PerfStatRecord> records;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto cells = split_csv_line(line, line_no);
+    if (cells.size() < 3) {
+      throw std::runtime_error("perf-stat line " + std::to_string(line_no) +
+                               ": expected at least 3 fields");
+    }
+    PerfStatRecord record;
+    record.event = cells[2];
+    if (record.event.empty()) {
+      throw std::runtime_error("perf-stat line " + std::to_string(line_no) +
+                               ": empty event name");
+    }
+    if (cells[0] == "<not counted>" || cells[0] == "<not supported>") {
+      record.counted = false;
+    } else {
+      record.value = parse_double(cells[0], line_no);
+    }
+    if (cells.size() >= 5 && !cells[4].empty()) {
+      record.pct_running = parse_double(cells[4], line_no);
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+CounterMatrix counter_matrix_from_perf_stat(
+    const std::string& suite_name,
+    const std::vector<std::pair<std::string, std::string>>&
+        workload_outputs) {
+  if (workload_outputs.empty()) {
+    throw std::invalid_argument(
+        "counter_matrix_from_perf_stat: no workloads");
+  }
+
+  std::vector<std::string> counters;
+  std::vector<std::string> workloads;
+  la::Matrix values;
+  for (const auto& [workload, text] : workload_outputs) {
+    const auto records = parse_perf_stat(text);
+    if (records.empty()) {
+      throw std::runtime_error("perf-stat output for workload '" + workload +
+                               "' contains no events");
+    }
+    std::vector<std::string> events;
+    std::vector<double> row;
+    for (const auto& record : records) {
+      if (!record.counted) {
+        throw std::runtime_error(
+            "workload '" + workload + "': event '" + record.event +
+            "' was not counted — request fewer events per run");
+      }
+      events.push_back(record.event);
+      row.push_back(record.value);
+    }
+    if (counters.empty()) {
+      counters = events;
+    } else if (events != counters) {
+      throw std::runtime_error("workload '" + workload +
+                               "': event list differs from the first "
+                               "workload's");
+    }
+    workloads.push_back(workload);
+    values.append_row(row);
+  }
+  return CounterMatrix(suite_name, std::move(workloads), std::move(counters),
+                       std::move(values));
+}
+
+PerfIntervalData parse_perf_stat_intervals(const std::string& text) {
+  PerfIntervalData data;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t cursor = 0;  // position within the current interval block
+  double current_time = -1.0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto cells = split_csv_line(line, line_no);
+    if (cells.size() < 4) {
+      throw std::runtime_error("perf-interval line " +
+                               std::to_string(line_no) +
+                               ": expected at least 4 fields");
+    }
+    const double timestamp = parse_double(cells[0], line_no);
+    const std::string& event = cells[3];
+    if (event.empty()) {
+      throw std::runtime_error("perf-interval line " +
+                               std::to_string(line_no) + ": empty event");
+    }
+    double value = 0.0;
+    if (cells[1] != "<not counted>" && cells[1] != "<not supported>") {
+      value = parse_double(cells[1], line_no);
+    }
+
+    if (timestamp != current_time) {
+      // New interval block begins.
+      if (current_time >= 0.0 && cursor != data.events.size()) {
+        throw std::runtime_error(
+            "perf-interval line " + std::to_string(line_no) +
+            ": previous interval is missing events");
+      }
+      current_time = timestamp;
+      cursor = 0;
+    }
+
+    if (cursor >= data.events.size()) {
+      // New event names may only appear while the first interval block is
+      // being discovered (every series still has at most one sample).
+      if (!data.series.empty() && data.series[0].size() > 1) {
+        throw std::runtime_error("perf-interval line " +
+                                 std::to_string(line_no) +
+                                 ": unexpected extra event '" + event + "'");
+      }
+      data.events.push_back(event);
+      data.series.emplace_back();
+      data.totals.push_back(0.0);
+    } else if (data.events[cursor] != event) {
+      throw std::runtime_error("perf-interval line " +
+                               std::to_string(line_no) + ": expected event '" +
+                               data.events[cursor] + "', got '" + event +
+                               "'");
+    }
+    data.series[cursor].push_back(value);
+    data.totals[cursor] += value;
+    ++cursor;
+  }
+  if (data.events.empty()) {
+    throw std::runtime_error("perf-interval input contains no events");
+  }
+  if (cursor != data.events.size()) {
+    throw std::runtime_error("perf-interval input: last interval truncated");
+  }
+  return data;
+}
+
+CounterMatrix counter_matrix_from_perf_intervals(
+    const std::string& suite_name,
+    const std::vector<std::pair<std::string, std::string>>&
+        workload_outputs) {
+  if (workload_outputs.empty()) {
+    throw std::invalid_argument(
+        "counter_matrix_from_perf_intervals: no workloads");
+  }
+  std::vector<std::string> counters;
+  std::vector<std::string> workloads;
+  la::Matrix values;
+  std::vector<std::vector<std::vector<double>>> series;
+  for (const auto& [workload, text] : workload_outputs) {
+    const PerfIntervalData data = parse_perf_stat_intervals(text);
+    if (counters.empty()) {
+      counters = data.events;
+    } else if (data.events != counters) {
+      throw std::runtime_error("workload '" + workload +
+                               "': event list differs from the first "
+                               "workload's");
+    }
+    workloads.push_back(workload);
+    values.append_row(data.totals);
+    series.push_back(data.series);
+  }
+  return CounterMatrix(suite_name, std::move(workloads), std::move(counters),
+                       std::move(values), std::move(series));
+}
+
+}  // namespace perspector::core

@@ -1,0 +1,90 @@
+// CounterMatrix persistence and interchange.
+//
+// The scoring engine is data-source-agnostic: anything that can produce a
+// workloads x counters table (plus optional per-counter time series) can be
+// scored. These routines define the on-disk formats:
+//
+//   * Aggregate CSV — header `workload,<counter>,<counter>,...`; one row per
+//     workload. This is what `perf stat -x,` output reduces to after one
+//     pivot.
+//   * Series CSV (long format) — header `workload,counter,sample,value`;
+//     one row per (workload, counter, sample index). Sample indices must be
+//     dense from 0 within each (workload, counter) pair.
+//
+// Both readers validate shape and report the offending line on error.
+#pragma once
+
+#include <string>
+
+#include "core/counter_matrix.hpp"
+
+namespace perspector::core {
+
+/// Writes the aggregate counter table as CSV.
+/// Throws std::runtime_error on I/O failure.
+void write_aggregates_csv(const CounterMatrix& data, const std::string& path);
+
+/// Writes the sampled time series in long format.
+/// Throws std::logic_error when the matrix carries no series.
+void write_series_csv(const CounterMatrix& data, const std::string& path);
+
+/// Reads an aggregate CSV (no series attached).
+/// Throws std::runtime_error with a line-numbered message on malformed
+/// input (missing header, ragged rows, non-numeric cells, duplicate
+/// workloads).
+CounterMatrix read_aggregates_csv(const std::string& suite_name,
+                                  const std::string& path);
+
+/// Reads an aggregate CSV and a matching series CSV, attaching the series.
+/// The series file must cover exactly the workloads and counters of the
+/// aggregate file; every (workload, counter) pair needs at least one sample.
+CounterMatrix read_with_series_csv(const std::string& suite_name,
+                                   const std::string& aggregates_path,
+                                   const std::string& series_path);
+
+// ---- Linux `perf stat -x,` ingestion --------------------------------------
+
+/// One event record from `perf stat -x,` output
+/// (format: value,unit,event,time_running,pct_running,...).
+struct PerfStatRecord {
+  std::string event;
+  double value = 0.0;
+  double pct_running = 100.0;  // <100 means the event was multiplexed
+  bool counted = true;         // false for "<not counted>"/"<not supported>"
+};
+
+/// Parses the full text of one workload's `perf stat -x,` run. Comment
+/// lines (leading '#') and blank lines are skipped; malformed lines throw
+/// std::runtime_error with the line number.
+std::vector<PerfStatRecord> parse_perf_stat(const std::string& text);
+
+/// Builds a CounterMatrix from one perf-stat text per workload
+/// (pairs of workload name and raw `perf stat -x,` output). Every workload
+/// must report the same events in the same order as the first one; an
+/// uncounted event anywhere is an error naming the workload and event
+/// (re-run with fewer events — the paper's footnote-1 advice).
+CounterMatrix counter_matrix_from_perf_stat(
+    const std::string& suite_name,
+    const std::vector<std::pair<std::string, std::string>>& workload_outputs);
+
+/// Parsed `perf stat -I <ms> -x,` (interval mode) output: per-event delta
+/// series plus totals — the data the TrendScore needs from real hardware.
+struct PerfIntervalData {
+  std::vector<std::string> events;
+  std::vector<std::vector<double>> series;  // [event][interval]
+  std::vector<double> totals;               // per event, sum of deltas
+};
+
+/// Parses interval-mode output (lines: elapsed-seconds,value,unit,event,...).
+/// Events must appear in a consistent order within every interval block;
+/// "<not counted>" values become 0 for that interval. Throws
+/// std::runtime_error with a line number on malformed input.
+PerfIntervalData parse_perf_stat_intervals(const std::string& text);
+
+/// Builds a CounterMatrix *with time series* from one interval-mode text
+/// per workload. Event lists must agree across workloads.
+CounterMatrix counter_matrix_from_perf_intervals(
+    const std::string& suite_name,
+    const std::vector<std::pair<std::string, std::string>>& workload_outputs);
+
+}  // namespace perspector::core

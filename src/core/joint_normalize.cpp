@@ -1,0 +1,64 @@
+#include "core/joint_normalize.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace perspector::core {
+
+JointRanges joint_ranges(const std::vector<const la::Matrix*>& suites) {
+  if (suites.empty()) {
+    throw std::invalid_argument("joint_ranges: no suites");
+  }
+  const std::size_t m = suites.front()->cols();
+  for (const la::Matrix* s : suites) {
+    if (s == nullptr || s->cols() != m || s->rows() == 0) {
+      throw std::invalid_argument(
+          "joint_ranges: suites must be non-empty with equal column counts");
+    }
+  }
+  JointRanges r;
+  r.min.assign(m, std::numeric_limits<double>::infinity());
+  r.max.assign(m, -std::numeric_limits<double>::infinity());
+  for (const la::Matrix* s : suites) {
+    for (std::size_t i = 0; i < s->rows(); ++i) {
+      for (std::size_t c = 0; c < m; ++c) {
+        const double v = (*s)(i, c);
+        r.min[c] = std::min(r.min[c], v);
+        r.max[c] = std::max(r.max[c], v);
+      }
+    }
+  }
+  return r;
+}
+
+la::Matrix apply_joint_normalization(const la::Matrix& values,
+                                     const JointRanges& ranges) {
+  if (values.cols() != ranges.min.size() ||
+      values.cols() != ranges.max.size()) {
+    throw std::invalid_argument(
+        "apply_joint_normalization: range size mismatch");
+  }
+  la::Matrix out(values.rows(), values.cols());
+  for (std::size_t c = 0; c < values.cols(); ++c) {
+    const double lo = ranges.min[c];
+    const double hi = ranges.max[c];
+    const double span = hi - lo;
+    for (std::size_t r = 0; r < values.rows(); ++r) {
+      out(r, c) = span <= 0.0 ? 0.5 : (values(r, c) - lo) / span;
+    }
+  }
+  return out;
+}
+
+std::vector<la::Matrix> joint_minmax_normalize(
+    const std::vector<const la::Matrix*>& suites) {
+  const JointRanges ranges = joint_ranges(suites);
+  std::vector<la::Matrix> out;
+  out.reserve(suites.size());
+  for (const la::Matrix* s : suites) {
+    out.push_back(apply_joint_normalization(*s, ranges));
+  }
+  return out;
+}
+
+}  // namespace perspector::core

@@ -1,0 +1,37 @@
+// Joint min-max normalization across suites (paper Eq. 9-10).
+//
+// Normalizing each suite in isolation would erase the relative magnitude
+// information between suites (a counter ranging to 10K in suite A and 100K
+// in suite B would both map to [0,1]); the paper therefore computes the
+// per-counter min/max over the *concatenation* of all suites being compared
+// and rescales every suite with those shared ranges.
+#pragma once
+
+#include <vector>
+
+#include "core/counter_matrix.hpp"
+#include "la/matrix.hpp"
+
+namespace perspector::core {
+
+/// Per-counter ranges computed over several matrices (Eq. 9).
+struct JointRanges {
+  std::vector<double> min;  // R in the paper
+  std::vector<double> max;  // Q in the paper
+};
+
+/// Computes the shared per-counter ranges across matrices that all have the
+/// same column count. Throws std::invalid_argument on mismatch or emptiness.
+JointRanges joint_ranges(const std::vector<const la::Matrix*>& suites);
+
+/// Applies Eq. 10 with the given ranges; constant counters (max == min) map
+/// to 0.5 everywhere.
+la::Matrix apply_joint_normalization(const la::Matrix& values,
+                                     const JointRanges& ranges);
+
+/// Convenience: jointly normalizes a group of suites in one call; result[i]
+/// corresponds to suites[i].
+std::vector<la::Matrix> joint_minmax_normalize(
+    const std::vector<const la::Matrix*>& suites);
+
+}  // namespace perspector::core

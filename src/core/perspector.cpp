@@ -1,0 +1,65 @@
+#include "core/perspector.hpp"
+
+#include <stdexcept>
+
+#include "core/joint_normalize.hpp"
+
+namespace perspector::core {
+
+Perspector::Perspector(PerspectorOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<SuiteScores> Perspector::score_suites(
+    const std::vector<CounterMatrix>& suites) const {
+  if (suites.empty()) {
+    throw std::invalid_argument("Perspector::score_suites: no suites");
+  }
+
+  // Focused scoring: restrict every suite to the selected event group.
+  std::vector<CounterMatrix> filtered;
+  filtered.reserve(suites.size());
+  for (const auto& suite : suites) {
+    if (options_.events.is_all()) {
+      filtered.push_back(suite);
+    } else {
+      filtered.push_back(suite.select_counters(
+          options_.events.indices_in(suite.counter_names())));
+    }
+  }
+
+  // Joint normalization across all suites (Eq. 9-10) for coverage/spread.
+  std::vector<const la::Matrix*> raw;
+  raw.reserve(filtered.size());
+  for (const auto& suite : filtered) raw.push_back(&suite.values());
+  const std::vector<la::Matrix> normalized = joint_minmax_normalize(raw);
+
+  std::vector<SuiteScores> results;
+  results.reserve(filtered.size());
+  for (std::size_t i = 0; i < filtered.size(); ++i) {
+    SuiteScores s;
+    s.suite = filtered[i].suite_name();
+
+    s.cluster_detail = cluster_score(filtered[i], options_.cluster);
+    s.cluster = s.cluster_detail.score;
+
+    if (options_.compute_trend && filtered[i].has_series()) {
+      s.trend_detail = trend_score(filtered[i], options_.trend);
+      s.trend = s.trend_detail.score;
+    }
+
+    s.coverage_detail = coverage_score(normalized[i], options_.coverage);
+    s.coverage = s.coverage_detail.score;
+
+    s.spread_detail = spread_score(normalized[i], options_.spread);
+    s.spread = s.spread_detail.score;
+
+    results.push_back(std::move(s));
+  }
+  return results;
+}
+
+SuiteScores Perspector::score_suite(const CounterMatrix& suite) const {
+  return score_suites({suite}).front();
+}
+
+}  // namespace perspector::core

@@ -1,0 +1,67 @@
+// Perspector: the top-level scoring engine.
+//
+// Scores one or many benchmark suites with the four paper metrics. When
+// several suites are scored together, Coverage and Spread use the shared
+// joint normalization (Eq. 9-10); Cluster and Trend are intrinsically
+// per-suite. An EventGroup restricts scoring to a counter subset
+// (focused scoring, Section IV-B).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cluster_score.hpp"
+#include "core/counter_matrix.hpp"
+#include "core/coverage_score.hpp"
+#include "core/event_group.hpp"
+#include "core/spread_score.hpp"
+#include "core/trend_score.hpp"
+
+namespace perspector::core {
+
+/// All four scores for one suite, with full per-metric detail.
+struct SuiteScores {
+  std::string suite;
+  double cluster = 0.0;   // lower is better
+  double trend = 0.0;     // higher is better
+  double coverage = 0.0;  // higher is better
+  double spread = 0.0;    // lower is better
+
+  ClusterScoreResult cluster_detail;
+  TrendScoreResult trend_detail;
+  CoverageScoreResult coverage_detail;
+  SpreadScoreResult spread_detail;
+};
+
+/// Combined configuration for a scoring run.
+struct PerspectorOptions {
+  EventGroup events = EventGroup::all();
+  ClusterScoreOptions cluster;
+  TrendScoreOptions trend;
+  CoverageScoreOptions coverage;
+  SpreadScoreOptions spread;
+  /// Trend scoring needs series; set false to skip it (e.g. aggregate-only
+  /// data), leaving trend = 0.
+  bool compute_trend = true;
+};
+
+/// The scoring engine. Stateless apart from its options.
+class Perspector {
+ public:
+  explicit Perspector(PerspectorOptions options = {});
+
+  /// Scores several suites together: coverage/spread share joint
+  /// normalization over all of them. Result order matches input order.
+  std::vector<SuiteScores> score_suites(
+      const std::vector<CounterMatrix>& suites) const;
+
+  /// Scores a single suite in isolation (self-normalized coverage/spread).
+  SuiteScores score_suite(const CounterMatrix& suite) const;
+
+  const PerspectorOptions& options() const noexcept { return options_; }
+
+ private:
+  PerspectorOptions options_;
+};
+
+}  // namespace perspector::core

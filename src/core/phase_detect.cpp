@@ -1,0 +1,151 @@
+#include "core/phase_detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace perspector::core {
+
+namespace {
+
+// Mean-relative squash to [0,100), matching the TrendScore normalization:
+// scale-free, so one noisy high-magnitude counter cannot drown the rest.
+std::vector<double> squash(const std::vector<double>& series) {
+  double total = 0.0;
+  for (double v : series) {
+    if (v < 0.0) {
+      throw std::invalid_argument("detect_phases: negative counter delta");
+    }
+    total += v;
+  }
+  std::vector<double> out(series.size(), 50.0);
+  if (total <= 0.0) return out;
+  const double mean = total / static_cast<double>(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double r = series[i] / mean;
+    out[i] = 100.0 * r / (1.0 + r);
+  }
+  return out;
+}
+
+}  // namespace
+
+PhaseReport detect_phases(const std::vector<std::vector<double>>& series,
+                          const PhaseDetectOptions& options) {
+  if (series.empty()) {
+    throw std::invalid_argument("detect_phases: no counter series");
+  }
+  const std::size_t samples = series.front().size();
+  if (samples < 2) {
+    throw std::invalid_argument("detect_phases: need at least 2 samples");
+  }
+  for (const auto& s : series) {
+    if (s.size() != samples) {
+      throw std::invalid_argument("detect_phases: ragged counter series");
+    }
+  }
+  if (options.window == 0) {
+    throw std::invalid_argument("detect_phases: window must be > 0");
+  }
+
+  std::vector<std::vector<double>> normalized;
+  normalized.reserve(series.size());
+  for (const auto& s : series) normalized.push_back(squash(s));
+
+  // Mean-shift statistic at each candidate boundary t: the absolute
+  // difference between the mean of [t-w, t) and [t, t+w), averaged over
+  // counters. Windows are clipped at the edges.
+  const std::size_t w = options.window;
+  std::vector<double> shift(samples, 0.0);
+  for (std::size_t t = 1; t + 1 < samples; ++t) {
+    const std::size_t lo = t >= w ? t - w : 0;
+    const std::size_t hi = std::min(samples, t + w);
+    double total_shift = 0.0;
+    for (const auto& s : normalized) {
+      double left = 0.0, right = 0.0;
+      for (std::size_t i = lo; i < t; ++i) left += s[i];
+      for (std::size_t i = t; i < hi; ++i) right += s[i];
+      left /= static_cast<double>(t - lo);
+      right /= static_cast<double>(hi - t);
+      total_shift += std::abs(right - left);
+    }
+    shift[t] = total_shift / static_cast<double>(normalized.size());
+  }
+
+  // Local maxima above threshold become boundaries.
+  std::vector<std::size_t> boundaries;
+  std::vector<double> strengths;
+  for (std::size_t t = 1; t + 1 < samples; ++t) {
+    if (shift[t] < options.threshold) continue;
+    if (shift[t] >= shift[t - 1] && shift[t] > shift[t + 1]) {
+      boundaries.push_back(t);
+      strengths.push_back(shift[t]);
+    }
+  }
+
+  // Merge boundaries closer than min_phase_length (keep the stronger one).
+  std::vector<std::size_t> merged;
+  std::vector<double> merged_strengths;
+  for (std::size_t i = 0; i < boundaries.size(); ++i) {
+    if (!merged.empty() &&
+        boundaries[i] - merged.back() < options.min_phase_length) {
+      if (strengths[i] > merged_strengths.back()) {
+        merged.back() = boundaries[i];
+        merged_strengths.back() = strengths[i];
+      }
+      continue;
+    }
+    merged.push_back(boundaries[i]);
+    merged_strengths.push_back(strengths[i]);
+  }
+  // Drop a boundary that would create a leading/trailing sliver.
+  while (!merged.empty() && merged.front() < options.min_phase_length) {
+    merged.erase(merged.begin());
+    merged_strengths.erase(merged_strengths.begin());
+  }
+  while (!merged.empty() &&
+         samples - merged.back() < options.min_phase_length) {
+    merged.pop_back();
+    merged_strengths.pop_back();
+  }
+
+  PhaseReport report;
+  report.boundary_strength = std::move(merged_strengths);
+  std::size_t begin = 0;
+  for (std::size_t b : merged) {
+    report.phases.push_back({.begin = begin, .end = b});
+    begin = b;
+  }
+  report.phases.push_back({.begin = begin, .end = samples});
+  return report;
+}
+
+std::vector<PhaseReport> detect_phases(const CounterMatrix& suite,
+                                       const PhaseDetectOptions& options) {
+  if (!suite.has_series()) {
+    throw std::logic_error("detect_phases: suite has no time series");
+  }
+  std::vector<PhaseReport> reports;
+  reports.reserve(suite.num_workloads());
+  for (std::size_t w = 0; w < suite.num_workloads(); ++w) {
+    std::vector<std::vector<double>> series;
+    series.reserve(suite.num_counters());
+    for (std::size_t c = 0; c < suite.num_counters(); ++c) {
+      series.push_back(suite.series(w, c));
+    }
+    reports.push_back(detect_phases(series, options));
+  }
+  return reports;
+}
+
+double mean_phase_count(const CounterMatrix& suite,
+                        const PhaseDetectOptions& options) {
+  const auto reports = detect_phases(suite, options);
+  double total = 0.0;
+  for (const auto& r : reports) {
+    total += static_cast<double>(r.phase_count());
+  }
+  return total / static_cast<double>(reports.size());
+}
+
+}  // namespace perspector::core

@@ -1,0 +1,64 @@
+// Phase detection from hardware-counter time series.
+//
+// The paper builds on Nomani & Szefer (HASP'15): hardware counters are an
+// effective phase-change signal. Perspector's TrendScore uses the *shape*
+// of the series; this module extracts explicit phase boundaries, giving a
+// per-workload "how many phases, how long" report — the qualitative claim
+// behind Table III ("real-world workloads have phases; kernels do not")
+// made checkable per workload.
+//
+// Algorithm: multi-counter change-point detection. Each counter series is
+// normalized (mean-relative squash, like the TrendScore) and scanned with a
+// two-window mean-shift statistic; per-counter shift magnitudes are
+// averaged, local maxima above a threshold become phase boundaries, and
+// boundaries closer than `min_phase_length` samples are merged.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/counter_matrix.hpp"
+
+namespace perspector::core {
+
+/// One detected phase.
+struct Phase {
+  std::size_t begin = 0;  // first sample index (inclusive)
+  std::size_t end = 0;    // one past the last sample index
+
+  std::size_t length() const { return end - begin; }
+};
+
+/// Detection knobs.
+struct PhaseDetectOptions {
+  /// Half-window for the mean-shift statistic, in samples.
+  std::size_t window = 5;
+  /// Minimum shift (in normalized units, 0..100 scale) to call a boundary.
+  double threshold = 8.0;
+  /// Boundaries closer than this are merged (suppresses jitter).
+  std::size_t min_phase_length = 4;
+};
+
+/// Result for one workload.
+struct PhaseReport {
+  std::vector<Phase> phases;               // covers [0, samples) exactly
+  std::vector<double> boundary_strength;   // shift magnitude per boundary
+
+  std::size_t phase_count() const { return phases.size(); }
+};
+
+/// Detects phases in a single multi-counter series set
+/// (`series[counter][sample]`, all equal length, length >= 2).
+PhaseReport detect_phases(const std::vector<std::vector<double>>& series,
+                          const PhaseDetectOptions& options = {});
+
+/// Detects phases for every workload of a suite (requires series).
+std::vector<PhaseReport> detect_phases(const CounterMatrix& suite,
+                                       const PhaseDetectOptions& options = {});
+
+/// Mean detected phase count across a suite's workloads — a cheap scalar
+/// companion to the TrendScore.
+double mean_phase_count(const CounterMatrix& suite,
+                        const PhaseDetectOptions& options = {});
+
+}  // namespace perspector::core

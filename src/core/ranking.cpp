@@ -1,0 +1,72 @@
+#include "core/ranking.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace perspector::core {
+
+namespace {
+
+// Grades `values` to [0,1]; direction +1 means larger raw is better.
+std::vector<double> grade(const std::vector<double>& values, int direction) {
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  std::vector<double> out(values.size(), 0.5);  // all tied
+  if (hi <= lo) return out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double t = (values[i] - lo) / (hi - lo);
+    out[i] = direction > 0 ? t : 1.0 - t;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<RankedSuite> rank_suites(const std::vector<SuiteScores>& scores,
+                                     const RankingWeights& weights) {
+  if (scores.size() < 2) {
+    throw std::invalid_argument("rank_suites: need at least two suites");
+  }
+  if (weights.diversity < 0.0 || weights.phases < 0.0 ||
+      weights.coverage < 0.0 || weights.uniformity < 0.0) {
+    throw std::invalid_argument("rank_suites: negative weight");
+  }
+  const double total_weight = weights.diversity + weights.phases +
+                              weights.coverage + weights.uniformity;
+  if (total_weight <= 0.0) {
+    throw std::invalid_argument("rank_suites: all weights zero");
+  }
+
+  std::vector<double> cluster, trend, coverage, spread;
+  for (const auto& s : scores) {
+    cluster.push_back(s.cluster);
+    trend.push_back(s.trend);
+    coverage.push_back(s.coverage);
+    spread.push_back(s.spread);
+  }
+  const auto g_div = grade(cluster, -1);
+  const auto g_phase = grade(trend, +1);
+  const auto g_cov = grade(coverage, +1);
+  const auto g_uni = grade(spread, -1);
+
+  std::vector<RankedSuite> ranked(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    RankedSuite& r = ranked[i];
+    r.suite = scores[i].suite;
+    r.diversity = g_div[i];
+    r.phases = g_phase[i];
+    r.coverage = g_cov[i];
+    r.uniformity = g_uni[i];
+    r.grade = (weights.diversity * r.diversity + weights.phases * r.phases +
+               weights.coverage * r.coverage +
+               weights.uniformity * r.uniformity) /
+              total_weight;
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedSuite& a, const RankedSuite& b) {
+                     return a.grade > b.grade;
+                   });
+  return ranked;
+}
+
+}  // namespace perspector::core

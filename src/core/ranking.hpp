@@ -1,0 +1,44 @@
+// Suite ranking: turning four raw scores into a decision.
+//
+// The paper's use case is "select the most suitable suite for her
+// experiments" (Section II). Raw scores have incomparable units
+// (TrendScore is O(1000), the others O(0.1-1)) and mixed directions
+// (cluster/spread: lower is better). This module grades each score onto
+// [0, 1] across the compared suites (min-max, direction-corrected) and
+// combines grades with user weights into a single ranking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/perspector.hpp"
+
+namespace perspector::core {
+
+/// Relative importance of each criterion (non-negative, not all zero).
+struct RankingWeights {
+  double diversity = 1.0;  // ClusterScore (lower raw is better)
+  double phases = 1.0;     // TrendScore (higher raw is better)
+  double coverage = 1.0;   // CoverageScore (higher raw is better)
+  double uniformity = 1.0; // SpreadScore (lower raw is better)
+};
+
+/// One suite's graded result.
+struct RankedSuite {
+  std::string suite;
+  double grade = 0.0;      // weighted mean of the four [0,1] grades
+  double diversity = 0.0;  // per-criterion grades, 1 = best among compared
+  double phases = 0.0;
+  double coverage = 0.0;
+  double uniformity = 0.0;
+};
+
+/// Grades and ranks suites (best first). All suites being compared should
+/// have been scored together (shared joint normalization) for the grades
+/// to be meaningful. Requires at least two suites; throws
+/// std::invalid_argument otherwise or on invalid weights. Ties in raw
+/// scores grade to 0.5 for that criterion.
+std::vector<RankedSuite> rank_suites(const std::vector<SuiteScores>& scores,
+                                     const RankingWeights& weights = {});
+
+}  // namespace perspector::core

@@ -1,0 +1,35 @@
+#include "core/spread_score.hpp"
+
+#include <stdexcept>
+
+#include "stats/ks_test.hpp"
+#include "stats/rng.hpp"
+
+namespace perspector::core {
+
+SpreadScoreResult spread_score(const la::Matrix& normalized,
+                               const SpreadScoreOptions& options) {
+  if (normalized.empty()) {
+    throw std::invalid_argument("spread_score: empty matrix");
+  }
+  stats::Rng rng(options.seed);
+  SpreadScoreResult result;
+  double total = 0.0;
+  for (std::size_t w = 0; w < normalized.rows(); ++w) {
+    const auto row = normalized.row_copy(w);
+    double d = 0.0;
+    if (options.mode == SpreadScoreOptions::Mode::Analytic) {
+      d = stats::ks_test_uniform(row).statistic;
+    } else {
+      std::vector<double> uniform(row.size());
+      for (double& u : uniform) u = rng.uniform();
+      d = stats::ks_test_two_sample(row, uniform).statistic;
+    }
+    result.per_workload.push_back(d);
+    total += d;
+  }
+  result.score = total / static_cast<double>(normalized.rows());  // Eq. 14
+  return result;
+}
+
+}  // namespace perspector::core

@@ -1,0 +1,42 @@
+// SpreadScore (paper Section III-D, Eq. 14).
+//
+// Uniformity metric: for each workload, a one-sample Kolmogorov-Smirnov
+// test of its (jointly) normalized counter values against U(0,1); the score
+// is the mean D-value over workloads. Lower is better — the paper reads
+// D in [0, 0.5] as "weakly uniform".
+//
+// The paper draws m random uniform points and runs a two-sample KS test; by
+// default we test against the analytic U(0,1) CDF, which is the same test
+// with the sampling noise removed (deterministic). `Mode::Sampled`
+// reproduces the paper's literal procedure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace perspector::core {
+
+/// Knobs for the SpreadScore computation.
+struct SpreadScoreOptions {
+  enum class Mode : std::uint8_t {
+    Analytic,  // one-sample KS vs the exact U(0,1) CDF (default)
+    Sampled,   // two-sample KS vs m fresh uniform draws (paper-literal)
+  };
+  Mode mode = Mode::Analytic;
+  std::uint64_t seed = 99;  // used by Sampled mode only
+};
+
+/// Result with per-workload detail.
+struct SpreadScoreResult {
+  double score = 0.0;               // Eq. 14 — mean D over workloads
+  std::vector<double> per_workload; // D-value per workload (row)
+};
+
+/// Computes the SpreadScore on an already (jointly) normalized matrix
+/// (rows = workloads). Requires a non-empty matrix.
+SpreadScoreResult spread_score(const la::Matrix& normalized,
+                               const SpreadScoreOptions& options = {});
+
+}  // namespace perspector::core

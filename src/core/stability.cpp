@@ -1,0 +1,127 @@
+#include "core/stability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace perspector::core {
+
+namespace {
+
+ScoreDistribution summarize_samples(double point,
+                                    const std::vector<double>& samples) {
+  ScoreDistribution d;
+  d.point = point;
+  d.mean = stats::mean(samples);
+  d.stddev = samples.size() >= 2 ? stats::stddev_sample(samples) : 0.0;
+  d.p05 = stats::percentile(samples, 5.0);
+  d.p95 = stats::percentile(samples, 95.0);
+  return d;
+}
+
+SuiteScores score_once(const CounterMatrix& suite,
+                       const PerspectorOptions& scoring, bool include_trend) {
+  PerspectorOptions options = scoring;
+  options.compute_trend = include_trend && scoring.compute_trend;
+  return Perspector(options).score_suite(suite);
+}
+
+}  // namespace
+
+StabilityReport bootstrap_scores(const CounterMatrix& suite,
+                                 const StabilityOptions& options) {
+  const std::size_t n = suite.num_workloads();
+  if (n < 4) {
+    throw std::invalid_argument("bootstrap_scores: need at least 4 workloads");
+  }
+  if (options.resamples == 0) {
+    throw std::invalid_argument("bootstrap_scores: resamples must be > 0");
+  }
+
+  const SuiteScores point =
+      score_once(suite, options.scoring, options.include_trend);
+
+  stats::Rng rng(options.seed);
+  std::vector<double> cluster, trend, coverage, spread;
+  cluster.reserve(options.resamples);
+  for (std::size_t r = 0; r < options.resamples; ++r) {
+    // Resample with replacement, but ensure at least 4 *distinct*
+    // workloads so the ClusterScore's k sweep stays defined.
+    std::vector<std::size_t> picks(n);
+    std::size_t distinct = 0;
+    do {
+      std::vector<bool> seen(n, false);
+      distinct = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        picks[i] = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+        if (!seen[picks[i]]) {
+          seen[picks[i]] = true;
+          ++distinct;
+        }
+      }
+    } while (distinct < 4);
+
+    const CounterMatrix resampled = suite.select_workloads(picks);
+    const SuiteScores s =
+        score_once(resampled, options.scoring, options.include_trend);
+    cluster.push_back(s.cluster);
+    trend.push_back(s.trend);
+    coverage.push_back(s.coverage);
+    spread.push_back(s.spread);
+  }
+
+  StabilityReport report;
+  report.resamples = options.resamples;
+  report.cluster = summarize_samples(point.cluster, cluster);
+  report.trend = summarize_samples(point.trend, trend);
+  report.coverage = summarize_samples(point.coverage, coverage);
+  report.spread = summarize_samples(point.spread, spread);
+  return report;
+}
+
+std::size_t JackknifeReport::most_influential(std::size_t score_index) const {
+  if (score_index >= 4) {
+    throw std::invalid_argument("JackknifeReport: score index out of range");
+  }
+  std::size_t best = 0;
+  for (std::size_t w = 1; w < influence.size(); ++w) {
+    if (std::abs(influence[w][score_index]) >
+        std::abs(influence[best][score_index])) {
+      best = w;
+    }
+  }
+  return best;
+}
+
+JackknifeReport jackknife_scores(const CounterMatrix& suite,
+                                 const PerspectorOptions& scoring,
+                                 bool include_trend) {
+  const std::size_t n = suite.num_workloads();
+  if (n < 5) {
+    throw std::invalid_argument(
+        "jackknife_scores: need at least 5 workloads (leave-one-out keeps 4)");
+  }
+  const SuiteScores full = score_once(suite, scoring, include_trend);
+
+  JackknifeReport report;
+  report.workloads = suite.workload_names();
+  report.influence.resize(n);
+  for (std::size_t leave = 0; leave < n; ++leave) {
+    std::vector<std::size_t> keep;
+    keep.reserve(n - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != leave) keep.push_back(i);
+    }
+    const SuiteScores s =
+        score_once(suite.select_workloads(keep), scoring, include_trend);
+    report.influence[leave] = {s.cluster - full.cluster, s.trend - full.trend,
+                               s.coverage - full.coverage,
+                               s.spread - full.spread};
+  }
+  return report;
+}
+
+}  // namespace perspector::core

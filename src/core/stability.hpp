@@ -1,0 +1,70 @@
+// Score-stability analysis.
+//
+// A Perspector verdict on a suite is only actionable if the score would not
+// change much had the suite contained slightly different workloads. The
+// bootstrap resamples workloads with replacement and reports the spread of
+// each score; the jackknife identifies the workloads each score is most
+// sensitive to (useful when deciding what a suite is missing).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/counter_matrix.hpp"
+#include "core/perspector.hpp"
+
+namespace perspector::core {
+
+/// Distribution summary of one score under resampling.
+struct ScoreDistribution {
+  double point = 0.0;    // score of the original suite
+  double mean = 0.0;     // bootstrap mean
+  double stddev = 0.0;   // bootstrap standard deviation
+  double p05 = 0.0;      // 5th percentile
+  double p95 = 0.0;      // 95th percentile
+};
+
+/// Bootstrap result for all four scores.
+struct StabilityReport {
+  ScoreDistribution cluster;
+  ScoreDistribution trend;
+  ScoreDistribution coverage;
+  ScoreDistribution spread;
+  std::size_t resamples = 0;
+};
+
+/// Knobs for the bootstrap.
+struct StabilityOptions {
+  std::size_t resamples = 100;
+  std::uint64_t seed = 31337;
+  /// Trend scoring is the expensive part (pairwise DTW); disable it to get
+  /// cluster/coverage/spread stability quickly.
+  bool include_trend = true;
+  /// Scoring configuration applied to every resample.
+  PerspectorOptions scoring;
+};
+
+/// Bootstrap over workloads (resampled with replacement; duplicate rows are
+/// perturbation-free copies). Requires at least 4 workloads.
+StabilityReport bootstrap_scores(const CounterMatrix& suite,
+                                 const StabilityOptions& options = {});
+
+/// Jackknife influence: for each workload, the change in each score when
+/// that workload is removed. `influence[w]` is (d_cluster, d_trend,
+/// d_coverage, d_spread) for workload w, signed as (leave-one-out - full).
+struct JackknifeReport {
+  std::vector<std::string> workloads;
+  std::vector<std::array<double, 4>> influence;
+
+  /// Index of the workload with the largest absolute influence on the
+  /// given score (0 = cluster, 1 = trend, 2 = coverage, 3 = spread).
+  std::size_t most_influential(std::size_t score_index) const;
+};
+
+JackknifeReport jackknife_scores(const CounterMatrix& suite,
+                                 const PerspectorOptions& scoring = {},
+                                 bool include_trend = true);
+
+}  // namespace perspector::core

@@ -1,0 +1,99 @@
+#include "core/suite_designer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/subset.hpp"
+
+namespace perspector::core {
+
+double design_utility(const SuiteScores& scores,
+                      const DesignerOptions& options) {
+  return -options.cluster_weight * scores.cluster +
+         options.trend_weight * scores.trend / options.trend_scale +
+         options.coverage_weight * scores.coverage -
+         options.spread_weight * scores.spread;
+}
+
+namespace {
+
+SuiteScores evaluate(const CounterMatrix& pool,
+                     const std::vector<std::size_t>& picks,
+                     const DesignerOptions& options) {
+  PerspectorOptions scoring = options.scoring;
+  scoring.compute_trend = options.include_trend && pool.has_series();
+  return Perspector(scoring).score_suite(pool.select_workloads(picks));
+}
+
+}  // namespace
+
+DesignerResult design_suite(const CounterMatrix& pool,
+                            const DesignerOptions& options) {
+  const std::size_t n = pool.num_workloads();
+  if (options.target_size < 4) {
+    throw std::invalid_argument(
+        "design_suite: target_size must be >= 4 (ClusterScore needs it)");
+  }
+  if (options.target_size >= n) {
+    throw std::invalid_argument(
+        "design_suite: target_size must be smaller than the pool");
+  }
+
+  // Seed with the LHS subset: already space-filling, so the greedy search
+  // starts near a good region.
+  SubsetOptions seed_options;
+  seed_options.target_size = options.target_size;
+  seed_options.seed = options.seed;
+  std::vector<std::size_t> picks = select_subset(pool, seed_options);
+  std::sort(picks.begin(), picks.end());
+
+  DesignerResult result;
+  SuiteScores current_scores = evaluate(pool, picks, options);
+  double current = design_utility(current_scores, options);
+  result.utility_history.push_back(current);
+
+  std::vector<bool> selected(n, false);
+  for (std::size_t i : picks) selected[i] = true;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double best = current;
+    std::size_t best_out = n, best_in = n;
+    SuiteScores best_scores = current_scores;
+
+    for (std::size_t out_pos = 0; out_pos < picks.size(); ++out_pos) {
+      for (std::size_t in = 0; in < n; ++in) {
+        if (selected[in]) continue;
+        std::vector<std::size_t> trial = picks;
+        trial[out_pos] = in;
+        const SuiteScores scores = evaluate(pool, trial, options);
+        const double utility = design_utility(scores, options);
+        if (utility > best + 1e-12) {
+          best = utility;
+          best_out = out_pos;
+          best_in = in;
+          best_scores = scores;
+        }
+      }
+    }
+    if (best_out == n) break;  // local optimum
+
+    selected[picks[best_out]] = false;
+    selected[best_in] = true;
+    picks[best_out] = best_in;
+    current = best;
+    current_scores = best_scores;
+    ++result.swaps;
+    result.utility_history.push_back(current);
+  }
+
+  std::sort(picks.begin(), picks.end());
+  result.indices = picks;
+  for (std::size_t i : picks) {
+    result.names.push_back(pool.workload_names()[i]);
+  }
+  result.scores = current_scores;
+  result.utility = current;
+  return result;
+}
+
+}  // namespace perspector::core

@@ -1,0 +1,65 @@
+// Suite design: assembling a good benchmark suite from a candidate pool.
+//
+// Paper contribution 4: Perspector's metrics can be used "to systematically
+// and rigorously create a suite of workloads". This module makes that
+// concrete: given a pool of measured candidate workloads (e.g. the union of
+// several existing suites), it selects a fixed-size subset that maximizes a
+// weighted combination of the four scores — low clustering, high trend,
+// high coverage, low spread — via an LHS-seeded greedy swap search.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/counter_matrix.hpp"
+#include "core/perspector.hpp"
+
+namespace perspector::core {
+
+/// Search configuration and objective weights.
+struct DesignerOptions {
+  std::size_t target_size = 10;
+
+  // Objective: utility = - cluster_weight * cluster
+  //                      + trend_weight * trend / trend_scale
+  //                      + coverage_weight * coverage
+  //                      - spread_weight * spread.
+  // `trend_scale` brings the TrendScore (typically O(1000)) onto the same
+  // O(1) footing as the other three.
+  double cluster_weight = 1.0;
+  double trend_weight = 1.0;
+  double trend_scale = 1000.0;
+  double coverage_weight = 1.0;
+  double spread_weight = 1.0;
+
+  /// Maximum improving swaps before the search stops.
+  std::size_t max_iterations = 50;
+  /// Trend scoring per candidate evaluation is the expensive part; off by
+  /// default (the trend term then contributes 0 to the utility).
+  bool include_trend = false;
+  /// Scoring configuration used for every evaluation.
+  PerspectorOptions scoring;
+  std::uint64_t seed = 2024;
+};
+
+/// Search outcome.
+struct DesignerResult {
+  std::vector<std::size_t> indices;  // chosen rows of the pool
+  std::vector<std::string> names;
+  SuiteScores scores;                // scores of the designed suite
+  double utility = 0.0;
+  std::size_t swaps = 0;             // improving swaps performed
+  std::vector<double> utility_history;  // utility after seed + each swap
+};
+
+/// The scalar objective (exposed for tests and custom searches).
+double design_utility(const SuiteScores& scores,
+                      const DesignerOptions& options);
+
+/// Runs the designer on a candidate pool. Requires
+/// 4 <= target_size < pool.num_workloads().
+DesignerResult design_suite(const CounterMatrix& pool,
+                            const DesignerOptions& options = {});
+
+}  // namespace perspector::core

@@ -1,0 +1,41 @@
+#include "core/trend_score.hpp"
+
+#include <stdexcept>
+
+#include "dtw/dtw.hpp"
+#include "dtw/trend_normalize.hpp"
+
+namespace perspector::core {
+
+TrendScoreResult trend_score(const CounterMatrix& suite,
+                             const TrendScoreOptions& options) {
+  if (!suite.has_series()) {
+    throw std::logic_error("trend_score: suite has no time series");
+  }
+  if (suite.num_workloads() < 2) {
+    throw std::invalid_argument("trend_score: need at least 2 workloads");
+  }
+
+  dtw::DtwOptions dtw_options;
+  dtw_options.band_fraction = options.dtw_band_fraction;
+
+  TrendScoreResult result;
+  double total = 0.0;
+  for (std::size_t c = 0; c < suite.num_counters(); ++c) {
+    // T_z: one normalized series per workload for this counter.
+    std::vector<std::vector<double>> normalized;
+    normalized.reserve(suite.num_workloads());
+    for (std::size_t w = 0; w < suite.num_workloads(); ++w) {
+      normalized.push_back(dtw::normalize_trend(
+          suite.series(w, c), options.grid_points, options.normalization));
+    }
+    const double t_score =
+        dtw::mean_pairwise_dtw(normalized, dtw_options);  // Eq. 7
+    result.per_event.push_back(t_score);
+    total += t_score;
+  }
+  result.score = total / static_cast<double>(suite.num_counters());  // Eq. 8
+  return result;
+}
+
+}  // namespace perspector::core

@@ -1,0 +1,40 @@
+// TrendScore (paper Section III-B, Eq. 7-8).
+//
+// Phase-behaviour metric: for every PMU counter, normalize each workload's
+// sampled time series (CDF on y, execution-time percentiles on x — Fig. 1),
+// compute the mean pairwise DTW distance across workloads (Eq. 7), then
+// average over counters (Eq. 8). Higher is better — real multi-phase
+// applications produce trends that cannot be warped onto each other cheaply.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/counter_matrix.hpp"
+#include "dtw/trend_normalize.hpp"
+
+namespace perspector::core {
+
+/// Knobs for the TrendScore computation.
+struct TrendScoreOptions {
+  /// Common percentile-grid length for all normalized series.
+  std::size_t grid_points = 101;
+  /// Optional Sakoe-Chiba band (fraction of series length) to bound DTW.
+  std::optional<double> dtw_band_fraction;
+  /// Y-axis normalization mode (see dtw/trend_normalize.hpp).
+  dtw::TrendNormalization normalization =
+      dtw::TrendNormalization::MeanRelative;
+};
+
+/// Result with per-counter detail.
+struct TrendScoreResult {
+  double score = 0.0;            // Eq. 8 — mean over counters
+  std::vector<double> per_event; // TScore_z per counter, input order
+};
+
+/// Computes the TrendScore. Requires collected time series and at least two
+/// workloads; throws std::invalid_argument/std::logic_error otherwise.
+TrendScoreResult trend_score(const CounterMatrix& suite,
+                             const TrendScoreOptions& options = {});
+
+}  // namespace perspector::core

@@ -1,0 +1,115 @@
+#include "dtw/dtw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace perspector::dtw {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::size_t band_width(std::size_t n, std::size_t m,
+                       const DtwOptions& options) {
+  if (!options.band_fraction) return std::max(n, m);  // effectively unbounded
+  if (*options.band_fraction < 0.0 || *options.band_fraction > 1.0) {
+    throw std::invalid_argument("dtw: band_fraction must be in [0,1]");
+  }
+  const auto longest = static_cast<double>(std::max(n, m));
+  auto w = static_cast<std::size_t>(std::ceil(*options.band_fraction * longest));
+  // The band must at least cover the length difference or the corners are
+  // unreachable.
+  const std::size_t diff = n > m ? n - m : m - n;
+  return std::max(w, diff);
+}
+
+}  // namespace
+
+DtwResult dtw_distance(std::span<const double> a, std::span<const double> b,
+                       const DtwOptions& options) {
+  auto full = dtw_with_path(a, b, options);
+  DtwResult r;
+  r.path_length = full.path.size();
+  r.distance = options.path_normalized && r.path_length > 0
+                   ? full.distance / static_cast<double>(r.path_length)
+                   : full.distance;
+  return r;
+}
+
+DtwPathResult dtw_with_path(std::span<const double> a,
+                            std::span<const double> b,
+                            const DtwOptions& options) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("dtw: empty series");
+  }
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const std::size_t w = band_width(n, m, options);
+
+  // Full DP table (series here are hundreds of points, memory is fine) with
+  // one sentinel row/column of infinity.
+  std::vector<double> cost((n + 1) * (m + 1), kInf);
+  auto at = [m](std::size_t i, std::size_t j) -> std::size_t {
+    return i * (m + 1) + j;
+  };
+  cost[at(0, 0)] = 0.0;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::size_t j_lo = i > w ? i - w : 1;
+    const std::size_t j_hi = std::min(m, i + w);
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double local = std::abs(a[i - 1] - b[j - 1]);
+      const double best = std::min({cost[at(i - 1, j)], cost[at(i, j - 1)],
+                                    cost[at(i - 1, j - 1)]});
+      cost[at(i, j)] = local + best;
+    }
+  }
+
+  if (!std::isfinite(cost[at(n, m)])) {
+    throw std::invalid_argument("dtw: band too narrow to connect endpoints");
+  }
+
+  DtwPathResult result;
+  result.distance = cost[at(n, m)];
+
+  // Backtrack the optimal path.
+  std::size_t i = n, j = m;
+  while (i > 0 && j > 0) {
+    result.path.emplace_back(i - 1, j - 1);
+    const double diag = cost[at(i - 1, j - 1)];
+    const double up = cost[at(i - 1, j)];
+    const double left = cost[at(i, j - 1)];
+    if (diag <= up && diag <= left) {
+      --i;
+      --j;
+    } else if (up <= left) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  return result;
+}
+
+double mean_pairwise_dtw(const std::vector<std::vector<double>>& series,
+                         const DtwOptions& options) {
+  if (series.size() < 2) {
+    throw std::invalid_argument("mean_pairwise_dtw: need at least 2 series");
+  }
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (std::size_t j = i + 1; j < series.size(); ++j) {
+      total += dtw_distance(series[i], series[j], options).distance;
+      ++pairs;
+    }
+  }
+  // Eq. 7 sums over ordered pairs and divides by n*(n-1); with a symmetric
+  // distance that equals the unordered-pair mean computed here.
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace perspector::dtw

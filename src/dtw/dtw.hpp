@@ -1,0 +1,54 @@
+// Dynamic Time Warping (Berndt & Clifford 1994).
+//
+// The TrendScore (paper Eq. 7-8) measures pairwise DTW distance between
+// normalized counter time series. Both the exact O(N*M) dynamic program and
+// a Sakoe-Chiba banded variant are provided; warping paths can be extracted
+// for diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace perspector::dtw {
+
+/// Options for a DTW computation.
+struct DtwOptions {
+  /// Sakoe-Chiba band half-width as a fraction of the longer series length;
+  /// nullopt means the full (unconstrained) dynamic program.
+  std::optional<double> band_fraction;
+  /// When true, the distance is divided by the warping-path length, making
+  /// series of different lengths comparable.
+  bool path_normalized = false;
+};
+
+/// Result of a DTW computation.
+struct DtwResult {
+  double distance = 0.0;       // accumulated |a_i - b_j| along optimal path
+  std::size_t path_length = 0; // number of matched index pairs
+};
+
+/// DTW distance between two series with absolute-difference local cost.
+/// Throws std::invalid_argument if either series is empty, or if the band is
+/// too narrow to connect the corners.
+DtwResult dtw_distance(std::span<const double> a, std::span<const double> b,
+                       const DtwOptions& options = {});
+
+/// DTW with the optimal warping path ((i, j) index pairs from (0,0) to
+/// (len(a)-1, len(b)-1)).
+struct DtwPathResult {
+  double distance = 0.0;
+  std::vector<std::pair<std::size_t, std::size_t>> path;
+};
+DtwPathResult dtw_with_path(std::span<const double> a,
+                            std::span<const double> b,
+                            const DtwOptions& options = {});
+
+/// Mean pairwise DTW distance over a set of series — the inner sum of the
+/// paper's Eq. 7 for a single counter. Requires at least two series.
+double mean_pairwise_dtw(const std::vector<std::vector<double>>& series,
+                         const DtwOptions& options = {});
+
+}  // namespace perspector::dtw

@@ -1,0 +1,146 @@
+#include "dtw/trend_normalize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/ecdf.hpp"
+
+namespace perspector::dtw {
+
+std::vector<double> resample_to_percentile_grid(std::span<const double> series,
+                                                std::size_t grid_points) {
+  if (series.empty()) {
+    throw std::invalid_argument("resample_to_percentile_grid: empty series");
+  }
+  if (grid_points < 2) {
+    throw std::invalid_argument(
+        "resample_to_percentile_grid: need at least 2 grid points");
+  }
+  std::vector<double> out(grid_points);
+  if (series.size() == 1) {
+    std::fill(out.begin(), out.end(), series[0]);
+    return out;
+  }
+  const double last = static_cast<double>(series.size() - 1);
+  for (std::size_t g = 0; g < grid_points; ++g) {
+    const double pos =
+        last * static_cast<double>(g) / static_cast<double>(grid_points - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = std::min(lo + 1, series.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out[g] = series[lo] + frac * (series[hi] - series[lo]);
+  }
+  return out;
+}
+
+const char* to_string(TrendNormalization mode) {
+  switch (mode) {
+    case TrendNormalization::MeanRelative:
+      return "mean-relative";
+    case TrendNormalization::RankPercentile:
+      return "rank-percentile";
+    case TrendNormalization::CumulativeShare:
+      return "cumulative-share";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Mean-relative squash: r = x/mean, y = 100*r/(1+r). A steady series maps
+// to a constant 50; bursts approach 100; idle stretches approach 0; a
+// zero-total series (event never fired) is treated as steady.
+std::vector<double> mean_relative(std::span<const double> series) {
+  double total = 0.0;
+  for (double v : series) {
+    if (v < 0.0) {
+      throw std::invalid_argument(
+          "normalize_trend: negative counter delta in series");
+    }
+    total += v;
+  }
+  std::vector<double> out(series.size());
+  if (total <= 0.0) {
+    std::fill(out.begin(), out.end(), 50.0);
+    return out;
+  }
+  const double mean = total / static_cast<double>(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double r = series[i] / mean;
+    out[i] = 100.0 * r / (1.0 + r);
+  }
+  return out;
+}
+
+// Cumulative share: point i becomes the percentage of the series total
+// accumulated through sample i. A flat series maps to the diagonal.
+std::vector<double> cumulative_share(std::span<const double> series) {
+  double total = 0.0;
+  for (double v : series) {
+    if (v < 0.0) {
+      throw std::invalid_argument(
+          "normalize_trend: negative counter delta in series");
+    }
+    total += v;
+  }
+  std::vector<double> out(series.size());
+  if (total <= 0.0) {
+    // Event never fired: treat as perfectly steady (diagonal).
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      out[i] = 100.0 * static_cast<double>(i + 1) /
+               static_cast<double>(series.size());
+    }
+    return out;
+  }
+  double cum = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    cum += series[i];
+    out[i] = 100.0 * cum / total;
+  }
+  return out;
+}
+
+std::vector<double> rank_percentile(std::span<const double> series) {
+  const stats::Ecdf cdf(series);
+  std::vector<double> out(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out[i] = cdf.percentile_of(series[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> normalize_trend(std::span<const double> series,
+                                    std::size_t grid_points,
+                                    TrendNormalization mode) {
+  if (series.empty()) {
+    throw std::invalid_argument("normalize_trend: empty series");
+  }
+  std::vector<double> y;
+  switch (mode) {
+    case TrendNormalization::MeanRelative:
+      y = mean_relative(series);
+      break;
+    case TrendNormalization::RankPercentile:
+      y = rank_percentile(series);
+      break;
+    case TrendNormalization::CumulativeShare:
+      y = cumulative_share(series);
+      break;
+  }
+  return resample_to_percentile_grid(y, grid_points);
+}
+
+std::vector<std::vector<double>> normalize_trends(
+    const std::vector<std::vector<double>>& series, std::size_t grid_points,
+    TrendNormalization mode) {
+  std::vector<std::vector<double>> out;
+  out.reserve(series.size());
+  for (const auto& s : series) {
+    out.push_back(normalize_trend(s, grid_points, mode));
+  }
+  return out;
+}
+
+}  // namespace perspector::dtw

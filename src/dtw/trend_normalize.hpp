@@ -1,0 +1,59 @@
+// The paper's trend normalization (Section III-B-1, Fig. 1).
+//
+// Counter time series from different workloads differ both in magnitude
+// (y-axis) and duration (x-axis). Before DTW the y-axis is bounded to
+// [0, 100] and the x-axis is resampled at fixed execution-time percentiles
+// so every workload contributes the same number of points.
+//
+// Three y-normalizations are provided (the methodology-ablation bench
+// compares them):
+//   * MeanRelative (default): y = 100*r/(1+r) with r = value/series-mean.
+//     A steady series maps to a constant 50 (so two phase-free
+//     micro-benchmarks have DTW distance ~0), activity bursts bend the
+//     curve toward 100, idle stretches toward 0, and a single outlier
+//     saturates instead of dominating — the Fig. 1 robustness goal.
+//   * RankPercentile: each sample mapped through the series' own empirical
+//     CDF (the paper's literal wording). Scale-free, but it amplifies
+//     sampling noise on flat series to full range, which inverts the
+//     micro- vs real-workload trend ranking.
+//   * CumulativeShare: 100 * cumsum/total. Monotone curves, but DTW warps
+//     any two monotone curves onto each other cheaply, hiding smooth phase
+//     structure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace perspector::dtw {
+
+/// Y-axis normalization mode for trend analysis (see file comment).
+enum class TrendNormalization : std::uint8_t {
+  MeanRelative,     // default: squashed activity-relative level
+  RankPercentile,   // per-sample percentile under the series' own ECDF
+  CumulativeShare,  // 100 * cumsum / total
+};
+
+const char* to_string(TrendNormalization mode);
+
+/// Resamples `series` onto `grid_points` positions spaced uniformly in
+/// execution-time percentile, using linear interpolation between samples.
+/// Requires a non-empty series and grid_points >= 2.
+std::vector<double> resample_to_percentile_grid(std::span<const double> series,
+                                                std::size_t grid_points);
+
+/// Full trend normalization: y normalization per `mode` ([0, 100]), then
+/// percentile-grid resampling on x. A series whose total is zero (event
+/// never fired) normalizes to the diagonal under CumulativeShare — the same
+/// curve as any perfectly steady workload.
+std::vector<double> normalize_trend(
+    std::span<const double> series, std::size_t grid_points = 101,
+    TrendNormalization mode = TrendNormalization::MeanRelative);
+
+/// Normalizes a whole set of series onto a common grid.
+std::vector<std::vector<double>> normalize_trends(
+    const std::vector<std::vector<double>>& series,
+    std::size_t grid_points = 101,
+    TrendNormalization mode = TrendNormalization::MeanRelative);
+
+}  // namespace perspector::dtw

@@ -1,0 +1,134 @@
+#include "la/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace perspector::la {
+
+namespace {
+
+double max_offdiag_abs(const Matrix& a) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      m = std::max(m, std::abs(a(i, j)));
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+EigenResult symmetric_eigen(const Matrix& m, double symmetry_tol,
+                            int max_sweeps) {
+  if (m.rows() != m.cols()) {
+    throw std::invalid_argument("symmetric_eigen: matrix must be square");
+  }
+  const std::size_t n = m.rows();
+  if (n == 0) return {.values = {}, .vectors = Matrix{}};
+
+  double max_abs = 0.0;
+  for (double v : m.data()) max_abs = std::max(max_abs, std::abs(v));
+  const double tol = symmetry_tol * std::max(1.0, max_abs);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (std::abs(m(i, j) - m(j, i)) > tol) {
+        throw std::invalid_argument("symmetric_eigen: matrix not symmetric");
+      }
+    }
+  }
+
+  Matrix a = m;
+  Matrix v = Matrix::identity(n);
+
+  // Cyclic Jacobi sweeps: zero out each off-diagonal element in turn with a
+  // Givens rotation until the matrix is numerically diagonal.
+  const double convergence = 1e-12 * std::max(1.0, max_abs);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (max_offdiag_abs(a) <= convergence) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= convergence) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable tangent of the rotation angle.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a(x, x) > a(y, y);
+  });
+
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.values[j] = a(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) {
+      result.vectors(i, j) = v(i, order[j]);
+    }
+  }
+  return result;
+}
+
+Matrix covariance_matrix(const Matrix& data) {
+  const std::size_t n = data.rows();
+  const std::size_t m = data.cols();
+  Matrix cov(m, m, 0.0);
+  if (n < 2) return cov;
+
+  std::vector<double> mean(m, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < m; ++c) mean[c] += data(r, c);
+  }
+  for (double& x : mean) x /= static_cast<double>(n);
+
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const double di = data(r, i) - mean[i];
+      for (std::size_t j = i; j < m; ++j) {
+        cov(i, j) += di * (data(r, j) - mean[j]);
+      }
+    }
+  }
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i; j < m; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+  }
+  return cov;
+}
+
+}  // namespace perspector::la

@@ -1,0 +1,33 @@
+// Symmetric eigendecomposition (cyclic Jacobi) and covariance, the numeric
+// kernel behind PCA. Only symmetric real matrices are supported — that is all
+// Perspector needs (covariance matrices).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace perspector::la {
+
+/// Result of a symmetric eigendecomposition.
+///
+/// `values[i]` is the i-th eigenvalue and column i of `vectors` is the
+/// corresponding unit-length eigenvector; pairs are sorted by descending
+/// eigenvalue.
+struct EigenResult {
+  std::vector<double> values;
+  Matrix vectors;  // columns are eigenvectors
+};
+
+/// Eigendecomposition of a symmetric matrix via the cyclic Jacobi method.
+///
+/// Throws std::invalid_argument if `m` is not square or not symmetric within
+/// `symmetry_tol` (relative to the largest absolute entry).
+EigenResult symmetric_eigen(const Matrix& m, double symmetry_tol = 1e-8,
+                            int max_sweeps = 64);
+
+/// Sample covariance matrix of the rows of `data` (columns are variables).
+/// Uses the unbiased (n-1) denominator; with a single row returns all zeros.
+Matrix covariance_matrix(const Matrix& data);
+
+}  // namespace perspector::la

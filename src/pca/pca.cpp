@@ -1,0 +1,111 @@
+#include "pca/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "la/eigen.hpp"
+#include "stats/descriptive.hpp"
+
+namespace perspector::pca {
+
+double PcaResult::component_variance(std::size_t i) const {
+  if (i >= transformed.cols()) {
+    throw std::out_of_range("PcaResult::component_variance");
+  }
+  const auto col = transformed.col_copy(i);
+  if (col.size() < 2) return 0.0;
+  return stats::variance_sample(col);
+}
+
+la::Matrix PcaResult::project(const la::Matrix& data) const {
+  if (data.cols() != mean.size()) {
+    throw std::invalid_argument("PcaResult::project: feature count mismatch");
+  }
+  la::Matrix centered = data;
+  for (std::size_t r = 0; r < centered.rows(); ++r) {
+    auto row = centered.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] -= mean[c];
+  }
+  return centered.multiply(components);
+}
+
+namespace {
+
+PcaResult fit_impl(const la::Matrix& data, std::size_t retained) {
+  const std::size_t m = data.cols();
+  PcaResult result;
+
+  result.mean.assign(m, 0.0);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < m; ++c) result.mean[c] += data(r, c);
+  }
+  for (double& x : result.mean) x /= static_cast<double>(data.rows());
+
+  const la::Matrix cov = la::covariance_matrix(data);
+  la::EigenResult eig = la::symmetric_eigen(cov);
+
+  // Clamp tiny negative eigenvalues produced by round-off.
+  for (double& v : eig.values) v = std::max(v, 0.0);
+
+  const double total =
+      std::accumulate(eig.values.begin(), eig.values.end(), 0.0);
+  result.eigenvalues = eig.values;
+  result.explained_ratio.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    result.explained_ratio[i] = total > 0.0 ? eig.values[i] / total : 0.0;
+  }
+
+  retained = std::clamp<std::size_t>(retained, 1, m);
+  result.retained = retained;
+
+  std::vector<std::size_t> keep(retained);
+  std::iota(keep.begin(), keep.end(), 0);
+  result.components = eig.vectors.select_cols(keep);
+  result.transformed = result.project(data);
+  return result;
+}
+
+}  // namespace
+
+PcaResult fit_pca(const la::Matrix& data, double variance_target) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    throw std::invalid_argument("fit_pca: empty data");
+  }
+  if (variance_target <= 0.0 || variance_target > 1.0) {
+    throw std::invalid_argument("fit_pca: variance_target must be in (0,1]");
+  }
+  // Determine d: smallest prefix of eigenvalues reaching the target ratio.
+  const la::Matrix cov = la::covariance_matrix(data);
+  la::EigenResult eig = la::symmetric_eigen(cov);
+  for (double& v : eig.values) v = std::max(v, 0.0);
+  const double total =
+      std::accumulate(eig.values.begin(), eig.values.end(), 0.0);
+
+  std::size_t d = 1;
+  if (total > 0.0) {
+    double cum = 0.0;
+    for (d = 0; d < eig.values.size(); ++d) {
+      cum += eig.values[d];
+      if (cum / total >= variance_target) {
+        ++d;
+        break;
+      }
+    }
+    d = std::max<std::size_t>(d, 1);
+  }
+  return fit_impl(data, d);
+}
+
+PcaResult fit_pca_fixed(const la::Matrix& data, std::size_t n_components) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    throw std::invalid_argument("fit_pca_fixed: empty data");
+  }
+  if (n_components == 0) {
+    throw std::invalid_argument("fit_pca_fixed: n_components must be > 0");
+  }
+  return fit_impl(data, n_components);
+}
+
+}  // namespace perspector::pca

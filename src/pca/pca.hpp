@@ -1,0 +1,42 @@
+// Principal component analysis via covariance eigendecomposition.
+//
+// The CoverageScore (paper Eq. 11-13) runs PCA with a 98% variance-retention
+// threshold and then averages the per-component variance of the transformed
+// data.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace perspector::pca {
+
+/// A fitted PCA model plus the projection of the fitting data.
+struct PcaResult {
+  la::Matrix components;        // m x d, columns are principal directions
+  std::vector<double> mean;     // per-feature mean removed before projection
+  std::vector<double> eigenvalues;       // all m eigenvalues, descending
+  std::vector<double> explained_ratio;   // eigenvalue_i / sum(eigenvalues)
+  std::size_t retained = 0;              // d, components kept
+  la::Matrix transformed;       // n x d projection of the input data
+
+  /// Variance of transformed column `i` (== eigenvalue_i up to numerics).
+  double component_variance(std::size_t i) const;
+
+  /// Projects new rows (same feature count as the fit data) into the
+  /// retained component space.
+  la::Matrix project(const la::Matrix& data) const;
+};
+
+/// Fits PCA on the rows of `data`, retaining the smallest number of leading
+/// components whose cumulative explained variance reaches `variance_target`
+/// (in (0, 1]). At least one component is always retained.
+///
+/// Throws std::invalid_argument on empty data or an out-of-range target.
+PcaResult fit_pca(const la::Matrix& data, double variance_target = 0.98);
+
+/// Fits PCA retaining exactly `n_components` components (clamped to the
+/// feature count).
+PcaResult fit_pca_fixed(const la::Matrix& data, std::size_t n_components);
+
+}  // namespace perspector::pca

@@ -1,0 +1,93 @@
+#include "sampling/latin_hypercube.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace perspector::sampling {
+
+la::Matrix latin_hypercube(std::size_t samples, std::size_t dims,
+                           const LhsOptions& options) {
+  if (samples == 0 || dims == 0) {
+    throw std::invalid_argument("latin_hypercube: samples and dims must be > 0");
+  }
+  stats::Rng rng(options.seed);
+  la::Matrix points(samples, dims);
+  const double width = 1.0 / static_cast<double>(samples);
+  for (std::size_t d = 0; d < dims; ++d) {
+    const auto strata = rng.permutation(samples);
+    for (std::size_t s = 0; s < samples; ++s) {
+      const double offset = options.centered ? 0.5 : rng.uniform(0.0, 1.0);
+      points(s, d) = (static_cast<double>(strata[s]) + offset) * width;
+    }
+  }
+  return points;
+}
+
+la::Matrix uniform_samples(std::size_t samples, std::size_t dims,
+                           std::uint64_t seed) {
+  if (samples == 0 || dims == 0) {
+    throw std::invalid_argument("uniform_samples: samples and dims must be > 0");
+  }
+  stats::Rng rng(seed);
+  la::Matrix points(samples, dims);
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t d = 0; d < dims; ++d) points(s, d) = rng.uniform();
+  }
+  return points;
+}
+
+bool is_latin(const la::Matrix& points) {
+  const std::size_t n = points.rows();
+  if (n == 0) return false;
+  for (std::size_t d = 0; d < points.cols(); ++d) {
+    std::vector<bool> seen(n, false);
+    for (std::size_t s = 0; s < n; ++s) {
+      const double v = points(s, d);
+      if (v < 0.0 || v > 1.0) return false;
+      auto stratum =
+          static_cast<std::size_t>(v * static_cast<double>(n));
+      stratum = std::min(stratum, n - 1);
+      if (seen[stratum]) return false;
+      seen[stratum] = true;
+    }
+  }
+  return true;
+}
+
+double min_pairwise_distance(const la::Matrix& points) {
+  if (points.rows() < 2) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    for (std::size_t j = i + 1; j < points.rows(); ++j) {
+      best = std::min(best,
+                      la::euclidean_distance(points.row(i), points.row(j)));
+    }
+  }
+  return best;
+}
+
+la::Matrix maximin_latin_hypercube(std::size_t samples, std::size_t dims,
+                                   std::size_t candidates,
+                                   const LhsOptions& options) {
+  if (candidates == 0) {
+    throw std::invalid_argument("maximin_latin_hypercube: candidates must be > 0");
+  }
+  stats::Rng seeder(options.seed);
+  la::Matrix best;
+  double best_score = -1.0;
+  for (std::size_t c = 0; c < candidates; ++c) {
+    LhsOptions opt = options;
+    opt.seed = seeder.engine()();
+    la::Matrix cand = latin_hypercube(samples, dims, opt);
+    const double score = min_pairwise_distance(cand);
+    if (score > best_score) {
+      best_score = score;
+      best = std::move(cand);
+    }
+  }
+  return best;
+}
+
+}  // namespace perspector::sampling

@@ -1,0 +1,47 @@
+// Latin hypercube sampling (paper Section IV-C).
+//
+// LHS divides each of the M dimensions into k equal-probability strata and
+// draws exactly one sample per stratum per dimension, giving far better
+// space-filling than plain uniform sampling at the same budget.
+#pragma once
+
+#include <cstdint>
+
+#include "la/matrix.hpp"
+#include "stats/rng.hpp"
+
+namespace perspector::sampling {
+
+/// Options for LHS generation.
+struct LhsOptions {
+  /// When true, samples sit at stratum centers; otherwise they are jittered
+  /// uniformly within each stratum.
+  bool centered = false;
+  std::uint64_t seed = 7;
+};
+
+/// Draws `samples` Latin-hypercube points in the unit cube [0,1]^dims.
+/// Returns a samples x dims matrix. Throws std::invalid_argument when either
+/// count is zero.
+la::Matrix latin_hypercube(std::size_t samples, std::size_t dims,
+                           const LhsOptions& options = {});
+
+/// Plain uniform random sampling in [0,1]^dims (baseline for comparison).
+la::Matrix uniform_samples(std::size_t samples, std::size_t dims,
+                           std::uint64_t seed = 7);
+
+/// Verifies the Latin property: in every dimension, each of the `samples`
+/// strata contains exactly one point. Exposed for tests and benches.
+bool is_latin(const la::Matrix& points);
+
+/// Minimum pairwise Euclidean distance among sample points — the standard
+/// space-filling quality criterion (larger is better).
+double min_pairwise_distance(const la::Matrix& points);
+
+/// "Maximin" LHS: draws `candidates` independent hypercubes and keeps the
+/// one with the largest minimum pairwise distance.
+la::Matrix maximin_latin_hypercube(std::size_t samples, std::size_t dims,
+                                   std::size_t candidates = 16,
+                                   const LhsOptions& options = {});
+
+}  // namespace perspector::sampling

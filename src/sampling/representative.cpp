@@ -1,0 +1,86 @@
+#include "sampling/representative.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace perspector::sampling {
+
+namespace {
+
+void validate(const la::Matrix& targets, const la::Matrix& candidates) {
+  if (targets.rows() == 0 || candidates.rows() == 0) {
+    throw std::invalid_argument("representative matching: empty input");
+  }
+  if (targets.cols() != candidates.cols()) {
+    throw std::invalid_argument(
+        "representative matching: dimensionality mismatch");
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> match_nearest_distinct(const la::Matrix& targets,
+                                                const la::Matrix& candidates) {
+  validate(targets, candidates);
+  if (candidates.rows() < targets.rows()) {
+    throw std::invalid_argument(
+        "match_nearest_distinct: fewer candidates than targets");
+  }
+  const std::size_t t = targets.rows();
+  const std::size_t c = candidates.rows();
+
+  la::Matrix dist(t, c);
+  for (std::size_t i = 0; i < t; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      dist(i, j) = la::euclidean_distance(targets.row(i), candidates.row(j));
+    }
+  }
+
+  std::vector<std::size_t> result(t, 0);
+  std::vector<bool> target_done(t, false);
+  std::vector<bool> candidate_used(c, false);
+
+  // Greedy global matching: repeatedly take the smallest remaining
+  // (target, candidate) distance. O(t * t * c), fine at suite scale.
+  for (std::size_t round = 0; round < t; ++round) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < t; ++i) {
+      if (target_done[i]) continue;
+      for (std::size_t j = 0; j < c; ++j) {
+        if (candidate_used[j]) continue;
+        if (dist(i, j) < best) {
+          best = dist(i, j);
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    result[bi] = bj;
+    target_done[bi] = true;
+    candidate_used[bj] = true;
+  }
+  return result;
+}
+
+std::vector<std::size_t> match_nearest(const la::Matrix& targets,
+                                       const la::Matrix& candidates) {
+  validate(targets, candidates);
+  std::vector<std::size_t> result(targets.rows(), 0);
+  for (std::size_t i = 0; i < targets.rows(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < candidates.rows(); ++j) {
+      const double d =
+          la::euclidean_distance(targets.row(i), candidates.row(j));
+      if (d < best) {
+        best = d;
+        result[i] = j;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace perspector::sampling

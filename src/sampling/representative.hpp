@@ -1,0 +1,28 @@
+// Representative selection: matching sample points to concrete workloads.
+//
+// The subset generator (paper Section IV-C) draws LHS points in normalized
+// counter space and picks, for each point, the nearest actual workload — a
+// distinct workload per point, so k points yield k workloads.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace perspector::sampling {
+
+/// For each row of `targets`, selects the index of the nearest row of
+/// `candidates` (Euclidean), without reusing a candidate. Targets are
+/// processed greedily in order of ascending nearest-distance so the tightest
+/// matches claim their candidates first.
+///
+/// Throws std::invalid_argument when there are fewer candidates than targets
+/// or the dimensionalities differ.
+std::vector<std::size_t> match_nearest_distinct(const la::Matrix& targets,
+                                                const la::Matrix& candidates);
+
+/// Nearest candidate per target, allowing reuse (diagnostic baseline).
+std::vector<std::size_t> match_nearest(const la::Matrix& targets,
+                                       const la::Matrix& candidates);
+
+}  // namespace perspector::sampling

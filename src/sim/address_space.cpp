@@ -1,0 +1,34 @@
+#include "sim/address_space.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace perspector::sim {
+
+AddressSpace::AddressSpace(std::uint64_t page_bytes) {
+  if (page_bytes == 0 || !std::has_single_bit(page_bytes)) {
+    throw std::invalid_argument(
+        "AddressSpace: page_bytes must be a power of two");
+  }
+  page_shift_ = static_cast<std::uint64_t>(std::countr_zero(page_bytes));
+}
+
+bool AddressSpace::touch(std::uint64_t address) {
+  const auto [it, inserted] = pages_.insert(address >> page_shift_);
+  if (inserted) {
+    ++stats_.faults;
+    stats_.resident_pages = pages_.size();
+  }
+  return inserted;
+}
+
+bool AddressSpace::resident(std::uint64_t address) const {
+  return pages_.contains(address >> page_shift_);
+}
+
+void AddressSpace::reset() {
+  pages_.clear();
+  stats_ = PageStats{};
+}
+
+}  // namespace perspector::sim

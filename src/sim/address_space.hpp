@@ -1,0 +1,39 @@
+// Demand-paged virtual address space: tracks first-touch pages so the core
+// model can charge minor page faults (Table IV page-faults counter).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "sim/machine_config.hpp"
+
+namespace perspector::sim {
+
+/// Page-fault statistics.
+struct PageStats {
+  std::uint64_t faults = 0;        // first touches (minor faults)
+  std::uint64_t resident_pages = 0;
+};
+
+/// Demand-paging model over a flat virtual address space.
+class AddressSpace {
+ public:
+  explicit AddressSpace(std::uint64_t page_bytes);
+
+  /// Touches the page containing `address`; returns true when this is the
+  /// first touch (a page fault).
+  bool touch(std::uint64_t address);
+
+  /// True when the page containing `address` has been touched before.
+  bool resident(std::uint64_t address) const;
+
+  const PageStats& stats() const noexcept { return stats_; }
+  void reset();
+
+ private:
+  std::uint64_t page_shift_;
+  std::unordered_set<std::uint64_t> pages_;
+  PageStats stats_;
+};
+
+}  // namespace perspector::sim

@@ -1,0 +1,89 @@
+#include "sim/branch_predictor.hpp"
+
+#include <stdexcept>
+
+namespace perspector::sim {
+
+namespace {
+
+// 2-bit saturating counter transitions; >= 2 predicts taken.
+std::uint8_t saturate(std::uint8_t counter, bool taken) {
+  if (taken) return counter < 3 ? counter + 1 : 3;
+  return counter > 0 ? counter - 1 : 0;
+}
+
+}  // namespace
+
+bool BranchPredictor::predict_and_update(std::uint64_t pc, bool taken) {
+  const bool predicted = predict(pc);
+  update(pc, taken);
+  ++stats_.branches;
+  const bool correct = predicted == taken;
+  if (!correct) ++stats_.mispredictions;
+  return correct;
+}
+
+BimodalPredictor::BimodalPredictor(std::uint32_t table_bits) {
+  if (table_bits == 0 || table_bits > 28) {
+    throw std::invalid_argument("BimodalPredictor: table_bits out of range");
+  }
+  table_.assign(std::size_t{1} << table_bits, 2);  // weakly taken
+  mask_ = (std::uint64_t{1} << table_bits) - 1;
+}
+
+std::size_t BimodalPredictor::index(std::uint64_t pc) const {
+  // Drop the instruction alignment bits before indexing.
+  return static_cast<std::size_t>((pc >> 2) & mask_);
+}
+
+bool BimodalPredictor::predict(std::uint64_t pc) {
+  return table_[index(pc)] >= 2;
+}
+
+void BimodalPredictor::update(std::uint64_t pc, bool taken) {
+  auto& counter = table_[index(pc)];
+  counter = saturate(counter, taken);
+}
+
+GsharePredictor::GsharePredictor(std::uint32_t table_bits,
+                                 std::uint32_t history_bits) {
+  if (table_bits == 0 || table_bits > 28) {
+    throw std::invalid_argument("GsharePredictor: table_bits out of range");
+  }
+  if (history_bits > 63) {
+    throw std::invalid_argument("GsharePredictor: history_bits out of range");
+  }
+  table_.assign(std::size_t{1} << table_bits, 2);
+  table_mask_ = (std::uint64_t{1} << table_bits) - 1;
+  history_mask_ =
+      history_bits == 0 ? 0 : (std::uint64_t{1} << history_bits) - 1;
+}
+
+std::size_t GsharePredictor::index(std::uint64_t pc) const {
+  return static_cast<std::size_t>(((pc >> 2) ^ history_) & table_mask_);
+}
+
+bool GsharePredictor::predict(std::uint64_t pc) {
+  return table_[index(pc)] >= 2;
+}
+
+void GsharePredictor::update(std::uint64_t pc, bool taken) {
+  auto& counter = table_[index(pc)];
+  counter = saturate(counter, taken);
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+}
+
+std::unique_ptr<BranchPredictor> make_predictor(const MachineConfig& config) {
+  switch (config.predictor) {
+    case MachineConfig::Predictor::AlwaysTaken:
+      return std::make_unique<AlwaysTakenPredictor>();
+    case MachineConfig::Predictor::Bimodal:
+      return std::make_unique<BimodalPredictor>(config.predictor_table_bits);
+    case MachineConfig::Predictor::Gshare:
+      return std::make_unique<GsharePredictor>(config.predictor_table_bits,
+                                               config.gshare_history_bits);
+  }
+  throw std::logic_error("make_predictor: unknown predictor kind");
+}
+
+}  // namespace perspector::sim

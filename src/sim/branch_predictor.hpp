@@ -1,0 +1,89 @@
+// Branch predictors: always-taken, bimodal (2-bit saturating counters), and
+// gshare (global history XOR PC). Produce the Table IV branch-instructions
+// and branch-misses counters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/machine_config.hpp"
+
+namespace perspector::sim {
+
+/// Branch-direction statistics.
+struct BranchStats {
+  std::uint64_t branches = 0;
+  std::uint64_t mispredictions = 0;
+  double misprediction_rate() const {
+    return branches == 0
+               ? 0.0
+               : static_cast<double>(mispredictions) /
+                     static_cast<double>(branches);
+  }
+};
+
+/// Direction-predictor interface. `predict_and_update` consumes the actual
+/// outcome, updates internal state, and reports whether the prediction was
+/// correct.
+class BranchPredictor {
+ public:
+  virtual ~BranchPredictor() = default;
+
+  /// Returns true when the prediction matched `taken`.
+  bool predict_and_update(std::uint64_t pc, bool taken);
+
+  const BranchStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = BranchStats{}; }
+
+ protected:
+  virtual bool predict(std::uint64_t pc) = 0;
+  virtual void update(std::uint64_t pc, bool taken) = 0;
+
+ private:
+  BranchStats stats_;
+};
+
+/// Static always-taken baseline.
+class AlwaysTakenPredictor final : public BranchPredictor {
+ protected:
+  bool predict(std::uint64_t) override { return true; }
+  void update(std::uint64_t, bool) override {}
+};
+
+/// Per-PC 2-bit saturating counter table.
+class BimodalPredictor final : public BranchPredictor {
+ public:
+  explicit BimodalPredictor(std::uint32_t table_bits);
+
+ protected:
+  bool predict(std::uint64_t pc) override;
+  void update(std::uint64_t pc, bool taken) override;
+
+ private:
+  std::size_t index(std::uint64_t pc) const;
+  std::vector<std::uint8_t> table_;  // 2-bit counters, init weakly taken
+  std::uint64_t mask_;
+};
+
+/// Gshare: global history register XORed into the PC index.
+class GsharePredictor final : public BranchPredictor {
+ public:
+  GsharePredictor(std::uint32_t table_bits, std::uint32_t history_bits);
+
+ protected:
+  bool predict(std::uint64_t pc) override;
+  void update(std::uint64_t pc, bool taken) override;
+
+ private:
+  std::size_t index(std::uint64_t pc) const;
+  std::vector<std::uint8_t> table_;
+  std::uint64_t table_mask_;
+  std::uint64_t history_ = 0;
+  std::uint64_t history_mask_;
+};
+
+/// Factory from the machine configuration.
+std::unique_ptr<BranchPredictor> make_predictor(const MachineConfig& config);
+
+}  // namespace perspector::sim

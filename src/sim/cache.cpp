@@ -1,0 +1,162 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace perspector::sim {
+
+Cache::Cache(const CacheGeometry& geometry, std::uint64_t seed)
+    : geometry_(geometry), rng_(seed) {
+  if (geometry.line_bytes == 0 || !std::has_single_bit(geometry.line_bytes)) {
+    throw std::invalid_argument("Cache: line_bytes must be a power of two");
+  }
+  if (geometry.ways == 0) {
+    throw std::invalid_argument("Cache: ways must be > 0");
+  }
+  const std::uint64_t lines_total = geometry.size_bytes / geometry.line_bytes;
+  if (lines_total == 0 || lines_total % geometry.ways != 0) {
+    throw std::invalid_argument("Cache: size/line/ways geometry inconsistent");
+  }
+  sets_ = lines_total / geometry.ways;
+  pow2_sets_ = std::has_single_bit(sets_);
+  set_shift_ =
+      pow2_sets_ ? static_cast<std::uint32_t>(std::countr_zero(sets_)) : 0;
+  line_shift_ = static_cast<std::uint64_t>(std::countr_zero(geometry.line_bytes));
+  lines_.resize(sets_ * geometry.ways);
+
+  if (geometry.replacement == ReplacementPolicy::Plru) {
+    if (!std::has_single_bit(static_cast<std::uint64_t>(geometry.ways))) {
+      throw std::invalid_argument(
+          "Cache: tree-PLRU requires a power-of-two way count");
+    }
+    plru_bits_.assign(sets_, 0);
+  }
+}
+
+std::uint32_t Cache::find_way(std::size_t set, std::uint64_t tag) const {
+  const Line* base = &lines_[set * geometry_.ways];
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return w;
+  }
+  return geometry_.ways;
+}
+
+std::uint32_t Cache::pick_victim(std::size_t set) {
+  Line* base = &lines_[set * geometry_.ways];
+  // Invalid ways first, regardless of policy.
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (!base[w].valid) return w;
+  }
+  switch (geometry_.replacement) {
+    case ReplacementPolicy::Lru: {
+      std::uint32_t victim = 0;
+      for (std::uint32_t w = 1; w < geometry_.ways; ++w) {
+        if (base[w].lru < base[victim].lru) victim = w;
+      }
+      return victim;
+    }
+    case ReplacementPolicy::Random: {
+      return static_cast<std::uint32_t>(rng_() % geometry_.ways);
+    }
+    case ReplacementPolicy::Plru: {
+      // Walk the tree following the cold direction at each node. Node
+      // numbering: root = 1, children of n are 2n and 2n+1; leaves map to
+      // ways. Bit set means "right subtree was used more recently", so the
+      // cold path follows set bits to the LEFT... we use the standard
+      // convention: bit==0 -> go left is cold? We store "last used side":
+      // 0 = left used, so victim is right; 1 = right used, victim left.
+      std::uint32_t node = 1;
+      std::uint32_t levels = std::countr_zero(geometry_.ways);
+      const std::uint32_t bits = plru_bits_[set];
+      for (std::uint32_t level = 0; level < levels; ++level) {
+        const bool right_used = (bits >> node) & 1u;
+        node = 2 * node + (right_used ? 0 : 1);
+      }
+      return node - geometry_.ways;
+    }
+  }
+  throw std::logic_error("Cache: unknown replacement policy");
+}
+
+void Cache::touch_way(std::size_t set, std::uint32_t way) {
+  ++lru_clock_;
+  lines_[set * geometry_.ways + way].lru = lru_clock_;
+  if (geometry_.replacement == ReplacementPolicy::Plru) {
+    // Update the path bits: record which side of each node was used.
+    std::uint32_t leaf = way + geometry_.ways;
+    std::uint32_t bits = plru_bits_[set];
+    while (leaf > 1) {
+      const std::uint32_t parent = leaf / 2;
+      const bool is_right = (leaf & 1u) != 0;
+      if (is_right) {
+        bits |= (1u << parent);
+      } else {
+        bits &= ~(1u << parent);
+      }
+      leaf = parent;
+    }
+    plru_bits_[set] = bits;
+  }
+}
+
+bool Cache::install(std::size_t set, std::uint64_t tag, bool dirty) {
+  const std::uint32_t victim_way = pick_victim(set);
+  Line& victim = lines_[set * geometry_.ways + victim_way];
+  const bool writeback = victim.valid && victim.dirty;
+  victim.valid = true;
+  victim.dirty = dirty;
+  victim.tag = tag;
+  touch_way(set, victim_way);
+  return writeback;
+}
+
+bool Cache::access(std::uint64_t address, AccessType type) {
+  const std::uint64_t line_addr = address >> line_shift_;
+  const std::size_t set = set_index(line_addr);
+  const std::uint64_t tag = tag_of(line_addr);
+  const bool is_store = type == AccessType::Store;
+  if (is_store) {
+    ++stats_.stores;
+  } else {
+    ++stats_.loads;
+  }
+
+  const std::uint32_t way = find_way(set, tag);
+  if (way < geometry_.ways) {
+    touch_way(set, way);
+    if (is_store) lines_[set * geometry_.ways + way].dirty = true;
+    return true;
+  }
+
+  if (is_store) {
+    ++stats_.store_misses;
+  } else {
+    ++stats_.load_misses;
+  }
+  if (install(set, tag, is_store)) ++stats_.writebacks;
+  return false;
+}
+
+bool Cache::prefetch_fill(std::uint64_t address) {
+  const std::uint64_t line_addr = address >> line_shift_;
+  const std::size_t set = set_index(line_addr);
+  const std::uint64_t tag = tag_of(line_addr);
+  if (find_way(set, tag) < geometry_.ways) return false;  // already present
+  if (install(set, tag, /*dirty=*/false)) ++stats_.writebacks;
+  ++stats_.prefetch_fills;
+  return true;
+}
+
+bool Cache::contains(std::uint64_t address) const {
+  const std::uint64_t line_addr = address >> line_shift_;
+  return find_way(set_index(line_addr), tag_of(line_addr)) < geometry_.ways;
+}
+
+void Cache::flush() {
+  for (Line& line : lines_) line = Line{};
+  if (!plru_bits_.empty()) {
+    plru_bits_.assign(plru_bits_.size(), 0);
+  }
+}
+
+}  // namespace perspector::sim

@@ -1,0 +1,27 @@
+#include "sim/machine_config.hpp"
+
+namespace perspector::sim {
+
+const char* to_string(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::Lru:
+      return "lru";
+    case ReplacementPolicy::Random:
+      return "random";
+    case ReplacementPolicy::Plru:
+      return "plru";
+  }
+  return "unknown";
+}
+
+MachineConfig MachineConfig::tiny() {
+  MachineConfig c;
+  c.l1d = {.size_bytes = 1024, .line_bytes = 64, .ways = 2};
+  c.l2 = {.size_bytes = 4096, .line_bytes = 64, .ways = 4};
+  c.llc = {.size_bytes = 16 * 1024, .line_bytes = 64, .ways = 4};
+  c.dtlb = {.entries = 4, .ways = 2};
+  c.stlb = {.entries = 16, .ways = 4};
+  return c;
+}
+
+}  // namespace perspector::sim

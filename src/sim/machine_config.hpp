@@ -1,0 +1,90 @@
+// Machine model parameters, mirroring the paper's evaluation platform
+// (Table II: Xeon E-2186G) scaled to the single simulated core.
+#pragma once
+
+#include <cstdint>
+
+namespace perspector::sim {
+
+/// Cache replacement policy.
+enum class ReplacementPolicy : std::uint8_t {
+  Lru,     // true LRU (default)
+  Random,  // uniform random victim
+  Plru,    // tree pseudo-LRU (requires power-of-two ways)
+};
+
+const char* to_string(ReplacementPolicy policy);
+
+/// Geometry of one set-associative cache.
+struct CacheGeometry {
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint64_t line_bytes = 64;
+  std::uint32_t ways = 8;
+  ReplacementPolicy replacement = ReplacementPolicy::Lru;
+};
+
+/// Geometry of one TLB level.
+struct TlbGeometry {
+  std::uint32_t entries = 64;
+  std::uint32_t ways = 4;
+};
+
+/// Full single-core machine description.
+struct MachineConfig {
+  CacheGeometry l1d{.size_bytes = 32 * 1024, .line_bytes = 64, .ways = 8};
+  CacheGeometry l2{.size_bytes = 256 * 1024, .line_bytes = 64, .ways = 4};
+  CacheGeometry llc{.size_bytes = 12 * 1024 * 1024, .line_bytes = 64,
+                    .ways = 16};
+
+  TlbGeometry dtlb{.entries = 64, .ways = 4};
+  TlbGeometry stlb{.entries = 1536, .ways = 12};
+
+  std::uint64_t page_bytes = 4096;
+
+  // Access latencies in cycles (load-to-use).
+  std::uint32_t l1_hit_cycles = 4;
+  std::uint32_t l2_hit_cycles = 12;
+  std::uint32_t llc_hit_cycles = 42;
+  std::uint32_t dram_cycles = 200;
+
+  // TLB costs.
+  std::uint32_t stlb_hit_cycles = 7;     // L1 dTLB miss, STLB hit
+  std::uint32_t page_walk_cycles = 60;   // full walk after STLB miss
+  std::uint32_t page_fault_cycles = 2500;  // first-touch minor fault
+
+  // Pipeline.
+  double base_cpi = 0.35;                 // issue cost per instruction
+  double fp_extra_cpi = 0.75;             // additional cost of an FP op
+  std::uint32_t branch_misprediction_cycles = 15;
+
+  /// Branch predictor selection for the core model.
+  enum class Predictor : std::uint8_t { AlwaysTaken, Bimodal, Gshare };
+  Predictor predictor = Predictor::Gshare;
+  std::uint32_t predictor_table_bits = 12;  // 4K-entry tables
+  std::uint32_t gshare_history_bits = 10;
+
+  /// Hardware prefetcher at the L2 level.
+  enum class Prefetcher : std::uint8_t {
+    None,      // default — no prefetching
+    NextLine,  // fetch line+1 on every L1 miss
+    Stride,    // per-region stride detector (16-entry table)
+  };
+  Prefetcher prefetcher = Prefetcher::None;
+  std::uint32_t prefetch_table_entries = 16;  // Stride detector size
+
+  // System background activity (OS ticks, page cache, interrupt handlers):
+  // a low-rate random-access stream over a large shared region. On real
+  // hardware no counter stream is ever exactly zero; this floor keeps the
+  // simulated counters equally non-degenerate.
+  double background_access_rate = 0.002;  // accesses per instruction
+  std::uint64_t background_region_bytes = 64ull * 1024 * 1024;
+
+  /// The paper's evaluation machine (Table II), single-core slice:
+  /// per-core L1D 32 KiB / L2 256 KiB, shared 12 MiB LLC.
+  static MachineConfig xeon_e2186g() { return MachineConfig{}; }
+
+  /// A deliberately small machine for fast unit tests.
+  static MachineConfig tiny();
+};
+
+}  // namespace perspector::sim

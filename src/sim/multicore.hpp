@@ -1,0 +1,42 @@
+// Multicore co-location simulator: several workloads on private cores
+// (own L1/L2/TLB/predictor) behind one shared LLC — the Table II machine's
+// actual topology (6 cores, 12 MiB shared L3).
+//
+// Workloads are interleaved round-robin in fixed instruction quanta, so
+// their LLC working sets genuinely contend. Each core reports its own PMU
+// counters, exactly like per-core `perf stat`. Used by the co-location
+// bench to show how suite scores shift when measured under contention —
+// the "tune for a target system" use case of the paper's abstract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine_config.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workload.hpp"
+
+namespace perspector::sim {
+
+/// Knobs of a co-located run.
+struct MulticoreOptions {
+  /// Instructions per scheduling quantum per core.
+  std::uint64_t quantum = 10'000;
+  /// PMU sampling interval per core (instructions).
+  std::uint64_t sample_interval = 20'000;
+  std::uint64_t seed = 1;
+  bool collect_series = true;
+};
+
+/// Runs `workloads` concurrently on one core each behind a shared LLC.
+/// Returns one SimResult per workload (order preserved). Workloads with
+/// smaller instruction budgets finish earlier and stop contending, exactly
+/// as real co-runners do.
+///
+/// Throws std::invalid_argument on an empty workload list, a zero quantum,
+/// or any invalid workload spec.
+std::vector<SimResult> simulate_colocated(
+    const std::vector<WorkloadSpec>& workloads, const MachineConfig& machine,
+    const MulticoreOptions& options = {});
+
+}  // namespace perspector::sim

@@ -1,0 +1,127 @@
+#include "sim/multiplex.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace perspector::sim {
+
+double MultiplexResult::mean_total_error_pct() const {
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t e = 0; e < totals.size(); ++e) {
+    if (true_totals[e] <= 0.0) continue;
+    total += 100.0 * std::abs(totals[e] - true_totals[e]) / true_totals[e];
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+MultiplexResult simulate_multiplexing(
+    const std::vector<std::vector<double>>& true_series,
+    const MultiplexOptions& options) {
+  if (true_series.empty()) {
+    throw std::invalid_argument("simulate_multiplexing: no events");
+  }
+  const std::size_t events = true_series.size();
+  const std::size_t intervals = true_series.front().size();
+  if (intervals == 0) {
+    throw std::invalid_argument("simulate_multiplexing: empty series");
+  }
+  for (const auto& s : true_series) {
+    if (s.size() != intervals) {
+      throw std::invalid_argument(
+          "simulate_multiplexing: ragged event series");
+    }
+  }
+  if (options.hardware_counters == 0) {
+    throw std::invalid_argument(
+        "simulate_multiplexing: hardware_counters must be > 0");
+  }
+  if (options.rotation_interval == 0) {
+    throw std::invalid_argument(
+        "simulate_multiplexing: rotation_interval must be > 0");
+  }
+
+  const std::size_t groups =
+      (events + options.hardware_counters - 1) / options.hardware_counters;
+
+  MultiplexResult result;
+  result.series.assign(events, std::vector<double>(intervals, -1.0));
+  result.totals.assign(events, 0.0);
+  result.true_totals.assign(events, 0.0);
+  for (std::size_t e = 0; e < events; ++e) {
+    for (double v : true_series[e]) result.true_totals[e] += v;
+  }
+
+  if (groups <= 1) {
+    // Everything fits on the hardware: exact observation.
+    result.series = true_series;
+    result.totals = result.true_totals;
+    return result;
+  }
+
+  stats::Rng rng(options.seed);
+  const std::size_t phase =
+      static_cast<std::size_t>(rng.uniform_int(0, groups - 1));
+
+  // Observation pass: group g owns events [g*hw, (g+1)*hw); the active
+  // group changes every rotation_interval intervals.
+  std::vector<double> observed_sum(events, 0.0);
+  std::vector<std::size_t> observed_intervals(events, 0);
+  for (std::size_t t = 0; t < intervals; ++t) {
+    const std::size_t active =
+        (t / options.rotation_interval + phase) % groups;
+    const std::size_t lo = active * options.hardware_counters;
+    const std::size_t hi =
+        std::min(events, lo + options.hardware_counters);
+    for (std::size_t e = lo; e < hi; ++e) {
+      result.series[e][t] = true_series[e][t];
+      observed_sum[e] += true_series[e][t];
+      ++observed_intervals[e];
+    }
+  }
+
+  // Totals: perf-style duty-cycle scaling. An event observed during a
+  // fraction f of the run reports observed_sum / f.
+  for (std::size_t e = 0; e < events; ++e) {
+    if (observed_intervals[e] == 0) {
+      result.totals[e] = 0.0;  // event never scheduled (more events than
+                               // rotation slots in a very short run)
+      continue;
+    }
+    const double duty = static_cast<double>(observed_intervals[e]) /
+                        static_cast<double>(intervals);
+    result.totals[e] = observed_sum[e] / duty;
+  }
+
+  // Series reconstruction: linear interpolation across unobserved gaps
+  // (what a consumer of `perf stat -I` effectively sees after resampling).
+  for (std::size_t e = 0; e < events; ++e) {
+    auto& s = result.series[e];
+    // Leading gap: backfill with the first observation.
+    std::size_t first = 0;
+    while (first < intervals && s[first] < 0.0) ++first;
+    if (first == intervals) {
+      // Never observed; flat zero estimate.
+      std::fill(s.begin(), s.end(), 0.0);
+      continue;
+    }
+    for (std::size_t t = 0; t < first; ++t) s[t] = s[first];
+    std::size_t prev = first;
+    for (std::size_t t = first + 1; t < intervals; ++t) {
+      if (s[t] < 0.0) continue;
+      // Fill (prev, t) linearly.
+      const double step = (s[t] - s[prev]) / static_cast<double>(t - prev);
+      for (std::size_t g = prev + 1; g < t; ++g) {
+        s[g] = s[prev] + step * static_cast<double>(g - prev);
+      }
+      prev = t;
+    }
+    for (std::size_t t = prev + 1; t < intervals; ++t) s[t] = s[prev];
+  }
+  return result;
+}
+
+}  // namespace perspector::sim

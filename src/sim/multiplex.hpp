@@ -1,0 +1,49 @@
+// PMU time-multiplexing model (paper footnote 1).
+//
+// Real PMUs can only count a handful of events at once; when more events
+// are requested, the kernel rotates event groups onto the hardware counters
+// and scales each observed count by time_enabled/time_running — introducing
+// estimation error. The paper limits itself to 14 events for exactly this
+// reason. This model reproduces the mechanism so the error can be
+// quantified against ground truth (see bench_multiplexing).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace perspector::sim {
+
+/// Knobs of the multiplexing model.
+struct MultiplexOptions {
+  /// Number of events the hardware can count simultaneously.
+  std::size_t hardware_counters = 4;
+  /// Group rotation period, in sampling intervals.
+  std::size_t rotation_interval = 1;
+  /// Rotate the starting group per run (kernel-dependent phase).
+  std::uint64_t seed = 5;
+};
+
+/// Result of multiplexed observation of a set of true event series.
+struct MultiplexResult {
+  /// Estimated per-interval series, same shape as the input. Unobserved
+  /// intervals are filled by linear interpolation between observed ones.
+  std::vector<std::vector<double>> series;
+  /// Estimated event totals (observed sums scaled by 1/duty-cycle — the
+  /// perf time_enabled/time_running correction).
+  std::vector<double> totals;
+  /// Ground-truth totals, for error reporting.
+  std::vector<double> true_totals;
+
+  /// Mean over events of |estimated - true| / true (events with zero true
+  /// total are skipped), in percent.
+  double mean_total_error_pct() const;
+};
+
+/// Simulates multiplexed observation of `true_series` (indexed
+/// [event][interval]; all events must have equal length >= 1).
+/// With hardware_counters >= #events the result is exact.
+MultiplexResult simulate_multiplexing(
+    const std::vector<std::vector<double>>& true_series,
+    const MultiplexOptions& options = {});
+
+}  // namespace perspector::sim

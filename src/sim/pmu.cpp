@@ -1,0 +1,119 @@
+#include "sim/pmu.hpp"
+
+#include <stdexcept>
+
+namespace perspector::sim {
+
+std::string_view to_string(PmuEvent event) {
+  switch (event) {
+    case PmuEvent::CpuCycles:
+      return "cpu-cycles";
+    case PmuEvent::BranchInstructions:
+      return "branch-instructions";
+    case PmuEvent::BranchMisses:
+      return "branch-misses";
+    case PmuEvent::DtlbWalkPending:
+      return "dtlb_misses.walk_pending";
+    case PmuEvent::StallsMemAny:
+      return "cycle_activity.stalls_mem_any";
+    case PmuEvent::PageFaults:
+      return "page-faults";
+    case PmuEvent::DtlbLoads:
+      return "dTLB-loads";
+    case PmuEvent::DtlbStores:
+      return "dTLB-stores";
+    case PmuEvent::DtlbLoadMisses:
+      return "dTLB-load-misses";
+    case PmuEvent::DtlbStoreMisses:
+      return "dTLB-store-misses";
+    case PmuEvent::LlcLoads:
+      return "LLC-loads";
+    case PmuEvent::LlcStores:
+      return "LLC-stores";
+    case PmuEvent::LlcLoadMisses:
+      return "LLC-load-misses";
+    case PmuEvent::LlcStoreMisses:
+      return "LLC-store-misses";
+  }
+  return "unknown";
+}
+
+std::span<const PmuEvent> all_pmu_events() {
+  static constexpr std::array<PmuEvent, kPmuEventCount> kAll = {
+      PmuEvent::CpuCycles,       PmuEvent::BranchInstructions,
+      PmuEvent::BranchMisses,    PmuEvent::DtlbWalkPending,
+      PmuEvent::StallsMemAny,    PmuEvent::PageFaults,
+      PmuEvent::DtlbLoads,       PmuEvent::DtlbStores,
+      PmuEvent::DtlbLoadMisses,  PmuEvent::DtlbStoreMisses,
+      PmuEvent::LlcLoads,        PmuEvent::LlcStores,
+      PmuEvent::LlcLoadMisses,   PmuEvent::LlcStoreMisses,
+  };
+  return kAll;
+}
+
+std::vector<std::string> pmu_event_names() {
+  std::vector<std::string> names;
+  names.reserve(kPmuEventCount);
+  for (PmuEvent e : all_pmu_events()) names.emplace_back(to_string(e));
+  return names;
+}
+
+PmuCounterSet PmuCounterSet::delta_since(const PmuCounterSet& earlier) const {
+  PmuCounterSet d;
+  for (std::size_t i = 0; i < kPmuEventCount; ++i) {
+    if (values[i] < earlier.values[i]) {
+      throw std::invalid_argument(
+          "PmuCounterSet::delta_since: snapshots out of order");
+    }
+    d.values[i] = values[i] - earlier.values[i];
+  }
+  return d;
+}
+
+std::vector<double> PmuCounterSet::as_vector() const {
+  return {values.begin(), values.end()};
+}
+
+PmuSampler::PmuSampler(std::uint64_t interval_instructions)
+    : interval_(interval_instructions), next_boundary_(interval_instructions) {
+  if (interval_ == 0) {
+    throw std::invalid_argument("PmuSampler: interval must be > 0");
+  }
+}
+
+void PmuSampler::maybe_sample(std::uint64_t instructions_retired,
+                              const PmuCounterSet& counters) {
+  while (instructions_retired >= next_boundary_) {
+    samples_.push_back(counters.delta_since(last_snapshot_));
+    last_snapshot_ = counters;
+    last_sampled_instructions_ = instructions_retired;
+    next_boundary_ += interval_;
+  }
+}
+
+void PmuSampler::finalize(std::uint64_t instructions_retired,
+                          const PmuCounterSet& counters) {
+  if (instructions_retired > last_sampled_instructions_) {
+    samples_.push_back(counters.delta_since(last_snapshot_));
+    last_snapshot_ = counters;
+    last_sampled_instructions_ = instructions_retired;
+  }
+}
+
+std::vector<double> PmuSampler::series(PmuEvent event) const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) {
+    out.push_back(static_cast<double>(s[event]));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> PmuSampler::all_series() const {
+  std::vector<std::vector<double>> out;
+  out.reserve(kPmuEventCount);
+  for (PmuEvent e : all_pmu_events()) out.push_back(series(e));
+  return out;
+}
+
+}  // namespace perspector::sim

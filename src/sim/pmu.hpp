@@ -1,0 +1,100 @@
+// PMU counter model — the 14 events of the paper's Table IV.
+//
+// `PmuCounterSet` is one snapshot of all counters; `PmuSampler` turns
+// periodic snapshots into per-event time series (the equivalent of
+// `perf stat -I`).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace perspector::sim {
+
+/// The hardware events collected by the paper (Table IV).
+enum class PmuEvent : std::size_t {
+  CpuCycles = 0,        // cpu-cycles
+  BranchInstructions,   // branch-instructions
+  BranchMisses,         // branch-misses
+  DtlbWalkPending,      // dtlb_load+store_misses.walk_pending (cycles)
+  StallsMemAny,         // cycle_activity.stalls_mem_any (cycles)
+  PageFaults,           // page-faults
+  DtlbLoads,            // dTLB-loads
+  DtlbStores,           // dTLB-stores
+  DtlbLoadMisses,       // dTLB-load-misses
+  DtlbStoreMisses,      // dTLB-store-misses
+  LlcLoads,             // LLC-loads
+  LlcStores,            // LLC-stores
+  LlcLoadMisses,        // LLC-load-misses
+  LlcStoreMisses,       // LLC-store-misses
+};
+
+inline constexpr std::size_t kPmuEventCount = 14;
+
+/// perf-style event name ("cpu-cycles", "LLC-load-misses", ...).
+std::string_view to_string(PmuEvent event);
+
+/// All events in enum order.
+std::span<const PmuEvent> all_pmu_events();
+
+/// All event names in enum order.
+std::vector<std::string> pmu_event_names();
+
+/// One snapshot of all Table IV counters (monotonically increasing over a
+/// run).
+struct PmuCounterSet {
+  std::array<std::uint64_t, kPmuEventCount> values{};
+
+  std::uint64_t& operator[](PmuEvent e) {
+    return values[static_cast<std::size_t>(e)];
+  }
+  std::uint64_t operator[](PmuEvent e) const {
+    return values[static_cast<std::size_t>(e)];
+  }
+
+  /// Element-wise difference (this - earlier); throws std::invalid_argument
+  /// if any counter would go negative (snapshots out of order).
+  PmuCounterSet delta_since(const PmuCounterSet& earlier) const;
+
+  /// Counter vector as doubles, enum order.
+  std::vector<double> as_vector() const;
+
+  bool operator==(const PmuCounterSet&) const = default;
+};
+
+/// Collects counter snapshots every `interval_instructions` and exposes the
+/// per-event *delta* time series — the same data `perf stat -I` emits.
+class PmuSampler {
+ public:
+  /// Throws std::invalid_argument when the interval is zero.
+  explicit PmuSampler(std::uint64_t interval_instructions);
+
+  /// Called by the core after every instruction block; takes a snapshot
+  /// whenever the instruction count crosses a sampling boundary.
+  void maybe_sample(std::uint64_t instructions_retired,
+                    const PmuCounterSet& counters);
+
+  /// Forces a final snapshot at end-of-run (if new instructions elapsed).
+  void finalize(std::uint64_t instructions_retired,
+                const PmuCounterSet& counters);
+
+  std::uint64_t interval() const noexcept { return interval_; }
+  std::size_t sample_count() const noexcept { return samples_.size(); }
+
+  /// Delta time series for one event (length == sample_count()).
+  std::vector<double> series(PmuEvent event) const;
+
+  /// All series, indexed [event][sample].
+  std::vector<std::vector<double>> all_series() const;
+
+ private:
+  std::uint64_t interval_;
+  std::uint64_t next_boundary_;
+  std::uint64_t last_sampled_instructions_ = 0;
+  PmuCounterSet last_snapshot_{};
+  std::vector<PmuCounterSet> samples_;  // per-interval deltas
+};
+
+}  // namespace perspector::sim

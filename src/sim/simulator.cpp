@@ -1,0 +1,78 @@
+#include "sim/simulator.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace perspector::sim {
+
+namespace {
+
+std::uint64_t workload_seed(std::uint64_t base, const std::string& name) {
+  return base ^ std::hash<std::string>{}(name);
+}
+
+}  // namespace
+
+const std::vector<double>& SimResult::series_for(PmuEvent event) const {
+  const auto idx = static_cast<std::size_t>(event);
+  if (idx >= series.size()) {
+    throw std::out_of_range("SimResult::series_for: series not collected");
+  }
+  return series[idx];
+}
+
+SimResult simulate(const WorkloadSpec& workload, const MachineConfig& machine,
+                   const SimOptions& options) {
+  workload.validate();
+
+  CoreModel core(machine, workload_seed(options.seed, workload.name));
+  PmuSampler sampler(options.sample_interval);
+  PmuSampler* sampler_ptr = options.collect_series ? &sampler : nullptr;
+
+  // Apportion the instruction budget across phases by weight; rounding
+  // remainders go to the last phase so the total is exact.
+  double total_weight = 0.0;
+  for (const auto& phase : workload.phases) total_weight += phase.weight;
+
+  std::uint64_t spent = 0;
+  for (std::size_t p = 0; p < workload.phases.size(); ++p) {
+    std::uint64_t budget;
+    if (p + 1 == workload.phases.size()) {
+      budget = workload.instructions - spent;
+    } else {
+      budget = static_cast<std::uint64_t>(std::llround(
+          static_cast<double>(workload.instructions) *
+          workload.phases[p].weight / total_weight));
+      budget = std::min(budget, workload.instructions - spent);
+    }
+    core.run_phase(workload.phases[p], budget, p, sampler_ptr);
+    spent += budget;
+  }
+
+  if (sampler_ptr) {
+    sampler.finalize(core.instructions_retired(), core.counters());
+  }
+
+  SimResult result;
+  result.workload = workload.name;
+  result.totals = core.counters();
+  result.instructions = core.instructions_retired();
+  result.cycles = core.cycles();
+  if (options.collect_series) result.series = sampler.all_series();
+  return result;
+}
+
+std::vector<SimResult> simulate_suite(const SuiteSpec& suite,
+                                      const MachineConfig& machine,
+                                      const SimOptions& options) {
+  suite.validate();
+  std::vector<SimResult> results;
+  results.reserve(suite.workloads.size());
+  for (const auto& workload : suite.workloads) {
+    results.push_back(simulate(workload, machine, options));
+  }
+  return results;
+}
+
+}  // namespace perspector::sim

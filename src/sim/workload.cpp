@@ -1,0 +1,75 @@
+#include "sim/workload.hpp"
+
+#include <stdexcept>
+
+namespace perspector::sim {
+
+void WorkloadSpec::validate() const {
+  if (name.empty()) {
+    throw std::invalid_argument("WorkloadSpec: name must not be empty");
+  }
+  if (instructions == 0) {
+    throw std::invalid_argument("WorkloadSpec '" + name +
+                                "': instruction budget must be > 0");
+  }
+  if (phases.empty()) {
+    throw std::invalid_argument("WorkloadSpec '" + name +
+                                "': at least one phase required");
+  }
+  double total_weight = 0.0;
+  for (const PhaseSpec& phase : phases) {
+    const std::string where = "WorkloadSpec '" + name + "' phase '" +
+                              phase.name + "'";
+    if (phase.weight <= 0.0) {
+      throw std::invalid_argument(where + ": weight must be > 0");
+    }
+    total_weight += phase.weight;
+    if (phase.load_frac < 0.0 || phase.store_frac < 0.0 ||
+        phase.branch_frac < 0.0 || phase.fp_frac < 0.0) {
+      throw std::invalid_argument(where + ": negative mix fraction");
+    }
+    if (phase.load_frac + phase.store_frac + phase.branch_frac +
+            phase.fp_frac >
+        1.0 + 1e-9) {
+      throw std::invalid_argument(where + ": mix fractions exceed 1");
+    }
+    if (phase.branch_taken_prob < 0.0 || phase.branch_taken_prob > 1.0) {
+      throw std::invalid_argument(where + ": branch_taken_prob out of [0,1]");
+    }
+    if (phase.branch_randomness < 0.0 || phase.branch_randomness > 1.0) {
+      throw std::invalid_argument(where + ": branch_randomness out of [0,1]");
+    }
+    if (phase.branch_sites == 0) {
+      throw std::invalid_argument(where + ": branch_sites must be > 0");
+    }
+    if (phase.pattern.working_set_bytes < 8) {
+      throw std::invalid_argument(where + ": working set too small");
+    }
+    if (phase.pattern.stride_bytes == 0) {
+      throw std::invalid_argument(where + ": stride must be > 0");
+    }
+  }
+  if (total_weight <= 0.0) {
+    throw std::invalid_argument("WorkloadSpec '" + name +
+                                "': total phase weight must be > 0");
+  }
+}
+
+std::vector<std::string> SuiteSpec::workload_names() const {
+  std::vector<std::string> names;
+  names.reserve(workloads.size());
+  for (const auto& w : workloads) names.push_back(w.name);
+  return names;
+}
+
+void SuiteSpec::validate() const {
+  if (name.empty()) {
+    throw std::invalid_argument("SuiteSpec: name must not be empty");
+  }
+  if (workloads.empty()) {
+    throw std::invalid_argument("SuiteSpec '" + name + "': no workloads");
+  }
+  for (const auto& w : workloads) w.validate();
+}
+
+}  // namespace perspector::sim

@@ -1,0 +1,60 @@
+// Workload and phase specifications — the synthetic stand-ins for real
+// benchmark binaries (see DESIGN.md, substitution table).
+//
+// A workload is an ordered list of phases; each phase fixes an instruction
+// mix, a memory access pattern, and a branch-behaviour profile. Phases run
+// sequentially, which is what gives workloads their time-varying (trend)
+// structure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/access_pattern.hpp"
+
+namespace perspector::sim {
+
+/// One execution phase of a workload.
+struct PhaseSpec {
+  std::string name = "phase";
+  /// Relative share of the workload's instruction budget.
+  double weight = 1.0;
+
+  // Instruction mix (fractions of all instructions; remainder is integer
+  // ALU work). Must be non-negative and sum to <= 1.
+  double load_frac = 0.25;
+  double store_frac = 0.10;
+  double branch_frac = 0.15;
+  double fp_frac = 0.00;
+
+  /// Data access stream for the loads/stores of this phase.
+  AccessPatternParams pattern;
+
+  // Branch behaviour.
+  double branch_taken_prob = 0.85;  // per-site bias
+  double branch_randomness = 0.10;  // fraction of fair-coin outcomes
+  std::uint32_t branch_sites = 64;  // distinct static branches
+};
+
+/// A complete synthetic workload.
+struct WorkloadSpec {
+  std::string name;
+  std::uint64_t instructions = 1'000'000;
+  std::vector<PhaseSpec> phases;
+
+  /// Validates mixes, weights, and patterns; throws std::invalid_argument
+  /// with a message naming the offending phase.
+  void validate() const;
+};
+
+/// A named collection of workloads — one benchmark suite.
+struct SuiteSpec {
+  std::string name;
+  std::vector<WorkloadSpec> workloads;
+
+  std::vector<std::string> workload_names() const;
+  void validate() const;
+};
+
+}  // namespace perspector::sim

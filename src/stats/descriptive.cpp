@@ -1,0 +1,117 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace perspector::stats {
+
+namespace {
+
+void require_non_empty(std::span<const double> xs, const char* what) {
+  if (xs.empty()) {
+    throw std::invalid_argument(std::string(what) + ": empty input");
+  }
+}
+
+}  // namespace
+
+double mean(std::span<const double> xs) {
+  require_non_empty(xs, "mean");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance_population(std::span<const double> xs) {
+  require_non_empty(xs, "variance_population");
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double variance_sample(std::span<const double> xs) {
+  if (xs.size() < 2) {
+    throw std::invalid_argument("variance_sample: need at least 2 values");
+  }
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev_population(std::span<const double> xs) {
+  return std::sqrt(variance_population(xs));
+}
+
+double stddev_sample(std::span<const double> xs) {
+  return std::sqrt(variance_sample(xs));
+}
+
+double min_value(std::span<const double> xs) {
+  require_non_empty(xs, "min_value");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  require_non_empty(xs, "max_value");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double sum(std::span<const double> xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  require_non_empty(xs, "percentile");
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p must be in [0,100]");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("pearson_correlation: size mismatch");
+  }
+  require_non_empty(xs, "pearson_correlation");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Summary summarize(std::span<const double> xs) {
+  require_non_empty(xs, "summarize");
+  Summary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.stddev = xs.size() >= 2 ? stddev_sample(xs) : 0.0;
+  s.min = min_value(xs);
+  s.max = max_value(xs);
+  s.median = median(xs);
+  s.p25 = percentile(xs, 25.0);
+  s.p75 = percentile(xs, 75.0);
+  return s;
+}
+
+}  // namespace perspector::stats

@@ -1,0 +1,53 @@
+// Descriptive statistics: means, variances, percentiles, correlation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace perspector::stats {
+
+/// Arithmetic mean; throws std::invalid_argument on an empty input.
+double mean(std::span<const double> xs);
+
+/// Population variance (denominator n).
+double variance_population(std::span<const double> xs);
+
+/// Sample variance (denominator n-1); requires at least two values.
+double variance_sample(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev_population(std::span<const double> xs);
+
+/// Sample standard deviation.
+double stddev_sample(std::span<const double> xs);
+
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+double sum(std::span<const double> xs);
+
+/// Median (linear-interpolated between middle elements for even sizes).
+double median(std::span<const double> xs);
+
+/// p-th percentile, p in [0,100], with linear interpolation between closest
+/// ranks (the "linear" / numpy default convention).
+double percentile(std::span<const double> xs, double p);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys);
+
+/// All-in-one summary used by reports.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev (0 when count < 2)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace perspector::stats

@@ -1,0 +1,45 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace perspector::stats {
+
+Ecdf::Ecdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  if (sorted_.empty()) {
+    throw std::invalid_argument("Ecdf: empty sample");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (q <= 0.0) return sorted_.front();
+  if (q >= 1.0) return sorted_.back();
+  const auto n = static_cast<double>(sorted_.size());
+  auto idx = static_cast<std::size_t>(std::max(0.0, q * n - 1.0));
+  // Smallest value whose CDF reaches q: ceil(q*n) values must be <= it.
+  while (idx + 1 < sorted_.size() &&
+         static_cast<double>(idx + 1) / n < q) {
+    ++idx;
+  }
+  return sorted_[idx];
+}
+
+std::vector<double> cdf_normalize_to_percentiles(std::span<const double> xs) {
+  if (xs.empty()) return {};
+  const Ecdf cdf(xs);
+  std::vector<double> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i] = cdf.percentile_of(xs[i]);
+  }
+  return out;
+}
+
+}  // namespace perspector::stats

@@ -1,0 +1,40 @@
+// Empirical cumulative distribution function.
+//
+// Used by the trend-score normalization (paper Fig. 1 / Section III-B-1):
+// each counter time series is mapped through its own empirical CDF so the
+// y-axis becomes a percentile in [0, 100].
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace perspector::stats {
+
+/// Empirical CDF of a fixed sample.
+class Ecdf {
+ public:
+  /// Builds the ECDF from a sample; throws std::invalid_argument when empty.
+  explicit Ecdf(std::span<const double> sample);
+
+  /// F(x) = (# sample values <= x) / n, in [0, 1].
+  double operator()(double x) const;
+
+  /// F(x) expressed as a percentile in [0, 100].
+  double percentile_of(double x) const { return 100.0 * (*this)(x); }
+
+  /// Inverse CDF (quantile function): smallest sample value v with
+  /// F(v) >= q, for q in (0, 1]; q <= 0 returns the minimum.
+  double quantile(double q) const;
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Maps each element of `xs` through the ECDF of `xs` itself, yielding
+/// percentile values in [0, 100]. This is the paper's y-axis normalization
+/// for trend analysis.
+std::vector<double> cdf_normalize_to_percentiles(std::span<const double> xs);
+
+}  // namespace perspector::stats

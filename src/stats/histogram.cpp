@@ -1,0 +1,76 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace perspector::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (hi <= lo) throw std::invalid_argument("Histogram: hi must exceed lo");
+}
+
+void Histogram::add(double x) {
+  double clamped_x = x;
+  if (x < lo_ || x > hi_) {
+    ++clamped_;
+    clamped_x = std::clamp(x, lo_, hi_);
+  }
+  const double t = (clamped_x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::size_t>(t * static_cast<double>(counts_.size()));
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::count");
+  return counts_[bin];
+}
+
+double Histogram::frequency(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_hi");
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(bin + 1);
+}
+
+std::size_t Histogram::occupied_bins() const {
+  return static_cast<std::size_t>(
+      std::count_if(counts_.begin(), counts_.end(),
+                    [](std::size_t c) { return c > 0; }));
+}
+
+std::string Histogram::to_ascii(std::size_t width) const {
+  std::ostringstream os;
+  const std::size_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * width / std::max<std::size_t>(peak, 1);
+    os << std::fixed << std::setprecision(3) << "[" << bin_lo(b) << ", "
+       << bin_hi(b) << ") " << std::string(bar, '#') << " " << counts_[b]
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace perspector::stats

@@ -1,0 +1,50 @@
+// Fixed-width histogram used by reports and the Fig. 2 (coverage vs spread)
+// demonstration bench.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace perspector::stats {
+
+/// Fixed-width histogram over a closed range [lo, hi].
+class Histogram {
+ public:
+  /// Throws std::invalid_argument when bins == 0 or hi <= lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one observation; values outside [lo, hi] are clamped to the edge
+  /// bins and counted in `clamped()`.
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  std::size_t clamped() const noexcept { return clamped_; }
+  std::size_t count(std::size_t bin) const;
+
+  /// Fraction of observations in a bin (0 when empty).
+  double frequency(std::size_t bin) const;
+
+  /// Inclusive lower edge of a bin.
+  double bin_lo(std::size_t bin) const;
+  /// Exclusive upper edge of a bin (inclusive for the last bin).
+  double bin_hi(std::size_t bin) const;
+
+  /// Number of non-empty bins — a crude occupancy measure of how much of the
+  /// range the sample touches.
+  std::size_t occupied_bins() const;
+
+  /// ASCII bar rendering for report output.
+  std::string to_ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t clamped_ = 0;
+};
+
+}  // namespace perspector::stats

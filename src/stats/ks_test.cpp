@@ -1,0 +1,84 @@
+#include "stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace perspector::stats {
+
+KsResult ks_test_one_sample(std::span<const double> sample,
+                            const std::function<double(double)>& cdf) {
+  if (sample.empty()) {
+    throw std::invalid_argument("ks_test_one_sample: empty sample");
+  }
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    // Supremum over both sides of each step of the empirical CDF.
+    const double d_plus = static_cast<double>(i + 1) / n - f;
+    const double d_minus = f - static_cast<double>(i) / n;
+    d = std::max({d, d_plus, d_minus});
+  }
+  return {.statistic = d, .p_value = ks_p_value(d, n)};
+}
+
+KsResult ks_test_uniform(std::span<const double> sample, double lo,
+                         double hi) {
+  if (hi <= lo) {
+    throw std::invalid_argument("ks_test_uniform: hi must exceed lo");
+  }
+  return ks_test_one_sample(sample, [lo, hi](double x) {
+    if (x <= lo) return 0.0;
+    if (x >= hi) return 1.0;
+    return (x - lo) / (hi - lo);
+  });
+}
+
+KsResult ks_test_two_sample(std::span<const double> a,
+                            std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_test_two_sample: empty sample");
+  }
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const auto na = static_cast<double>(sa.size());
+  const auto nb = static_cast<double>(sb.size());
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    const double fa = static_cast<double>(i) / na;
+    const double fb = static_cast<double>(j) / nb;
+    d = std::max(d, std::abs(fa - fb));
+  }
+  const double n_eff = na * nb / (na + nb);
+  return {.statistic = d, .p_value = ks_p_value(d, n_eff)};
+}
+
+double ks_p_value(double d, double n_eff) {
+  if (d <= 0.0) return 1.0;
+  if (d >= 1.0) return 0.0;
+  // Asymptotic Kolmogorov distribution with the Stephens small-sample
+  // correction: lambda = (sqrt(n) + 0.12 + 0.11/sqrt(n)) * d.
+  const double sqrt_n = std::sqrt(n_eff);
+  const double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += (k % 2 == 1 ? 1.0 : -1.0) * term;
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+}  // namespace perspector::stats

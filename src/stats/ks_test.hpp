@@ -1,0 +1,37 @@
+// Kolmogorov-Smirnov tests.
+//
+// The SpreadScore (paper Eq. 14) uses the one-sample KS statistic (D-value)
+// of each normalized counter column against U(0,1): D in [0, 0.5] is read as
+// "weakly uniform". We implement both the exact one-sample statistic against
+// an analytic CDF and the two-sample statistic, plus the asymptotic p-value.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace perspector::stats {
+
+/// Result of a KS test.
+struct KsResult {
+  double statistic = 0.0;  // the D-value
+  double p_value = 1.0;    // asymptotic Kolmogorov distribution approximation
+};
+
+/// One-sample KS test of `sample` against an arbitrary continuous CDF.
+/// Throws std::invalid_argument on an empty sample.
+KsResult ks_test_one_sample(std::span<const double> sample,
+                            const std::function<double(double)>& cdf);
+
+/// One-sample KS test against the uniform distribution on [lo, hi].
+KsResult ks_test_uniform(std::span<const double> sample, double lo = 0.0,
+                         double hi = 1.0);
+
+/// Two-sample KS test (D statistic between the two empirical CDFs).
+KsResult ks_test_two_sample(std::span<const double> a,
+                            std::span<const double> b);
+
+/// Asymptotic p-value for KS statistic `d` with effective sample size `n_eff`
+/// (Kolmogorov distribution tail sum).
+double ks_p_value(double d, double n_eff);
+
+}  // namespace perspector::stats

@@ -1,0 +1,66 @@
+#include "stats/normalize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace perspector::stats {
+
+std::vector<double> minmax_normalize(std::span<const double> xs, double lo,
+                                     double hi) {
+  if (xs.empty()) return {};
+  const double xmin = min_value(xs);
+  const double xmax = max_value(xs);
+  return minmax_normalize_with_range(xs, xmin, xmax, lo, hi);
+}
+
+std::vector<double> minmax_normalize_with_range(std::span<const double> xs,
+                                                double xmin, double xmax,
+                                                double lo, double hi) {
+  if (hi <= lo) {
+    throw std::invalid_argument(
+        "minmax_normalize_with_range: target range must be non-empty");
+  }
+  std::vector<double> out(xs.size());
+  if (xmax <= xmin) {
+    std::fill(out.begin(), out.end(), (lo + hi) / 2.0);
+    return out;
+  }
+  const double scale = (hi - lo) / (xmax - xmin);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i] = std::clamp(lo + (xs[i] - xmin) * scale, lo, hi);
+  }
+  return out;
+}
+
+std::vector<double> zscore_normalize(std::span<const double> xs) {
+  if (xs.empty()) return {};
+  const double m = mean(xs);
+  const double sd = stddev_population(xs);
+  std::vector<double> out(xs.size());
+  if (sd == 0.0) return out;  // constant input -> zeros
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - m) / sd;
+  return out;
+}
+
+la::Matrix minmax_normalize_columns(const la::Matrix& m) {
+  la::Matrix out(m.rows(), m.cols());
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    const auto col = m.col_copy(c);
+    out.set_col(c, minmax_normalize(col));
+  }
+  return out;
+}
+
+la::Matrix zscore_normalize_columns(const la::Matrix& m) {
+  la::Matrix out(m.rows(), m.cols());
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    const auto col = m.col_copy(c);
+    out.set_col(c, zscore_normalize(col));
+  }
+  return out;
+}
+
+}  // namespace perspector::stats

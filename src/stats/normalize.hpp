@@ -1,0 +1,40 @@
+// Vector/matrix normalization utilities (min-max and z-score).
+//
+// The Perspector-specific *joint* min-max normalization across two suites
+// (paper Eq. 9-10) lives in core/joint_normalize.hpp; these are the generic
+// building blocks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace perspector::stats {
+
+/// Per-element min-max rescaling of `xs` into [lo, hi].
+/// A constant vector maps to the midpoint of [lo, hi].
+std::vector<double> minmax_normalize(std::span<const double> xs,
+                                     double lo = 0.0, double hi = 1.0);
+
+/// Min-max rescaling with an externally supplied range [xmin, xmax]
+/// (used for joint normalization where the range spans several data sets).
+/// Values outside [xmin, xmax] are clamped to [lo, hi]. A degenerate range
+/// (xmin == xmax) maps everything to the midpoint.
+std::vector<double> minmax_normalize_with_range(std::span<const double> xs,
+                                                double xmin, double xmax,
+                                                double lo = 0.0,
+                                                double hi = 1.0);
+
+/// Z-score standardization ((x - mean)/stddev); a constant vector maps to
+/// all zeros.
+std::vector<double> zscore_normalize(std::span<const double> xs);
+
+/// Column-wise min-max normalization of a matrix into [0,1]
+/// (each column/feature independently).
+la::Matrix minmax_normalize_columns(const la::Matrix& m);
+
+/// Column-wise z-score standardization of a matrix.
+la::Matrix zscore_normalize_columns(const la::Matrix& m);
+
+}  // namespace perspector::stats

@@ -1,0 +1,56 @@
+// Deterministic random-number facade.
+//
+// Every stochastic component in the library (k-means seeding, LHS, the
+// workload simulator) draws through this wrapper so runs are reproducible
+// from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace perspector::stats {
+
+/// Seeded Mersenne-Twister wrapper with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Standard normal (mean 0, stddev 1) scaled/shifted.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent s > 0 (rank 0 most
+  /// frequent). Uses a precomputed CDF per call set; intended for modest n.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Random permutation of {0, ..., n-1}.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Samples k distinct indices from {0, ..., n-1}; requires k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Weighted index draw proportional to non-negative weights
+  /// (at least one weight must be positive).
+  std::size_t weighted_index(std::span<const double> weights);
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+  /// Derives an independent child generator (for per-workload streams).
+  Rng fork();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace perspector::stats

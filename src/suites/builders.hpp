@@ -1,0 +1,96 @@
+// Internal helpers shared by the suite factories. Not part of the public
+// API; include only from suites/*.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "sim/workload.hpp"
+
+namespace perspector::suites::detail {
+
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+
+/// Instruction-mix shorthand: loads / stores / branches / fp.
+struct Mix {
+  double loads = 0.25;
+  double stores = 0.10;
+  double branches = 0.15;
+  double fp = 0.0;
+};
+
+/// Branch-behaviour shorthand.
+struct Branchiness {
+  double taken = 0.85;
+  double randomness = 0.10;
+  std::uint32_t sites = 64;
+};
+
+inline sim::PhaseSpec phase(std::string name, double weight, const Mix& mix,
+                            const sim::AccessPatternParams& pattern,
+                            const Branchiness& branches = {}) {
+  sim::PhaseSpec p;
+  p.name = std::move(name);
+  p.weight = weight;
+  p.load_frac = mix.loads;
+  p.store_frac = mix.stores;
+  p.branch_frac = mix.branches;
+  p.fp_frac = mix.fp;
+  p.pattern = pattern;
+  p.branch_taken_prob = branches.taken;
+  p.branch_randomness = branches.randomness;
+  p.branch_sites = branches.sites;
+  return p;
+}
+
+inline sim::AccessPatternParams seq(std::uint64_t ws,
+                                    std::uint64_t stride = 8) {
+  return {.kind = sim::AccessPatternKind::Sequential,
+          .working_set_bytes = ws,
+          .stride_bytes = stride};
+}
+
+inline sim::AccessPatternParams strided(std::uint64_t ws,
+                                        std::uint64_t stride) {
+  return {.kind = sim::AccessPatternKind::Strided,
+          .working_set_bytes = ws,
+          .stride_bytes = stride};
+}
+
+inline sim::AccessPatternParams rnd(std::uint64_t ws) {
+  return {.kind = sim::AccessPatternKind::RandomUniform,
+          .working_set_bytes = ws};
+}
+
+inline sim::AccessPatternParams chase(std::uint64_t ws) {
+  return {.kind = sim::AccessPatternKind::PointerChase,
+          .working_set_bytes = ws};
+}
+
+inline sim::AccessPatternParams zipf(std::uint64_t ws, double s = 1.1) {
+  return {.kind = sim::AccessPatternKind::Zipf,
+          .working_set_bytes = ws,
+          .zipf_s = s};
+}
+
+inline sim::AccessPatternParams graph(std::uint64_t ws,
+                                      double jump_prob = 0.2) {
+  return {.kind = sim::AccessPatternKind::GraphTraversal,
+          .working_set_bytes = ws,
+          .stride_bytes = 8,
+          .jump_prob = jump_prob};
+}
+
+inline sim::WorkloadSpec workload(std::string name,
+                                  std::uint64_t instructions,
+                                  std::vector<sim::PhaseSpec> phases) {
+  sim::WorkloadSpec w;
+  w.name = std::move(name);
+  w.instructions = instructions;
+  w.phases = std::move(phases);
+  return w;
+}
+
+}  // namespace perspector::suites::detail

@@ -1,0 +1,60 @@
+// The five workloads of the paper's Fig. 1 (trend-normalization example):
+// PageRank, HashJoin, BFS, BTree, and OpenSSL. Profiles match their
+// SGXGauge counterparts but with per-workload instruction budgets spread
+// over a 4x range, so the raw LLC-miss series differ wildly in both scale
+// and duration — exactly the situation Fig. 1's normalization fixes.
+#include "suites/builders.hpp"
+#include "suites/suite_factory.hpp"
+
+namespace perspector::suites {
+
+using namespace detail;
+
+sim::SuiteSpec demo_five(const SuiteBuildOptions& options) {
+  const std::uint64_t n = options.instructions_per_workload;
+  sim::SuiteSpec suite;
+  suite.name = "Fig1Demo";
+
+  suite.workloads = {
+      workload("PageRank", n * 2,
+               {phase("load-edges", 0.3,
+                      {.loads = 0.34, .stores = 0.18, .branches = 0.08},
+                      seq(28 * MiB, 8), {.taken = 0.92, .randomness = 0.04}),
+                phase("iterate", 0.7,
+                      {.loads = 0.36, .stores = 0.1, .branches = 0.12, .fp = 0.14},
+                      graph(28 * MiB, 0.25), {.taken = 0.7, .randomness = 0.16})}),
+      workload("HashJoin", n,
+               {phase("build", 0.35,
+                      {.loads = 0.3, .stores = 0.24, .branches = 0.1},
+                      seq(20 * MiB, 8), {.taken = 0.9, .randomness = 0.05}),
+                phase("probe", 0.65,
+                      {.loads = 0.42, .stores = 0.06, .branches = 0.14},
+                      rnd(20 * MiB), {.taken = 0.72, .randomness = 0.15})}),
+      workload("BFS", n * 3 / 2,
+               {phase("load-graph", 0.3,
+                      {.loads = 0.32, .stores = 0.18, .branches = 0.08},
+                      seq(24 * MiB, 8), {.taken = 0.92, .randomness = 0.04}),
+                phase("frontier", 0.7,
+                      {.loads = 0.38, .stores = 0.1, .branches = 0.18},
+                      graph(24 * MiB, 0.35), {.taken = 0.6, .randomness = 0.24})}),
+      workload("BTree", n / 2,
+               {phase("bulk-load", 0.3,
+                      {.loads = 0.28, .stores = 0.24, .branches = 0.14},
+                      seq(24 * MiB, 64), {.taken = 0.85, .randomness = 0.08}),
+                phase("lookup", 0.7,
+                      {.loads = 0.4, .stores = 0.04, .branches = 0.2},
+                      chase(24 * MiB), {.taken = 0.58, .randomness = 0.25})}),
+      workload("OpenSSL", n,
+               {phase("keygen", 0.2,
+                      {.loads = 0.2, .stores = 0.1, .branches = 0.14},
+                      rnd(256 * KiB), {.taken = 0.7, .randomness = 0.15}),
+                phase("sign-verify", 0.8,
+                      {.loads = 0.18, .stores = 0.08, .branches = 0.1},
+                      seq(128 * KiB, 8), {.taken = 0.9, .randomness = 0.04})}),
+  };
+
+  suite.validate();
+  return suite;
+}
+
+}  // namespace perspector::suites

@@ -1,0 +1,157 @@
+// Emerging-domain suite models — the paper's motivating use case
+// (Section I): new domains (IoT stream processing, FaaS, edge computing)
+// ship new benchmark suites that must be vetted "quickly and decisively"
+// without a decade of community experience. These models are patterned on
+// the suites the paper cites: RIoTBench [3], SeBS [4], and ComB [5].
+//
+// Their structural signatures differ from the classic suites:
+//   * RIoTBench-like — continuous dataflow operators: steady per-operator
+//     behaviour (low trend), moderate footprints, heavy branching in
+//     routing stages;
+//   * SeBS-like (FaaS) — short functions dominated by cold-start phases:
+//     a fault/setup phase followed by a brief compute burst (high trend,
+//     heavy page-fault dimension);
+//   * ComB-like (edge) — mixed media/inference pipelines: moderate phases,
+//     fp-heavy kernels with large strided tensors.
+#include "suites/builders.hpp"
+#include "suites/suite_factory.hpp"
+
+namespace perspector::suites {
+
+using namespace detail;
+
+sim::SuiteSpec riotbench(const SuiteBuildOptions& options) {
+  const std::uint64_t n = options.instructions_per_workload;
+  sim::SuiteSpec suite;
+  suite.name = "RIoTBench";
+  suite.workloads = {
+      workload("senml-parse", n,
+               {phase("parse", 1.0, {.loads = 0.3, .stores = 0.12, .branches = 0.24},
+                      seq(2 * MiB, 8), {.taken = 0.7, .randomness = 0.16, .sites = 256})}),
+      workload("bloom-filter", n,
+               {phase("filter", 1.0, {.loads = 0.34, .stores = 0.06, .branches = 0.18},
+                      rnd(8 * MiB), {.taken = 0.62, .randomness = 0.2})}),
+      workload("interpolate", n,
+               {phase("interp", 1.0,
+                      {.loads = 0.3, .stores = 0.14, .branches = 0.08, .fp = 0.3},
+                      seq(1 * MiB, 8), {.taken = 0.9, .randomness = 0.05})}),
+      workload("kalman-filter", n,
+               {phase("kalman", 1.0,
+                      {.loads = 0.26, .stores = 0.12, .branches = 0.06, .fp = 0.42},
+                      seq(512 * KiB, 8), {.taken = 0.94, .randomness = 0.03})}),
+      workload("sliding-window", n,
+               {phase("window", 1.0, {.loads = 0.32, .stores = 0.2, .branches = 0.14},
+                      strided(4 * MiB, 128), {.taken = 0.85, .randomness = 0.08})}),
+      workload("mqtt-publish", n,
+               {phase("route", 1.0, {.loads = 0.26, .stores = 0.16, .branches = 0.26},
+                      zipf(4 * MiB, 1.0), {.taken = 0.66, .randomness = 0.2, .sites = 512})}),
+      workload("azure-table-sink", n,
+               {phase("sink", 1.0, {.loads = 0.24, .stores = 0.28, .branches = 0.14},
+                      seq(8 * MiB, 64), {.taken = 0.88, .randomness = 0.06})}),
+      workload("decision-tree", n,
+               {phase("classify", 1.0, {.loads = 0.34, .stores = 0.04, .branches = 0.26},
+                      chase(2 * MiB), {.taken = 0.58, .randomness = 0.26, .sites = 256})}),
+  };
+  suite.validate();
+  return suite;
+}
+
+sim::SuiteSpec sebs(const SuiteBuildOptions& options) {
+  const std::uint64_t n = options.instructions_per_workload;
+  sim::SuiteSpec suite;
+  suite.name = "SeBS";
+
+  // FaaS functions share a cold-start signature: runtime bring-up (page
+  // faults, icache-like sequential touches) then a short task burst.
+  const auto cold_start = [](double weight) {
+    return phase("cold-start", weight,
+                 {.loads = 0.22, .stores = 0.18, .branches = 0.16},
+                 strided(24 * MiB, 4096), {.taken = 0.8, .randomness = 0.1});
+  };
+  suite.workloads = {
+      workload("thumbnailer", n,
+               {cold_start(0.4),
+                phase("resize", 0.6,
+                      {.loads = 0.3, .stores = 0.14, .branches = 0.06, .fp = 0.34},
+                      strided(8 * MiB, 64), {.taken = 0.93, .randomness = 0.03})}),
+      workload("compression", n,
+               {cold_start(0.35),
+                phase("deflate", 0.65, {.loads = 0.32, .stores = 0.18, .branches = 0.16},
+                      seq(16 * MiB, 16), {.taken = 0.76, .randomness = 0.14})}),
+      workload("dynamic-html", n,
+               {cold_start(0.45),
+                phase("render", 0.55, {.loads = 0.28, .stores = 0.16, .branches = 0.22},
+                      zipf(4 * MiB, 1.1), {.taken = 0.7, .randomness = 0.16, .sites = 512})}),
+      workload("graph-bfs", n,
+               {cold_start(0.3),
+                phase("bfs", 0.7, {.loads = 0.36, .stores = 0.08, .branches = 0.18},
+                      graph(12 * MiB, 0.35), {.taken = 0.6, .randomness = 0.24})}),
+      workload("graph-pagerank", n,
+               {cold_start(0.3),
+                phase("rank", 0.7,
+                      {.loads = 0.34, .stores = 0.1, .branches = 0.1, .fp = 0.16},
+                      graph(12 * MiB, 0.2), {.taken = 0.72, .randomness = 0.14})}),
+      workload("dna-visualization", n,
+               {cold_start(0.35),
+                phase("align", 0.65,
+                      {.loads = 0.3, .stores = 0.1, .branches = 0.2, .fp = 0.1},
+                      seq(6 * MiB, 8), {.taken = 0.68, .randomness = 0.18})}),
+      workload("video-processing", n,
+               {cold_start(0.25),
+                phase("transcode", 0.75,
+                      {.loads = 0.32, .stores = 0.14, .branches = 0.1, .fp = 0.2},
+                      strided(20 * MiB, 256), {.taken = 0.88, .randomness = 0.06})}),
+      workload("crypto-sign", n,
+               {cold_start(0.5),
+                phase("sign", 0.5, {.loads = 0.18, .stores = 0.08, .branches = 0.1},
+                      seq(256 * KiB, 8), {.taken = 0.9, .randomness = 0.04})}),
+  };
+  suite.validate();
+  return suite;
+}
+
+sim::SuiteSpec comb(const SuiteBuildOptions& options) {
+  const std::uint64_t n = options.instructions_per_workload;
+  sim::SuiteSpec suite;
+  suite.name = "ComB";
+  suite.workloads = {
+      workload("object-detect", n,
+               {phase("preprocess", 0.25, {.loads = 0.3, .stores = 0.18, .branches = 0.08},
+                      seq(12 * MiB, 64), {.taken = 0.92, .randomness = 0.04}),
+                phase("conv-layers", 0.75,
+                      {.loads = 0.32, .stores = 0.1, .branches = 0.04, .fp = 0.44},
+                      strided(16 * MiB, 128), {.taken = 0.96, .randomness = 0.02})}),
+      workload("speech-to-text", n,
+               {phase("feature-extract", 0.3,
+                      {.loads = 0.28, .stores = 0.12, .branches = 0.08, .fp = 0.34},
+                      seq(4 * MiB, 8), {.taken = 0.94, .randomness = 0.03}),
+                phase("decode", 0.7, {.loads = 0.34, .stores = 0.1, .branches = 0.2},
+                      chase(8 * MiB), {.taken = 0.62, .randomness = 0.22})}),
+      workload("video-analytics", n,
+               {phase("decode", 0.35, {.loads = 0.32, .stores = 0.16, .branches = 0.12},
+                      seq(20 * MiB, 16), {.taken = 0.86, .randomness = 0.07}),
+                phase("track", 0.65,
+                      {.loads = 0.3, .stores = 0.1, .branches = 0.14, .fp = 0.22},
+                      rnd(10 * MiB), {.taken = 0.74, .randomness = 0.14})}),
+      workload("ar-render", n,
+               {phase("pose", 0.4,
+                      {.loads = 0.28, .stores = 0.1, .branches = 0.1, .fp = 0.32},
+                      rnd(2 * MiB), {.taken = 0.85, .randomness = 0.08}),
+                phase("compose", 0.6,
+                      {.loads = 0.3, .stores = 0.2, .branches = 0.06, .fp = 0.28},
+                      seq(16 * MiB, 64), {.taken = 0.93, .randomness = 0.04})}),
+      workload("federated-update", n,
+               {phase("local-train", 0.7,
+                      {.loads = 0.3, .stores = 0.12, .branches = 0.06, .fp = 0.4},
+                      strided(12 * MiB, 64), {.taken = 0.94, .randomness = 0.03}),
+                phase("aggregate", 0.3, {.loads = 0.3, .stores = 0.22, .branches = 0.1},
+                      seq(8 * MiB, 8), {.taken = 0.9, .randomness = 0.05})}),
+      workload("iot-gateway", n,
+               {phase("mux", 1.0, {.loads = 0.28, .stores = 0.18, .branches = 0.24},
+                      zipf(6 * MiB, 1.0), {.taken = 0.66, .randomness = 0.2, .sites = 512})}),
+  };
+  suite.validate();
+  return suite;
+}
+
+}  // namespace perspector::suites

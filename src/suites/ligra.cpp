@@ -1,0 +1,83 @@
+// Ligra model: 12 graph algorithms on a shared framework.
+//
+// Ligra is a thin shared-memory graph framework: every application first runs
+// the same graph load/decode front-end, then an edge-map/vertex-map traversal
+// kernel. Because the framework dominates, the workloads behave alike — the
+// paper singles Ligra out as the most *clustered* suite (worst ClusterScore,
+// Fig. 3a). The model encodes that: an identical "load-graph" phase plus
+// traversal phases that differ only in small parameter deltas.
+#include "suites/builders.hpp"
+#include "suites/suite_factory.hpp"
+
+namespace perspector::suites {
+
+using namespace detail;
+
+namespace {
+
+// Every Ligra app shares this front-end verbatim.
+sim::PhaseSpec load_graph_phase() {
+  return phase("load-graph", 0.35,
+               {.loads = 0.34, .stores = 0.18, .branches = 0.1},
+               seq(32 * MiB, 8), {.taken = 0.9, .randomness = 0.05});
+}
+
+// The apps fall into three behavioural families (sparse frontier
+// traversals, dense rank/score iterations, and counting kernels); within a
+// family the edge-map kernels are all but indistinguishable — tight,
+// well-separated clusters, exactly what the paper's ClusterScore penalizes.
+sim::WorkloadSpec traversal_app(const std::string& name, std::uint64_t n) {
+  return workload(
+      name, n,
+      {load_graph_phase(),
+       phase("edge-map", 0.65,
+             {.loads = 0.40, .stores = 0.08, .branches = 0.20},
+             graph(32 * MiB, 0.40),
+             {.taken = 0.55, .randomness = 0.28, .sites = 128})});
+}
+
+sim::WorkloadSpec rank_app(const std::string& name, std::uint64_t n) {
+  return workload(
+      name, n,
+      {load_graph_phase(),
+       phase("vertex-map", 0.65,
+             {.loads = 0.34, .stores = 0.14, .branches = 0.06, .fp = 0.26},
+             strided(32 * MiB, 64),
+             {.taken = 0.90, .randomness = 0.05, .sites = 128})});
+}
+
+sim::WorkloadSpec counting_app(const std::string& name, std::uint64_t n) {
+  return workload(
+      name, n,
+      {load_graph_phase(),
+       phase("count", 0.65,
+             {.loads = 0.30, .stores = 0.04, .branches = 0.24},
+             seq(32 * MiB, 16),
+             {.taken = 0.70, .randomness = 0.12, .sites = 128})});
+}
+
+}  // namespace
+
+sim::SuiteSpec ligra(const SuiteBuildOptions& options) {
+  const std::uint64_t n = options.instructions_per_workload;
+  sim::SuiteSpec suite;
+  suite.name = "Ligra";
+  suite.workloads = {
+      traversal_app("BFS", n),
+      traversal_app("BC", n),
+      traversal_app("Radii", n),
+      traversal_app("Components", n),
+      traversal_app("BellmanFord", n),
+      traversal_app("MIS", n),
+      traversal_app("BFSCC", n),
+      rank_app("PageRank", n),
+      rank_app("PageRankDelta", n),
+      rank_app("CF", n),
+      counting_app("Triangle", n),
+      counting_app("KCore", n),
+  };
+  suite.validate();
+  return suite;
+}
+
+}  // namespace perspector::suites

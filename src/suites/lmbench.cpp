@@ -1,0 +1,106 @@
+// LMbench model: 14 OS/memory micro-probes.
+//
+// Table III describes LMbench as "a set of micro-benchmarks to measure the
+// latency of different system calls"; McVoy & Staelin's tool also measures
+// memory/file/IPC *bandwidth*. The model therefore mixes:
+//   * bandwidth probes — wide streaming reads/writes (one access per cache
+//     line, like vectorized copies): extreme LLC traffic, but TLB-gentle
+//     (64 lines per page);
+//   * OS-latency probes — syscalls, signals, select, fork/exec, page
+//     faults, mmap, context switches: extremes on branches, page faults,
+//     and cycles, with small data footprints.
+// Each probe sits at an extreme of *some* dimension — that is why LMbench
+// gets the paper's top all-events CoverageScore (Fig. 3a, Fig. 6) — but
+// none of them sustains SPEC-class TLB pressure, which is why its coverage
+// collapses under TLB-only scoring while SPEC'17 takes the lead (Fig. 3c).
+// Every probe is a single steady phase (micro-benchmarks have no phases).
+#include "suites/builders.hpp"
+#include "suites/suite_factory.hpp"
+
+namespace perspector::suites {
+
+using namespace detail;
+
+sim::SuiteSpec lmbench(const SuiteBuildOptions& options) {
+  const std::uint64_t n = options.instructions_per_workload;
+  sim::SuiteSpec suite;
+  suite.name = "LMbench";
+
+  suite.workloads = {
+      // bw_file_rd: streaming page-cache reads, line-width accesses.
+      workload("bw_file_rd", n,
+               {phase("stream-rd", 1.0,
+                      {.loads = 0.42, .stores = 0.02, .branches = 0.05},
+                      seq(48 * MiB, 64), {.taken = 0.99, .randomness = 0.005})}),
+      // bw_file_wr: streaming writes through the page cache.
+      workload("bw_file_wr", n,
+               {phase("stream-wr", 1.0,
+                      {.loads = 0.04, .stores = 0.30, .branches = 0.05},
+                      seq(48 * MiB, 64), {.taken = 0.99, .randomness = 0.005})}),
+      // bw_mmap_rd: mapped-file streaming read.
+      workload("bw_mmap_rd", n,
+               {phase("mmap-rd", 1.0,
+                      {.loads = 0.40, .stores = 0.02, .branches = 0.05},
+                      seq(24 * MiB, 64), {.taken = 0.99, .randomness = 0.005})}),
+      // bw_pipe: bulk pipe transfer, buffer bounces inside the LLC.
+      workload("bw_pipe", n,
+               {phase("pipe-bw", 1.0,
+                      {.loads = 0.30, .stores = 0.20, .branches = 0.08},
+                      seq(4 * MiB, 64), {.taken = 0.96, .randomness = 0.02})}),
+      // bw_unix: AF_UNIX socket ping-pong, smaller buffers.
+      workload("bw_unix", n,
+               {phase("sock-bw", 1.0,
+                      {.loads = 0.26, .stores = 0.18, .branches = 0.12},
+                      seq(2 * MiB, 64), {.taken = 0.92, .randomness = 0.04})}),
+      // lat_syscall: almost no data traffic, deep predictable call chains.
+      workload("lat_syscall", n,
+               {phase("syscall", 1.0,
+                      {.loads = 0.14, .stores = 0.08, .branches = 0.3},
+                      seq(64 * KiB), {.taken = 0.9, .randomness = 0.03, .sites = 512})}),
+      // lat_select: fd scanning, small ws, branch-heavy with entropy.
+      workload("lat_select", n,
+               {phase("select", 1.0,
+                      {.loads = 0.28, .stores = 0.06, .branches = 0.32},
+                      seq(128 * KiB), {.taken = 0.7, .randomness = 0.18, .sites = 256})}),
+      // lat_sig: signal delivery — control-flow chaos, tiny footprint.
+      workload("lat_sig", n,
+               {phase("signal", 1.0,
+                      {.loads = 0.18, .stores = 0.12, .branches = 0.34},
+                      rnd(64 * KiB), {.taken = 0.55, .randomness = 0.3, .sites = 512})}),
+      // lat_proc: fork+exec — page-table churn, faults, kernel bookkeeping.
+      workload("lat_proc", n,
+               {phase("fork-exec", 1.0,
+                      {.loads = 0.10, .stores = 0.10, .branches = 0.22},
+                      strided(32 * MiB, 4096), {.taken = 0.8, .randomness = 0.1, .sites = 512})}),
+      // lat_pagefault: fault cost probe — faults dominate, few data ops.
+      workload("lat_pagefault", n,
+               {phase("fault", 1.0,
+                      {.loads = 0.08, .stores = 0.06, .branches = 0.1},
+                      strided(96 * MiB, 4096), {.taken = 0.95, .randomness = 0.02})}),
+      // lat_mmap: map/unmap cycling.
+      workload("lat_mmap", n,
+               {phase("mmap", 1.0,
+                      {.loads = 0.08, .stores = 0.06, .branches = 0.12},
+                      strided(8 * MiB, 8192), {.taken = 0.9, .randomness = 0.05})}),
+      // lat_ctx: context-switch probe — thread stacks and registers.
+      workload("lat_ctx", n,
+               {phase("ctx", 1.0,
+                      {.loads = 0.28, .stores = 0.12, .branches = 0.2},
+                      rnd(512 * KiB), {.taken = 0.65, .randomness = 0.22, .sites = 256})}),
+      // lat_pipe: small-buffer ping-pong, store-then-load in L1/L2.
+      workload("lat_pipe", n,
+               {phase("pipe", 1.0,
+                      {.loads = 0.3, .stores = 0.3, .branches = 0.16},
+                      seq(256 * KiB, 8), {.taken = 0.88, .randomness = 0.06})}),
+      // lat_ops: pure ALU/FP latency probe — no memory at all, fp heavy.
+      workload("lat_ops", n,
+               {phase("ops", 1.0,
+                      {.loads = 0.02, .stores = 0.01, .branches = 0.06, .fp = 0.55},
+                      seq(8 * KiB), {.taken = 0.98, .randomness = 0.01})}),
+  };
+
+  suite.validate();
+  return suite;
+}
+
+}  // namespace perspector::suites

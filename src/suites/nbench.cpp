@@ -1,0 +1,59 @@
+// Nbench (BYTEmark) model: 10 steady-state CPU kernels.
+//
+// Nbench kernels iterate a small fixed computation over an L1/L2-resident
+// data set: no phases (flat trends, Fig. 5), modest coverage, and noticeable
+// similarity among the integer kernels (Fig. 4 shows Nbench clustering).
+#include "suites/builders.hpp"
+#include "suites/suite_factory.hpp"
+
+namespace perspector::suites {
+
+using namespace detail;
+
+sim::SuiteSpec nbench(const SuiteBuildOptions& options) {
+  const std::uint64_t n = options.instructions_per_workload;
+  sim::SuiteSpec suite;
+  suite.name = "Nbench";
+
+  suite.workloads = {
+      workload("numeric-sort", n,
+               {phase("sort", 1.0, {.loads = 0.3, .stores = 0.16, .branches = 0.2},
+                      rnd(256 * KiB), {.taken = 0.6, .randomness = 0.22})}),
+      workload("string-sort", n,
+               {phase("sort", 1.0, {.loads = 0.32, .stores = 0.18, .branches = 0.2},
+                      rnd(384 * KiB), {.taken = 0.62, .randomness = 0.2})}),
+      workload("bitfield", n,
+               {phase("bitops", 1.0, {.loads = 0.26, .stores = 0.14, .branches = 0.18},
+                      seq(128 * KiB, 8), {.taken = 0.75, .randomness = 0.12})}),
+      workload("fp-emulation", n,
+               {phase("emulate", 1.0, {.loads = 0.24, .stores = 0.12, .branches = 0.24},
+                      seq(64 * KiB, 8), {.taken = 0.68, .randomness = 0.15})}),
+      workload("fourier", n,
+               {phase("fft", 1.0,
+                      {.loads = 0.22, .stores = 0.08, .branches = 0.06, .fp = 0.5},
+                      strided(256 * KiB, 64), {.taken = 0.94, .randomness = 0.03})}),
+      workload("assignment", n,
+               {phase("hungarian", 1.0,
+                      {.loads = 0.3, .stores = 0.12, .branches = 0.22},
+                      seq(256 * KiB, 8), {.taken = 0.7, .randomness = 0.14})}),
+      workload("idea", n,
+               {phase("cipher", 1.0, {.loads = 0.24, .stores = 0.14, .branches = 0.1},
+                      seq(64 * KiB, 8), {.taken = 0.92, .randomness = 0.03})}),
+      workload("huffman", n,
+               {phase("code", 1.0, {.loads = 0.28, .stores = 0.14, .branches = 0.26},
+                      seq(128 * KiB, 8), {.taken = 0.6, .randomness = 0.2})}),
+      workload("neural-net", n,
+               {phase("backprop", 1.0,
+                      {.loads = 0.26, .stores = 0.1, .branches = 0.06, .fp = 0.46},
+                      seq(256 * KiB, 8), {.taken = 0.95, .randomness = 0.02})}),
+      workload("lu-decomposition", n,
+               {phase("lu", 1.0,
+                      {.loads = 0.28, .stores = 0.12, .branches = 0.08, .fp = 0.4},
+                      strided(512 * KiB, 64), {.taken = 0.93, .randomness = 0.03})}),
+  };
+
+  suite.validate();
+  return suite;
+}
+
+}  // namespace perspector::suites

@@ -1,0 +1,132 @@
+// PARSEC 3.0 model: 13 multi-phase parallel applications.
+//
+// PARSEC was explicitly assembled for diversity and real phase behaviour
+// (Bienia & Li 2009) — each workload here runs 3-5 *contrasting* phases
+// (input load, region-of-interest compute, output), which is what earns the
+// suite its high TrendScore in the paper (Fig. 3a).
+#include "suites/builders.hpp"
+#include "suites/suite_factory.hpp"
+
+namespace perspector::suites {
+
+using namespace detail;
+
+sim::SuiteSpec parsec(const SuiteBuildOptions& options) {
+  const std::uint64_t n = options.instructions_per_workload;
+  sim::SuiteSpec suite;
+  suite.name = "PARSEC";
+
+  suite.workloads = {
+      workload("blackscholes", n,
+               {phase("load", 0.15, {.loads = 0.3, .stores = 0.2, .branches = 0.1},
+                      seq(2 * MiB), {.taken = 0.9, .randomness = 0.05}),
+                phase("price", 0.75,
+                      {.loads = 0.24, .stores = 0.08, .branches = 0.06, .fp = 0.5},
+                      seq(2 * MiB, 40), {.taken = 0.96, .randomness = 0.02}),
+                phase("writeback", 0.10,
+                      {.loads = 0.2, .stores = 0.35, .branches = 0.08},
+                      seq(1 * MiB), {.taken = 0.92, .randomness = 0.04})}),
+      workload("bodytrack", n,
+               {phase("decode", 0.2, {.loads = 0.3, .stores = 0.15, .branches = 0.14},
+                      seq(8 * MiB, 16), {.taken = 0.85, .randomness = 0.08}),
+                phase("particle-filter", 0.6,
+                      {.loads = 0.28, .stores = 0.1, .branches = 0.12, .fp = 0.3},
+                      rnd(4 * MiB), {.taken = 0.78, .randomness = 0.12}),
+                phase("annealing", 0.2,
+                      {.loads = 0.26, .stores = 0.12, .branches = 0.18, .fp = 0.2},
+                      zipf(2 * MiB, 1.0), {.taken = 0.7, .randomness = 0.15})}),
+      workload("canneal", n,
+               {phase("netlist-load", 0.25,
+                      {.loads = 0.32, .stores = 0.2, .branches = 0.1},
+                      seq(32 * MiB), {.taken = 0.88, .randomness = 0.06}),
+                phase("swap-anneal", 0.75,
+                      {.loads = 0.4, .stores = 0.1, .branches = 0.14},
+                      chase(40 * MiB), {.taken = 0.6, .randomness = 0.25})}),
+      workload("dedup", n,
+               {phase("chunk", 0.3, {.loads = 0.34, .stores = 0.1, .branches = 0.14},
+                      seq(24 * MiB, 16), {.taken = 0.82, .randomness = 0.1}),
+                phase("hash-dedup", 0.5,
+                      {.loads = 0.32, .stores = 0.14, .branches = 0.16},
+                      rnd(16 * MiB), {.taken = 0.68, .randomness = 0.2}),
+                phase("compress", 0.2,
+                      {.loads = 0.3, .stores = 0.18, .branches = 0.14},
+                      seq(8 * MiB, 8), {.taken = 0.8, .randomness = 0.1})}),
+      workload("facesim", n,
+               {phase("mesh-load", 0.15,
+                      {.loads = 0.3, .stores = 0.22, .branches = 0.08},
+                      seq(16 * MiB), {.taken = 0.9, .randomness = 0.04}),
+                phase("fem-solve", 0.85,
+                      {.loads = 0.3, .stores = 0.12, .branches = 0.06, .fp = 0.4},
+                      strided(20 * MiB, 96), {.taken = 0.93, .randomness = 0.03})}),
+      workload("ferret", n,
+               {phase("segment", 0.25,
+                      {.loads = 0.28, .stores = 0.12, .branches = 0.12, .fp = 0.2},
+                      seq(4 * MiB, 16), {.taken = 0.86, .randomness = 0.07}),
+                phase("extract", 0.25,
+                      {.loads = 0.26, .stores = 0.1, .branches = 0.1, .fp = 0.3},
+                      strided(6 * MiB, 128), {.taken = 0.88, .randomness = 0.06}),
+                phase("index-query", 0.35,
+                      {.loads = 0.36, .stores = 0.08, .branches = 0.16},
+                      zipf(24 * MiB, 1.15), {.taken = 0.66, .randomness = 0.2}),
+                phase("rank", 0.15,
+                      {.loads = 0.28, .stores = 0.1, .branches = 0.14, .fp = 0.22},
+                      rnd(2 * MiB), {.taken = 0.75, .randomness = 0.12})}),
+      workload("fluidanimate", n,
+               {phase("grid-build", 0.2,
+                      {.loads = 0.3, .stores = 0.22, .branches = 0.1},
+                      rnd(12 * MiB), {.taken = 0.84, .randomness = 0.08}),
+                phase("density-force", 0.8,
+                      {.loads = 0.32, .stores = 0.12, .branches = 0.06, .fp = 0.38},
+                      strided(16 * MiB, 64), {.taken = 0.93, .randomness = 0.03})}),
+      workload("freqmine", n,
+               {phase("fp-tree-build", 0.35,
+                      {.loads = 0.32, .stores = 0.2, .branches = 0.14},
+                      seq(20 * MiB, 16), {.taken = 0.8, .randomness = 0.1}),
+                phase("mine", 0.65,
+                      {.loads = 0.38, .stores = 0.08, .branches = 0.18},
+                      chase(28 * MiB), {.taken = 0.64, .randomness = 0.22})}),
+      workload("raytrace", n,
+               {phase("bvh-build", 0.2,
+                      {.loads = 0.3, .stores = 0.2, .branches = 0.12, .fp = 0.15},
+                      rnd(24 * MiB), {.taken = 0.78, .randomness = 0.12}),
+                phase("trace", 0.8,
+                      {.loads = 0.32, .stores = 0.06, .branches = 0.14, .fp = 0.26},
+                      chase(32 * MiB), {.taken = 0.72, .randomness = 0.15})}),
+      workload("streamcluster", n,
+               {phase("stream-in", 0.2,
+                      {.loads = 0.34, .stores = 0.16, .branches = 0.08},
+                      seq(16 * MiB), {.taken = 0.9, .randomness = 0.05}),
+                phase("kmedian", 0.8,
+                      {.loads = 0.34, .stores = 0.08, .branches = 0.1, .fp = 0.3},
+                      strided(16 * MiB, 40), {.taken = 0.88, .randomness = 0.06})}),
+      workload("swaptions", n,
+               {phase("hjm-sim", 1.0,
+                      {.loads = 0.24, .stores = 0.08, .branches = 0.08, .fp = 0.5},
+                      rnd(1 * MiB), {.taken = 0.9, .randomness = 0.05})}),
+      workload("vips", n,
+               {phase("decode", 0.25,
+                      {.loads = 0.32, .stores = 0.18, .branches = 0.12},
+                      seq(24 * MiB, 16), {.taken = 0.85, .randomness = 0.08}),
+                phase("affine-convolve", 0.55,
+                      {.loads = 0.3, .stores = 0.14, .branches = 0.06, .fp = 0.36},
+                      strided(24 * MiB, 128), {.taken = 0.94, .randomness = 0.03}),
+                phase("encode", 0.2,
+                      {.loads = 0.28, .stores = 0.2, .branches = 0.12},
+                      seq(12 * MiB, 8), {.taken = 0.86, .randomness = 0.07})}),
+      workload("x264", n,
+               {phase("lookahead", 0.3,
+                      {.loads = 0.34, .stores = 0.08, .branches = 0.14},
+                      strided(12 * MiB, 384), {.taken = 0.82, .randomness = 0.1}),
+                phase("me-mode-decision", 0.5,
+                      {.loads = 0.32, .stores = 0.1, .branches = 0.12, .fp = 0.1},
+                      rnd(8 * MiB), {.taken = 0.8, .randomness = 0.1}),
+                phase("entropy-encode", 0.2,
+                      {.loads = 0.28, .stores = 0.18, .branches = 0.2},
+                      seq(4 * MiB, 8), {.taken = 0.7, .randomness = 0.16})}),
+  };
+
+  suite.validate();
+  return suite;
+}
+
+}  // namespace perspector::suites

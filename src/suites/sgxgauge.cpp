@@ -1,0 +1,96 @@
+// SGXGauge model (non-SGX variants, per the paper): 10 real-world
+// applications from different domains.
+//
+// Like PARSEC, these are full applications with distinct execution phases
+// and little shared code — the paper reports SGXGauge alongside PARSEC at
+// the top of the TrendScore ranking (Fig. 3a) and shows it far less
+// clustered than Nbench (Fig. 4).
+#include "suites/builders.hpp"
+#include "suites/suite_factory.hpp"
+
+namespace perspector::suites {
+
+using namespace detail;
+
+sim::SuiteSpec sgxgauge(const SuiteBuildOptions& options) {
+  const std::uint64_t n = options.instructions_per_workload;
+  sim::SuiteSpec suite;
+  suite.name = "SGXGauge";
+
+  suite.workloads = {
+      workload("openssl", n,
+               {phase("keygen", 0.2, {.loads = 0.2, .stores = 0.1, .branches = 0.14},
+                      rnd(256 * KiB), {.taken = 0.7, .randomness = 0.15}),
+                phase("sign-verify", 0.8,
+                      {.loads = 0.18, .stores = 0.08, .branches = 0.1},
+                      seq(128 * KiB, 8), {.taken = 0.9, .randomness = 0.04})}),
+      workload("memcached", n,
+               {phase("warmup", 0.25, {.loads = 0.3, .stores = 0.26, .branches = 0.12},
+                      seq(40 * MiB, 64), {.taken = 0.88, .randomness = 0.06}),
+                phase("get-heavy", 0.6,
+                      {.loads = 0.4, .stores = 0.06, .branches = 0.16},
+                      zipf(40 * MiB, 1.2), {.taken = 0.7, .randomness = 0.16}),
+                phase("evict", 0.15, {.loads = 0.3, .stores = 0.22, .branches = 0.16},
+                      rnd(40 * MiB), {.taken = 0.66, .randomness = 0.2})}),
+      workload("sqlite", n,
+               {phase("schema-load", 0.15,
+                      {.loads = 0.3, .stores = 0.18, .branches = 0.14},
+                      seq(4 * MiB), {.taken = 0.84, .randomness = 0.08}),
+                phase("oltp", 0.6, {.loads = 0.34, .stores = 0.14, .branches = 0.2},
+                      zipf(16 * MiB, 1.0), {.taken = 0.68, .randomness = 0.18}),
+                phase("vacuum", 0.25, {.loads = 0.32, .stores = 0.2, .branches = 0.1},
+                      seq(16 * MiB, 8), {.taken = 0.9, .randomness = 0.05})}),
+      workload("btree", n,
+               {phase("bulk-load", 0.3, {.loads = 0.28, .stores = 0.24, .branches = 0.14},
+                      seq(24 * MiB, 64), {.taken = 0.85, .randomness = 0.08}),
+                phase("lookup", 0.7, {.loads = 0.4, .stores = 0.04, .branches = 0.2},
+                      chase(24 * MiB), {.taken = 0.58, .randomness = 0.25})}),
+      workload("hashjoin", n,
+               {phase("build", 0.35, {.loads = 0.3, .stores = 0.24, .branches = 0.1},
+                      seq(20 * MiB, 8), {.taken = 0.9, .randomness = 0.05}),
+                phase("probe", 0.65, {.loads = 0.42, .stores = 0.06, .branches = 0.14},
+                      rnd(20 * MiB), {.taken = 0.72, .randomness = 0.15})}),
+      workload("pagerank", n,
+               {phase("load-edges", 0.3, {.loads = 0.34, .stores = 0.18, .branches = 0.08},
+                      seq(28 * MiB, 8), {.taken = 0.92, .randomness = 0.04}),
+                phase("iterate", 0.7,
+                      {.loads = 0.36, .stores = 0.1, .branches = 0.12, .fp = 0.14},
+                      graph(28 * MiB, 0.25), {.taken = 0.7, .randomness = 0.16})}),
+      workload("bfs", n,
+               {phase("load-graph", 0.3, {.loads = 0.32, .stores = 0.18, .branches = 0.08},
+                      seq(24 * MiB, 8), {.taken = 0.92, .randomness = 0.04}),
+                phase("frontier", 0.7, {.loads = 0.38, .stores = 0.1, .branches = 0.18},
+                      graph(24 * MiB, 0.35), {.taken = 0.6, .randomness = 0.24})}),
+      workload("lighttpd", n,
+               {phase("accept-parse", 0.5,
+                      {.loads = 0.26, .stores = 0.12, .branches = 0.26},
+                      seq(1 * MiB, 8), {.taken = 0.72, .randomness = 0.16, .sites = 512}),
+                phase("serve", 0.5, {.loads = 0.34, .stores = 0.14, .branches = 0.14},
+                      zipf(8 * MiB, 0.9), {.taken = 0.8, .randomness = 0.1})}),
+      workload("xgboost", n,
+               {phase("load-dmatrix", 0.2,
+                      {.loads = 0.32, .stores = 0.2, .branches = 0.08},
+                      seq(16 * MiB, 8), {.taken = 0.92, .randomness = 0.04}),
+                phase("grow-trees", 0.65,
+                      {.loads = 0.32, .stores = 0.1, .branches = 0.16, .fp = 0.22},
+                      rnd(16 * MiB), {.taken = 0.64, .randomness = 0.2}),
+                phase("predict", 0.15,
+                      {.loads = 0.3, .stores = 0.08, .branches = 0.2, .fp = 0.12},
+                      chase(8 * MiB), {.taken = 0.62, .randomness = 0.22})}),
+      workload("blockchain", n,
+               {phase("verify-sigs", 0.45,
+                      {.loads = 0.2, .stores = 0.08, .branches = 0.1},
+                      seq(512 * KiB, 8), {.taken = 0.9, .randomness = 0.04}),
+                phase("merkle-update", 0.35,
+                      {.loads = 0.32, .stores = 0.18, .branches = 0.14},
+                      chase(12 * MiB), {.taken = 0.66, .randomness = 0.2}),
+                phase("state-commit", 0.2,
+                      {.loads = 0.28, .stores = 0.26, .branches = 0.1},
+                      rnd(12 * MiB), {.taken = 0.78, .randomness = 0.12})}),
+  };
+
+  suite.validate();
+  return suite;
+}
+
+}  // namespace perspector::suites

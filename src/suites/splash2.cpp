@@ -1,0 +1,80 @@
+// SPLASH-2 model: the 1995-era scientific suite PARSEC was built to
+// replace. The paper's reference [29] (Bienia, Kumar & Li, IISWC'08)
+// quantitatively compared the two; bench_parsec_vs_splash2 reproduces that
+// comparison's spirit with Perspector's metrics.
+//
+// Character: regular HPC kernels and applications — dense linear algebra,
+// FFT, N-body, water simulations. Mostly fp-heavy, stride-regular, highly
+// predictable branches, smaller working sets than PARSEC (1995 inputs),
+// and fewer distinct execution phases.
+#include "suites/builders.hpp"
+#include "suites/suite_factory.hpp"
+
+namespace perspector::suites {
+
+using namespace detail;
+
+sim::SuiteSpec splash2(const SuiteBuildOptions& options) {
+  const std::uint64_t n = options.instructions_per_workload;
+  sim::SuiteSpec suite;
+  suite.name = "SPLASH-2";
+
+  suite.workloads = {
+      workload("barnes", n,
+               {phase("tree-build", 0.3,
+                      {.loads = 0.3, .stores = 0.18, .branches = 0.14},
+                      rnd(4 * MiB), {.taken = 0.78, .randomness = 0.1}),
+                phase("force-calc", 0.7,
+                      {.loads = 0.3, .stores = 0.08, .branches = 0.1, .fp = 0.36},
+                      chase(4 * MiB), {.taken = 0.88, .randomness = 0.06})}),
+      workload("fmm", n,
+               {phase("multipole", 1.0,
+                      {.loads = 0.28, .stores = 0.1, .branches = 0.08, .fp = 0.4},
+                      rnd(2 * MiB), {.taken = 0.9, .randomness = 0.05})}),
+      workload("ocean", n,
+               {phase("grid-solve", 1.0,
+                      {.loads = 0.34, .stores = 0.16, .branches = 0.05, .fp = 0.32},
+                      seq(8 * MiB, 8), {.taken = 0.96, .randomness = 0.02})}),
+      workload("radiosity", n,
+               {phase("interactions", 1.0,
+                      {.loads = 0.3, .stores = 0.12, .branches = 0.16, .fp = 0.22},
+                      chase(3 * MiB), {.taken = 0.72, .randomness = 0.14})}),
+      workload("raytrace", n,
+               {phase("trace", 1.0,
+                      {.loads = 0.32, .stores = 0.06, .branches = 0.14, .fp = 0.26},
+                      chase(6 * MiB), {.taken = 0.74, .randomness = 0.13})}),
+      workload("volrend", n,
+               {phase("render", 1.0,
+                      {.loads = 0.3, .stores = 0.1, .branches = 0.14, .fp = 0.22},
+                      strided(4 * MiB, 128), {.taken = 0.84, .randomness = 0.08})}),
+      workload("water-nsquared", n,
+               {phase("md", 1.0,
+                      {.loads = 0.26, .stores = 0.1, .branches = 0.06, .fp = 0.44},
+                      seq(1 * MiB, 8), {.taken = 0.94, .randomness = 0.03})}),
+      workload("water-spatial", n,
+               {phase("md-cells", 1.0,
+                      {.loads = 0.26, .stores = 0.1, .branches = 0.08, .fp = 0.42},
+                      strided(1 * MiB, 64), {.taken = 0.92, .randomness = 0.04})}),
+      workload("cholesky", n,
+               {phase("factor", 1.0,
+                      {.loads = 0.3, .stores = 0.14, .branches = 0.06, .fp = 0.38},
+                      strided(4 * MiB, 64), {.taken = 0.93, .randomness = 0.03})}),
+      workload("fft", n,
+               {phase("transpose-fft", 1.0,
+                      {.loads = 0.3, .stores = 0.16, .branches = 0.04, .fp = 0.4},
+                      strided(4 * MiB, 512), {.taken = 0.96, .randomness = 0.02})}),
+      workload("lu", n,
+               {phase("factor", 1.0,
+                      {.loads = 0.3, .stores = 0.12, .branches = 0.06, .fp = 0.4},
+                      strided(2 * MiB, 64), {.taken = 0.94, .randomness = 0.03})}),
+      workload("radix", n,
+               {phase("sort", 1.0,
+                      {.loads = 0.32, .stores = 0.2, .branches = 0.1},
+                      rnd(4 * MiB), {.taken = 0.82, .randomness = 0.1})}),
+  };
+
+  suite.validate();
+  return suite;
+}
+
+}  // namespace perspector::suites

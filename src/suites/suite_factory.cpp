@@ -1,0 +1,10 @@
+#include "suites/suite_factory.hpp"
+
+namespace perspector::suites {
+
+std::vector<sim::SuiteSpec> all_suites(const SuiteBuildOptions& options) {
+  return {parsec(options), spec17(options),  ligra(options),
+          lmbench(options), nbench(options), sgxgauge(options)};
+}
+
+}  // namespace perspector::suites

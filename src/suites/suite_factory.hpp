@@ -1,0 +1,59 @@
+// Synthetic models of the six benchmark suites evaluated in the paper
+// (Table III), plus the five Fig. 1 demo workloads.
+//
+// Each factory returns a SuiteSpec whose workloads structurally encode the
+// documented character of the real suite (see DESIGN.md substitution table):
+//   * SPEC'17    — 43 CPU/memory workloads, wide variety, known internal
+//                  redundancy between rate/speed siblings;
+//   * PARSEC     — 13 multi-phase parallel applications (strong phases);
+//   * Ligra      — 12 graph algorithms sharing a load-graph front-end
+//                  (strongly clustered);
+//   * LMbench    — 14 OS/memory micro-probes at parameter-space extremes
+//                  (high coverage, no phases);
+//   * Nbench     — 10 steady-state CPU kernels (small working sets);
+//   * SGXGauge   — 10 diverse real-world applications (strong phases).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/workload.hpp"
+
+namespace perspector::suites {
+
+/// Scale knobs shared by all factories.
+struct SuiteBuildOptions {
+  /// Equal instruction budget per workload — the paper equalizes execution
+  /// time across workloads by tuning inputs; equal budgets are our analogue.
+  std::uint64_t instructions_per_workload = 2'000'000;
+};
+
+sim::SuiteSpec spec17(const SuiteBuildOptions& options = {});
+sim::SuiteSpec parsec(const SuiteBuildOptions& options = {});
+sim::SuiteSpec ligra(const SuiteBuildOptions& options = {});
+sim::SuiteSpec lmbench(const SuiteBuildOptions& options = {});
+sim::SuiteSpec nbench(const SuiteBuildOptions& options = {});
+sim::SuiteSpec sgxgauge(const SuiteBuildOptions& options = {});
+
+/// All six paper suites, in Table III order.
+std::vector<sim::SuiteSpec> all_suites(const SuiteBuildOptions& options = {});
+
+/// The five workloads of the paper's Fig. 1 trend-normalization example:
+/// PageRank, HashJoin, BFS, BTree, OpenSSL.
+sim::SuiteSpec demo_five(const SuiteBuildOptions& options = {});
+
+// Emerging-domain suites (paper Section I motivation; modelled on the
+// cited RIoTBench, SeBS, and ComB suites).
+
+/// IoT distributed stream-processing operators (8 workloads).
+sim::SuiteSpec riotbench(const SuiteBuildOptions& options = {});
+/// Serverless / FaaS functions with cold-start phases (8 workloads).
+sim::SuiteSpec sebs(const SuiteBuildOptions& options = {});
+/// Edge-computing media/inference pipelines (6 workloads).
+sim::SuiteSpec comb(const SuiteBuildOptions& options = {});
+
+/// SPLASH-2: the 1995 HPC suite PARSEC replaced (12 workloads) — for the
+/// reference-[29] comparison bench.
+sim::SuiteSpec splash2(const SuiteBuildOptions& options = {});
+
+}  // namespace perspector::suites

@@ -1,0 +1,176 @@
+#include "sim/core_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace perspector::sim {
+namespace {
+
+PhaseSpec basic_phase() {
+  PhaseSpec p;
+  p.name = "p";
+  p.load_frac = 0.3;
+  p.store_frac = 0.1;
+  p.branch_frac = 0.15;
+  p.pattern = {.kind = AccessPatternKind::Sequential,
+               .working_set_bytes = 64 * 1024,
+               .stride_bytes = 8};
+  return p;
+}
+
+TEST(CoreModel, CounterConsistencyInvariants) {
+  CoreModel core(MachineConfig::xeon_e2186g(), 1);
+  core.run_phase(basic_phase(), 100'000, 0, nullptr);
+  const PmuCounterSet c = core.counters();
+
+  EXPECT_EQ(core.instructions_retired(), 100'000u);
+  // Cycles at least base CPI * instructions.
+  EXPECT_GE(c[PmuEvent::CpuCycles], 30'000u);
+  // Misses never exceed accesses.
+  EXPECT_LE(c[PmuEvent::BranchMisses], c[PmuEvent::BranchInstructions]);
+  EXPECT_LE(c[PmuEvent::DtlbLoadMisses], c[PmuEvent::DtlbLoads]);
+  EXPECT_LE(c[PmuEvent::DtlbStoreMisses], c[PmuEvent::DtlbStores]);
+  EXPECT_LE(c[PmuEvent::LlcLoadMisses], c[PmuEvent::LlcLoads]);
+  EXPECT_LE(c[PmuEvent::LlcStoreMisses], c[PmuEvent::LlcStores]);
+  // LLC traffic cannot exceed TLB traffic (every data access translates;
+  // only L1/L2 misses reach the LLC).
+  EXPECT_LE(c[PmuEvent::LlcLoads], c[PmuEvent::DtlbLoads]);
+  EXPECT_LE(c[PmuEvent::LlcStores], c[PmuEvent::DtlbStores]);
+}
+
+TEST(CoreModel, MixFractionsApproximatelyRespected) {
+  MachineConfig cfg = MachineConfig::xeon_e2186g();
+  cfg.background_access_rate = 0.0;  // isolate the phase mix
+  CoreModel core(cfg, 2);
+  core.run_phase(basic_phase(), 200'000, 0, nullptr);
+  const PmuCounterSet c = core.counters();
+  EXPECT_NEAR(static_cast<double>(c[PmuEvent::DtlbLoads]) / 200'000.0, 0.3,
+              0.01);
+  EXPECT_NEAR(static_cast<double>(c[PmuEvent::DtlbStores]) / 200'000.0, 0.1,
+              0.01);
+  EXPECT_NEAR(
+      static_cast<double>(c[PmuEvent::BranchInstructions]) / 200'000.0, 0.15,
+      0.01);
+}
+
+TEST(CoreModel, BackgroundFloorKeepsCountersNonZero) {
+  // A phase with NO loads/stores/branches still shows memory activity from
+  // the OS background stream.
+  PhaseSpec alu;
+  alu.name = "alu-only";
+  alu.load_frac = 0.0;
+  alu.store_frac = 0.0;
+  alu.branch_frac = 0.0;
+  alu.pattern = basic_phase().pattern;
+  CoreModel core(MachineConfig::xeon_e2186g(), 3);
+  core.run_phase(alu, 200'000, 0, nullptr);
+  const PmuCounterSet c = core.counters();
+  EXPECT_GT(c[PmuEvent::DtlbLoads] + c[PmuEvent::DtlbStores], 0u);
+  EXPECT_GT(c[PmuEvent::PageFaults], 0u);
+}
+
+TEST(CoreModel, LargerWorkingSetMoreLlcMisses) {
+  const auto run = [](std::uint64_t ws) {
+    MachineConfig cfg = MachineConfig::xeon_e2186g();
+    cfg.background_access_rate = 0.0;
+    CoreModel core(cfg, 4);
+    PhaseSpec p = basic_phase();
+    p.pattern.kind = AccessPatternKind::RandomUniform;
+    p.pattern.working_set_bytes = ws;
+    core.run_phase(p, 200'000, 0, nullptr);
+    return core.counters()[PmuEvent::LlcLoadMisses];
+  };
+  EXPECT_GT(run(64ull << 20), run(1ull << 20) * 2);
+}
+
+TEST(CoreModel, RandomBranchesMispredictMore) {
+  const auto run = [](double randomness) {
+    MachineConfig cfg = MachineConfig::xeon_e2186g();
+    CoreModel core(cfg, 5);
+    PhaseSpec p = basic_phase();
+    p.branch_randomness = randomness;
+    core.run_phase(p, 200'000, 0, nullptr);
+    const auto c = core.counters();
+    return static_cast<double>(c[PmuEvent::BranchMisses]) /
+           static_cast<double>(c[PmuEvent::BranchInstructions]);
+  };
+  EXPECT_GT(run(0.9), run(0.01) + 0.1);
+}
+
+TEST(CoreModel, PageFaultsScaleWithFootprint) {
+  const auto run = [](std::uint64_t ws) {
+    MachineConfig cfg = MachineConfig::xeon_e2186g();
+    cfg.background_access_rate = 0.0;
+    CoreModel core(cfg, 6);
+    PhaseSpec p = basic_phase();
+    p.pattern.kind = AccessPatternKind::Strided;
+    p.pattern.stride_bytes = 4096;
+    p.pattern.working_set_bytes = ws;
+    core.run_phase(p, 100'000, 0, nullptr);
+    return core.counters()[PmuEvent::PageFaults];
+  };
+  EXPECT_GT(run(512ull << 20), run(4ull << 20));
+}
+
+TEST(CoreModel, MemoryStallsGrowWithMissRate) {
+  const auto run = [](AccessPatternKind kind, std::uint64_t ws) {
+    MachineConfig cfg = MachineConfig::xeon_e2186g();
+    cfg.background_access_rate = 0.0;
+    CoreModel core(cfg, 7);
+    PhaseSpec p = basic_phase();
+    p.pattern.kind = kind;
+    p.pattern.working_set_bytes = ws;
+    core.run_phase(p, 100'000, 0, nullptr);
+    return core.counters()[PmuEvent::StallsMemAny];
+  };
+  // A 64 MiB pointer chase stalls far more than an L1-resident stream.
+  EXPECT_GT(run(AccessPatternKind::PointerChase, 64ull << 20),
+            10 * run(AccessPatternKind::Sequential, 16 * 1024));
+}
+
+TEST(CoreModel, IpcDegradesUnderMemoryPressure) {
+  MachineConfig cfg = MachineConfig::xeon_e2186g();
+  cfg.background_access_rate = 0.0;
+
+  CoreModel fast(cfg, 8);
+  PhaseSpec light = basic_phase();
+  light.pattern.working_set_bytes = 16 * 1024;
+  fast.run_phase(light, 100'000, 0, nullptr);
+
+  CoreModel slow(cfg, 8);
+  PhaseSpec heavy = basic_phase();
+  heavy.pattern.kind = AccessPatternKind::PointerChase;
+  heavy.pattern.working_set_bytes = 64ull << 20;
+  slow.run_phase(heavy, 100'000, 0, nullptr);
+
+  EXPECT_GT(fast.ipc(), 2.0 * slow.ipc());
+}
+
+TEST(CoreModel, PhasesAccumulateAcrossCalls) {
+  CoreModel core(MachineConfig::xeon_e2186g(), 9);
+  core.run_phase(basic_phase(), 50'000, 0, nullptr);
+  const auto mid = core.counters();
+  core.run_phase(basic_phase(), 50'000, 1, nullptr);
+  const auto end = core.counters();
+  EXPECT_EQ(core.instructions_retired(), 100'000u);
+  // Counters are monotone across phases.
+  EXPECT_NO_THROW(end.delta_since(mid));
+}
+
+TEST(CoreModel, SamplerReceivesSamples) {
+  CoreModel core(MachineConfig::xeon_e2186g(), 10);
+  PmuSampler sampler(10'000);
+  core.run_phase(basic_phase(), 100'000, 0, &sampler);
+  EXPECT_EQ(sampler.sample_count(), 10u);
+}
+
+TEST(CoreModel, DeterministicForSeed) {
+  const auto run = [] {
+    CoreModel core(MachineConfig::xeon_e2186g(), 42);
+    core.run_phase(basic_phase(), 50'000, 0, nullptr);
+    return core.counters();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace perspector::sim

@@ -1,0 +1,102 @@
+#include "core/coverage_score.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace perspector::core {
+namespace {
+
+TEST(CoverageScore, RequiresTwoRows) {
+  EXPECT_THROW(coverage_score(la::Matrix(1, 3)), std::invalid_argument);
+}
+
+TEST(CoverageScore, ConstantSuiteScoresZero) {
+  const auto result = coverage_score(la::Matrix(6, 4, 0.5));
+  EXPECT_NEAR(result.score, 0.0, 1e-12);
+  EXPECT_EQ(result.components, 1u);
+}
+
+TEST(CoverageScore, SingleDimensionKnownVariance) {
+  // Column 0 varies {0, 1}, others constant: one PC, variance = sample
+  // variance of {0,1,0,1} = 1/3.
+  la::Matrix m{{0.0, 0.5}, {1.0, 0.5}, {0.0, 0.5}, {1.0, 0.5}};
+  const auto result = coverage_score(m);
+  EXPECT_EQ(result.components, 1u);
+  EXPECT_NEAR(result.score, 1.0 / 3.0, 1e-9);
+}
+
+TEST(CoverageScore, WiderSpreadScoresHigher) {
+  stats::Rng rng(101);
+  la::Matrix narrow(12, 4), wide(12, 4);
+  for (std::size_t r = 0; r < 12; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      narrow(r, c) = 0.5 + rng.uniform(-0.05, 0.05);
+      wide(r, c) = rng.uniform();
+    }
+  }
+  EXPECT_GT(coverage_score(wide).score, 5.0 * coverage_score(narrow).score);
+}
+
+TEST(CoverageScore, VarianceTargetControlsComponents) {
+  stats::Rng rng(102);
+  // One dominant dimension plus three faint ones.
+  la::Matrix m(20, 4);
+  for (std::size_t r = 0; r < 20; ++r) {
+    m(r, 0) = rng.uniform(0.0, 1.0);
+    for (std::size_t c = 1; c < 4; ++c) m(r, c) = rng.uniform(0.0, 0.01);
+  }
+  CoverageScoreOptions loose;
+  loose.variance_target = 0.5;
+  CoverageScoreOptions tight;
+  tight.variance_target = 0.999999;
+  EXPECT_EQ(coverage_score(m, loose).components, 1u);
+  EXPECT_GT(coverage_score(m, tight).components, 1u);
+}
+
+TEST(CoverageScore, DetailVectorsMatchComponentCount) {
+  stats::Rng rng(103);
+  la::Matrix m(10, 5);
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) m(r, c) = rng.uniform();
+  }
+  const auto result = coverage_score(m);
+  EXPECT_EQ(result.component_variances.size(), result.components);
+  EXPECT_EQ(result.explained_ratio.size(), result.components);
+  // Eq. 13: score is the mean of the component variances.
+  double total = 0.0;
+  for (double v : result.component_variances) total += v;
+  EXPECT_NEAR(result.score, total / static_cast<double>(result.components),
+              1e-12);
+}
+
+TEST(CoverageScore, OutliersInflateVariance) {
+  // Fig. 2's warning: a corner blob plus outliers can match a uniform
+  // spread on coverage.
+  stats::Rng rng(104);
+  la::Matrix outliers(12, 3);
+  for (std::size_t r = 0; r < 12; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      outliers(r, c) = r < 2 ? rng.uniform(0.95, 1.0) : rng.uniform(0.0, 0.05);
+    }
+  }
+  EXPECT_GT(coverage_score(outliers).score, 0.05);
+}
+
+TEST(CoverageScore, RedundantCountersAddNothing) {
+  // Duplicating every counter column doubles PC1 variance but retains one
+  // component: PCA eliminates the redundancy, as the paper requires.
+  stats::Rng rng(105);
+  la::Matrix base(10, 2);
+  for (std::size_t r = 0; r < 10; ++r) {
+    base(r, 0) = rng.uniform();
+    base(r, 1) = base(r, 0);  // perfectly redundant counter
+  }
+  const auto result = coverage_score(base);
+  EXPECT_EQ(result.components, 1u);
+}
+
+}  // namespace
+}  // namespace perspector::core

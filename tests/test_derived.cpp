@@ -1,0 +1,116 @@
+#include "core/derived.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/report.hpp"
+#include "sim/pmu.hpp"
+
+namespace perspector::core {
+namespace {
+
+// A CounterMatrix with hand-picked Table IV values for exact-rate checks.
+CounterMatrix handmade_suite() {
+  const auto counters = sim::pmu_event_names();
+  la::Matrix values(2, counters.size(), 0.0);
+  const auto set = [&](std::size_t w, sim::PmuEvent e, double v) {
+    values(w, static_cast<std::size_t>(e)) = v;
+  };
+  // Workload 0: 10000 cycles, easy round numbers.
+  set(0, sim::PmuEvent::CpuCycles, 10'000);
+  set(0, sim::PmuEvent::BranchInstructions, 2'000);
+  set(0, sim::PmuEvent::BranchMisses, 100);
+  set(0, sim::PmuEvent::DtlbWalkPending, 500);
+  set(0, sim::PmuEvent::StallsMemAny, 2'500);
+  set(0, sim::PmuEvent::PageFaults, 10);
+  set(0, sim::PmuEvent::DtlbLoads, 3'000);
+  set(0, sim::PmuEvent::DtlbStores, 1'000);
+  set(0, sim::PmuEvent::DtlbLoadMisses, 300);
+  set(0, sim::PmuEvent::DtlbStoreMisses, 100);
+  set(0, sim::PmuEvent::LlcLoads, 400);
+  set(0, sim::PmuEvent::LlcStores, 100);
+  set(0, sim::PmuEvent::LlcLoadMisses, 40);
+  set(0, sim::PmuEvent::LlcStoreMisses, 10);
+  // Workload 1: all zero (degenerate-rate handling).
+  return CounterMatrix("hand", {"w0", "zero"}, counters, values);
+}
+
+TEST(Derived, ExactRates) {
+  const auto m = derive_metrics_for(handmade_suite(), 0);
+  EXPECT_EQ(m.workload, "w0");
+  EXPECT_DOUBLE_EQ(m.llc_miss_pkc, 5.0);          // 50 * 1000 / 10000
+  EXPECT_DOUBLE_EQ(m.llc_access_pkc, 50.0);       // 500 * 1000 / 10000
+  EXPECT_DOUBLE_EQ(m.dtlb_miss_pkc, 40.0);        // 400 * 1000 / 10000
+  EXPECT_DOUBLE_EQ(m.page_fault_pkc, 1.0);        // 10 * 1000 / 10000
+  EXPECT_DOUBLE_EQ(m.branch_mpki_cycles, 10.0);   // 100 * 1000 / 10000
+  EXPECT_DOUBLE_EQ(m.branch_miss_ratio, 0.05);    // 100 / 2000
+  EXPECT_DOUBLE_EQ(m.llc_miss_ratio, 0.1);        // 50 / 500
+  EXPECT_DOUBLE_EQ(m.dtlb_miss_ratio, 0.1);       // 400 / 4000
+  EXPECT_DOUBLE_EQ(m.stall_fraction, 0.25);       // 2500 / 10000
+  EXPECT_DOUBLE_EQ(m.walk_fraction, 0.05);        // 500 / 10000
+  EXPECT_DOUBLE_EQ(m.memory_intensity, 0.4);      // 4000 / 10000
+}
+
+TEST(Derived, ZeroDenominatorsReportZero) {
+  const auto m = derive_metrics_for(handmade_suite(), 1);
+  EXPECT_DOUBLE_EQ(m.llc_miss_pkc, 0.0);
+  EXPECT_DOUBLE_EQ(m.branch_miss_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(m.llc_miss_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(m.stall_fraction, 0.0);
+}
+
+TEST(Derived, BatchCoversAllWorkloads) {
+  const auto all = derive_metrics(handmade_suite());
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].workload, "w0");
+  EXPECT_EQ(all[1].workload, "zero");
+}
+
+TEST(Derived, MissingCountersThrow) {
+  la::Matrix values(1, 2, 1.0);
+  const CounterMatrix partial("p", {"w"}, {"cpu-cycles", "weird"}, values);
+  EXPECT_THROW(derive_metrics(partial), std::invalid_argument);
+}
+
+TEST(Derived, RatiosBoundedForSimulatedData) {
+  // Ratios derived from any consistent counter set stay in [0, 1].
+  const auto suite = handmade_suite();
+  for (const auto& m : derive_metrics(suite)) {
+    for (double r : {m.branch_miss_ratio, m.llc_miss_ratio,
+                     m.dtlb_miss_ratio, m.stall_fraction}) {
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+}
+
+TEST(Report, WorkloadRatesTable) {
+  const auto table = workload_rates_table(handmade_suite());
+  EXPECT_EQ(table.rows(), 2u);
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("w0"), std::string::npos);
+  EXPECT_NE(text.find("llc-miss/kc"), std::string::npos);
+}
+
+TEST(Report, SuiteReportSections) {
+  const auto suite = handmade_suite();
+  SuiteScores scores;
+  scores.suite = "hand";
+  scores.cluster_detail.per_k = {0.4, 0.3};
+  scores.coverage_detail.components = 2;
+  scores.coverage_detail.component_variances = {0.1, 0.05};
+  const std::string report = suite_report(suite, scores);
+  EXPECT_NE(report.find("Perspector report: hand"), std::string::npos);
+  EXPECT_NE(report.find("per-workload rates"), std::string::npos);
+  EXPECT_NE(report.find("per-k silhouettes"), std::string::npos);
+  // No trend section without per-event detail.
+  EXPECT_EQ(report.find("trend contribution"), std::string::npos);
+
+  scores.trend_detail.per_event.assign(suite.num_counters(), 5.0);
+  const std::string with_trend = suite_report(suite, scores);
+  EXPECT_NE(with_trend.find("trend contribution"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace perspector::core

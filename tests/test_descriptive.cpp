@@ -1,0 +1,99 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace perspector::stats {
+namespace {
+
+const std::vector<double> kSample{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(Descriptive, Mean) {
+  EXPECT_DOUBLE_EQ(mean(kSample), 5.0);
+  EXPECT_THROW(mean(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Descriptive, PopulationVariance) {
+  // Classic example: population stddev of kSample is exactly 2.
+  EXPECT_DOUBLE_EQ(variance_population(kSample), 4.0);
+  EXPECT_DOUBLE_EQ(stddev_population(kSample), 2.0);
+}
+
+TEST(Descriptive, SampleVariance) {
+  EXPECT_NEAR(variance_sample(kSample), 32.0 / 7.0, 1e-12);
+  EXPECT_THROW(variance_sample(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Descriptive, MinMaxSum) {
+  EXPECT_DOUBLE_EQ(min_value(kSample), 2.0);
+  EXPECT_DOUBLE_EQ(max_value(kSample), 9.0);
+  EXPECT_DOUBLE_EQ(sum(kSample), 40.0);
+  EXPECT_DOUBLE_EQ(sum(std::vector<double>{}), 0.0);
+}
+
+TEST(Descriptive, MedianEvenAndOdd) {
+  EXPECT_DOUBLE_EQ(median(kSample), 4.5);
+  const std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+}
+
+TEST(Descriptive, PercentileInterpolation) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+  EXPECT_THROW(percentile(xs, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Descriptive, PercentileSingleValue) {
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 75.0), 42.0);
+}
+
+TEST(Descriptive, PearsonCorrelation) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  const std::vector<double> z{6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(x, z), -1.0, 1e-12);
+  const std::vector<double> constant{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, constant), 0.0);
+  const std::vector<double> mismatched{1.0};
+  EXPECT_THROW(pearson_correlation(x, mismatched), std::invalid_argument);
+}
+
+TEST(Descriptive, Summarize) {
+  const Summary s = summarize(kSample);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+}
+
+// Property: percentile is monotone in p.
+class PercentileMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileMonotone, NondecreasingInP) {
+  const double p = GetParam();
+  const std::vector<double> xs{5.0, 1.0, 9.0, 3.0, 7.0, 2.0};
+  if (p >= 5.0) {
+    EXPECT_LE(percentile(xs, p - 5.0), percentile(xs, p));
+  }
+  EXPECT_GE(percentile(xs, p), min_value(xs));
+  EXPECT_LE(percentile(xs, p), max_value(xs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, PercentileMonotone,
+                         ::testing::Values(0.0, 5.0, 25.0, 50.0, 75.0, 95.0,
+                                           100.0));
+
+}  // namespace
+}  // namespace perspector::stats

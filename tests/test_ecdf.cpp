@@ -1,0 +1,81 @@
+#include "stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace perspector::stats {
+namespace {
+
+TEST(Ecdf, RejectsEmptySample) {
+  EXPECT_THROW(Ecdf(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Ecdf, StepValues) {
+  const std::vector<double> sample{1.0, 2.0, 3.0, 4.0};
+  const Ecdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf(100.0), 1.0);
+}
+
+TEST(Ecdf, HandlesTies) {
+  const std::vector<double> sample{2.0, 2.0, 2.0, 5.0};
+  const Ecdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf(1.9), 0.0);
+}
+
+TEST(Ecdf, PercentileOf) {
+  const std::vector<double> sample{10.0, 20.0};
+  const Ecdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.percentile_of(10.0), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile_of(20.0), 100.0);
+}
+
+TEST(Ecdf, Quantile) {
+  const std::vector<double> sample{1.0, 2.0, 3.0, 4.0};
+  const Ecdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+}
+
+TEST(Ecdf, QuantileInvertsCdf) {
+  const std::vector<double> sample{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  const Ecdf cdf(sample);
+  for (double q : {0.125, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_GE(cdf(cdf.quantile(q)), q - 1e-12);
+  }
+}
+
+TEST(CdfNormalize, OutputBounded) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 3.0, 9.0};
+  const auto out = cdf_normalize_to_percentiles(xs);
+  ASSERT_EQ(out.size(), xs.size());
+  for (double v : out) {
+    EXPECT_GT(v, 0.0);  // every value is >= its own rank
+    EXPECT_LE(v, 100.0);
+  }
+  // The maximum always maps to 100.
+  EXPECT_DOUBLE_EQ(out[4], 100.0);
+}
+
+TEST(CdfNormalize, EmptyInput) {
+  EXPECT_TRUE(cdf_normalize_to_percentiles(std::vector<double>{}).empty());
+}
+
+TEST(CdfNormalize, PreservesOrdering) {
+  const std::vector<double> xs{4.0, 2.0, 8.0, 6.0};
+  const auto out = cdf_normalize_to_percentiles(xs);
+  EXPECT_LT(out[1], out[0]);
+  EXPECT_LT(out[0], out[3]);
+  EXPECT_LT(out[3], out[2]);
+}
+
+}  // namespace
+}  // namespace perspector::stats

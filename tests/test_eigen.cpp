@@ -1,0 +1,130 @@
+#include "la/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace perspector::la {
+namespace {
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  Matrix m{{3.0, 0.0}, {0.0, 1.0}};
+  const EigenResult e = symmetric_eigen(m);
+  ASSERT_EQ(e.values.size(), 2u);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+}
+
+TEST(SymmetricEigen, Known2x2) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix m{{2.0, 1.0}, {1.0, 2.0}};
+  const EigenResult e = symmetric_eigen(m);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(e.vectors(0, 0)), inv_sqrt2, 1e-10);
+  EXPECT_NEAR(std::abs(e.vectors(1, 0)), inv_sqrt2, 1e-10);
+}
+
+TEST(SymmetricEigen, RejectsNonSquare) {
+  EXPECT_THROW(symmetric_eigen(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(SymmetricEigen, RejectsAsymmetric) {
+  Matrix m{{1.0, 2.0}, {0.0, 1.0}};
+  EXPECT_THROW(symmetric_eigen(m), std::invalid_argument);
+}
+
+TEST(SymmetricEigen, EmptyMatrix) {
+  const EigenResult e = symmetric_eigen(Matrix{});
+  EXPECT_TRUE(e.values.empty());
+}
+
+TEST(SymmetricEigen, ReconstructsMatrix) {
+  // A = V diag(w) V^T must reproduce the input.
+  Matrix m{{4.0, 1.0, 0.5}, {1.0, 3.0, 0.2}, {0.5, 0.2, 2.0}};
+  const EigenResult e = symmetric_eigen(m);
+  Matrix diag(3, 3, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) diag(i, i) = e.values[i];
+  const Matrix rebuilt =
+      e.vectors.multiply(diag).multiply(e.vectors.transposed());
+  EXPECT_LT(m.max_abs_diff(rebuilt), 1e-9);
+}
+
+TEST(SymmetricEigen, EigenvectorsOrthonormal) {
+  Matrix m{{5.0, 2.0, 1.0}, {2.0, 4.0, 0.5}, {1.0, 0.5, 3.0}};
+  const EigenResult e = symmetric_eigen(m);
+  const Matrix vtv = e.vectors.transposed().multiply(e.vectors);
+  EXPECT_LT(vtv.max_abs_diff(Matrix::identity(3)), 1e-10);
+}
+
+// Property sweep: random symmetric matrices of various sizes satisfy the
+// spectral invariants (trace == eigenvalue sum, reconstruction, descending
+// order).
+class EigenProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenProperty, SpectralInvariants) {
+  const std::size_t n = GetParam();
+  stats::Rng rng(1000 + n);
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  const EigenResult e = symmetric_eigen(m);
+
+  double trace = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace += m(i, i);
+    sum += e.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-9 * static_cast<double>(n));
+
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_GE(e.values[i - 1], e.values[i] - 1e-12);
+  }
+
+  Matrix diag(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) diag(i, i) = e.values[i];
+  const Matrix rebuilt =
+      e.vectors.multiply(diag).multiply(e.vectors.transposed());
+  EXPECT_LT(m.max_abs_diff(rebuilt), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 14, 25));
+
+TEST(Covariance, SingleRowIsZero) {
+  Matrix m{{1.0, 2.0, 3.0}};
+  const Matrix cov = covariance_matrix(m);
+  EXPECT_LT(cov.max_abs_diff(Matrix(3, 3, 0.0)), 1e-15);
+}
+
+TEST(Covariance, KnownValues) {
+  // Two variables: x = {1,2,3}, y = {2,4,6}; var(x)=1, var(y)=4, cov=2.
+  Matrix m{{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}};
+  const Matrix cov = covariance_matrix(m);
+  EXPECT_NEAR(cov(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 4.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(cov(1, 0), 2.0, 1e-12);
+}
+
+TEST(Covariance, PositiveSemidefinite) {
+  stats::Rng rng(7);
+  Matrix data(10, 4);
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) data(r, c) = rng.uniform();
+  }
+  const EigenResult e = symmetric_eigen(covariance_matrix(data));
+  for (double v : e.values) EXPECT_GE(v, -1e-12);
+}
+
+}  // namespace
+}  // namespace perspector::la

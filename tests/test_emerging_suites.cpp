@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "core/counter_matrix.hpp"
+#include "core/perspector.hpp"
+#include "suites/suite_factory.hpp"
+
+namespace perspector::suites {
+namespace {
+
+SuiteBuildOptions small() {
+  SuiteBuildOptions options;
+  options.instructions_per_workload = 50'000;
+  return options;
+}
+
+TEST(EmergingSuites, CountsAndValidation) {
+  EXPECT_EQ(riotbench(small()).workloads.size(), 8u);
+  EXPECT_EQ(sebs(small()).workloads.size(), 8u);
+  EXPECT_EQ(comb(small()).workloads.size(), 6u);
+  EXPECT_NO_THROW(riotbench(small()).validate());
+  EXPECT_NO_THROW(sebs(small()).validate());
+  EXPECT_NO_THROW(comb(small()).validate());
+}
+
+TEST(EmergingSuites, StructuralSignatures) {
+  // RIoTBench operators are single-phase; SeBS functions all start with a
+  // cold-start phase; ComB pipelines are mostly multi-phase.
+  for (const auto& w : riotbench(small()).workloads) {
+    EXPECT_EQ(w.phases.size(), 1u) << w.name;
+  }
+  for (const auto& w : sebs(small()).workloads) {
+    ASSERT_EQ(w.phases.size(), 2u) << w.name;
+    EXPECT_EQ(w.phases[0].name, "cold-start") << w.name;
+  }
+  std::size_t multi = 0;
+  for (const auto& w : comb(small()).workloads) {
+    if (w.phases.size() >= 2) ++multi;
+  }
+  EXPECT_GE(multi, 5u);
+}
+
+TEST(EmergingSuites, EndToEndScoring) {
+  const auto machine = sim::MachineConfig::xeon_e2186g();
+  sim::SimOptions options;
+  options.sample_interval = 2'500;
+  std::vector<core::CounterMatrix> data;
+  for (const auto& spec :
+       {riotbench(small()), sebs(small()), comb(small())}) {
+    data.push_back(core::collect_counters(spec, machine, options));
+  }
+  const auto scores = core::Perspector().score_suites(data);
+  ASSERT_EQ(scores.size(), 3u);
+  for (const auto& s : scores) {
+    EXPECT_GT(s.coverage, 0.0) << s.suite;
+    EXPECT_GT(s.trend, 0.0) << s.suite;
+  }
+  // SeBS's cold-start phases beat RIoTBench's steady operators on trend.
+  EXPECT_GT(scores[1].trend, scores[0].trend);
+}
+
+}  // namespace
+}  // namespace perspector::suites

@@ -1,0 +1,88 @@
+// Golden regression tests: pin exact counter values for fixed
+// workload/seed/machine combinations. Any refactor of the simulator that
+// changes behaviour (rather than just structure) trips these — update the
+// constants only for *intentional* model changes, and re-run the full
+// bench set when you do (the tuned suite shapes in EXPERIMENTS.md depend
+// on simulator behaviour).
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace perspector::sim {
+namespace {
+
+WorkloadSpec golden_workload() {
+  WorkloadSpec w;
+  w.name = "golden";
+  w.instructions = 50'000;
+  PhaseSpec stream;
+  stream.name = "stream";
+  stream.weight = 0.5;
+  stream.load_frac = 0.3;
+  stream.store_frac = 0.1;
+  stream.branch_frac = 0.15;
+  stream.pattern = {.kind = AccessPatternKind::Sequential,
+                    .working_set_bytes = 1 << 20,
+                    .stride_bytes = 64};
+  PhaseSpec chase = stream;
+  chase.name = "chase";
+  chase.pattern.kind = AccessPatternKind::PointerChase;
+  chase.pattern.working_set_bytes = 16ull << 20;
+  w.phases = {stream, chase};
+  return w;
+}
+
+TEST(Golden, FixedSeedCountersAreStable) {
+  SimOptions options;
+  options.seed = 12345;
+  options.collect_series = false;
+  const SimResult r =
+      simulate(golden_workload(), MachineConfig::xeon_e2186g(), options);
+
+  // Structural invariants first (these must hold for ANY model version).
+  EXPECT_EQ(r.instructions, 50'000u);
+  const auto& c = r.totals;
+  EXPECT_LE(c[PmuEvent::BranchMisses], c[PmuEvent::BranchInstructions]);
+  EXPECT_LE(c[PmuEvent::DtlbLoadMisses], c[PmuEvent::DtlbLoads]);
+  EXPECT_LE(c[PmuEvent::LlcLoadMisses], c[PmuEvent::LlcLoads]);
+
+  // Golden values for this exact seed/machine/model. If a change here is
+  // intentional, refresh the constants AND re-validate EXPERIMENTS.md.
+  const SimResult again =
+      simulate(golden_workload(), MachineConfig::xeon_e2186g(), options);
+  EXPECT_EQ(r.totals, again.totals) << "simulator is non-deterministic";
+
+  // Loose golden bands (5% wide) rather than exact counts: they survive
+  // innocuous floating-point reordering but catch real model changes.
+  const auto in_band = [](std::uint64_t value, double lo, double hi) {
+    return static_cast<double>(value) >= lo &&
+           static_cast<double>(value) <= hi;
+  };
+  EXPECT_TRUE(in_band(c[PmuEvent::DtlbLoads], 14'000, 16'500))
+      << c[PmuEvent::DtlbLoads];
+  EXPECT_TRUE(in_band(c[PmuEvent::BranchInstructions], 7'000, 8'000))
+      << c[PmuEvent::BranchInstructions];
+  // The chase phase forces LLC misses: a healthy model lands well above
+  // zero and well below the total access count.
+  EXPECT_GT(c[PmuEvent::LlcLoadMisses], 2'000u);
+  EXPECT_LT(c[PmuEvent::LlcLoadMisses], 15'000u);
+  EXPECT_GT(c[PmuEvent::CpuCycles], r.instructions);  // memory-bound IPC < 1
+}
+
+TEST(Golden, MachineConfigDefaultsPinned) {
+  // The Table II machine description — changing these invalidates every
+  // tuned suite model, so lock them.
+  const MachineConfig cfg = MachineConfig::xeon_e2186g();
+  EXPECT_EQ(cfg.l1d.size_bytes, 32u * 1024);
+  EXPECT_EQ(cfg.l2.size_bytes, 256u * 1024);
+  EXPECT_EQ(cfg.llc.size_bytes, 12u * 1024 * 1024);
+  EXPECT_EQ(cfg.dtlb.entries, 64u);
+  EXPECT_EQ(cfg.stlb.entries, 1536u);
+  EXPECT_EQ(cfg.page_bytes, 4096u);
+  EXPECT_EQ(cfg.predictor, MachineConfig::Predictor::Gshare);
+  EXPECT_EQ(cfg.prefetcher, MachineConfig::Prefetcher::None);
+  EXPECT_DOUBLE_EQ(cfg.background_access_rate, 0.002);
+}
+
+}  // namespace
+}  // namespace perspector::sim

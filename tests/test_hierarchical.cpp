@@ -1,0 +1,142 @@
+#include "cluster/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace perspector::cluster {
+namespace {
+
+la::Matrix line_points() {
+  // 0, 1 close; 10, 11 close; the pairs far apart.
+  return la::Matrix{{0.0}, {1.0}, {10.0}, {11.0}};
+}
+
+TEST(Hierarchical, ValidatesInput) {
+  EXPECT_THROW(agglomerate(la::Matrix{}, Linkage::Single),
+               std::invalid_argument);
+  EXPECT_THROW(agglomerate_from_distances(la::Matrix(2, 3), Linkage::Single),
+               std::invalid_argument);
+  EXPECT_THROW(
+      agglomerate_from_distances(la::pairwise_distances(line_points()),
+                                 Linkage::Ward),
+      std::invalid_argument);
+}
+
+TEST(Hierarchical, SinglePointDendrogram) {
+  const auto tree = agglomerate(la::Matrix{{1.0}}, Linkage::Single);
+  EXPECT_EQ(tree.leaves, 1u);
+  EXPECT_TRUE(tree.merges.empty());
+  EXPECT_EQ(tree.cut(1), std::vector<std::size_t>{0});
+}
+
+TEST(Hierarchical, MergeOrderOnLine) {
+  const auto tree = agglomerate(line_points(), Linkage::Single);
+  ASSERT_EQ(tree.merges.size(), 3u);
+  // First two merges join the tight pairs at distance 1.
+  EXPECT_DOUBLE_EQ(tree.merges[0].distance, 1.0);
+  EXPECT_DOUBLE_EQ(tree.merges[1].distance, 1.0);
+  // Final merge at single-linkage distance 9 (10 - 1).
+  EXPECT_DOUBLE_EQ(tree.merges[2].distance, 9.0);
+  EXPECT_EQ(tree.merges[2].size, 4u);
+}
+
+TEST(Hierarchical, CompleteLinkageUsesMaxDistance) {
+  const auto tree = agglomerate(line_points(), Linkage::Complete);
+  // Final merge at complete-linkage distance 11 (11 - 0).
+  EXPECT_DOUBLE_EQ(tree.merges[2].distance, 11.0);
+}
+
+TEST(Hierarchical, AverageLinkage) {
+  const auto tree = agglomerate(line_points(), Linkage::Average);
+  // Mean of {10, 11, 9, 10} = 10.
+  EXPECT_DOUBLE_EQ(tree.merges[2].distance, 10.0);
+}
+
+TEST(Hierarchical, CutProducesKClusters) {
+  const auto tree = agglomerate(line_points(), Linkage::Single);
+  const auto two = tree.cut(2);
+  EXPECT_EQ(two[0], two[1]);
+  EXPECT_EQ(two[2], two[3]);
+  EXPECT_NE(two[0], two[2]);
+
+  const auto four = tree.cut(4);
+  EXPECT_EQ(std::set<std::size_t>(four.begin(), four.end()).size(), 4u);
+  const auto one = tree.cut(1);
+  EXPECT_EQ(std::set<std::size_t>(one.begin(), one.end()).size(), 1u);
+
+  EXPECT_THROW(tree.cut(0), std::invalid_argument);
+  EXPECT_THROW(tree.cut(5), std::invalid_argument);
+}
+
+TEST(Hierarchical, CopheneticDistances) {
+  const auto tree = agglomerate(line_points(), Linkage::Single);
+  EXPECT_DOUBLE_EQ(tree.cophenetic_distance(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(tree.cophenetic_distance(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(tree.cophenetic_distance(0, 2), 9.0);
+  EXPECT_DOUBLE_EQ(tree.cophenetic_distance(2, 3), 1.0);
+  EXPECT_THROW(tree.cophenetic_distance(0, 4), std::out_of_range);
+}
+
+TEST(Hierarchical, WardPrefersCompactMerges) {
+  stats::Rng rng(41);
+  // Two tight blobs of unequal size; Ward should still merge within blobs
+  // first.
+  la::Matrix points(12, 2);
+  for (std::size_t i = 0; i < 8; ++i) {
+    points(i, 0) = rng.normal(0.0, 0.1);
+    points(i, 1) = rng.normal(0.0, 0.1);
+  }
+  for (std::size_t i = 8; i < 12; ++i) {
+    points(i, 0) = rng.normal(6.0, 0.1);
+    points(i, 1) = rng.normal(6.0, 0.1);
+  }
+  const auto tree = agglomerate(points, Linkage::Ward);
+  const auto labels = tree.cut(2);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_EQ(labels[i], labels[0]);
+  for (std::size_t i = 9; i < 12; ++i) EXPECT_EQ(labels[i], labels[8]);
+  EXPECT_NE(labels[0], labels[8]);
+}
+
+TEST(Hierarchical, ToStringNames) {
+  EXPECT_STREQ(to_string(Linkage::Single), "single");
+  EXPECT_STREQ(to_string(Linkage::Complete), "complete");
+  EXPECT_STREQ(to_string(Linkage::Average), "average");
+  EXPECT_STREQ(to_string(Linkage::Ward), "ward");
+}
+
+// Property: merge heights are non-decreasing for single/complete/average
+// linkage (monotone dendrograms), and every cut is a valid partition.
+class HierarchicalProperty : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(HierarchicalProperty, MonotoneMergesAndValidCuts) {
+  stats::Rng rng(42);
+  la::Matrix points(15, 3);
+  for (std::size_t r = 0; r < 15; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) points(r, c) = rng.uniform();
+  }
+  const auto tree = agglomerate(points, GetParam());
+  ASSERT_EQ(tree.merges.size(), 14u);
+  if (GetParam() != Linkage::Ward) {
+    // Ward heights can be non-monotone in rare cases; others must not be.
+    for (std::size_t s = 1; s < tree.merges.size(); ++s) {
+      EXPECT_GE(tree.merges[s].distance,
+                tree.merges[s - 1].distance - 1e-9);
+    }
+  }
+  for (std::size_t k = 1; k <= 15; ++k) {
+    const auto labels = tree.cut(k);
+    const std::set<std::size_t> distinct(labels.begin(), labels.end());
+    EXPECT_EQ(distinct.size(), k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Linkages, HierarchicalProperty,
+                         ::testing::Values(Linkage::Single, Linkage::Complete,
+                                           Linkage::Average, Linkage::Ward));
+
+}  // namespace
+}  // namespace perspector::cluster

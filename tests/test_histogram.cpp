@@ -1,0 +1,85 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace perspector::stats {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);   // bin 0
+  h.add(0.3);   // bin 1
+  h.add(0.55);  // bin 2
+  h.add(0.9);   // bin 3
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.clamped(), 0u);
+}
+
+TEST(Histogram, UpperEdgeGoesToLastBin) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(1.0);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.clamped(), 0u);
+}
+
+TEST(Histogram, OutOfRangeClamped) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.clamped(), 2u);
+}
+
+TEST(Histogram, Frequency) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.frequency(0), 0.0);  // empty histogram
+  h.add(0.1);
+  h.add(0.2);
+  h.add(0.8);
+  EXPECT_NEAR(h.frequency(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.frequency(1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+  EXPECT_THROW(h.bin_lo(5), std::out_of_range);
+  EXPECT_THROW(h.count(5), std::out_of_range);
+}
+
+TEST(Histogram, OccupiedBins) {
+  Histogram h(0.0, 1.0, 10);
+  EXPECT_EQ(h.occupied_bins(), 0u);
+  const std::vector<double> xs{0.05, 0.06, 0.95};
+  h.add_all(xs);
+  EXPECT_EQ(h.occupied_bins(), 2u);
+}
+
+TEST(Histogram, AsciiRendersAllBins) {
+  Histogram h(0.0, 1.0, 3);
+  h.add(0.2);
+  const std::string art = h.to_ascii(10);
+  // Three lines, one per bin.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace perspector::stats

@@ -1,0 +1,86 @@
+#include "core/joint_normalize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace perspector::core {
+namespace {
+
+TEST(JointNormalize, ValidatesInput) {
+  EXPECT_THROW(joint_ranges({}), std::invalid_argument);
+  la::Matrix a(2, 3);
+  la::Matrix b(2, 2);
+  EXPECT_THROW(joint_ranges({&a, &b}), std::invalid_argument);
+  la::Matrix empty;
+  EXPECT_THROW(joint_ranges({&a, &empty}), std::invalid_argument);
+  EXPECT_THROW(joint_ranges({&a, nullptr}), std::invalid_argument);
+}
+
+TEST(JointNormalize, RangesSpanAllSuites) {
+  la::Matrix a{{0.0, 100.0}, {10.0, 200.0}};
+  la::Matrix b{{-5.0, 150.0}, {20.0, 50.0}};
+  const JointRanges r = joint_ranges({&a, &b});
+  EXPECT_DOUBLE_EQ(r.min[0], -5.0);
+  EXPECT_DOUBLE_EQ(r.max[0], 20.0);
+  EXPECT_DOUBLE_EQ(r.min[1], 50.0);
+  EXPECT_DOUBLE_EQ(r.max[1], 200.0);
+}
+
+TEST(JointNormalize, PreservesRelativeMagnitudes) {
+  // The paper's motivating case: counter ranges [0,10K] vs [0,100K] must
+  // NOT both map to [0,1] — suite A tops out at 0.1.
+  la::Matrix a{{0.0}, {10'000.0}};
+  la::Matrix b{{0.0}, {100'000.0}};
+  const auto normalized = joint_minmax_normalize({&a, &b});
+  EXPECT_DOUBLE_EQ(normalized[0](1, 0), 0.1);
+  EXPECT_DOUBLE_EQ(normalized[1](1, 0), 1.0);
+}
+
+TEST(JointNormalize, OutputAlwaysInUnitInterval) {
+  la::Matrix a{{3.0, -7.0}, {9.0, 2.0}};
+  la::Matrix b{{5.0, 0.0}, {1.0, 11.0}};
+  for (const auto& m : joint_minmax_normalize({&a, &b})) {
+    for (double v : m.data()) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(JointNormalize, ConstantCounterMapsToHalf) {
+  la::Matrix a{{5.0}, {5.0}};
+  la::Matrix b{{5.0}};
+  const auto normalized = joint_minmax_normalize({&a, &b});
+  EXPECT_DOUBLE_EQ(normalized[0](0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(normalized[1](0, 0), 0.5);
+}
+
+TEST(JointNormalize, SingleSuiteEqualsPlainMinMax) {
+  la::Matrix a{{0.0, 4.0}, {2.0, 8.0}, {1.0, 6.0}};
+  const auto normalized = joint_minmax_normalize({&a});
+  EXPECT_DOUBLE_EQ(normalized[0](0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(normalized[0](1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(normalized[0](2, 0), 0.5);
+}
+
+TEST(JointNormalize, ApplyValidatesRangeSize) {
+  la::Matrix a(2, 2);
+  JointRanges r;
+  r.min = {0.0};
+  r.max = {1.0};
+  EXPECT_THROW(apply_joint_normalization(a, r), std::invalid_argument);
+}
+
+TEST(JointNormalize, Equation10Exact) {
+  // X_norm = (X - R) / (Q - R), element-wise per counter.
+  la::Matrix a{{2.0}, {6.0}};
+  la::Matrix b{{10.0}};
+  const auto normalized = joint_minmax_normalize({&a, &b});
+  EXPECT_DOUBLE_EQ(normalized[0](0, 0), 0.0);    // (2-2)/(10-2)
+  EXPECT_DOUBLE_EQ(normalized[0](1, 0), 0.5);    // (6-2)/8
+  EXPECT_DOUBLE_EQ(normalized[1](0, 0), 1.0);    // (10-2)/8
+}
+
+}  // namespace
+}  // namespace perspector::core

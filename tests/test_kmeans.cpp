@@ -1,0 +1,140 @@
+#include "cluster/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace perspector::cluster {
+namespace {
+
+la::Matrix two_blobs(std::size_t per_blob, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  la::Matrix points(2 * per_blob, 2);
+  for (std::size_t i = 0; i < per_blob; ++i) {
+    points(i, 0) = rng.normal(0.0, 0.05);
+    points(i, 1) = rng.normal(0.0, 0.05);
+    points(per_blob + i, 0) = rng.normal(5.0, 0.05);
+    points(per_blob + i, 1) = rng.normal(5.0, 0.05);
+  }
+  return points;
+}
+
+TEST(KMeans, ValidatesArguments) {
+  la::Matrix points{{0.0, 0.0}, {1.0, 1.0}};
+  KMeansConfig config;
+  config.k = 0;
+  EXPECT_THROW(kmeans(points, config), std::invalid_argument);
+  config.k = 3;
+  EXPECT_THROW(kmeans(points, config), std::invalid_argument);
+  config.k = 1;
+  config.restarts = 0;
+  EXPECT_THROW(kmeans(points, config), std::invalid_argument);
+  EXPECT_THROW(kmeans(la::Matrix{}, KMeansConfig{}), std::invalid_argument);
+}
+
+TEST(KMeans, SeparatesTwoBlobs) {
+  const la::Matrix points = two_blobs(10, 1);
+  KMeansConfig config;
+  config.k = 2;
+  const KMeansResult result = kmeans(points, config);
+
+  // All points of a blob share one label, the blobs differ.
+  const std::size_t label_a = result.labels[0];
+  const std::size_t label_b = result.labels[10];
+  EXPECT_NE(label_a, label_b);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(result.labels[i], label_a);
+    EXPECT_EQ(result.labels[10 + i], label_b);
+  }
+  EXPECT_TRUE(result.converged);
+  // Centroids near (0,0) and (5,5).
+  const double c0 = result.centroids(label_a, 0);
+  EXPECT_NEAR(c0, 0.0, 0.2);
+  EXPECT_NEAR(result.centroids(label_b, 0), 5.0, 0.2);
+}
+
+TEST(KMeans, KEqualsOneGivesSingleCluster) {
+  const la::Matrix points = two_blobs(5, 2);
+  KMeansConfig config;
+  config.k = 1;
+  const KMeansResult result = kmeans(points, config);
+  for (std::size_t label : result.labels) EXPECT_EQ(label, 0u);
+  // Centroid is the global mean (2.5, 2.5).
+  EXPECT_NEAR(result.centroids(0, 0), 2.5, 0.2);
+}
+
+TEST(KMeans, KEqualsNGivesZeroInertia) {
+  la::Matrix points{{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}};
+  KMeansConfig config;
+  config.k = 3;
+  const KMeansResult result = kmeans(points, config);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-18);
+  const std::set<std::size_t> labels(result.labels.begin(),
+                                     result.labels.end());
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  const la::Matrix points = two_blobs(8, 3);
+  KMeansConfig config;
+  config.k = 3;
+  config.seed = 99;
+  const auto a = kmeans(points, config);
+  const auto b = kmeans(points, config);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, DuplicatePointsDoNotCrash) {
+  la::Matrix points(6, 2, 1.0);  // all identical
+  KMeansConfig config;
+  config.k = 3;
+  const KMeansResult result = kmeans(points, config);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-18);
+}
+
+TEST(KMeans, InertiaDecreasesWithK) {
+  const la::Matrix points = two_blobs(10, 4);
+  double prev = 1e18;
+  for (std::size_t k = 1; k <= 4; ++k) {
+    KMeansConfig config;
+    config.k = k;
+    const double inertia = kmeans(points, config).inertia;
+    EXPECT_LE(inertia, prev + 1e-9);
+    prev = inertia;
+  }
+}
+
+TEST(ClusterSizes, CountsAndValidates) {
+  const std::vector<std::size_t> labels{0, 1, 1, 2, 2, 2};
+  const auto sizes = cluster_sizes(labels, 3);
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_THROW(cluster_sizes(labels, 2), std::invalid_argument);
+}
+
+// Property: every cluster is non-empty and labels are within range, for
+// varying k on a fixed random point set.
+class KMeansProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KMeansProperty, NonEmptyClustersAndValidLabels) {
+  stats::Rng rng(21);
+  la::Matrix points(24, 3);
+  for (std::size_t r = 0; r < 24; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) points(r, c) = rng.uniform();
+  }
+  KMeansConfig config;
+  config.k = GetParam();
+  const KMeansResult result = kmeans(points, config);
+  const auto sizes = cluster_sizes(result.labels, config.k);
+  for (std::size_t s : sizes) EXPECT_GT(s, 0u);
+  EXPECT_EQ(result.centroids.rows(), config.k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 23, 24));
+
+}  // namespace
+}  // namespace perspector::cluster

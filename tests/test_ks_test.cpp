@@ -1,0 +1,130 @@
+#include "stats/ks_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace perspector::stats {
+namespace {
+
+TEST(KsTest, RejectsEmptySample) {
+  EXPECT_THROW(ks_test_uniform(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(ks_test_two_sample(std::vector<double>{},
+                                  std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(KsTest, RejectsDegenerateUniformRange) {
+  const std::vector<double> xs{0.5};
+  EXPECT_THROW(ks_test_uniform(xs, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(KsTest, PerfectGridHasMinimalStatistic) {
+  // Points at i/(n+1) are as uniform as a finite sample gets; D = 1/(n+1)
+  // for this construction.
+  std::vector<double> xs;
+  const std::size_t n = 9;
+  for (std::size_t i = 1; i <= n; ++i) {
+    xs.push_back(static_cast<double>(i) / static_cast<double>(n + 1));
+  }
+  const KsResult r = ks_test_uniform(xs);
+  EXPECT_NEAR(r.statistic, 0.1, 1e-12);
+  EXPECT_GT(r.p_value, 0.9);
+}
+
+TEST(KsTest, ClusteredSampleHasLargeStatistic) {
+  // All mass at 0.95: D = F(0.95) against uniform = 0.95.
+  const std::vector<double> xs(10, 0.95);
+  const KsResult r = ks_test_uniform(xs);
+  EXPECT_NEAR(r.statistic, 0.95, 1e-12);
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(KsTest, KnownSmallCase) {
+  // Sample {0.1, 0.9}: empirical CDF jumps at 0.1 (to 0.5) and 0.9 (to 1).
+  // D = max(0.5 - 0.1, 0.9 - 0.5) = 0.4.
+  const std::vector<double> xs{0.1, 0.9};
+  const KsResult r = ks_test_uniform(xs);
+  EXPECT_NEAR(r.statistic, 0.4, 1e-12);
+}
+
+TEST(KsTest, UniformSamplesScoreLowOnAverage) {
+  Rng rng(11);
+  std::vector<double> xs(200);
+  for (double& x : xs) x = rng.uniform();
+  const KsResult r = ks_test_uniform(xs);
+  // For n=200 the D statistic of a genuinely uniform sample is ~0.03-0.1.
+  EXPECT_LT(r.statistic, 0.15);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTest, CustomCdfOneSample) {
+  // Test against CDF of U(0,2): sample drawn from U(0,1) should deviate.
+  Rng rng(13);
+  std::vector<double> xs(100);
+  for (double& x : xs) x = rng.uniform();
+  const KsResult vs_wide = ks_test_uniform(xs, 0.0, 2.0);
+  EXPECT_GT(vs_wide.statistic, 0.3);
+}
+
+TEST(KsTestTwoSample, IdenticalSamplesScoreZero) {
+  const std::vector<double> xs{0.1, 0.4, 0.7};
+  const KsResult r = ks_test_two_sample(xs, xs);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(KsTestTwoSample, DisjointSamplesScoreOne) {
+  const std::vector<double> a{0.1, 0.2};
+  const std::vector<double> b{0.8, 0.9};
+  EXPECT_DOUBLE_EQ(ks_test_two_sample(a, b).statistic, 1.0);
+}
+
+TEST(KsTestTwoSample, MatchesOneSampleAsymptotically) {
+  // A large uniform sample as the "reference" approximates the analytic CDF.
+  Rng rng(17);
+  std::vector<double> xs(100), ref(20000);
+  for (double& x : xs) x = rng.uniform();
+  for (double& x : ref) x = rng.uniform();
+  const double one = ks_test_uniform(xs).statistic;
+  const double two = ks_test_two_sample(xs, ref).statistic;
+  EXPECT_NEAR(one, two, 0.03);
+}
+
+TEST(KsPValue, MonotoneInD) {
+  double prev = 1.1;
+  for (double d : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+    const double p = ks_p_value(d, 50.0);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(KsPValue, Extremes) {
+  EXPECT_DOUBLE_EQ(ks_p_value(0.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(ks_p_value(1.0, 10.0), 0.0);
+}
+
+// Property: D is always in [0, 1] and symmetric for the two-sample test.
+class KsSymmetry : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KsSymmetry, BoundedAndSymmetric) {
+  Rng rng(GetParam());
+  std::vector<double> a(23), b(31);
+  for (double& x : a) x = rng.normal(0.0, 1.0);
+  for (double& x : b) x = rng.normal(0.5, 2.0);
+  const double dab = ks_test_two_sample(a, b).statistic;
+  const double dba = ks_test_two_sample(b, a).statistic;
+  EXPECT_DOUBLE_EQ(dab, dba);
+  EXPECT_GE(dab, 0.0);
+  EXPECT_LE(dab, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KsSymmetry,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace perspector::stats

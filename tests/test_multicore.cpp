@@ -1,0 +1,148 @@
+#include "sim/multicore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace perspector::sim {
+namespace {
+
+WorkloadSpec streaming_workload(const std::string& name,
+                                std::uint64_t instructions,
+                                std::uint64_t ws_bytes) {
+  WorkloadSpec w;
+  w.name = name;
+  w.instructions = instructions;
+  PhaseSpec p;
+  p.name = "stream";
+  p.load_frac = 0.4;
+  p.store_frac = 0.1;
+  p.pattern = {.kind = AccessPatternKind::Sequential,
+               .working_set_bytes = ws_bytes,
+               .stride_bytes = 64};
+  w.phases = {p};
+  return w;
+}
+
+TEST(Multicore, ValidatesInput) {
+  const auto machine = MachineConfig::xeon_e2186g();
+  EXPECT_THROW(simulate_colocated({}, machine), std::invalid_argument);
+  MulticoreOptions bad;
+  bad.quantum = 0;
+  EXPECT_THROW(
+      simulate_colocated({streaming_workload("w", 1000, 4096)}, machine, bad),
+      std::invalid_argument);
+  WorkloadSpec invalid = streaming_workload("w", 1000, 4096);
+  invalid.phases.clear();
+  EXPECT_THROW(simulate_colocated({invalid}, machine),
+               std::invalid_argument);
+}
+
+TEST(Multicore, SingleWorkloadMatchesBudget) {
+  const auto machine = MachineConfig::xeon_e2186g();
+  const auto results = simulate_colocated(
+      {streaming_workload("solo", 50'000, 1 << 20)}, machine);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].instructions, 50'000u);
+  EXPECT_EQ(results[0].workload, "solo");
+}
+
+TEST(Multicore, AllWorkloadsRunToCompletion) {
+  const auto machine = MachineConfig::xeon_e2186g();
+  const auto results = simulate_colocated(
+      {streaming_workload("a", 30'000, 1 << 20),
+       streaming_workload("b", 50'000, 1 << 20),
+       streaming_workload("c", 20'000, 1 << 20)},
+      machine);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].instructions, 30'000u);
+  EXPECT_EQ(results[1].instructions, 50'000u);
+  EXPECT_EQ(results[2].instructions, 20'000u);
+}
+
+TEST(Multicore, SharedLlcContentionRaisesMissRates) {
+  const auto machine = MachineConfig::xeon_e2186g();
+  // A workload that *reuses* a 2 MiB LLC-resident set (several passes):
+  // alone, only the first pass misses the LLC...
+  const auto victim = streaming_workload("victim", 400'000, 2ull << 20);
+  SimOptions solo_options;
+  solo_options.collect_series = false;
+  const auto solo = simulate(victim, machine, solo_options);
+
+  // ...but with five LLC-thrashing co-runners (the Table II machine's full
+  // six-core occupancy) its lines keep getting evicted between quanta.
+  std::vector<WorkloadSpec> mix = {victim};
+  for (int b = 0; b < 5; ++b) {
+    mix.push_back(streaming_workload("bully" + std::to_string(b), 400'000,
+                                     48ull << 20));
+  }
+  MulticoreOptions options;
+  options.collect_series = false;
+  const auto colocated = simulate_colocated(mix, machine, options);
+
+  const auto solo_misses = solo.totals[PmuEvent::LlcLoadMisses];
+  const auto contended_misses = colocated[0].totals[PmuEvent::LlcLoadMisses];
+  EXPECT_GT(contended_misses, 2 * std::max<std::uint64_t>(solo_misses, 1));
+  // Contention also costs cycles.
+  EXPECT_GT(colocated[0].cycles, 1.05 * solo.cycles);
+}
+
+TEST(Multicore, PerCoreCountersAreLocal) {
+  const auto machine = MachineConfig::xeon_e2186g();
+  MulticoreOptions options;
+  options.collect_series = false;
+  // One memory-free workload next to a memory hog: the quiet core's LLC
+  // counters must stay tiny (only its own background noise).
+  WorkloadSpec quiet = streaming_workload("quiet", 100'000, 4096);
+  quiet.phases[0].load_frac = 0.01;
+  quiet.phases[0].store_frac = 0.0;
+  const auto results = simulate_colocated(
+      {quiet, streaming_workload("hog", 100'000, 48ull << 20)}, machine,
+      options);
+  EXPECT_LT(results[0].totals[PmuEvent::LlcLoads],
+            results[1].totals[PmuEvent::LlcLoads] / 10);
+}
+
+TEST(Multicore, SoloColocatedMatchesSingleCoreSimulatorClosely) {
+  // With one lane there is no contention: totals should be very close to
+  // the plain simulator (same seeds; only quantum boundaries differ).
+  const auto machine = MachineConfig::xeon_e2186g();
+  const auto w = streaming_workload("only", 60'000, 1 << 20);
+  SimOptions solo_options;
+  solo_options.collect_series = false;
+  const auto solo = simulate(w, machine, solo_options);
+  MulticoreOptions options;
+  options.collect_series = false;
+  const auto multi = simulate_colocated({w}, machine, options);
+  EXPECT_EQ(multi[0].totals, solo.totals);
+}
+
+TEST(Multicore, SeriesCollectedPerCore) {
+  const auto machine = MachineConfig::xeon_e2186g();
+  MulticoreOptions options;
+  options.sample_interval = 10'000;
+  const auto results = simulate_colocated(
+      {streaming_workload("a", 40'000, 1 << 20),
+       streaming_workload("b", 40'000, 1 << 20)},
+      machine, options);
+  for (const auto& r : results) {
+    ASSERT_EQ(r.series.size(), kPmuEventCount);
+    EXPECT_EQ(r.series_for(PmuEvent::CpuCycles).size(), 4u);
+  }
+}
+
+TEST(Multicore, DeterministicForSeed) {
+  const auto machine = MachineConfig::xeon_e2186g();
+  MulticoreOptions options;
+  options.collect_series = false;
+  const std::vector<WorkloadSpec> pair = {
+      streaming_workload("a", 30'000, 1 << 20),
+      streaming_workload("b", 30'000, 24ull << 20)};
+  const auto x = simulate_colocated(pair, machine, options);
+  const auto y = simulate_colocated(pair, machine, options);
+  EXPECT_EQ(x[0].totals, y[0].totals);
+  EXPECT_EQ(x[1].totals, y[1].totals);
+}
+
+}  // namespace
+}  // namespace perspector::sim

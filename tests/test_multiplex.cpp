@@ -1,0 +1,131 @@
+#include "sim/multiplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace perspector::sim {
+namespace {
+
+std::vector<std::vector<double>> constant_series(std::size_t events,
+                                                 std::size_t intervals,
+                                                 double value) {
+  return std::vector<std::vector<double>>(
+      events, std::vector<double>(intervals, value));
+}
+
+TEST(Multiplex, ValidatesInput) {
+  EXPECT_THROW(simulate_multiplexing({}), std::invalid_argument);
+  EXPECT_THROW(simulate_multiplexing({{}}), std::invalid_argument);
+  EXPECT_THROW(simulate_multiplexing({{1.0}, {1.0, 2.0}}),
+               std::invalid_argument);
+  MultiplexOptions bad;
+  bad.hardware_counters = 0;
+  EXPECT_THROW(simulate_multiplexing({{1.0}}, bad), std::invalid_argument);
+  bad.hardware_counters = 1;
+  bad.rotation_interval = 0;
+  EXPECT_THROW(simulate_multiplexing({{1.0}}, bad), std::invalid_argument);
+}
+
+TEST(Multiplex, ExactWhenEverythingFits) {
+  const auto truth = constant_series(4, 10, 7.0);
+  MultiplexOptions options;
+  options.hardware_counters = 4;
+  const auto result = simulate_multiplexing(truth, options);
+  EXPECT_EQ(result.series, truth);
+  for (std::size_t e = 0; e < 4; ++e) {
+    EXPECT_DOUBLE_EQ(result.totals[e], 70.0);
+  }
+  EXPECT_DOUBLE_EQ(result.mean_total_error_pct(), 0.0);
+}
+
+TEST(Multiplex, SteadyCountersEstimatedExactly) {
+  // Duty-cycle scaling is exact for constant-rate events.
+  const auto truth = constant_series(8, 40, 5.0);
+  MultiplexOptions options;
+  options.hardware_counters = 2;  // 4 groups, 25% duty cycle
+  const auto result = simulate_multiplexing(truth, options);
+  for (std::size_t e = 0; e < 8; ++e) {
+    EXPECT_NEAR(result.totals[e], 200.0, 1e-9);
+  }
+}
+
+TEST(Multiplex, BurstyCountersAccrueError) {
+  // An event that fires only in a narrow burst is mis-estimated when the
+  // burst falls outside its observation slots.
+  // Burst length (3) deliberately not divisible by the rotation period
+  // (4 groups x 1 interval), so duty-cycle scaling cannot be exact.
+  std::vector<std::vector<double>> truth = constant_series(8, 40, 1.0);
+  for (std::size_t t = 0; t < 40; ++t) {
+    truth[3][t] = (t >= 4 && t < 7) ? 1000.0 : 0.0;
+  }
+  MultiplexOptions options;
+  options.hardware_counters = 2;
+  options.seed = 9;
+  const auto result = simulate_multiplexing(truth, options);
+  EXPECT_GT(result.mean_total_error_pct(), 1.0);
+}
+
+TEST(Multiplex, ErrorShrinksWithMoreCounters) {
+  stats::Rng rng(13);
+  std::vector<std::vector<double>> truth(14, std::vector<double>(60));
+  for (auto& series : truth) {
+    // Bursty, phase-structured traffic.
+    const std::size_t start = rng.uniform_int(0, 40);
+    for (std::size_t t = 0; t < 60; ++t) {
+      series[t] = (t >= start && t < start + 10) ? rng.uniform(50.0, 100.0)
+                                                 : rng.uniform(0.0, 2.0);
+    }
+  }
+  double previous = 1e18;
+  for (std::size_t counters : {2u, 7u, 14u}) {
+    MultiplexOptions options;
+    options.hardware_counters = counters;
+    const double err =
+        simulate_multiplexing(truth, options).mean_total_error_pct();
+    EXPECT_LE(err, previous + 1e-9);
+    previous = err;
+  }
+  // Full observation is exact.
+  EXPECT_NEAR(previous, 0.0, 1e-12);
+}
+
+TEST(Multiplex, SeriesFullyReconstructed) {
+  const auto truth = constant_series(6, 30, 3.0);
+  MultiplexOptions options;
+  options.hardware_counters = 2;
+  const auto result = simulate_multiplexing(truth, options);
+  for (const auto& series : result.series) {
+    ASSERT_EQ(series.size(), 30u);
+    for (double v : series) EXPECT_GE(v, 0.0);  // no unobserved sentinels
+  }
+}
+
+TEST(Multiplex, RotationIntervalRespected) {
+  // With rotation_interval = 5 and 2 groups, each event is observed in
+  // blocks of 5 consecutive intervals.
+  const auto truth = constant_series(4, 20, 1.0);
+  MultiplexOptions options;
+  options.hardware_counters = 2;
+  options.rotation_interval = 5;
+  options.seed = 0;  // phase may rotate; duty cycle is still 50%
+  const auto result = simulate_multiplexing(truth, options);
+  for (std::size_t e = 0; e < 4; ++e) {
+    EXPECT_NEAR(result.totals[e], 20.0, 1e-9);
+  }
+}
+
+TEST(Multiplex, MeanErrorSkipsZeroTotalEvents) {
+  std::vector<std::vector<double>> truth = constant_series(4, 10, 0.0);
+  truth[0].assign(10, 2.0);
+  MultiplexOptions options;
+  options.hardware_counters = 2;
+  const auto result = simulate_multiplexing(truth, options);
+  EXPECT_TRUE(std::isfinite(result.mean_total_error_pct()));
+}
+
+}  // namespace
+}  // namespace perspector::sim

@@ -1,0 +1,111 @@
+#include "stats/normalize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace perspector::stats {
+namespace {
+
+TEST(MinMaxNormalize, MapsToUnitInterval) {
+  const std::vector<double> xs{10.0, 20.0, 30.0};
+  const auto out = minmax_normalize(xs);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST(MinMaxNormalize, CustomRange) {
+  const std::vector<double> xs{0.0, 1.0};
+  const auto out = minmax_normalize(xs, -1.0, 1.0);
+  EXPECT_DOUBLE_EQ(out[0], -1.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+}
+
+TEST(MinMaxNormalize, ConstantInputMapsToMidpoint) {
+  const std::vector<double> xs{7.0, 7.0, 7.0};
+  const auto out = minmax_normalize(xs);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(MinMaxNormalize, EmptyInput) {
+  EXPECT_TRUE(minmax_normalize(std::vector<double>{}).empty());
+}
+
+TEST(MinMaxNormalizeWithRange, ClampsOutOfRange) {
+  const std::vector<double> xs{-5.0, 5.0, 15.0};
+  const auto out = minmax_normalize_with_range(xs, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST(MinMaxNormalizeWithRange, DegenerateSourceRange) {
+  const std::vector<double> xs{3.0, 3.0};
+  const auto out = minmax_normalize_with_range(xs, 3.0, 3.0);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(MinMaxNormalizeWithRange, RejectsEmptyTargetRange) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(minmax_normalize_with_range(xs, 0.0, 1.0, 1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(ZScoreNormalize, MeanZeroUnitVariance) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto out = zscore_normalize(xs);
+  EXPECT_NEAR(mean(out), 0.0, 1e-12);
+  EXPECT_NEAR(stddev_population(out), 1.0, 1e-12);
+}
+
+TEST(ZScoreNormalize, ConstantInputMapsToZeros) {
+  const std::vector<double> xs{3.0, 3.0, 3.0};
+  for (double v : zscore_normalize(xs)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(MatrixNormalize, ColumnsIndependent) {
+  la::Matrix m{{0.0, 100.0}, {10.0, 200.0}};
+  const la::Matrix out = minmax_normalize_columns(m);
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(out(1, 1), 1.0);
+}
+
+TEST(MatrixNormalize, ZScoreColumns) {
+  la::Matrix m{{1.0}, {2.0}, {3.0}};
+  const la::Matrix out = zscore_normalize_columns(m);
+  EXPECT_NEAR(out(0, 0) + out(1, 0) + out(2, 0), 0.0, 1e-12);
+}
+
+// Property sweep: min-max output is always inside [0,1] and order-preserving
+// for random inputs of different sizes.
+class MinMaxProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MinMaxProperty, BoundedAndOrderPreserving) {
+  stats::Rng rng(GetParam());
+  std::vector<double> xs(GetParam());
+  for (double& x : xs) x = rng.uniform(-1e6, 1e6);
+  const auto out = minmax_normalize(xs);
+  for (double v : out) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      if (xs[i] < xs[j]) {
+        EXPECT_LE(out[i], out[j]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MinMaxProperty,
+                         ::testing::Values(1, 2, 3, 10, 50));
+
+}  // namespace
+}  // namespace perspector::stats

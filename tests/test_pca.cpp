@@ -1,0 +1,152 @@
+#include "pca/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace perspector::pca {
+namespace {
+
+TEST(Pca, ValidatesInput) {
+  EXPECT_THROW(fit_pca(la::Matrix{}), std::invalid_argument);
+  EXPECT_THROW(fit_pca(la::Matrix(3, 2), 0.0), std::invalid_argument);
+  EXPECT_THROW(fit_pca(la::Matrix(3, 2), 1.5), std::invalid_argument);
+  EXPECT_THROW(fit_pca_fixed(la::Matrix(3, 2), 0), std::invalid_argument);
+}
+
+TEST(Pca, AxisAlignedVariance) {
+  // Variance only along x: one component suffices at any target.
+  la::Matrix data{{0.0, 1.0}, {1.0, 1.0}, {2.0, 1.0}, {3.0, 1.0}};
+  const PcaResult r = fit_pca(data, 0.98);
+  EXPECT_EQ(r.retained, 1u);
+  // The principal direction is (±1, 0).
+  EXPECT_NEAR(std::abs(r.components(0, 0)), 1.0, 1e-10);
+  EXPECT_NEAR(r.components(1, 0), 0.0, 1e-10);
+  // Transformed variance equals the x variance (5/3 sample variance).
+  EXPECT_NEAR(r.component_variance(0), 5.0 / 3.0, 1e-9);
+}
+
+TEST(Pca, DiagonalDirection) {
+  // Points along y = x: PC1 is (1,1)/sqrt(2) up to sign.
+  la::Matrix data{{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}};
+  const PcaResult r = fit_pca(data);
+  EXPECT_EQ(r.retained, 1u);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(r.components(0, 0)), inv_sqrt2, 1e-10);
+  EXPECT_NEAR(std::abs(r.components(1, 0)), inv_sqrt2, 1e-10);
+}
+
+TEST(Pca, ExplainedRatiosSumToOne) {
+  stats::Rng rng(51);
+  la::Matrix data(20, 5);
+  for (std::size_t r = 0; r < 20; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) data(r, c) = rng.uniform();
+  }
+  const PcaResult result = fit_pca(data, 0.5);
+  const double total = std::accumulate(result.explained_ratio.begin(),
+                                       result.explained_ratio.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Pca, VarianceTargetControlsComponentCount) {
+  stats::Rng rng(52);
+  // Three independent dimensions with strongly decaying scales.
+  la::Matrix data(50, 3);
+  for (std::size_t r = 0; r < 50; ++r) {
+    data(r, 0) = rng.uniform(0.0, 100.0);
+    data(r, 1) = rng.uniform(0.0, 10.0);
+    data(r, 2) = rng.uniform(0.0, 0.1);
+  }
+  const PcaResult tight = fit_pca(data, 0.999999);
+  const PcaResult loose = fit_pca(data, 0.5);
+  EXPECT_LE(loose.retained, tight.retained);
+  EXPECT_EQ(loose.retained, 1u);
+}
+
+TEST(Pca, ComponentVarianceMatchesEigenvalue) {
+  stats::Rng rng(53);
+  la::Matrix data(40, 4);
+  for (std::size_t r = 0; r < 40; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) data(r, c) = rng.normal();
+  }
+  const PcaResult result = fit_pca_fixed(data, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(result.component_variance(i), result.eigenvalues[i], 1e-9);
+  }
+}
+
+TEST(Pca, TransformedColumnsUncorrelated) {
+  stats::Rng rng(54);
+  la::Matrix data(60, 3);
+  for (std::size_t r = 0; r < 60; ++r) {
+    const double base = rng.normal();
+    data(r, 0) = base + rng.normal(0.0, 0.1);
+    data(r, 1) = 2.0 * base + rng.normal(0.0, 0.1);
+    data(r, 2) = rng.normal();
+  }
+  const PcaResult result = fit_pca_fixed(data, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      const double corr = stats::pearson_correlation(
+          result.transformed.col_copy(i), result.transformed.col_copy(j));
+      EXPECT_NEAR(corr, 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(Pca, ProjectNewData) {
+  la::Matrix data{{0.0, 0.0}, {2.0, 0.0}, {4.0, 0.0}};
+  const PcaResult result = fit_pca(data);
+  la::Matrix fresh{{6.0, 0.0}};
+  const la::Matrix projected = result.project(fresh);
+  // Mean of the fit data is (2, 0); 6 - 2 = 4 along PC1 (up to sign).
+  EXPECT_NEAR(std::abs(projected(0, 0)), 4.0, 1e-10);
+  la::Matrix wrong(1, 3);
+  EXPECT_THROW(result.project(wrong), std::invalid_argument);
+}
+
+TEST(Pca, ConstantDataRetainsOneComponent) {
+  la::Matrix data(5, 3, 2.0);
+  const PcaResult result = fit_pca(data);
+  EXPECT_EQ(result.retained, 1u);
+  EXPECT_NEAR(result.component_variance(0), 0.0, 1e-12);
+}
+
+TEST(Pca, FixedComponentsClampedToFeatureCount) {
+  la::Matrix data{{1.0, 2.0}, {3.0, 4.0}, {5.0, 7.0}};
+  const PcaResult result = fit_pca_fixed(data, 10);
+  EXPECT_EQ(result.retained, 2u);
+}
+
+// Property: total variance is conserved — the sum of all eigenvalues equals
+// the sum of the per-feature variances.
+class PcaVarianceConservation
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PcaVarianceConservation, SumMatches) {
+  stats::Rng rng(55 + GetParam());
+  const std::size_t m = GetParam();
+  la::Matrix data(30, m);
+  for (std::size_t r = 0; r < 30; ++r) {
+    for (std::size_t c = 0; c < m; ++c) data(r, c) = rng.uniform(0.0, 5.0);
+  }
+  const PcaResult result = fit_pca_fixed(data, m);
+  double eig_sum = std::accumulate(result.eigenvalues.begin(),
+                                   result.eigenvalues.end(), 0.0);
+  double var_sum = 0.0;
+  for (std::size_t c = 0; c < m; ++c) {
+    var_sum += stats::variance_sample(data.col_copy(c));
+  }
+  EXPECT_NEAR(eig_sum, var_sum, 1e-8 * var_sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, PcaVarianceConservation,
+                         ::testing::Values(1, 2, 4, 8, 14));
+
+}  // namespace
+}  // namespace perspector::pca

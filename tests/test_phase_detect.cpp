@@ -1,0 +1,126 @@
+#include "core/phase_detect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace perspector::core {
+namespace {
+
+std::vector<double> step_series(std::size_t length, std::size_t step_at,
+                                double low, double high) {
+  std::vector<double> s(length, low);
+  for (std::size_t i = step_at; i < length; ++i) s[i] = high;
+  return s;
+}
+
+TEST(PhaseDetect, ValidatesInput) {
+  EXPECT_THROW(detect_phases(std::vector<std::vector<double>>{}),
+               std::invalid_argument);
+  EXPECT_THROW(detect_phases({{1.0}}), std::invalid_argument);
+  EXPECT_THROW(detect_phases({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+  PhaseDetectOptions bad;
+  bad.window = 0;
+  EXPECT_THROW(detect_phases({{1.0, 2.0, 3.0}}, bad), std::invalid_argument);
+  EXPECT_THROW(detect_phases({{1.0, -2.0, 3.0}}), std::invalid_argument);
+}
+
+TEST(PhaseDetect, FlatSeriesIsOnePhase) {
+  const std::vector<double> flat(60, 10.0);
+  const auto report = detect_phases({flat, flat});
+  EXPECT_EQ(report.phase_count(), 1u);
+  EXPECT_EQ(report.phases[0].begin, 0u);
+  EXPECT_EQ(report.phases[0].end, 60u);
+  EXPECT_TRUE(report.boundary_strength.empty());
+}
+
+TEST(PhaseDetect, SingleStepDetected) {
+  const auto stepped = step_series(60, 30, 1.0, 100.0);
+  const auto report = detect_phases({stepped});
+  ASSERT_EQ(report.phase_count(), 2u);
+  // Boundary near sample 30.
+  EXPECT_NEAR(static_cast<double>(report.phases[0].end), 30.0, 3.0);
+  EXPECT_EQ(report.phases[0].end, report.phases[1].begin);
+  EXPECT_EQ(report.phases[1].end, 60u);
+  ASSERT_EQ(report.boundary_strength.size(), 1u);
+  EXPECT_GT(report.boundary_strength[0], 8.0);
+}
+
+TEST(PhaseDetect, MultiCounterAgreementStrengthensBoundary) {
+  const auto stepped = step_series(60, 30, 1.0, 100.0);
+  const std::vector<double> flat(60, 5.0);
+  const auto lone = detect_phases({stepped, flat, flat, flat});
+  const auto unanimous = detect_phases({stepped, stepped, stepped, stepped});
+  // Averaging over counters dilutes a single-counter step...
+  ASSERT_GE(unanimous.boundary_strength.size(), 1u);
+  if (!lone.boundary_strength.empty()) {
+    EXPECT_GT(unanimous.boundary_strength[0], lone.boundary_strength[0]);
+  }
+}
+
+TEST(PhaseDetect, ThreePhaseWorkload) {
+  std::vector<double> s(90, 1.0);
+  for (std::size_t i = 30; i < 60; ++i) s[i] = 200.0;
+  for (std::size_t i = 60; i < 90; ++i) s[i] = 20.0;
+  const auto report = detect_phases({s});
+  EXPECT_EQ(report.phase_count(), 3u);
+}
+
+TEST(PhaseDetect, NoisyFlatSeriesStaysOnePhase) {
+  stats::Rng rng(17);
+  std::vector<double> noisy(80);
+  for (double& v : noisy) v = 100.0 + rng.uniform(-10.0, 10.0);
+  const auto report = detect_phases({noisy});
+  EXPECT_EQ(report.phase_count(), 1u);
+}
+
+TEST(PhaseDetect, MinPhaseLengthMergesJitter) {
+  // Two steps 2 samples apart collapse into one boundary.
+  std::vector<double> s(60, 1.0);
+  for (std::size_t i = 30; i < 60; ++i) s[i] = 50.0;
+  for (std::size_t i = 32; i < 60; ++i) s[i] = 120.0;
+  PhaseDetectOptions options;
+  options.min_phase_length = 6;
+  const auto report = detect_phases({s}, options);
+  EXPECT_LE(report.phase_count(), 2u);
+}
+
+TEST(PhaseDetect, PhasesPartitionTheSeries) {
+  stats::Rng rng(18);
+  std::vector<double> s(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    s[i] = (i / 25 % 2 == 0) ? rng.uniform(0.0, 5.0) : rng.uniform(90.0, 100.0);
+  }
+  const auto report = detect_phases({s});
+  ASSERT_GE(report.phase_count(), 1u);
+  EXPECT_EQ(report.phases.front().begin, 0u);
+  EXPECT_EQ(report.phases.back().end, 100u);
+  for (std::size_t p = 1; p < report.phases.size(); ++p) {
+    EXPECT_EQ(report.phases[p - 1].end, report.phases[p].begin);
+    EXPECT_GT(report.phases[p].length(), 0u);
+  }
+}
+
+TEST(PhaseDetect, SuiteLevelApi) {
+  // Two workloads, one counter each: one flat, one stepped.
+  la::Matrix values{{600.0}, {3030.0}};
+  std::vector<std::vector<std::vector<double>>> series{
+      {std::vector<double>(60, 10.0)},
+      {step_series(60, 30, 1.0, 100.0)},
+  };
+  const CounterMatrix suite("s", {"flat", "stepped"}, {"c"}, values, series);
+  const auto reports = detect_phases(suite);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].phase_count(), 1u);
+  EXPECT_EQ(reports[1].phase_count(), 2u);
+  EXPECT_NEAR(mean_phase_count(suite), 1.5, 1e-12);
+
+  la::Matrix bare_values(1, 1, 1.0);
+  const CounterMatrix bare("b", {"w"}, {"c"}, bare_values);
+  EXPECT_THROW(detect_phases(bare), std::logic_error);
+}
+
+}  // namespace
+}  // namespace perspector::core

@@ -1,0 +1,107 @@
+#include "sim/pmu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace perspector::sim {
+namespace {
+
+TEST(Pmu, EventNamesDistinctAndComplete) {
+  const auto names = pmu_event_names();
+  EXPECT_EQ(names.size(), kPmuEventCount);
+  const std::set<std::string> distinct(names.begin(), names.end());
+  EXPECT_EQ(distinct.size(), kPmuEventCount);
+  EXPECT_EQ(names.front(), "cpu-cycles");
+  EXPECT_EQ(names.back(), "LLC-store-misses");
+}
+
+TEST(Pmu, AllEventsEnumInOrder) {
+  const auto events = all_pmu_events();
+  ASSERT_EQ(events.size(), kPmuEventCount);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(events[i]), i);
+  }
+}
+
+TEST(PmuCounterSet, IndexingAndVector) {
+  PmuCounterSet c;
+  c[PmuEvent::CpuCycles] = 100;
+  c[PmuEvent::LlcStoreMisses] = 7;
+  const auto v = c.as_vector();
+  EXPECT_DOUBLE_EQ(v[0], 100.0);
+  EXPECT_DOUBLE_EQ(v[13], 7.0);
+}
+
+TEST(PmuCounterSet, DeltaSince) {
+  PmuCounterSet early, late;
+  early[PmuEvent::PageFaults] = 5;
+  late[PmuEvent::PageFaults] = 12;
+  const auto d = late.delta_since(early);
+  EXPECT_EQ(d[PmuEvent::PageFaults], 7u);
+  EXPECT_THROW(early.delta_since(late), std::invalid_argument);
+}
+
+TEST(PmuSampler, ValidatesInterval) {
+  EXPECT_THROW(PmuSampler(0), std::invalid_argument);
+}
+
+TEST(PmuSampler, SamplesAtBoundaries) {
+  PmuSampler sampler(100);
+  PmuCounterSet c;
+  c[PmuEvent::CpuCycles] = 50;
+  sampler.maybe_sample(50, c);  // below boundary: no sample
+  EXPECT_EQ(sampler.sample_count(), 0u);
+  c[PmuEvent::CpuCycles] = 120;
+  sampler.maybe_sample(100, c);  // boundary crossed
+  EXPECT_EQ(sampler.sample_count(), 1u);
+  EXPECT_EQ(sampler.series(PmuEvent::CpuCycles)[0], 120.0);
+}
+
+TEST(PmuSampler, DeltasNotAbsolutes) {
+  PmuSampler sampler(10);
+  PmuCounterSet c;
+  c[PmuEvent::BranchMisses] = 4;
+  sampler.maybe_sample(10, c);
+  c[PmuEvent::BranchMisses] = 9;
+  sampler.maybe_sample(20, c);
+  const auto series = sampler.series(PmuEvent::BranchMisses);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 4.0);
+  EXPECT_DOUBLE_EQ(series[1], 5.0);
+}
+
+TEST(PmuSampler, CatchesUpOverMultipleBoundaries) {
+  PmuSampler sampler(10);
+  PmuCounterSet c;
+  c[PmuEvent::CpuCycles] = 30;
+  sampler.maybe_sample(35, c);  // crossed 10, 20, 30 at once
+  EXPECT_EQ(sampler.sample_count(), 3u);
+}
+
+TEST(PmuSampler, FinalizeFlushesTail) {
+  PmuSampler sampler(100);
+  PmuCounterSet c;
+  c[PmuEvent::CpuCycles] = 70;
+  sampler.finalize(70, c);
+  EXPECT_EQ(sampler.sample_count(), 1u);
+  // A second finalize at the same instruction count is a no-op.
+  sampler.finalize(70, c);
+  EXPECT_EQ(sampler.sample_count(), 1u);
+}
+
+TEST(PmuSampler, AllSeriesShapeConsistent) {
+  PmuSampler sampler(10);
+  PmuCounterSet c;
+  for (int s = 1; s <= 5; ++s) {
+    c[PmuEvent::CpuCycles] += 10;
+    sampler.maybe_sample(static_cast<std::uint64_t>(s) * 10, c);
+  }
+  const auto all = sampler.all_series();
+  EXPECT_EQ(all.size(), kPmuEventCount);
+  for (const auto& series : all) EXPECT_EQ(series.size(), 5u);
+}
+
+}  // namespace
+}  // namespace perspector::sim

@@ -1,0 +1,121 @@
+#include "core/ranking.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace perspector::core {
+namespace {
+
+SuiteScores make_scores(const std::string& name, double cluster, double trend,
+                        double coverage, double spread) {
+  SuiteScores s;
+  s.suite = name;
+  s.cluster = cluster;
+  s.trend = trend;
+  s.coverage = coverage;
+  s.spread = spread;
+  return s;
+}
+
+TEST(Ranking, ValidatesInput) {
+  EXPECT_THROW(rank_suites({make_scores("only", 0, 0, 0, 0)}),
+               std::invalid_argument);
+  RankingWeights zero;
+  zero.diversity = zero.phases = zero.coverage = zero.uniformity = 0.0;
+  const std::vector<SuiteScores> two = {make_scores("a", 0, 0, 0, 0),
+                                        make_scores("b", 1, 1, 1, 1)};
+  EXPECT_THROW(rank_suites(two, zero), std::invalid_argument);
+  RankingWeights negative;
+  negative.phases = -1.0;
+  EXPECT_THROW(rank_suites(two, negative), std::invalid_argument);
+}
+
+TEST(Ranking, DominatingSuiteWinsWithGradeOne) {
+  // "good" beats "bad" on every criterion (remember directions).
+  const auto good = make_scores("good", 0.1, 2000.0, 0.3, 0.3);
+  const auto bad = make_scores("bad", 0.5, 500.0, 0.1, 0.7);
+  const auto ranked = rank_suites({bad, good});
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].suite, "good");
+  EXPECT_DOUBLE_EQ(ranked[0].grade, 1.0);
+  EXPECT_DOUBLE_EQ(ranked[1].grade, 0.0);
+  EXPECT_DOUBLE_EQ(ranked[0].diversity, 1.0);
+  EXPECT_DOUBLE_EQ(ranked[0].phases, 1.0);
+  EXPECT_DOUBLE_EQ(ranked[0].coverage, 1.0);
+  EXPECT_DOUBLE_EQ(ranked[0].uniformity, 1.0);
+}
+
+TEST(Ranking, DirectionsRespected) {
+  // Suite "lo" has lower cluster AND lower trend: it should win diversity
+  // but lose phases.
+  const auto lo = make_scores("lo", 0.1, 500.0, 0.2, 0.5);
+  const auto hi = make_scores("hi", 0.5, 1500.0, 0.2, 0.5);
+  const auto ranked = rank_suites({lo, hi});
+  const auto& lo_r = ranked[0].suite == "lo" ? ranked[0] : ranked[1];
+  const auto& hi_r = ranked[0].suite == "hi" ? ranked[0] : ranked[1];
+  EXPECT_DOUBLE_EQ(lo_r.diversity, 1.0);
+  EXPECT_DOUBLE_EQ(lo_r.phases, 0.0);
+  EXPECT_DOUBLE_EQ(hi_r.diversity, 0.0);
+  EXPECT_DOUBLE_EQ(hi_r.phases, 1.0);
+  // Ties grade to 0.5.
+  EXPECT_DOUBLE_EQ(lo_r.coverage, 0.5);
+  EXPECT_DOUBLE_EQ(lo_r.uniformity, 0.5);
+}
+
+TEST(Ranking, WeightsShiftTheWinner) {
+  // "diverse" wins on cluster, "phased" on trend; weights decide.
+  const auto diverse = make_scores("diverse", 0.1, 500.0, 0.2, 0.5);
+  const auto phased = make_scores("phased", 0.5, 1500.0, 0.2, 0.5);
+
+  RankingWeights favor_diversity;
+  favor_diversity.diversity = 10.0;
+  EXPECT_EQ(rank_suites({diverse, phased}, favor_diversity)[0].suite,
+            "diverse");
+
+  RankingWeights favor_phases;
+  favor_phases.phases = 10.0;
+  EXPECT_EQ(rank_suites({diverse, phased}, favor_phases)[0].suite, "phased");
+}
+
+TEST(Ranking, GradesInterpolateLinearly) {
+  const auto a = make_scores("a", 0.0, 0.0, 0.0, 0.0);
+  const auto b = make_scores("b", 0.0, 500.0, 0.0, 0.0);
+  const auto c = make_scores("c", 0.0, 1000.0, 0.0, 0.0);
+  const auto ranked = rank_suites({a, b, c});
+  for (const auto& r : ranked) {
+    if (r.suite == "b") {
+      EXPECT_DOUBLE_EQ(r.phases, 0.5);
+    }
+  }
+}
+
+TEST(Ranking, StableOrderOnTies) {
+  const auto a = make_scores("first", 0.2, 800.0, 0.2, 0.5);
+  const auto b = make_scores("second", 0.2, 800.0, 0.2, 0.5);
+  const auto c = make_scores("third", 0.4, 400.0, 0.1, 0.6);
+  const auto ranked = rank_suites({a, b, c});
+  EXPECT_EQ(ranked[0].suite, "first");
+  EXPECT_EQ(ranked[1].suite, "second");
+  EXPECT_EQ(ranked[2].suite, "third");
+}
+
+TEST(Ranking, GradesAlwaysInUnitInterval) {
+  const auto ranked = rank_suites({make_scores("a", 0.3, 900, 0.15, 0.4),
+                                   make_scores("b", 0.1, 1200, 0.25, 0.6),
+                                   make_scores("c", 0.5, 300, 0.05, 0.5)});
+  for (const auto& r : ranked) {
+    for (double g : {r.grade, r.diversity, r.phases, r.coverage,
+                     r.uniformity}) {
+      EXPECT_GE(g, 0.0);
+      EXPECT_LE(g, 1.0);
+    }
+  }
+  // Sorted descending.
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].grade, ranked[i].grade);
+  }
+}
+
+}  // namespace
+}  // namespace perspector::core

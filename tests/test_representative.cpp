@@ -1,0 +1,75 @@
+#include "sampling/representative.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace perspector::sampling {
+namespace {
+
+TEST(Representative, ValidatesInput) {
+  la::Matrix targets(2, 2);
+  la::Matrix wrong_dims(3, 3);
+  EXPECT_THROW(match_nearest(targets, wrong_dims), std::invalid_argument);
+  EXPECT_THROW(match_nearest(la::Matrix{}, targets), std::invalid_argument);
+  la::Matrix too_few(1, 2);
+  EXPECT_THROW(match_nearest_distinct(targets, too_few),
+               std::invalid_argument);
+}
+
+TEST(Representative, NearestPicksClosest) {
+  la::Matrix targets{{0.0, 0.0}, {10.0, 10.0}};
+  la::Matrix candidates{{9.0, 9.0}, {1.0, 1.0}, {5.0, 5.0}};
+  const auto picks = match_nearest(targets, candidates);
+  EXPECT_EQ(picks[0], 1u);
+  EXPECT_EQ(picks[1], 0u);
+}
+
+TEST(Representative, NearestAllowsReuse) {
+  la::Matrix targets{{0.0}, {0.1}};
+  la::Matrix candidates{{0.0}, {100.0}};
+  const auto picks = match_nearest(targets, candidates);
+  EXPECT_EQ(picks[0], 0u);
+  EXPECT_EQ(picks[1], 0u);
+}
+
+TEST(RepresentativeDistinct, NoCandidateReused) {
+  la::Matrix targets{{0.0}, {0.1}, {0.2}};
+  la::Matrix candidates{{0.0}, {50.0}, {100.0}, {0.05}};
+  auto picks = match_nearest_distinct(targets, candidates);
+  std::sort(picks.begin(), picks.end());
+  EXPECT_EQ(std::unique(picks.begin(), picks.end()), picks.end());
+}
+
+TEST(RepresentativeDistinct, GreedyGlobalOrder) {
+  // Target 0 at 0.0, target 1 at 0.9; candidates at 0.0 and 1.0.
+  // The tightest pair (t0, c0) matches first, then t1 takes c1.
+  la::Matrix targets{{0.0}, {0.9}};
+  la::Matrix candidates{{0.0}, {1.0}};
+  const auto picks = match_nearest_distinct(targets, candidates);
+  EXPECT_EQ(picks[0], 0u);
+  EXPECT_EQ(picks[1], 1u);
+}
+
+TEST(RepresentativeDistinct, ContestedCandidateGoesToCloserTarget) {
+  // Both targets closest to candidate 0; the closer target wins it and the
+  // other falls back to its second choice.
+  la::Matrix targets{{0.01}, {0.2}};
+  la::Matrix candidates{{0.0}, {0.3}};
+  const auto picks = match_nearest_distinct(targets, candidates);
+  EXPECT_EQ(picks[0], 0u);
+  EXPECT_EQ(picks[1], 1u);
+}
+
+TEST(RepresentativeDistinct, ExactCoverWhenCountsEqual) {
+  la::Matrix targets{{1.0}, {2.0}, {3.0}};
+  la::Matrix candidates{{3.1}, {1.1}, {2.1}};
+  auto picks = match_nearest_distinct(targets, candidates);
+  EXPECT_EQ(picks[0], 1u);
+  EXPECT_EQ(picks[1], 2u);
+  EXPECT_EQ(picks[2], 0u);
+}
+
+}  // namespace
+}  // namespace perspector::sampling

@@ -1,0 +1,140 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace perspector::stats {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(3, 5));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5}));
+  EXPECT_THROW(rng.uniform_int(5, 3), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(10);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+  // Degenerate probabilities never throw and behave as expected.
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-2.0));  // clamped
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[static_cast<std::size_t>(rng.zipf(10, 1.2))];
+  }
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+  EXPECT_THROW(rng.zipf(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.zipf(10, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(12);
+  auto p = rng.permutation(20);
+  std::sort(p.begin(), p.end());
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Rng rng(13);
+  auto s = rng.sample_without_replacement(10, 4);
+  EXPECT_EQ(s.size(), 4u);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(std::unique(s.begin(), s.end()), s.end());
+  for (std::size_t i : s) EXPECT_LT(i, 10u);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(14);
+  const std::vector<double> weights{0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[rng.weighted_index(weights)];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.4);
+
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zeros), std::invalid_argument);
+  const std::vector<double> negative{-1.0, 2.0};
+  EXPECT_THROW(rng.weighted_index(negative), std::invalid_argument);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(15);
+  Rng child = parent.fork();
+  // The child stream should not replicate the parent's next draws.
+  Rng parent2(15);
+  (void)parent2.fork();
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.uniform() == parent.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(16), b(16);
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(ca.uniform(), cb.uniform());
+  }
+}
+
+}  // namespace
+}  // namespace perspector::stats

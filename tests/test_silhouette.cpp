@@ -1,0 +1,123 @@
+#include "cluster/silhouette.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cluster/kmeans.hpp"
+#include "stats/rng.hpp"
+
+namespace perspector::cluster {
+namespace {
+
+TEST(Silhouette, ValidatesInput) {
+  la::Matrix points{{0.0}, {1.0}};
+  const std::vector<std::size_t> short_labels{0};
+  EXPECT_THROW(silhouette_values(points, short_labels, 2),
+               std::invalid_argument);
+  const std::vector<std::size_t> bad_labels{0, 5};
+  EXPECT_THROW(silhouette_values(points, bad_labels, 2),
+               std::invalid_argument);
+}
+
+TEST(Silhouette, SingleClusterScoresZero) {
+  la::Matrix points{{0.0}, {1.0}, {2.0}};
+  const std::vector<std::size_t> labels{0, 0, 0};
+  EXPECT_DOUBLE_EQ(silhouette_score(points, labels, 1), 0.0);
+  for (double v : silhouette_values(points, labels, 1)) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(Silhouette, HandComputedCase) {
+  // Points on a line: {0, 1} in cluster 0; {10, 11} in cluster 1.
+  // For point 0: eta = 1, lambda = (10+11)/2 = 10.5, s = 9.5/10.5.
+  la::Matrix points{{0.0}, {1.0}, {10.0}, {11.0}};
+  const std::vector<std::size_t> labels{0, 0, 1, 1};
+  const auto values = silhouette_values(points, labels, 2);
+  EXPECT_NEAR(values[0], 9.5 / 10.5, 1e-12);
+  // For point 1: eta = 1, lambda = (9+10)/2 = 9.5.
+  EXPECT_NEAR(values[1], 8.5 / 9.5, 1e-12);
+  // Symmetry: cluster 1 mirrors cluster 0.
+  EXPECT_NEAR(values[2], values[1], 1e-12);
+  EXPECT_NEAR(values[3], values[0], 1e-12);
+}
+
+TEST(Silhouette, PerClusterAndSuiteAggregation) {
+  la::Matrix points{{0.0}, {1.0}, {10.0}, {11.0}};
+  const std::vector<std::size_t> labels{0, 0, 1, 1};
+  const auto per_cluster = silhouette_per_cluster(points, labels, 2);
+  ASSERT_EQ(per_cluster.size(), 2u);
+  EXPECT_NEAR(per_cluster[0], (9.5 / 10.5 + 8.5 / 9.5) / 2.0, 1e-12);
+  EXPECT_NEAR(per_cluster[0], per_cluster[1], 1e-12);
+
+  const double suite = silhouette_score(points, labels, 2);
+  EXPECT_NEAR(suite, per_cluster[0], 1e-12);
+  // With equal cluster sizes, Eq. 5 equals the pointwise mean.
+  EXPECT_NEAR(suite, silhouette_score_pointwise(points, labels, 2), 1e-12);
+}
+
+TEST(Silhouette, ClusterWeightedVsPointwiseDiffer) {
+  // Unequal cluster sizes: Eq. 5 (cluster mean) != point mean.
+  la::Matrix points{{0.0}, {0.1}, {0.2}, {10.0}};
+  const std::vector<std::size_t> labels{0, 0, 0, 1};
+  const double by_cluster = silhouette_score(points, labels, 2);
+  const double by_point = silhouette_score_pointwise(points, labels, 2);
+  // Cluster 1 is a singleton scoring 0, dragging the cluster-mean down by
+  // half; pointwise it only counts 1/4.
+  EXPECT_LT(by_cluster, by_point);
+}
+
+TEST(Silhouette, SingletonClusterScoresZero) {
+  la::Matrix points{{0.0}, {5.0}, {5.1}};
+  const std::vector<std::size_t> labels{0, 1, 1};
+  const auto values = silhouette_values(points, labels, 2);
+  EXPECT_DOUBLE_EQ(values[0], 0.0);
+  EXPECT_GT(values[1], 0.9);
+}
+
+TEST(Silhouette, WellSeparatedBeatsOverlapping) {
+  stats::Rng rng(31);
+  const auto make = [&](double separation) {
+    la::Matrix points(20, 2);
+    std::vector<std::size_t> labels(20);
+    for (std::size_t i = 0; i < 10; ++i) {
+      points(i, 0) = rng.normal(0.0, 1.0);
+      points(i, 1) = rng.normal(0.0, 1.0);
+      labels[i] = 0;
+      points(10 + i, 0) = rng.normal(separation, 1.0);
+      points(10 + i, 1) = rng.normal(separation, 1.0);
+      labels[10 + i] = 1;
+    }
+    return silhouette_score(points, labels, 2);
+  };
+  EXPECT_GT(make(20.0), make(1.0));
+}
+
+// Property: silhouette values are always within [-1, 1] for k-means labels
+// at any k.
+class SilhouetteBounds : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SilhouetteBounds, ValuesInRange) {
+  stats::Rng rng(32);
+  la::Matrix points(18, 4);
+  for (std::size_t r = 0; r < 18; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) points(r, c) = rng.uniform();
+  }
+  KMeansConfig config;
+  config.k = GetParam();
+  const auto result = kmeans(points, config);
+  for (double v : silhouette_values(points, result.labels, config.k)) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+  const double suite = silhouette_score(points, result.labels, config.k);
+  EXPECT_GE(suite, -1.0);
+  EXPECT_LE(suite, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, SilhouetteBounds,
+                         ::testing::Values(2, 3, 4, 6, 9, 17));
+
+}  // namespace
+}  // namespace perspector::cluster

@@ -1,0 +1,105 @@
+#include "core/spread_score.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace perspector::core {
+namespace {
+
+TEST(SpreadScore, RejectsEmpty) {
+  EXPECT_THROW(spread_score(la::Matrix{}), std::invalid_argument);
+}
+
+TEST(SpreadScore, PerWorkloadDetail) {
+  la::Matrix m(3, 8, 0.5);
+  const auto result = spread_score(m);
+  EXPECT_EQ(result.per_workload.size(), 3u);
+  double total = 0.0;
+  for (double d : result.per_workload) total += d;
+  EXPECT_NEAR(result.score, total / 3.0, 1e-12);
+}
+
+TEST(SpreadScore, UniformRowsScoreLow) {
+  // Rows whose values form a near-perfect uniform grid over [0,1].
+  const std::size_t m = 20;
+  la::Matrix grid(4, m);
+  for (std::size_t w = 0; w < 4; ++w) {
+    for (std::size_t c = 0; c < m; ++c) {
+      grid(w, c) = (static_cast<double>(c) + 0.5) / static_cast<double>(m);
+    }
+  }
+  const auto result = spread_score(grid);
+  EXPECT_LT(result.score, 0.1);
+}
+
+TEST(SpreadScore, ClusteredRowsScoreHigh) {
+  // All counter values piled near 0.9: KS distance vs uniform ~0.9.
+  la::Matrix clustered(4, 20, 0.9);
+  const auto result = spread_score(clustered);
+  EXPECT_GT(result.score, 0.8);
+}
+
+TEST(SpreadScore, PaperInterpretationBand) {
+  // The paper reads D in [0, 0.5] as weakly uniform; a genuinely uniform
+  // random row should land there comfortably.
+  stats::Rng rng(111);
+  la::Matrix m(6, 30);
+  for (std::size_t w = 0; w < 6; ++w) {
+    for (std::size_t c = 0; c < 30; ++c) m(w, c) = rng.uniform();
+  }
+  const auto result = spread_score(m);
+  EXPECT_LT(result.score, 0.5);
+}
+
+TEST(SpreadScore, AnalyticModeDeterministic) {
+  stats::Rng rng(112);
+  la::Matrix m(4, 16);
+  for (std::size_t w = 0; w < 4; ++w) {
+    for (std::size_t c = 0; c < 16; ++c) m(w, c) = rng.uniform();
+  }
+  EXPECT_DOUBLE_EQ(spread_score(m).score, spread_score(m).score);
+}
+
+TEST(SpreadScore, SampledModeApproximatesAnalytic) {
+  stats::Rng rng(113);
+  la::Matrix m(8, 64);
+  for (std::size_t w = 0; w < 8; ++w) {
+    for (std::size_t c = 0; c < 64; ++c) m(w, c) = rng.uniform();
+  }
+  SpreadScoreOptions sampled;
+  sampled.mode = SpreadScoreOptions::Mode::Sampled;
+  const double analytic = spread_score(m).score;
+  const double paper_literal = spread_score(m, sampled).score;
+  // The two-sample variant carries sampling noise but tracks the analytic
+  // score.
+  EXPECT_NEAR(analytic, paper_literal, 0.15);
+}
+
+TEST(SpreadScore, SampledModeSeedDependent) {
+  la::Matrix m(4, 32, 0.3);
+  SpreadScoreOptions a, b;
+  a.mode = SpreadScoreOptions::Mode::Sampled;
+  b.mode = SpreadScoreOptions::Mode::Sampled;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(spread_score(m, a).score, spread_score(m, b).score);
+}
+
+TEST(SpreadScore, BoundedInUnitInterval) {
+  stats::Rng rng(114);
+  for (int round = 0; round < 5; ++round) {
+    la::Matrix m(3, 10);
+    for (std::size_t w = 0; w < 3; ++w) {
+      for (std::size_t c = 0; c < 10; ++c) m(w, c) = rng.uniform();
+    }
+    const auto result = spread_score(m);
+    EXPECT_GE(result.score, 0.0);
+    EXPECT_LE(result.score, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace perspector::core

@@ -1,0 +1,161 @@
+#include "core/subset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace perspector::core {
+namespace {
+
+CounterMatrix synthetic_suite(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<std::string> workloads, counters;
+  la::Matrix values(n, 5);
+  std::vector<std::vector<std::vector<double>>> series;
+  for (std::size_t c = 0; c < 5; ++c) {
+    counters.push_back("c" + std::to_string(c));
+  }
+  for (std::size_t w = 0; w < n; ++w) {
+    workloads.push_back("w" + std::to_string(w));
+    std::vector<std::vector<double>> per_counter;
+    for (std::size_t c = 0; c < 5; ++c) {
+      values(w, c) = rng.uniform();
+      std::vector<double> s(15);
+      for (double& v : s) v = rng.uniform(1.0, 10.0);
+      per_counter.push_back(s);
+    }
+    series.push_back(per_counter);
+  }
+  return CounterMatrix("synthetic", workloads, counters, values, series);
+}
+
+TEST(Subset, ValidatesOptions) {
+  const auto suite = synthetic_suite(10, 1);
+  SubsetOptions options;
+  options.target_size = 10;
+  EXPECT_THROW(select_subset(suite, options), std::invalid_argument);
+  options.target_size = 0;
+  EXPECT_THROW(select_subset(suite, options), std::invalid_argument);
+  options.target_size = 3;  // < 4
+  EXPECT_THROW(generate_subset(suite, options), std::invalid_argument);
+}
+
+TEST(Subset, MethodNames) {
+  EXPECT_STREQ(to_string(SubsetMethod::Lhs), "lhs");
+  EXPECT_STREQ(to_string(SubsetMethod::Random), "random");
+  EXPECT_STREQ(to_string(SubsetMethod::HierarchicalPrior),
+               "hierarchical-prior");
+}
+
+class SubsetMethods : public ::testing::TestWithParam<SubsetMethod> {};
+
+TEST_P(SubsetMethods, SelectsDistinctValidIndices) {
+  const auto suite = synthetic_suite(20, 2);
+  SubsetOptions options;
+  options.method = GetParam();
+  options.target_size = 6;
+  const auto indices = select_subset(suite, options);
+  EXPECT_EQ(indices.size(), 6u);
+  const std::set<std::size_t> distinct(indices.begin(), indices.end());
+  EXPECT_EQ(distinct.size(), 6u);
+  for (std::size_t i : indices) EXPECT_LT(i, 20u);
+}
+
+TEST_P(SubsetMethods, FullPipelineReportsDeviation) {
+  const auto suite = synthetic_suite(16, 3);
+  SubsetOptions options;
+  options.method = GetParam();
+  options.target_size = 6;
+  const auto result = generate_subset(suite, options);
+  EXPECT_EQ(result.indices.size(), 6u);
+  EXPECT_EQ(result.names.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(result.indices.begin(), result.indices.end()));
+  EXPECT_GE(result.mean_deviation_pct, 0.0);
+  EXPECT_EQ(result.per_score_deviation_pct.size(), 4u);
+  // Names correspond to indices.
+  for (std::size_t i = 0; i < result.indices.size(); ++i) {
+    EXPECT_EQ(result.names[i],
+              suite.workload_names()[result.indices[i]]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, SubsetMethods,
+                         ::testing::Values(SubsetMethod::Lhs,
+                                           SubsetMethod::Random,
+                                           SubsetMethod::HierarchicalPrior));
+
+TEST(Subset, DeterministicForSeed) {
+  const auto suite = synthetic_suite(20, 4);
+  SubsetOptions options;
+  options.seed = 77;
+  EXPECT_EQ(select_subset(suite, options), select_subset(suite, options));
+}
+
+TEST(Subset, LhsSubsetSpaceFilling) {
+  // The LHS subset's minimum pairwise distance (in normalized counter
+  // space) should generally beat a random subset's.
+  const auto suite = synthetic_suite(40, 5);
+  double lhs_total = 0.0, random_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    SubsetOptions lhs;
+    lhs.target_size = 8;
+    lhs.seed = seed;
+    SubsetOptions random = lhs;
+    random.method = SubsetMethod::Random;
+
+    const auto dist = [&](const std::vector<std::size_t>& picks) {
+      double best = 1e18;
+      for (std::size_t i = 0; i < picks.size(); ++i) {
+        for (std::size_t j = i + 1; j < picks.size(); ++j) {
+          best = std::min(best, la::euclidean_distance(
+                                    suite.values().row(picks[i]),
+                                    suite.values().row(picks[j])));
+        }
+      }
+      return best;
+    };
+    lhs_total += dist(select_subset(suite, lhs));
+    random_total += dist(select_subset(suite, random));
+  }
+  EXPECT_GT(lhs_total, random_total);
+}
+
+TEST(Subset, DeviationComputedAgainstFullSuite) {
+  const auto suite = synthetic_suite(16, 6);
+  SubsetOptions options;
+  options.target_size = 8;
+  const auto result = generate_subset(suite, options);
+  // Full suite and subset are scored together (joint normalization); since
+  // the subset's values are a subset of the full data, the shared ranges
+  // equal the full suite's own ranges, so the full-suite scores match a
+  // standalone evaluation.
+  const auto direct = Perspector().score_suite(suite);
+  EXPECT_DOUBLE_EQ(result.full_scores.coverage, direct.coverage);
+  EXPECT_DOUBLE_EQ(result.full_scores.cluster, direct.cluster);
+  // Subset scores come from the joint evaluation, which is what makes the
+  // coverage/spread comparison meaningful.
+  const auto joint = Perspector().score_suites(
+      {suite, suite.select_workloads(result.indices)});
+  EXPECT_DOUBLE_EQ(result.subset_scores.coverage, joint[1].coverage);
+  EXPECT_DOUBLE_EQ(result.subset_scores.spread, joint[1].spread);
+}
+
+TEST(Subset, CommonKRangeOptionReaggregatesFullCluster) {
+  const auto suite = synthetic_suite(16, 6);
+  SubsetOptions options;
+  options.target_size = 8;
+  options.cluster_common_k_range = true;
+  const auto result = generate_subset(suite, options);
+  // The full suite's cluster score becomes the mean over k = 2..7 only.
+  const auto& per_k = Perspector().score_suite(suite).cluster_detail.per_k;
+  double expected = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) expected += per_k[i];
+  EXPECT_NEAR(result.full_scores.cluster, expected / 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace perspector::core

@@ -1,0 +1,147 @@
+#include "suites/suite_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/counter_matrix.hpp"
+#include "sim/simulator.hpp"
+
+namespace perspector::suites {
+namespace {
+
+SuiteBuildOptions small() {
+  SuiteBuildOptions options;
+  options.instructions_per_workload = 20'000;
+  return options;
+}
+
+TEST(Suites, PaperWorkloadCounts) {
+  // Table III / Section IV: SPEC'17 has 43 workloads; the others match
+  // their real suites.
+  EXPECT_EQ(spec17(small()).workloads.size(), 43u);
+  EXPECT_EQ(parsec(small()).workloads.size(), 13u);
+  EXPECT_EQ(ligra(small()).workloads.size(), 12u);
+  EXPECT_EQ(lmbench(small()).workloads.size(), 14u);
+  EXPECT_EQ(nbench(small()).workloads.size(), 10u);
+  EXPECT_EQ(sgxgauge(small()).workloads.size(), 10u);
+}
+
+TEST(Suites, AllSuitesReturnsSixInTableOrder) {
+  const auto all = all_suites(small());
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "PARSEC");
+  EXPECT_EQ(all[1].name, "SPEC'17");
+  EXPECT_EQ(all[2].name, "Ligra");
+  EXPECT_EQ(all[3].name, "LMbench");
+  EXPECT_EQ(all[4].name, "Nbench");
+  EXPECT_EQ(all[5].name, "SGXGauge");
+}
+
+TEST(Suites, AllWorkloadNamesUniqueWithinSuite) {
+  for (const auto& suite : all_suites(small())) {
+    const auto names = suite.workload_names();
+    const std::set<std::string> distinct(names.begin(), names.end());
+    EXPECT_EQ(distinct.size(), names.size()) << suite.name;
+  }
+}
+
+TEST(Suites, AllSpecsValidate) {
+  for (const auto& suite : all_suites(small())) {
+    EXPECT_NO_THROW(suite.validate()) << suite.name;
+  }
+  EXPECT_NO_THROW(demo_five(small()).validate());
+}
+
+TEST(Suites, InstructionBudgetHonored) {
+  const auto suite = nbench(small());
+  for (const auto& w : suite.workloads) {
+    EXPECT_EQ(w.instructions, 20'000u);
+  }
+}
+
+TEST(Suites, DemoFiveMatchesFig1Workloads) {
+  const auto demo = demo_five(small());
+  const auto names = demo.workload_names();
+  EXPECT_EQ(names, (std::vector<std::string>{"PageRank", "HashJoin", "BFS",
+                                             "BTree", "OpenSSL"}));
+  // Fig. 1's point: the workloads run for different lengths.
+  std::set<std::uint64_t> budgets;
+  for (const auto& w : demo.workloads) budgets.insert(w.instructions);
+  EXPECT_GT(budgets.size(), 2u);
+}
+
+TEST(Suites, Spec17ContainsKnownWorkloads) {
+  const auto names = spec17(small()).workload_names();
+  const std::set<std::string> set(names.begin(), names.end());
+  EXPECT_TRUE(set.contains("505.mcf_r"));
+  EXPECT_TRUE(set.contains("619.lbm_s"));
+  EXPECT_TRUE(set.contains("628.pop2_s"));
+  EXPECT_TRUE(set.contains("548.exchange2_r"));
+}
+
+TEST(Suites, SpecSpeedVariantsCorrelateWithRateSiblings) {
+  const auto suite = spec17(small());
+  const auto find = [&](const std::string& name) -> const sim::WorkloadSpec& {
+    for (const auto& w : suite.workloads) {
+      if (w.name == name) return w;
+    }
+    throw std::runtime_error("missing " + name);
+  };
+  const auto& rate = find("505.mcf_r");
+  const auto& speed = find("605.mcf_s");
+  ASSERT_EQ(rate.phases.size(), speed.phases.size());
+  // Speed variant scales the working set but keeps the pattern kind.
+  EXPECT_EQ(rate.phases[0].pattern.kind, speed.phases[0].pattern.kind);
+  EXPECT_GT(speed.phases[0].pattern.working_set_bytes,
+            rate.phases[0].pattern.working_set_bytes);
+  // ... and is perturbed, not cloned.
+  EXPECT_NE(rate.phases[0].load_frac, speed.phases[0].load_frac);
+}
+
+TEST(Suites, LigraSharesLoadGraphPhase) {
+  const auto suite = ligra(small());
+  for (const auto& w : suite.workloads) {
+    ASSERT_EQ(w.phases.size(), 2u) << w.name;
+    EXPECT_EQ(w.phases[0].name, "load-graph") << w.name;
+  }
+}
+
+TEST(Suites, LMbenchProbesAreSinglePhase) {
+  for (const auto& w : lmbench(small()).workloads) {
+    EXPECT_EQ(w.phases.size(), 1u) << w.name;
+  }
+  for (const auto& w : nbench(small()).workloads) {
+    EXPECT_EQ(w.phases.size(), 1u) << w.name;
+  }
+}
+
+TEST(Suites, ParsecWorkloadsAreMultiPhase) {
+  std::size_t multi = 0;
+  const auto suite = parsec(small());
+  for (const auto& w : suite.workloads) {
+    if (w.phases.size() >= 2) ++multi;
+  }
+  // PARSEC is the phase-heavy suite; nearly all workloads have phases.
+  EXPECT_GE(multi, suite.workloads.size() - 1);
+}
+
+TEST(Suites, EndToEndSimulationSmoke) {
+  // Every suite simulates cleanly at tiny scale and produces counters.
+  const auto machine = sim::MachineConfig::xeon_e2186g();
+  sim::SimOptions options;
+  options.sample_interval = 2'000;
+  for (const auto& suite : all_suites(small())) {
+    const auto data = core::collect_counters(suite, machine, options);
+    EXPECT_EQ(data.num_workloads(), suite.workloads.size());
+    EXPECT_EQ(data.num_counters(), sim::kPmuEventCount);
+    EXPECT_TRUE(data.has_series());
+    // cpu-cycles is positive for every workload.
+    for (std::size_t w = 0; w < data.num_workloads(); ++w) {
+      EXPECT_GT(data.value(w, 0), 0.0) << suite.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace perspector::suites

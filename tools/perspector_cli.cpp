@@ -1,0 +1,232 @@
+// perspector — command-line front end.
+//
+//   perspector suites
+//       List the built-in suite models.
+//   perspector demo [--suite <name>] [--instructions N]
+//       Simulate a built-in suite and print the full report.
+//   perspector score --csv <aggregates.csv> [--series <series.csv>]
+//       Score one suite from CSV counter data (see core/io.hpp formats).
+//   perspector compare --csv <a.csv> --csv <b.csv> ... [--events all|llc|tlb|branch]
+//       Score several suites together (joint normalization) and rank them.
+//   perspector subset --csv <file.csv> --size K [--method lhs|random|prior]
+//       Select a representative subset and report the score deviation.
+//
+// Exit codes: 0 success, 1 usage error, 2 runtime failure.
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/counter_matrix.hpp"
+#include "core/event_group.hpp"
+#include "core/io.hpp"
+#include "core/perspector.hpp"
+#include "core/ranking.hpp"
+#include "core/report.hpp"
+#include "core/subset.hpp"
+#include "suites/suite_factory.hpp"
+
+namespace {
+
+using namespace perspector;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> options;  // --key value
+
+  std::optional<std::string> get(const std::string& key) const {
+    for (const auto& [k, v] : options) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  }
+  std::vector<std::string> get_all(const std::string& key) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : options) {
+      if (k == key) out.push_back(v);
+    }
+    return out;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) {
+        throw std::runtime_error("option '" + token + "' needs a value");
+      }
+      args.options.emplace_back(token.substr(2), argv[++i]);
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: perspector <command> [options]\n"
+      "  suites                                   list built-in suite models\n"
+      "  demo    [--suite <name>] [--instructions N]\n"
+      "  score   --csv <agg.csv> [--series <ser.csv>]\n"
+      "  compare --csv <a.csv> --csv <b.csv> ... [--events all|llc|tlb|branch]\n"
+      "  subset  --csv <agg.csv> --size K [--method lhs|random|prior] [--seed S]\n";
+  return 1;
+}
+
+sim::SuiteSpec builtin_suite(const std::string& name,
+                             const suites::SuiteBuildOptions& build) {
+  if (name == "parsec") return suites::parsec(build);
+  if (name == "spec17") return suites::spec17(build);
+  if (name == "ligra") return suites::ligra(build);
+  if (name == "lmbench") return suites::lmbench(build);
+  if (name == "nbench") return suites::nbench(build);
+  if (name == "sgxgauge") return suites::sgxgauge(build);
+  if (name == "riotbench") return suites::riotbench(build);
+  if (name == "sebs") return suites::sebs(build);
+  if (name == "comb") return suites::comb(build);
+  if (name == "splash2") return suites::splash2(build);
+  throw std::runtime_error("unknown built-in suite '" + name +
+                           "' (try: perspector suites)");
+}
+
+int cmd_suites() {
+  std::cout << "built-in suite models:\n"
+            << "  parsec     13 multi-phase parallel applications\n"
+            << "  spec17     43 CPU/memory workloads (rate + speed)\n"
+            << "  ligra      12 graph algorithms on a shared framework\n"
+            << "  lmbench    14 OS/memory micro-probes\n"
+            << "  nbench     10 steady-state CPU kernels\n"
+            << "  sgxgauge   10 real-world applications\n"
+            << "  riotbench   8 IoT stream-processing operators\n"
+            << "  sebs        8 serverless functions (cold starts)\n"
+            << "  comb        6 edge media/inference pipelines\n"
+            << "  splash2    12 1995-era HPC kernels (PARSEC's predecessor)\n";
+  return 0;
+}
+
+int cmd_demo(const Args& args) {
+  suites::SuiteBuildOptions build;
+  build.instructions_per_workload = 500'000;
+  if (const auto n = args.get("instructions")) {
+    build.instructions_per_workload = std::stoull(*n);
+  }
+  const std::string name = args.get("suite").value_or("nbench");
+  const auto spec = builtin_suite(name, build);
+
+  sim::SimOptions sim_options;
+  sim_options.sample_interval =
+      std::max<std::uint64_t>(build.instructions_per_workload / 100, 1);
+  std::cerr << "simulating " << spec.name << " ("
+            << spec.workloads.size() << " workloads, "
+            << build.instructions_per_workload << " instructions each)...\n";
+  const auto data = core::collect_counters(
+      spec, sim::MachineConfig::xeon_e2186g(), sim_options);
+  const auto scores = core::Perspector().score_suite(data);
+  std::cout << core::suite_report(data, scores);
+  return 0;
+}
+
+core::CounterMatrix load_csv(const Args& args, const std::string& csv) {
+  if (const auto series = args.get("series")) {
+    return core::read_with_series_csv(csv, csv, *series);
+  }
+  return core::read_aggregates_csv(csv, csv);
+}
+
+int cmd_score(const Args& args) {
+  const auto csv = args.get("csv");
+  if (!csv) return usage();
+  const auto data = load_csv(args, *csv);
+  const auto scores = core::Perspector().score_suite(data);
+  std::cout << core::suite_report(data, scores);
+  return 0;
+}
+
+core::EventGroup event_group(const std::string& name) {
+  if (name == "all") return core::EventGroup::all();
+  if (name == "llc") return core::EventGroup::llc();
+  if (name == "tlb") return core::EventGroup::tlb();
+  if (name == "branch") return core::EventGroup::branch();
+  throw std::runtime_error("unknown event group '" + name + "'");
+}
+
+int cmd_compare(const Args& args) {
+  const auto csvs = args.get_all("csv");
+  if (csvs.size() < 2) {
+    std::cerr << "compare needs at least two --csv files\n";
+    return 1;
+  }
+  std::vector<core::CounterMatrix> data;
+  for (const auto& csv : csvs) {
+    data.push_back(core::read_aggregates_csv(csv, csv));
+  }
+  core::PerspectorOptions options;
+  options.events = event_group(args.get("events").value_or("all"));
+  const auto scores = core::Perspector(options).score_suites(data);
+  std::cout << core::scores_table(scores).to_text() << core::score_legend()
+            << "\n\n";
+
+  const auto ranked = core::rank_suites(scores);
+  core::Table table({"rank", "suite", "grade"});
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    table.add_row({std::to_string(i + 1), ranked[i].suite,
+                   core::format_double(ranked[i].grade, 3)});
+  }
+  std::cout << table.to_text();
+  return 0;
+}
+
+int cmd_subset(const Args& args) {
+  const auto csv = args.get("csv");
+  if (!csv) return usage();
+  const auto data = load_csv(args, *csv);
+
+  core::SubsetOptions options;
+  options.target_size = std::stoull(args.get("size").value_or("8"));
+  if (const auto seed = args.get("seed")) options.seed = std::stoull(*seed);
+  const std::string method = args.get("method").value_or("lhs");
+  if (method == "lhs") {
+    options.method = core::SubsetMethod::Lhs;
+  } else if (method == "random") {
+    options.method = core::SubsetMethod::Random;
+  } else if (method == "prior") {
+    options.method = core::SubsetMethod::HierarchicalPrior;
+  } else {
+    throw std::runtime_error("unknown subset method '" + method + "'");
+  }
+
+  core::PerspectorOptions scoring;
+  scoring.compute_trend = data.has_series();
+  const auto result = core::generate_subset(data, options, scoring);
+  std::cout << "selected " << result.names.size() << " of "
+            << data.num_workloads() << " workloads ("
+            << core::to_string(options.method) << "):\n";
+  for (const auto& name : result.names) std::cout << "  " << name << "\n";
+  std::cout << "mean score deviation vs full suite: "
+            << core::format_double(result.mean_deviation_pct, 2) << "%\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args = parse_args(argc, argv);
+    if (command == "suites") return cmd_suites();
+    if (command == "demo") return cmd_demo(args);
+    if (command == "score") return cmd_score(args);
+    if (command == "compare") return cmd_compare(args);
+    if (command == "subset") return cmd_subset(args);
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "perspector: " << e.what() << "\n";
+    return 2;
+  }
+}
