@@ -9,15 +9,40 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/counter_matrix.hpp"
+#include "core/report.hpp"
+#include "obs/trace.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/simulator.hpp"
 #include "suites/suite_factory.hpp"
 
 namespace perspector::bench {
+
+// Instrumented breakdowns "for free": including this header installs a
+// process-lifetime trace session that turns the obs tracer on at startup
+// (PERSPECTOR_TRACE=0 in the environment still force-disables it) and
+// prints the collapsed per-phase timing table to stderr when the bench
+// exits, after its normal output.
+namespace detail {
+
+class TraceSession {
+ public:
+  TraceSession() { obs::Tracer::instance().enable(); }
+  ~TraceSession() {
+    const auto summary = obs::Tracer::instance().phase_summary();
+    if (summary.empty()) return;
+    std::cerr << "\n--- per-phase timing (obs; nested spans overlap) ---\n"
+              << core::phase_timing_table(summary).to_text();
+  }
+};
+
+inline TraceSession trace_session;
+
+}  // namespace detail
 
 struct BenchConfig {
   std::uint64_t instructions = 2'000'000;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace perspector::cluster {
 
 namespace {
@@ -141,6 +143,12 @@ KMeansResult kmeans(const la::Matrix& points, const KMeansConfig& config) {
     throw std::invalid_argument("kmeans: restarts must be > 0");
   }
 
+  static obs::Counter& calls = obs::counter("kmeans.calls");
+  static obs::Counter& restarts = obs::counter("kmeans.restarts");
+  static obs::Counter& iterations = obs::counter("kmeans.iterations");
+  calls.increment();
+  restarts.add(config.restarts);
+
   stats::Rng rng(config.seed);
   KMeansResult best;
   best.inertia = std::numeric_limits<double>::infinity();
@@ -148,6 +156,7 @@ KMeansResult kmeans(const la::Matrix& points, const KMeansConfig& config) {
     auto child = rng.fork();
     auto outcome = lloyd(points, seed_centroids(points, config.k, child),
                          config);
+    iterations.add(outcome.iterations);
     if (outcome.inertia < best.inertia) {
       best.labels = std::move(outcome.labels);
       best.centroids = std::move(outcome.centroids);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "cluster/kmeans.hpp"
+#include "obs/metrics.hpp"
 
 namespace perspector::cluster {
 
@@ -31,6 +32,8 @@ std::vector<double> silhouette_values(const la::Matrix& points,
   const std::size_t n = points.rows();
   std::vector<double> values(n, 0.0);
   if (k <= 1 || n == 0) return values;
+  static obs::Counter& evaluations = obs::counter("silhouette.evaluations");
+  evaluations.add(n);
 
   const la::Matrix dist = la::pairwise_distances(points);
   const auto sizes = cluster_sizes(labels, k);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "sim/pmu.hpp"
 
 namespace perspector::core {
@@ -173,6 +174,7 @@ CounterMatrix CounterMatrix::select_workloads(
 CounterMatrix collect_counters(const sim::SuiteSpec& suite,
                                const sim::MachineConfig& machine,
                                const sim::SimOptions& options) {
+  obs::Span span("collect_counters/" + suite.name);
   return CounterMatrix::from_sim_results(
       suite.name, sim::simulate_suite(suite, machine, options));
 }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/joint_normalize.hpp"
+#include "obs/trace.hpp"
 
 namespace perspector::core {
 
@@ -14,6 +15,7 @@ std::vector<SuiteScores> Perspector::score_suites(
   if (suites.empty()) {
     throw std::invalid_argument("Perspector::score_suites: no suites");
   }
+  obs::Span span("score_suites");
 
   // Focused scoring: restrict every suite to the selected event group.
   std::vector<CounterMatrix> filtered;
@@ -28,10 +30,14 @@ std::vector<SuiteScores> Perspector::score_suites(
   }
 
   // Joint normalization across all suites (Eq. 9-10) for coverage/spread.
-  std::vector<const la::Matrix*> raw;
-  raw.reserve(filtered.size());
-  for (const auto& suite : filtered) raw.push_back(&suite.values());
-  const std::vector<la::Matrix> normalized = joint_minmax_normalize(raw);
+  std::vector<la::Matrix> normalized;
+  {
+    obs::Span normalize_span("joint_normalize");
+    std::vector<const la::Matrix*> raw;
+    raw.reserve(filtered.size());
+    for (const auto& suite : filtered) raw.push_back(&suite.values());
+    normalized = joint_minmax_normalize(raw);
+  }
 
   std::vector<SuiteScores> results;
   results.reserve(filtered.size());
@@ -39,19 +45,29 @@ std::vector<SuiteScores> Perspector::score_suites(
     SuiteScores s;
     s.suite = filtered[i].suite_name();
 
-    s.cluster_detail = cluster_score(filtered[i], options_.cluster);
-    s.cluster = s.cluster_detail.score;
+    {
+      obs::Span phase("cluster_score");
+      s.cluster_detail = cluster_score(filtered[i], options_.cluster);
+      s.cluster = s.cluster_detail.score;
+    }
 
     if (options_.compute_trend && filtered[i].has_series()) {
+      obs::Span phase("trend_score");
       s.trend_detail = trend_score(filtered[i], options_.trend);
       s.trend = s.trend_detail.score;
     }
 
-    s.coverage_detail = coverage_score(normalized[i], options_.coverage);
-    s.coverage = s.coverage_detail.score;
+    {
+      obs::Span phase("coverage_score");
+      s.coverage_detail = coverage_score(normalized[i], options_.coverage);
+      s.coverage = s.coverage_detail.score;
+    }
 
-    s.spread_detail = spread_score(normalized[i], options_.spread);
-    s.spread = s.spread_detail.score;
+    {
+      obs::Span phase("spread_score");
+      s.spread_detail = spread_score(normalized[i], options_.spread);
+      s.spread = s.spread_detail.score;
+    }
 
     results.push_back(std::move(s));
   }

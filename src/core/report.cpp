@@ -166,4 +166,49 @@ std::string suite_report(const CounterMatrix& suite,
   return os.str();
 }
 
+Table phase_timing_table(const std::vector<obs::PhaseStat>& summary,
+                         double wall_us) {
+  double reference = wall_us;
+  if (reference <= 0.0) {
+    for (const auto& stat : summary) {
+      reference = std::max(reference, stat.total_us);
+    }
+  }
+  Table table({"phase", "calls", "total ms", "mean ms", "min ms", "max ms",
+               "% wall"});
+  for (const auto& stat : summary) {
+    const double mean_us =
+        stat.count ? stat.total_us / static_cast<double>(stat.count) : 0.0;
+    const double pct =
+        reference > 0.0 ? 100.0 * stat.total_us / reference : 0.0;
+    table.add_row({stat.name, std::to_string(stat.count),
+                   format_double(stat.total_us / 1000.0, 3),
+                   format_double(mean_us / 1000.0, 3),
+                   format_double(stat.min_us / 1000.0, 3),
+                   format_double(stat.max_us / 1000.0, 3),
+                   format_double(pct, 1)});
+  }
+  return table;
+}
+
+Table counters_table(const std::vector<obs::CounterSnapshot>& counters) {
+  Table table({"metric", "value"});
+  for (const auto& snapshot : counters) {
+    table.add_row({snapshot.name, std::to_string(snapshot.value)});
+  }
+  return table;
+}
+
+Table distributions_table(
+    const std::vector<obs::DistributionSnapshot>& distributions) {
+  Table table({"metric", "count", "min", "mean", "max"});
+  for (const auto& snapshot : distributions) {
+    table.add_row({snapshot.name, std::to_string(snapshot.stats.count),
+                   format_double(snapshot.stats.min, 4),
+                   format_double(snapshot.stats.mean(), 4),
+                   format_double(snapshot.stats.max, 4)});
+  }
+  return table;
+}
+
 }  // namespace perspector::core

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "core/perspector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace perspector::core {
 
@@ -53,5 +55,18 @@ Table workload_rates_table(const CounterMatrix& suite);
 /// trend contributions when series were collected.
 std::string suite_report(const CounterMatrix& suite,
                          const SuiteScores& scores);
+
+/// Per-phase wall-clock breakdown of recorded trace spans. Percentages are
+/// relative to `wall_us` when positive, otherwise to the largest phase
+/// total (nested spans overlap, so totals do not sum to the wall clock).
+Table phase_timing_table(const std::vector<obs::PhaseStat>& summary,
+                         double wall_us = 0.0);
+
+/// All registered obs counters (name, value), sorted by name.
+Table counters_table(const std::vector<obs::CounterSnapshot>& counters);
+
+/// All registered obs distributions (count/min/mean/max), sorted by name.
+Table distributions_table(
+    const std::vector<obs::DistributionSnapshot>& distributions);
 
 }  // namespace perspector::core

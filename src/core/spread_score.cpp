@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "stats/ks_test.hpp"
 #include "stats/rng.hpp"
 
@@ -12,6 +13,8 @@ SpreadScoreResult spread_score(const la::Matrix& normalized,
   if (normalized.empty()) {
     throw std::invalid_argument("spread_score: empty matrix");
   }
+  static obs::Counter& ks_tests = obs::counter("spread.ks_tests");
+  ks_tests.add(normalized.rows());
   stats::Rng rng(options.seed);
   SpreadScoreResult result;
   double total = 0.0;

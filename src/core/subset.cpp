@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "cluster/hierarchical.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pca/pca.hpp"
 #include "sampling/latin_hypercube.hpp"
 #include "sampling/representative.hpp"
@@ -109,6 +111,9 @@ std::vector<std::size_t> select_subset(const CounterMatrix& suite,
   if (options.target_size == 0) {
     throw std::invalid_argument("select_subset: target size must be > 0");
   }
+  obs::Span span("subset.select");
+  static obs::Counter& selections = obs::counter("subset.selections");
+  selections.increment();
   const la::Matrix normalized =
       stats::minmax_normalize_columns(suite.values());
 
@@ -130,6 +135,7 @@ SubsetResult generate_subset(const CounterMatrix& suite,
     throw std::invalid_argument(
         "generate_subset: target size must be >= 4 (ClusterScore needs it)");
   }
+  obs::Span span("subset.generate");
   SubsetResult result;
   result.indices = select_subset(suite, options);
   std::sort(result.indices.begin(), result.indices.end());

@@ -4,6 +4,7 @@
 
 #include "dtw/dtw.hpp"
 #include "dtw/trend_normalize.hpp"
+#include "obs/trace.hpp"
 
 namespace perspector::core {
 
@@ -22,6 +23,7 @@ TrendScoreResult trend_score(const CounterMatrix& suite,
   TrendScoreResult result;
   double total = 0.0;
   for (std::size_t c = 0; c < suite.num_counters(); ++c) {
+    obs::Span counter_span("trend/" + suite.counter_names()[c]);
     // T_z: one normalized series per workload for this counter.
     std::vector<std::vector<double>> normalized;
     normalized.reserve(suite.num_workloads());

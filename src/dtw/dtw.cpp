@@ -5,6 +5,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace perspector::dtw {
 
 namespace {
@@ -56,9 +59,11 @@ DtwPathResult dtw_with_path(std::span<const double> a,
   };
   cost[at(0, 0)] = 0.0;
 
+  std::uint64_t cells_visited = 0;
   for (std::size_t i = 1; i <= n; ++i) {
     const std::size_t j_lo = i > w ? i - w : 1;
     const std::size_t j_hi = std::min(m, i + w);
+    if (j_hi >= j_lo) cells_visited += j_hi - j_lo + 1;
     for (std::size_t j = j_lo; j <= j_hi; ++j) {
       const double local = std::abs(a[i - 1] - b[j - 1]);
       const double best = std::min({cost[at(i - 1, j)], cost[at(i, j - 1)],
@@ -66,6 +71,10 @@ DtwPathResult dtw_with_path(std::span<const double> a,
       cost[at(i, j)] = local + best;
     }
   }
+  static obs::Counter& calls = obs::counter("dtw.calls");
+  static obs::Counter& cells = obs::counter("dtw.cells");
+  calls.increment();
+  cells.add(cells_visited);
 
   if (!std::isfinite(cost[at(n, m)])) {
     throw std::invalid_argument("dtw: band too narrow to connect endpoints");
@@ -99,6 +108,9 @@ double mean_pairwise_dtw(const std::vector<std::vector<double>>& series,
   if (series.size() < 2) {
     throw std::invalid_argument("mean_pairwise_dtw: need at least 2 series");
   }
+  obs::Span span("dtw.mean_pairwise");
+  static obs::Counter& pair_count = obs::counter("dtw.pairs");
+  pair_count.add(series.size() * (series.size() - 1) / 2);
   double total = 0.0;
   std::size_t pairs = 0;
   for (std::size_t i = 0; i < series.size(); ++i) {

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace perspector::la {
 
 namespace {
@@ -46,8 +48,10 @@ EigenResult symmetric_eigen(const Matrix& m, double symmetry_tol,
   // Cyclic Jacobi sweeps: zero out each off-diagonal element in turn with a
   // Givens rotation until the matrix is numerically diagonal.
   const double convergence = 1e-12 * std::max(1.0, max_abs);
+  static obs::Counter& sweeps = obs::counter("eigen.sweeps");
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     if (max_offdiag_abs(a) <= convergence) break;
+    sweeps.increment();
     for (std::size_t p = 0; p < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
         const double apq = a(p, q);

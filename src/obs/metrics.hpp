@@ -1,0 +1,94 @@
+// Named metrics: monotonic counters and value distributions.
+//
+// The registry hands out references that stay valid for the life of the
+// process, so hot paths pay the name lookup once:
+//
+//   static obs::Counter& cells = obs::counter("dtw.cells");
+//   cells.add(visited);
+//
+// Registration takes a mutex; the increment itself is a single relaxed
+// atomic add (counters) or a handful of CAS loops (distributions), so
+// instrumentation can live inside kernels permanently. Prefer one bulk
+// add per call over per-element increments.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perspector::obs {
+
+/// Monotonic counter. add() is wait-free; value() is a relaxed load.
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Summary statistics over recorded samples.
+struct DistributionStats {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Value distribution tracking count/min/max/sum without locks: min, max
+/// and sum are maintained with CAS loops on atomic doubles.
+class Distribution {
+ public:
+  void record(double value) noexcept;
+  DistributionStats stats() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Returns the counter registered under `name`, creating it on first use.
+/// The reference is valid for the remainder of the process.
+Counter& counter(std::string_view name);
+
+/// Returns the distribution registered under `name`, creating it on first
+/// use. The reference is valid for the remainder of the process.
+Distribution& distribution(std::string_view name);
+
+/// Point-in-time snapshot of one named counter.
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Point-in-time snapshot of one named distribution.
+struct DistributionSnapshot {
+  std::string name;
+  DistributionStats stats;
+};
+
+/// All registered counters, sorted by name. Zero-valued counters are
+/// included — registration implies intent to report.
+std::vector<CounterSnapshot> counters_snapshot();
+
+/// All registered distributions, sorted by name.
+std::vector<DistributionSnapshot> distributions_snapshot();
+
+/// Resets every registered counter and distribution to zero (test helper;
+/// registrations themselves are kept).
+void reset_metrics();
+
+}  // namespace perspector::obs

@@ -1,0 +1,195 @@
+#include "obs/trace.hpp"
+
+#ifndef PERSPECTOR_DISABLE_TRACE
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace perspector::obs {
+
+namespace {
+
+// Dense per-thread id: the first thread to record becomes 0, the next 1, …
+// Chrome's viewer groups spans into lanes by tid, so small stable numbers
+// beat hashed OS ids.
+std::uint32_t this_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+// Nesting depth of live spans on this thread.
+thread_local std::uint32_t tls_depth = 0;
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  if (const char* env = std::getenv("PERSPECTOR_TRACE")) {
+    const std::string value = env;
+    if (value == "0" || value == "off" || value == "false") {
+      force_disabled_ = true;
+    } else if (!value.empty()) {
+      enabled_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable() {
+  if (force_disabled_) return;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  events_.shrink_to_fit();
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::record(std::string_view name, double start_us, double end_us,
+                    std::uint32_t depth) {
+  TraceEvent event;
+  event.name.assign(name.data(), name.size());
+  event.start_us = start_us;
+  event.duration_us = end_us - start_us;
+  event.thread = this_thread_id();
+  event.depth = depth;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<PhaseStat> Tracer::phase_summary() const {
+  std::map<std::string, PhaseStat> by_name;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& event : events_) {
+      auto [it, inserted] = by_name.try_emplace(event.name);
+      PhaseStat& stat = it->second;
+      if (inserted) {
+        stat.name = event.name;
+        stat.min_us = event.duration_us;
+        stat.max_us = event.duration_us;
+      }
+      ++stat.count;
+      stat.total_us += event.duration_us;
+      stat.min_us = std::min(stat.min_us, event.duration_us);
+      stat.max_us = std::max(stat.max_us, event.duration_us);
+    }
+  }
+  std::vector<PhaseStat> out;
+  out.reserve(by_name.size());
+  for (auto& [name, stat] : by_name) out.push_back(std::move(stat));
+  std::sort(out.begin(), out.end(), [](const PhaseStat& a, const PhaseStat& b) {
+    return a.total_us > b.total_us;
+  });
+  return out;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::vector<TraceEvent> sorted = events();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us < b.start_us;
+            });
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const TraceEvent& e = sorted[i];
+    if (i) os << ",";
+    os << "\n{\"name\":\"";
+    json_escape(os, e.name);
+    os << "\",\"cat\":\"perspector\",\"ph\":\"X\",\"ts\":" << e.start_us
+       << ",\"dur\":" << e.duration_us << ",\"pid\":1,\"tid\":" << e.thread
+       << ",\"args\":{\"depth\":" << e.depth << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("Tracer::write_chrome_trace: cannot open '" +
+                             path + "'");
+  }
+  out << chrome_trace_json();
+  if (!out) {
+    throw std::runtime_error("Tracer::write_chrome_trace: write failed for '" +
+                             path + "'");
+  }
+}
+
+void Span::begin(std::string_view name) {
+  active_ = true;
+  name_.assign(name.data(), name.size());
+  depth_ = tls_depth++;
+  start_us_ = Tracer::instance().now_us();
+}
+
+void Span::end() {
+  Tracer& tracer = Tracer::instance();
+  const double end_us = tracer.now_us();
+  --tls_depth;
+  // Spans that straddle a disable() still record: they were opened under an
+  // enabled tracer and dropping them would corrupt nesting in the export.
+  tracer.record(name_, start_us_, end_us, depth_);
+}
+
+}  // namespace perspector::obs
+
+#endif  // PERSPECTOR_DISABLE_TRACE

@@ -1,0 +1,159 @@
+// Pipeline tracing: RAII spans feeding a process-wide Tracer that can
+// export Chrome trace-event JSON (load in chrome://tracing or
+// https://ui.perfetto.dev) and a collapsed per-phase summary.
+//
+// Design constraints (see DESIGN.md "Observability"):
+//   * zero dependencies — obs is a leaf library every other module may link;
+//   * the disabled path is a single relaxed atomic load and NO allocation,
+//     so instrumentation can stay in hot kernels permanently;
+//   * a compile-time kill switch (-DPERSPECTOR_DISABLE_TRACE) turns Span
+//     into an empty object for builds that must not even carry the branch.
+//
+// Runtime control:
+//   * default: disabled;
+//   * PERSPECTOR_TRACE=1 in the environment enables at process start;
+//   * PERSPECTOR_TRACE=0 *force-disables*: later Tracer::enable() calls are
+//     ignored (lets a user silence instrumented binaries wholesale);
+//   * Tracer::enable()/disable() toggle at runtime otherwise.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef PERSPECTOR_DISABLE_TRACE
+#include <atomic>
+#include <chrono>
+#endif
+
+namespace perspector::obs {
+
+/// One finished span as recorded by the Tracer.
+struct TraceEvent {
+  std::string name;
+  double start_us = 0.0;  // relative to tracer epoch
+  double duration_us = 0.0;
+  std::uint32_t thread = 0;  // small dense id, not the OS tid
+  std::uint32_t depth = 0;   // nesting depth at record time (0 = top level)
+};
+
+/// Collapsed per-name statistics over all recorded spans.
+struct PhaseStat {
+  std::string name;
+  std::size_t count = 0;
+  double total_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+};
+
+#ifndef PERSPECTOR_DISABLE_TRACE
+
+/// Process-wide trace sink. All methods are thread-safe.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Enables recording unless PERSPECTOR_TRACE=0 force-disabled the process.
+  void enable();
+  void disable();
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// True when the environment force-disabled tracing for good.
+  bool force_disabled() const noexcept { return force_disabled_; }
+
+  /// Drops all recorded events (test helper; also frees memory).
+  void clear();
+
+  std::size_t event_count() const;
+  std::vector<TraceEvent> events() const;
+
+  /// Per-name aggregation of all recorded spans, sorted by total time
+  /// descending.
+  std::vector<PhaseStat> phase_summary() const;
+
+  /// Chrome trace-event JSON ("traceEvents" array of complete "X" events).
+  std::string chrome_trace_json() const;
+
+  /// Writes chrome_trace_json() to `path`; throws std::runtime_error on
+  /// I/O failure.
+  void write_chrome_trace(const std::string& path) const;
+
+  /// Microseconds since the tracer epoch (first instance() call).
+  double now_us() const;
+
+  // Called by Span only.
+  void record(std::string_view name, double start_us, double end_us,
+              std::uint32_t depth);
+
+ private:
+  Tracer();
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  bool force_disabled_ = false;
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII scope timer. Construction snapshots the clock when the tracer is
+/// enabled; destruction records one complete event. When the tracer is
+/// disabled both ends are a relaxed atomic load — no clock read, no
+/// allocation.
+class Span {
+ public:
+  explicit Span(std::string_view name) {
+    if (!Tracer::instance().enabled()) return;
+    begin(name);
+  }
+  ~Span() {
+    if (!active_) return;
+    end();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(std::string_view name);
+  void end();
+
+  bool active_ = false;
+  double start_us_ = 0.0;
+  std::uint32_t depth_ = 0;
+  std::string name_;
+};
+
+#else  // PERSPECTOR_DISABLE_TRACE
+
+class Tracer {
+ public:
+  static Tracer& instance() {
+    static Tracer t;
+    return t;
+  }
+  void enable() {}
+  void disable() {}
+  bool enabled() const noexcept { return false; }
+  bool force_disabled() const noexcept { return true; }
+  void clear() {}
+  std::size_t event_count() const { return 0; }
+  std::vector<TraceEvent> events() const { return {}; }
+  std::vector<PhaseStat> phase_summary() const { return {}; }
+  std::string chrome_trace_json() const { return "{\"traceEvents\":[]}\n"; }
+  void write_chrome_trace(const std::string&) const {}
+  double now_us() const { return 0.0; }
+};
+
+class Span {
+ public:
+  explicit Span(std::string_view) {}
+};
+
+#endif  // PERSPECTOR_DISABLE_TRACE
+
+}  // namespace perspector::obs

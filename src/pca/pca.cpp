@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "la/eigen.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/descriptive.hpp"
 
 namespace perspector::pca {
@@ -34,6 +36,7 @@ la::Matrix PcaResult::project(const la::Matrix& data) const {
 namespace {
 
 PcaResult fit_impl(const la::Matrix& data, std::size_t retained) {
+  obs::Span span("pca.fit");
   const std::size_t m = data.cols();
   PcaResult result;
 
@@ -59,6 +62,10 @@ PcaResult fit_impl(const la::Matrix& data, std::size_t retained) {
 
   retained = std::clamp<std::size_t>(retained, 1, m);
   result.retained = retained;
+  static obs::Counter& fits = obs::counter("pca.fits");
+  static obs::Counter& components = obs::counter("pca.components");
+  fits.increment();
+  components.add(retained);
 
   std::vector<std::size_t> keep(retained);
   std::iota(keep.begin(), keep.end(), 0);

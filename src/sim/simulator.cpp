@@ -4,6 +4,9 @@
 #include <functional>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace perspector::sim {
 
 namespace {
@@ -54,6 +57,11 @@ SimResult simulate(const WorkloadSpec& workload, const MachineConfig& machine,
     sampler.finalize(core.instructions_retired(), core.counters());
   }
 
+  static obs::Counter& workloads = obs::counter("sim.workloads");
+  static obs::Counter& instructions = obs::counter("sim.instructions");
+  workloads.increment();
+  instructions.add(core.instructions_retired());
+
   SimResult result;
   result.workload = workload.name;
   result.totals = core.counters();
@@ -67,9 +75,11 @@ std::vector<SimResult> simulate_suite(const SuiteSpec& suite,
                                       const MachineConfig& machine,
                                       const SimOptions& options) {
   suite.validate();
+  obs::Span span("simulate_suite");
   std::vector<SimResult> results;
   results.reserve(suite.workloads.size());
   for (const auto& workload : suite.workloads) {
+    obs::Span workload_span("sim/" + workload.name);
     results.push_back(simulate(workload, machine, options));
   }
   return results;

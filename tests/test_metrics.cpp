@@ -1,0 +1,162 @@
+// obs metrics: counter registry identity, accumulation, distribution
+// statistics, snapshots, reset, and concurrent updates.
+//
+// The registry is process-wide, so tests use unique metric names and
+// avoid asserting on the global registry size.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace perspector::obs {
+namespace {
+
+TEST(MetricsCounter, RegistryReturnsSameInstanceForSameName) {
+  Counter& a = counter("test.registry.same");
+  Counter& b = counter("test.registry.same");
+  EXPECT_EQ(&a, &b);
+
+  Counter& other = counter("test.registry.other");
+  EXPECT_NE(&a, &other);
+}
+
+TEST(MetricsCounter, AddAccumulates) {
+  Counter& c = counter("test.counter.add");
+  c.reset();
+  c.add(5);
+  c.increment();
+  c.add(10);
+  EXPECT_EQ(c.value(), 16u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsCounter, SnapshotContainsRegisteredCounters) {
+  Counter& c = counter("test.counter.snapshot");
+  c.reset();
+  c.add(42);
+
+  const auto snapshot = counters_snapshot();
+  const auto it = std::find_if(
+      snapshot.begin(), snapshot.end(),
+      [](const CounterSnapshot& s) { return s.name == "test.counter.snapshot"; });
+  ASSERT_NE(it, snapshot.end());
+  EXPECT_EQ(it->value, 42u);
+
+  // Snapshot is sorted by name (std::map iteration order).
+  EXPECT_TRUE(std::is_sorted(snapshot.begin(), snapshot.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.name < b.name;
+                             }));
+}
+
+TEST(MetricsCounter, ConcurrentAddsAreLossless) {
+  Counter& c = counter("test.counter.concurrent");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(MetricsDistribution, StatsTrackCountMinMaxMean) {
+  Distribution& d = distribution("test.dist.basic");
+  d.reset();
+  d.record(2.0);
+  d.record(8.0);
+  d.record(5.0);
+
+  const auto stats = d.stats();
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_DOUBLE_EQ(stats.min, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max, 8.0);
+  EXPECT_DOUBLE_EQ(stats.sum, 15.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+}
+
+TEST(MetricsDistribution, EmptyDistributionHasZeroMean) {
+  Distribution& d = distribution("test.dist.empty");
+  d.reset();
+  const auto stats = d.stats();
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+}
+
+TEST(MetricsDistribution, NegativeValuesHandled) {
+  Distribution& d = distribution("test.dist.negative");
+  d.reset();
+  d.record(-3.0);
+  d.record(-1.0);
+  const auto stats = d.stats();
+  EXPECT_DOUBLE_EQ(stats.min, -3.0);
+  EXPECT_DOUBLE_EQ(stats.max, -1.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), -2.0);
+}
+
+TEST(MetricsDistribution, ConcurrentRecordsKeepExtremaAndCount) {
+  Distribution& d = distribution("test.dist.concurrent");
+  d.reset();
+  constexpr int kThreads = 8;
+  constexpr int kRecordsPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&d, t] {
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        d.record(static_cast<double>(t * kRecordsPerThread + i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto stats = d.stats();
+  const auto total = static_cast<std::uint64_t>(kThreads) * kRecordsPerThread;
+  EXPECT_EQ(stats.count, total);
+  EXPECT_DOUBLE_EQ(stats.min, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max, static_cast<double>(total - 1));
+  // Sum of 0..total-1.
+  EXPECT_DOUBLE_EQ(stats.sum,
+                   static_cast<double>(total - 1) * static_cast<double>(total) /
+                       2.0);
+}
+
+TEST(MetricsRegistry, ResetMetricsZeroesEverything) {
+  Counter& c = counter("test.reset.counter");
+  Distribution& d = distribution("test.reset.dist");
+  c.add(7);
+  d.record(3.0);
+
+  reset_metrics();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(d.stats().count, 0u);
+  EXPECT_DOUBLE_EQ(d.stats().sum, 0.0);
+}
+
+TEST(MetricsRegistry, DistributionSnapshotIncludesStats) {
+  Distribution& d = distribution("test.dist.snapshot");
+  d.reset();
+  d.record(1.0);
+  d.record(3.0);
+
+  const auto snapshot = distributions_snapshot();
+  const auto it = std::find_if(snapshot.begin(), snapshot.end(),
+                               [](const DistributionSnapshot& s) {
+                                 return s.name == "test.dist.snapshot";
+                               });
+  ASSERT_NE(it, snapshot.end());
+  EXPECT_EQ(it->stats.count, 2u);
+  EXPECT_DOUBLE_EQ(it->stats.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace perspector::obs

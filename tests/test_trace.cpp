@@ -1,0 +1,316 @@
+// obs tracing: span nesting, Chrome-trace JSON validity, the disabled
+// path being a no-op, and thread safety of the recorder.
+//
+// The Tracer is a process-wide singleton, so every test starts from
+// clear() and sets the enabled state explicitly. When the environment
+// force-disables tracing (PERSPECTOR_TRACE=0) the recording tests skip —
+// the force-off contract is exactly that enable() must not work.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace perspector::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (Tracer::instance().force_disabled()) {
+      GTEST_SKIP() << "PERSPECTOR_TRACE=0 force-disables tracing";
+    }
+    Tracer::instance().clear();
+    Tracer::instance().enable();
+  }
+  void TearDown() override {
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+  }
+};
+
+// Minimal recursive-descent JSON syntax checker — enough to catch the
+// classic export bugs (trailing commas, unescaped quotes, bare NaN).
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (ch == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (ch == '"') {
+        ++pos_;
+        return true;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+const TraceEvent* find_event(const std::vector<TraceEvent>& events,
+                             const std::string& name) {
+  const auto it =
+      std::find_if(events.begin(), events.end(),
+                   [&](const TraceEvent& e) { return e.name == name; });
+  return it == events.end() ? nullptr : &*it;
+}
+
+TEST_F(TraceTest, SpanRecordsOneEvent) {
+  { Span span("unit"); }
+  const auto events = Tracer::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit");
+  EXPECT_GE(events[0].duration_us, 0.0);
+  EXPECT_EQ(events[0].depth, 0u);
+}
+
+TEST_F(TraceTest, NestedSpansTrackDepthAndContainment) {
+  {
+    Span outer("outer");
+    {
+      Span middle("middle");
+      { Span inner("inner"); }
+    }
+    { Span sibling("sibling"); }
+  }
+  const auto events = Tracer::instance().events();
+  ASSERT_EQ(events.size(), 4u);
+
+  const auto* outer = find_event(events, "outer");
+  const auto* middle = find_event(events, "middle");
+  const auto* inner = find_event(events, "inner");
+  const auto* sibling = find_event(events, "sibling");
+  ASSERT_TRUE(outer && middle && inner && sibling);
+
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(middle->depth, 1u);
+  EXPECT_EQ(inner->depth, 2u);
+  EXPECT_EQ(sibling->depth, 1u);
+
+  // Children are contained inside their parents on the timeline.
+  const auto end = [](const TraceEvent& e) {
+    return e.start_us + e.duration_us;
+  };
+  EXPECT_LE(outer->start_us, middle->start_us);
+  EXPECT_LE(end(*middle), end(*outer));
+  EXPECT_LE(middle->start_us, inner->start_us);
+  EXPECT_LE(end(*inner), end(*middle));
+  EXPECT_LE(end(*middle), sibling->start_us);
+}
+
+TEST_F(TraceTest, DepthResetsAfterTopLevelSpanEnds) {
+  {
+    Span a("a");
+    { Span b("b"); }
+  }
+  { Span c("c"); }
+  const auto events = Tracer::instance().events();
+  const auto* c = find_event(events, "c");
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->depth, 0u);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsValidAndComplete) {
+  {
+    Span outer("score_suites");
+    { Span inner("cluster \"quoted\"\npath\\x"); }
+  }
+  const std::string json = Tracer::instance().chrome_trace_json();
+
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"score_suites\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyTraceIsStillValidJson) {
+  const std::string json = Tracer::instance().chrome_trace_json();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+}
+
+TEST_F(TraceTest, WriteChromeTraceThrowsOnBadPath) {
+  { Span span("x"); }
+  EXPECT_THROW(
+      Tracer::instance().write_chrome_trace("/nonexistent-dir/trace.json"),
+      std::runtime_error);
+}
+
+TEST_F(TraceTest, DisabledPathRecordsNothing) {
+  Tracer::instance().disable();
+  for (int i = 0; i < 100; ++i) {
+    Span span("ignored");
+  }
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+
+  // Re-enabling starts recording again.
+  Tracer::instance().enable();
+  { Span span("kept"); }
+  EXPECT_EQ(Tracer::instance().event_count(), 1u);
+}
+
+TEST_F(TraceTest, PhaseSummaryAggregatesByName) {
+  for (int i = 0; i < 3; ++i) {
+    Span span("repeated");
+  }
+  { Span span("single"); }
+  const auto summary = Tracer::instance().phase_summary();
+  ASSERT_EQ(summary.size(), 2u);
+
+  const auto it = std::find_if(
+      summary.begin(), summary.end(),
+      [](const PhaseStat& s) { return s.name == "repeated"; });
+  ASSERT_NE(it, summary.end());
+  EXPECT_EQ(it->count, 3u);
+  EXPECT_GE(it->total_us, 0.0);
+  EXPECT_LE(it->min_us, it->max_us);
+  EXPECT_LE(it->max_us, it->total_us + 1e-9);
+}
+
+TEST_F(TraceTest, ConcurrentSpansAllRecorded) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span outer("thread.outer");
+        Span inner("thread.inner");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(Tracer::instance().event_count(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread * 2);
+
+  // Depth stays consistent per thread: inner spans are depth 1.
+  for (const auto& event : Tracer::instance().events()) {
+    EXPECT_EQ(event.depth, event.name == "thread.inner" ? 1u : 0u);
+  }
+
+  const std::string json = Tracer::instance().chrome_trace_json();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid());
+}
+
+}  // namespace
+}  // namespace perspector::obs

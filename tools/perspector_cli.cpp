@@ -11,10 +11,17 @@
 //   perspector subset --csv <file.csv> --size K [--method lhs|random|prior]
 //       Select a representative subset and report the score deviation.
 //
+// Observability (any command): --trace <file.json> writes a Chrome
+// trace-event JSON of the run and prints a per-phase timing table;
+// --metrics prints the obs counter/distribution tables.
+//
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
+#include <algorithm>
+#include <cctype>
 #include <cstring>
 #include <iostream>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -25,11 +32,19 @@
 #include "core/ranking.hpp"
 #include "core/report.hpp"
 #include "core/subset.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "suites/suite_factory.hpp"
 
 namespace {
 
 using namespace perspector;
+
+/// Bad command-line input: reported as a usage message with exit code 1,
+/// unlike runtime failures (exit 2).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct Args {
   std::vector<std::string> positional;
@@ -41,6 +56,7 @@ struct Args {
     }
     return std::nullopt;
   }
+  bool has(const std::string& key) const { return get(key).has_value(); }
   std::vector<std::string> get_all(const std::string& key) const {
     std::vector<std::string> out;
     for (const auto& [k, v] : options) {
@@ -50,15 +66,26 @@ struct Args {
   }
 };
 
+// Flags that take no value; everything else is --key <value>.
+const std::set<std::string>& boolean_flags() {
+  static const std::set<std::string> flags = {"metrics"};
+  return flags;
+}
+
 Args parse_args(int argc, char** argv) {
   Args args;
   for (int i = 2; i < argc; ++i) {
     const std::string token = argv[i];
     if (token.rfind("--", 0) == 0) {
-      if (i + 1 >= argc) {
-        throw std::runtime_error("option '" + token + "' needs a value");
+      const std::string key = token.substr(2);
+      if (boolean_flags().count(key)) {
+        args.options.emplace_back(key, "1");
+        continue;
       }
-      args.options.emplace_back(token.substr(2), argv[++i]);
+      if (i + 1 >= argc) {
+        throw UsageError("option '" + token + "' needs a value");
+      }
+      args.options.emplace_back(key, argv[++i]);
     } else {
       args.positional.push_back(token);
     }
@@ -66,14 +93,35 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
+/// Strict non-negative integer parse for --size/--instructions/--seed:
+/// rejects signs, whitespace, and trailing junk (std::stoull would accept
+/// "-1" by wrapping, and "12abc" by truncating).
+std::uint64_t parse_u64(const std::string& text, const std::string& flag) {
+  if (text.empty() ||
+      !std::all_of(text.begin(), text.end(),
+                   [](unsigned char ch) { return std::isdigit(ch); })) {
+    throw UsageError("option '--" + flag +
+                     "' expects a non-negative integer, got '" + text + "'");
+  }
+  try {
+    return std::stoull(text);
+  } catch (const std::out_of_range&) {
+    throw UsageError("option '--" + flag + "' value '" + text +
+                     "' is out of range");
+  }
+}
+
 int usage() {
   std::cerr <<
       "usage: perspector <command> [options]\n"
       "  suites                                   list built-in suite models\n"
       "  demo    [--suite <name>] [--instructions N]\n"
-      "  score   --csv <agg.csv> [--series <ser.csv>]\n"
+      "  score   --csv <agg.csv> [--series <ser.csv>] [--events all|llc|tlb|branch]\n"
       "  compare --csv <a.csv> --csv <b.csv> ... [--events all|llc|tlb|branch]\n"
-      "  subset  --csv <agg.csv> --size K [--method lhs|random|prior] [--seed S]\n";
+      "  subset  --csv <agg.csv> --size K [--method lhs|random|prior] [--seed S]\n"
+      "observability (any command):\n"
+      "  --trace <file.json>   write Chrome trace JSON + per-phase timing table\n"
+      "  --metrics             print pipeline counters/distributions\n";
   return 1;
 }
 
@@ -112,7 +160,7 @@ int cmd_demo(const Args& args) {
   suites::SuiteBuildOptions build;
   build.instructions_per_workload = 500'000;
   if (const auto n = args.get("instructions")) {
-    build.instructions_per_workload = std::stoull(*n);
+    build.instructions_per_workload = parse_u64(*n, "instructions");
   }
   const std::string name = args.get("suite").value_or("nbench");
   const auto spec = builtin_suite(name, build);
@@ -137,21 +185,26 @@ core::CounterMatrix load_csv(const Args& args, const std::string& csv) {
   return core::read_aggregates_csv(csv, csv);
 }
 
-int cmd_score(const Args& args) {
-  const auto csv = args.get("csv");
-  if (!csv) return usage();
-  const auto data = load_csv(args, *csv);
-  const auto scores = core::Perspector().score_suite(data);
-  std::cout << core::suite_report(data, scores);
-  return 0;
-}
-
 core::EventGroup event_group(const std::string& name) {
   if (name == "all") return core::EventGroup::all();
   if (name == "llc") return core::EventGroup::llc();
   if (name == "tlb") return core::EventGroup::tlb();
   if (name == "branch") return core::EventGroup::branch();
-  throw std::runtime_error("unknown event group '" + name + "'");
+  throw UsageError("unknown event group '" + name + "'");
+}
+
+int cmd_score(const Args& args) {
+  const auto csv = args.get("csv");
+  if (!csv) return usage();
+  // Focused scoring works the same as in `compare`: restrict every metric
+  // to the selected event group before scoring. Parsed before any I/O so
+  // flag mistakes fail fast as usage errors.
+  core::PerspectorOptions options;
+  options.events = event_group(args.get("events").value_or("all"));
+  const auto data = load_csv(args, *csv);
+  const auto scores = core::Perspector(options).score_suite(data);
+  std::cout << core::suite_report(data, scores);
+  return 0;
 }
 
 int cmd_compare(const Args& args) {
@@ -183,11 +236,12 @@ int cmd_compare(const Args& args) {
 int cmd_subset(const Args& args) {
   const auto csv = args.get("csv");
   if (!csv) return usage();
-  const auto data = load_csv(args, *csv);
 
   core::SubsetOptions options;
-  options.target_size = std::stoull(args.get("size").value_or("8"));
-  if (const auto seed = args.get("seed")) options.seed = std::stoull(*seed);
+  options.target_size = parse_u64(args.get("size").value_or("8"), "size");
+  if (const auto seed = args.get("seed")) {
+    options.seed = parse_u64(*seed, "seed");
+  }
   const std::string method = args.get("method").value_or("lhs");
   if (method == "lhs") {
     options.method = core::SubsetMethod::Lhs;
@@ -196,8 +250,9 @@ int cmd_subset(const Args& args) {
   } else if (method == "prior") {
     options.method = core::SubsetMethod::HierarchicalPrior;
   } else {
-    throw std::runtime_error("unknown subset method '" + method + "'");
+    throw UsageError("unknown subset method '" + method + "'");
   }
+  const auto data = load_csv(args, *csv);
 
   core::PerspectorOptions scoring;
   scoring.compute_trend = data.has_series();
@@ -211,6 +266,34 @@ int cmd_subset(const Args& args) {
   return 0;
 }
 
+// After a successful command: per-phase timings (either flag), the trace
+// file (--trace), and the metrics tables (--metrics).
+void emit_observability(const Args& args) {
+  const auto trace_path = args.get("trace");
+  const bool metrics = args.has("metrics");
+  if (!trace_path && !metrics) return;
+
+  const auto& tracer = obs::Tracer::instance();
+  const auto summary = tracer.phase_summary();
+  if (!summary.empty()) {
+    std::cout << "\n--- per-phase timing (nested spans overlap) ---\n"
+              << core::phase_timing_table(summary).to_text();
+  }
+  if (metrics) {
+    std::cout << "\n--- pipeline metrics ---\n"
+              << core::counters_table(obs::counters_snapshot()).to_text();
+    const auto distributions = obs::distributions_snapshot();
+    if (!distributions.empty()) {
+      std::cout << "\n" << core::distributions_table(distributions).to_text();
+    }
+  }
+  if (trace_path) {
+    tracer.write_chrome_trace(*trace_path);
+    std::cerr << "trace written to " << *trace_path
+              << " (load in chrome://tracing or https://ui.perfetto.dev)\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -218,12 +301,29 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args = parse_args(argc, argv);
-    if (command == "suites") return cmd_suites();
-    if (command == "demo") return cmd_demo(args);
-    if (command == "score") return cmd_score(args);
-    if (command == "compare") return cmd_compare(args);
-    if (command == "subset") return cmd_subset(args);
-    std::cerr << "unknown command '" << command << "'\n";
+    if (args.has("trace") || args.has("metrics")) {
+      obs::Tracer::instance().enable();
+    }
+
+    int rc;
+    if (command == "suites") {
+      rc = cmd_suites();
+    } else if (command == "demo") {
+      rc = cmd_demo(args);
+    } else if (command == "score") {
+      rc = cmd_score(args);
+    } else if (command == "compare") {
+      rc = cmd_compare(args);
+    } else if (command == "subset") {
+      rc = cmd_subset(args);
+    } else {
+      std::cerr << "unknown command '" << command << "'\n";
+      return usage();
+    }
+    if (rc == 0) emit_observability(args);
+    return rc;
+  } catch (const UsageError& e) {
+    std::cerr << "perspector: " << e.what() << "\n";
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "perspector: " << e.what() << "\n";
