@@ -1,0 +1,103 @@
+// Parallel scaling curve: wall-clock for the TrendScore, ClusterScore and
+// subset-generation phases at 1/2/4/8 threads, plus the speedup over the
+// serial run. Also cross-checks the determinism contract: every thread
+// count must reproduce the 1-thread scores bit for bit (the run aborts
+// loudly if not, so a scaling report can never hide a correctness bug).
+//
+//   bench_parallel_scaling [instructions_per_workload] [sample_interval]
+//
+// Speedups above 1x require real cores; on a 1-core host the table still
+// prints but shows ~1x (the determinism check is then the useful part).
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/perspector.hpp"
+#include "core/subset.hpp"
+#include "par/thread_pool.hpp"
+
+namespace {
+
+using namespace perspector;
+using Clock = std::chrono::steady_clock;
+
+double run_ms(const std::function<void()>& body) {
+  const auto start = Clock::now();
+  body();
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::string format_ms(double ms) { return core::format_double(ms, 1); }
+std::string format_x(double x) { return core::format_double(x, 2) + "x"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_args(argc, argv);
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+
+  std::cerr << "simulating spec17 for the scaling run ("
+            << config.instructions << " instructions/workload, "
+            << par::hardware_threads() << " hardware threads)...\n";
+  par::set_thread_count(par::hardware_threads());
+  const auto machine = sim::MachineConfig::xeon_e2186g();
+  const auto suite = core::collect_counters(
+      suites::spec17(bench::build_options(config)), machine,
+      bench::sim_options(config));
+
+  core::PerspectorOptions trend_only;
+  trend_only.compute_trend = true;
+  core::SubsetOptions subset_options;
+  subset_options.target_size = 8;
+
+  // Per-phase wall-clock at each thread count; [phase][thread index].
+  std::vector<std::vector<double>> ms(3,
+                                      std::vector<double>(thread_counts.size()));
+  core::SuiteScores reference;
+  for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+    par::set_thread_count(thread_counts[t]);
+    core::SuiteScores scores;
+
+    ms[0][t] = run_ms([&] {
+      scores.trend_detail = core::trend_score(suite);
+      scores.trend = scores.trend_detail.score;
+    });
+    ms[1][t] = run_ms([&] {
+      scores.cluster_detail = core::cluster_score(suite);
+      scores.cluster = scores.cluster_detail.score;
+    });
+    core::SubsetResult subset;
+    ms[2][t] = run_ms([&] {
+      subset = core::generate_subset(suite, subset_options);
+    });
+
+    if (t == 0) {
+      reference = scores;
+    } else if (scores.trend != reference.trend ||
+               scores.cluster != reference.cluster) {
+      std::cerr << "DETERMINISM VIOLATION at --threads " << thread_counts[t]
+                << ": scores differ from the serial run\n";
+      return 2;
+    }
+  }
+  par::set_thread_count(0);
+
+  const std::vector<std::string> phase_names = {"trend_score", "cluster_score",
+                                                "subset_generation"};
+  core::Table table({"phase", "t=1 (ms)", "t=2 (ms)", "t=4 (ms)", "t=8 (ms)",
+                     "speedup@4", "speedup@8"});
+  for (std::size_t p = 0; p < phase_names.size(); ++p) {
+    table.add_row({phase_names[p], format_ms(ms[p][0]), format_ms(ms[p][1]),
+                   format_ms(ms[p][2]), format_ms(ms[p][3]),
+                   format_x(ms[p][0] / ms[p][2]),
+                   format_x(ms[p][0] / ms[p][3])});
+  }
+  std::cout << "parallel scaling (bit-identical output at every thread "
+               "count)\n"
+            << table.to_text();
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "par/parallel.hpp"
 
 namespace perspector::cluster {
 
@@ -149,13 +150,26 @@ KMeansResult kmeans(const la::Matrix& points, const KMeansConfig& config) {
   calls.increment();
   restarts.add(config.restarts);
 
+  // Restart RNG streams are forked serially from the base seed — the same
+  // children, in the same order, the serial loop drew — then each restart
+  // runs independently. The winner scan below keeps the first strict
+  // minimum in restart order, exactly like the serial `<` update, so the
+  // chosen clustering never depends on completion order.
   stats::Rng rng(config.seed);
+  std::vector<stats::Rng> streams;
+  streams.reserve(config.restarts);
+  for (std::size_t r = 0; r < config.restarts; ++r) {
+    streams.push_back(rng.fork());
+  }
+  std::vector<LloydOutcome> outcomes(config.restarts);
+  par::parallel_for(config.restarts, [&](std::size_t r) {
+    outcomes[r] = lloyd(
+        points, seed_centroids(points, config.k, streams[r]), config);
+  });
+
   KMeansResult best;
   best.inertia = std::numeric_limits<double>::infinity();
-  for (std::size_t r = 0; r < config.restarts; ++r) {
-    auto child = rng.fork();
-    auto outcome = lloyd(points, seed_centroids(points, config.k, child),
-                         config);
+  for (auto& outcome : outcomes) {
     iterations.add(outcome.iterations);
     if (outcome.inertia < best.inertia) {
       best.labels = std::move(outcome.labels);

@@ -6,6 +6,7 @@
 
 #include "cluster/kmeans.hpp"
 #include "obs/metrics.hpp"
+#include "par/parallel.hpp"
 
 namespace perspector::cluster {
 
@@ -38,11 +39,14 @@ std::vector<double> silhouette_values(const la::Matrix& points,
   const la::Matrix dist = la::pairwise_distances(points);
   const auto sizes = cluster_sizes(labels, k);
 
-  for (std::size_t p = 0; p < n; ++p) {
+  // Each point's silhouette depends only on the (read-only) distance matrix
+  // and labels; values[p] is the task's only write, so any thread count
+  // produces the same bits.
+  par::parallel_for(n, [&](std::size_t p) {
     const std::size_t own = labels[p];
     if (sizes[own] <= 1) {
       values[p] = 0.0;  // singleton cluster
-      continue;
+      return;
     }
     // Mean distance to every other cluster; intra handled separately.
     std::vector<double> sum_to(k, 0.0);
@@ -59,11 +63,11 @@ std::vector<double> silhouette_values(const la::Matrix& points,
     }
     if (!std::isfinite(lambda)) {
       values[p] = 0.0;  // every other cluster empty
-      continue;
+      return;
     }
     const double denom = std::max(lambda, eta);  // Eq. 3
     values[p] = denom == 0.0 ? 0.0 : (lambda - eta) / denom;
-  }
+  });
   return values;
 }
 

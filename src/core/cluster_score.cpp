@@ -4,6 +4,7 @@
 
 #include "cluster/kmeans.hpp"
 #include "cluster/silhouette.hpp"
+#include "par/parallel.hpp"
 #include "stats/normalize.hpp"
 
 namespace perspector::core {
@@ -23,8 +24,13 @@ ClusterScoreResult cluster_score_from_normalized(
   }
 
   ClusterScoreResult result;
-  double total = 0.0;
-  for (std::size_t k = 2; k <= n - 1; ++k) {
+  // The k sweep is the ClusterScore hot loop; every k is an independent
+  // clustering (per-k seed below), so each task owns per_k[k-2] and the
+  // Eq. 6 mean below accumulates in k order — identical for any thread
+  // count. Inner parallelism (restarts, silhouette) serializes when nested.
+  result.per_k.resize(n - 2);
+  par::parallel_for(n - 2, [&](std::size_t i) {
+    const std::size_t k = i + 2;
     cluster::KMeansConfig config;
     config.k = k;
     config.restarts = options.kmeans_restarts;
@@ -32,11 +38,11 @@ ClusterScoreResult cluster_score_from_normalized(
     // Stable per-k seed so adding workloads does not reshuffle smaller k.
     config.seed = options.seed + k * 1000003ull;
     const auto clustering = cluster::kmeans(normalized, config);
-    const double s =
+    result.per_k[i] =
         cluster::silhouette_score(normalized, clustering.labels, k);  // Eq. 5
-    result.per_k.push_back(s);
-    total += s;
-  }
+  });
+  double total = 0.0;
+  for (double s : result.per_k) total += s;
   result.score = total / static_cast<double>(n - 2);  // Eq. 6
   return result;
 }

@@ -4,12 +4,22 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "par/parallel.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/rng.hpp"
 
 namespace perspector::core {
 
 namespace {
+
+// splitmix64 finalizer: decorrelates the per-resample seeds derived below
+// even for adjacent resample indices.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
 ScoreDistribution summarize_samples(double point,
                                     const std::vector<double>& samples) {
@@ -44,34 +54,23 @@ StabilityReport bootstrap_scores(const CounterMatrix& suite,
   const SuiteScores point =
       score_once(suite, options.scoring, options.include_trend);
 
-  stats::Rng rng(options.seed);
-  std::vector<double> cluster, trend, coverage, spread;
-  cluster.reserve(options.resamples);
-  for (std::size_t r = 0; r < options.resamples; ++r) {
-    // Resample with replacement, but ensure at least 4 *distinct*
-    // workloads so the ClusterScore's k sweep stays defined.
-    std::vector<std::size_t> picks(n);
-    std::size_t distinct = 0;
-    do {
-      std::vector<bool> seen(n, false);
-      distinct = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        picks[i] = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
-        if (!seen[picks[i]]) {
-          seen[picks[i]] = true;
-          ++distinct;
-        }
-      }
-    } while (distinct < 4);
-
-    const CounterMatrix resampled = suite.select_workloads(picks);
+  // Each resample is a pure function of (seed, r): bootstrap_picks derives
+  // a private RNG stream per task, so no resample ever observes another's
+  // draws and the sample vectors are filled by index. The summaries below
+  // then consume them in resample order — bit-identical for any thread
+  // count and any task execution order.
+  std::vector<double> cluster(options.resamples), trend(options.resamples),
+      coverage(options.resamples), spread(options.resamples);
+  par::parallel_for(options.resamples, [&](std::size_t r) {
+    const CounterMatrix resampled =
+        suite.select_workloads(bootstrap_picks(options.seed, r, n));
     const SuiteScores s =
         score_once(resampled, options.scoring, options.include_trend);
-    cluster.push_back(s.cluster);
-    trend.push_back(s.trend);
-    coverage.push_back(s.coverage);
-    spread.push_back(s.spread);
-  }
+    cluster[r] = s.cluster;
+    trend[r] = s.trend;
+    coverage[r] = s.coverage;
+    spread[r] = s.spread;
+  });
 
   StabilityReport report;
   report.resamples = options.resamples;
@@ -80,6 +79,28 @@ StabilityReport bootstrap_scores(const CounterMatrix& suite,
   report.coverage = summarize_samples(point.coverage, coverage);
   report.spread = summarize_samples(point.spread, spread);
   return report;
+}
+
+std::vector<std::size_t> bootstrap_picks(std::uint64_t seed,
+                                         std::size_t resample,
+                                         std::size_t n) {
+  stats::Rng rng(mix64(seed ^ mix64(static_cast<std::uint64_t>(resample) + 1)));
+  // Resample with replacement, but ensure at least 4 *distinct* workloads
+  // so the ClusterScore's k sweep stays defined.
+  std::vector<std::size_t> picks(n);
+  std::size_t distinct = 0;
+  do {
+    std::vector<bool> seen(n, false);
+    distinct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      picks[i] = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+      if (!seen[picks[i]]) {
+        seen[picks[i]] = true;
+        ++distinct;
+      }
+    }
+  } while (distinct < 4);
+  return picks;
 }
 
 std::size_t JackknifeReport::most_influential(std::size_t score_index) const {
@@ -109,7 +130,9 @@ JackknifeReport jackknife_scores(const CounterMatrix& suite,
   JackknifeReport report;
   report.workloads = suite.workload_names();
   report.influence.resize(n);
-  for (std::size_t leave = 0; leave < n; ++leave) {
+  // Leave-one-out evaluations are independent and RNG-free at this level;
+  // influence[leave] is each task's only write.
+  par::parallel_for(n, [&](std::size_t leave) {
     std::vector<std::size_t> keep;
     keep.reserve(n - 1);
     for (std::size_t i = 0; i < n; ++i) {
@@ -120,7 +143,7 @@ JackknifeReport jackknife_scores(const CounterMatrix& suite,
     report.influence[leave] = {s.cluster - full.cluster, s.trend - full.trend,
                                s.coverage - full.coverage,
                                s.spread - full.spread};
-  }
+  });
   return report;
 }
 

@@ -51,6 +51,14 @@ struct StabilityOptions {
 StabilityReport bootstrap_scores(const CounterMatrix& suite,
                                  const StabilityOptions& options = {});
 
+/// The workload indices resample `resample` draws from a suite of `n`
+/// workloads under `seed`. A pure function of its arguments: every
+/// resample owns an RNG stream derived from (seed, resample), so the picks
+/// are independent of the order — or the thread — the resamples run on.
+/// Exposed so tests can assert that execution order cannot change output.
+std::vector<std::size_t> bootstrap_picks(std::uint64_t seed,
+                                         std::size_t resample, std::size_t n);
+
 /// Jackknife influence: for each workload, the change in each score when
 /// that workload is removed. `influence[w]` is (d_cluster, d_trend,
 /// d_coverage, d_spread) for workload w, signed as (leave-one-out - full).

@@ -7,6 +7,7 @@
 #include "cluster/hierarchical.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "par/parallel.hpp"
 #include "pca/pca.hpp"
 #include "sampling/latin_hypercube.hpp"
 #include "sampling/representative.hpp"
@@ -44,12 +45,13 @@ std::vector<std::size_t> select_lhs(const la::Matrix& normalized,
   // suite's own distribution. Dense regions of the suite then receive
   // proportionally many sample points — the subset preserves the suite's
   // density structure instead of flattening it.
-  for (std::size_t c = 0; c < normalized.cols(); ++c) {
+  // Column tasks build independent ECDFs and write only their own column.
+  par::parallel_for(normalized.cols(), [&](std::size_t c) {
     const stats::Ecdf cdf(normalized.col_copy(c));
     for (std::size_t t = 0; t < targets.rows(); ++t) {
       targets(t, c) = cdf.quantile(targets(t, c));
     }
-  }
+  });
   return sampling::match_nearest_distinct(targets, normalized);
 }
 

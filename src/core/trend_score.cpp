@@ -5,6 +5,7 @@
 #include "dtw/dtw.hpp"
 #include "dtw/trend_normalize.hpp"
 #include "obs/trace.hpp"
+#include "par/parallel.hpp"
 
 namespace perspector::core {
 
@@ -21,8 +22,12 @@ TrendScoreResult trend_score(const CounterMatrix& suite,
   dtw_options.band_fraction = options.dtw_band_fraction;
 
   TrendScoreResult result;
-  double total = 0.0;
-  for (std::size_t c = 0; c < suite.num_counters(); ++c) {
+  // Counters are independent; each task owns per_event[c]. When this runs
+  // at the top level the inner pairwise DTW executes serially inside the
+  // task, and vice versa — either way the accumulation below is in counter
+  // order, matching the serial loop bit for bit.
+  result.per_event.resize(suite.num_counters());
+  par::parallel_for(suite.num_counters(), [&](std::size_t c) {
     obs::Span counter_span("trend/" + suite.counter_names()[c]);
     // T_z: one normalized series per workload for this counter.
     std::vector<std::vector<double>> normalized;
@@ -31,11 +36,10 @@ TrendScoreResult trend_score(const CounterMatrix& suite,
       normalized.push_back(dtw::normalize_trend(
           suite.series(w, c), options.grid_points, options.normalization));
     }
-    const double t_score =
-        dtw::mean_pairwise_dtw(normalized, dtw_options);  // Eq. 7
-    result.per_event.push_back(t_score);
-    total += t_score;
-  }
+    result.per_event[c] = dtw::mean_pairwise_dtw(normalized, dtw_options);
+  });  // Eq. 7
+  double total = 0.0;
+  for (double t_score : result.per_event) total += t_score;
   result.score = total / static_cast<double>(suite.num_counters());  // Eq. 8
   return result;
 }

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "par/parallel.hpp"
 
 namespace perspector::dtw {
 
@@ -109,16 +110,27 @@ double mean_pairwise_dtw(const std::vector<std::vector<double>>& series,
     throw std::invalid_argument("mean_pairwise_dtw: need at least 2 series");
   }
   obs::Span span("dtw.mean_pairwise");
+  const std::size_t n = series.size();
+  const std::size_t pairs = n * (n - 1) / 2;
   static obs::Counter& pair_count = obs::counter("dtw.pairs");
-  pair_count.add(series.size() * (series.size() - 1) / 2);
-  double total = 0.0;
-  std::size_t pairs = 0;
-  for (std::size_t i = 0; i < series.size(); ++i) {
-    for (std::size_t j = i + 1; j < series.size(); ++j) {
-      total += dtw_distance(series[i], series[j], options).distance;
-      ++pairs;
-    }
+  pair_count.add(pairs);
+
+  // Pairs are enumerated in the same (i asc, j asc) order the serial loop
+  // used; distances land in index-owned slots and are summed in that order,
+  // so the result is bit-identical for any thread count.
+  std::vector<std::pair<std::size_t, std::size_t>> index;
+  index.reserve(pairs);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) index.emplace_back(i, j);
   }
+  std::vector<double> distance(pairs);
+  par::parallel_for(pairs, [&](std::size_t p) {
+    distance[p] =
+        dtw_distance(series[index[p].first], series[index[p].second], options)
+            .distance;
+  });
+  double total = 0.0;
+  for (double d : distance) total += d;
   // Eq. 7 sums over ordered pairs and divides by n*(n-1); with a symmetric
   // distance that equals the unordered-pair mean computed here.
   return total / static_cast<double>(pairs);

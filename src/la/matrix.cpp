@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "par/parallel.hpp"
+
 namespace perspector::la {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -231,13 +233,15 @@ double norm(std::span<const double> v) { return std::sqrt(dot(v, v)); }
 
 Matrix pairwise_distances(const Matrix& points) {
   Matrix d(points.rows(), points.rows(), 0.0);
-  for (std::size_t i = 0; i < points.rows(); ++i) {
+  // Task i writes (i,j) and (j,i) for j > i only, so no element is touched
+  // by two tasks and every element's value is independent of scheduling.
+  par::parallel_for(points.rows(), [&](std::size_t i) {
     for (std::size_t j = i + 1; j < points.rows(); ++j) {
       const double dist = euclidean_distance(points.row(i), points.row(j));
       d(i, j) = dist;
       d(j, i) = dist;
     }
-  }
+  });
   return d;
 }
 

@@ -1,0 +1,128 @@
+// parallel_for / parallel_map / ordered_reduce — deterministic data
+// parallelism over an index range.
+//
+// The determinism contract (DESIGN.md section 8): a parallel region is
+// bit-identical to its serial equivalent for any thread count, because
+//   * every task writes only to slots addressed by its own index, and
+//   * reductions always combine those slots serially in index order —
+//     never in completion order — so floating-point association is fixed.
+// Threads decide *when* a value is computed, never *where it lands* or
+// *in which order it is summed*.
+//
+// Exception semantics: if one or more task bodies throw, the exception
+// from the lowest-indexed failing chunk is rethrown on the caller after
+// all chunks finish — again independent of scheduling.
+//
+// Nested regions (a parallel_for inside a pool task) execute serially on
+// the calling worker: the result is identical by the contract above, and
+// a fully occupied pool can never deadlock waiting on itself.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "par/thread_pool.hpp"
+
+namespace perspector::par {
+
+namespace detail {
+
+inline obs::Counter& regions_counter() {
+  static obs::Counter& c = obs::counter("par.regions");
+  return c;
+}
+
+inline obs::Counter& serial_regions_counter() {
+  static obs::Counter& c = obs::counter("par.regions_serial");
+  return c;
+}
+
+inline obs::Counter& chunks_counter() {
+  static obs::Counter& c = obs::counter("par.chunks");
+  return c;
+}
+
+}  // namespace detail
+
+/// Invokes body(i) for every i in [0, n). Chunks are contiguous index
+/// ranges, at most thread_count() of them; bodies on distinct indices may
+/// run concurrently, so they must only write to index-owned state.
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body) {
+  if (n == 0) return;
+  const std::size_t threads = thread_count();
+  detail::regions_counter().increment();
+  if (threads <= 1 || n == 1 || ThreadPool::on_worker_thread()) {
+    detail::serial_regions_counter().increment();
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  const std::size_t chunks = threads < n ? threads : n;
+  detail::chunks_counter().add(chunks);
+
+  struct State {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::vector<std::exception_ptr> errors;
+  };
+  State state;
+  state.remaining = chunks;
+  state.errors.resize(chunks);
+
+  ThreadPool& pool = global_pool();
+  for (std::size_t c = 0; c < chunks; ++c) {
+    // Even split: chunk c owns [c*n/chunks, (c+1)*n/chunks).
+    const std::size_t begin = c * n / chunks;
+    const std::size_t end = (c + 1) * n / chunks;
+    pool.submit([&state, &body, c, begin, end] {
+      obs::Span span("par.task");
+      try {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        state.errors[c] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (--state.remaining == 0) state.done.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done.wait(lock, [&state] { return state.remaining == 0; });
+  for (std::size_t c = 0; c < chunks; ++c) {
+    if (state.errors[c]) std::rethrow_exception(state.errors[c]);
+  }
+}
+
+/// Returns {fn(0), ..., fn(n-1)} with each element computed possibly in
+/// parallel but stored at its own index. T must be default-constructible
+/// and assignable.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for(n, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Parallel evaluation, strictly ordered accumulation:
+///   acc = combine(acc, fn(0)); acc = combine(acc, fn(1)); ...
+/// The combine chain runs serially on the caller in index order, so the
+/// result is bit-identical to the serial loop for any thread count.
+template <typename T, typename Fn, typename Combine>
+T ordered_reduce(std::size_t n, T init, Fn&& fn, Combine&& combine) {
+  const std::vector<T> values = parallel_map<T>(n, std::forward<Fn>(fn));
+  T acc = std::move(init);
+  for (std::size_t i = 0; i < n; ++i) {
+    acc = combine(std::move(acc), values[i]);
+  }
+  return acc;
+}
+
+}  // namespace perspector::par

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "par/parallel.hpp"
+
 namespace perspector::sampling {
 
 la::Matrix latin_hypercube(std::size_t samples, std::size_t dims,
@@ -74,17 +76,29 @@ la::Matrix maximin_latin_hypercube(std::size_t samples, std::size_t dims,
   if (candidates == 0) {
     throw std::invalid_argument("maximin_latin_hypercube: candidates must be > 0");
   }
+  // Candidate seeds are drawn serially in candidate order (the exact
+  // sequence the serial loop used); generation and maximin scoring then run
+  // in parallel into index-owned slots. The winner scan keeps the first
+  // strict maximum in candidate order, matching the serial `>` update.
   stats::Rng seeder(options.seed);
+  std::vector<std::uint64_t> seeds(candidates);
+  for (auto& seed : seeds) seed = seeder.engine()();
+
+  std::vector<la::Matrix> cands(candidates);
+  std::vector<double> scores(candidates);
+  par::parallel_for(candidates, [&](std::size_t c) {
+    LhsOptions opt = options;
+    opt.seed = seeds[c];
+    cands[c] = latin_hypercube(samples, dims, opt);
+    scores[c] = min_pairwise_distance(cands[c]);
+  });
+
   la::Matrix best;
   double best_score = -1.0;
   for (std::size_t c = 0; c < candidates; ++c) {
-    LhsOptions opt = options;
-    opt.seed = seeder.engine()();
-    la::Matrix cand = latin_hypercube(samples, dims, opt);
-    const double score = min_pairwise_distance(cand);
-    if (score > best_score) {
-      best_score = score;
-      best = std::move(cand);
+    if (scores[c] > best_score) {
+      best_score = scores[c];
+      best = std::move(cands[c]);
     }
   }
   return best;

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "par/parallel.hpp"
 
 namespace perspector::sim {
 
@@ -76,12 +77,15 @@ std::vector<SimResult> simulate_suite(const SuiteSpec& suite,
                                       const SimOptions& options) {
   suite.validate();
   obs::Span span("simulate_suite");
-  std::vector<SimResult> results;
-  results.reserve(suite.workloads.size());
-  for (const auto& workload : suite.workloads) {
-    obs::Span workload_span("sim/" + workload.name);
-    results.push_back(simulate(workload, machine, options));
-  }
+  // Workload simulations never share state: each CoreModel draws from its
+  // own RNG stream seeded by the workload name (see workload_seed), so the
+  // counters are the same whether workloads run serially, in parallel, or
+  // in any order. Results land in index-owned slots to keep suite order.
+  std::vector<SimResult> results(suite.workloads.size());
+  par::parallel_for(suite.workloads.size(), [&](std::size_t w) {
+    obs::Span workload_span("sim/" + suite.workloads[w].name);
+    results[w] = simulate(suite.workloads[w], machine, options);
+  });
   return results;
 }
 

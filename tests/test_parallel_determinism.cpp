@@ -1,0 +1,191 @@
+// The determinism battery: every score, the subset pipeline, the stability
+// bootstrap, and the simulator must be bit-identical across thread counts.
+// This is the repo's contract for src/par/ — N-thread runs reproduce the
+// 1-thread run exactly, so parallelism is purely a wall-clock knob.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/counter_matrix.hpp"
+#include "core/perspector.hpp"
+#include "core/report.hpp"
+#include "core/stability.hpp"
+#include "core/subset.hpp"
+#include "par/thread_pool.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/simulator.hpp"
+#include "suites/suite_factory.hpp"
+
+namespace perspector {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { par::set_thread_count(0); }
+};
+
+/// Simulates a built-in suite with small budgets (shape, not fidelity).
+core::CounterMatrix collect(const sim::SuiteSpec& spec) {
+  sim::SimOptions options;
+  options.sample_interval = 2'000;
+  return core::collect_counters(spec, sim::MachineConfig::xeon_e2186g(),
+                                options);
+}
+
+suites::SuiteBuildOptions small_build() {
+  suites::SuiteBuildOptions build;
+  build.instructions_per_workload = 40'000;
+  return build;
+}
+
+void expect_same_scores(const core::SuiteScores& a, const core::SuiteScores& b,
+                        std::size_t threads) {
+  // EXPECT_EQ (not NEAR): the ordered-reduction design promises the exact
+  // same bits, not "close enough".
+  EXPECT_EQ(a.cluster, b.cluster) << "threads=" << threads;
+  EXPECT_EQ(a.trend, b.trend) << "threads=" << threads;
+  EXPECT_EQ(a.coverage, b.coverage) << "threads=" << threads;
+  EXPECT_EQ(a.spread, b.spread) << "threads=" << threads;
+  EXPECT_EQ(a.cluster_detail.per_k, b.cluster_detail.per_k);
+  EXPECT_EQ(a.trend_detail.per_event, b.trend_detail.per_event);
+}
+
+TEST(ParallelDeterminism, SimulatorCountersMatchSerial) {
+  ThreadCountGuard guard;
+  par::set_thread_count(1);
+  const auto serial = collect(suites::parsec(small_build()));
+  for (std::size_t threads : kThreadCounts) {
+    par::set_thread_count(threads);
+    const auto parallel = collect(suites::parsec(small_build()));
+    ASSERT_EQ(parallel.num_workloads(), serial.num_workloads());
+    for (std::size_t w = 0; w < serial.num_workloads(); ++w) {
+      for (std::size_t c = 0; c < serial.num_counters(); ++c) {
+        EXPECT_EQ(parallel.values()(w, c), serial.values()(w, c))
+            << "threads=" << threads << " w=" << w << " c=" << c;
+        EXPECT_EQ(parallel.series(w, c), serial.series(w, c));
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminism, AllFourScoresBitIdenticalOnParsec) {
+  ThreadCountGuard guard;
+  par::set_thread_count(1);
+  const auto suite = collect(suites::parsec(small_build()));
+  const auto serial = core::Perspector().score_suite(suite);
+  for (std::size_t threads : kThreadCounts) {
+    par::set_thread_count(threads);
+    expect_same_scores(core::Perspector().score_suite(suite), serial, threads);
+  }
+}
+
+TEST(ParallelDeterminism, AllFourScoresBitIdenticalOnSpec17) {
+  ThreadCountGuard guard;
+  par::set_thread_count(1);
+  const auto suite = collect(suites::spec17(small_build()));
+  const auto serial = core::Perspector().score_suite(suite);
+  for (std::size_t threads : kThreadCounts) {
+    par::set_thread_count(threads);
+    expect_same_scores(core::Perspector().score_suite(suite), serial, threads);
+  }
+}
+
+TEST(ParallelDeterminism, ScoreReportByteIdenticalAcrossThreadCounts) {
+  // The CLI-facing guarantee: `perspector score --threads 8` prints the
+  // same bytes as `--threads 1`. suite_report is exactly what cmd_score
+  // and cmd_demo print.
+  ThreadCountGuard guard;
+  const auto suite = collect(suites::parsec(small_build()));
+  par::set_thread_count(1);
+  const auto serial_report =
+      core::suite_report(suite, core::Perspector().score_suite(suite));
+  for (std::size_t threads : kThreadCounts) {
+    par::set_thread_count(threads);
+    const auto report =
+        core::suite_report(suite, core::Perspector().score_suite(suite));
+    EXPECT_EQ(report, serial_report) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, SubsetSelectionIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const auto suite = collect(suites::spec17(small_build()));
+  core::SubsetOptions options;
+  options.target_size = 8;
+
+  par::set_thread_count(1);
+  core::PerspectorOptions scoring;
+  const auto serial = core::generate_subset(suite, options, scoring);
+  for (std::size_t threads : kThreadCounts) {
+    par::set_thread_count(threads);
+    const auto parallel = core::generate_subset(suite, options, scoring);
+    EXPECT_EQ(parallel.indices, serial.indices) << "threads=" << threads;
+    EXPECT_EQ(parallel.mean_deviation_pct, serial.mean_deviation_pct);
+    EXPECT_EQ(parallel.per_score_deviation_pct,
+              serial.per_score_deviation_pct);
+  }
+}
+
+TEST(ParallelDeterminism, BootstrapIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const auto suite = collect(suites::parsec(small_build()));
+  core::StabilityOptions options;
+  options.resamples = 6;
+  options.include_trend = false;
+
+  par::set_thread_count(1);
+  const auto serial = core::bootstrap_scores(suite, options);
+  for (std::size_t threads : kThreadCounts) {
+    par::set_thread_count(threads);
+    const auto parallel = core::bootstrap_scores(suite, options);
+    EXPECT_EQ(parallel.cluster.mean, serial.cluster.mean);
+    EXPECT_EQ(parallel.cluster.stddev, serial.cluster.stddev);
+    EXPECT_EQ(parallel.coverage.mean, serial.coverage.mean);
+    EXPECT_EQ(parallel.coverage.p05, serial.coverage.p05);
+    EXPECT_EQ(parallel.coverage.p95, serial.coverage.p95);
+    EXPECT_EQ(parallel.spread.mean, serial.spread.mean);
+  }
+}
+
+// Regression for the shared-RNG bootstrap bug: resample draws used to come
+// from one sequential stream, so the picks depended on execution order.
+// With per-task streams, computing any resample in any order gives the
+// same picks.
+TEST(ParallelDeterminism, BootstrapPicksIndependentOfEvaluationOrder) {
+  const std::size_t n = 12;
+  const std::uint64_t seed = 31337;
+  const std::size_t resamples = 16;
+
+  std::vector<std::vector<std::size_t>> forward(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    forward[r] = core::bootstrap_picks(seed, r, n);
+  }
+  // Reverse order, and once more interleaved, must reproduce every draw.
+  for (std::size_t r = resamples; r-- > 0;) {
+    EXPECT_EQ(core::bootstrap_picks(seed, r, n), forward[r]) << "r=" << r;
+  }
+  for (std::size_t r = 0; r < resamples; r += 3) {
+    EXPECT_EQ(core::bootstrap_picks(seed, r, n), forward[r]) << "r=" << r;
+  }
+  // And the draws are genuinely distinct streams, not copies.
+  EXPECT_NE(forward[0], forward[1]);
+}
+
+TEST(ParallelDeterminism, JackknifeIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const auto suite = collect(suites::parsec(small_build()));
+  par::set_thread_count(1);
+  const auto serial =
+      core::jackknife_scores(suite, {}, /*include_trend=*/false);
+  for (std::size_t threads : kThreadCounts) {
+    par::set_thread_count(threads);
+    const auto parallel =
+        core::jackknife_scores(suite, {}, /*include_trend=*/false);
+    EXPECT_EQ(parallel.influence, serial.influence) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace perspector

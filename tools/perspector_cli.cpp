@@ -34,6 +34,7 @@
 #include "core/subset.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "par/thread_pool.hpp"
 #include "suites/suite_factory.hpp"
 
 namespace {
@@ -121,7 +122,11 @@ int usage() {
       "  subset  --csv <agg.csv> --size K [--method lhs|random|prior] [--seed S]\n"
       "observability (any command):\n"
       "  --trace <file.json>   write Chrome trace JSON + per-phase timing table\n"
-      "  --metrics             print pipeline counters/distributions\n";
+      "  --metrics             print pipeline counters/distributions\n"
+      "parallelism (any command):\n"
+      "  --threads N           worker threads (default: hardware concurrency,\n"
+      "                        or PERSPECTOR_THREADS; 1 = fully serial).\n"
+      "                        Output is bit-identical for every N.\n";
   return 1;
 }
 
@@ -303,6 +308,16 @@ int main(int argc, char** argv) {
     const Args args = parse_args(argc, argv);
     if (args.has("trace") || args.has("metrics")) {
       obs::Tracer::instance().enable();
+    }
+    // --threads beats PERSPECTOR_THREADS beats hardware concurrency; the
+    // strict parse keeps "--threads 1x" a usage error, and 0 is rejected
+    // because "--threads 1" is the documented serial escape hatch.
+    if (const auto threads = args.get("threads")) {
+      const std::uint64_t n = parse_u64(*threads, "threads");
+      if (n == 0) {
+        throw UsageError("option '--threads' must be >= 1 (1 = serial)");
+      }
+      par::set_thread_count(static_cast<std::size_t>(n));
     }
 
     int rc;
