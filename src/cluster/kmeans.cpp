@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "mem/workspace.hpp"
 #include "obs/metrics.hpp"
 #include "par/parallel.hpp"
 
@@ -18,7 +19,10 @@ la::Matrix seed_centroids(const la::Matrix& points, std::size_t k,
                           stats::Rng& rng) {
   const std::size_t n = points.rows();
   la::Matrix centroids(k, points.cols());
-  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  // Seeding runs once per restart; the distance buffer is scratch.
+  mem::Scratch<double> d2_buf(n);
+  const std::span<double> d2(d2_buf.data(), n);
+  std::fill(d2.begin(), d2.end(), std::numeric_limits<double>::infinity());
 
   std::size_t first = rng.uniform_int(0, n - 1);
   centroids.set_row(0, points.row(first));
@@ -57,6 +61,11 @@ LloydOutcome lloyd(const la::Matrix& points, la::Matrix centroids,
   std::vector<std::size_t> labels(n, 0);
 
   LloydOutcome out;
+  // Update-step buffers are hoisted out of the iteration loop and recycled
+  // by swapping with `centroids` — Lloyd iterations allocate nothing after
+  // the first.
+  la::Matrix next(k, points.cols(), 0.0);
+  std::vector<std::size_t> counts(k, 0);
   for (std::size_t iter = 0; iter < config.max_iters; ++iter) {
     // Assignment step.
     for (std::size_t i = 0; i < n; ++i) {
@@ -73,8 +82,8 @@ LloydOutcome lloyd(const la::Matrix& points, la::Matrix centroids,
     }
 
     // Update step.
-    la::Matrix next(k, points.cols(), 0.0);
-    std::vector<std::size_t> counts(k, 0);
+    std::fill(next.data().begin(), next.data().end(), 0.0);
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
     for (std::size_t i = 0; i < n; ++i) {
       const auto row = points.row(i);
       auto dst = next.row(labels[i]);
@@ -102,7 +111,7 @@ LloydOutcome lloyd(const la::Matrix& points, la::Matrix centroids,
     }
 
     const double movement = centroids.max_abs_diff(next);
-    centroids = std::move(next);
+    std::swap(centroids, next);  // old centroids become next round's buffer
     out.iterations = iter + 1;
     if (movement <= config.tol) {
       out.converged = true;

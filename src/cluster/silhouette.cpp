@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "cluster/kmeans.hpp"
+#include "mem/workspace.hpp"
 #include "obs/metrics.hpp"
 #include "par/parallel.hpp"
 
@@ -12,9 +13,9 @@ namespace perspector::cluster {
 
 namespace {
 
-void validate(const la::Matrix& points, const std::vector<std::size_t>& labels,
+void validate(std::size_t points, const std::vector<std::size_t>& labels,
               std::size_t k) {
-  if (labels.size() != points.rows()) {
+  if (labels.size() != points) {
     throw std::invalid_argument("silhouette: labels/points size mismatch");
   }
   for (std::size_t label : labels) {
@@ -26,17 +27,16 @@ void validate(const la::Matrix& points, const std::vector<std::size_t>& labels,
 
 }  // namespace
 
-std::vector<double> silhouette_values(const la::Matrix& points,
-                                      const std::vector<std::size_t>& labels,
-                                      std::size_t k) {
-  validate(points, labels, k);
-  const std::size_t n = points.rows();
+std::vector<double> silhouette_values_from_distances(
+    const la::Matrix& dist, const std::vector<std::size_t>& labels,
+    std::size_t k) {
+  validate(dist.rows(), labels, k);
+  const std::size_t n = dist.rows();
   std::vector<double> values(n, 0.0);
   if (k <= 1 || n == 0) return values;
   static obs::Counter& evaluations = obs::counter("silhouette.evaluations");
   evaluations.add(n);
 
-  const la::Matrix dist = la::pairwise_distances(points);
   const auto sizes = cluster_sizes(labels, k);
 
   // Each point's silhouette depends only on the (read-only) distance matrix
@@ -48,8 +48,12 @@ std::vector<double> silhouette_values(const la::Matrix& points,
       values[p] = 0.0;  // singleton cluster
       return;
     }
-    // Mean distance to every other cluster; intra handled separately.
-    std::vector<double> sum_to(k, 0.0);
+    // Mean distance to every other cluster; intra handled separately. The
+    // k-sized accumulator comes from the per-thread scratch pool — this
+    // body runs once per point per k, so a heap allocation here used to be
+    // the silhouette's dominant allocator traffic.
+    mem::Scratch<double> sum_to(k);
+    std::fill(sum_to.data(), sum_to.data() + k, 0.0);
     for (std::size_t q = 0; q < n; ++q) {
       if (q == p) continue;
       sum_to[labels[q]] += dist(p, q);
@@ -71,10 +75,22 @@ std::vector<double> silhouette_values(const la::Matrix& points,
   return values;
 }
 
-std::vector<double> silhouette_per_cluster(
-    const la::Matrix& points, const std::vector<std::size_t>& labels,
+std::vector<double> silhouette_values(const la::Matrix& points,
+                                      const std::vector<std::size_t>& labels,
+                                      std::size_t k) {
+  validate(points.rows(), labels, k);
+  if (k <= 1 || points.rows() == 0) {
+    return std::vector<double>(points.rows(), 0.0);
+  }
+  return silhouette_values_from_distances(la::pairwise_distances(points),
+                                          labels, k);
+}
+
+namespace {
+
+std::vector<double> per_cluster_from_values(
+    const std::vector<double>& values, const std::vector<std::size_t>& labels,
     std::size_t k) {
-  const auto values = silhouette_values(points, labels, k);
   std::vector<double> totals(k, 0.0);
   std::vector<std::size_t> counts(k, 0);
   for (std::size_t i = 0; i < values.size(); ++i) {
@@ -87,14 +103,42 @@ std::vector<double> silhouette_per_cluster(
   return totals;
 }
 
+double score_from_per_cluster(const std::vector<double>& per_cluster,
+                              std::size_t k) {
+  double total = 0.0;
+  for (double s : per_cluster) total += s;
+  return total / static_cast<double>(k);  // Eq. 5
+}
+
+}  // namespace
+
+std::vector<double> silhouette_per_cluster(
+    const la::Matrix& points, const std::vector<std::size_t>& labels,
+    std::size_t k) {
+  return per_cluster_from_values(silhouette_values(points, labels, k), labels,
+                                 k);
+}
+
+std::vector<double> silhouette_per_cluster_from_distances(
+    const la::Matrix& dist, const std::vector<std::size_t>& labels,
+    std::size_t k) {
+  return per_cluster_from_values(
+      silhouette_values_from_distances(dist, labels, k), labels, k);
+}
+
 double silhouette_score(const la::Matrix& points,
                         const std::vector<std::size_t>& labels,
                         std::size_t k) {
   if (k <= 1) return 0.0;
-  const auto per_cluster = silhouette_per_cluster(points, labels, k);
-  double total = 0.0;
-  for (double s : per_cluster) total += s;
-  return total / static_cast<double>(k);  // Eq. 5
+  return score_from_per_cluster(silhouette_per_cluster(points, labels, k), k);
+}
+
+double silhouette_score_from_distances(const la::Matrix& dist,
+                                       const std::vector<std::size_t>& labels,
+                                       std::size_t k) {
+  if (k <= 1) return 0.0;
+  return score_from_per_cluster(
+      silhouette_per_cluster_from_distances(dist, labels, k), k);
 }
 
 double silhouette_score_pointwise(const la::Matrix& points,

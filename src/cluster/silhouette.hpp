@@ -18,6 +18,25 @@ std::vector<double> silhouette_values(const la::Matrix& points,
                                       const std::vector<std::size_t>& labels,
                                       std::size_t k);
 
+/// Same, from a precomputed pairwise distance matrix (symmetric, zero
+/// diagonal — la::pairwise_distances of the points). The ClusterScore
+/// k-sweep computes that matrix once and reuses it for every k instead of
+/// rebuilding it per clustering; the values are bit-identical to the
+/// points overload because the same matrix entries feed the same sums.
+std::vector<double> silhouette_values_from_distances(
+    const la::Matrix& dist, const std::vector<std::size_t>& labels,
+    std::size_t k);
+
+/// Per-cluster silhouette (Eq. 4) from a precomputed distance matrix.
+std::vector<double> silhouette_per_cluster_from_distances(
+    const la::Matrix& dist, const std::vector<std::size_t>& labels,
+    std::size_t k);
+
+/// Suite-level silhouette (Eq. 5) from a precomputed distance matrix.
+double silhouette_score_from_distances(const la::Matrix& dist,
+                                       const std::vector<std::size_t>& labels,
+                                       std::size_t k);
+
 /// Per-cluster silhouette score: mean of the member points' values (Eq. 4).
 /// Empty clusters score 0.
 std::vector<double> silhouette_per_cluster(

@@ -24,6 +24,11 @@ ClusterScoreResult cluster_score_from_normalized(
   }
 
   ClusterScoreResult result;
+  // Every k in the sweep scores the same point set, so the pairwise
+  // distance matrix the silhouette needs is computed once here (itself a
+  // deterministic parallel region) and shared read-only across the sweep
+  // instead of being rebuilt inside every per-k task.
+  const la::Matrix dist = la::pairwise_distances(normalized);
   // The k sweep is the ClusterScore hot loop; every k is an independent
   // clustering (per-k seed below), so each task owns per_k[k-2] and the
   // Eq. 6 mean below accumulates in k order — identical for any thread
@@ -38,8 +43,8 @@ ClusterScoreResult cluster_score_from_normalized(
     // Stable per-k seed so adding workloads does not reshuffle smaller k.
     config.seed = options.seed + k * 1000003ull;
     const auto clustering = cluster::kmeans(normalized, config);
-    result.per_k[i] =
-        cluster::silhouette_score(normalized, clustering.labels, k);  // Eq. 5
+    result.per_k[i] = cluster::silhouette_score_from_distances(
+        dist, clustering.labels, k);  // Eq. 5
   });
   double total = 0.0;
   for (double s : result.per_k) total += s;

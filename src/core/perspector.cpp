@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "core/joint_normalize.hpp"
+#include "core/scoring_workspace.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace perspector::core {
@@ -12,6 +14,13 @@ Perspector::Perspector(PerspectorOptions options)
 
 std::vector<SuiteScores> Perspector::score_suites(
     const std::vector<CounterMatrix>& suites) const {
+  ScoringWorkspace workspace;
+  return score_suites(suites, workspace);
+}
+
+std::vector<SuiteScores> Perspector::score_suites(
+    const std::vector<CounterMatrix>& suites,
+    ScoringWorkspace& workspace) const {
   if (suites.empty()) {
     throw std::invalid_argument("Perspector::score_suites: no suites");
   }
@@ -53,7 +62,22 @@ std::vector<SuiteScores> Perspector::score_suites(
 
     if (options_.compute_trend && filtered[i].has_series()) {
       obs::Span phase("trend_score");
-      s.trend_detail = trend_score(filtered[i], options_.trend);
+      static obs::Counter& hits = obs::counter("cache.hits");
+      static obs::Counter& misses = obs::counter("cache.misses");
+      // First series-bearing suite primes the workspace; row-views of the
+      // primed suite (the suite itself, subsets, resamples) then score by
+      // cache lookup — same doubles, same summation order, same bits.
+      if (!workspace.trend_primed()) {
+        workspace.prime_trend(filtered[i], options_.trend);
+      }
+      std::vector<std::size_t> rows;
+      if (workspace.map_rows(filtered[i], options_.trend, rows)) {
+        hits.increment();
+        s.trend_detail = workspace.trend_score_from_cache(rows);
+      } else {
+        misses.increment();
+        s.trend_detail = trend_score(filtered[i], options_.trend);
+      }
       s.trend = s.trend_detail.score;
     }
 

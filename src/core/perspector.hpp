@@ -19,6 +19,8 @@
 
 namespace perspector::core {
 
+class ScoringWorkspace;
+
 /// All four scores for one suite, with full per-metric detail.
 struct SuiteScores {
   std::string suite;
@@ -52,8 +54,21 @@ class Perspector {
 
   /// Scores several suites together: coverage/spread share joint
   /// normalization over all of them. Result order matches input order.
+  /// Uses a private ScoringWorkspace, so when later suites are row-views
+  /// of the first (e.g. {full, subset}), their TrendScore is served from
+  /// the cached pairwise DTW matrix.
   std::vector<SuiteScores> score_suites(
       const std::vector<CounterMatrix>& suites) const;
+
+  /// Same, with a caller-owned workspace: the first series-bearing suite
+  /// primes the trend cache (if not already primed), and every suite that
+  /// proves to be a row-view of the primed one scores trend by cache
+  /// lookup. Reusing one workspace across calls is how subset candidates
+  /// and stability resamples skip the O(s^2) DTW sweep entirely; outputs
+  /// are bit-identical either way (see scoring_workspace.hpp).
+  std::vector<SuiteScores> score_suites(
+      const std::vector<CounterMatrix>& suites, ScoringWorkspace& workspace)
+      const;
 
   /// Scores a single suite in isolation (self-normalized coverage/spread).
   SuiteScores score_suite(const CounterMatrix& suite) const;

@@ -1,0 +1,103 @@
+// ScoringWorkspace: the shared-computation cache of the score pipeline
+// (DESIGN.md section 9).
+//
+// The TrendScore's pairwise-DTW sweep (Eq. 7-8) is the dominant cost of
+// scoring, and the subset/stability flows recompute it wholesale: every
+// subset candidate, bootstrap resample, and jackknife leave-one-out suite
+// is a *row-view* of a suite whose pairwise distances are already known —
+// the same normalized series pairs produce the same doubles. A
+// ScoringWorkspace primes the full suite's per-counter pairwise DTW
+// matrices once and then answers any row-subset's TrendScore with O(s^2)
+// lookups instead of O(s^2) DTW dynamic programs.
+//
+// Cache-key invariants (why slicing is bit-exact):
+//   * a lookup is only served after map_rows proves the candidate suite is
+//     a row-view of the primed suite: identical counter names, identical
+//     TrendScoreOptions, and — decisive — every candidate workload's
+//     *normalized trend* equal element-wise to the primed workload it maps
+//     to. Equal normalized inputs make the DTW dynamic program compute
+//     identical doubles, so returning the cached value is returning the
+//     value the direct path would have produced;
+//   * row order and repetition are irrelevant: DTW with the absolute-value
+//     local cost is exactly symmetric (the transposed DP table is equal
+//     cell-by-cell) and d(s, s) is exactly 0.0, so bootstrap resamples
+//     (unsorted, with repeats) slice correctly too;
+//   * the cached TrendScore accumulates pair distances in the same
+//     (i asc, j asc) order and with the same divisions as the direct
+//     Eq. 7/8 evaluation — same values, same association, same bits.
+//
+// Threading: prime_trend is guarded by a mutex and publishes with a
+// release store; readers (map_rows / trend_score_from_cache) only consume
+// after trend_primed() observes the publication. Perspector primes on the
+// first scored suite, so stability's parallel resamples only ever read.
+//
+// Observability: `cache.primes`, `cache.hits`, `cache.misses` (exposed via
+// --metrics like every obs counter).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/counter_matrix.hpp"
+#include "core/trend_score.hpp"
+#include "la/matrix.hpp"
+
+namespace perspector::core {
+
+class ScoringWorkspace {
+ public:
+  ScoringWorkspace() = default;
+  ScoringWorkspace(const ScoringWorkspace&) = delete;
+  ScoringWorkspace& operator=(const ScoringWorkspace&) = delete;
+
+  /// Computes, once, the per-counter full pairwise DTW matrices for
+  /// `suite` under `options`. Subsequent calls are no-ops (the cache is
+  /// write-once). Suites without series, with fewer than two workloads, or
+  /// with duplicate workload names leave the cache unusable — every lookup
+  /// then misses and callers fall back to direct computation.
+  void prime_trend(const CounterMatrix& suite,
+                   const TrendScoreOptions& options);
+
+  /// True once prime_trend ran (whether or not the cache came out usable).
+  bool trend_primed() const noexcept {
+    return trend_primed_.load(std::memory_order_acquire);
+  }
+
+  /// Proves `suite` is a row-view of the primed suite under the same
+  /// options and fills `rows` with the primed row index of every suite
+  /// row. Returns false (a cache miss) when anything fails to match.
+  bool map_rows(const CounterMatrix& suite, const TrendScoreOptions& options,
+                std::vector<std::size_t>& rows) const;
+
+  /// TrendScore of the row-view `rows` of the primed suite — pure lookups,
+  /// no DTW. Bit-identical to trend_score on the materialized sub-suite.
+  /// Requires a usable primed cache and at least two rows.
+  TrendScoreResult trend_score_from_cache(
+      std::span<const std::size_t> rows) const;
+
+  /// Cached pairwise DTW matrix of counter `c` (testing / diagnostics).
+  const la::Matrix& trend_distances(std::size_t c) const {
+    return per_counter_.at(c);
+  }
+
+ private:
+  std::mutex prime_mutex_;
+  std::atomic<bool> trend_primed_{false};
+  bool trend_usable_ = false;
+
+  std::vector<std::string> counters_;
+  std::unordered_map<std::string, std::size_t> row_by_name_;
+  TrendScoreOptions options_;
+  /// Normalized trend of primed workload w, counter c at [w * m + c] —
+  /// kept for map_rows' element-wise verification.
+  std::vector<std::vector<double>> trends_;
+  /// Per-counter n x n pairwise DTW distance matrices.
+  std::vector<la::Matrix> per_counter_;
+};
+
+}  // namespace perspector::core

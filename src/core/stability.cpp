@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/scoring_workspace.hpp"
 #include "par/parallel.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/rng.hpp"
@@ -32,11 +33,15 @@ ScoreDistribution summarize_samples(double point,
   return d;
 }
 
+// Every resample is a row-view of the original suite, so one shared
+// workspace (primed by the point/full score, before any parallel region)
+// serves every resample's TrendScore from the cached pairwise DTW matrix.
 SuiteScores score_once(const CounterMatrix& suite,
-                       const PerspectorOptions& scoring, bool include_trend) {
+                       const PerspectorOptions& scoring, bool include_trend,
+                       ScoringWorkspace& workspace) {
   PerspectorOptions options = scoring;
   options.compute_trend = include_trend && scoring.compute_trend;
-  return Perspector(options).score_suite(suite);
+  return Perspector(options).score_suites({suite}, workspace).front();
 }
 
 }  // namespace
@@ -51,8 +56,9 @@ StabilityReport bootstrap_scores(const CounterMatrix& suite,
     throw std::invalid_argument("bootstrap_scores: resamples must be > 0");
   }
 
+  ScoringWorkspace workspace;
   const SuiteScores point =
-      score_once(suite, options.scoring, options.include_trend);
+      score_once(suite, options.scoring, options.include_trend, workspace);
 
   // Each resample is a pure function of (seed, r): bootstrap_picks derives
   // a private RNG stream per task, so no resample ever observes another's
@@ -64,8 +70,8 @@ StabilityReport bootstrap_scores(const CounterMatrix& suite,
   par::parallel_for(options.resamples, [&](std::size_t r) {
     const CounterMatrix resampled =
         suite.select_workloads(bootstrap_picks(options.seed, r, n));
-    const SuiteScores s =
-        score_once(resampled, options.scoring, options.include_trend);
+    const SuiteScores s = score_once(resampled, options.scoring,
+                                     options.include_trend, workspace);
     cluster[r] = s.cluster;
     trend[r] = s.trend;
     coverage[r] = s.coverage;
@@ -125,7 +131,8 @@ JackknifeReport jackknife_scores(const CounterMatrix& suite,
     throw std::invalid_argument(
         "jackknife_scores: need at least 5 workloads (leave-one-out keeps 4)");
   }
-  const SuiteScores full = score_once(suite, scoring, include_trend);
+  ScoringWorkspace workspace;
+  const SuiteScores full = score_once(suite, scoring, include_trend, workspace);
 
   JackknifeReport report;
   report.workloads = suite.workload_names();
@@ -138,8 +145,8 @@ JackknifeReport jackknife_scores(const CounterMatrix& suite,
     for (std::size_t i = 0; i < n; ++i) {
       if (i != leave) keep.push_back(i);
     }
-    const SuiteScores s =
-        score_once(suite.select_workloads(keep), scoring, include_trend);
+    const SuiteScores s = score_once(suite.select_workloads(keep), scoring,
+                                     include_trend, workspace);
     report.influence[leave] = {s.cluster - full.cluster, s.trend - full.trend,
                                s.coverage - full.coverage,
                                s.spread - full.spread};

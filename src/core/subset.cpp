@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "cluster/hierarchical.hpp"
+#include "core/scoring_workspace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "par/parallel.hpp"
@@ -63,6 +64,9 @@ std::vector<std::size_t> select_random(std::size_t n,
 
 // Prior-work recipe (Section II): PCA-reduce, hierarchically cluster into
 // target_size clusters, take the workload nearest each cluster centroid.
+// Two passes over the points — accumulate all centroids, then pick each
+// cluster's nearest member — instead of rescanning every label once per
+// cluster (O(k*n*d) -> O(n*d + k*d)).
 std::vector<std::size_t> select_hierarchical(const la::Matrix& normalized,
                                              const SubsetOptions& options) {
   const pca::PcaResult fitted =
@@ -71,32 +75,42 @@ std::vector<std::size_t> select_hierarchical(const la::Matrix& normalized,
 
   const auto tree = cluster::agglomerate(reduced, cluster::Linkage::Ward);
   const auto labels = tree.cut(options.target_size);
+  const std::size_t k = options.target_size;
+  const std::size_t dims = reduced.cols();
+
+  // Pass 1: per-cluster centroid sums in point-index order (the same
+  // accumulation order the per-cluster rescan used, so the same doubles).
+  la::Matrix centroids(k, dims, 0.0);
+  std::vector<std::size_t> members(k, 0);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto row = reduced.row(i);
+    auto dst = centroids.row(labels[i]);
+    for (std::size_t d = 0; d < dims; ++d) dst[d] += row[d];
+    ++members[labels[i]];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (members[c] == 0) continue;  // cut() never produces empty clusters
+    auto dst = centroids.row(c);
+    for (double& v : dst) v /= static_cast<double>(members[c]);
+  }
+
+  // Pass 2: nearest member per cluster, strict '<' keeping the first
+  // minimum in point-index order — identical picks to the rescan.
+  std::vector<double> best(k, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> best_i(k, 0);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::size_t c = labels[i];
+    const double d = la::euclidean_distance(reduced.row(i), centroids.row(c));
+    if (d < best[c]) {
+      best[c] = d;
+      best_i[c] = i;
+    }
+  }
 
   std::vector<std::size_t> picks;
-  for (std::size_t c = 0; c < options.target_size; ++c) {
-    // Centroid of cluster c in PCA space.
-    std::vector<double> centroid(reduced.cols(), 0.0);
-    std::size_t members = 0;
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      if (labels[i] != c) continue;
-      const auto row = reduced.row(i);
-      for (std::size_t d = 0; d < row.size(); ++d) centroid[d] += row[d];
-      ++members;
-    }
-    if (members == 0) continue;  // cut() never produces empty clusters
-    for (double& v : centroid) v /= static_cast<double>(members);
-
-    double best = std::numeric_limits<double>::infinity();
-    std::size_t best_i = 0;
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      if (labels[i] != c) continue;
-      const double d = la::euclidean_distance(reduced.row(i), centroid);
-      if (d < best) {
-        best = d;
-        best_i = i;
-      }
-    }
-    picks.push_back(best_i);
+  for (std::size_t c = 0; c < k; ++c) {
+    if (members[c] == 0) continue;
+    picks.push_back(best_i[c]);
   }
   std::sort(picks.begin(), picks.end());
   return picks;
@@ -148,9 +162,13 @@ SubsetResult generate_subset(const CounterMatrix& suite,
   // Score full suite and subset together: coverage and spread then share
   // the joint normalization (the subset is a sample of the same data, so
   // per-counter ranges must match for the comparison to be meaningful).
+  // The workspace means the full suite's pairwise DTW matrix is computed
+  // once; the subset's TrendScore is then sliced from it (O(s^2) lookups,
+  // zero DTW) instead of re-run on the sub-suite.
   const Perspector engine(scoring);
+  ScoringWorkspace workspace;
   auto both = engine.score_suites(
-      {suite, suite.select_workloads(result.indices)});
+      {suite, suite.select_workloads(result.indices)}, workspace);
   result.full_scores = std::move(both[0]);
   result.subset_scores = std::move(both[1]);
 

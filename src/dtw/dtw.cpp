@@ -5,9 +5,23 @@
 #include <limits>
 #include <stdexcept>
 
+#include "mem/workspace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "par/parallel.hpp"
+
+#if defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#define PERSPECTOR_DTW_SSE2 1
+#endif
+
+// AVX2 variant is compiled with a per-function target attribute and selected
+// at runtime, so the translation unit itself never needs -mavx2 (a global
+// flag would license FMA contraction elsewhere and change bits).
+#if defined(PERSPECTOR_DTW_SSE2) && defined(__GNUC__) && defined(__x86_64__)
+#include <immintrin.h>
+#define PERSPECTOR_DTW_AVX2 1
+#endif
 
 namespace perspector::dtw {
 
@@ -29,16 +43,284 @@ std::size_t band_width(std::size_t n, std::size_t m,
   return std::max(w, diff);
 }
 
+// ---------------------------------------------------------------------------
+// Distance-only rolling kernel, anti-diagonal (wavefront) order.
+//
+// A row-major rolling kernel is latency-bound: cost(i, j) reads cost(i, j-1),
+// so every cell waits a full FP-add-plus-select round trip on its left
+// neighbour. On the anti-diagonal d = i + j all predecessors live on
+// diagonals d-1 and d-2, so the cells of one diagonal are mutually
+// independent and the CPU overlaps (and vectorizes) them — throughput-bound
+// instead of latency-bound.
+//
+// Each cell still evaluates the exact expression the full-table kernel
+// evaluates — local + min{up, left, diag} on the same doubles, only in a
+// different cell *order* — so the distance is bit-identical to
+// dtw_with_path. The path length replays the backtracker's tie-break (diag,
+// then up, then left) forward with the same comparisons, carried as exact
+// small integers in doubles so cost and length selects share one mask.
+//
+// Diagonal buffers are indexed by i; buffer_d[i] = cell (i, d - i). The
+// kernel body exists in scalar, SSE2 (x86-64 baseline, two cells per
+// iteration) and AVX2 (four cells, runtime-dispatched) variants. Every
+// vector lane op is the exact scalar IEEE op: cmple matches <=, blendv /
+// and-andnot-or implement mask ? x : y on all-ones masks, andnot(-0.0, x)
+// is std::abs. Explicit intrinsics, not ?: chains or GNU vector selects,
+// because the compiler rewrites both of those back into data-dependent
+// branches or cross-domain cmov traffic that costs more than the DP itself.
+// ---------------------------------------------------------------------------
+
+struct KernelOut {
+  double cost;
+  double path_length;
+  std::uint64_t cells;
+};
+
+// In-band cells of diagonal d: i >= 1, j = d - i in [1, m], |2i - d| <= w.
+inline void diagonal_range(std::size_t d, std::size_t n, std::size_t m,
+                           std::size_t w, std::size_t& i_lo,
+                           std::size_t& i_hi) {
+  i_lo = 1;
+  if (d > m) i_lo = std::max(i_lo, d - m);
+  if (d > w) i_lo = std::max(i_lo, (d - w + 1) / 2);
+  i_hi = std::min({n, d - 1, (d + w) / 2});
+}
+
+inline void rotate3(double*& x2, double*& x1, double*& x0) {
+  double* const t = x2;
+  x2 = x1;
+  x1 = x0;
+  x0 = t;
+}
+
+// Predecessor select in the backtracker's preference order (diag, then up,
+// then left). The selected value IS the minimum — diag_best means diag <=
+// both others, else up_best picks min(up, left) — so the cost matches
+// min{up, left, diag} bit for bit, and the length select rides the same
+// conditions.
+inline void scalar_cells(std::size_t i, std::size_t i_hi, std::size_t d,
+                         const double* a, const double* b, double* c0,
+                         const double* c1, const double* c2, double* l0,
+                         const double* l1, const double* l2) {
+  for (; i <= i_hi; ++i) {
+    const double local = std::abs(a[i - 1] - b[d - i - 1]);
+    const double up = c1[i - 1];    // cost(i-1, j)
+    const double left = c1[i];      // cost(i, j-1)
+    const double diag = c2[i - 1];  // cost(i-1, j-1)
+    const bool diag_best = (diag <= up) & (diag <= left);
+    const bool up_best = up <= left;
+    const double best = diag_best ? diag : (up_best ? up : left);
+    c0[i] = local + best;
+    l0[i] = 1.0 + (diag_best ? l2[i - 1] : (up_best ? l1[i - 1] : l1[i]));
+  }
+}
+
+#ifdef PERSPECTOR_DTW_SSE2
+// Two cells per iteration. j runs downward along a diagonal, so lane 0 is
+// b[d-i-1] and lane 1 the next cell's b[d-i-2].
+inline void sse2_pairs(std::size_t& i, std::size_t i_hi, std::size_t d,
+                       const double* a, const double* b, double* c0,
+                       const double* c1, const double* c2, double* l0,
+                       const double* l1, const double* l2) {
+  const __m128d sign_bit = _mm_set1_pd(-0.0);
+  const __m128d one = _mm_set1_pd(1.0);
+  for (; i + 1 <= i_hi; i += 2) {
+    const __m128d av = _mm_loadu_pd(&a[i - 1]);
+    const __m128d bv = _mm_set_pd(b[d - i - 2], b[d - i - 1]);
+    const __m128d up = _mm_loadu_pd(&c1[i - 1]);
+    const __m128d left = _mm_loadu_pd(&c1[i]);
+    const __m128d diag = _mm_loadu_pd(&c2[i - 1]);
+    const __m128d m_diag =
+        _mm_and_pd(_mm_cmple_pd(diag, up), _mm_cmple_pd(diag, left));
+    const __m128d m_up = _mm_cmple_pd(up, left);
+    const __m128d best_ul =
+        _mm_or_pd(_mm_and_pd(m_up, up), _mm_andnot_pd(m_up, left));
+    const __m128d best =
+        _mm_or_pd(_mm_and_pd(m_diag, diag), _mm_andnot_pd(m_diag, best_ul));
+    const __m128d local = _mm_andnot_pd(sign_bit, _mm_sub_pd(av, bv));
+    _mm_storeu_pd(&c0[i], _mm_add_pd(local, best));
+    const __m128d len_up = _mm_loadu_pd(&l1[i - 1]);
+    const __m128d len_left = _mm_loadu_pd(&l1[i]);
+    const __m128d len_diag = _mm_loadu_pd(&l2[i - 1]);
+    const __m128d len_ul =
+        _mm_or_pd(_mm_and_pd(m_up, len_up), _mm_andnot_pd(m_up, len_left));
+    const __m128d len = _mm_or_pd(_mm_and_pd(m_diag, len_diag),
+                                  _mm_andnot_pd(m_diag, len_ul));
+    _mm_storeu_pd(&l0[i], _mm_add_pd(one, len));
+  }
+}
+#endif
+
+using KernelFn = KernelOut (*)(const double* a, const double* b, std::size_t n,
+                               std::size_t m, std::size_t w, double* c2,
+                               double* c1, double* c0, double* l2, double* l1,
+                               double* l0);
+
+// The i-range shifts by at most one per diagonal, so later diagonals only
+// read a buffer inside [i_lo - 1, i_hi + 1]: two sentinel writes replace a
+// full-buffer infinity fill (the memory traffic a full table pays). They
+// also cover the i = 0 / j = 0 border cells.
+#define PERSPECTOR_DTW_DIAGONAL_PROLOGUE()            \
+  std::size_t i_lo, i_hi;                             \
+  diagonal_range(d, n, m, w, i_lo, i_hi);             \
+  c0[i_lo - 1] = kInf;                                \
+  if (i_hi + 1 <= n) c0[i_hi + 1] = kInf;             \
+  if (i_hi >= i_lo) cells += i_hi - i_lo + 1
+
+[[maybe_unused]] KernelOut dtw_kernel_scalar(const double* a, const double* b,
+                                             std::size_t n, std::size_t m,
+                                             std::size_t w, double* c2,
+                                             double* c1, double* c0,
+                                             double* l2, double* l1,
+                                             double* l0) {
+  std::uint64_t cells = 0;
+  for (std::size_t d = 2; d <= n + m; ++d) {
+    PERSPECTOR_DTW_DIAGONAL_PROLOGUE();
+    scalar_cells(i_lo, i_hi, d, a, b, c0, c1, c2, l0, l1, l2);
+    rotate3(c2, c1, c0);
+    rotate3(l2, l1, l0);
+  }
+  return {c1[n], l1[n], cells};
+}
+
+#ifdef PERSPECTOR_DTW_SSE2
+[[maybe_unused]] KernelOut dtw_kernel_sse2(const double* a, const double* b,
+                                           std::size_t n, std::size_t m,
+                                           std::size_t w, double* c2,
+                                           double* c1, double* c0, double* l2,
+                                           double* l1, double* l0) {
+  std::uint64_t cells = 0;
+  for (std::size_t d = 2; d <= n + m; ++d) {
+    PERSPECTOR_DTW_DIAGONAL_PROLOGUE();
+    std::size_t i = i_lo;
+    sse2_pairs(i, i_hi, d, a, b, c0, c1, c2, l0, l1, l2);
+    scalar_cells(i, i_hi, d, a, b, c0, c1, c2, l0, l1, l2);
+    rotate3(c2, c1, c0);
+    rotate3(l2, l1, l0);
+  }
+  return {c1[n], l1[n], cells};
+}
+#endif
+
+#ifdef PERSPECTOR_DTW_AVX2
+// Four cells per iteration. The SSE2 two-lane loop and the scalar loop mop
+// up the tail; inlined here they get VEX-encoded, which changes encodings
+// but not results.
+__attribute__((target("avx2"))) KernelOut dtw_kernel_avx2(
+    const double* a, const double* b, std::size_t n, std::size_t m,
+    std::size_t w, double* c2, double* c1, double* c0, double* l2, double* l1,
+    double* l0) {
+  std::uint64_t cells = 0;
+  const __m256d sign_bit = _mm256_set1_pd(-0.0);
+  const __m256d one = _mm256_set1_pd(1.0);
+  for (std::size_t d = 2; d <= n + m; ++d) {
+    PERSPECTOR_DTW_DIAGONAL_PROLOGUE();
+    std::size_t i = i_lo;
+    for (; i + 3 <= i_hi; i += 4) {
+      const __m256d av = _mm256_loadu_pd(&a[i - 1]);
+      // Lane k needs b[d-i-1-k]: load the four contiguous doubles ending at
+      // b[d-i-1] and reverse them. d - i - 4 >= 0 because lane 3 has j >= 1.
+      const __m256d brev = _mm256_loadu_pd(&b[d - i - 4]);
+      const __m256d bv = _mm256_permute4x64_pd(brev, 0x1B);  // reverse lanes
+      const __m256d up = _mm256_loadu_pd(&c1[i - 1]);
+      const __m256d left = _mm256_loadu_pd(&c1[i]);
+      const __m256d diag = _mm256_loadu_pd(&c2[i - 1]);
+      const __m256d m_diag =
+          _mm256_and_pd(_mm256_cmp_pd(diag, up, _CMP_LE_OQ),
+                        _mm256_cmp_pd(diag, left, _CMP_LE_OQ));
+      const __m256d m_up = _mm256_cmp_pd(up, left, _CMP_LE_OQ);
+      // blendv selects on the lane sign bit; compare masks are all-ones or
+      // all-zeros, so this is the same mask ? x : y as the SSE2 and/or form.
+      const __m256d best = _mm256_blendv_pd(_mm256_blendv_pd(left, up, m_up),
+                                            diag, m_diag);
+      const __m256d local =
+          _mm256_andnot_pd(sign_bit, _mm256_sub_pd(av, bv));
+      _mm256_storeu_pd(&c0[i], _mm256_add_pd(local, best));
+      const __m256d len_up = _mm256_loadu_pd(&l1[i - 1]);
+      const __m256d len_left = _mm256_loadu_pd(&l1[i]);
+      const __m256d len_diag = _mm256_loadu_pd(&l2[i - 1]);
+      const __m256d len = _mm256_blendv_pd(
+          _mm256_blendv_pd(len_left, len_up, m_up), len_diag, m_diag);
+      _mm256_storeu_pd(&l0[i], _mm256_add_pd(one, len));
+    }
+    sse2_pairs(i, i_hi, d, a, b, c0, c1, c2, l0, l1, l2);
+    scalar_cells(i, i_hi, d, a, b, c0, c1, c2, l0, l1, l2);
+    rotate3(c2, c1, c0);
+    rotate3(l2, l1, l0);
+  }
+  return {c1[n], l1[n], cells};
+}
+#endif
+
+KernelFn pick_kernel() {
+#ifdef PERSPECTOR_DTW_AVX2
+  if (__builtin_cpu_supports("avx2")) return dtw_kernel_avx2;
+#endif
+#ifdef PERSPECTOR_DTW_SSE2
+  return dtw_kernel_sse2;
+#else
+  return dtw_kernel_scalar;
+#endif
+}
+
+#undef PERSPECTOR_DTW_DIAGONAL_PROLOGUE
+
 }  // namespace
 
 DtwResult dtw_distance(std::span<const double> a, std::span<const double> b,
                        const DtwOptions& options) {
-  auto full = dtw_with_path(a, b, options);
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("dtw: empty series");
+  }
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const std::size_t w = band_width(n, m, options);
+
+  // Scratch comes from the per-thread pool (src/mem/), so the only
+  // allocation is the first call on each thread.
+  mem::Scratch<double> cost_0(n + 1), cost_1(n + 1), cost_2(n + 1);
+  mem::Scratch<double> len_0(n + 1), len_1(n + 1), len_2(n + 1);
+  double* c2 = cost_2.data();  // diagonal d-2
+  double* c1 = cost_1.data();  // diagonal d-1
+  double* c0 = cost_0.data();  // diagonal d (being written)
+  double* l2 = len_2.data();
+  double* l1 = len_1.data();
+  double* l0 = len_0.data();
+
+  // Diagonal 0 holds only cell (0,0) = 0; diagonal 1 holds the sentinel
+  // cells (0,1) and (1,0) = inf. Scratch contents are unspecified, so the
+  // length buffers are zeroed once: a length slot is only ever *used*
+  // through a finite-cost predecessor, but unreachable in-band cells (all
+  // predecessors infinite) still copy a slot and must not read
+  // indeterminate memory. After the first rotations those slots hold stale
+  // lengths — initialized, deterministic, and dead, since the cost they
+  // travel with stays infinite and the final cell is checked finite.
+  std::fill(c2, c2 + n + 1, kInf);
+  std::fill(c1, c1 + n + 1, kInf);
+  std::fill(l2, l2 + n + 1, 0.0);
+  std::fill(l1, l1 + n + 1, 0.0);
+  std::fill(l0, l0 + n + 1, 0.0);
+  c2[0] = 0.0;
+
+  static const KernelFn kernel = pick_kernel();
+  const KernelOut out =
+      kernel(a.data(), b.data(), n, m, w, c2, c1, c0, l2, l1, l0);
+
+  static obs::Counter& calls = obs::counter("dtw.calls");
+  static obs::Counter& cells = obs::counter("dtw.cells");
+  calls.increment();
+  cells.add(out.cells);
+
+  // Cell (n, m) sits on the last diagonal.
+  if (!std::isfinite(out.cost)) {
+    throw std::invalid_argument("dtw: band too narrow to connect endpoints");
+  }
+
   DtwResult r;
-  r.path_length = full.path.size();
+  r.path_length = static_cast<std::size_t>(out.path_length);
   r.distance = options.path_normalized && r.path_length > 0
-                   ? full.distance / static_cast<double>(r.path_length)
-                   : full.distance;
+                   ? out.cost / static_cast<double>(r.path_length)
+                   : out.cost;
   return r;
 }
 
@@ -53,7 +335,9 @@ DtwPathResult dtw_with_path(std::span<const double> a,
   const std::size_t w = band_width(n, m, options);
 
   // Full DP table (series here are hundreds of points, memory is fine) with
-  // one sentinel row/column of infinity.
+  // one sentinel row/column of infinity. Only callers that need the warping
+  // path pay for the table; distance-only callers take the rolling kernel
+  // above (the dtw.full_table.* counters keep the two paths auditable).
   std::vector<double> cost((n + 1) * (m + 1), kInf);
   auto at = [m](std::size_t i, std::size_t j) -> std::size_t {
     return i * (m + 1) + j;
@@ -74,8 +358,12 @@ DtwPathResult dtw_with_path(std::span<const double> a,
   }
   static obs::Counter& calls = obs::counter("dtw.calls");
   static obs::Counter& cells = obs::counter("dtw.cells");
+  static obs::Counter& full_calls = obs::counter("dtw.full_table.calls");
+  static obs::Counter& full_cells = obs::counter("dtw.full_table.cells");
   calls.increment();
   cells.add(cells_visited);
+  full_calls.increment();
+  full_cells.add(cells_visited);
 
   if (!std::isfinite(cost[at(n, m)])) {
     throw std::invalid_argument("dtw: band too narrow to connect endpoints");
@@ -134,6 +422,32 @@ double mean_pairwise_dtw(const std::vector<std::vector<double>>& series,
   // Eq. 7 sums over ordered pairs and divides by n*(n-1); with a symmetric
   // distance that equals the unordered-pair mean computed here.
   return total / static_cast<double>(pairs);
+}
+
+la::Matrix pairwise_dtw_matrix(const std::vector<std::vector<double>>& series,
+                               const DtwOptions& options) {
+  const std::size_t n = series.size();
+  la::Matrix d(n, n, 0.0);
+  if (n < 2) return d;
+  obs::Span span("dtw.pairwise_matrix");
+  const std::size_t pairs = n * (n - 1) / 2;
+  static obs::Counter& pair_count = obs::counter("dtw.pairs");
+  pair_count.add(pairs);
+
+  std::vector<std::pair<std::size_t, std::size_t>> index;
+  index.reserve(pairs);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) index.emplace_back(i, j);
+  }
+  // Task p writes (i,j) and (j,i) for its own pair only — deterministic for
+  // any thread count.
+  par::parallel_for(pairs, [&](std::size_t p) {
+    const auto [i, j] = index[p];
+    const double dist = dtw_distance(series[i], series[j], options).distance;
+    d(i, j) = dist;
+    d(j, i) = dist;
+  });
+  return d;
 }
 
 }  // namespace perspector::dtw

@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "la/matrix.hpp"
+
 namespace perspector::dtw {
 
 /// Options for a DTW computation.
@@ -31,6 +33,9 @@ struct DtwResult {
 };
 
 /// DTW distance between two series with absolute-difference local cost.
+/// Distance-only rolling kernel: keeps two DP rows (plus two path-length
+/// rows) in per-thread scratch buffers instead of materializing the full
+/// (n+1)x(m+1) table, and returns distances bit-identical to dtw_with_path.
 /// Throws std::invalid_argument if either series is empty, or if the band is
 /// too narrow to connect the corners.
 DtwResult dtw_distance(std::span<const double> a, std::span<const double> b,
@@ -50,5 +55,11 @@ DtwPathResult dtw_with_path(std::span<const double> a,
 /// paper's Eq. 7 for a single counter. Requires at least two series.
 double mean_pairwise_dtw(const std::vector<std::vector<double>>& series,
                          const DtwOptions& options = {});
+
+/// Full pairwise DTW distance matrix over a set of series (symmetric, zero
+/// diagonal). The cache layer (core::ScoringWorkspace) computes this once
+/// per counter and slices sub-matrices for subset/resample scoring.
+la::Matrix pairwise_dtw_matrix(const std::vector<std::vector<double>>& series,
+                               const DtwOptions& options = {});
 
 }  // namespace perspector::dtw

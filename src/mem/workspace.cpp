@@ -1,0 +1,15 @@
+#include "mem/workspace.hpp"
+
+namespace perspector::mem::detail {
+
+obs::Counter& scratch_acquires() {
+  static obs::Counter& c = obs::counter("mem.scratch.acquires");
+  return c;
+}
+
+obs::Counter& scratch_reuses() {
+  static obs::Counter& c = obs::counter("mem.scratch.reuses");
+  return c;
+}
+
+}  // namespace perspector::mem::detail

@@ -23,13 +23,22 @@ double Ecdf::quantile(double q) const {
   if (q <= 0.0) return sorted_.front();
   if (q >= 1.0) return sorted_.back();
   const auto n = static_cast<double>(sorted_.size());
-  auto idx = static_cast<std::size_t>(std::max(0.0, q * n - 1.0));
-  // Smallest value whose CDF reaches q: ceil(q*n) values must be <= it.
-  while (idx + 1 < sorted_.size() &&
-         static_cast<double>(idx + 1) / n < q) {
-    ++idx;
+  // Smallest idx with F(sorted_[idx]) = (idx+1)/n >= q. The predicate is
+  // monotone in idx, so binary search finds it in O(log n) — select_lhs
+  // calls this target_size x cols times per subset, where a scan is the
+  // difference between O(n) and O(log n) per draw. The predicate is the
+  // same floating-point comparison the scan used, so results are
+  // identical down to the last rounding edge case.
+  std::size_t lo = 0, hi = sorted_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (static_cast<double>(mid + 1) / n < q) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
   }
-  return sorted_[idx];
+  return sorted_[lo];
 }
 
 std::vector<double> cdf_normalize_to_percentiles(std::span<const double> xs) {

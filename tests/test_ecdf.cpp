@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -50,6 +51,35 @@ TEST(Ecdf, QuantileInvertsCdf) {
   const Ecdf cdf(sample);
   for (double q : {0.125, 0.25, 0.5, 0.75, 1.0}) {
     EXPECT_GE(cdf(cdf.quantile(q)), q - 1e-12);
+  }
+}
+
+TEST(Ecdf, QuantileMatchesLinearScanReference) {
+  // quantile() is a binary search; the reference answer is the definition
+  // it replaced — the smallest index whose ECDF value reaches q, found by
+  // scanning with the identical floating-point predicate.
+  const std::vector<double> samples[] = {
+      {1.0},
+      {1.0, 2.0},
+      {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0, 5.0},
+      {2.0, 2.0, 2.0, 2.0, 7.0, 7.0, 11.0},
+  };
+  for (const auto& sample : samples) {
+    std::vector<double> sorted = sample;
+    std::sort(sorted.begin(), sorted.end());
+    const Ecdf cdf(sample);
+    const auto n = static_cast<double>(sorted.size());
+    for (int step = 1; step <= 200; ++step) {
+      const double q = static_cast<double>(step) / 200.0;
+      std::size_t idx = 0;
+      while (idx + 1 < sorted.size() &&
+             static_cast<double>(idx + 1) / n < q) {
+        ++idx;
+      }
+      const double expected = q >= 1.0 ? sorted.back() : sorted[idx];
+      EXPECT_DOUBLE_EQ(cdf.quantile(q), expected)
+          << "n=" << sorted.size() << " q=" << q;
+    }
   }
 }
 
