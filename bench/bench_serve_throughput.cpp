@@ -1,0 +1,190 @@
+// Serving-engine throughput/latency bench: requests per second and
+// p50/p99 request latency through serve::Engine, cold cache vs warm
+// cache, at 1/4/8 concurrent client threads.
+//
+//   bench_serve_throughput [instructions_per_workload] [sample_interval]
+//
+// Cold mode runs with a zero-byte result cache and round-robins the
+// clients over several distinct suite contents, so nearly every request
+// pays the full scoring pipeline; warm mode repeats one request against
+// the default cache, so after the first compute everything is a content
+// hash + LRU lookup. The gap between the two is the value of the
+// result cache; the thread sweep shows how the engine's internal
+// coalescing/locking behaves under client concurrency.
+//
+// Besides the stdout table, writes machine-readable results to
+// results/bench_serve.json (override with --out <path>).
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/engine.hpp"
+
+namespace {
+
+using namespace perspector;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kRequestsPerClient = 24;
+constexpr std::size_t kClientCounts[] = {1, 4, 8};
+
+struct ModeResult {
+  std::string mode;
+  std::size_t clients = 0;
+  std::size_t requests = 0;
+  double wall_ms = 0.0;
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+double percentile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(rank, sorted_us.size() - 1)];
+}
+
+/// Fires `clients` threads, each scoring kRequestsPerClient requests
+/// produced by `request_for(client, i)`, and aggregates latency.
+ModeResult run_mode(const std::string& mode, serve::Engine& engine,
+                    std::size_t clients,
+                    const std::function<serve::ScoreRequest(
+                        std::size_t, std::size_t)>& request_for) {
+  std::vector<std::vector<double>> latencies_us(clients);
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latencies_us[c].reserve(kRequestsPerClient);
+      for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+        const serve::ScoreRequest request = request_for(c, i);
+        const auto t0 = Clock::now();
+        const serve::ScoreResponse response = engine.score(request);
+        const auto t1 = Clock::now();
+        if (!response.ok) {
+          std::cerr << "request failed: " << response.message << "\n";
+          std::exit(1);
+        }
+        latencies_us[c].push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ModeResult result;
+  result.mode = mode;
+  result.clients = clients;
+  result.requests = clients * kRequestsPerClient;
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  result.rps = 1000.0 * static_cast<double>(result.requests) / result.wall_ms;
+  std::vector<double> all;
+  for (const auto& per_client : latencies_us) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  result.p50_us = percentile(all, 0.50);
+  result.p99_us = percentile(all, 0.99);
+  return result;
+}
+
+void write_json(const std::string& path, const std::vector<ModeResult>& rows,
+                const bench::BenchConfig& config) {
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"serve_throughput\",\n"
+      << "  \"instructions_per_workload\": " << config.instructions << ",\n"
+      << "  \"requests_per_client\": " << kRequestsPerClient << ",\n"
+      << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "    {\"mode\": \"" << r.mode << "\", \"clients\": " << r.clients
+        << ", \"requests\": " << r.requests << ", \"wall_ms\": " << r.wall_ms
+        << ", \"rps\": " << r.rps << ", \"p50_us\": " << r.p50_us
+        << ", \"p99_us\": " << r.p99_us << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cerr << "results written to " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "results/bench_serve.json";
+  std::vector<char*> positional = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const auto config = bench::parse_args(static_cast<int>(positional.size()),
+                                        positional.data());
+
+  // Distinct suite contents for the cold sweep: different instruction
+  // budgets produce different counter matrices for the same model.
+  // Simulated once up front so the measurements below are scoring only.
+  std::cerr << "preparing suite data (" << config.instructions
+            << " instructions/workload)...\n";
+  std::vector<std::shared_ptr<const core::CounterMatrix>> contents;
+  for (std::size_t v = 0; v < 8; ++v) {
+    contents.push_back(std::make_shared<const core::CounterMatrix>(
+        serve::simulate_builtin("nbench", config.instructions + v * 1000)));
+  }
+
+  std::vector<ModeResult> rows;
+  for (const std::size_t clients : kClientCounts) {
+    // Cold: no result cache, clients stride over distinct contents so
+    // nearly every request is a full pipeline pass.
+    serve::EngineOptions cold_options;
+    cold_options.cache_bytes = 0;
+    serve::Engine cold_engine(cold_options);
+    rows.push_back(run_mode(
+        "cold", cold_engine, clients, [&](std::size_t c, std::size_t i) {
+          serve::ScoreRequest request;
+          request.id = std::to_string(c) + ":" + std::to_string(i);
+          request.data =
+              contents[(c * kRequestsPerClient + i) % contents.size()];
+          return request;
+        }));
+
+    // Warm: default cache, one request repeated — after the first
+    // compute everything is served from the result cache.
+    serve::Engine warm_engine;
+    rows.push_back(run_mode(
+        "warm", warm_engine, clients, [&](std::size_t c, std::size_t i) {
+          serve::ScoreRequest request;
+          request.id = std::to_string(c) + ":" + std::to_string(i);
+          request.data = contents[0];
+          return request;
+        }));
+  }
+
+  core::Table table(
+      {"mode", "clients", "requests", "wall ms", "req/s", "p50 us", "p99 us"});
+  for (const auto& r : rows) {
+    table.add_row({r.mode, std::to_string(r.clients),
+                   std::to_string(r.requests), core::format_double(r.wall_ms, 1),
+                   core::format_double(r.rps, 1),
+                   core::format_double(r.p50_us, 1),
+                   core::format_double(r.p99_us, 1)});
+  }
+  std::cout << "Serving engine throughput (cold vs warm result cache)\n\n"
+            << table.to_text();
+
+  write_json(out_path, rows, config);
+  return 0;
+}

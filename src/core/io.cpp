@@ -1,6 +1,7 @@
 #include "core/io.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -68,7 +69,25 @@ double parse_double(const std::string& cell, std::size_t line_no) {
     throw std::runtime_error("CSV line " + std::to_string(line_no) +
                              ": expected a number, got '" + cell + "'");
   }
+  // from_chars happily parses "nan"/"inf"/"infinity"; every score is
+  // undefined over non-finite counters, so reject them at the boundary
+  // instead of letting them poison normalization silently.
+  if (!std::isfinite(value)) {
+    throw std::runtime_error("CSV line " + std::to_string(line_no) +
+                             ": non-finite value '" + cell +
+                             "' is not allowed");
+  }
   return value;
+}
+
+/// Drops a leading UTF-8 byte-order mark (EF BB BF) from the first line —
+/// spreadsheet exports and Windows producers routinely prepend one, and it
+/// would otherwise corrupt the first header cell.
+void strip_utf8_bom(std::string& line) {
+  if (line.size() >= 3 && line[0] == '\xEF' && line[1] == '\xBB' &&
+      line[2] == '\xBF') {
+    line.erase(0, 3);
+  }
 }
 
 std::size_t parse_index(const std::string& cell, std::size_t line_no) {
@@ -136,17 +155,22 @@ void write_series_csv(const CounterMatrix& data, const std::string& path) {
   if (!out) throw std::runtime_error("write failed for '" + path + "'");
 }
 
-CounterMatrix read_aggregates_csv(const std::string& suite_name,
-                                  const std::string& path) {
-  auto in = open_for_read(path);
+namespace {
+
+/// Shared body of the file and in-memory aggregate readers. `origin` is
+/// the label used in error messages (the path, for files).
+CounterMatrix read_aggregates_stream(const std::string& suite_name,
+                                     std::istream& in,
+                                     const std::string& origin) {
   std::string line;
   if (!std::getline(in, line)) {
-    throw std::runtime_error("'" + path + "': empty file");
+    throw std::runtime_error("'" + origin + "': empty file");
   }
+  strip_utf8_bom(line);
   auto header = split_csv_line(line, 1);
   if (header.size() < 2 || header[0] != "workload") {
     throw std::runtime_error(
-        "'" + path + "': header must be 'workload,<counter>,...'");
+        "'" + origin + "': header must be 'workload,<counter>,...'");
   }
   std::vector<std::string> counters(header.begin() + 1, header.end());
 
@@ -176,28 +200,29 @@ CounterMatrix read_aggregates_csv(const std::string& suite_name,
     values.append_row(row);
   }
   if (workloads.empty()) {
-    throw std::runtime_error("'" + path + "': no data rows");
+    throw std::runtime_error("'" + origin + "': no data rows");
   }
   return CounterMatrix(suite_name, std::move(workloads), std::move(counters),
                        std::move(values));
 }
 
-CounterMatrix read_with_series_csv(const std::string& suite_name,
-                                   const std::string& aggregates_path,
-                                   const std::string& series_path) {
-  const CounterMatrix bare = read_aggregates_csv(suite_name, aggregates_path);
-
+/// Shared body of the file and in-memory series readers: parses the long
+/// format from `in` and returns `bare` with the series attached.
+CounterMatrix attach_series_stream(const CounterMatrix& bare,
+                                   std::istream& in,
+                                   const std::string& origin) {
   std::vector<std::vector<std::vector<double>>> series(
       bare.num_workloads(),
       std::vector<std::vector<double>>(bare.num_counters()));
 
-  auto in = open_for_read(series_path);
   std::string line;
-  if (!std::getline(in, line) ||
+  bool have_header = static_cast<bool>(std::getline(in, line));
+  if (have_header) strip_utf8_bom(line);
+  if (!have_header ||
       split_csv_line(line, 1) !=
           std::vector<std::string>{"workload", "counter", "sample", "value"}) {
     throw std::runtime_error(
-        "'" + series_path +
+        "'" + origin +
         "': header must be 'workload,counter,sample,value'");
   }
   std::size_t line_no = 1;
@@ -226,15 +251,46 @@ CounterMatrix read_with_series_csv(const std::string& suite_name,
     for (std::size_t c = 0; c < bare.num_counters(); ++c) {
       if (series[w][c].empty()) {
         throw std::runtime_error(
-            "'" + series_path + "': no samples for workload '" +
+            "'" + origin + "': no samples for workload '" +
             bare.workload_names()[w] + "' counter '" +
             bare.counter_names()[c] + "'");
       }
     }
   }
-  return CounterMatrix(suite_name, bare.workload_names(),
+  return CounterMatrix(bare.suite_name(), bare.workload_names(),
                        bare.counter_names(), bare.values(),
                        std::move(series));
+}
+
+}  // namespace
+
+CounterMatrix read_aggregates_csv(const std::string& suite_name,
+                                  const std::string& path) {
+  auto in = open_for_read(path);
+  return read_aggregates_stream(suite_name, in, path);
+}
+
+CounterMatrix read_aggregates_csv_text(const std::string& suite_name,
+                                       const std::string& csv_text) {
+  std::istringstream in(csv_text);
+  return read_aggregates_stream(suite_name, in, "<inline csv>");
+}
+
+CounterMatrix read_with_series_csv(const std::string& suite_name,
+                                   const std::string& aggregates_path,
+                                   const std::string& series_path) {
+  const CounterMatrix bare = read_aggregates_csv(suite_name, aggregates_path);
+  auto in = open_for_read(series_path);
+  return attach_series_stream(bare, in, series_path);
+}
+
+CounterMatrix read_with_series_csv_text(const std::string& suite_name,
+                                        const std::string& aggregates_text,
+                                        const std::string& series_text) {
+  const CounterMatrix bare =
+      read_aggregates_csv_text(suite_name, aggregates_text);
+  std::istringstream in(series_text);
+  return attach_series_stream(bare, in, "<inline series csv>");
 }
 
 std::vector<PerfStatRecord> parse_perf_stat(const std::string& text) {

@@ -30,8 +30,13 @@ void write_series_csv(const CounterMatrix& data, const std::string& path);
 
 /// Reads an aggregate CSV (no series attached).
 /// Throws std::runtime_error with a line-numbered message on malformed
-/// input (missing header, ragged rows, non-numeric cells, duplicate
-/// workloads).
+/// input (missing header, ragged rows, non-numeric or non-finite cells,
+/// duplicate workloads).
+///
+/// Interchange hardening (external producers): a leading UTF-8 BOM is
+/// skipped, CRLF line endings are accepted everywhere, and NaN/Inf cells
+/// are rejected with the offending line number (the scores are undefined
+/// over non-finite counters, so they must fail loudly at the boundary).
 CounterMatrix read_aggregates_csv(const std::string& suite_name,
                                   const std::string& path);
 
@@ -41,6 +46,15 @@ CounterMatrix read_aggregates_csv(const std::string& suite_name,
 CounterMatrix read_with_series_csv(const std::string& suite_name,
                                    const std::string& aggregates_path,
                                    const std::string& series_path);
+
+/// In-memory variants of the CSV readers (same validation and error
+/// messages, for data that arrives over the wire instead of from disk —
+/// the serving layer's inline-CSV requests use these).
+CounterMatrix read_aggregates_csv_text(const std::string& suite_name,
+                                       const std::string& csv_text);
+CounterMatrix read_with_series_csv_text(const std::string& suite_name,
+                                        const std::string& aggregates_text,
+                                        const std::string& series_text);
 
 // ---- Linux `perf stat -x,` ingestion --------------------------------------
 

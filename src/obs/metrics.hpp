@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -58,6 +59,29 @@ class Distribution {
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
+};
+
+/// RAII scope timer feeding a Distribution: records the elapsed wall time
+/// in microseconds on destruction. Unlike a trace Span this is always on
+/// (distributions are cheap) and survives --metrics-only runs where the
+/// tracer stays disabled — the serving layer uses it for request latency.
+class DistributionTimer {
+ public:
+  explicit DistributionTimer(Distribution& distribution) noexcept
+      : distribution_(distribution),
+        start_(std::chrono::steady_clock::now()) {}
+  ~DistributionTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    distribution_.record(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+
+  DistributionTimer(const DistributionTimer&) = delete;
+  DistributionTimer& operator=(const DistributionTimer&) = delete;
+
+ private:
+  Distribution& distribution_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Returns the counter registered under `name`, creating it on first use.

@@ -1,0 +1,206 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/json.hpp"
+
+namespace perspector::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("client: " + what + ": " + std::strerror(errno));
+}
+
+std::string score_line(const ClientScore& score, std::uint64_t id) {
+  std::string line = "{\"id\":\"" + std::to_string(id) + "\",\"op\":\"score\"";
+  if (!score.builtin.empty()) {
+    line += ",\"suite\":";
+    json::append_quoted(line, score.builtin);
+    line += ",\"instructions\":" + std::to_string(score.instructions);
+  } else {
+    line += ",\"name\":";
+    json::append_quoted(line, score.name);
+    line += ",\"csv\":";
+    json::append_quoted(line, score.csv_text);
+    if (score.series_text) {
+      line += ",\"series_csv\":";
+      json::append_quoted(line, *score.series_text);
+    }
+  }
+  line += ",\"events\":";
+  json::append_quoted(line, score.events);
+  if (score.deadline_ms > 0) {
+    line += ",\"deadline_ms\":" + std::to_string(score.deadline_ms);
+  }
+  line += "}\n";
+  return line;
+}
+
+int connect_to(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("client: invalid host address '" + host +
+                             "' (numeric IPv4 expected)");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof address) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("connect to " + host + ":" + std::to_string(port));
+  }
+  return fd;
+}
+
+void send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string read_to_eof(int fd) {
+  std::string bytes;
+  char buffer[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("read");
+    }
+    if (n == 0) return bytes;
+    bytes.append(buffer, static_cast<std::size_t>(n));
+  }
+}
+
+/// Prints one response line; returns true when it was an ok response.
+bool report_response(const std::string& line, std::ostream& out,
+                     std::ostream& err) {
+  json::Value response;
+  try {
+    response = json::parse(line);
+  } catch (const std::exception& e) {
+    err << "client: unparseable response (" << e.what() << "): " << line
+        << "\n";
+    return false;
+  }
+  const json::Value* id = response.find("id");
+  const std::string label =
+      id && id->is_string() ? id->string : std::string("-");
+
+  const json::Value* ok = response.find("ok");
+  if (!ok || ok->type != json::Value::Type::Bool || !ok->boolean) {
+    const json::Value* error = response.find("error");
+    const json::Value* message = response.find("message");
+    err << "response " << label << ": error "
+        << (error && error->is_string() ? error->string : "unknown") << ": "
+        << (message && message->is_string() ? message->string : "") << "\n";
+    return false;
+  }
+
+  if (const json::Value* report = response.find("report")) {
+    const json::Value* cache = response.find("cache");
+    err << "response " << label << ": ok (cache "
+        << (cache && cache->is_string() ? cache->string : "?") << ")\n";
+    if (report->is_string()) out << report->string;
+    return true;
+  }
+  if (const json::Value* counters = response.find("counters")) {
+    err << "response " << label << ": metrics\n";
+    for (const auto& [name, value] : counters->members) {
+      out << name << " "
+          << static_cast<std::uint64_t>(value.is_number() ? value.number : 0)
+          << "\n";
+    }
+    return true;
+  }
+  if (response.find("pong")) {
+    err << "response " << label << ": pong\n";
+    return true;
+  }
+  if (response.find("shutting_down")) {
+    err << "response " << label << ": server shutting down\n";
+    return true;
+  }
+  err << "response " << label << ": ok\n";
+  return true;
+}
+
+}  // namespace
+
+int run_client(const ClientRun& run, std::ostream& out, std::ostream& err) {
+  std::string request_bytes;
+  std::size_t expected = 0;
+  if (run.ping) {
+    request_bytes += "{\"id\":\"ping\",\"op\":\"ping\"}\n";
+    ++expected;
+  }
+  if (run.score) {
+    for (std::uint64_t i = 0; i < run.repeat; ++i) {
+      request_bytes += score_line(*run.score, i);
+      ++expected;
+    }
+  }
+  if (run.metrics) {
+    request_bytes += "{\"id\":\"metrics\",\"op\":\"metrics\"}\n";
+    ++expected;
+  }
+  if (run.shutdown) {
+    request_bytes += "{\"id\":\"shutdown\",\"op\":\"shutdown\"}\n";
+    ++expected;
+  }
+
+  const int fd = connect_to(run.host, run.port);
+  try {
+    send_all(fd, request_bytes);
+    // Half-close: the server sees EOF after the pipelined burst and
+    // drains, so read_to_eof terminates without a shutdown request.
+    ::shutdown(fd, SHUT_WR);
+    const std::string response_bytes = read_to_eof(fd);
+    ::close(fd);
+
+    std::size_t received = 0;
+    bool all_ok = true;
+    std::size_t start = 0;
+    while (start < response_bytes.size()) {
+      std::size_t end = response_bytes.find('\n', start);
+      if (end == std::string::npos) end = response_bytes.size();
+      if (end > start) {
+        ++received;
+        all_ok &= report_response(response_bytes.substr(start, end - start),
+                                  out, err);
+      }
+      start = end + 1;
+    }
+    if (received != expected) {
+      err << "client: expected " << expected << " responses, got " << received
+          << "\n";
+      return 3;
+    }
+    return all_ok ? 0 : 3;
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+}  // namespace perspector::serve

@@ -1,0 +1,49 @@
+// serve::run_client — scripted client for the scoring service.
+//
+// Builds the NDJSON request lines for one run (optional ping, K pipelined
+// copies of a score request, optional metrics / shutdown), writes them all
+// before reading anything (exercising the server's pipelining path), then
+// half-closes the socket and prints each response as it arrives:
+//
+//   * score reports go to `out` verbatim (byte-identical to the one-shot
+//     CLI), per-response status (cache hit/miss, errors) to `err`;
+//   * metrics responses print one "name value" line per counter to `out`
+//     (the CI smoke test greps serve.cache_hit from this).
+//
+// Returns 0 when every response was ok, 3 when the server answered at
+// least one request with an error object; throws std::runtime_error on
+// transport failures (connect/IO), which the CLI maps to exit 2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+
+namespace perspector::serve {
+
+/// The score request a client run repeats. Exactly one of `builtin` /
+/// `csv_text` is used: a non-empty `builtin` wins.
+struct ClientScore {
+  std::string builtin;                    // built-in suite name, or empty
+  std::uint64_t instructions = 500'000;   // built-in path only
+  std::string name = "inline";            // suite label for CSV data
+  std::string csv_text;                   // aggregate CSV payload
+  std::optional<std::string> series_text; // optional series CSV payload
+  std::string events = "all";
+  std::uint64_t deadline_ms = 0;          // 0 = server default
+};
+
+struct ClientRun {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::optional<ClientScore> score;
+  std::uint64_t repeat = 1;  // pipelined copies of `score`
+  bool ping = false;         // prepend a ping
+  bool metrics = false;      // append a metrics request
+  bool shutdown = false;     // append a shutdown request
+};
+
+int run_client(const ClientRun& run, std::ostream& out, std::ostream& err);
+
+}  // namespace perspector::serve

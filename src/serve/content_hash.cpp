@@ -1,0 +1,66 @@
+#include "serve/content_hash.hpp"
+
+#include <bit>
+
+#include "core/counter_matrix.hpp"
+
+namespace perspector::serve {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+}
+
+ContentHasher& ContentHasher::bytes(const void* data,
+                                    std::size_t size) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hi_ = (hi_ ^ p[i]) * kFnvPrime;
+    // The second stream perturbs each byte so the two digests are not
+    // related by a fixed function of one another.
+    lo_ = (lo_ ^ static_cast<unsigned char>(p[i] + 0x9eu)) * kFnvPrime;
+  }
+  return *this;
+}
+
+ContentHasher& ContentHasher::u64(std::uint64_t value) noexcept {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+  return bytes(buf, sizeof buf);
+}
+
+ContentHasher& ContentHasher::f64(double value) noexcept {
+  return u64(std::bit_cast<std::uint64_t>(value));
+}
+
+ContentHasher& ContentHasher::str(std::string_view text) noexcept {
+  u64(text.size());
+  return bytes(text.data(), text.size());
+}
+
+void hash_counter_matrix(ContentHasher& hasher,
+                         const core::CounterMatrix& data) {
+  hasher.str(data.suite_name());
+  hasher.u64(data.num_workloads());
+  hasher.u64(data.num_counters());
+  for (const auto& name : data.workload_names()) hasher.str(name);
+  for (const auto& name : data.counter_names()) hasher.str(name);
+  for (std::size_t w = 0; w < data.num_workloads(); ++w) {
+    for (std::size_t c = 0; c < data.num_counters(); ++c) {
+      hasher.f64(data.value(w, c));
+    }
+  }
+  hasher.u64(data.has_series() ? 1 : 0);
+  if (data.has_series()) {
+    for (std::size_t w = 0; w < data.num_workloads(); ++w) {
+      for (std::size_t c = 0; c < data.num_counters(); ++c) {
+        const auto& series = data.series(w, c);
+        hasher.u64(series.size());
+        for (double v : series) hasher.f64(v);
+      }
+    }
+  }
+}
+
+}  // namespace perspector::serve

@@ -1,0 +1,64 @@
+// Content addressing for the serving layer.
+//
+// A cache entry must never be served for inputs that differ in any byte
+// that can influence the report, so the key digests the *full content* of
+// a scoring request: every workload/counter name, every aggregate value,
+// every series sample, the event-filter name, and the serving code
+// version. Two independent FNV-1a streams (different offset basis, the
+// second stream also perturbs each byte) give a 128-bit key; at that
+// width an accidental collision across a cache of any realistic size is
+// out of the question.
+//
+// All multi-byte values are fed in a canonical form — length-prefixed
+// strings, bit-cast doubles, fixed-width integers — so the digest does
+// not depend on struct layout or padding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace perspector::core {
+class CounterMatrix;
+}
+
+namespace perspector::serve {
+
+/// 128-bit content digest, usable as an unordered_map key.
+struct Key128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Key128&, const Key128&) = default;
+};
+
+struct Key128Hash {
+  std::size_t operator()(const Key128& key) const noexcept {
+    // hi and lo are already well-mixed digests; fold them.
+    return static_cast<std::size_t>(key.hi ^ (key.lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// Incremental two-stream FNV-1a hasher.
+class ContentHasher {
+ public:
+  ContentHasher& bytes(const void* data, std::size_t size) noexcept;
+  ContentHasher& u64(std::uint64_t value) noexcept;
+  ContentHasher& f64(double value) noexcept;
+  /// Length-prefixed, so {"ab","c"} and {"a","bc"} digest differently.
+  ContentHasher& str(std::string_view text) noexcept;
+
+  Key128 digest() const noexcept { return {hi_, lo_}; }
+
+ private:
+  std::uint64_t hi_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  std::uint64_t lo_ = 0x6c62272e07bb0142ull;  // high half of the 128-bit basis
+};
+
+/// Digest of a CounterMatrix's full content: suite name, workload and
+/// counter names, aggregate values, and (when present) every series
+/// sample with its length.
+void hash_counter_matrix(ContentHasher& hasher,
+                         const core::CounterMatrix& data);
+
+}  // namespace perspector::serve

@@ -1,0 +1,354 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/event_group.hpp"
+#include "core/perspector.hpp"
+#include "core/report.hpp"
+#include "core/scoring_workspace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "par/parallel.hpp"
+#include "par/thread_pool.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/simulator.hpp"
+#include "suites/suite_factory.hpp"
+
+namespace perspector::serve {
+
+namespace {
+
+obs::Counter& requests_counter() {
+  static obs::Counter& c = obs::counter("serve.requests");
+  return c;
+}
+obs::Counter& hit_counter() {
+  static obs::Counter& c = obs::counter("serve.cache_hit");
+  return c;
+}
+obs::Counter& miss_counter() {
+  static obs::Counter& c = obs::counter("serve.cache_miss");
+  return c;
+}
+obs::Counter& coalesced_counter() {
+  static obs::Counter& c = obs::counter("serve.coalesced");
+  return c;
+}
+obs::Counter& batched_counter() {
+  static obs::Counter& c = obs::counter("serve.batched");
+  return c;
+}
+obs::Counter& errors_counter() {
+  static obs::Counter& c = obs::counter("serve.errors");
+  return c;
+}
+obs::Counter& dup_compute_counter() {
+  static obs::Counter& c = obs::counter("serve.dup_computes");
+  return c;
+}
+obs::Distribution& request_latency() {
+  static obs::Distribution& d = obs::distribution("serve.request_us");
+  return d;
+}
+
+ScoreResponse error_response(const std::string& id, std::string error,
+                             std::string message) {
+  ScoreResponse response;
+  response.id = id;
+  response.ok = false;
+  response.error = std::move(error);
+  response.message = std::move(message);
+  return response;
+}
+
+core::EventGroup event_group_by_name(const std::string& name) {
+  if (name == "all") return core::EventGroup::all();
+  if (name == "llc") return core::EventGroup::llc();
+  if (name == "tlb") return core::EventGroup::tlb();
+  if (name == "branch") return core::EventGroup::branch();
+  throw std::runtime_error("unknown event group '" + name + "'");
+}
+
+}  // namespace
+
+bool is_event_group(const std::string& name) {
+  return name == "all" || name == "llc" || name == "tlb" || name == "branch";
+}
+
+bool is_builtin_suite(const std::string& name) {
+  static const char* const kNames[] = {
+      "parsec", "spec17", "ligra",     "lmbench", "nbench",
+      "sgxgauge", "riotbench", "sebs", "comb",    "splash2"};
+  return std::find_if(std::begin(kNames), std::end(kNames),
+                      [&](const char* n) { return name == n; }) !=
+         std::end(kNames);
+}
+
+core::CounterMatrix simulate_builtin(const std::string& name,
+                                     std::uint64_t instructions) {
+  suites::SuiteBuildOptions build;
+  build.instructions_per_workload = instructions;
+  sim::SuiteSpec spec;
+  if (name == "parsec") {
+    spec = suites::parsec(build);
+  } else if (name == "spec17") {
+    spec = suites::spec17(build);
+  } else if (name == "ligra") {
+    spec = suites::ligra(build);
+  } else if (name == "lmbench") {
+    spec = suites::lmbench(build);
+  } else if (name == "nbench") {
+    spec = suites::nbench(build);
+  } else if (name == "sgxgauge") {
+    spec = suites::sgxgauge(build);
+  } else if (name == "riotbench") {
+    spec = suites::riotbench(build);
+  } else if (name == "sebs") {
+    spec = suites::sebs(build);
+  } else if (name == "comb") {
+    spec = suites::comb(build);
+  } else if (name == "splash2") {
+    spec = suites::splash2(build);
+  } else {
+    throw std::runtime_error("unknown built-in suite '" + name +
+                             "' (try: perspector suites)");
+  }
+  // Identical to cmd_demo: ~100 samples per workload, floor of 1.
+  sim::SimOptions sim_options;
+  sim_options.sample_interval = std::max<std::uint64_t>(instructions / 100, 1);
+  return core::collect_counters(spec, sim::MachineConfig::xeon_e2186g(),
+                                sim_options);
+}
+
+Engine::Engine(EngineOptions options)
+    : options_(options), cache_(options.cache_bytes) {
+  // Spin the persistent parallel backend up front so the first request
+  // does not pay pool construction.
+  if (par::thread_count() > 1) par::global_pool();
+}
+
+Engine::~Engine() = default;
+
+std::shared_ptr<const core::CounterMatrix> Engine::resolve_data(
+    const ScoreRequest& request) {
+  if (request.builtin.empty()) {
+    if (!request.data) {
+      throw std::runtime_error("request carries neither suite data nor a "
+                               "built-in suite name");
+    }
+    return request.data;
+  }
+  if (!is_builtin_suite(request.builtin)) {
+    throw std::runtime_error("unknown built-in suite '" + request.builtin +
+                             "' (try: perspector suites)");
+  }
+  const Key128 key = ContentHasher{}
+                         .str("builtin-suite")
+                         .str(request.builtin)
+                         .u64(request.instructions)
+                         .digest();
+  {
+    std::lock_guard<std::mutex> lock(suite_mutex_);
+    for (auto it = suites_.begin(); it != suites_.end(); ++it) {
+      if (it->first == key) {
+        suites_.splice(suites_.begin(), suites_, it);
+        return suites_.front().second;
+      }
+    }
+  }
+  // Simulate outside the lock; simulation is deterministic, so a racing
+  // duplicate produces the same matrix and either copy may win.
+  obs::Span span("serve.simulate");
+  auto data = std::make_shared<const core::CounterMatrix>(
+      simulate_builtin(request.builtin, request.instructions));
+  std::lock_guard<std::mutex> lock(suite_mutex_);
+  for (const auto& [k, existing] : suites_) {
+    if (k == key) return existing;
+  }
+  suites_.emplace_front(key, data);
+  while (suites_.size() > options_.suite_slots) suites_.pop_back();
+  return data;
+}
+
+std::shared_ptr<core::ScoringWorkspace> Engine::workspace_for(
+    const Key128& key) {
+  std::lock_guard<std::mutex> lock(workspace_mutex_);
+  for (auto it = workspaces_.begin(); it != workspaces_.end(); ++it) {
+    if (it->first == key) {
+      workspaces_.splice(workspaces_.begin(), workspaces_, it);
+      return workspaces_.front().second;
+    }
+  }
+  workspaces_.emplace_front(key, std::make_shared<core::ScoringWorkspace>());
+  while (workspaces_.size() > options_.workspace_slots) workspaces_.pop_back();
+  return workspaces_.front().second;
+}
+
+ScoreResponse Engine::compute(const ScoreRequest& request,
+                              const core::CounterMatrix& data) {
+  ScoreResponse response;
+  response.id = request.id;
+  try {
+    // Exactly the one-shot path: default metric options, the requested
+    // event filter, core::suite_report on the *unfiltered* data — the
+    // same call sequence cmd_score/cmd_demo make.
+    core::PerspectorOptions scoring;
+    scoring.events = event_group_by_name(request.events);
+    ContentHasher ws_hasher;
+    hash_counter_matrix(ws_hasher, data);
+    const auto workspace = workspace_for(
+        ws_hasher.str(request.events).str(kCodeVersion).digest());
+    obs::Span span("serve.score");
+    const auto scores =
+        core::Perspector(scoring).score_suites({data}, *workspace).front();
+    response.report = core::suite_report(data, scores);
+    response.ok = true;
+  } catch (const std::exception& e) {
+    return error_response(request.id, "internal", e.what());
+  }
+  return response;
+}
+
+ScoreResponse Engine::score(const ScoreRequest& request) {
+  obs::Span span("serve.request");
+  obs::DistributionTimer timer(request_latency());
+  requests_counter().increment();
+
+  std::shared_ptr<const core::CounterMatrix> data;
+  try {
+    data = resolve_data(request);
+    if (!is_event_group(request.events)) {
+      throw std::runtime_error("unknown event group '" + request.events + "'");
+    }
+  } catch (const std::exception& e) {
+    errors_counter().increment();
+    return error_response(request.id, "bad_request", e.what());
+  }
+
+  ContentHasher hasher;
+  hash_counter_matrix(hasher, *data);
+  const Key128 key =
+      hasher.str(request.events).str(kCodeVersion).digest();
+
+  std::shared_future<ScoreResponse> shared;
+  std::promise<ScoreResponse> promise;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    if (auto cached = cache_.get(key)) {
+      hit_counter().increment();
+      ScoreResponse response;
+      response.id = request.id;
+      response.ok = true;
+      response.cache_hit = true;
+      response.report = std::move(*cached);
+      return response;
+    }
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      if (par::ThreadPool::on_worker_thread()) {
+        // A pool worker must never block on another request's future —
+        // with every worker parked, the owner's own parallel pass could
+        // never start (see DESIGN.md section 10). Recompute instead: the
+        // result is bit-identical by the determinism contract, so
+        // duplicated work is the only cost.
+        dup_compute_counter().increment();
+      } else {
+        shared = it->second;
+      }
+    } else {
+      owner = true;
+      shared = promise.get_future().share();
+      inflight_.emplace(key, shared);
+    }
+  }
+
+  if (shared.valid() && !owner) {
+    coalesced_counter().increment();
+    hit_counter().increment();
+    ScoreResponse response = shared.get();
+    response.id = request.id;
+    response.cache_hit = true;
+    return response;
+  }
+
+  ScoreResponse response = compute(request, *data);
+  if (response.ok) {
+    cache_.put(key, response.report);
+    miss_counter().increment();
+  } else {
+    errors_counter().increment();
+  }
+  if (owner) {
+    promise.set_value(response);
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_.erase(key);
+  }
+  return response;
+}
+
+std::vector<ScoreResponse> Engine::score_batch(
+    const std::vector<ScoreRequest>& requests) {
+  if (requests.empty()) return {};
+  obs::Span span("serve.batch");
+  if (requests.size() > 1) batched_counter().add(requests.size());
+
+  // Dedup identical requests by cheap signature before the pass, so a
+  // burst of repeats costs one computation and the copies are served as
+  // coalesced hits — without any chunk ever blocking on another.
+  struct Signature {
+    std::string text;
+    const void* data;
+    bool operator==(const Signature&) const = default;
+  };
+  std::vector<std::size_t> primary(requests.size());
+  std::vector<std::pair<Signature, std::size_t>> seen;
+  std::vector<std::size_t> unique;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& r = requests[i];
+    Signature sig{r.builtin + '\x1f' + std::to_string(r.instructions) +
+                      '\x1f' + r.events,
+                  static_cast<const void*>(r.data.get())};
+    const auto it =
+        std::find_if(seen.begin(), seen.end(),
+                     [&](const auto& entry) { return entry.first == sig; });
+    if (it == seen.end()) {
+      seen.emplace_back(std::move(sig), i);
+      primary[i] = i;
+      unique.push_back(i);
+    } else {
+      primary[i] = it->second;
+    }
+  }
+
+  std::vector<ScoreResponse> computed(requests.size());
+  par::parallel_for(unique.size(), [&](std::size_t u) {
+    const std::size_t i = unique[u];
+    computed[i] = score(requests[i]);
+  });
+
+  std::vector<ScoreResponse> out(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (primary[i] == i) continue;
+    // A copy of the primary's result, accounted like a coalesced hit
+    // (or a shared error when the primary failed).
+    requests_counter().increment();
+    out[i] = computed[primary[i]];
+    out[i].id = requests[i].id;
+    if (out[i].ok) {
+      coalesced_counter().increment();
+      hit_counter().increment();
+      out[i].cache_hit = true;
+    } else {
+      errors_counter().increment();
+    }
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (primary[i] == i) out[i] = std::move(computed[i]);
+  }
+  return out;
+}
+
+}  // namespace perspector::serve

@@ -1,0 +1,163 @@
+// serve::Engine — the resident scoring front end (DESIGN.md section 10).
+//
+// A one-shot `perspector score` pays process startup, suite construction,
+// and workspace priming on every invocation. The Engine keeps all of that
+// warm in one process:
+//
+//   * a persistent parallel backend — the par:: global thread pool is
+//     spun up once at construction and reused by every scoring pass;
+//   * a pool of warm core::ScoringWorkspace instances keyed by suite
+//     content, so re-scoring a suite (same data + event filter) serves
+//     the TrendScore from the primed pairwise-DTW cache;
+//   * an LRU result cache keyed by a 128-bit content digest of (counter
+//     matrix bytes, event filter, code version) — a repeat request
+//     returns the finished report without touching the pipeline;
+//   * coalescing of duplicate in-flight requests: concurrent identical
+//     requests share one computation and all receive its result;
+//   * batching: score_batch() runs one deterministic parallel pass over
+//     a group of requests (par::parallel_for, index-owned slots), which
+//     parallelizes *across* requests while each request's own kernels
+//     degrade to serial on the worker — bit-identical either way.
+//
+// Determinism contract: the `report` field of a successful response is
+// byte-identical to the one-shot CLI output for the same inputs —
+// `perspector score` for inline data, `perspector demo` for built-in
+// suites — at any thread count, cold or warm cache. Cached entries are
+// only ever keyed by full content, computed reports go through exactly
+// the one-shot code path (core::Perspector + core::suite_report), and
+// the workspace cache serves bit-equal trend values by design (see
+// core/scoring_workspace.hpp), so a hit returns the same bytes a miss
+// would have produced.
+//
+// Thread-safety: score() and score_batch() may be called from any number
+// of threads concurrently.
+//
+// Counters: serve.requests, serve.cache_hit, serve.cache_miss,
+// serve.coalesced, serve.batched, serve.errors, serve.cache_evictions,
+// plus the serve.request_us latency distribution.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/counter_matrix.hpp"
+#include "serve/content_hash.hpp"
+#include "serve/result_cache.hpp"
+
+namespace perspector::core {
+class ScoringWorkspace;
+}
+
+namespace perspector::serve {
+
+/// Participates in every result-cache key; bump when any scoring code
+/// change may alter report bytes, so stale entries can never be served
+/// across versions (relevant once the cache outlives the process).
+inline constexpr std::string_view kCodeVersion = "perspector-serve/1";
+
+/// One scoring request: either a named built-in suite (simulated on
+/// demand with `instructions` per workload, exactly like `perspector
+/// demo`) or caller-provided counter data.
+struct ScoreRequest {
+  std::string id;  // echoed in the response; opaque to the engine
+
+  std::string builtin;  // built-in suite name; empty = use `data`
+  std::uint64_t instructions = 500'000;  // per workload, built-in only
+
+  std::shared_ptr<const core::CounterMatrix> data;  // inline suite data
+
+  std::string events = "all";  // all | llc | tlb | branch
+
+  /// Maximum time the request may wait in the server queue before it is
+  /// answered with a `timeout` error instead of being scored. 0 = no
+  /// deadline. Enforced by serve::Session, not by the engine.
+  std::uint64_t deadline_ms = 0;
+};
+
+struct ScoreResponse {
+  std::string id;
+  bool ok = false;
+  bool cache_hit = false;
+  std::string report;   // exact one-shot report bytes (ok responses)
+  std::string error;    // bad_request | internal (error responses)
+  std::string message;  // human-readable detail for error responses
+};
+
+struct EngineOptions {
+  /// Result-cache budget in bytes; 0 disables result caching.
+  std::size_t cache_bytes = 64ull << 20;
+  /// Warm ScoringWorkspace slots (per distinct suite content + filter).
+  std::size_t workspace_slots = 8;
+  /// Simulated built-in suites kept resident (per name + instructions).
+  std::size_t suite_slots = 4;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Scores one request (thread-safe). Never throws: failures come back
+  /// as structured error responses.
+  ScoreResponse score(const ScoreRequest& request);
+
+  /// Scores a group of requests in one deterministic parallel pass.
+  /// Response order matches request order; duplicate requests within the
+  /// batch coalesce onto one computation.
+  std::vector<ScoreResponse> score_batch(
+      const std::vector<ScoreRequest>& requests);
+
+  const EngineOptions& options() const noexcept { return options_; }
+  std::size_t cache_entries() const { return cache_.entries(); }
+  std::size_t cache_bytes_used() const { return cache_.bytes_used(); }
+
+ private:
+  std::shared_ptr<const core::CounterMatrix> resolve_data(
+      const ScoreRequest& request);
+  std::shared_ptr<core::ScoringWorkspace> workspace_for(const Key128& key);
+  ScoreResponse compute(const ScoreRequest& request,
+                        const core::CounterMatrix& data);
+
+  EngineOptions options_;
+  ResultCache cache_;
+
+  // Duplicate in-flight requests wait on the first one's future instead
+  // of recomputing. Entries live only while the computation runs.
+  std::mutex inflight_mutex_;
+  std::unordered_map<Key128, std::shared_future<ScoreResponse>, Key128Hash>
+      inflight_;
+
+  // Warm workspaces, LRU by (suite content, event filter, code version).
+  std::mutex workspace_mutex_;
+  std::list<std::pair<Key128, std::shared_ptr<core::ScoringWorkspace>>>
+      workspaces_;
+
+  // Resident simulated built-in suites, LRU by (name, instructions).
+  std::mutex suite_mutex_;
+  std::list<std::pair<Key128, std::shared_ptr<const core::CounterMatrix>>>
+      suites_;
+};
+
+/// True when `name` names a built-in suite model.
+bool is_builtin_suite(const std::string& name);
+
+/// Simulates a built-in suite exactly like `perspector demo`: equal
+/// instruction budgets, sample interval = instructions/100 (min 1), the
+/// Xeon E-2186G machine model. Throws std::runtime_error on an unknown
+/// name.
+core::CounterMatrix simulate_builtin(const std::string& name,
+                                     std::uint64_t instructions);
+
+/// True when `name` is a recognized event-group name (all/llc/tlb/branch).
+bool is_event_group(const std::string& name);
+
+}  // namespace perspector::serve

@@ -1,0 +1,53 @@
+// Minimal JSON support for the newline-delimited-JSON serving protocol.
+//
+// The serving layer needs exact byte round-trips for report text (the
+// determinism contract compares reports byte-for-byte), so the escaper
+// and the parser are inverses over arbitrary byte strings: every control
+// character is escaped on the way out and every standard escape —
+// including \uXXXX with surrogate pairs — is decoded on the way in.
+//
+// Deliberately small: objects, arrays, strings, numbers, booleans, null.
+// No external dependency, no DOM mutation API — parse, inspect, discard.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perspector::serve::json {
+
+/// One parsed JSON value (tree-owning).
+class Value {
+ public:
+  enum class Type { Null, Bool, Number, String, Object, Array };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, Value>> members;  // objects, in order
+  std::vector<Value> elements;                         // arrays
+
+  bool is_object() const noexcept { return type == Type::Object; }
+  bool is_string() const noexcept { return type == Type::String; }
+  bool is_number() const noexcept { return type == Type::Number; }
+
+  /// Member lookup (first match); nullptr when absent or not an object.
+  const Value* find(std::string_view key) const noexcept;
+};
+
+/// Parses one complete JSON document. Throws std::runtime_error with a
+/// byte-offset message on malformed input or trailing garbage.
+Value parse(std::string_view text);
+
+/// Appends `text` to `out` as a quoted JSON string, escaping quotes,
+/// backslashes, and all control characters.
+void append_quoted(std::string& out, std::string_view text);
+
+/// Convenience: the quoted form alone.
+std::string quoted(std::string_view text);
+
+}  // namespace perspector::serve::json

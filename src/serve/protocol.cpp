@@ -1,0 +1,227 @@
+#include "serve/protocol.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "core/io.hpp"
+#include "obs/metrics.hpp"
+#include "serve/json.hpp"
+
+namespace perspector::serve {
+
+namespace {
+
+/// Extracts an echoable id: strings verbatim, numbers via their JSON
+/// text (integers render without a trailing ".0").
+std::string id_of(const json::Value& request) {
+  const json::Value* id = request.find("id");
+  if (!id) return {};
+  if (id->is_string()) return id->string;
+  if (id->is_number()) {
+    const double value = id->number;
+    if (value == std::floor(value) && std::abs(value) < 9.0e15) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.0f", value);
+      return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%g", value);
+    return buf;
+  }
+  return {};
+}
+
+ParsedRequest bad_request(std::string id, std::string message) {
+  ParsedRequest parsed;
+  parsed.ok = false;
+  parsed.id = std::move(id);
+  parsed.error = "bad_request";
+  parsed.message = std::move(message);
+  return parsed;
+}
+
+bool read_u64(const json::Value& object, const char* key,
+              std::uint64_t& out, std::string& problem) {
+  const json::Value* value = object.find(key);
+  if (!value) return true;
+  if (!value->is_number() || value->number < 0 ||
+      value->number != std::floor(value->number)) {
+    problem = std::string("field '") + key +
+              "' must be a non-negative integer";
+    return false;
+  }
+  out = static_cast<std::uint64_t>(value->number);
+  return true;
+}
+
+void append_id(std::string& out, const std::string& id) {
+  if (id.empty()) return;
+  out += "\"id\":";
+  json::append_quoted(out, id);
+  out += ',';
+}
+
+}  // namespace
+
+ParsedRequest parse_request_line(const std::string& line) {
+  json::Value request;
+  try {
+    request = json::parse(line);
+  } catch (const std::exception& e) {
+    return bad_request("", e.what());
+  }
+  if (!request.is_object()) {
+    return bad_request("", "request must be a JSON object");
+  }
+
+  ParsedRequest parsed;
+  parsed.id = id_of(request);
+
+  std::string op = "score";
+  if (const json::Value* value = request.find("op")) {
+    if (!value->is_string()) return bad_request(parsed.id, "'op' must be a string");
+    op = value->string;
+  }
+  if (op == "ping") {
+    parsed.ok = true;
+    parsed.op = Op::Ping;
+    return parsed;
+  }
+  if (op == "metrics") {
+    parsed.ok = true;
+    parsed.op = Op::Metrics;
+    return parsed;
+  }
+  if (op == "shutdown") {
+    parsed.ok = true;
+    parsed.op = Op::Shutdown;
+    return parsed;
+  }
+  if (op != "score") {
+    return bad_request(parsed.id, "unknown op '" + op + "'");
+  }
+
+  parsed.op = Op::Score;
+  ScoreRequest& score = parsed.score;
+  score.id = parsed.id;
+
+  std::string problem;
+  if (!read_u64(request, "instructions", score.instructions, problem) ||
+      !read_u64(request, "deadline_ms", score.deadline_ms, problem)) {
+    return bad_request(parsed.id, problem);
+  }
+  if (score.instructions == 0) {
+    return bad_request(parsed.id, "field 'instructions' must be >= 1");
+  }
+
+  if (const json::Value* events = request.find("events")) {
+    if (!events->is_string()) {
+      return bad_request(parsed.id, "'events' must be a string");
+    }
+    score.events = events->string;
+  }
+
+  const json::Value* suite = request.find("suite");
+  const json::Value* csv = request.find("csv");
+  if ((suite != nullptr) == (csv != nullptr)) {
+    return bad_request(parsed.id,
+                       "exactly one of 'suite' or 'csv' is required");
+  }
+  if (suite) {
+    if (!suite->is_string() || suite->string.empty()) {
+      return bad_request(parsed.id, "'suite' must be a suite name");
+    }
+    score.builtin = suite->string;
+    parsed.ok = true;
+    return parsed;
+  }
+
+  if (!csv->is_string()) {
+    return bad_request(parsed.id, "'csv' must be CSV text");
+  }
+  std::string name = "inline";
+  if (const json::Value* label = request.find("name")) {
+    if (!label->is_string()) {
+      return bad_request(parsed.id, "'name' must be a string");
+    }
+    name = label->string;
+  }
+  try {
+    const json::Value* series = request.find("series_csv");
+    if (series && !series->is_string()) {
+      return bad_request(parsed.id, "'series_csv' must be CSV text");
+    }
+    score.data = std::make_shared<const core::CounterMatrix>(
+        series ? core::read_with_series_csv_text(name, csv->string,
+                                                 series->string)
+               : core::read_aggregates_csv_text(name, csv->string));
+  } catch (const std::exception& e) {
+    return bad_request(parsed.id, e.what());
+  }
+  parsed.ok = true;
+  return parsed;
+}
+
+std::string serialize_response(const ScoreResponse& response) {
+  std::string out = "{";
+  append_id(out, response.id);
+  if (response.ok) {
+    out += "\"ok\":true,\"cache\":";
+    out += response.cache_hit ? "\"hit\"" : "\"miss\"";
+    out += ",\"report\":";
+    json::append_quoted(out, response.report);
+  } else {
+    out += "\"ok\":false,\"error\":";
+    json::append_quoted(out, response.error);
+    out += ",\"message\":";
+    json::append_quoted(out, response.message);
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string serialize_error(const std::string& id, const std::string& error,
+                            const std::string& message) {
+  ScoreResponse response;
+  response.id = id;
+  response.ok = false;
+  response.error = error;
+  response.message = message;
+  return serialize_response(response);
+}
+
+std::string serialize_ping(const std::string& id) {
+  std::string out = "{";
+  append_id(out, id);
+  out += "\"ok\":true,\"pong\":true}\n";
+  return out;
+}
+
+std::string serialize_metrics(const std::string& id) {
+  std::string out = "{";
+  append_id(out, id);
+  out += "\"ok\":true,\"counters\":{";
+  bool first = true;
+  for (const auto& snapshot : obs::counters_snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    json::append_quoted(out, snapshot.name);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64,
+                  static_cast<std::uint64_t>(snapshot.value));
+    out += ':';
+    out += buf;
+  }
+  out += "}}\n";
+  return out;
+}
+
+std::string serialize_shutdown(const std::string& id) {
+  std::string out = "{";
+  append_id(out, id);
+  out += "\"ok\":true,\"shutting_down\":true}\n";
+  return out;
+}
+
+}  // namespace perspector::serve

@@ -1,0 +1,65 @@
+// The newline-delimited-JSON wire protocol of the scoring service.
+//
+// One request object per line, one response object per line, answered in
+// request order. Requests:
+//
+//   {"op":"score","suite":"spec17","instructions":40000,"events":"llc"}
+//   {"op":"score","name":"mysuite","csv":"workload,c1\na,1\n",
+//    "series_csv":"workload,counter,sample,value\n...","deadline_ms":250}
+//   {"op":"ping"}         {"op":"metrics"}         {"op":"shutdown"}
+//
+// Every request may carry an "id" (string or number) that is echoed
+// verbatim in its response. Responses:
+//
+//   {"id":"1","ok":true,"cache":"miss","report":"..."}       (score)
+//   {"id":"1","ok":false,"error":"overloaded","message":"..."}
+//   {"ok":true,"pong":true}                                   (ping)
+//   {"ok":true,"counters":{"serve.cache_hit":2,...}}          (metrics)
+//   {"ok":true,"shutting_down":true}                          (shutdown)
+//
+// Error codes: bad_request (malformed JSON / unknown fields' values),
+// overloaded (admission queue full), timeout (queue-wait deadline
+// exceeded), internal (scoring failure). The `report` string of an ok
+// score response is byte-identical to the one-shot CLI output.
+#pragma once
+
+#include <string>
+
+#include "serve/engine.hpp"
+
+namespace perspector::serve {
+
+enum class Op { Score, Ping, Metrics, Shutdown };
+
+/// One parsed request line. When `ok` is false the request must not be
+/// executed; `error` / `message` describe the parse failure.
+struct ParsedRequest {
+  bool ok = false;
+  Op op = Op::Score;
+  ScoreRequest score;  // populated for Op::Score
+  std::string id;      // echoed id (also mirrored into score.id)
+  std::string error;   // "bad_request" when !ok
+  std::string message;
+};
+
+/// Parses one request line. Never throws; malformed input comes back as
+/// an !ok ParsedRequest carrying a bad_request error.
+ParsedRequest parse_request_line(const std::string& line);
+
+/// Serializes a score response (ok or error) as one JSON line (with
+/// trailing newline).
+std::string serialize_response(const ScoreResponse& response);
+
+/// An error response line for a request that never reached the engine
+/// (parse failures, admission rejections, deadline timeouts).
+std::string serialize_error(const std::string& id, const std::string& error,
+                            const std::string& message);
+
+std::string serialize_ping(const std::string& id);
+
+/// Snapshot of every registered obs counter as a JSON object.
+std::string serialize_metrics(const std::string& id);
+
+std::string serialize_shutdown(const std::string& id);
+
+}  // namespace perspector::serve

@@ -1,0 +1,64 @@
+#include "serve/result_cache.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace perspector::serve {
+
+namespace {
+obs::Counter& evictions_counter() {
+  static obs::Counter& c = obs::counter("serve.cache_evictions");
+  return c;
+}
+}  // namespace
+
+std::optional<std::string> ResultCache::get(const Key128& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->report;
+}
+
+void ResultCache::put(const Key128& key, const std::string& report) {
+  const std::size_t cost = report.size() + kEntryOverhead;
+  if (cost > budget_bytes_) return;  // never cacheable; also the 0-budget case
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh recency and value. (Under content addressing the report
+    // can't actually differ, but the cache shouldn't be the component
+    // that relies on that.)
+    bytes_used_ -= it->second->report.size();
+    bytes_used_ += report.size();
+    it->second->report = report;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    evict_to_budget_locked();
+    return;
+  }
+  lru_.push_front(Entry{key, report});
+  index_.emplace(key, lru_.begin());
+  bytes_used_ += cost;
+  evict_to_budget_locked();
+}
+
+void ResultCache::evict_to_budget_locked() {
+  while (bytes_used_ > budget_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_used_ -= victim.report.size() + kEntryOverhead;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    evictions_counter().increment();
+  }
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::size_t ResultCache::bytes_used() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_used_;
+}
+
+}  // namespace perspector::serve

@@ -1,0 +1,69 @@
+// Content-addressed LRU result cache for the scoring service.
+//
+// Values are finished report strings keyed by a Key128 content digest of
+// everything that can influence the report (see content_hash.hpp). The
+// cache is byte-budgeted, not entry-budgeted: each entry is charged its
+// report size plus a fixed bookkeeping overhead, and inserts evict from
+// the least-recently-used end until the budget holds. A budget of zero
+// disables caching entirely (every get misses, every put is dropped) —
+// the `--cache-mb 0` escape hatch and the cold-cache benchmark mode.
+//
+// Thread-safe; every operation takes the internal mutex. The serving
+// engine calls get/put once per request, so the lock is never contended
+// for longer than a map lookup and a list splice.
+//
+// Counters: serve.cache_evictions (entries pushed out by the budget).
+// Hit/miss accounting lives in the Engine, which also coalesces in-flight
+// duplicates and therefore knows which lookups were real misses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "serve/content_hash.hpp"
+
+namespace perspector::serve {
+
+class ResultCache {
+ public:
+  /// Fixed per-entry bookkeeping charge on top of the report bytes.
+  static constexpr std::size_t kEntryOverhead = 128;
+
+  explicit ResultCache(std::size_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached report and marks the entry most recently used.
+  std::optional<std::string> get(const Key128& key);
+
+  /// Inserts (or refreshes) an entry, then evicts LRU entries until the
+  /// budget holds. Values larger than the whole budget are not cached.
+  void put(const Key128& key, const std::string& report);
+
+  std::size_t entries() const;
+  std::size_t bytes_used() const;
+  std::size_t budget_bytes() const noexcept { return budget_bytes_; }
+
+ private:
+  struct Entry {
+    Key128 key;
+    std::string report;
+  };
+
+  void evict_to_budget_locked();
+
+  const std::size_t budget_bytes_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key128, std::list<Entry>::iterator, Key128Hash> index_;
+  std::size_t bytes_used_ = 0;
+};
+
+}  // namespace perspector::serve

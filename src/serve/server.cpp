@@ -1,0 +1,399 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/protocol.hpp"
+
+namespace perspector::serve {
+
+namespace {
+
+obs::Counter& admitted_counter() {
+  static obs::Counter& c = obs::counter("serve.admitted");
+  return c;
+}
+obs::Counter& rejected_counter() {
+  static obs::Counter& c = obs::counter("serve.rejected");
+  return c;
+}
+obs::Counter& timeouts_counter() {
+  static obs::Counter& c = obs::counter("serve.timeouts");
+  return c;
+}
+obs::Counter& connections_counter() {
+  static obs::Counter& c = obs::counter("serve.connections");
+  return c;
+}
+obs::Counter& responses_counter() {
+  static obs::Counter& c = obs::counter("serve.responses");
+  return c;
+}
+
+/// One queued request in arrival order. Entries whose response is already
+/// determined (parse errors, rejections, ping/metrics placeholders) carry
+/// it in `response`; score entries carry the request until executed.
+struct QueueEntry {
+  enum class Kind { Ready, Score, Metrics, Ping, Shutdown };
+  Kind kind = Kind::Ready;
+  std::string id;
+  std::string response;  // serialized line (Kind::Ready)
+  ScoreRequest request;  // Kind::Score
+  std::chrono::steady_clock::time_point enqueued;
+  std::uint64_t deadline_ms = 0;
+};
+
+class Session {
+ public:
+  Session(Engine& engine, int in_fd, int out_fd,
+          const SessionOptions& options)
+      : engine_(engine), in_fd_(in_fd), out_fd_(out_fd), options_(options) {
+    now_ = options_.now ? options_.now
+                        : [] { return std::chrono::steady_clock::now(); };
+  }
+
+  SessionResult run() {
+    while (true) {
+      if (pending_.empty()) {
+        if (eof_ || terminated() || result_.shutdown_requested) break;
+        wait_for_input();
+      }
+      drain_input();
+      execute_pending();
+      if ((eof_ || terminated() || result_.shutdown_requested) &&
+          pending_.empty()) {
+        break;
+      }
+    }
+    return result_;
+  }
+
+ private:
+  bool terminated() const {
+    return options_.terminate != nullptr && *options_.terminate != 0;
+  }
+
+  /// Blocks (in 200 ms slices, so SIGTERM is noticed) until the input
+  /// has data or is at EOF.
+  void wait_for_input() {
+    while (!eof_ && !terminated()) {
+      struct pollfd pfd {};
+      pfd.fd = in_fd_;
+      pfd.events = POLLIN;
+      const int rc = ::poll(&pfd, 1, 200);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("poll failed: ") +
+                                 std::strerror(errno));
+      }
+      if (rc > 0) return;
+    }
+  }
+
+  /// True when the input has data available right now.
+  bool input_ready() {
+    struct pollfd pfd {};
+    pfd.fd = in_fd_;
+    pfd.events = POLLIN;
+    int rc;
+    while ((rc = ::poll(&pfd, 1, 0)) < 0 && errno == EINTR) {
+      if (terminated()) return false;
+    }
+    return rc > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0;
+  }
+
+  /// Reads every complete line currently available and enqueues it.
+  void drain_input() {
+    while (!eof_ && input_ready()) {
+      char chunk[65536];
+      const ssize_t n = ::read(in_fd_, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("read failed: ") +
+                                 std::strerror(errno));
+      }
+      if (n == 0) {
+        eof_ = true;
+        break;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t nl = buffer_.find('\n', start);
+      if (nl == std::string::npos) break;
+      enqueue_line(buffer_.substr(start, nl - start));
+      start = nl + 1;
+    }
+    buffer_.erase(0, start);
+    // A final unterminated line is still a request once the input ends.
+    if (eof_ && !buffer_.empty()) {
+      enqueue_line(buffer_);
+      buffer_.clear();
+    }
+  }
+
+  void enqueue_line(std::string line) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) return;
+
+    QueueEntry entry;
+    entry.enqueued = now_();
+    ParsedRequest parsed = parse_request_line(line);
+    if (!parsed.ok) {
+      entry.kind = QueueEntry::Kind::Ready;
+      entry.response =
+          serialize_error(parsed.id, parsed.error, parsed.message);
+      pending_.push_back(std::move(entry));
+      return;
+    }
+    entry.id = parsed.id;
+    switch (parsed.op) {
+      case Op::Ping:
+        entry.kind = QueueEntry::Kind::Ping;
+        break;
+      case Op::Metrics:
+        entry.kind = QueueEntry::Kind::Metrics;
+        break;
+      case Op::Shutdown:
+        entry.kind = QueueEntry::Kind::Shutdown;
+        break;
+      case Op::Score: {
+        if (pending_scores_ >= options_.max_queue) {
+          rejected_counter().increment();
+          entry.kind = QueueEntry::Kind::Ready;
+          entry.response = serialize_error(
+              parsed.id, "overloaded",
+              "admission queue full (max-queue=" +
+                  std::to_string(options_.max_queue) + ")");
+          pending_.push_back(std::move(entry));
+          return;
+        }
+        admitted_counter().increment();
+        ++pending_scores_;
+        entry.kind = QueueEntry::Kind::Score;
+        entry.request = std::move(parsed.score);
+        entry.deadline_ms = entry.request.deadline_ms != 0
+                                ? entry.request.deadline_ms
+                                : options_.default_deadline_ms;
+        break;
+      }
+    }
+    pending_.push_back(std::move(entry));
+  }
+
+  bool expired(const QueueEntry& entry) const {
+    if (entry.deadline_ms == 0) return false;
+    const auto waited = now_() - entry.enqueued;
+    return waited > std::chrono::milliseconds(entry.deadline_ms);
+  }
+
+  /// Serves the front of the queue: one batch of score requests (bounded
+  /// by max_batch) plus any non-score requests up to and including the
+  /// first entry after the batch boundary. Writes responses in order.
+  void execute_pending() {
+    if (pending_.empty()) return;
+    obs::Span span("serve.pass");
+
+    // Collect the prefix to serve this pass: stop after max_batch score
+    // entries so later arrivals can still be drained between passes.
+    std::size_t take = 0;
+    std::size_t batch_scores = 0;
+    for (; take < pending_.size(); ++take) {
+      if (pending_[take].kind == QueueEntry::Kind::Score) {
+        if (batch_scores == options_.max_batch) break;
+        ++batch_scores;
+      }
+    }
+
+    // Deadline check happens at execution time: a request that waited
+    // out its budget in the queue is answered `timeout`, not scored.
+    std::vector<ScoreRequest> batch;
+    std::vector<std::size_t> batch_slots;
+    for (std::size_t i = 0; i < take; ++i) {
+      QueueEntry& entry = pending_[i];
+      if (entry.kind != QueueEntry::Kind::Score) continue;
+      --pending_scores_;
+      if (expired(entry)) {
+        timeouts_counter().increment();
+        entry.kind = QueueEntry::Kind::Ready;
+        entry.response = serialize_error(
+            entry.id, "timeout",
+            "request waited past its deadline of " +
+                std::to_string(entry.deadline_ms) + " ms");
+        continue;
+      }
+      batch.push_back(entry.request);
+      batch_slots.push_back(i);
+    }
+
+    const std::vector<ScoreResponse> responses = engine_.score_batch(batch);
+    for (std::size_t b = 0; b < batch_slots.size(); ++b) {
+      QueueEntry& entry = pending_[batch_slots[b]];
+      entry.kind = QueueEntry::Kind::Ready;
+      entry.response = serialize_response(responses[b]);
+    }
+
+    for (std::size_t i = 0; i < take; ++i) {
+      QueueEntry& entry = pending_[i];
+      switch (entry.kind) {
+        case QueueEntry::Kind::Ready:
+          write_line(entry.response);
+          break;
+        case QueueEntry::Kind::Ping:
+          write_line(serialize_ping(entry.id));
+          break;
+        case QueueEntry::Kind::Metrics:
+          // Snapshot at serve time, after every earlier request in the
+          // pipeline has been executed — so `score, score, metrics`
+          // observes both scores.
+          write_line(serialize_metrics(entry.id));
+          break;
+        case QueueEntry::Kind::Shutdown:
+          write_line(serialize_shutdown(entry.id));
+          result_.shutdown_requested = true;
+          break;
+        case QueueEntry::Kind::Score:
+          break;  // unreachable: all scores resolved above
+      }
+      ++result_.responses;
+      responses_counter().increment();
+    }
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+
+  void write_line(const std::string& line) {
+    if (peer_gone_) return;
+    std::size_t written = 0;
+    while (written < line.size()) {
+      const ssize_t n =
+          ::write(out_fd_, line.data() + written, line.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EPIPE || errno == ECONNRESET) {
+          // The client vanished; keep draining so admitted work is
+          // accounted, but stop writing.
+          peer_gone_ = true;
+          return;
+        }
+        throw std::runtime_error(std::string("write failed: ") +
+                                 std::strerror(errno));
+      }
+      written += static_cast<std::size_t>(n);
+    }
+  }
+
+  Engine& engine_;
+  const int in_fd_;
+  const int out_fd_;
+  const SessionOptions& options_;
+  std::function<std::chrono::steady_clock::time_point()> now_;
+
+  std::string buffer_;
+  std::deque<QueueEntry> pending_;
+  std::size_t pending_scores_ = 0;
+  bool eof_ = false;
+  bool peer_gone_ = false;
+  SessionResult result_;
+};
+
+}  // namespace
+
+SessionResult run_session(Engine& engine, int in_fd, int out_fd,
+                          const SessionOptions& options) {
+  return Session(engine, in_fd, out_fd, options).run();
+}
+
+SessionResult run_stdio_server(Engine& engine,
+                               const SessionOptions& options) {
+  connections_counter().increment();
+  return run_session(engine, STDIN_FILENO, STDOUT_FILENO, options);
+}
+
+std::size_t run_tcp_server(Engine& engine, const ServerOptions& options) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    throw std::runtime_error(std::string("socket failed: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd);
+    throw std::runtime_error("bind failed: " + what);
+  }
+  if (::listen(listen_fd, 16) < 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd);
+    throw std::runtime_error("listen failed: " + what);
+  }
+  socklen_t addr_len = sizeof addr;
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+
+  // Scripts parse this line to learn the kernel-assigned port.
+  std::printf("serve: listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(ntohs(addr.sin_port)));
+  std::fflush(stdout);
+
+  std::size_t connections = 0;
+  bool shutdown_requested = false;
+  const volatile std::sig_atomic_t* terminate = options.session.terminate;
+  while (!shutdown_requested &&
+         (terminate == nullptr || *terminate == 0)) {
+    struct pollfd pfd {};
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      const std::string what = std::strerror(errno);
+      ::close(listen_fd);
+      throw std::runtime_error("poll failed: " + what);
+    }
+    if (rc == 0) continue;
+
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      const std::string what = std::strerror(errno);
+      ::close(listen_fd);
+      throw std::runtime_error("accept failed: " + what);
+    }
+    connections_counter().increment();
+    ++connections;
+    try {
+      const SessionResult result =
+          run_session(engine, conn_fd, conn_fd, options.session);
+      shutdown_requested = result.shutdown_requested;
+    } catch (...) {
+      ::close(conn_fd);
+      ::close(listen_fd);
+      throw;
+    }
+    ::close(conn_fd);
+  }
+  ::close(listen_fd);
+  return connections;
+}
+
+}  // namespace perspector::serve

@@ -1,0 +1,94 @@
+// serve::Server — the NDJSON transport over the scoring Engine.
+//
+// One Session speaks the protocol over a pair of file descriptors (a
+// connected TCP socket, the stdio pipes, or a test fixture). The session
+// loop is single-threaded by design — the only thread the serving layer
+// ever creates is the TCP acceptor, and even that work happens on the
+// caller of Server::run(); all scoring parallelism comes from the
+// par:: pool the Engine already owns.
+//
+// The loop alternates between two phases:
+//
+//   1. DRAIN — read every complete request line currently buffered on
+//      the input (poll + non-blocking-style reads). Each line is parsed
+//      and admitted, producing a queue entry in arrival order. Admission
+//      control applies here: once `max_queue` score requests are
+//      pending, further score requests are answered immediately with a
+//      structured `overloaded` error (serve.rejected) — never dropped.
+//   2. EXECUTE — walk the queue in order. Contiguous runs of score
+//      requests (up to `max_batch`) are scored in one Engine batch pass;
+//      a request whose queue wait exceeded its `deadline_ms` is answered
+//      with a `timeout` error (serve.timeouts) instead of being scored.
+//      Responses are written strictly in request order.
+//
+// Because a pipelined burst arrives in one drain, `--max-queue 1`
+// against a saturating client yields exactly the acceptance behavior:
+// one request scored per pass, the rest of the burst answered
+// `overloaded`. A well-behaved request/response client never sees a
+// rejection.
+//
+// Shutdown: EOF on the input triggers graceful drain (answer everything
+// admitted, then return), as does the `terminate` flag (SIGTERM in the
+// CLI) and a `{"op":"shutdown"}` request.
+//
+// Counters: serve.admitted, serve.rejected, serve.timeouts,
+// serve.connections, serve.responses.
+#pragma once
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serve/engine.hpp"
+
+namespace perspector::serve {
+
+struct SessionOptions {
+  /// Score requests admitted but not yet executed; further score
+  /// requests in the same drain are rejected as `overloaded`.
+  std::size_t max_queue = 64;
+  /// Maximum score requests per Engine batch pass.
+  std::size_t max_batch = 16;
+  /// Applied to requests that carry no deadline_ms of their own (0 = no
+  /// deadline).
+  std::uint64_t default_deadline_ms = 0;
+  /// Graceful-shutdown flag, typically wired to a SIGTERM handler.
+  const volatile std::sig_atomic_t* terminate = nullptr;
+  /// Test hook: the clock used for queue-wait deadlines.
+  std::function<std::chrono::steady_clock::time_point()> now;
+};
+
+/// Outcome of a session, for the server loop and tests.
+struct SessionResult {
+  std::size_t responses = 0;
+  bool shutdown_requested = false;  // a {"op":"shutdown"} was served
+};
+
+/// Runs the protocol over in_fd/out_fd until EOF, terminate, or a
+/// shutdown request; always drains admitted work before returning.
+/// The two fds may be the same (a socket). Throws std::runtime_error
+/// only on unrecoverable transport errors (e.g. the peer vanished with
+/// responses pending is *not* an error — the session just ends).
+SessionResult run_session(Engine& engine, int in_fd, int out_fd,
+                          const SessionOptions& options);
+
+struct ServerOptions {
+  SessionOptions session;
+  /// TCP port on 127.0.0.1; 0 asks the kernel for a free port.
+  std::uint16_t port = 0;
+};
+
+/// Loopback TCP server: binds, prints "serve: listening on
+/// 127.0.0.1:<port>" on stdout (scripts parse this, so it is flushed
+/// before the first accept), then accepts and serves one connection at a
+/// time until `terminate` or a shutdown request. Returns the number of
+/// connections served.
+std::size_t run_tcp_server(Engine& engine, const ServerOptions& options);
+
+/// Stdio transport: one session over fds 0/1 (EOF on stdin drains and
+/// returns).
+SessionResult run_stdio_server(Engine& engine, const SessionOptions& options);
+
+}  // namespace perspector::serve

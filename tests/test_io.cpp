@@ -132,6 +132,80 @@ TEST_F(IoTest, SeriesRejectsMissingCoverage) {
   EXPECT_THROW(read_with_series_csv("s", agg, ser), std::runtime_error);
 }
 
+// ---- interchange hardening (external CSV producers) ------------------------
+
+TEST_F(IoTest, AcceptsLeadingUtf8Bom) {
+  const auto p = make("bom.csv", "\xef\xbb\xbfworkload,c0\nw0,1.5\n");
+  const CounterMatrix m = read_aggregates_csv("s", p);
+  EXPECT_EQ(m.counter_names()[0], "c0");  // BOM must not stick to the header
+  EXPECT_DOUBLE_EQ(m.value(0, 0), 1.5);
+}
+
+TEST_F(IoTest, AcceptsCrlfLineEndings) {
+  const auto p = make("crlf.csv", "workload,c0,c1\r\nw0,1,2\r\nw1,3,4\r\n");
+  const CounterMatrix m = read_aggregates_csv("s", p);
+  ASSERT_EQ(m.num_workloads(), 2u);
+  EXPECT_DOUBLE_EQ(m.value(1, 1), 4.0);
+  // CRLF must not leak into the last cell's text (a quoted final cell is
+  // the risky case).
+  const auto q = make("crlfq.csv", "workload,c0\nw0,\"1.5\"\r\n");
+  EXPECT_DOUBLE_EQ(read_aggregates_csv("s", q).value(0, 0), 1.5);
+}
+
+TEST_F(IoTest, SeriesAcceptsBomAndCrlf) {
+  const auto agg = make("hb_a.csv", "workload,c0\nw0,1\n");
+  const auto ser = make(
+      "hb_s.csv",
+      "\xef\xbb\xbfworkload,counter,sample,value\r\nw0,c0,0,1\r\nw0,c0,1,2\r\n");
+  const CounterMatrix m = read_with_series_csv("s", agg, ser);
+  ASSERT_TRUE(m.has_series());
+  EXPECT_EQ(m.series(0, 0), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST_F(IoTest, RejectsNonFiniteCellsWithLineNumber) {
+  for (const char* bad : {"nan", "NaN", "inf", "-inf", "Infinity", "1e999"}) {
+    const auto p =
+        make(std::string("nonfinite_") + bad + ".csv",
+             std::string("workload,c0\nw0,1\nw1,") + bad + "\n");
+    try {
+      read_aggregates_csv("s", p);
+      FAIL() << "expected throw for '" << bad << "'";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST_F(IoTest, SeriesRejectsNonFiniteSamples) {
+  const auto agg = make("nf_a.csv", "workload,c0\nw0,1\n");
+  const auto ser = make("nf_s.csv",
+                        "workload,counter,sample,value\nw0,c0,0,inf\n");
+  EXPECT_THROW(read_with_series_csv("s", agg, ser), std::runtime_error);
+}
+
+TEST(IoText, InMemoryReadersMatchFileReaders) {
+  const CounterMatrix m =
+      read_aggregates_csv_text("wired", "workload,c0,c1\nw0,1,2\nw1,3,4\n");
+  EXPECT_EQ(m.suite_name(), "wired");
+  ASSERT_EQ(m.num_workloads(), 2u);
+  EXPECT_DOUBLE_EQ(m.value(1, 0), 3.0);
+
+  const CounterMatrix with_series = read_with_series_csv_text(
+      "wired", "workload,c0\nw0,1\n",
+      "workload,counter,sample,value\nw0,c0,0,0.5\nw0,c0,1,0.5\n");
+  ASSERT_TRUE(with_series.has_series());
+  EXPECT_EQ(with_series.series(0, 0), (std::vector<double>{0.5, 0.5}));
+
+  // Same validation and line numbering as the file path.
+  try {
+    read_aggregates_csv_text("wired", "workload,c0\nw0,nan\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
 TEST_F(IoTest, SeriesRejectsUnknownNames) {
   const auto agg = make("a3.csv", "workload,c0\nw0,1\n");
   const auto ser =

@@ -158,5 +158,24 @@ TEST(MetricsRegistry, DistributionSnapshotIncludesStats) {
   EXPECT_DOUBLE_EQ(it->stats.mean(), 2.0);
 }
 
+TEST(MetricsDistributionTimer, RecordsElapsedMicrosecondsOnDestruction) {
+  Distribution& d = distribution("test.dist.timer");
+  d.reset();
+  {
+    DistributionTimer timer(d);
+    // Nothing recorded while the scope is still open.
+    EXPECT_EQ(d.stats().count, 0u);
+  }
+  {
+    DistributionTimer timer(d);
+  }
+  const auto stats = d.stats();
+  EXPECT_EQ(stats.count, 2u);
+  // Elapsed time is non-negative and plausibly small (well under a
+  // minute even on a loaded CI machine).
+  EXPECT_GE(stats.min, 0.0);
+  EXPECT_LT(stats.max, 60.0e6);
+}
+
 }  // namespace
 }  // namespace perspector::obs

@@ -1,0 +1,213 @@
+// Unit tests for the serving layer's building blocks: the JSON
+// round-trip (the determinism contract needs exact bytes through the
+// wire), content hashing, the LRU result cache, and the protocol
+// parser/serializers.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/counter_matrix.hpp"
+#include "serve/content_hash.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/result_cache.hpp"
+
+namespace perspector::serve {
+namespace {
+
+// ---- json ----------------------------------------------------------------
+
+std::string round_trip(const std::string& text) {
+  const json::Value parsed = json::parse("{\"k\":" + json::quoted(text) + "}");
+  return parsed.find("k")->string;
+}
+
+TEST(ServeJson, QuoteParseRoundTripIsExact) {
+  EXPECT_EQ(round_trip(""), "");
+  EXPECT_EQ(round_trip("plain text"), "plain text");
+  EXPECT_EQ(round_trip("line\nbreaks\tand \"quotes\" \\ back"),
+            "line\nbreaks\tand \"quotes\" \\ back");
+  // Every control byte must survive (reports never contain them, but the
+  // escaper must not be the component that assumes that).
+  std::string control;
+  for (int c = 1; c < 0x20; ++c) control.push_back(static_cast<char>(c));
+  EXPECT_EQ(round_trip(control), control);
+  // Multi-byte UTF-8 passes through untouched.
+  EXPECT_EQ(round_trip("caf\xc3\xa9 \xe2\x82\xac"), "caf\xc3\xa9 \xe2\x82\xac");
+}
+
+TEST(ServeJson, ParsesEscapesAndSurrogatePairs) {
+  const json::Value v = json::parse(R"({"s":"a\u0041\n\u00e9\ud83d\ude00"})");
+  EXPECT_EQ(v.find("s")->string, "aA\n\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+TEST(ServeJson, ParsesNumbersBoolsNullArrays) {
+  const json::Value v =
+      json::parse(R"({"n":-12.5e1,"t":true,"f":false,"z":null,"a":[1,2]})");
+  EXPECT_DOUBLE_EQ(v.find("n")->number, -125.0);
+  EXPECT_TRUE(v.find("t")->boolean);
+  EXPECT_FALSE(v.find("f")->boolean);
+  EXPECT_EQ(v.find("z")->type, json::Value::Type::Null);
+  ASSERT_EQ(v.find("a")->elements.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.find("a")->elements[1].number, 2.0);
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse(""), std::runtime_error);
+  EXPECT_THROW(json::parse("{"), std::runtime_error);
+  EXPECT_THROW(json::parse("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW(json::parse("{\"a\":01}"), std::runtime_error);
+  EXPECT_THROW(json::parse("{\"bad\":\"\\q\"}"), std::runtime_error);
+  EXPECT_THROW(json::parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(ServeJson, FindReturnsFirstMatchOrNull) {
+  const json::Value v = json::parse(R"({"a":1,"a":2})");
+  EXPECT_DOUBLE_EQ(v.find("a")->number, 1.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(json::parse("[1]").find("a"), nullptr);  // not an object
+}
+
+// ---- content hashing ------------------------------------------------------
+
+core::CounterMatrix tiny_matrix(const std::string& name, double seed) {
+  la::Matrix values{{seed, seed + 1.0}, {seed + 2.0, seed + 3.0}};
+  return core::CounterMatrix(name, {"w0", "w1"}, {"c0", "c1"}, values);
+}
+
+TEST(ServeContentHash, SensitiveToEveryField) {
+  const auto digest = [](const core::CounterMatrix& m) {
+    ContentHasher hasher;
+    hash_counter_matrix(hasher, m);
+    return hasher.digest();
+  };
+  const Key128 base = digest(tiny_matrix("suite", 1.0));
+  EXPECT_EQ(base, digest(tiny_matrix("suite", 1.0)));  // deterministic
+  EXPECT_NE(base, digest(tiny_matrix("other", 1.0)));  // name matters
+  EXPECT_NE(base, digest(tiny_matrix("suite", 1.0 + 1e-12)));  // bits matter
+}
+
+TEST(ServeContentHash, LengthPrefixPreventsConcatenationAliases) {
+  const Key128 a = ContentHasher().str("ab").str("c").digest();
+  const Key128 b = ContentHasher().str("a").str("bc").digest();
+  EXPECT_NE(a, b);
+  EXPECT_NE(ContentHasher().str("").digest(), ContentHasher().digest());
+}
+
+// ---- result cache ---------------------------------------------------------
+
+Key128 key_of(std::uint64_t n) { return ContentHasher().u64(n).digest(); }
+
+TEST(ServeResultCache, EvictsLeastRecentlyUsed) {
+  // Budget fits exactly two entries of this size.
+  const std::string report(256, 'r');
+  const std::size_t entry = report.size() + ResultCache::kEntryOverhead;
+  ResultCache cache(2 * entry);
+
+  cache.put(key_of(1), report);
+  cache.put(key_of(2), report);
+  ASSERT_EQ(cache.entries(), 2u);
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_TRUE(cache.get(key_of(1)).has_value());
+  cache.put(key_of(3), report);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_TRUE(cache.get(key_of(1)).has_value());
+  EXPECT_FALSE(cache.get(key_of(2)).has_value());
+  EXPECT_TRUE(cache.get(key_of(3)).has_value());
+}
+
+TEST(ServeResultCache, ZeroBudgetDisablesCaching) {
+  ResultCache cache(0);
+  cache.put(key_of(1), "report");
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_FALSE(cache.get(key_of(1)).has_value());
+}
+
+TEST(ServeResultCache, OversizedValueIsNotCached) {
+  ResultCache cache(64);
+  cache.put(key_of(1), std::string(1024, 'x'));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes_used(), 0u);
+}
+
+TEST(ServeResultCache, PutRefreshesExistingEntry) {
+  ResultCache cache(1 << 20);
+  cache.put(key_of(1), "old");
+  cache.put(key_of(1), "new");
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.get(key_of(1)).value(), "new");
+}
+
+// ---- protocol -------------------------------------------------------------
+
+TEST(ServeProtocol, ParsesBuiltinScoreRequest) {
+  const ParsedRequest parsed = parse_request_line(
+      R"({"id":7,"op":"score","suite":"nbench","instructions":20000,"events":"llc","deadline_ms":250})");
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.op, Op::Score);
+  EXPECT_EQ(parsed.id, "7");  // numeric ids echo as integer text
+  EXPECT_EQ(parsed.score.builtin, "nbench");
+  EXPECT_EQ(parsed.score.instructions, 20000u);
+  EXPECT_EQ(parsed.score.events, "llc");
+  EXPECT_EQ(parsed.score.deadline_ms, 250u);
+}
+
+TEST(ServeProtocol, ParsesInlineCsvRequest) {
+  const ParsedRequest parsed = parse_request_line(
+      R"({"id":"c","name":"mini","csv":"workload,c0,c1\na,1,2\nb,3,4\n"})");
+  ASSERT_TRUE(parsed.ok) << parsed.message;
+  ASSERT_NE(parsed.score.data, nullptr);
+  EXPECT_EQ(parsed.score.data->suite_name(), "mini");
+  EXPECT_EQ(parsed.score.data->num_workloads(), 2u);
+}
+
+TEST(ServeProtocol, BadRequestsAreStructuredNotThrown) {
+  EXPECT_EQ(parse_request_line("not json").error, "bad_request");
+  EXPECT_EQ(parse_request_line("[1,2]").error, "bad_request");
+  // Both or neither of suite/csv.
+  EXPECT_FALSE(parse_request_line(R"({"op":"score"})").ok);
+  EXPECT_FALSE(
+      parse_request_line(R"({"suite":"nbench","csv":"workload,c0\n"})").ok);
+  // Invalid numerics.
+  EXPECT_FALSE(
+      parse_request_line(R"({"suite":"nbench","instructions":-5})").ok);
+  EXPECT_FALSE(parse_request_line(R"({"suite":"nbench","instructions":0})").ok);
+  // CSV errors surface with the reader's line-numbered message.
+  const ParsedRequest bad_csv =
+      parse_request_line(R"({"csv":"workload,c0\na,nan\n"})");
+  EXPECT_FALSE(bad_csv.ok);
+  EXPECT_NE(bad_csv.message.find("non-finite"), std::string::npos);
+}
+
+TEST(ServeProtocol, ParsesControlOps) {
+  EXPECT_EQ(parse_request_line(R"({"op":"ping"})").op, Op::Ping);
+  EXPECT_EQ(parse_request_line(R"({"op":"metrics"})").op, Op::Metrics);
+  EXPECT_EQ(parse_request_line(R"({"op":"shutdown"})").op, Op::Shutdown);
+  EXPECT_FALSE(parse_request_line(R"({"op":"dance"})").ok);
+}
+
+TEST(ServeProtocol, SerializeResponseRoundTripsReportBytes) {
+  ScoreResponse response;
+  response.id = "r1";
+  response.ok = true;
+  response.cache_hit = true;
+  response.report = "line one\n| table | cells |\n\ttabbed\n";
+  const std::string line = serialize_response(response);
+  EXPECT_EQ(line.back(), '\n');
+  const json::Value parsed = json::parse(line);
+  EXPECT_EQ(parsed.find("id")->string, "r1");
+  EXPECT_TRUE(parsed.find("ok")->boolean);
+  EXPECT_EQ(parsed.find("cache")->string, "hit");
+  EXPECT_EQ(parsed.find("report")->string, response.report);
+}
+
+TEST(ServeProtocol, SerializeErrorCarriesCodeAndMessage) {
+  const json::Value parsed =
+      json::parse(serialize_error("x", "overloaded", "queue full"));
+  EXPECT_FALSE(parsed.find("ok")->boolean);
+  EXPECT_EQ(parsed.find("error")->string, "overloaded");
+  EXPECT_EQ(parsed.find("message")->string, "queue full");
+}
+
+}  // namespace
+}  // namespace perspector::serve

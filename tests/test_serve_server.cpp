@@ -1,0 +1,249 @@
+// serve::Session transport tests, run over plain pipes/socketpairs so
+// every scenario is deterministic: the whole request burst is written
+// (and half-closed) before the session starts, which pins down exactly
+// what each drain pass sees — the same property the admission-control
+// acceptance test relies on (`--max-queue 1` + a saturating pipelined
+// client → one scored request, the rest answered `overloaded`).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/engine.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
+
+namespace perspector::serve {
+namespace {
+
+std::string score_line(const std::string& id, std::uint64_t deadline_ms = 0) {
+  std::string line = R"({"id":")" + id +
+                     R"(","suite":"nbench","instructions":20000)";
+  if (deadline_ms > 0) {
+    line += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  }
+  return line + "}\n";
+}
+
+/// Writes `input` to a pipe, half-closes it, runs one session, returns
+/// every response line. The pipe capacities (64 KiB) bound how much a
+/// single test may pump through; these bursts stay far below that.
+struct SessionRun {
+  std::vector<std::string> lines;
+  SessionResult result;
+};
+
+SessionRun run_over_pipes(Engine& engine, const std::string& input,
+                          const SessionOptions& options) {
+  int in[2];
+  int out[2];
+  if (::pipe(in) != 0 || ::pipe(out) != 0) {
+    throw std::runtime_error("pipe failed");
+  }
+  EXPECT_EQ(::write(in[1], input.data(), input.size()),
+            static_cast<ssize_t>(input.size()));
+  ::close(in[1]);  // EOF after the burst: the session drains and returns
+
+  SessionRun run;
+  run.result = run_session(engine, in[0], out[1], options);
+  ::close(in[0]);
+  ::close(out[1]);
+
+  std::string bytes;
+  char chunk[65536];
+  ssize_t n;
+  while ((n = ::read(out[0], chunk, sizeof chunk)) > 0) {
+    bytes.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(out[0]);
+
+  std::size_t start = 0;
+  while (start < bytes.size()) {
+    const std::size_t nl = bytes.find('\n', start);
+    EXPECT_NE(nl, std::string::npos) << "responses must be newline-framed";
+    if (nl == std::string::npos) break;
+    run.lines.push_back(bytes.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return run;
+}
+
+std::uint64_t counter_value(const std::string& name) {
+  for (const auto& snapshot : obs::counters_snapshot()) {
+    if (snapshot.name == name) return snapshot.value;
+  }
+  return 0;
+}
+
+TEST(ServeSession, PipelinedBurstAnsweredInOrder) {
+  obs::reset_metrics();
+  Engine engine;
+  SessionOptions options;
+  const SessionRun run = run_over_pipes(
+      engine,
+      "{\"id\":\"p\",\"op\":\"ping\"}\n" + score_line("a") + score_line("b") +
+          "{\"id\":\"m\",\"op\":\"metrics\"}\n",
+      options);
+
+  ASSERT_EQ(run.lines.size(), 4u);
+  EXPECT_EQ(run.result.responses, 4u);
+  EXPECT_FALSE(run.result.shutdown_requested);
+
+  const json::Value ping = json::parse(run.lines[0]);
+  EXPECT_EQ(ping.find("id")->string, "p");
+  EXPECT_TRUE(ping.find("pong")->boolean);
+
+  const json::Value a = json::parse(run.lines[1]);
+  const json::Value b = json::parse(run.lines[2]);
+  EXPECT_EQ(a.find("id")->string, "a");
+  EXPECT_EQ(a.find("cache")->string, "miss");
+  EXPECT_EQ(b.find("id")->string, "b");
+  EXPECT_EQ(b.find("cache")->string, "hit");  // identical request coalesced
+  EXPECT_EQ(a.find("report")->string, b.find("report")->string);
+
+  // The metrics snapshot is taken at serve time, after both scores in the
+  // same pipeline executed.
+  const json::Value metrics = json::parse(run.lines[3]);
+  const json::Value* counters = metrics.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("serve.requests")->number, 2.0);
+  EXPECT_DOUBLE_EQ(counters->find("serve.cache_hit")->number, 1.0);
+  EXPECT_DOUBLE_EQ(counters->find("serve.cache_miss")->number, 1.0);
+  EXPECT_DOUBLE_EQ(counters->find("serve.admitted")->number, 2.0);
+}
+
+TEST(ServeSession, OverloadAnsweredStructurallyNeverDropped) {
+  obs::reset_metrics();
+  Engine engine;
+  SessionOptions options;
+  options.max_queue = 1;  // the acceptance scenario
+  const SessionRun run = run_over_pipes(
+      engine, score_line("0") + score_line("1") + score_line("2"), options);
+
+  // Every request got an answer: one scored, two rejected.
+  ASSERT_EQ(run.lines.size(), 3u);
+  const json::Value first = json::parse(run.lines[0]);
+  EXPECT_TRUE(first.find("ok")->boolean);
+  for (std::size_t i = 1; i < 3; ++i) {
+    const json::Value rejected = json::parse(run.lines[i]);
+    EXPECT_EQ(rejected.find("id")->string, std::to_string(i));
+    EXPECT_FALSE(rejected.find("ok")->boolean);
+    EXPECT_EQ(rejected.find("error")->string, "overloaded");
+    EXPECT_NE(rejected.find("message")->string.find("max-queue=1"),
+              std::string::npos);
+  }
+  EXPECT_EQ(counter_value("serve.admitted"), 1u);
+  EXPECT_EQ(counter_value("serve.rejected"), 2u);
+}
+
+TEST(ServeSession, QueueWaitDeadlineYieldsTimeoutError) {
+  obs::reset_metrics();
+  Engine engine;
+  SessionOptions options;
+  // Injected clock: every observation advances 100 ms, so each admitted
+  // request "waits" a deterministic ~200 ms between enqueue and its
+  // deadline check — no real sleeping, no flakiness.
+  auto ticks = std::make_shared<int>(0);
+  options.now = [ticks] {
+    *ticks += 1;
+    return std::chrono::steady_clock::time_point(
+        std::chrono::milliseconds(100 * *ticks));
+  };
+  const SessionRun run = run_over_pipes(
+      engine, score_line("slowok", 100'000) + score_line("expired", 50),
+      options);
+
+  ASSERT_EQ(run.lines.size(), 2u);
+  const json::Value ok = json::parse(run.lines[0]);
+  EXPECT_EQ(ok.find("id")->string, "slowok");
+  EXPECT_TRUE(ok.find("ok")->boolean);
+  const json::Value timed_out = json::parse(run.lines[1]);
+  EXPECT_EQ(timed_out.find("id")->string, "expired");
+  EXPECT_FALSE(timed_out.find("ok")->boolean);
+  EXPECT_EQ(timed_out.find("error")->string, "timeout");
+  EXPECT_EQ(counter_value("serve.timeouts"), 1u);
+}
+
+TEST(ServeSession, ShutdownOpDrainsAndRequestsExit) {
+  Engine engine;
+  SessionOptions options;
+  const SessionRun run = run_over_pipes(
+      engine, score_line("a") + "{\"id\":\"s\",\"op\":\"shutdown\"}\n",
+      options);
+  ASSERT_EQ(run.lines.size(), 2u);
+  EXPECT_TRUE(json::parse(run.lines[0]).find("ok")->boolean);
+  EXPECT_TRUE(json::parse(run.lines[1]).find("shutting_down")->boolean);
+  EXPECT_TRUE(run.result.shutdown_requested);
+}
+
+TEST(ServeSession, MalformedLinesGetBadRequestAndSessionContinues) {
+  Engine engine;
+  SessionOptions options;
+  const SessionRun run = run_over_pipes(
+      engine, "this is not json\n" + score_line("fine"), options);
+  ASSERT_EQ(run.lines.size(), 2u);
+  const json::Value bad = json::parse(run.lines[0]);
+  EXPECT_FALSE(bad.find("ok")->boolean);
+  EXPECT_EQ(bad.find("error")->string, "bad_request");
+  EXPECT_TRUE(json::parse(run.lines[1]).find("ok")->boolean);
+}
+
+TEST(ServeSession, UnterminatedFinalLineIsServedAtEof) {
+  Engine engine;
+  SessionOptions options;
+  std::string input = score_line("only");
+  input.pop_back();  // strip the trailing newline
+  const SessionRun run = run_over_pipes(engine, input, options);
+  ASSERT_EQ(run.lines.size(), 1u);
+  EXPECT_EQ(json::parse(run.lines[0]).find("id")->string, "only");
+}
+
+TEST(ServeSession, WorksOverASocketpairWithSharedFd) {
+  // The TCP path hands the same fd in both positions; exercise that
+  // shape directly with a socketpair.
+  std::signal(SIGPIPE, SIG_IGN);
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string input = score_line("sock");
+  ASSERT_EQ(::write(fds[0], input.data(), input.size()),
+            static_cast<ssize_t>(input.size()));
+  ::shutdown(fds[0], SHUT_WR);
+
+  Engine engine;
+  SessionOptions options;
+  const SessionResult result = run_session(engine, fds[1], fds[1], options);
+  ::close(fds[1]);
+  EXPECT_EQ(result.responses, 1u);
+
+  std::string bytes;
+  char chunk[65536];
+  ssize_t n;
+  while ((n = ::read(fds[0], chunk, sizeof chunk)) > 0) {
+    bytes.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fds[0]);
+  const json::Value response = json::parse(bytes);
+  EXPECT_EQ(response.find("id")->string, "sock");
+  EXPECT_TRUE(response.find("ok")->boolean);
+}
+
+TEST(ServeSession, CrlfRequestLinesAreAccepted) {
+  Engine engine;
+  SessionOptions options;
+  std::string line = score_line("crlf");
+  line.insert(line.size() - 1, "\r");  // "...}\r\n"
+  const SessionRun run = run_over_pipes(engine, line, options);
+  ASSERT_EQ(run.lines.size(), 1u);
+  const json::Value response = json::parse(run.lines[0]);
+  EXPECT_EQ(response.find("id")->string, "crlf");
+  EXPECT_TRUE(response.find("ok")->boolean);
+}
+
+}  // namespace
+}  // namespace perspector::serve

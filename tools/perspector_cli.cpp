@@ -10,18 +10,31 @@
 //       Score several suites together (joint normalization) and rank them.
 //   perspector subset --csv <file.csv> --size K [--method lhs|random|prior]
 //       Select a representative subset and report the score deviation.
+//   perspector serve [--port N | --stdio]
+//       Run the resident scoring service (NDJSON protocol, see README).
+//   perspector client --port N (--suite <name> | --csv <file>)
+//       Scripted client for the scoring service.
+//
+// `perspector help` and `perspector <command> --help` print usage and
+// exit 0; genuine usage errors print usage and exit 1.
 //
 // Observability (any command): --trace <file.json> writes a Chrome
 // trace-event JSON of the run and prints a per-phase timing table;
 // --metrics prints the obs counter/distribution tables.
 //
-// Exit codes: 0 success, 1 usage error, 2 runtime failure.
+// Exit codes: 0 success, 1 usage error, 2 runtime failure, 3 (client
+// only) server answered at least one request with an error.
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <cctype>
+#include <csignal>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -35,7 +48,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
-#include "suites/suite_factory.hpp"
+#include "serve/client.hpp"
+#include "serve/engine.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -69,7 +84,8 @@ struct Args {
 
 // Flags that take no value; everything else is --key <value>.
 const std::set<std::string>& boolean_flags() {
-  static const std::set<std::string> flags = {"metrics"};
+  static const std::set<std::string> flags = {"metrics", "stdio", "ping",
+                                              "shutdown"};
   return flags;
 }
 
@@ -112,14 +128,17 @@ std::uint64_t parse_u64(const std::string& text, const std::string& flag) {
   }
 }
 
-int usage() {
-  std::cerr <<
+const char* general_usage_text() {
+  return
       "usage: perspector <command> [options]\n"
       "  suites                                   list built-in suite models\n"
       "  demo    [--suite <name>] [--instructions N]\n"
       "  score   --csv <agg.csv> [--series <ser.csv>] [--events all|llc|tlb|branch]\n"
       "  compare --csv <a.csv> --csv <b.csv> ... [--events all|llc|tlb|branch]\n"
       "  subset  --csv <agg.csv> --size K [--method lhs|random|prior] [--seed S]\n"
+      "  serve   [--port N | --stdio] [--cache-mb N] [--max-queue N] ...\n"
+      "  client  --port N (--suite <name> | --csv <file>) [--repeat K] ...\n"
+      "  help    [<command>]                      this message, or per-command usage\n"
       "observability (any command):\n"
       "  --trace <file.json>   write Chrome trace JSON + per-phase timing table\n"
       "  --metrics             print pipeline counters/distributions\n"
@@ -127,23 +146,91 @@ int usage() {
       "  --threads N           worker threads (default: hardware concurrency,\n"
       "                        or PERSPECTOR_THREADS; 1 = fully serial).\n"
       "                        Output is bit-identical for every N.\n";
+}
+
+/// Per-command usage text; empty for unknown commands.
+std::string command_usage_text(const std::string& command) {
+  if (command == "suites") {
+    return "usage: perspector suites\n"
+           "  List the built-in suite models available to demo/serve.\n";
+  }
+  if (command == "demo") {
+    return "usage: perspector demo [--suite <name>] [--instructions N]\n"
+           "  Simulate a built-in suite (default: nbench, 500000 instructions\n"
+           "  per workload) and print its full scoring report.\n";
+  }
+  if (command == "score") {
+    return "usage: perspector score --csv <agg.csv> [--series <ser.csv>]\n"
+           "                        [--events all|llc|tlb|branch]\n"
+           "  Score one suite from CSV counter data. The aggregate file is\n"
+           "  'workload,<counter>,...'; the optional series file is the long\n"
+           "  'workload,counter,sample,value' format (enables TrendScore).\n";
+  }
+  if (command == "compare") {
+    return "usage: perspector compare --csv <a.csv> --csv <b.csv> ...\n"
+           "                          [--events all|llc|tlb|branch]\n"
+           "  Score several suites together (joint normalization) and rank\n"
+           "  them by overall grade.\n";
+  }
+  if (command == "subset") {
+    return "usage: perspector subset --csv <agg.csv> --size K\n"
+           "                         [--method lhs|random|prior] [--seed S]\n"
+           "  Select a representative K-workload subset and report the mean\n"
+           "  score deviation against the full suite.\n";
+  }
+  if (command == "serve") {
+    return "usage: perspector serve [--port N | --stdio] [--threads N]\n"
+           "                        [--cache-mb N] [--max-queue N]\n"
+           "                        [--max-batch N] [--deadline-ms N]\n"
+           "  Run the resident scoring service. Default transport is loopback\n"
+           "  TCP (--port 0 picks a free port and prints it); --stdio speaks\n"
+           "  the same newline-delimited-JSON protocol over stdin/stdout.\n"
+           "  --cache-mb N      result-cache budget in MiB (default 64; 0 off)\n"
+           "  --max-queue N     admission queue depth (default 64); overflow\n"
+           "                    is answered with a structured 'overloaded' error\n"
+           "  --max-batch N     max score requests per engine pass (default 16)\n"
+           "  --deadline-ms N   default queue-wait deadline (default 0 = none)\n"
+           "  SIGTERM (or EOF in --stdio mode) drains admitted requests and\n"
+           "  exits 0. Add --metrics to print the serve.* counters on exit.\n";
+  }
+  if (command == "client") {
+    return "usage: perspector client --port N [--host H]\n"
+           "                         (--suite <name> [--instructions N]\n"
+           "                          | --csv <file> [--series <file>])\n"
+           "                         [--events all|llc|tlb|branch]\n"
+           "                         [--repeat K] [--deadline-ms N]\n"
+           "                         [--ping] [--metrics] [--shutdown]\n"
+           "  Scripted client for 'perspector serve'. Pipelines K copies of\n"
+           "  the score request (default 1), prints each report to stdout\n"
+           "  (byte-identical to the one-shot command), and cache/error\n"
+           "  status to stderr. --metrics appends a server-counter request,\n"
+           "  --shutdown asks the server to exit after responding.\n"
+           "  Exits 0 when every response was ok, 3 otherwise.\n";
+  }
+  if (command == "help") {
+    return "usage: perspector help [<command>]\n";
+  }
+  return {};
+}
+
+int usage() {
+  std::cerr << general_usage_text();
   return 1;
 }
 
-sim::SuiteSpec builtin_suite(const std::string& name,
-                             const suites::SuiteBuildOptions& build) {
-  if (name == "parsec") return suites::parsec(build);
-  if (name == "spec17") return suites::spec17(build);
-  if (name == "ligra") return suites::ligra(build);
-  if (name == "lmbench") return suites::lmbench(build);
-  if (name == "nbench") return suites::nbench(build);
-  if (name == "sgxgauge") return suites::sgxgauge(build);
-  if (name == "riotbench") return suites::riotbench(build);
-  if (name == "sebs") return suites::sebs(build);
-  if (name == "comb") return suites::comb(build);
-  if (name == "splash2") return suites::splash2(build);
-  throw std::runtime_error("unknown built-in suite '" + name +
-                           "' (try: perspector suites)");
+int cmd_help(int argc, char** argv) {
+  if (argc >= 3) {
+    const std::string text = command_usage_text(argv[2]);
+    if (!text.empty()) {
+      std::cout << text;
+      return 0;
+    }
+    std::cerr << "unknown command '" << argv[2] << "'\n";
+    std::cerr << general_usage_text();
+    return 1;
+  }
+  std::cout << general_usage_text();
+  return 0;
 }
 
 int cmd_suites() {
@@ -162,22 +249,16 @@ int cmd_suites() {
 }
 
 int cmd_demo(const Args& args) {
-  suites::SuiteBuildOptions build;
-  build.instructions_per_workload = 500'000;
+  std::uint64_t instructions = 500'000;
   if (const auto n = args.get("instructions")) {
-    build.instructions_per_workload = parse_u64(*n, "instructions");
+    instructions = parse_u64(*n, "instructions");
   }
   const std::string name = args.get("suite").value_or("nbench");
-  const auto spec = builtin_suite(name, build);
-
-  sim::SimOptions sim_options;
-  sim_options.sample_interval =
-      std::max<std::uint64_t>(build.instructions_per_workload / 100, 1);
-  std::cerr << "simulating " << spec.name << " ("
-            << spec.workloads.size() << " workloads, "
-            << build.instructions_per_workload << " instructions each)...\n";
-  const auto data = core::collect_counters(
-      spec, sim::MachineConfig::xeon_e2186g(), sim_options);
+  std::cerr << "simulating " << name << " (" << instructions
+            << " instructions per workload)...\n";
+  // The same helper the serving engine uses, so `demo` and a served
+  // built-in request are byte-identical by construction.
+  const auto data = serve::simulate_builtin(name, instructions);
   const auto scores = core::Perspector().score_suite(data);
   std::cout << core::suite_report(data, scores);
   return 0;
@@ -271,6 +352,127 @@ int cmd_subset(const Args& args) {
   return 0;
 }
 
+// ---- serve / client -------------------------------------------------------
+
+volatile std::sig_atomic_t g_terminate = 0;
+
+void handle_terminate(int) { g_terminate = 1; }
+
+void install_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = handle_terminate;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking calls must wake up
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+int cmd_serve(const Args& args) {
+  serve::EngineOptions engine_options;
+  if (const auto mb = args.get("cache-mb")) {
+    engine_options.cache_bytes = parse_u64(*mb, "cache-mb") << 20;
+  }
+  serve::SessionOptions session;
+  if (const auto n = args.get("max-queue")) {
+    session.max_queue = parse_u64(*n, "max-queue");
+    if (session.max_queue == 0) {
+      throw UsageError("option '--max-queue' must be >= 1");
+    }
+  }
+  if (const auto n = args.get("max-batch")) {
+    session.max_batch = parse_u64(*n, "max-batch");
+    if (session.max_batch == 0) {
+      throw UsageError("option '--max-batch' must be >= 1");
+    }
+  }
+  if (const auto n = args.get("deadline-ms")) {
+    session.default_deadline_ms = parse_u64(*n, "deadline-ms");
+  }
+  if (args.has("stdio") && args.has("port")) {
+    throw UsageError("--stdio and --port are mutually exclusive");
+  }
+
+  install_signal_handlers();
+  session.terminate = &g_terminate;
+
+  serve::Engine engine(engine_options);
+  if (args.has("stdio")) {
+    serve::run_stdio_server(engine, session);
+    return 0;
+  }
+  serve::ServerOptions server;
+  server.session = session;
+  if (const auto port = args.get("port")) {
+    const std::uint64_t value = parse_u64(*port, "port");
+    if (value > 65535) throw UsageError("option '--port' must be <= 65535");
+    server.port = static_cast<std::uint16_t>(value);
+  }
+  serve::run_tcp_server(engine, server);
+  return 0;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int cmd_client(const Args& args) {
+  serve::ClientRun run;
+  run.host = args.get("host").value_or("127.0.0.1");
+  const auto port = args.get("port");
+  if (!port) throw UsageError("client needs --port (see: perspector serve)");
+  const std::uint64_t port_value = parse_u64(*port, "port");
+  if (port_value == 0 || port_value > 65535) {
+    throw UsageError("option '--port' must be in 1..65535");
+  }
+  run.port = static_cast<std::uint16_t>(port_value);
+
+  const auto suite = args.get("suite");
+  const auto csv = args.get("csv");
+  if (suite && csv) {
+    throw UsageError("--suite and --csv are mutually exclusive");
+  }
+  if (suite || csv) {
+    serve::ClientScore score;
+    if (suite) {
+      score.builtin = *suite;
+      if (const auto n = args.get("instructions")) {
+        score.instructions = parse_u64(*n, "instructions");
+      }
+    } else {
+      score.name = *csv;
+      score.csv_text = read_file(*csv);
+      if (const auto series = args.get("series")) {
+        score.series_text = read_file(*series);
+      }
+    }
+    score.events = args.get("events").value_or("all");
+    if (const auto n = args.get("deadline-ms")) {
+      score.deadline_ms = parse_u64(*n, "deadline-ms");
+    }
+    run.score = score;
+    run.repeat = parse_u64(args.get("repeat").value_or("1"), "repeat");
+    if (run.repeat == 0) throw UsageError("option '--repeat' must be >= 1");
+  }
+  run.ping = args.has("ping");
+  run.metrics = args.has("metrics");
+  run.shutdown = args.has("shutdown");
+  if (!run.score && !run.ping && !run.metrics && !run.shutdown) {
+    throw UsageError(
+        "client needs something to send: --suite/--csv, --ping, --metrics, "
+        "or --shutdown");
+  }
+
+  std::signal(SIGPIPE, SIG_IGN);
+  return serve::run_client(run, std::cout, std::cerr);
+}
+
 // After a successful command: per-phase timings (either flag), the trace
 // file (--trace), and the metrics tables (--metrics).
 void emit_observability(const Args& args) {
@@ -304,6 +506,19 @@ void emit_observability(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    return cmd_help(argc, argv);
+  }
+  // `<command> --help` prints that command's usage and exits 0, before
+  // flag parsing can mistake "--help" for an option missing its value.
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      const std::string text = command_usage_text(command);
+      std::cout << (text.empty() ? general_usage_text() : text.c_str());
+      return 0;
+    }
+  }
   try {
     const Args args = parse_args(argc, argv);
     if (args.has("trace") || args.has("metrics")) {
@@ -331,11 +546,15 @@ int main(int argc, char** argv) {
       rc = cmd_compare(args);
     } else if (command == "subset") {
       rc = cmd_subset(args);
+    } else if (command == "serve") {
+      rc = cmd_serve(args);
+    } else if (command == "client") {
+      rc = cmd_client(args);
     } else {
       std::cerr << "unknown command '" << command << "'\n";
       return usage();
     }
-    if (rc == 0) emit_observability(args);
+    if (rc == 0 || command == "client") emit_observability(args);
     return rc;
   } catch (const UsageError& e) {
     std::cerr << "perspector: " << e.what() << "\n";

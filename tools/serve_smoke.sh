@@ -1,0 +1,64 @@
+#!/bin/sh
+# End-to-end smoke test for `perspector serve` over TCP, run by CI after
+# the release build:
+#
+#   1. start the server on an ephemeral port and parse the printed port;
+#   2. score spec17 and parsec through the client, twice each;
+#   3. assert via the metrics op that the second round was served from
+#      the result cache (serve.cache_hit >= 2);
+#   4. SIGTERM the server and assert it drains and exits 0.
+#
+# Usage: tools/serve_smoke.sh [path-to-perspector-binary]
+set -eu
+
+BIN="${1:-./build/tools/perspector}"
+LOG="$(mktemp)"
+OUT="$(mktemp)"
+trap 'rm -f "$LOG" "$OUT"; kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+"$BIN" serve --port 0 --max-queue 8 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the listening line (the port is kernel-assigned).
+i=0
+until grep -q "serve: listening" "$LOG"; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "FAIL: server never printed its listening line" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG" | head -1)
+echo "server up on port $PORT (pid $SERVER_PID)"
+
+# Round 1: cold — both suites computed.
+"$BIN" client --port "$PORT" --suite spec17 --instructions 20000 >/dev/null
+"$BIN" client --port "$PORT" --suite parsec --instructions 20000 >/dev/null
+
+# Round 2: warm — identical requests must be cache hits. The reports must
+# also be byte-identical to the equivalent one-shot runs.
+"$BIN" client --port "$PORT" --suite spec17 --instructions 20000 >"$OUT"
+"$BIN" demo --suite spec17 --instructions 20000 2>/dev/null \
+  | cmp - "$OUT" || { echo "FAIL: served spec17 report differs from one-shot" >&2; exit 1; }
+"$BIN" client --port "$PORT" --suite parsec --instructions 20000 >/dev/null
+
+HITS=$("$BIN" client --port "$PORT" --metrics 2>/dev/null \
+  | awk '$1 == "serve.cache_hit" { print $2 }')
+echo "serve.cache_hit = ${HITS:-0}"
+if [ "${HITS:-0}" -lt 2 ]; then
+  echo "FAIL: expected the second round to hit the result cache" >&2
+  exit 1
+fi
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$SERVER_PID"
+RC=0
+wait "$SERVER_PID" || RC=$?
+if [ "$RC" -ne 0 ]; then
+  echo "FAIL: server exited $RC on SIGTERM" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+echo "serve smoke OK (clean SIGTERM drain, cache hits confirmed)"
