@@ -4,7 +4,6 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace perspector::cluster {
 
@@ -43,12 +42,17 @@ std::vector<std::size_t> Dendrogram::cut(std::size_t k) const {
     parent[find(merges[s].left)] = merged_id;
     parent[find(merges[s].right)] = merged_id;
   }
+  // Roots are dense node ids (< parent.size()), so a direct-indexed table
+  // renumbers them in first-seen order — same labels as before, no hash
+  // container in a scoring path (det-hash).
+  constexpr std::size_t kUnlabeled = std::numeric_limits<std::size_t>::max();
   std::vector<std::size_t> labels(leaves);
-  std::unordered_map<std::size_t, std::size_t> renumber;
+  std::vector<std::size_t> renumber(parent.size(), kUnlabeled);
+  std::size_t next_label = 0;
   for (std::size_t i = 0; i < leaves; ++i) {
     const std::size_t root = find(i);
-    auto [it, inserted] = renumber.try_emplace(root, renumber.size());
-    labels[i] = it->second;
+    if (renumber[root] == kUnlabeled) renumber[root] = next_label++;
+    labels[i] = renumber[root];
   }
   return labels;
 }

@@ -32,7 +32,6 @@ void ScoringWorkspace::prime_trend(const CounterMatrix& suite,
   // miss and callers take the direct path (including its error behaviour).
   bool usable = suite.has_series() && n >= 2 && m >= 1;
   if (usable) {
-    row_by_name_.reserve(n);
     for (std::size_t w = 0; w < n; ++w) {
       if (!row_by_name_.emplace(suite.workload_names()[w], w).second) {
         usable = false;  // duplicate names make the mapping ambiguous

@@ -37,10 +37,10 @@
 
 #include <atomic>
 #include <cstddef>
+#include <map>
 #include <mutex>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/counter_matrix.hpp"
@@ -91,7 +91,10 @@ class ScoringWorkspace {
   bool trend_usable_ = false;
 
   std::vector<std::string> counters_;
-  std::unordered_map<std::string, std::size_t> row_by_name_;
+  /// Ordered map: never iterated today, but the det-hash lint policy bans
+  /// hash containers in scoring subsystems outright so an innocent future
+  /// loop cannot leak iteration order into results.
+  std::map<std::string, std::size_t> row_by_name_;
   TrendScoreOptions options_;
   /// Normalized trend of primed workload w, counter c at [w * m + c] —
   /// kept for map_rows' element-wise verification.

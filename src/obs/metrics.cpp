@@ -20,6 +20,7 @@ struct Registry {
 };
 
 Registry& registry() {
+  // lint:allow(par-static): the metrics registry; mutex-guarded, atomic cells
   static Registry* r = new Registry();  // never destroyed: see note above
   return *r;
 }

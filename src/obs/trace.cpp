@@ -18,6 +18,7 @@ namespace {
 // Chrome's viewer groups spans into lanes by tid, so small stable numbers
 // beat hashed OS ids.
 std::uint32_t this_thread_id() {
+  // lint:allow(par-static): atomic ticket counter; order only affects lane ids
   static std::atomic<std::uint32_t> next{0};
   thread_local const std::uint32_t id = next.fetch_add(1);
   return id;
@@ -67,6 +68,7 @@ Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
 }
 
 Tracer& Tracer::instance() {
+  // lint:allow(par-static): the process-wide tracer; internally mutex-locked
   static Tracer tracer;
   return tracer;
 }

@@ -78,10 +78,13 @@ std::size_t hardware_threads() noexcept {
 
 namespace {
 
-// Explicit override (set_thread_count); 0 means "not set".
+// The process-wide pool registry. src/par/ is the one layer allowed to
+// own shared mutable state: everything below is guarded by g_pool_mutex.
+// lint:allow(par-global): explicit override slot, read/written under lock
 std::size_t g_explicit_threads = 0;
 
-std::mutex g_pool_mutex;
+std::mutex g_pool_mutex;  // lint:allow(par-global): the guard itself
+// lint:allow(par-global): singleton pool, created/replaced under lock
 std::unique_ptr<ThreadPool> g_pool;
 
 }  // namespace
@@ -109,6 +112,9 @@ std::size_t thread_count() {
     std::lock_guard<std::mutex> lock(g_pool_mutex);
     if (g_explicit_threads != 0) return g_explicit_threads;
   }
+  // getenv races with setenv, but nothing in the process mutates the
+  // environment after main() starts; first read happens at pool creation.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const auto env = parse_thread_env(std::getenv("PERSPECTOR_THREADS"))) {
     return *env;
   }

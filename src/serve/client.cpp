@@ -6,18 +6,18 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <stdexcept>
 #include <vector>
 
 #include "serve/json.hpp"
+#include "serve/protocol.hpp"
 
 namespace perspector::serve {
 
 namespace {
 
 [[noreturn]] void fail(const std::string& what) {
-  throw std::runtime_error("client: " + what + ": " + std::strerror(errno));
+  throw std::runtime_error("client: " + what + ": " + errno_message(errno));
 }
 
 std::string score_line(const ClientScore& score, std::uint64_t id) {

@@ -24,12 +24,19 @@
 #pragma once
 
 #include <string>
+#include <system_error>
 
 #include "serve/engine.hpp"
 
 namespace perspector::serve {
 
 enum class Op { Score, Ping, Metrics, Shutdown };
+
+/// Thread-safe strerror replacement (std::strerror shares a static buffer
+/// across threads; clang-tidy concurrency-mt-unsafe). Pass `errno`.
+inline std::string errno_message(int err) {
+  return std::error_code(err, std::generic_category()).message();
+}
 
 /// One parsed request line. When `ok` is false the request must not be
 /// executed; `error` / `message` describe the parse failure.

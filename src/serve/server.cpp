@@ -8,7 +8,6 @@
 
 #include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <deque>
 #include <stdexcept>
 #include <vector>
@@ -95,8 +94,7 @@ class Session {
       const int rc = ::poll(&pfd, 1, 200);
       if (rc < 0) {
         if (errno == EINTR) continue;
-        throw std::runtime_error(std::string("poll failed: ") +
-                                 std::strerror(errno));
+        throw std::runtime_error("poll failed: " + errno_message(errno));
       }
       if (rc > 0) return;
     }
@@ -121,8 +119,7 @@ class Session {
       const ssize_t n = ::read(in_fd_, chunk, sizeof chunk);
       if (n < 0) {
         if (errno == EINTR) continue;
-        throw std::runtime_error(std::string("read failed: ") +
-                                 std::strerror(errno));
+        throw std::runtime_error("read failed: " + errno_message(errno));
       }
       if (n == 0) {
         eof_ = true;
@@ -289,8 +286,7 @@ class Session {
           peer_gone_ = true;
           return;
         }
-        throw std::runtime_error(std::string("write failed: ") +
-                                 std::strerror(errno));
+        throw std::runtime_error("write failed: " + errno_message(errno));
       }
       written += static_cast<std::size_t>(n);
     }
@@ -326,8 +322,8 @@ SessionResult run_stdio_server(Engine& engine,
 std::size_t run_tcp_server(Engine& engine, const ServerOptions& options) {
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
-    throw std::runtime_error(std::string("socket failed: ") +
-                             std::strerror(errno));
+    throw std::runtime_error("socket failed: " +
+                             errno_message(errno));
   }
   const int one = 1;
   ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -338,12 +334,12 @@ std::size_t run_tcp_server(Engine& engine, const ServerOptions& options) {
   addr.sin_port = htons(options.port);
   if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
              sizeof addr) < 0) {
-    const std::string what = std::strerror(errno);
+    const std::string what = errno_message(errno);
     ::close(listen_fd);
     throw std::runtime_error("bind failed: " + what);
   }
   if (::listen(listen_fd, 16) < 0) {
-    const std::string what = std::strerror(errno);
+    const std::string what = errno_message(errno);
     ::close(listen_fd);
     throw std::runtime_error("listen failed: " + what);
   }
@@ -366,7 +362,7 @@ std::size_t run_tcp_server(Engine& engine, const ServerOptions& options) {
     const int rc = ::poll(&pfd, 1, 200);
     if (rc < 0) {
       if (errno == EINTR) continue;
-      const std::string what = std::strerror(errno);
+      const std::string what = errno_message(errno);
       ::close(listen_fd);
       throw std::runtime_error("poll failed: " + what);
     }
@@ -375,7 +371,7 @@ std::size_t run_tcp_server(Engine& engine, const ServerOptions& options) {
     const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
     if (conn_fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
-      const std::string what = std::strerror(errno);
+      const std::string what = errno_message(errno);
       ::close(listen_fd);
       throw std::runtime_error("accept failed: " + what);
     }

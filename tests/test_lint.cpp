@@ -1,0 +1,426 @@
+// perspector_lint unit tests: every rule is exercised on in-memory
+// fixture sources through the same run_rules() entry point the binary
+// uses — a hit, a miss, a `lint:allow` suppression, and a baseline match
+// per rule family. The binary's exit-0-on-the-tree contract is covered by
+// the `lint_tree` ctest smoke (tools/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/config.hpp"
+#include "lint/lexer.hpp"
+#include "lint/rules.hpp"
+
+namespace lint = perspector::lint;
+using lint::Finding;
+using lint::SourceFile;
+
+namespace {
+
+// Mirrors tools/lint/layers.conf closely enough for the layering tests.
+const char* const kLayers = R"(
+0 src/obs
+1 src/par
+1 src/mem
+2 src/la
+3 src/stats
+4 src/dtw
+4 src/cluster
+4 src/pca
+4 src/sampling
+4 src/sim
+5 src/suites
+6 src/core
+7 src/serve
+)";
+
+std::vector<Finding> run(std::vector<SourceFile> files) {
+  return lint::run_rules(files, lint::parse_layers(kLayers));
+}
+
+std::vector<Finding> with_rule(const std::vector<Finding>& findings,
+                               const std::string& rule) {
+  std::vector<Finding> out;
+  std::copy_if(findings.begin(), findings.end(), std::back_inserter(out),
+               [&](const Finding& f) { return f.rule == rule; });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+TEST(LintLexer, StripsCommentsAndStrings) {
+  const auto f = lint::lex("src/core/x.cpp",
+                           "int a; // rand() in a comment\n"
+                           "/* random_device here too */\n"
+                           "const char* s = \"std::rand()\";\n"
+                           "char c = 'r';\n");
+  for (const auto& t : f.tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "random_device");
+  }
+  // The string and char literals survive as (empty) literal tokens.
+  EXPECT_EQ(std::count_if(f.tokens.begin(), f.tokens.end(),
+                          [](const lint::Token& t) {
+                            return t.kind == lint::Token::Kind::String;
+                          }),
+            1);
+}
+
+TEST(LintLexer, RawStringsAndLineNumbers) {
+  const auto f = lint::lex("src/core/x.cpp",
+                           "auto s = R\"(rand()\nline2\nline3)\";\n"
+                           "int marker;\n");
+  for (const auto& t : f.tokens) EXPECT_NE(t.text, "rand");
+  const auto it = std::find_if(
+      f.tokens.begin(), f.tokens.end(),
+      [](const lint::Token& t) { return t.text == "marker"; });
+  ASSERT_NE(it, f.tokens.end());
+  EXPECT_EQ(it->line, 4);  // the raw string spans lines 1-3
+}
+
+TEST(LintLexer, IncludesAndGuards) {
+  const auto f = lint::lex("src/core/x.hpp",
+                           "#pragma once\n"
+                           "#include \"core/io.hpp\"\n"
+                           "#include <vector>\n");
+  EXPECT_TRUE(f.has_pragma_once);
+  ASSERT_EQ(f.includes.size(), 2u);
+  EXPECT_EQ(f.includes[0].path, "core/io.hpp");
+  EXPECT_FALSE(f.includes[0].angled);
+  EXPECT_EQ(f.includes[0].line, 2);
+  EXPECT_TRUE(f.includes[1].angled);
+
+  const auto g = lint::lex("src/core/y.hpp",
+                           "#ifndef CORE_Y_HPP\n#define CORE_Y_HPP\n"
+                           "int x();\n#endif\n");
+  EXPECT_TRUE(g.has_include_guard);
+  EXPECT_FALSE(g.has_pragma_once);
+}
+
+TEST(LintLexer, AllowComments) {
+  const auto f = lint::lex("src/core/x.cpp",
+                           "int a;  // lint:allow(det-hash, par-global)\n"
+                           "/* lint:allow(det-clock): why */ int b;\n");
+  ASSERT_TRUE(f.allows.count(1));
+  EXPECT_TRUE(f.allows.at(1).count("det-hash"));
+  EXPECT_TRUE(f.allows.at(1).count("par-global"));
+  ASSERT_TRUE(f.allows.count(2));
+  EXPECT_TRUE(f.allows.at(2).count("det-clock"));
+}
+
+// ---------------------------------------------------------------------------
+// R1: determinism
+
+TEST(LintRules, DetRandHitAndSuppression) {
+  const auto hit = run({{"src/stats/x.cpp", "int s = std::rand();\n"}});
+  ASSERT_EQ(with_rule(hit, "det-rand").size(), 1u);
+  EXPECT_EQ(hit[0].line, 1);
+
+  const auto same_line = run(
+      {{"src/stats/x.cpp",
+        "int s = std::rand();  // lint:allow(det-rand): fixture\n"}});
+  EXPECT_TRUE(with_rule(same_line, "det-rand").empty());
+
+  const auto line_above = run(
+      {{"src/stats/x.cpp",
+        "// lint:allow(det-rand): fixture\nint s = std::rand();\n"}});
+  EXPECT_TRUE(with_rule(line_above, "det-rand").empty());
+
+  // An allow for a different rule must not suppress.
+  const auto wrong = run(
+      {{"src/stats/x.cpp",
+        "int s = std::rand();  // lint:allow(det-clock)\n"}});
+  EXPECT_EQ(with_rule(wrong, "det-rand").size(), 1u);
+}
+
+TEST(LintRules, DetRandomDevice) {
+  const auto f =
+      run({{"src/sim/x.cpp", "std::random_device rd;\n"}});
+  EXPECT_EQ(with_rule(f, "det-rand").size(), 1u);
+}
+
+TEST(LintRules, DetClockHitAndAllowlist) {
+  const std::string body =
+      "void f() { auto t = std::chrono::steady_clock::now(); }\n";
+  EXPECT_EQ(with_rule(run({{"src/core/x.cpp", body}}), "det-clock").size(),
+            1u);
+  // Allowlisted homes: obs, bench, tools, and the server's injection seam.
+  EXPECT_TRUE(with_rule(run({{"src/obs/x.cpp", body}}), "det-clock").empty());
+  EXPECT_TRUE(with_rule(run({{"bench/x.cpp", body}}), "det-clock").empty());
+  EXPECT_TRUE(with_rule(run({{"tools/x.cpp", body}}), "det-clock").empty());
+  EXPECT_TRUE(
+      with_rule(run({{"src/serve/server.cpp", body}}), "det-clock").empty());
+  // But not the rest of serve.
+  EXPECT_EQ(
+      with_rule(run({{"src/serve/engine.cpp", body}}), "det-clock").size(),
+      1u);
+}
+
+TEST(LintRules, DetClockTimeCallNotTimePoint) {
+  EXPECT_EQ(with_rule(run({{"src/core/x.cpp",
+                            "long t = time(nullptr);\n"}}),
+                      "det-clock")
+                .size(),
+            1u);
+  // `time_point` is a type, `timer(...)` a different identifier.
+  EXPECT_TRUE(
+      with_rule(run({{"src/core/x.cpp",
+                      "std::chrono::steady_clock::time_point deadline;\n"
+                      "void f() { timer(3); }\n"}}),
+                "det-clock")
+          .empty());
+}
+
+TEST(LintRules, DetHashScoringDirsOnly) {
+  const std::string body =
+      "#include <unordered_map>\nstd::unordered_map<int, int> m() ;\n";
+  const auto hit = run({{"src/core/x.cpp", body}});
+  EXPECT_EQ(with_rule(hit, "det-hash").size(), 2u);  // include + use
+  EXPECT_TRUE(with_rule(run({{"src/serve/x.cpp", body}}), "det-hash").empty());
+  EXPECT_TRUE(with_rule(run({{"src/sim/x.cpp", body}}), "det-hash").empty());
+}
+
+TEST(LintRules, DetFloatScoringDirsOnly) {
+  EXPECT_EQ(
+      with_rule(run({{"src/dtw/x.cpp", "float cost = 0;\n"}}), "det-float")
+          .size(),
+      1u);
+  EXPECT_TRUE(
+      with_rule(run({{"src/sim/x.cpp", "float util = 0;\n"}}), "det-float")
+          .empty());
+  // Comments don't count.
+  EXPECT_TRUE(with_rule(run({{"src/dtw/x.cpp", "// floating point note\n"}}),
+                        "det-float")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// R2: layering
+
+TEST(LintRules, LayerOrderUpwardEdge) {
+  const auto f = run({{"src/stats/x.hpp",
+                       "#pragma once\n#include \"serve/server.hpp\"\n"}});
+  const auto hits = with_rule(f, "layer-order");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 2);
+  EXPECT_NE(hits[0].message.find("src/serve"), std::string::npos);
+}
+
+TEST(LintRules, LayerOrderPeersAndDownwardEdges) {
+  // Peer layers (equal rank) must not include each other.
+  EXPECT_EQ(with_rule(run({{"src/cluster/x.cpp",
+                            "#include \"dtw/dtw.hpp\"\n"}}),
+                      "layer-order")
+                .size(),
+            1u);
+  // Downward edges and unranked consumers are fine.
+  EXPECT_TRUE(with_rule(run({{"src/serve/x.cpp",
+                              "#include \"core/perspector.hpp\"\n"}}),
+                        "layer-order")
+                  .empty());
+  EXPECT_TRUE(with_rule(run({{"tests/test_x.cpp",
+                              "#include \"serve/server.hpp\"\n"}}),
+                        "layer-order")
+                  .empty());
+}
+
+TEST(LintRules, LayerCycle) {
+  const auto f = run({{"src/core/a.hpp",
+                       "#pragma once\n#include \"core/b.hpp\"\n"},
+                      {"src/core/b.hpp",
+                       "#pragma once\n#include \"core/a.hpp\"\n"}});
+  ASSERT_EQ(with_rule(f, "layer-cycle").size(), 1u);
+  EXPECT_NE(f[0].message.find("src/core/a.hpp"), std::string::npos);
+  EXPECT_NE(f[0].message.find("src/core/b.hpp"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// R3: parallel safety
+
+TEST(LintRules, ParGlobalMutableOnly) {
+  EXPECT_EQ(with_rule(run({{"src/sim/x.cpp",
+                            "namespace a {\nint counter = 0;\n}\n"}}),
+                      "par-global")
+                .size(),
+            1u);
+  EXPECT_TRUE(with_rule(run({{"src/sim/x.cpp",
+                              "namespace a {\n"
+                              "const int kA = 1;\n"
+                              "constexpr double kB = 2.0;\n"
+                              "thread_local int tls_c = 0;\n"
+                              "int f();\n"
+                              "extern int elsewhere;\n"
+                              "using Row = int;\n"
+                              "struct S { int mutable_member; };\n"
+                              "}\n"}}),
+                        "par-global")
+                  .empty());
+}
+
+TEST(LintRules, ParGlobalDefaultArgumentRegression) {
+  // `= {}` and `= true` defaults inside a declaration must not read as
+  // namespace-scope variables (the stability.hpp false positive).
+  const auto f = run({{"src/core/x.hpp",
+                       "#pragma once\n"
+                       "struct R {};\n"
+                       "R jackknife(const int& suite, const R& s = {},\n"
+                       "            bool include_trend = true);\n"}});
+  EXPECT_TRUE(with_rule(f, "par-global").empty());
+}
+
+TEST(LintRules, ParGlobalOutOfClassStaticMember) {
+  EXPECT_EQ(with_rule(run({{"src/sim/x.cpp",
+                            "int Foo::live_instances = 0;\n"}}),
+                      "par-global")
+                .size(),
+            1u);
+}
+
+TEST(LintRules, ParStaticLocals) {
+  EXPECT_EQ(with_rule(run({{"src/core/x.cpp",
+                            "void f() { static int calls = 0; }\n"}}),
+                      "par-static")
+                .size(),
+            1u);
+  EXPECT_TRUE(with_rule(run({{"src/core/x.cpp",
+                              "void f() {\n"
+                              "  static const int kA = 1;\n"
+                              "  static constexpr double kB = 2.0;\n"
+                              "  static thread_local int scratch = 0;\n"
+                              "  static obs::Counter& c = obs::counter();\n"
+                              "}\n"
+                              "struct S { static S& local(); };\n"}}),
+                        "par-static")
+                  .empty());
+  // Outside src/ the rule does not apply.
+  EXPECT_TRUE(with_rule(run({{"tests/test_x.cpp",
+                              "void f() { static int calls = 0; }\n"}}),
+                        "par-static")
+                  .empty());
+}
+
+TEST(LintRules, ParConcurrencyQuery) {
+  const std::string body =
+      "unsigned n() { return std::thread::hardware_concurrency(); }\n";
+  EXPECT_EQ(with_rule(run({{"src/core/x.cpp", body}}), "par-concurrency")
+                .size(),
+            1u);
+  EXPECT_TRUE(
+      with_rule(run({{"src/par/thread_pool.cpp", body}}), "par-concurrency")
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// R4: hygiene
+
+TEST(LintRules, HygGuard) {
+  EXPECT_EQ(
+      with_rule(run({{"src/core/x.hpp", "int f();\n"}}), "hyg-guard").size(),
+      1u);
+  EXPECT_TRUE(with_rule(run({{"src/core/x.hpp",
+                              "#pragma once\nint f();\n"}}),
+                        "hyg-guard")
+                  .empty());
+  EXPECT_TRUE(with_rule(run({{"src/core/x.hpp",
+                              "#ifndef X_HPP\n#define X_HPP\nint f();\n"
+                              "#endif\n"}}),
+                        "hyg-guard")
+                  .empty());
+  // Only headers need guards.
+  EXPECT_TRUE(
+      with_rule(run({{"src/core/x.cpp", "int f();\n"}}), "hyg-guard").empty());
+}
+
+TEST(LintRules, HygAssert) {
+  EXPECT_EQ(with_rule(run({{"src/core/x.cpp",
+                            "void f(int i) { assert(i++ < 3); }\n"}}),
+                      "hyg-assert")
+                .size(),
+            1u);
+  EXPECT_EQ(with_rule(run({{"src/core/x.cpp",
+                            "void f(int i) { assert(consume(i)); }\n"}}),
+                      "hyg-assert")
+                .size(),
+            1u);
+  EXPECT_EQ(with_rule(run({{"src/core/x.cpp",
+                            "void f(int i) { assert(i = 3); }\n"}}),
+                      "hyg-assert")
+                .size(),
+            1u);
+  // Comparisons and pure-allowlist calls are fine.
+  EXPECT_TRUE(with_rule(run({{"src/core/x.cpp",
+                              "void f(const std::vector<int>& v, int i) {\n"
+                              "  assert(i == 3);\n"
+                              "  assert(!v.empty() && v.size() > 1);\n"
+                              "  assert(std::isfinite(1.0));\n"
+                              "}\n"}}),
+                        "hyg-assert")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Baseline + config + output format
+
+TEST(LintBaseline, MatchAndStaleReporting) {
+  auto findings = run({{"src/stats/x.cpp", "int f() { return std::rand(); }\n"}});
+  ASSERT_EQ(findings.size(), 1u);
+
+  const auto baseline = lint::parse_baseline(
+      "# comment\n"
+      "src/stats/x.cpp:1: det-rand grandfathered fixture\n"
+      "src/stats/gone.cpp:9: det-clock stale entry\n");
+  ASSERT_EQ(baseline.size(), 2u);
+  EXPECT_EQ(baseline[0].file, "src/stats/x.cpp");
+  EXPECT_EQ(baseline[0].line, 1);
+  EXPECT_EQ(baseline[0].rule, "det-rand");
+
+  std::vector<lint::BaselineEntry> unused;
+  const auto kept =
+      lint::apply_baseline(std::move(findings), baseline, &unused);
+  EXPECT_TRUE(kept.empty());
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0].file, "src/stats/gone.cpp");
+
+  // A different line must NOT match (the baseline is line-exact).
+  auto again =
+      run({{"src/stats/x.cpp", "\nint f() { return std::rand(); }\n"}});
+  const auto kept2 = lint::apply_baseline(std::move(again), baseline, nullptr);
+  EXPECT_EQ(kept2.size(), 1u);
+}
+
+TEST(LintConfig, MalformedInputsThrow) {
+  EXPECT_THROW(lint::parse_layers("nonsense line\n"), std::runtime_error);
+  EXPECT_THROW(lint::parse_baseline("no-colons-here\n"), std::runtime_error);
+  EXPECT_NO_THROW(lint::parse_layers("# comment only\n\n"));
+}
+
+TEST(LintConfig, RankLookupIsComponentWise) {
+  const auto layers = lint::parse_layers("1 src/core\n2 src/serve\n");
+  EXPECT_EQ(layers.rank_of("src/core/io.cpp"), 1);
+  EXPECT_EQ(layers.rank_of("src/core_utils/io.cpp"), std::nullopt);
+  EXPECT_EQ(layers.rank_of("tests/test_x.cpp"), std::nullopt);
+}
+
+TEST(LintOutput, FindingFormat) {
+  const Finding f{"src/core/x.cpp", 12, "det-hash", "message here"};
+  EXPECT_EQ(lint::to_string(f), "src/core/x.cpp:12: det-hash: message here");
+}
+
+TEST(LintOutput, FindingsAreSorted) {
+  const auto f =
+      run({{"src/stats/b.cpp", "int f() { return std::rand(); }\n"},
+           {"src/stats/a.cpp",
+            "int g() { return std::rand(); }\n"
+            "int h() { return std::rand(); }\n"}});
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0].file, "src/stats/a.cpp");
+  EXPECT_EQ(f[0].line, 1);
+  EXPECT_EQ(f[1].file, "src/stats/a.cpp");
+  EXPECT_EQ(f[1].line, 2);
+  EXPECT_EQ(f[2].file, "src/stats/b.cpp");
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+#include "lint/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace perspector::lint {
+
+namespace {
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// True when `prefix` matches `path` on whole component boundaries.
+bool component_prefix(const std::string& prefix, const std::string& path) {
+  if (path.size() < prefix.size()) return false;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  return path.size() == prefix.size() || path[prefix.size()] == '/';
+}
+
+}  // namespace
+
+void LayerConfig::add(std::string prefix, int rank) {
+  while (!prefix.empty() && prefix.back() == '/') prefix.pop_back();
+  entries_.emplace_back(std::move(prefix), rank);
+  // Longest prefix first so rank_of's first match is the best match.
+  std::sort(entries_.begin(), entries_.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.size() > b.first.size();
+            });
+}
+
+std::optional<int> LayerConfig::rank_of(const std::string& path) const {
+  for (const auto& [prefix, rank] : entries_) {
+    if (component_prefix(prefix, path)) return rank;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> LayerConfig::prefix_of(
+    const std::string& path) const {
+  for (const auto& [prefix, rank] : entries_) {
+    if (component_prefix(prefix, path)) return prefix;
+  }
+  return std::nullopt;
+}
+
+LayerConfig parse_layers(const std::string& text) {
+  LayerConfig config;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = strip(raw.substr(0, raw.find('#')));
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    int rank = 0;
+    std::string prefix, extra;
+    if (!(fields >> rank >> prefix) || (fields >> extra)) {
+      throw std::runtime_error("layers.conf line " + std::to_string(line_no) +
+                               ": expected '<rank> <prefix>', got '" + line +
+                               "'");
+    }
+    config.add(std::move(prefix), rank);
+  }
+  return config;
+}
+
+std::vector<BaselineEntry> parse_baseline(const std::string& text) {
+  std::vector<BaselineEntry> entries;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = strip(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const auto fail = [&] {
+      throw std::runtime_error("baseline line " + std::to_string(line_no) +
+                               ": expected '<path>:<line>: <rule-id>', got '" +
+                               line + "'");
+    };
+    const std::size_t first = line.find(':');
+    if (first == std::string::npos) fail();
+    const std::size_t second = line.find(':', first + 1);
+    if (second == std::string::npos) fail();
+    BaselineEntry entry;
+    entry.file = line.substr(0, first);
+    try {
+      entry.line = std::stoi(line.substr(first + 1, second - first - 1));
+    } catch (const std::exception&) {
+      fail();
+    }
+    std::istringstream rest(line.substr(second + 1));
+    if (!(rest >> entry.rule)) fail();
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace perspector::lint

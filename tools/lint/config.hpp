@@ -1,0 +1,57 @@
+// perspector_lint configuration: the layer-rank table (layers.conf) that
+// drives the R2 layering rule, and the baseline file of grandfathered
+// findings that lets the tool land green and ratchet from there.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace perspector::lint {
+
+/// Layer table: each entry maps a path prefix (e.g. "src/core") to a
+/// rank. An include edge is legal only from a higher rank to a strictly
+/// lower rank, or within one prefix; equal-rank edges across different
+/// prefixes are cycles-in-waiting and are rejected too. Paths with no
+/// matching prefix (tests/, tools/, bench/) are unranked consumers and may
+/// include anything.
+class LayerConfig {
+ public:
+  void add(std::string prefix, int rank);
+
+  /// Rank via longest-prefix match; nullopt when unranked. A prefix
+  /// matches whole path components only ("src/core" matches
+  /// "src/core/io.cpp" but not "src/core_utils/x.cpp").
+  std::optional<int> rank_of(const std::string& path) const;
+
+  /// The matched prefix itself (for "within one directory" checks).
+  std::optional<std::string> prefix_of(const std::string& path) const;
+
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, int>> entries_;  // prefix -> rank
+};
+
+/// Parses layers.conf text: one `<rank> <prefix>` pair per line, '#'
+/// comments and blank lines ignored. Throws std::runtime_error on a
+/// malformed line (bad config must not silently disable the rule).
+LayerConfig parse_layers(const std::string& text);
+
+/// One grandfathered finding: an exact `path:line: rule-id` triple.
+struct BaselineEntry {
+  std::string file;
+  int line = 0;
+  std::string rule;
+
+  friend bool operator==(const BaselineEntry&, const BaselineEntry&) =
+      default;
+};
+
+/// Parses baseline.txt: one `path:line: rule-id` per line ('#' comments
+/// and blank lines ignored; anything after the rule id is ignored so
+/// entries can carry a justification). Throws on malformed lines.
+std::vector<BaselineEntry> parse_baseline(const std::string& text);
+
+}  // namespace perspector::lint

@@ -1,0 +1,314 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace perspector::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Extracts every `lint:allow(a, b)` occurrence from a comment's text and
+/// records the ids against `line`.
+void scan_allow(const std::string& comment, int line, LexedFile& out) {
+  static const std::string kMarker = "lint:allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kMarker, pos)) != std::string::npos) {
+    pos += kMarker.size();
+    std::string id;
+    for (; pos < comment.size() && comment[pos] != ')'; ++pos) {
+      const char c = comment[pos];
+      if (c == ',' || c == ' ' || c == '\t') {
+        if (!id.empty()) out.allows[line].insert(id);
+        id.clear();
+      } else {
+        id.push_back(c);
+      }
+    }
+    if (!id.empty()) out.allows[line].insert(id);
+  }
+}
+
+class Lexer {
+ public:
+  Lexer(const std::string& text, LexedFile& out) : text_(text), out_(out) {}
+
+  void run() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        at_line_start_ = true;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        preprocessor_line();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        number();
+        continue;
+      }
+      punct();
+    }
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void emit(Token::Kind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void line_comment() {
+    const int start_line = line_;
+    std::size_t end = text_.find('\n', pos_);
+    if (end == std::string::npos) end = text_.size();
+    scan_allow(text_.substr(pos_, end - pos_), start_line, out_);
+    pos_ = end;  // the '\n' is handled by run()
+  }
+
+  void block_comment() {
+    const int start_line = line_;
+    const std::size_t body = pos_ + 2;
+    std::size_t end = text_.find("*/", body);
+    if (end == std::string::npos) end = text_.size();
+    scan_allow(text_.substr(body, end - body), start_line, out_);
+    for (std::size_t i = body; i < end; ++i) {
+      if (text_[i] == '\n') ++line_;
+    }
+    pos_ = end + 2 <= text_.size() ? end + 2 : text_.size();
+  }
+
+  /// Ordinary string literal starting at the current `"`.
+  void string_literal() {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        if (text_[pos_ + 1] == '\n') ++line_;
+        pos_ += 2;
+        continue;
+      }
+      ++pos_;
+      if (c == '"') break;
+      if (c == '\n') ++line_;  // unterminated; keep the count honest
+    }
+    emit(Token::Kind::String, "", start_line);
+  }
+
+  /// Raw string literal; `pos_` is at the `"` following an R prefix.
+  void raw_string_literal() {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < text_.size() && text_[pos_] != '(') {
+      delim.push_back(text_[pos_]);
+      ++pos_;
+    }
+    ++pos_;  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::size_t end = text_.find(closer, pos_);
+    if (end == std::string::npos) end = text_.size();
+    for (std::size_t i = pos_; i < end && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line_;
+    }
+    pos_ = end + closer.size() <= text_.size() ? end + closer.size()
+                                               : text_.size();
+    emit(Token::Kind::String, "", start_line);
+  }
+
+  void char_literal() {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      ++pos_;
+      if (c == '\'' || c == '\n') {
+        if (c == '\n') ++line_;
+        break;
+      }
+    }
+    emit(Token::Kind::Char, "", start_line);
+  }
+
+  void identifier() {
+    const int start_line = line_;
+    std::string id;
+    while (pos_ < text_.size() && ident_char(text_[pos_])) {
+      id.push_back(text_[pos_]);
+      ++pos_;
+    }
+    // Raw-string prefix? (R"..., u8R"..., uR"..., LR"...)
+    if (pos_ < text_.size() && text_[pos_] == '"' && !id.empty() &&
+        id.back() == 'R' &&
+        (id == "R" || id == "u8R" || id == "uR" || id == "LR")) {
+      raw_string_literal();
+      return;
+    }
+    emit(Token::Kind::Identifier, std::move(id), start_line);
+  }
+
+  void number() {
+    const int start_line = line_;
+    std::string num;
+    // Good enough for rule purposes: digits, hex letters, dots, exponent
+    // signs, and suffixes all fold into one Number token.
+    while (pos_ < text_.size() &&
+           (ident_char(text_[pos_]) || text_[pos_] == '.' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && !num.empty() &&
+             (num.back() == 'e' || num.back() == 'E' || num.back() == 'p' ||
+              num.back() == 'P')))) {
+      num.push_back(text_[pos_]);
+      ++pos_;
+    }
+    emit(Token::Kind::Number, std::move(num), start_line);
+  }
+
+  void punct() {
+    const int start_line = line_;
+    const char c = text_[pos_];
+    const char n = peek(1);
+    // Two-char operators that rules must not confuse with their one-char
+    // prefixes (`==` vs assignment `=`, `::` scoping, `++`/`--`).
+    static constexpr const char* kPairs[] = {
+        "::", "++", "--", "->", "==", "!=", "<=", ">=", "+=", "-=",
+        "*=", "/=", "%=", "&=", "|=", "^=", "&&", "||", "<<", ">>"};
+    for (const char* pair : kPairs) {
+      if (c == pair[0] && n == pair[1]) {
+        emit(Token::Kind::Punct, pair, start_line);
+        pos_ += 2;
+        return;
+      }
+    }
+    emit(Token::Kind::Punct, std::string(1, c), start_line);
+    ++pos_;
+  }
+
+  /// Consumes one logical preprocessor line (backslash continuations and
+  /// trailing comments included) and records includes / pragma once /
+  /// include-guard directives.
+  void preprocessor_line() {
+    const int start_line = line_;
+    std::string logical;  // directive text with comments removed
+    ++pos_;               // '#'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        if (!logical.empty() && logical.back() == '\\') {
+          logical.pop_back();
+          ++line_;
+          ++pos_;
+          continue;
+        }
+        break;  // run() consumes the newline
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        logical.push_back(' ');
+        continue;
+      }
+      logical.push_back(c);
+      ++pos_;
+    }
+    parse_directive(logical, start_line);
+    at_line_start_ = true;
+  }
+
+  void parse_directive(const std::string& body, int line) {
+    std::size_t i = 0;
+    auto skip_ws = [&] {
+      while (i < body.size() && (body[i] == ' ' || body[i] == '\t')) ++i;
+    };
+    auto word = [&] {
+      std::string w;
+      skip_ws();
+      while (i < body.size() && ident_char(body[i])) w.push_back(body[i++]);
+      return w;
+    };
+    const std::string directive = word();
+    if (directive == "include") {
+      skip_ws();
+      if (i >= body.size()) return;
+      const char open = body[i];
+      const char close = open == '<' ? '>' : '"';
+      if (open != '<' && open != '"') return;
+      ++i;
+      std::string path;
+      while (i < body.size() && body[i] != close) path.push_back(body[i++]);
+      out_.includes.push_back(Include{std::move(path), open == '<', line});
+    } else if (directive == "pragma") {
+      if (word() == "once") out_.has_pragma_once = true;
+    } else if (directive == "ifndef") {
+      if (directive_count_ == 0) guard_macro_ = word();
+    } else if (directive == "define") {
+      if (directive_count_ == 1 && !guard_macro_.empty() &&
+          word() == guard_macro_) {
+        out_.has_include_guard = true;
+      }
+    }
+    ++directive_count_;
+  }
+
+  const std::string& text_;
+  LexedFile& out_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  int directive_count_ = 0;
+  std::string guard_macro_;
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& path, const std::string& text) {
+  LexedFile out;
+  out.path = path;
+  Lexer(text, out).run();
+  return out;
+}
+
+}  // namespace perspector::lint

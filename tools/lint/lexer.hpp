@@ -1,0 +1,49 @@
+// perspector_lint lexer: a single-pass C++ tokenizer that is just smart
+// enough for rule checking — it strips comments, string/char literals
+// (including raw strings), and preprocessor lines, yielding a clean token
+// stream plus the side tables the rules need: the `#include` list, header
+// guard detection, and `lint:allow(<rule-id>)` suppression comments.
+//
+// This is deliberately NOT a conforming C++ lexer (no trigraphs, no UCNs,
+// no digit separators beyond skipping them) — the rules only need
+// identifiers, punctuation, and accurate line numbers, and the repo's own
+// style keeps the corner cases out of reach. No libclang dependency.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace perspector::lint {
+
+struct Token {
+  enum class Kind { Identifier, Number, Punct, String, Char };
+  Kind kind = Kind::Punct;
+  std::string text;  // literal contents are dropped: String/Char are empty
+  int line = 0;      // 1-based
+};
+
+struct Include {
+  std::string path;  // text between the delimiters, as written
+  bool angled = false;
+  int line = 0;
+};
+
+/// One lexed translation unit (or header). `allows` maps a line number to
+/// the set of rule ids suppressed there via `lint:allow(a, b)` comments;
+/// a block comment contributes to the line it starts on.
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  bool has_pragma_once = false;
+  bool has_include_guard = false;  // leading #ifndef X / #define X pair
+  std::map<int, std::set<std::string>> allows;
+};
+
+/// Lexes `text` (the file contents). `path` is carried through verbatim
+/// and should be repo-relative with forward slashes.
+LexedFile lex(const std::string& path, const std::string& text);
+
+}  // namespace perspector::lint

@@ -1,0 +1,155 @@
+// perspector_lint: walks src/, tools/, bench/, and tests/ under --root,
+// runs the determinism / layering / parallel-safety / hygiene rules
+// (see rules.hpp), subtracts the baseline, and prints surviving findings
+// as `file:line: rule-id: message`. Exit 0 = clean, 1 = findings,
+// 2 = usage or I/O error. The walk and the output are fully sorted — the
+// linter itself honors the determinism policy it enforces.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/config.hpp"
+#include "lint/rules.hpp"
+
+namespace fs = std::filesystem;
+using perspector::lint::BaselineEntry;
+using perspector::lint::Finding;
+using perspector::lint::LayerConfig;
+using perspector::lint::SourceFile;
+
+namespace {
+
+int usage(std::ostream& out, int exit_code) {
+  out << "usage: perspector_lint [--root DIR] [--layers FILE]\n"
+         "                       [--baseline FILE] [paths...]\n"
+         "\n"
+         "Static checks for the determinism, layering, and parallel-safety\n"
+         "invariants (DESIGN.md section 11). With no explicit paths, walks\n"
+         "src/, tools/, bench/, and tests/ under --root (default: .).\n"
+         "--layers defaults to <root>/tools/lint/layers.conf and\n"
+         "--baseline to <root>/tools/lint/baseline.txt (missing baseline ==\n"
+         "empty). Suppress one finding with a `// lint:allow(rule-id): why`\n"
+         "comment on its line or the line above.\n";
+  return exit_code;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + p.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Path of `p` relative to `root`, forward slashes.
+std::string rel_path(const fs::path& root, const fs::path& p) {
+  return fs::relative(p, root).generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::string layers_file, baseline_file;
+  std::vector<std::string> explicit_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "perspector_lint: " << arg << " expects a value\n";
+        std::exit(usage(std::cerr, 2));
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = value();
+    } else if (arg == "--layers") {
+      layers_file = value();
+    } else if (arg == "--baseline") {
+      baseline_file = value();
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "perspector_lint: unknown flag " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      explicit_paths.push_back(arg);
+    }
+  }
+
+  try {
+    if (layers_file.empty()) {
+      layers_file = (root / "tools/lint/layers.conf").string();
+    }
+    if (baseline_file.empty()) {
+      baseline_file = (root / "tools/lint/baseline.txt").string();
+    }
+
+    // Collect files: explicit paths verbatim, else the standard walk.
+    std::vector<fs::path> paths;
+    if (!explicit_paths.empty()) {
+      for (const std::string& p : explicit_paths) paths.emplace_back(p);
+    } else {
+      for (const char* dir : {"src", "tools", "bench", "tests"}) {
+        const fs::path base = root / dir;
+        if (!fs::exists(base)) continue;
+        for (const auto& entry : fs::recursive_directory_iterator(base)) {
+          if (entry.is_regular_file() && lintable(entry.path())) {
+            paths.push_back(entry.path());
+          }
+        }
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+
+    std::vector<SourceFile> files;
+    files.reserve(paths.size());
+    for (const fs::path& p : paths) {
+      files.push_back(SourceFile{rel_path(root, p), slurp(p)});
+    }
+
+    const LayerConfig layers = perspector::lint::parse_layers(
+        fs::exists(layers_file) ? slurp(layers_file) : std::string());
+    if (layers.empty()) {
+      std::cerr << "perspector_lint: warning: no layer table (" << layers_file
+                << "); layer-order checks are off\n";
+    }
+    std::vector<BaselineEntry> baseline;
+    if (fs::exists(baseline_file)) {
+      baseline = perspector::lint::parse_baseline(slurp(baseline_file));
+    }
+
+    std::vector<Finding> findings =
+        perspector::lint::run_rules(files, layers);
+    const std::size_t raw = findings.size();
+    std::vector<BaselineEntry> unused;
+    findings = perspector::lint::apply_baseline(std::move(findings), baseline,
+                                                &unused);
+    for (const BaselineEntry& e : unused) {
+      std::cerr << "perspector_lint: warning: stale baseline entry " << e.file
+                << ":" << e.line << ": " << e.rule << "\n";
+    }
+    for (const Finding& f : findings) {
+      std::cout << perspector::lint::to_string(f) << "\n";
+    }
+    std::cerr << "perspector_lint: " << files.size() << " files, "
+              << findings.size() << " finding(s)";
+    if (raw != findings.size()) {
+      std::cerr << " (" << raw - findings.size() << " baselined)";
+    }
+    std::cerr << "\n";
+    return findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "perspector_lint: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,524 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+
+namespace perspector::lint {
+
+namespace {
+
+bool has_prefix(const std::string& path, const std::string& prefix) {
+  return path.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool is_header(const std::string& path) {
+  return path.ends_with(".hpp") || path.ends_with(".h");
+}
+
+// R1 subsystem tables. Scoring dirs are where container iteration order
+// or reduced precision can leak into the published score doubles.
+const char* const kScoringDirs[] = {"src/core/", "src/cluster/",
+                                    "src/dtw/",  "src/pca/",
+                                    "src/stats/", "src/sampling/"};
+// Wall-clock reads are legitimate in observability, benchmarks, and
+// tools; src/serve/server.cpp is the one production file allowed to read
+// the clock (the injection seam the fake-clock tests replace).
+const char* const kClockAllowDirs[] = {"src/obs/", "bench/", "tools/"};
+const char* const kClockAllowFiles[] = {"src/serve/server.cpp"};
+
+bool in_any_dir(const std::string& path, const char* const (&dirs)[6]) {
+  for (const char* d : dirs) {
+    if (has_prefix(path, d)) return true;
+  }
+  return false;
+}
+
+bool clock_allowed(const std::string& path) {
+  for (const char* d : kClockAllowDirs) {
+    if (has_prefix(path, d)) return true;
+  }
+  for (const char* f : kClockAllowFiles) {
+    if (path == f) return true;
+  }
+  return false;
+}
+
+/// Functions an assert() condition may call without tripping hyg-assert:
+/// const accessors and pure math only.
+const std::set<std::string>& pure_functions() {
+  static const std::set<std::string> kPure = {
+      "size",     "empty",   "isfinite", "isnan",   "isinf",  "abs",
+      "fabs",     "sqrt",    "min",      "max",     "count",  "contains",
+      "find",     "begin",   "end",      "cbegin",  "cend",   "data",
+      "c_str",    "length",  "front",    "back",    "at",     "get",
+      "has_value", "value",  "load",     "rows",    "cols",   "first",
+      "second",   "distance", "tie",     "isspace", "isdigit"};
+  return kPure;
+}
+
+/// Emits findings for one file, honoring `lint:allow` on the finding's
+/// line or the line directly above it.
+class Emitter {
+ public:
+  Emitter(const LexedFile& file, std::vector<Finding>& out)
+      : file_(file), out_(out) {}
+
+  void emit(int line, const std::string& rule, std::string message) {
+    if (allowed(line, rule) || allowed(line - 1, rule)) return;
+    out_.push_back(Finding{file_.path, line, rule, std::move(message)});
+  }
+
+ private:
+  bool allowed(int line, const std::string& rule) const {
+    const auto it = file_.allows.find(line);
+    return it != file_.allows.end() && it->second.count(rule) > 0;
+  }
+
+  const LexedFile& file_;
+  std::vector<Finding>& out_;
+};
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Token::Kind::Identifier && t.text == text;
+}
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::Punct && t.text == text;
+}
+
+// ---------------------------------------------------------------------------
+// R1: determinism
+
+void check_determinism(const LexedFile& f, Emitter& em) {
+  const bool scoring = in_any_dir(f.path, kScoringDirs);
+  const bool clocks_ok = clock_allowed(f.path);
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::Identifier) continue;
+    const std::string& id = t[i].text;
+    if (id == "rand" || id == "srand" || id == "random_device") {
+      em.emit(t[i].line, "det-rand",
+              "'" + id + "' is nondeterministic; use a seeded stats::Rng");
+      continue;
+    }
+    if (!clocks_ok) {
+      if (id == "clock_gettime" || id == "gettimeofday") {
+        em.emit(t[i].line, "det-clock",
+                "'" + id + "' reads the wall clock in a deterministic path");
+        continue;
+      }
+      if (id == "time" && i + 1 < t.size() && is_punct(t[i + 1], "(")) {
+        em.emit(t[i].line, "det-clock",
+                "'time()' reads the wall clock in a deterministic path");
+        continue;
+      }
+      if ((id == "steady_clock" || id == "system_clock" ||
+           id == "high_resolution_clock") &&
+          i + 2 < t.size() && is_punct(t[i + 1], "::") &&
+          is_ident(t[i + 2], "now")) {
+        em.emit(t[i].line, "det-clock",
+                "'" + id + "::now()' reads the clock in a deterministic "
+                "path (inject a clock instead)");
+        continue;
+      }
+    }
+    if (scoring) {
+      if (id == "unordered_map" || id == "unordered_set") {
+        em.emit(t[i].line, "det-hash",
+                "'" + id + "' in a scoring subsystem: iteration order can "
+                "leak into results; use std::map or a sorted vector");
+        continue;
+      }
+      if (id == "float") {
+        em.emit(t[i].line, "det-float",
+                "'float' in a scoring subsystem violates the double-only "
+                "scoring policy");
+        continue;
+      }
+    }
+  }
+  if (scoring) {
+    for (const Include& inc : f.includes) {
+      if (inc.path == "unordered_map" || inc.path == "unordered_set") {
+        em.emit(inc.line, "det-hash",
+                "#include <" + inc.path + "> in a scoring subsystem");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3: parallel safety
+
+void check_concurrency_query(const LexedFile& f, Emitter& em) {
+  if (has_prefix(f.path, "src/par/")) return;
+  for (const Token& t : f.tokens) {
+    if (is_ident(t, "hardware_concurrency")) {
+      em.emit(t.line, "par-concurrency",
+              "hardware_concurrency outside src/par/ bypasses the "
+              "explicit-threads policy (use par::resolve_threads)");
+    }
+  }
+}
+
+/// Statement head [b, e): does it declare something immutable or
+/// non-variable that par-global must skip?
+bool head_is_skippable(const std::vector<Token>& t, std::size_t b,
+                       std::size_t e) {
+  if (b >= e) return true;
+  static const std::set<std::string> kSkipLead = {
+      "namespace", "using",  "typedef", "template", "friend",
+      "static_assert", "extern", "class", "struct", "union",
+      "enum", "public", "private", "protected", "asm"};
+  if (t[b].kind == Token::Kind::Identifier && kSkipLead.count(t[b].text)) {
+    return true;
+  }
+  for (std::size_t i = b; i < e; ++i) {
+    if (t[i].kind == Token::Kind::Identifier &&
+        (t[i].text == "const" || t[i].text == "constexpr" ||
+         t[i].text == "constinit" || t[i].text == "thread_local" ||
+         t[i].text == "operator")) {
+      return true;
+    }
+    if (is_punct(t[i], "(")) return true;  // function (or function pointer)
+  }
+  // A variable declaration head ends in the variable's name.
+  return t[e - 1].kind != Token::Kind::Identifier;
+}
+
+void check_globals_and_statics(const LexedFile& f, Emitter& em) {
+  if (!has_prefix(f.path, "src/")) return;
+  enum class Brace { Namespace, Type, Func, Other };
+  // Other braces (initializers, default arguments) interrupt a statement
+  // rather than ending it, so they save and restore the statement state.
+  struct Scope {
+    Brace kind;
+    std::size_t saved_stmt_start;
+    bool saved_analyzed;
+  };
+  std::vector<Scope> stack;
+  const auto& t = f.tokens;
+
+  const auto at_namespace_scope = [&] {
+    return std::all_of(stack.begin(), stack.end(), [](const Scope& s) {
+      return s.kind == Brace::Namespace;
+    });
+  };
+  const auto in_function = [&] {
+    return std::any_of(stack.begin(), stack.end(), [](const Scope& s) {
+      return s.kind == Brace::Func || s.kind == Brace::Other;
+    });
+  };
+
+  const auto flag_global = [&](std::size_t b, std::size_t e) {
+    if (head_is_skippable(t, b, e)) return;
+    const Token& name = t[e - 1];
+    em.emit(name.line, "par-global",
+            "mutable namespace-scope variable '" + name.text +
+                "' is shared across pool workers; make it const, "
+                "thread_local, or inject it");
+  };
+
+  std::size_t stmt_start = 0;
+  bool analyzed = false;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Function-local `static` (checked regardless of statement state).
+    if (is_ident(t[i], "static") && in_function()) {
+      bool mutable_static = true;
+      bool saw_paren_first = false;
+      std::size_t j = i + 1;
+      for (; j < t.size(); ++j) {
+        if (is_punct(t[j], "(")) {
+          saw_paren_first = true;  // a declarator like `static T f(...)`
+          break;
+        }
+        if (is_punct(t[j], ";") || is_punct(t[j], "=") ||
+            is_punct(t[j], "{")) {
+          break;
+        }
+        if (t[j].kind == Token::Kind::Identifier &&
+            (t[j].text == "const" || t[j].text == "constexpr" ||
+             t[j].text == "constinit" || t[j].text == "thread_local")) {
+          mutable_static = false;
+        }
+        if (is_punct(t[j], "&")) mutable_static = false;  // static reference
+      }
+      if (mutable_static && !saw_paren_first && j < t.size()) {
+        em.emit(t[i].line, "par-static",
+                "mutable function-local static is shared across pool "
+                "workers; hoist it behind a lock or make it thread_local");
+      }
+    }
+
+    if (t[i].kind != Token::Kind::Punct) continue;
+    const std::string& p = t[i].text;
+    if (p == ";") {
+      if (at_namespace_scope() && !analyzed) flag_global(stmt_start, i);
+      stmt_start = i + 1;
+      analyzed = false;
+    } else if (p == "=") {
+      // Declaration head ends at the initializer.
+      if (at_namespace_scope() && !analyzed) flag_global(stmt_start, i);
+      analyzed = true;
+    } else if (p == "{") {
+      Brace kind = Brace::Other;
+      // An initializer/default-argument brace follows `=`, `,`, `(`, `{`,
+      // or `return`; it continues the current statement.
+      const bool initializer =
+          i > 0 && (is_punct(t[i - 1], "=") || is_punct(t[i - 1], ",") ||
+                    is_punct(t[i - 1], "(") || is_punct(t[i - 1], "{") ||
+                    is_ident(t[i - 1], "return"));
+      if (!initializer) {
+        bool head_has_paren = false, head_has_type_kw = false,
+             head_has_ns = false;
+        for (std::size_t k = stmt_start; k < i; ++k) {
+          if (is_punct(t[k], "(")) head_has_paren = true;
+          if (t[k].kind == Token::Kind::Identifier) {
+            const std::string& id = t[k].text;
+            if (id == "namespace") head_has_ns = true;
+            if (id == "class" || id == "struct" || id == "union" ||
+                id == "enum") {
+              head_has_type_kw = true;
+            }
+          }
+        }
+        if (head_has_ns) {
+          kind = Brace::Namespace;
+        } else if (head_has_type_kw && !head_has_paren) {
+          kind = Brace::Type;
+        } else if (head_has_paren) {
+          kind = Brace::Func;
+        } else if (at_namespace_scope() && !analyzed) {
+          // Brace-init global: `int x{0};` — the head is a declaration.
+          flag_global(stmt_start, i);
+          analyzed = true;
+        }
+      }
+      stack.push_back(Scope{kind, stmt_start, analyzed});
+      stmt_start = i + 1;
+      analyzed = false;
+    } else if (p == "}") {
+      if (!stack.empty()) {
+        const Scope top = stack.back();
+        stack.pop_back();
+        if (top.kind == Brace::Other) {
+          // The interrupted statement resumes after the initializer.
+          stmt_start = top.saved_stmt_start;
+          analyzed = top.saved_analyzed;
+          continue;
+        }
+      }
+      stmt_start = i + 1;
+      analyzed = false;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R4: hygiene
+
+void check_guard(const LexedFile& f, Emitter& em) {
+  if (!is_header(f.path)) return;
+  if (f.has_pragma_once || f.has_include_guard) return;
+  if (f.tokens.empty() && f.includes.empty()) return;
+  em.emit(1, "hyg-guard",
+          "header has neither #pragma once nor an include guard");
+}
+
+void check_assert(const LexedFile& f, Emitter& em) {
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!is_ident(t[i], "assert") || !is_punct(t[i + 1], "(")) continue;
+    int depth = 1;
+    for (std::size_t j = i + 2; j < t.size() && depth > 0; ++j) {
+      if (is_punct(t[j], "(")) {
+        ++depth;
+        // A call: the identifier right before this paren.
+        if (j > 0 && t[j - 1].kind == Token::Kind::Identifier &&
+            !pure_functions().count(t[j - 1].text)) {
+          em.emit(t[i].line, "hyg-assert",
+                  "assert() calls '" + t[j - 1].text +
+                      "' which is not on the pure-function allowlist; "
+                      "side effects vanish in NDEBUG builds");
+          break;
+        }
+        continue;
+      }
+      if (is_punct(t[j], ")")) {
+        --depth;
+        continue;
+      }
+      if (is_punct(t[j], "++") || is_punct(t[j], "--") ||
+          is_punct(t[j], "=")) {
+        em.emit(t[i].line, "hyg-assert",
+                "assert() condition contains '" + t[j].text +
+                    "'; side effects vanish in NDEBUG builds");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R2: layering
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+/// Resolves a quoted include against the walked file set. Quoted includes
+/// are written relative to an include root (src/, tools/) or the
+/// including file's own directory.
+std::string resolve_include(
+    const std::string& includer, const std::string& inc,
+    const std::map<std::string, const LexedFile*>& by_path) {
+  const std::string candidates[] = {dirname_of(includer) + "/" + inc, inc,
+                                    "src/" + inc, "tools/" + inc,
+                                    "tests/" + inc};
+  for (const std::string& c : candidates) {
+    if (by_path.count(c)) return c;
+  }
+  // Unresolved (fixture or partial walk): assume the src/ include root so
+  // rank checks still work on in-memory sources.
+  return "src/" + inc;
+}
+
+void check_layering(const std::vector<LexedFile>& files,
+                    const LayerConfig& layers,
+                    std::vector<Finding>& findings) {
+  std::map<std::string, const LexedFile*> by_path;
+  for (const LexedFile& f : files) by_path.emplace(f.path, &f);
+
+  // layer-order: every quoted edge must point strictly downward.
+  for (const LexedFile& f : files) {
+    const auto rank = layers.rank_of(f.path);
+    Emitter em(f, findings);
+    for (const Include& inc : f.includes) {
+      if (inc.angled) continue;
+      const std::string target = resolve_include(f.path, inc.path, by_path);
+      const auto target_rank = layers.rank_of(target);
+      if (!rank || !target_rank) continue;  // unranked side: no constraint
+      const auto prefix = layers.prefix_of(f.path);
+      const auto target_prefix = layers.prefix_of(target);
+      if (*prefix == *target_prefix) continue;  // within one layer dir
+      if (*target_rank > *rank) {
+        em.emit(inc.line, "layer-order",
+                *prefix + " (rank " + std::to_string(*rank) +
+                    ") must not include " + *target_prefix + " (rank " +
+                    std::to_string(*target_rank) + "): \"" + inc.path +
+                    "\"");
+      } else if (*target_rank == *rank) {
+        em.emit(inc.line, "layer-order",
+                *prefix + " and " + *target_prefix +
+                    " share rank " + std::to_string(*rank) +
+                    "; peer layers must not include each other: \"" +
+                    inc.path + "\"");
+      }
+    }
+  }
+
+  // layer-cycle: DFS over resolved quoted edges between walked files.
+  std::map<std::string, std::vector<std::pair<std::string, int>>> graph;
+  for (const LexedFile& f : files) {
+    auto& edges = graph[f.path];
+    for (const Include& inc : f.includes) {
+      if (inc.angled) continue;
+      const std::string target = resolve_include(f.path, inc.path, by_path);
+      if (by_path.count(target) && target != f.path) {
+        edges.emplace_back(target, inc.line);
+      }
+    }
+  }
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> path_stack;
+  const std::function<void(const std::string&)> dfs =
+      [&](const std::string& node) {
+        color[node] = 1;
+        path_stack.push_back(node);
+        for (const auto& [next, line] : graph[node]) {
+          if (color[next] == 2) continue;
+          if (color[next] == 1) {
+            // Found a cycle: render it from `next` around to `node`.
+            std::string cycle;
+            bool in_cycle = false;
+            for (const std::string& p : path_stack) {
+              if (p == next) in_cycle = true;
+              if (in_cycle) cycle += p + " -> ";
+            }
+            cycle += next;
+            Emitter em(*by_path.at(node), findings);
+            em.emit(line, "layer-cycle", "include cycle: " + cycle);
+            continue;
+          }
+          dfs(next);
+        }
+        path_stack.pop_back();
+        color[node] = 2;
+      };
+  for (const auto& [node, edges] : graph) {
+    if (color[node] == 0) dfs(node);
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": " +
+         finding.rule + ": " + finding.message;
+}
+
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
+                               const LayerConfig& layers) {
+  std::vector<LexedFile> lexed;
+  lexed.reserve(files.size());
+  for (const SourceFile& f : files) lexed.push_back(lex(f.path, f.text));
+
+  std::vector<Finding> findings;
+  for (const LexedFile& f : lexed) {
+    Emitter em(f, findings);
+    check_determinism(f, em);
+    check_concurrency_query(f, em);
+    check_globals_and_statics(f, em);
+    check_guard(f, em);
+    check_assert(f, em);
+  }
+  check_layering(lexed, layers, findings);
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return findings;
+}
+
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const std::vector<BaselineEntry>& baseline,
+                                    std::vector<BaselineEntry>* unused) {
+  std::vector<bool> used(baseline.size(), false);
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    bool matched = false;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      if (baseline[i].file == f.file && baseline[i].line == f.line &&
+          baseline[i].rule == f.rule) {
+        used[i] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) kept.push_back(std::move(f));
+  }
+  if (unused != nullptr) {
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      if (!used[i]) unused->push_back(baseline[i]);
+    }
+  }
+  return kept;
+}
+
+}  // namespace perspector::lint

@@ -1,0 +1,74 @@
+// perspector_lint rule engine. Rules encode the invariants the runtime
+// tests rely on (DESIGN.md sections 8-10) so a violation fails at lint
+// time instead of as a flaky byte-identity diff:
+//
+//   R1 determinism
+//     det-rand   std::rand / srand / random_device anywhere walked
+//     det-clock  time()/clock_gettime/gettimeofday/<clock>::now() outside
+//                the clock allowlist (src/obs/, bench/, tools/, and the
+//                src/serve/server.cpp clock-injection seam)
+//     det-hash   unordered_map/unordered_set in the scoring subsystems
+//                (iteration order can leak into summation order)
+//     det-float  `float` in the scoring subsystems (double-only policy)
+//   R2 layering (ranks from tools/lint/layers.conf)
+//     layer-order  quoted-include edge to an equal or higher rank
+//     layer-cycle  cycle in the quoted-include graph
+//   R3 parallel safety (src/ only; the ThreadPool slot-ownership model
+//      assumes no shared mutable statics)
+//     par-global       mutable non-const, non-thread_local namespace-scope
+//                      variable
+//     par-static       mutable function-local static (references are
+//                      exempt: a static reference owns no state — the
+//                      referent is checked where it is defined)
+//     par-concurrency  hardware_concurrency outside src/par/
+//   R4 hygiene
+//     hyg-guard   header with neither #pragma once nor an include guard
+//     hyg-assert  assert() whose condition has side effects (++/--/
+//                 assignment or a call to a function outside the pure
+//                 allowlist)
+//
+// Suppression: `// lint:allow(rule-id): why` on the finding's line or the
+// line directly above. Grandfathered findings go to tools/lint/baseline.txt.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/config.hpp"
+#include "lint/lexer.hpp"
+
+namespace perspector::lint {
+
+struct SourceFile {
+  std::string path;  // repo-relative, forward slashes
+  std::string text;
+};
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// Renders "file:line: rule-id: message" (the one output format).
+std::string to_string(const Finding& finding);
+
+/// Runs every rule over `files` and returns the findings sorted by
+/// (file, line, rule), with `lint:allow` suppressions already applied.
+/// The include graph (layer-order / layer-cycle) is built from quoted
+/// includes resolved against the set of paths in `files`; unresolved
+/// quoted includes are still rank-checked as if rooted at src/.
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
+                               const LayerConfig& layers);
+
+/// Removes findings matched by a baseline entry (exact file:line:rule).
+/// When `unused` is non-null it receives the entries that matched
+/// nothing — a stale baseline that should be pruned.
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const std::vector<BaselineEntry>& baseline,
+                                    std::vector<BaselineEntry>* unused);
+
+}  // namespace perspector::lint
