@@ -16,8 +16,6 @@
 // results/bench_serve.json (override with --out <path>).
 #include <algorithm>
 #include <chrono>
-#include <filesystem>
-#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
@@ -98,25 +96,20 @@ ModeResult run_mode(const std::string& mode, serve::Engine& engine,
   return result;
 }
 
+/// Emits the uniform BenchReport record (see bench_common.hpp). Metric
+/// names are "<mode><clients>c_<stat>", e.g. warm4c_rps / cold1c_p99_us,
+/// so perf_check picks up direction from the suffix (rps higher-better,
+/// _us lower-better).
 void write_json(const std::string& path, const std::vector<ModeResult>& rows,
                 const bench::BenchConfig& config) {
-  std::filesystem::create_directories(
-      std::filesystem::path(path).parent_path());
-  std::ofstream out(path);
-  out << "{\n  \"bench\": \"serve_throughput\",\n"
-      << "  \"instructions_per_workload\": " << config.instructions << ",\n"
-      << "  \"requests_per_client\": " << kRequestsPerClient << ",\n"
-      << "  \"rows\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& r = rows[i];
-    out << "    {\"mode\": \"" << r.mode << "\", \"clients\": " << r.clients
-        << ", \"requests\": " << r.requests << ", \"wall_ms\": " << r.wall_ms
-        << ", \"rps\": " << r.rps << ", \"p50_us\": " << r.p50_us
-        << ", \"p99_us\": " << r.p99_us << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+  bench::BenchReport report("serve_throughput", config);
+  for (const auto& r : rows) {
+    const std::string prefix = r.mode + std::to_string(r.clients) + "c_";
+    report.add_metric(prefix + "rps", r.rps);
+    report.add_metric(prefix + "p50_us", r.p50_us);
+    report.add_metric(prefix + "p99_us", r.p99_us);
   }
-  out << "  ]\n}\n";
-  std::cerr << "results written to " << path << "\n";
+  report.write(path);
 }
 
 }  // namespace

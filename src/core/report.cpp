@@ -211,4 +211,18 @@ Table distributions_table(
   return table;
 }
 
+Table histograms_table(
+    const std::vector<obs::HistogramSnapshot>& histograms) {
+  Table table({"metric", "count", "mean", "p50", "p90", "p99", "p99.9"});
+  for (const auto& snapshot : histograms) {
+    table.add_row({snapshot.name, std::to_string(snapshot.stats.count),
+                   format_double(snapshot.stats.mean(), 4),
+                   format_double(snapshot.stats.p50, 4),
+                   format_double(snapshot.stats.p90, 4),
+                   format_double(snapshot.stats.p99, 4),
+                   format_double(snapshot.stats.p999, 4)});
+  }
+  return table;
+}
+
 }  // namespace perspector::core

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/perspector.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -68,5 +69,9 @@ Table counters_table(const std::vector<obs::CounterSnapshot>& counters);
 /// All registered obs distributions (count/min/mean/max), sorted by name.
 Table distributions_table(
     const std::vector<obs::DistributionSnapshot>& distributions);
+
+/// All registered obs histograms (count/mean + p50/p90/p99/p99.9),
+/// sorted by name.
+Table histograms_table(const std::vector<obs::HistogramSnapshot>& histograms);
 
 }  // namespace perspector::core

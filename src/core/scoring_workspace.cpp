@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "dtw/dtw.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "par/parallel.hpp"
@@ -43,6 +44,11 @@ void ScoringWorkspace::prime_trend(const CounterMatrix& suite,
 
   if (usable) {
     obs::Span span("cache.prime_trend");
+    // Kernel-latency histogram companion to the span: always on, so the
+    // stats op reports prime cost even when the tracer is disabled.
+    static obs::Histogram& prime_latency =
+        obs::histogram("cache.prime.latency");
+    obs::LatencyTimer timer(prime_latency);
     counters_ = suite.counter_names();
     options_ = options;
 

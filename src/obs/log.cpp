@@ -1,0 +1,277 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace perspector::obs {
+
+namespace {
+
+// Minimal JSON string escaping (mirrors serve/json.hpp's append_quoted,
+// re-implemented here because obs is the bottom layer and cannot include
+// serve). Control characters become \u00XX.
+void append_quoted(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_field(std::string& out, const LogField& f) {
+  append_quoted(out, f.key);
+  out.push_back(':');
+  char buf[32];
+  switch (f.kind) {
+    case LogField::Kind::kString:
+      append_quoted(out, f.text);
+      break;
+    case LogField::Kind::kU64:
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(f.u64));
+      out += buf;
+      break;
+    case LogField::Kind::kI64:
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(f.i64));
+      out += buf;
+      break;
+    case LogField::Kind::kF64:
+      std::snprintf(buf, sizeof buf, "%.6g", f.f64);
+      out += buf;
+      break;
+    case LogField::Kind::kBool:
+      out += f.flag ? "true" : "false";
+      break;
+  }
+}
+
+}  // namespace
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  if (text == "off") return LogLevel::kOff;
+  if (text == "error") return LogLevel::kError;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "debug") return LogLevel::kDebug;
+  return std::nullopt;
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff:
+      return "off";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "off";
+}
+
+LogField field(std::string_view key, std::string_view value) {
+  LogField f;
+  f.key = key;
+  f.kind = LogField::Kind::kString;
+  f.text = value;
+  return f;
+}
+LogField field_u64(std::string_view key, std::uint64_t value) {
+  LogField f;
+  f.key = key;
+  f.kind = LogField::Kind::kU64;
+  f.u64 = value;
+  return f;
+}
+LogField field_i64(std::string_view key, std::int64_t value) {
+  LogField f;
+  f.key = key;
+  f.kind = LogField::Kind::kI64;
+  f.i64 = value;
+  return f;
+}
+LogField field_f64(std::string_view key, double value) {
+  LogField f;
+  f.key = key;
+  f.kind = LogField::Kind::kF64;
+  f.f64 = value;
+  return f;
+}
+LogField field_bool(std::string_view key, bool value) {
+  LogField f;
+  f.key = key;
+  f.kind = LogField::Kind::kBool;
+  f.flag = value;
+  return f;
+}
+
+struct Logger::Impl {
+  std::atomic<int> level{static_cast<int>(LogLevel::kOff)};
+  std::atomic<std::uint64_t> emitted{0};
+  std::atomic<std::uint64_t> dropped{0};
+
+  std::mutex mutex;  // guards everything below
+  std::FILE* sink = stderr;
+  bool owns_sink = false;
+  std::uint64_t rate_limit = 1000;  // lines per second; 0 = unlimited
+  std::uint64_t window_start_s = 0;
+  std::uint64_t window_emitted = 0;
+  std::uint64_t window_dropped = 0;
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+
+  std::uint64_t now_us() const {
+    const auto elapsed = std::chrono::steady_clock::now() - epoch;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count());
+  }
+};
+
+Logger::Logger() : impl_(new Impl()) {
+  if (const char* env = std::getenv("PERSPECTOR_LOG")) {
+    if (const auto level = parse_log_level(env)) {
+      impl_->level.store(static_cast<int>(*level), std::memory_order_relaxed);
+    }
+    // An unparseable value keeps logging off: a misconfigured logger must
+    // not spam a library consumer's stderr.
+  }
+}
+
+Logger& Logger::instance() {
+  // lint:allow(par-static): the process-wide logger; atomics + mutex inside
+  static Logger* logger = new Logger();  // never destroyed, like the registry
+  return *logger;
+}
+
+void Logger::set_level(LogLevel level) noexcept {
+  impl_->level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::level() const noexcept {
+  return static_cast<LogLevel>(impl_->level.load(std::memory_order_relaxed));
+}
+
+bool Logger::enabled(LogLevel level) const noexcept {
+  return static_cast<int>(level) <=
+             impl_->level.load(std::memory_order_relaxed) &&
+         level != LogLevel::kOff;
+}
+
+bool Logger::set_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::FILE* next = stderr;
+  bool owns = false;
+  if (!path.empty()) {
+    next = std::fopen(path.c_str(), "ae");
+    if (next == nullptr) return false;
+    owns = true;
+  }
+  if (impl_->owns_sink) std::fclose(impl_->sink);
+  impl_->sink = next;
+  impl_->owns_sink = owns;
+  return true;
+}
+
+void Logger::set_rate_limit(std::uint64_t lines_per_second) noexcept {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->rate_limit = lines_per_second;
+}
+
+std::uint64_t Logger::dropped() const noexcept {
+  return impl_->dropped.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Logger::emitted() const noexcept {
+  return impl_->emitted.load(std::memory_order_relaxed);
+}
+
+std::string Logger::format_line(std::uint64_t ts_us, LogLevel level,
+                                std::string_view event,
+                                std::initializer_list<LogField> fields) const {
+  std::string line;
+  line.reserve(64 + fields.size() * 24);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(ts_us));
+  line += "{\"ts_us\":";
+  line += buf;
+  line += ",\"level\":";
+  append_quoted(line, log_level_name(level));
+  line += ",\"event\":";
+  append_quoted(line, event);
+  for (const LogField& f : fields) {
+    line.push_back(',');
+    append_field(line, f);
+  }
+  line.push_back('}');
+  return line;
+}
+
+void Logger::write(LogLevel level, std::string_view event,
+                   std::initializer_list<LogField> fields) {
+  if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::uint64_t ts_us = impl_->now_us();
+  const std::uint64_t second = ts_us / 1'000'000;
+
+  if (second != impl_->window_start_s) {
+    // Window rollover: surface what the limiter swallowed, as one line.
+    if (impl_->window_dropped != 0) {
+      const std::string note = format_line(
+          ts_us, LogLevel::kWarn, "log.dropped",
+          {field_u64("count", impl_->window_dropped),
+           field_u64("window_s", impl_->window_start_s)});
+      std::fputs(note.c_str(), impl_->sink);
+      std::fputc('\n', impl_->sink);
+      impl_->emitted.fetch_add(1, std::memory_order_relaxed);
+    }
+    impl_->window_start_s = second;
+    impl_->window_emitted = 0;
+    impl_->window_dropped = 0;
+  }
+  if (impl_->rate_limit != 0 && impl_->window_emitted >= impl_->rate_limit) {
+    impl_->window_dropped += 1;
+    impl_->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  const std::string line = format_line(ts_us, level, event, fields);
+  std::fputs(line.c_str(), impl_->sink);
+  std::fputc('\n', impl_->sink);
+  std::fflush(impl_->sink);
+  impl_->window_emitted += 1;
+  impl_->emitted.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace perspector::obs

@@ -1,0 +1,134 @@
+// Structured, leveled, rate-limited logging: the one sanctioned way to
+// emit diagnostics from library code (the hyg-log lint rule steers raw
+// fprintf(stderr)/std::cerr here).
+//
+// Lines are NDJSON, one object per line, written to stderr by default:
+//
+//   {"ts_us":1234,"level":"warn","event":"slow_request",
+//    "trace":"9f86d081884c7d65","latency_ms":184.2}
+//
+// Logging is OFF by default — a library must be silent unless asked.
+// Enable with the PERSPECTOR_LOG environment variable
+// (off|error|warn|info|debug) or the CLI --log-level / --log-file flags.
+// Timestamps are steady-clock microseconds since the logger was created
+// (monotonic, unaffected by wall-clock steps); src/obs is det-clock
+// allowlisted so the clock reads are legal here and nowhere above.
+//
+// A per-second rate limit (default 1000 lines/s) bounds the damage of a
+// hot loop logging per item: excess lines are dropped and a single
+// "log.dropped" line with the drop count is emitted when the window
+// rolls over.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace perspector::obs {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+/// Parses a level name ("off", "error", "warn", "info", "debug");
+/// nullopt on anything else so callers can reject bad flag values.
+std::optional<LogLevel> parse_log_level(std::string_view text);
+
+/// The canonical lowercase name, e.g. "warn".
+const char* log_level_name(LogLevel level);
+
+/// One key/value pair in a structured line. Build with the field()
+/// helpers below; string payloads must outlive the log call (they are
+/// views, copied during formatting).
+struct LogField {
+  enum class Kind { kString, kU64, kI64, kF64, kBool };
+  std::string_view key;
+  Kind kind = Kind::kString;
+  std::string_view text{};
+  std::uint64_t u64 = 0;
+  std::int64_t i64 = 0;
+  double f64 = 0.0;
+  bool flag = false;
+};
+
+LogField field(std::string_view key, std::string_view value);
+LogField field_u64(std::string_view key, std::uint64_t value);
+LogField field_i64(std::string_view key, std::int64_t value);
+LogField field_f64(std::string_view key, double value);
+LogField field_bool(std::string_view key, bool value);
+
+/// Process-wide logger. write() is mutex-serialized (logging is a cold
+/// path); enabled() is a single relaxed load so disabled log sites cost
+/// one branch.
+class Logger {
+ public:
+  /// The singleton; first use reads PERSPECTOR_LOG to seed the level.
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept;
+  LogLevel level() const noexcept;
+  bool enabled(LogLevel level) const noexcept;
+
+  /// Redirects output to `path` (append mode); an empty path restores
+  /// stderr. Returns false (and keeps the current sink) if the file
+  /// cannot be opened.
+  bool set_path(const std::string& path);
+
+  /// Max lines emitted per steady-clock second; 0 means unlimited.
+  void set_rate_limit(std::uint64_t lines_per_second) noexcept;
+
+  /// Total lines dropped by the rate limiter since process start.
+  std::uint64_t dropped() const noexcept;
+  /// Total lines actually written since process start.
+  std::uint64_t emitted() const noexcept;
+
+  /// Emits one NDJSON line if `level` is enabled and the rate limiter
+  /// admits it. `event` names the line; fields follow in order.
+  void write(LogLevel level, std::string_view event,
+             std::initializer_list<LogField> fields);
+
+  /// Test seam: formats one line into a string instead of the sink
+  /// (bypasses level/rate checks) so tests can assert exact bytes.
+  std::string format_line(std::uint64_t ts_us, LogLevel level,
+                          std::string_view event,
+                          std::initializer_list<LogField> fields) const;
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+ private:
+  Logger();
+  struct Impl;
+  Impl* impl_;  // never destroyed, same lifetime contract as the registry
+};
+
+/// Convenience wrappers: `log_warn("slow_request", {field_u64("id", 7)})`.
+inline void log_line(LogLevel level, std::string_view event,
+                     std::initializer_list<LogField> fields = {}) {
+  Logger& logger = Logger::instance();
+  if (logger.enabled(level)) logger.write(level, event, fields);
+}
+inline void log_error(std::string_view event,
+                      std::initializer_list<LogField> fields = {}) {
+  log_line(LogLevel::kError, event, fields);
+}
+inline void log_warn(std::string_view event,
+                     std::initializer_list<LogField> fields = {}) {
+  log_line(LogLevel::kWarn, event, fields);
+}
+inline void log_info(std::string_view event,
+                     std::initializer_list<LogField> fields = {}) {
+  log_line(LogLevel::kInfo, event, fields);
+}
+inline void log_debug(std::string_view event,
+                      std::initializer_list<LogField> fields = {}) {
+  log_line(LogLevel::kDebug, event, fields);
+}
+
+}  // namespace perspector::obs

@@ -5,18 +5,22 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/histogram.hpp"
+
 namespace perspector::obs {
 
 namespace {
 
 // Nodes are heap-allocated and never destroyed while the process lives, so
-// references handed out by counter()/distribution() stay valid even as the
-// map rehashes. transparent less<> lets string_view probe without allocating.
+// references handed out by counter()/distribution()/histogram() stay valid
+// even as the map rehashes. transparent less<> lets string_view probe
+// without allocating.
 struct Registry {
   std::mutex mutex;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
   std::map<std::string, std::unique_ptr<Distribution>, std::less<>>
       distributions;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
 };
 
 Registry& registry() {
@@ -90,6 +94,17 @@ Distribution& distribution(std::string_view name) {
   return *it->second;
 }
 
+Histogram& histogram(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.histograms.find(name);
+  if (it == r.histograms.end()) {
+    it = r.histograms.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
 std::vector<CounterSnapshot> counters_snapshot() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);
@@ -112,11 +127,23 @@ std::vector<DistributionSnapshot> distributions_snapshot() {
   return out;
 }
 
+std::vector<HistogramSnapshot> histograms_snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms) {
+    out.push_back({name, h->stats()});
+  }
+  return out;
+}
+
 void reset_metrics() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);
   for (auto& [name, c] : r.counters) c->reset();
   for (auto& [name, d] : r.distributions) d->reset();
+  for (auto& [name, h] : r.histograms) h->reset();
 }
 
 }  // namespace perspector::obs

@@ -111,8 +111,9 @@ std::vector<CounterSnapshot> counters_snapshot();
 /// All registered distributions, sorted by name.
 std::vector<DistributionSnapshot> distributions_snapshot();
 
-/// Resets every registered counter and distribution to zero (test helper;
-/// registrations themselves are kept).
+/// Resets every registered counter, distribution and histogram to zero
+/// (test helper; registrations themselves are kept). Histograms live in
+/// obs/histogram.hpp but share this registry.
 void reset_metrics();
 
 }  // namespace perspector::obs

@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
@@ -46,6 +47,15 @@ inline obs::Counter& serial_regions_counter() {
 inline obs::Counter& chunks_counter() {
   static obs::Counter& c = obs::counter("par.chunks");
   return c;
+}
+
+// Per-chunk wall latency: one sample per pool task, so the p99 exposes
+// straggler chunks that the region-level span totals average away. The
+// clock reads live inside obs::LatencyTimer (src/obs is det-clock
+// allowlisted); recording is off the determinism-sensitive path.
+inline obs::Histogram& task_latency_histogram() {
+  static obs::Histogram& h = obs::histogram("par.task.latency");
+  return h;
 }
 
 }  // namespace detail
@@ -84,6 +94,7 @@ void parallel_for(std::size_t n, Body&& body) {
     const std::size_t end = (c + 1) * n / chunks;
     pool.submit([&state, &body, c, begin, end] {
       obs::Span span("par.task");
+      obs::LatencyTimer latency(detail::task_latency_histogram());
       try {
         for (std::size_t i = begin; i < end; ++i) body(i);
       } catch (...) {

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <stdexcept>
 #include <vector>
 
@@ -92,6 +93,20 @@ std::string read_to_eof(int fd) {
   }
 }
 
+/// Prints every numeric field of every entry in a metrics/stats group
+/// object as "name.field value" lines, e.g. "serve.request.latency.p99".
+void print_stat_object(std::ostream& out, const json::Value& group) {
+  for (const auto& [name, entry] : group.members) {
+    if (!entry.is_object()) continue;
+    for (const auto& [field, value] : entry.members) {
+      if (!value.is_number()) continue;
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.6g", value.number);
+      out << name << '.' << field << ' ' << buf << '\n';
+    }
+  }
+}
+
 /// Prints one response line; returns true when it was an ok response.
 bool report_response(const std::string& line, std::ostream& out,
                      std::ostream& err) {
@@ -119,8 +134,11 @@ bool report_response(const std::string& line, std::ostream& out,
 
   if (const json::Value* report = response.find("report")) {
     const json::Value* cache = response.find("cache");
+    const json::Value* trace = response.find("trace");
     err << "response " << label << ": ok (cache "
-        << (cache && cache->is_string() ? cache->string : "?") << ")\n";
+        << (cache && cache->is_string() ? cache->string : "?");
+    if (trace && trace->is_string()) err << ", trace " << trace->string;
+    err << ")\n";
     if (report->is_string()) out << report->string;
     return true;
   }
@@ -131,6 +149,17 @@ bool report_response(const std::string& line, std::ostream& out,
           << static_cast<std::uint64_t>(value.is_number() ? value.number : 0)
           << "\n";
     }
+    if (const json::Value* distributions = response.find("distributions")) {
+      print_stat_object(out, *distributions);
+    }
+    if (const json::Value* histograms = response.find("histograms")) {
+      print_stat_object(out, *histograms);
+    }
+    return true;
+  }
+  if (const json::Value* histograms = response.find("histograms")) {
+    err << "response " << label << ": stats\n";
+    print_stat_object(out, *histograms);
     return true;
   }
   if (response.find("pong")) {
@@ -162,6 +191,10 @@ int run_client(const ClientRun& run, std::ostream& out, std::ostream& err) {
   }
   if (run.metrics) {
     request_bytes += "{\"id\":\"metrics\",\"op\":\"metrics\"}\n";
+    ++expected;
+  }
+  if (run.stats) {
+    request_bytes += "{\"id\":\"stats\",\"op\":\"stats\"}\n";
     ++expected;
   }
   if (run.shutdown) {

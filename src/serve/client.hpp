@@ -6,9 +6,13 @@
 // half-closes the socket and prints each response as it arrives:
 //
 //   * score reports go to `out` verbatim (byte-identical to the one-shot
-//     CLI), per-response status (cache hit/miss, errors) to `err`;
-//   * metrics responses print one "name value" line per counter to `out`
-//     (the CI smoke test greps serve.cache_hit from this).
+//     CLI), per-response status (cache hit/miss, trace id, errors) to
+//     `err`;
+//   * metrics responses print one "name value" line per counter plus
+//     "name.field value" lines for distribution and histogram stats to
+//     `out` (the CI smoke test greps serve.cache_hit and
+//     serve.request_us.count from this);
+//   * stats responses print "name.p50 value" etc. for every histogram.
 //
 // Returns 0 when every response was ok, 3 when the server answered at
 // least one request with an error object; throws std::runtime_error on
@@ -41,6 +45,7 @@ struct ClientRun {
   std::uint64_t repeat = 1;  // pipelined copies of `score`
   bool ping = false;         // prepend a ping
   bool metrics = false;      // append a metrics request
+  bool stats = false;        // append a stats (histogram) request
   bool shutdown = false;     // append a shutdown request
 };
 

@@ -4,10 +4,15 @@
 #include <stdexcept>
 #include <utility>
 
+#include <cinttypes>
+#include <cstdio>
+
 #include "core/event_group.hpp"
 #include "core/perspector.hpp"
 #include "core/report.hpp"
 #include "core/scoring_workspace.hpp"
+#include "obs/histogram.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "par/parallel.hpp"
@@ -52,6 +57,22 @@ obs::Distribution& request_latency() {
   static obs::Distribution& d = obs::distribution("serve.request_us");
   return d;
 }
+obs::Histogram& request_latency_histogram() {
+  static obs::Histogram& h = obs::histogram("serve.request.latency");
+  return h;
+}
+obs::Histogram& simulate_latency_histogram() {
+  static obs::Histogram& h = obs::histogram("serve.simulate.latency");
+  return h;
+}
+
+/// 16-hex-digit rendering of a trace id for log lines.
+struct TraceHex {
+  char text[17];
+  explicit TraceHex(std::uint64_t trace_id) {
+    std::snprintf(text, sizeof text, "%016" PRIx64, trace_id);
+  }
+};
 
 ScoreResponse error_response(const std::string& id, std::string error,
                              std::string message) {
@@ -161,6 +182,7 @@ std::shared_ptr<const core::CounterMatrix> Engine::resolve_data(
   // Simulate outside the lock; simulation is deterministic, so a racing
   // duplicate produces the same matrix and either copy may win.
   obs::Span span("serve.simulate");
+  obs::LatencyTimer timer(simulate_latency_histogram());
   auto data = std::make_shared<const core::CounterMatrix>(
       simulate_builtin(request.builtin, request.instructions));
   std::lock_guard<std::mutex> lock(suite_mutex_);
@@ -213,7 +235,24 @@ ScoreResponse Engine::compute(const ScoreRequest& request,
 
 ScoreResponse Engine::score(const ScoreRequest& request) {
   obs::Span span("serve.request");
-  obs::DistributionTimer timer(request_latency());
+  // One sample feeds both the histogram (percentiles via the stats op)
+  // and the legacy count/min/max/sum distribution.
+  obs::LatencyTimer timer(request_latency_histogram(), &request_latency());
+  ScoreResponse response = score_inner(request);
+  response.trace_id = request.trace_id;
+  if (obs::Logger::instance().enabled(obs::LogLevel::kDebug)) {
+    const TraceHex trace(response.trace_id);
+    obs::log_debug(
+        "serve.request",
+        {obs::field("trace", trace.text), obs::field("id", response.id),
+         obs::field_bool("ok", response.ok),
+         obs::field_bool("cache_hit", response.cache_hit),
+         obs::field_f64("latency_us", timer.elapsed_us())});
+  }
+  return response;
+}
+
+ScoreResponse Engine::score_inner(const ScoreRequest& request) {
   requests_counter().increment();
 
   std::shared_ptr<const core::CounterMatrix> data;
@@ -337,6 +376,7 @@ std::vector<ScoreResponse> Engine::score_batch(
     requests_counter().increment();
     out[i] = computed[primary[i]];
     out[i].id = requests[i].id;
+    out[i].trace_id = requests[i].trace_id;
     if (out[i].ok) {
       coalesced_counter().increment();
       hit_counter().increment();

@@ -34,7 +34,8 @@
 //
 // Counters: serve.requests, serve.cache_hit, serve.cache_miss,
 // serve.coalesced, serve.batched, serve.errors, serve.cache_evictions,
-// plus the serve.request_us latency distribution.
+// plus the serve.request_us latency distribution and its
+// serve.request.latency histogram (p50/p90/p99/p99.9 via the stats op).
 #pragma once
 
 #include <cstdint>
@@ -78,6 +79,13 @@ struct ScoreRequest {
   /// answered with a `timeout` error instead of being scored. 0 = no
   /// deadline. Enforced by serve::Session, not by the engine.
   std::uint64_t deadline_ms = 0;
+
+  /// 64-bit trace id assigned by serve::Session at admission (derived
+  /// deterministically from the request's content digest + the session
+  /// sequence number), echoed in the response and in log lines. 0 = not
+  /// assigned (e.g. direct Engine calls); the engine passes it through
+  /// untouched.
+  std::uint64_t trace_id = 0;
 };
 
 struct ScoreResponse {
@@ -87,6 +95,7 @@ struct ScoreResponse {
   std::string report;   // exact one-shot report bytes (ok responses)
   std::string error;    // bad_request | internal (error responses)
   std::string message;  // human-readable detail for error responses
+  std::uint64_t trace_id = 0;  // echoed from the request; 0 = unassigned
 };
 
 struct EngineOptions {
@@ -124,6 +133,8 @@ class Engine {
   std::shared_ptr<const core::CounterMatrix> resolve_data(
       const ScoreRequest& request);
   std::shared_ptr<core::ScoringWorkspace> workspace_for(const Key128& key);
+  /// score() minus the latency accounting / trace propagation wrapper.
+  ScoreResponse score_inner(const ScoreRequest& request);
   ScoreResponse compute(const ScoreRequest& request,
                         const core::CounterMatrix& data);
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "core/io.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "serve/json.hpp"
 
@@ -62,6 +63,56 @@ void append_id(std::string& out, const std::string& id) {
   out += ',';
 }
 
+// %.17g: enough digits that parsing the text recovers the exact double,
+// so metrics snapshots survive a JSON round trip bit-for-bit.
+void append_double(std::string& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  out += buf;
+}
+
+void append_trace(std::string& out, std::uint64_t trace_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, trace_id);
+  out += "\"trace\":\"";
+  out += buf;
+  out += '"';
+}
+
+void append_histograms(std::string& out) {
+  out += "\"histograms\":{";
+  bool first = true;
+  for (const auto& snapshot : obs::histograms_snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    json::append_quoted(out, snapshot.name);
+    out += ":{\"count\":";
+    append_u64(out, snapshot.stats.count);
+    out += ",\"min\":";
+    append_double(out, snapshot.stats.min);
+    out += ",\"max\":";
+    append_double(out, snapshot.stats.max);
+    out += ",\"mean\":";
+    append_double(out, snapshot.stats.mean());
+    out += ",\"p50\":";
+    append_double(out, snapshot.stats.p50);
+    out += ",\"p90\":";
+    append_double(out, snapshot.stats.p90);
+    out += ",\"p99\":";
+    append_double(out, snapshot.stats.p99);
+    out += ",\"p999\":";
+    append_double(out, snapshot.stats.p999);
+    out += '}';
+  }
+  out += '}';
+}
+
 }  // namespace
 
 ParsedRequest parse_request_line(const std::string& line) {
@@ -91,6 +142,11 @@ ParsedRequest parse_request_line(const std::string& line) {
   if (op == "metrics") {
     parsed.ok = true;
     parsed.op = Op::Metrics;
+    return parsed;
+  }
+  if (op == "stats") {
+    parsed.ok = true;
+    parsed.op = Op::Stats;
     return parsed;
   }
   if (op == "shutdown") {
@@ -169,6 +225,10 @@ std::string serialize_response(const ScoreResponse& response) {
   if (response.ok) {
     out += "\"ok\":true,\"cache\":";
     out += response.cache_hit ? "\"hit\"" : "\"miss\"";
+    if (response.trace_id != 0) {
+      out += ',';
+      append_trace(out, response.trace_id);
+    }
     out += ",\"report\":";
     json::append_quoted(out, response.report);
   } else {
@@ -176,6 +236,10 @@ std::string serialize_response(const ScoreResponse& response) {
     json::append_quoted(out, response.error);
     out += ",\"message\":";
     json::append_quoted(out, response.message);
+    if (response.trace_id != 0) {
+      out += ',';
+      append_trace(out, response.trace_id);
+    }
   }
   out += "}\n";
   return out;
@@ -207,13 +271,39 @@ std::string serialize_metrics(const std::string& id) {
     if (!first) out += ',';
     first = false;
     json::append_quoted(out, snapshot.name);
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%" PRIu64,
-                  static_cast<std::uint64_t>(snapshot.value));
     out += ':';
-    out += buf;
+    append_u64(out, snapshot.value);
   }
-  out += "}}\n";
+  out += "},\"distributions\":{";
+  first = true;
+  for (const auto& snapshot : obs::distributions_snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    json::append_quoted(out, snapshot.name);
+    out += ":{\"count\":";
+    append_u64(out, snapshot.stats.count);
+    out += ",\"min\":";
+    append_double(out, snapshot.stats.min);
+    out += ",\"max\":";
+    append_double(out, snapshot.stats.max);
+    out += ",\"sum\":";
+    append_double(out, snapshot.stats.sum);
+    out += ",\"mean\":";
+    append_double(out, snapshot.stats.mean());
+    out += '}';
+  }
+  out += "},";
+  append_histograms(out);
+  out += "}\n";
+  return out;
+}
+
+std::string serialize_stats(const std::string& id) {
+  std::string out = "{";
+  append_id(out, id);
+  out += "\"ok\":true,";
+  append_histograms(out);
+  out += "}\n";
   return out;
 }
 

@@ -6,16 +6,26 @@
 //   {"op":"score","suite":"spec17","instructions":40000,"events":"llc"}
 //   {"op":"score","name":"mysuite","csv":"workload,c1\na,1\n",
 //    "series_csv":"workload,counter,sample,value\n...","deadline_ms":250}
-//   {"op":"ping"}         {"op":"metrics"}         {"op":"shutdown"}
+//   {"op":"ping"}   {"op":"metrics"}   {"op":"stats"}   {"op":"shutdown"}
 //
 // Every request may carry an "id" (string or number) that is echoed
 // verbatim in its response. Responses:
 //
-//   {"id":"1","ok":true,"cache":"miss","report":"..."}       (score)
+//   {"id":"1","ok":true,"cache":"miss","trace":"9f86d081884c7d65",
+//    "report":"..."}                                          (score)
 //   {"id":"1","ok":false,"error":"overloaded","message":"..."}
 //   {"ok":true,"pong":true}                                   (ping)
-//   {"ok":true,"counters":{"serve.cache_hit":2,...}}          (metrics)
+//   {"ok":true,"counters":{"serve.cache_hit":2,...},
+//    "distributions":{"serve.request_us":{"count":3,...}},
+//    "histograms":{"serve.request.latency":{"p50":...,...}}}  (metrics)
+//   {"ok":true,"histograms":{"serve.request.latency":
+//    {"count":3,"min":...,"max":...,"mean":...,
+//     "p50":...,"p90":...,"p99":...,"p999":...},...}}         (stats)
 //   {"ok":true,"shutting_down":true}                          (shutdown)
+//
+// `trace` is the request's 64-bit trace id (16 hex digits), assigned by
+// the server at admission; it also appears in slow-request log lines so
+// a response can be joined against the log stream.
 //
 // Error codes: bad_request (malformed JSON / unknown fields' values),
 // overloaded (admission queue full), timeout (queue-wait deadline
@@ -30,7 +40,7 @@
 
 namespace perspector::serve {
 
-enum class Op { Score, Ping, Metrics, Shutdown };
+enum class Op { Score, Ping, Metrics, Stats, Shutdown };
 
 /// Thread-safe strerror replacement (std::strerror shares a static buffer
 /// across threads; clang-tidy concurrency-mt-unsafe). Pass `errno`.
@@ -64,8 +74,14 @@ std::string serialize_error(const std::string& id, const std::string& error,
 
 std::string serialize_ping(const std::string& id);
 
-/// Snapshot of every registered obs counter as a JSON object.
+/// Snapshot of every registered obs counter, distribution and histogram
+/// as one JSON object (the CLI --metrics-json flag emits the same bytes).
 std::string serialize_metrics(const std::string& id);
+
+/// Full histogram snapshots (count/min/max/mean + p50/p90/p99/p999) for
+/// the `stats` op. Doubles are serialized with %.17g so they round-trip
+/// exactly.
+std::string serialize_stats(const std::string& id);
 
 std::string serialize_shutdown(const std::string& id);
 

@@ -7,13 +7,16 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cinttypes>
 #include <cstdio>
 #include <deque>
 #include <stdexcept>
 #include <vector>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/content_hash.hpp"
 #include "serve/protocol.hpp"
 
 namespace perspector::serve {
@@ -45,7 +48,7 @@ obs::Counter& responses_counter() {
 /// determined (parse errors, rejections, ping/metrics placeholders) carry
 /// it in `response`; score entries carry the request until executed.
 struct QueueEntry {
-  enum class Kind { Ready, Score, Metrics, Ping, Shutdown };
+  enum class Kind { Ready, Score, Metrics, Stats, Ping, Shutdown };
   Kind kind = Kind::Ready;
   std::string id;
   std::string response;  // serialized line (Kind::Ready)
@@ -53,6 +56,25 @@ struct QueueEntry {
   std::chrono::steady_clock::time_point enqueued;
   std::uint64_t deadline_ms = 0;
 };
+
+/// Deterministic 64-bit trace id: content digest of the request folded
+/// with the session's admission sequence number. Same session replay =>
+/// same ids; identical requests at different queue positions differ.
+/// Never returns 0 (0 means "unassigned" on the wire).
+std::uint64_t derive_trace_id(const ScoreRequest& request,
+                              std::uint64_t sequence) {
+  ContentHasher hasher;
+  hasher.str("trace-v1");
+  if (!request.builtin.empty()) {
+    hasher.str(request.builtin).u64(request.instructions);
+  } else if (request.data) {
+    hash_counter_matrix(hasher, *request.data);
+  }
+  hasher.str(request.events).u64(sequence);
+  const Key128 key = hasher.digest();
+  const std::uint64_t id = key.hi ^ key.lo;
+  return id != 0 ? id : 1;
+}
 
 class Session {
  public:
@@ -164,6 +186,9 @@ class Session {
       case Op::Metrics:
         entry.kind = QueueEntry::Kind::Metrics;
         break;
+      case Op::Stats:
+        entry.kind = QueueEntry::Kind::Stats;
+        break;
       case Op::Shutdown:
         entry.kind = QueueEntry::Kind::Shutdown;
         break;
@@ -182,6 +207,7 @@ class Session {
         ++pending_scores_;
         entry.kind = QueueEntry::Kind::Score;
         entry.request = std::move(parsed.score);
+        entry.request.trace_id = derive_trace_id(entry.request, ++sequence_);
         entry.deadline_ms = entry.request.deadline_ms != 0
                                 ? entry.request.deadline_ms
                                 : options_.default_deadline_ms;
@@ -226,10 +252,13 @@ class Session {
       if (expired(entry)) {
         timeouts_counter().increment();
         entry.kind = QueueEntry::Kind::Ready;
-        entry.response = serialize_error(
-            entry.id, "timeout",
-            "request waited past its deadline of " +
-                std::to_string(entry.deadline_ms) + " ms");
+        ScoreResponse timed_out;
+        timed_out.id = entry.id;
+        timed_out.error = "timeout";
+        timed_out.message = "request waited past its deadline of " +
+                            std::to_string(entry.deadline_ms) + " ms";
+        timed_out.trace_id = entry.request.trace_id;
+        entry.response = serialize_response(timed_out);
         continue;
       }
       batch.push_back(entry.request);
@@ -241,6 +270,7 @@ class Session {
       QueueEntry& entry = pending_[batch_slots[b]];
       entry.kind = QueueEntry::Kind::Ready;
       entry.response = serialize_response(responses[b]);
+      maybe_log_slow(entry, responses[b]);
     }
 
     for (std::size_t i = 0; i < take; ++i) {
@@ -258,6 +288,10 @@ class Session {
           // observes both scores.
           write_line(serialize_metrics(entry.id));
           break;
+        case QueueEntry::Kind::Stats:
+          // Same snapshot-at-serve-time rule as metrics.
+          write_line(serialize_stats(entry.id));
+          break;
         case QueueEntry::Kind::Shutdown:
           write_line(serialize_shutdown(entry.id));
           result_.shutdown_requested = true;
@@ -270,6 +304,28 @@ class Session {
     }
     pending_.erase(pending_.begin(),
                    pending_.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+
+  /// Emits the slow-request warn line when the request's full
+  /// enqueue-to-response latency (queue wait + scoring, measured with the
+  /// session clock so tests can fake it) exceeds the configured
+  /// threshold and the logger is on.
+  void maybe_log_slow(const QueueEntry& entry, const ScoreResponse& response) {
+    if (options_.slow_request_ms == 0) return;
+    if (!obs::Logger::instance().enabled(obs::LogLevel::kWarn)) return;
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(now_() - entry.enqueued)
+            .count();
+    if (latency_ms <= static_cast<double>(options_.slow_request_ms)) return;
+    char trace[17];
+    std::snprintf(trace, sizeof trace, "%016" PRIx64, response.trace_id);
+    obs::log_warn(
+        "slow_request",
+        {obs::field("trace", trace), obs::field("id", response.id),
+         obs::field_f64("latency_ms", latency_ms),
+         obs::field_u64("threshold_ms", options_.slow_request_ms),
+         obs::field_bool("cache_hit", response.cache_hit),
+         obs::field_bool("ok", response.ok)});
   }
 
   void write_line(const std::string& line) {
@@ -301,6 +357,7 @@ class Session {
   std::string buffer_;
   std::deque<QueueEntry> pending_;
   std::size_t pending_scores_ = 0;
+  std::uint64_t sequence_ = 0;  // admitted score requests, for trace ids
   bool eof_ = false;
   bool peer_gone_ = false;
   SessionResult result_;

@@ -31,6 +31,13 @@
 // admitted, then return), as does the `terminate` flag (SIGTERM in the
 // CLI) and a `{"op":"shutdown"}` request.
 //
+// Trace ids: every admitted score request gets a 64-bit trace id derived
+// deterministically from its content digest and the session's admission
+// sequence number (so retrying the same session yields the same ids, and
+// repeats of one request within a session stay distinguishable). The id
+// is echoed as the response's `trace` field and stamped on slow-request
+// log lines.
+//
 // Counters: serve.admitted, serve.rejected, serve.timeouts,
 // serve.connections, serve.responses.
 #pragma once
@@ -54,9 +61,15 @@ struct SessionOptions {
   /// Applied to requests that carry no deadline_ms of their own (0 = no
   /// deadline).
   std::uint64_t default_deadline_ms = 0;
+  /// A score request whose enqueue-to-response latency exceeds this emits
+  /// a "slow_request" warn log line (trace id, latency). 0 disables.
+  /// Needs the obs logger enabled (--log-level / PERSPECTOR_LOG) to be
+  /// visible — the threshold only selects which requests get the line.
+  std::uint64_t slow_request_ms = 0;
   /// Graceful-shutdown flag, typically wired to a SIGTERM handler.
   const volatile std::sig_atomic_t* terminate = nullptr;
-  /// Test hook: the clock used for queue-wait deadlines.
+  /// Test hook: the clock used for queue-wait deadlines, slow-request
+  /// detection and trace timing.
   std::function<std::chrono::steady_clock::time_point()> now;
 };
 

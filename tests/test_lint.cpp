@@ -361,6 +361,36 @@ TEST(LintRules, HygAssert) {
                   .empty());
 }
 
+TEST(LintRules, HygLogRawStderrWrites) {
+  // std::cerr and fprintf(stderr, ...) in src/ are findings.
+  EXPECT_EQ(with_rule(run({{"src/core/x.cpp",
+                            "void f() { std::cerr << \"oops\\n\"; }\n"}}),
+                      "hyg-log")
+                .size(),
+            1u);
+  EXPECT_EQ(with_rule(run({{"src/serve/x.cpp",
+                            "void f() { fprintf(stderr, \"oops\\n\"); }\n"}}),
+                      "hyg-log")
+                .size(),
+            1u);
+  // The logger's own sink is exempt, as is everything outside src/.
+  const std::string body = "void f() { fprintf(stderr, \"x\\n\"); }\n";
+  EXPECT_TRUE(with_rule(run({{"src/obs/log.cpp", body}}), "hyg-log").empty());
+  EXPECT_TRUE(with_rule(run({{"tools/x.cpp", body}}), "hyg-log").empty());
+  EXPECT_TRUE(with_rule(run({{"bench/x.cpp", body}}), "hyg-log").empty());
+  // fprintf to a real file stream is not a finding.
+  EXPECT_TRUE(with_rule(run({{"src/core/x.cpp",
+                              "void f(FILE* out) { fprintf(out, \"x\"); }\n"}}),
+                        "hyg-log")
+                  .empty());
+  // Suppression works like every other rule.
+  EXPECT_TRUE(with_rule(run({{"src/core/x.cpp",
+                              "// lint:allow(hyg-log): last-resort path\n"
+                              "void f() { std::cerr << \"x\"; }\n"}}),
+                        "hyg-log")
+                  .empty());
+}
+
 // ---------------------------------------------------------------------------
 // Baseline + config + output format
 

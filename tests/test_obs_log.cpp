@@ -1,0 +1,131 @@
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace perspector::obs {
+namespace {
+
+/// Restores the global logger to its silent defaults on scope exit so
+/// these tests do not leak state into other suites in the same binary.
+class LoggerGuard {
+ public:
+  ~LoggerGuard() {
+    Logger::instance().set_level(LogLevel::kOff);
+    Logger::instance().set_path("");
+    Logger::instance().set_rate_limit(1000);
+  }
+};
+
+TEST(ObsLog, ParseLevelRoundTrips) {
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_FALSE(parse_log_level("").has_value());
+  for (LogLevel level : {LogLevel::kOff, LogLevel::kError, LogLevel::kWarn,
+                         LogLevel::kInfo, LogLevel::kDebug}) {
+    EXPECT_EQ(parse_log_level(log_level_name(level)), level);
+  }
+}
+
+TEST(ObsLog, FormatLineShape) {
+  const std::string line = Logger::instance().format_line(
+      1234, LogLevel::kWarn, "slow_request",
+      {field("trace", "9f86d081884c7d65"), field_u64("count", 7),
+       field_i64("delta", -3), field_f64("latency_ms", 184.25),
+       field_bool("cache_hit", true)});
+  EXPECT_EQ(line,
+            "{\"ts_us\":1234,\"level\":\"warn\",\"event\":\"slow_request\","
+            "\"trace\":\"9f86d081884c7d65\",\"count\":7,\"delta\":-3,"
+            "\"latency_ms\":184.25,\"cache_hit\":true}");
+}
+
+TEST(ObsLog, FormatLineEscapesStrings) {
+  const std::string line = Logger::instance().format_line(
+      0, LogLevel::kError, "parse\"fail",
+      {field("detail", "line1\nline2\ttab\\slash")});
+  EXPECT_NE(line.find("\"event\":\"parse\\\"fail\""), std::string::npos);
+  EXPECT_NE(line.find("line1\\nline2\\ttab\\\\slash"), std::string::npos);
+}
+
+TEST(ObsLog, LevelGatesAreOrdered) {
+  LoggerGuard guard;
+  Logger& logger = Logger::instance();
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+  EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+  logger.set_level(LogLevel::kOff);
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+}
+
+TEST(ObsLog, WritesNdjsonToFileSink) {
+  LoggerGuard guard;
+  Logger& logger = Logger::instance();
+  const std::string path =
+      testing::TempDir() + "/perspector_log_test.ndjson";
+  std::remove(path.c_str());
+  ASSERT_TRUE(logger.set_path(path));
+  logger.set_level(LogLevel::kInfo);
+
+  log_info("unit_test", {field_u64("n", 1)});
+  log_debug("should_be_gated", {});  // below the level: no line
+  log_warn("second", {field("why", "check")});
+
+  logger.set_path("");  // flush + release the file
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"event\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"n\":1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"event\":\"second\""), std::string::npos);
+  EXPECT_EQ(lines[0].find("should_be_gated"), std::string::npos);
+}
+
+TEST(ObsLog, SetPathFailureKeepsCurrentSink) {
+  LoggerGuard guard;
+  EXPECT_FALSE(Logger::instance().set_path("/nonexistent_dir_x/y/z.log"));
+}
+
+TEST(ObsLog, RateLimiterDropsExcessLines) {
+  LoggerGuard guard;
+  Logger& logger = Logger::instance();
+  const std::string path =
+      testing::TempDir() + "/perspector_log_rate.ndjson";
+  std::remove(path.c_str());
+  ASSERT_TRUE(logger.set_path(path));
+  logger.set_level(LogLevel::kInfo);
+  logger.set_rate_limit(5);
+
+  const std::uint64_t dropped_before = logger.dropped();
+  // A burst well past the per-second budget; all within one window.
+  for (int i = 0; i < 200; ++i) log_info("burst", {field_u64("i", 1)});
+  EXPECT_GE(logger.dropped(), dropped_before + 190);
+
+  logger.set_path("");
+  std::ifstream in(path);
+  std::string line;
+  std::size_t emitted = 0;
+  while (std::getline(in, line)) ++emitted;
+  // At most one rate-limit window's worth (plus a possible window
+  // boundary and the rollover "log.dropped" marker). The lower bound is
+  // 1, not 5: the per-second window is global, so lines emitted by
+  // earlier tests in the same wall-clock second eat into the budget.
+  EXPECT_LE(emitted, 12u);
+  EXPECT_GE(emitted, 1u);
+}
+
+}  // namespace
+}  // namespace perspector::obs

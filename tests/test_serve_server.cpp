@@ -245,5 +245,109 @@ TEST(ServeSession, CrlfRequestLinesAreAccepted) {
   EXPECT_TRUE(response.find("ok")->boolean);
 }
 
+TEST(ServeSession, ScoreResponsesCarryTraceIds) {
+  obs::reset_metrics();
+  Engine engine;
+  SessionOptions options;
+  const SessionRun run = run_over_pipes(
+      engine, score_line("a") + score_line("b") + score_line("c"), options);
+  ASSERT_EQ(run.lines.size(), 3u);
+
+  std::vector<std::string> traces;
+  for (const auto& line : run.lines) {
+    const json::Value response = json::parse(line);
+    const json::Value* trace = response.find("trace");
+    ASSERT_NE(trace, nullptr) << line;
+    ASSERT_TRUE(trace->is_string());
+    // 16 lowercase hex digits, never the zero sentinel.
+    EXPECT_EQ(trace->string.size(), 16u);
+    EXPECT_EQ(trace->string.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+    EXPECT_NE(trace->string, "0000000000000000");
+    traces.push_back(trace->string);
+  }
+  // Identical request content still gets distinct trace ids: the session
+  // sequence number is part of the derivation.
+  EXPECT_NE(traces[0], traces[1]);
+  EXPECT_NE(traces[1], traces[2]);
+  EXPECT_NE(traces[0], traces[2]);
+}
+
+TEST(ServeSession, TraceIdsAreDeterministicAcrossSessions) {
+  obs::reset_metrics();
+  Engine engine;
+  SessionOptions options;
+  const std::string input = score_line("x") + score_line("y");
+  const SessionRun first = run_over_pipes(engine, input, options);
+  const SessionRun second = run_over_pipes(engine, input, options);
+  ASSERT_EQ(first.lines.size(), 2u);
+  ASSERT_EQ(second.lines.size(), 2u);
+  // Same content + same per-session sequence → same trace id: the id is
+  // derived, not random, so replays are correlatable.
+  for (std::size_t i = 0; i < 2; ++i) {
+    const json::Value a = json::parse(first.lines[i]);
+    const json::Value b = json::parse(second.lines[i]);
+    EXPECT_EQ(a.find("trace")->string, b.find("trace")->string);
+  }
+}
+
+TEST(ServeSession, StatsOpReportsLatencyPercentiles) {
+  obs::reset_metrics();
+  Engine engine;
+  SessionOptions options;
+  // Distinct contents (different instruction budgets): identical
+  // requests in one pipelined batch coalesce into a single score() call,
+  // which would leave only one histogram sample.
+  const SessionRun run = run_over_pipes(
+      engine,
+      score_line("a") +
+          "{\"id\":\"b\",\"suite\":\"nbench\",\"instructions\":21000}\n" +
+          "{\"id\":\"s\",\"op\":\"stats\"}\n",
+      options);
+  ASSERT_EQ(run.lines.size(), 3u);
+
+  const json::Value stats = json::parse(run.lines[2]);
+  EXPECT_EQ(stats.find("id")->string, "s");
+  EXPECT_TRUE(stats.find("ok")->boolean);
+  const json::Value* histograms = stats.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* latency = histograms->find("serve.request.latency");
+  ASSERT_NE(latency, nullptr)
+      << "stats response must include the request-latency histogram";
+  // Both scores in this pipeline ran before the stats snapshot.
+  EXPECT_DOUBLE_EQ(latency->find("count")->number, 2.0);
+  for (const char* percentile : {"p50", "p90", "p99", "p999"}) {
+    const json::Value* value = latency->find(percentile);
+    ASSERT_NE(value, nullptr) << percentile;
+    EXPECT_GT(value->number, 0.0) << percentile;
+  }
+  EXPECT_GE(latency->find("p999")->number, latency->find("p50")->number);
+}
+
+TEST(ServeSession, MetricsResponseIncludesDistributionsAndHistograms) {
+  obs::reset_metrics();
+  Engine engine;
+  SessionOptions options;
+  const SessionRun run = run_over_pipes(
+      engine, score_line("a") + "{\"id\":\"m\",\"op\":\"metrics\"}\n",
+      options);
+  ASSERT_EQ(run.lines.size(), 2u);
+
+  const json::Value metrics = json::parse(run.lines[1]);
+  const json::Value* distributions = metrics.find("distributions");
+  ASSERT_NE(distributions, nullptr);
+  const json::Value* request_us = distributions->find("serve.request_us");
+  ASSERT_NE(request_us, nullptr);
+  EXPECT_DOUBLE_EQ(request_us->find("count")->number, 1.0);
+  EXPECT_GT(request_us->find("mean")->number, 0.0);
+
+  const json::Value* histograms = metrics.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* latency = histograms->find("serve.request.latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_DOUBLE_EQ(latency->find("count")->number, 1.0);
+  EXPECT_GT(latency->find("p50")->number, 0.0);
+}
+
 }  // namespace
 }  // namespace perspector::serve

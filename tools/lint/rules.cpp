@@ -362,6 +362,36 @@ void check_assert(const LexedFile& f, Emitter& em) {
   }
 }
 
+/// hyg-log: raw stderr writes inside src/ bypass the leveled, rate-limited
+/// NDJSON logger (src/obs/log.hpp). The logger's own sink is exempt, and
+/// the rule only covers src/ — tools, benches, and tests print freely.
+void check_log_discipline(const LexedFile& f, Emitter& em) {
+  if (!has_prefix(f.path, "src/")) return;
+  if (has_prefix(f.path, "src/obs/log")) return;
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (is_ident(t[i], "cerr")) {
+      em.emit(t[i].line, "hyg-log",
+              "raw std::cerr write in src/; route it through obs::log_* "
+              "so output is leveled, rate-limited NDJSON");
+      continue;
+    }
+    if (is_ident(t[i], "fprintf")) {
+      // `fprintf(stderr, ...)` — stderr is the first argument, so it sits
+      // within a couple of tokens of the call.
+      for (std::size_t j = i + 1; j < t.size() && j <= i + 3; ++j) {
+        if (is_ident(t[j], "stderr")) {
+          em.emit(t[i].line, "hyg-log",
+                  "fprintf(stderr, ...) in src/; route it through "
+                  "obs::log_* so output is leveled, rate-limited NDJSON");
+          break;
+        }
+        if (is_punct(t[j], ",") || is_punct(t[j], ")")) break;
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // R2: layering
 
@@ -485,6 +515,7 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
     check_globals_and_statics(f, em);
     check_guard(f, em);
     check_assert(f, em);
+    check_log_discipline(f, em);
   }
   check_layering(lexed, layers, findings);
 

@@ -26,6 +26,9 @@
 //     hyg-assert  assert() whose condition has side effects (++/--/
 //                 assignment or a call to a function outside the pure
 //                 allowlist)
+//     hyg-log     raw std::cerr or fprintf(stderr, ...) in src/ outside
+//                 src/obs/log* (route through the leveled obs logger;
+//                 tools/, bench/, tests/ print freely)
 //
 // Suppression: `// lint:allow(rule-id): why` on the finding's line or the
 // line directly above. Grandfathered findings go to tools/lint/baseline.txt.

@@ -45,11 +45,14 @@
 #include "core/ranking.hpp"
 #include "core/report.hpp"
 #include "core/subset.hpp"
+#include "obs/histogram.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
 #include "serve/client.hpp"
 #include "serve/engine.hpp"
+#include "serve/protocol.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -85,7 +88,7 @@ struct Args {
 // Flags that take no value; everything else is --key <value>.
 const std::set<std::string>& boolean_flags() {
   static const std::set<std::string> flags = {"metrics", "stdio", "ping",
-                                              "shutdown"};
+                                              "stats", "shutdown"};
   return flags;
 }
 
@@ -141,7 +144,13 @@ const char* general_usage_text() {
       "  help    [<command>]                      this message, or per-command usage\n"
       "observability (any command):\n"
       "  --trace <file.json>   write Chrome trace JSON + per-phase timing table\n"
-      "  --metrics             print pipeline counters/distributions\n"
+      "  --metrics             print pipeline counters/distributions/histograms\n"
+      "  --metrics-json <path> write the full metrics snapshot as JSON (same\n"
+      "                        object the serve 'metrics' op returns)\n"
+      "  --log-level <level>   off|error|warn|info|debug structured NDJSON\n"
+      "                        logging to stderr (default off; PERSPECTOR_LOG\n"
+      "                        env sets the same)\n"
+      "  --log-file <path>     append log lines to a file instead of stderr\n"
       "parallelism (any command):\n"
       "  --threads N           worker threads (default: hardware concurrency,\n"
       "                        or PERSPECTOR_THREADS; 1 = fully serial).\n"
@@ -190,6 +199,8 @@ std::string command_usage_text(const std::string& command) {
            "                    is answered with a structured 'overloaded' error\n"
            "  --max-batch N     max score requests per engine pass (default 16)\n"
            "  --deadline-ms N   default queue-wait deadline (default 0 = none)\n"
+           "  --slow-ms N       warn-log requests slower than N ms (default 0\n"
+           "                    = off; needs --log-level warn or higher)\n"
            "  SIGTERM (or EOF in --stdio mode) drains admitted requests and\n"
            "  exits 0. Add --metrics to print the serve.* counters on exit.\n";
   }
@@ -199,12 +210,15 @@ std::string command_usage_text(const std::string& command) {
            "                          | --csv <file> [--series <file>])\n"
            "                         [--events all|llc|tlb|branch]\n"
            "                         [--repeat K] [--deadline-ms N]\n"
-           "                         [--ping] [--metrics] [--shutdown]\n"
+           "                         [--ping] [--metrics] [--stats]\n"
+           "                         [--shutdown]\n"
            "  Scripted client for 'perspector serve'. Pipelines K copies of\n"
            "  the score request (default 1), prints each report to stdout\n"
            "  (byte-identical to the one-shot command), and cache/error\n"
-           "  status to stderr. --metrics appends a server-counter request,\n"
-           "  --shutdown asks the server to exit after responding.\n"
+           "  status (with each response's trace id) to stderr. --metrics\n"
+           "  appends a server-counter request, --stats a latency-histogram\n"
+           "  request (p50/p90/p99/p99.9), --shutdown asks the server to\n"
+           "  exit after responding.\n"
            "  Exits 0 when every response was ok, 3 otherwise.\n";
   }
   if (command == "help") {
@@ -389,6 +403,9 @@ int cmd_serve(const Args& args) {
   if (const auto n = args.get("deadline-ms")) {
     session.default_deadline_ms = parse_u64(*n, "deadline-ms");
   }
+  if (const auto n = args.get("slow-ms")) {
+    session.slow_request_ms = parse_u64(*n, "slow-ms");
+  }
   if (args.has("stdio") && args.has("port")) {
     throw UsageError("--stdio and --port are mutually exclusive");
   }
@@ -462,11 +479,13 @@ int cmd_client(const Args& args) {
   }
   run.ping = args.has("ping");
   run.metrics = args.has("metrics");
+  run.stats = args.has("stats");
   run.shutdown = args.has("shutdown");
-  if (!run.score && !run.ping && !run.metrics && !run.shutdown) {
+  if (!run.score && !run.ping && !run.metrics && !run.stats &&
+      !run.shutdown) {
     throw UsageError(
         "client needs something to send: --suite/--csv, --ping, --metrics, "
-        "or --shutdown");
+        "--stats, or --shutdown");
   }
 
   std::signal(SIGPIPE, SIG_IGN);
@@ -474,15 +493,17 @@ int cmd_client(const Args& args) {
 }
 
 // After a successful command: per-phase timings (either flag), the trace
-// file (--trace), and the metrics tables (--metrics).
+// file (--trace), the metrics tables (--metrics), and the machine-readable
+// snapshot (--metrics-json).
 void emit_observability(const Args& args) {
   const auto trace_path = args.get("trace");
+  const auto metrics_json = args.get("metrics-json");
   const bool metrics = args.has("metrics");
-  if (!trace_path && !metrics) return;
+  if (!trace_path && !metrics && !metrics_json) return;
 
   const auto& tracer = obs::Tracer::instance();
   const auto summary = tracer.phase_summary();
-  if (!summary.empty()) {
+  if (!summary.empty() && (trace_path || metrics)) {
     std::cout << "\n--- per-phase timing (nested spans overlap) ---\n"
               << core::phase_timing_table(summary).to_text();
   }
@@ -493,6 +514,21 @@ void emit_observability(const Args& args) {
     if (!distributions.empty()) {
       std::cout << "\n" << core::distributions_table(distributions).to_text();
     }
+    const auto histograms = obs::histograms_snapshot();
+    if (!histograms.empty()) {
+      std::cout << "\n" << core::histograms_table(histograms).to_text();
+    }
+  }
+  if (metrics_json) {
+    // Byte-for-byte the serve `metrics` op's response (without an id), so
+    // one-shot runs and served runs can be diffed with the same tooling.
+    std::ofstream out(*metrics_json);
+    if (!out) {
+      throw std::runtime_error("cannot open '" + *metrics_json +
+                               "' for writing");
+    }
+    out << serve::serialize_metrics("");
+    std::cerr << "metrics snapshot written to " << *metrics_json << "\n";
   }
   if (trace_path) {
     tracer.write_chrome_trace(*trace_path);
@@ -523,6 +559,22 @@ int main(int argc, char** argv) {
     const Args args = parse_args(argc, argv);
     if (args.has("trace") || args.has("metrics")) {
       obs::Tracer::instance().enable();
+    }
+    // --log-level beats PERSPECTOR_LOG (which Logger::instance() already
+    // consumed); --log-file redirects the NDJSON stream away from stderr.
+    if (const auto level = args.get("log-level")) {
+      const auto parsed = obs::parse_log_level(*level);
+      if (!parsed) {
+        throw UsageError(
+            "option '--log-level' expects off|error|warn|info|debug, got '" +
+            *level + "'");
+      }
+      obs::Logger::instance().set_level(*parsed);
+    }
+    if (const auto path = args.get("log-file")) {
+      if (!obs::Logger::instance().set_path(*path)) {
+        throw std::runtime_error("cannot open log file '" + *path + "'");
+      }
     }
     // --threads beats PERSPECTOR_THREADS beats hardware concurrency; the
     // strict parse keeps "--threads 1x" a usage error, and 0 is rejected

@@ -5,8 +5,11 @@
 #   1. start the server on an ephemeral port and parse the printed port;
 #   2. score spec17 and parsec through the client, twice each;
 #   3. assert via the metrics op that the second round was served from
-#      the result cache (serve.cache_hit >= 2);
-#   4. SIGTERM the server and assert it drains and exits 0.
+#      the result cache (serve.cache_hit >= 2) and that the request
+#      latency distribution and histogram were populated;
+#   4. assert via the stats op that serve.request.latency reports a
+#      positive p99;
+#   5. SIGTERM the server and assert it drains and exits 0.
 #
 # Usage: tools/serve_smoke.sh [path-to-perspector-binary]
 set -eu
@@ -44,13 +47,33 @@ echo "server up on port $PORT (pid $SERVER_PID)"
   | cmp - "$OUT" || { echo "FAIL: served spec17 report differs from one-shot" >&2; exit 1; }
 "$BIN" client --port "$PORT" --suite parsec --instructions 20000 >/dev/null
 
-HITS=$("$BIN" client --port "$PORT" --metrics 2>/dev/null \
-  | awk '$1 == "serve.cache_hit" { print $2 }')
+METRICS="$(mktemp)"
+"$BIN" client --port "$PORT" --metrics 2>/dev/null >"$METRICS"
+HITS=$(awk '$1 == "serve.cache_hit" { print $2 }' "$METRICS")
 echo "serve.cache_hit = ${HITS:-0}"
 if [ "${HITS:-0}" -lt 2 ]; then
+  rm -f "$METRICS"
   echo "FAIL: expected the second round to hit the result cache" >&2
   exit 1
 fi
+
+# The latency distribution must have counted every scored request.
+DIST_COUNT=$(awk '$1 == "serve.request_us.count" { print $2 }' "$METRICS")
+rm -f "$METRICS"
+echo "serve.request_us.count = ${DIST_COUNT:-0}"
+if [ "${DIST_COUNT:-0}" -lt 4 ]; then
+  echo "FAIL: request latency distribution missing from metrics" >&2
+  exit 1
+fi
+
+# The stats op must expose latency percentiles from the histogram.
+P99=$("$BIN" client --port "$PORT" --stats 2>/dev/null \
+  | awk '$1 == "serve.request.latency.p99" { print $2 }')
+echo "serve.request.latency.p99 = ${P99:-missing} us"
+case "${P99:-}" in
+  ''|0|0.*) echo "FAIL: stats op reported no positive p99 latency" >&2
+            exit 1 ;;
+esac
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$SERVER_PID"
