@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -153,6 +154,59 @@ void write_series_csv(const CounterMatrix& data, const std::string& path) {
     }
   }
   if (!out) throw std::runtime_error("write failed for '" + path + "'");
+}
+
+namespace {
+
+// %.17g: enough digits that parsing the text recovers the exact double,
+// so a matrix forwarded as CSV between processes round-trips bit-exactly.
+void append_exact_double(std::string& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string write_aggregates_csv_text(const CounterMatrix& data) {
+  std::string out = "workload";
+  for (const auto& counter : data.counter_names()) {
+    out += ',';
+    out += csv_escape(counter);
+  }
+  out += '\n';
+  for (std::size_t w = 0; w < data.num_workloads(); ++w) {
+    out += csv_escape(data.workload_names()[w]);
+    for (std::size_t c = 0; c < data.num_counters(); ++c) {
+      out += ',';
+      append_exact_double(out, data.value(w, c));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string write_series_csv_text(const CounterMatrix& data) {
+  if (!data.has_series()) {
+    throw std::logic_error("write_series_csv_text: matrix carries no series");
+  }
+  std::string out = "workload,counter,sample,value\n";
+  for (std::size_t w = 0; w < data.num_workloads(); ++w) {
+    for (std::size_t c = 0; c < data.num_counters(); ++c) {
+      const auto& series = data.series(w, c);
+      for (std::size_t s = 0; s < series.size(); ++s) {
+        out += csv_escape(data.workload_names()[w]);
+        out += ',';
+        out += csv_escape(data.counter_names()[c]);
+        out += ',';
+        out += std::to_string(s);
+        out += ',';
+        append_exact_double(out, series[s]);
+        out += '\n';
+      }
+    }
+  }
+  return out;
 }
 
 namespace {

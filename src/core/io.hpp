@@ -56,6 +56,15 @@ CounterMatrix read_with_series_csv_text(const std::string& suite_name,
                                         const std::string& aggregates_text,
                                         const std::string& series_text);
 
+/// In-memory CSV writers, inverses of the text readers: every value is
+/// rendered with %.17g so parsing the text recovers the exact doubles.
+/// The serving router uses these to forward in-memory matrices to worker
+/// processes without losing a bit. (The file writers above keep their
+/// historical default precision; these are a separate, lossless channel.)
+std::string write_aggregates_csv_text(const CounterMatrix& data);
+/// Throws std::logic_error when the matrix carries no series.
+std::string write_series_csv_text(const CounterMatrix& data);
+
 // ---- Linux `perf stat -x,` ingestion --------------------------------------
 
 /// One event record from `perf stat -x,` output

@@ -1,0 +1,128 @@
+// serve::ScoreBackend — the scoring surface the NDJSON transport speaks
+// to (DESIGN.md sections 10 and 13).
+//
+// Two implementations exist:
+//
+//   * serve::Engine — the in-process scorer (thread pool, warm
+//     workspaces, result cache);
+//   * serve::Router — the multi-process tier that consistent-hashes
+//     requests across forked Engine workers and shares results through
+//     the disk-backed segment store.
+//
+// serve::Session is written against this interface, so `perspector
+// serve --workers N` swaps the backend without touching the protocol.
+//
+// Content addressing lives here too: a request's *content key* digests
+// what is being scored (a built-in suite name + instruction budget, the
+// raw CSV text of an uploaded suite, or the full counter matrix), and
+// the *result key* folds the content key with the event filter and the
+// serving code version. The session computes the content key once at
+// admission; the engine, router cache, segment store and trace ids all
+// derive from it — the warm path never re-hashes a matrix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/content_hash.hpp"
+
+namespace perspector::core {
+class CounterMatrix;
+}
+
+namespace perspector::serve {
+
+/// Participates in every result-cache key; bump when any scoring code
+/// change may alter report bytes, so stale entries can never be served
+/// across versions (the segment store outlives the process).
+inline constexpr std::string_view kCodeVersion = "perspector-serve/2";
+
+/// One scoring request: either a named built-in suite (simulated on
+/// demand with `instructions` per workload, exactly like `perspector
+/// demo`) or caller-provided counter data.
+struct ScoreRequest {
+  std::string id;  // echoed in the response; opaque to the engine
+
+  std::string builtin;  // built-in suite name; empty = use `data`
+  std::uint64_t instructions = 500'000;  // per workload, built-in only
+
+  std::shared_ptr<const core::CounterMatrix> data;  // inline suite data
+
+  std::string events = "all";  // all | llc | tlb | branch
+
+  /// Maximum time the request may wait in the server queue before it is
+  /// answered with a `timeout` error instead of being scored. 0 = no
+  /// deadline. Enforced by serve::Session, not by the engine.
+  std::uint64_t deadline_ms = 0;
+
+  /// 64-bit trace id assigned by serve::Session at admission (derived
+  /// deterministically from the request's content key + the session
+  /// sequence number), echoed in the response and in log lines. 0 = not
+  /// assigned. A request forwarded by the Router carries the router's
+  /// trace id on the wire, and the worker session honors it instead of
+  /// deriving a new one.
+  std::uint64_t trace_id = 0;
+
+  /// Content key of the request ({0,0} = not yet computed). Set once by
+  /// the session (via ScoreBackend::content_key) or parsed off the wire
+  /// for forwarded requests; everything downstream reuses it.
+  Key128 content_key;
+
+  /// For CSV requests, the raw wire payload is retained so the router
+  /// can forward the exact bytes and the worker derives the identical
+  /// content key. Empty for built-in and direct-API requests.
+  std::string csv_name;
+  std::string csv_text;
+  std::string series_text;
+};
+
+struct ScoreResponse {
+  std::string id;
+  bool ok = false;
+  bool cache_hit = false;
+  std::string report;   // exact one-shot report bytes (ok responses)
+  std::string error;    // bad_request | internal | unavailable (errors)
+  std::string message;  // human-readable detail for error responses
+  std::uint64_t trace_id = 0;  // echoed from the request; 0 = unassigned
+};
+
+/// The scoring surface of the serving tier. All methods are thread-safe
+/// on every implementation.
+class ScoreBackend {
+ public:
+  virtual ~ScoreBackend() = default;
+
+  /// Scores one request. Never throws: failures come back as structured
+  /// error responses.
+  virtual ScoreResponse score(const ScoreRequest& request) = 0;
+
+  /// Scores a group of requests; response order matches request order,
+  /// duplicates within the batch coalesce onto one computation.
+  virtual std::vector<ScoreResponse> score_batch(
+      const std::vector<ScoreRequest>& requests) = 0;
+
+  /// The request's content key (memoized where possible). Never throws;
+  /// a request with nothing to score digests to a fixed empty-domain key.
+  virtual Key128 content_key(const ScoreRequest& request) = 0;
+
+  /// Serialized protocol lines for the metrics / stats / shard_stats
+  /// ops (the Router merges its workers' registries; the Engine
+  /// snapshots the process-local one).
+  virtual std::string metrics_line(const std::string& id) = 0;
+  virtual std::string stats_line(const std::string& id) = 0;
+  virtual std::string shard_stats_line(const std::string& id) = 0;
+};
+
+/// Computes a request's content key from scratch: built-in domain
+/// (name, instructions), CSV domain (name, csv text, series text), or
+/// matrix domain (full content digest, memoized through `digests` when
+/// non-null). Priority: builtin, then retained CSV text, then data.
+Key128 compute_content_key(const ScoreRequest& request, DigestCache* digests);
+
+/// Folds a content key with the event filter and kCodeVersion into the
+/// key under which the finished report is cached (memory and disk).
+Key128 result_cache_key(const Key128& content_key, const std::string& events);
+
+}  // namespace perspector::serve

@@ -63,4 +63,30 @@ void hash_counter_matrix(ContentHasher& hasher,
   }
 }
 
+Key128 DigestCache::matrix_digest(
+    const std::shared_ptr<const core::CounterMatrix>& data) {
+  const void* ptr = data.get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry& entry : entries_) {
+      // The weak_ptr must still resolve to the same address: an expired
+      // owner means the address may now belong to a different matrix.
+      if (entry.ptr == ptr && entry.alive.lock().get() == ptr) {
+        return entry.digest;
+      }
+    }
+  }
+  ContentHasher hasher;
+  hash_counter_matrix(hasher, *data);
+  const Key128 digest = hasher.digest();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() < capacity_) {
+    entries_.push_back({ptr, data, digest});
+  } else if (capacity_ > 0) {
+    entries_[next_] = {ptr, data, digest};
+    next_ = (next_ + 1) % capacity_;
+  }
+  return digest;
+}
+
 }  // namespace perspector::serve

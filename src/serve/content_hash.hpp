@@ -16,7 +16,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string_view>
+#include <vector>
 
 namespace perspector::core {
 class CounterMatrix;
@@ -60,5 +63,31 @@ class ContentHasher {
 /// sample with its length.
 void hash_counter_matrix(ContentHasher& hasher,
                          const core::CounterMatrix& data);
+
+/// Memoizes full-matrix digests so a resident matrix is hashed once, not
+/// per request — the warm serving path must not walk every sample again
+/// just to find its cache key. An entry is keyed by the matrix's address
+/// and validated through a weak_ptr: if the original owner has expired,
+/// a new matrix reusing the address can never be served the stale digest.
+/// Bounded ring (replacement is FIFO); thread-safe.
+class DigestCache {
+ public:
+  explicit DigestCache(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  /// The full-content digest of `*data`, from the memo when possible.
+  Key128 matrix_digest(const std::shared_ptr<const core::CounterMatrix>& data);
+
+ private:
+  struct Entry {
+    const void* ptr = nullptr;
+    std::weak_ptr<const core::CounterMatrix> alive;
+    Key128 digest;
+  };
+
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::size_t next_ = 0;  // ring replacement cursor
+};
 
 }  // namespace perspector::serve

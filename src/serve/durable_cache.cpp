@@ -1,0 +1,44 @@
+#include "serve/durable_cache.hpp"
+
+namespace perspector::serve {
+
+namespace {
+
+store::StoreKey store_key(const Key128& key) { return {key.hi, key.lo}; }
+
+}  // namespace
+
+DurableCache::DurableCache(std::size_t memory_bytes, const std::string& dir,
+                           std::uint64_t store_bytes,
+                           store::FaultInjector* faults)
+    : memory_(memory_bytes) {
+  if (!dir.empty()) {
+    store::StoreOptions options;
+    options.dir = dir;
+    options.budget_bytes = store_bytes;
+    options.faults = faults;
+    store_ = std::make_unique<store::SegmentStore>(std::move(options));
+  }
+}
+
+std::optional<std::string> DurableCache::get_memory(const Key128& key) {
+  return memory_.get(key);
+}
+
+std::optional<std::string> DurableCache::get_durable(const Key128& key) {
+  if (!store_) return std::nullopt;
+  std::optional<std::string> report = store_->get(store_key(key));
+  if (report) memory_.put(key, *report);
+  return report;
+}
+
+void DurableCache::put(const Key128& key, const std::string& report) {
+  memory_.put(key, report);
+  if (store_) store_->put(store_key(key), report);
+}
+
+void DurableCache::flush() {
+  if (store_) store_->flush();
+}
+
+}  // namespace perspector::serve

@@ -1,0 +1,67 @@
+// serve::DurableCache — the byte-budgeted in-memory LRU (ResultCache)
+// with an optional disk-backed write-through layer (store::SegmentStore).
+//
+// Reads split into two tiers so the caller controls lock scope:
+//
+//   * get_memory() — LRU only; cheap enough to sit inside the engine's
+//     in-flight lock (exactly where ResultCache::get sat before);
+//   * get_durable() — the segment store; does disk I/O and checksum
+//     verification, so it runs *outside* that lock. A durable hit is
+//     promoted into the LRU so the next repeat is a memory hit.
+//
+// put() writes through: LRU first, then the store (best-effort — a
+// full-disk or injected-fault failure degrades durability, never
+// correctness, because the store is only ever a cache of recomputable
+// reports).
+//
+// Exactly one process may own a given store directory (single-writer:
+// the Router owns it in multi-process mode, the Engine in single-process
+// mode; workers run memory-only).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "serve/content_hash.hpp"
+#include "serve/result_cache.hpp"
+#include "store/segment_store.hpp"
+
+namespace perspector::serve {
+
+class DurableCache {
+ public:
+  /// `dir` empty = memory-only. Throws std::runtime_error when the store
+  /// directory cannot be opened (surface it at startup, not per request).
+  DurableCache(std::size_t memory_bytes, const std::string& dir,
+               std::uint64_t store_bytes,
+               store::FaultInjector* faults = nullptr);
+
+  /// In-memory tier only; safe under a hot-path lock.
+  std::optional<std::string> get_memory(const Key128& key);
+
+  /// Disk tier (no-op without a store). A verified hit is promoted into
+  /// the memory tier. Call outside hot-path locks.
+  std::optional<std::string> get_durable(const Key128& key);
+
+  /// Write-through: memory first, then (best-effort) the store.
+  void put(const Key128& key, const std::string& report);
+
+  bool durable() const noexcept { return store_ != nullptr; }
+  /// Advances the store's durability watermark (fsync + msync). No-op
+  /// without a store.
+  void flush();
+
+  // Memory-tier statistics (same meaning Engine::cache_entries had).
+  std::size_t entries() const { return memory_.entries(); }
+  std::size_t bytes_used() const { return memory_.bytes_used(); }
+
+  store::SegmentStore* segment_store() noexcept { return store_.get(); }
+
+ private:
+  ResultCache memory_;
+  std::unique_ptr<store::SegmentStore> store_;
+};
+
+}  // namespace perspector::serve

@@ -1,5 +1,7 @@
 #include "serve/engine.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <stdexcept>
 #include <utility>
@@ -17,6 +19,7 @@
 #include "obs/trace.hpp"
 #include "par/parallel.hpp"
 #include "par/thread_pool.hpp"
+#include "serve/protocol.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/simulator.hpp"
 #include "suites/suite_factory.hpp"
@@ -35,6 +38,10 @@ obs::Counter& hit_counter() {
 }
 obs::Counter& miss_counter() {
   static obs::Counter& c = obs::counter("serve.cache_miss");
+  return c;
+}
+obs::Counter& durable_hit_counter() {
+  static obs::Counter& c = obs::counter("serve.durable_hit");
   return c;
 }
 obs::Counter& coalesced_counter() {
@@ -144,13 +151,40 @@ core::CounterMatrix simulate_builtin(const std::string& name,
 }
 
 Engine::Engine(EngineOptions options)
-    : options_(options), cache_(options.cache_bytes) {
+    : options_(options),
+      cache_(options.cache_bytes, options.cache_dir, options.store_bytes,
+             options.store_faults) {
   // Spin the persistent parallel backend up front so the first request
   // does not pay pool construction.
   if (par::thread_count() > 1) par::global_pool();
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  cache_.flush();
+}
+
+Key128 Engine::content_key(const ScoreRequest& request) {
+  if (!(request.content_key == Key128{})) return request.content_key;
+  return compute_content_key(request, &digests_);
+}
+
+std::string Engine::metrics_line(const std::string& id) {
+  return serialize_metrics(id);
+}
+
+std::string Engine::stats_line(const std::string& id) {
+  return serialize_stats(id);
+}
+
+std::string Engine::shard_stats_line(const std::string& id) {
+  WorkerStat self;
+  self.worker = 0;
+  self.pid = static_cast<std::int64_t>(::getpid());
+  self.alive = true;
+  self.restarts = 0;
+  self.forwarded = requests_counter().value();
+  return serialize_shard_stats(id, "engine", {self});
+}
 
 std::shared_ptr<const core::CounterMatrix> Engine::resolve_data(
     const ScoreRequest& request) {
@@ -209,7 +243,8 @@ std::shared_ptr<core::ScoringWorkspace> Engine::workspace_for(
 }
 
 ScoreResponse Engine::compute(const ScoreRequest& request,
-                              const core::CounterMatrix& data) {
+                              const core::CounterMatrix& data,
+                              const Key128& result_key) {
   ScoreResponse response;
   response.id = request.id;
   try {
@@ -218,10 +253,13 @@ ScoreResponse Engine::compute(const ScoreRequest& request,
     // same call sequence cmd_score/cmd_demo make.
     core::PerspectorOptions scoring;
     scoring.events = event_group_by_name(request.events);
-    ContentHasher ws_hasher;
-    hash_counter_matrix(ws_hasher, data);
-    const auto workspace = workspace_for(
-        ws_hasher.str(request.events).str(kCodeVersion).digest());
+    // The workspace key folds the result key once more so the two key
+    // spaces stay disjoint — no matrix re-hash on the compute path.
+    const auto workspace = workspace_for(ContentHasher{}
+                                             .u64(result_key.hi)
+                                             .u64(result_key.lo)
+                                             .str("workspace")
+                                             .digest());
     obs::Span span("serve.score");
     const auto scores =
         core::Perspector(scoring).score_suites({data}, *workspace).front();
@@ -255,28 +293,34 @@ ScoreResponse Engine::score(const ScoreRequest& request) {
 ScoreResponse Engine::score_inner(const ScoreRequest& request) {
   requests_counter().increment();
 
-  std::shared_ptr<const core::CounterMatrix> data;
+  // Cheap validation before any hashing or simulation; error precedence
+  // matches the historical resolve-then-filter order.
   try {
-    data = resolve_data(request);
+    if (request.builtin.empty() && !request.data) {
+      throw std::runtime_error("request carries neither suite data nor a "
+                               "built-in suite name");
+    }
+    if (!request.builtin.empty() && !is_builtin_suite(request.builtin)) {
+      throw std::runtime_error("unknown built-in suite '" + request.builtin +
+                               "' (try: perspector suites)");
+    }
     if (!is_event_group(request.events)) {
-      throw std::runtime_error("unknown event group '" + request.events + "'");
+      throw std::runtime_error("unknown event group '" + request.events +
+                               "'");
     }
   } catch (const std::exception& e) {
     errors_counter().increment();
     return error_response(request.id, "bad_request", e.what());
   }
 
-  ContentHasher hasher;
-  hash_counter_matrix(hasher, *data);
-  const Key128 key =
-      hasher.str(request.events).str(kCodeVersion).digest();
+  const Key128 key = result_cache_key(content_key(request), request.events);
 
   std::shared_future<ScoreResponse> shared;
   std::promise<ScoreResponse> promise;
   bool owner = false;
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
-    if (auto cached = cache_.get(key)) {
+    if (auto cached = cache_.get_memory(key)) {
       hit_counter().increment();
       ScoreResponse response;
       response.id = request.id;
@@ -313,7 +357,31 @@ ScoreResponse Engine::score_inner(const ScoreRequest& request) {
     return response;
   }
 
-  ScoreResponse response = compute(request, *data);
+  if (owner) {
+    // Disk tier outside the in-flight lock: checksum verification and a
+    // pread are far too slow to serialize the hot path on.
+    if (auto durable = cache_.get_durable(key)) {
+      durable_hit_counter().increment();
+      hit_counter().increment();
+      ScoreResponse response;
+      response.id = request.id;
+      response.ok = true;
+      response.cache_hit = true;
+      response.report = std::move(*durable);
+      promise.set_value(response);
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_.erase(key);
+      return response;
+    }
+  }
+
+  ScoreResponse response;
+  try {
+    const auto data = resolve_data(request);
+    response = compute(request, *data, key);
+  } catch (const std::exception& e) {
+    response = error_response(request.id, "bad_request", e.what());
+  }
   if (response.ok) {
     cache_.put(key, response.report);
     miss_counter().increment();
@@ -336,7 +404,10 @@ std::vector<ScoreResponse> Engine::score_batch(
 
   // Dedup identical requests by cheap signature before the pass, so a
   // burst of repeats costs one computation and the copies are served as
-  // coalesced hits — without any chunk ever blocking on another.
+  // coalesced hits — without any chunk ever blocking on another. A
+  // request that carries its content key dedups by it (two identical
+  // CSV uploads parse into distinct matrices but share a key); otherwise
+  // the historical composite signature applies.
   struct Signature {
     std::string text;
     const void* data;
@@ -347,9 +418,17 @@ std::vector<ScoreResponse> Engine::score_batch(
   std::vector<std::size_t> unique;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const auto& r = requests[i];
-    Signature sig{r.builtin + '\x1f' + std::to_string(r.instructions) +
-                      '\x1f' + r.events,
-                  static_cast<const void*>(r.data.get())};
+    Signature sig;
+    if (!(r.content_key == Key128{})) {
+      char key_text[48];
+      std::snprintf(key_text, sizeof key_text, "%016" PRIx64 "%016" PRIx64,
+                    r.content_key.hi, r.content_key.lo);
+      sig = Signature{std::string(key_text) + '\x1f' + r.events, nullptr};
+    } else {
+      sig = Signature{r.builtin + '\x1f' + std::to_string(r.instructions) +
+                          '\x1f' + r.events,
+                      static_cast<const void*>(r.data.get())};
+    }
     const auto it =
         std::find_if(seen.begin(), seen.end(),
                      [&](const auto& entry) { return entry.first == sig; });

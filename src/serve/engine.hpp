@@ -9,15 +9,22 @@
 //   * a pool of warm core::ScoringWorkspace instances keyed by suite
 //     content, so re-scoring a suite (same data + event filter) serves
 //     the TrendScore from the primed pairwise-DTW cache;
-//   * an LRU result cache keyed by a 128-bit content digest of (counter
-//     matrix bytes, event filter, code version) — a repeat request
-//     returns the finished report without touching the pipeline;
+//   * a result cache keyed by the 128-bit result key (content key +
+//     event filter + code version; see backend.hpp) — a repeat request
+//     returns the finished report without touching the pipeline. With
+//     `cache_dir` set, the cache writes through to a disk-backed
+//     segment store that survives restarts;
 //   * coalescing of duplicate in-flight requests: concurrent identical
 //     requests share one computation and all receive its result;
 //   * batching: score_batch() runs one deterministic parallel pass over
 //     a group of requests (par::parallel_for, index-owned slots), which
 //     parallelizes *across* requests while each request's own kernels
 //     degrade to serial on the worker — bit-identical either way.
+//
+// The warm path is hash-free: the content key of a built-in request
+// digests (name, instructions) — a handful of bytes — and matrix digests
+// are memoized per resident matrix (DigestCache), so a repeat request
+// never re-walks counter samples just to find its cache key.
 //
 // Determinism contract: the `report` field of a successful response is
 // byte-identical to the one-shot CLI output for the same inputs —
@@ -33,9 +40,10 @@
 // of threads concurrently.
 //
 // Counters: serve.requests, serve.cache_hit, serve.cache_miss,
-// serve.coalesced, serve.batched, serve.errors, serve.cache_evictions,
-// plus the serve.request_us latency distribution and its
-// serve.request.latency histogram (p50/p90/p99/p99.9 via the stats op).
+// serve.durable_hit, serve.coalesced, serve.batched, serve.errors,
+// serve.cache_evictions, plus the serve.request_us latency distribution
+// and its serve.request.latency histogram (p50/p90/p99/p99.9 via the
+// stats op).
 #pragma once
 
 #include <cstdint>
@@ -48,55 +56,15 @@
 #include <vector>
 
 #include "core/counter_matrix.hpp"
+#include "serve/backend.hpp"
 #include "serve/content_hash.hpp"
-#include "serve/result_cache.hpp"
+#include "serve/durable_cache.hpp"
 
 namespace perspector::core {
 class ScoringWorkspace;
 }
 
 namespace perspector::serve {
-
-/// Participates in every result-cache key; bump when any scoring code
-/// change may alter report bytes, so stale entries can never be served
-/// across versions (relevant once the cache outlives the process).
-inline constexpr std::string_view kCodeVersion = "perspector-serve/1";
-
-/// One scoring request: either a named built-in suite (simulated on
-/// demand with `instructions` per workload, exactly like `perspector
-/// demo`) or caller-provided counter data.
-struct ScoreRequest {
-  std::string id;  // echoed in the response; opaque to the engine
-
-  std::string builtin;  // built-in suite name; empty = use `data`
-  std::uint64_t instructions = 500'000;  // per workload, built-in only
-
-  std::shared_ptr<const core::CounterMatrix> data;  // inline suite data
-
-  std::string events = "all";  // all | llc | tlb | branch
-
-  /// Maximum time the request may wait in the server queue before it is
-  /// answered with a `timeout` error instead of being scored. 0 = no
-  /// deadline. Enforced by serve::Session, not by the engine.
-  std::uint64_t deadline_ms = 0;
-
-  /// 64-bit trace id assigned by serve::Session at admission (derived
-  /// deterministically from the request's content digest + the session
-  /// sequence number), echoed in the response and in log lines. 0 = not
-  /// assigned (e.g. direct Engine calls); the engine passes it through
-  /// untouched.
-  std::uint64_t trace_id = 0;
-};
-
-struct ScoreResponse {
-  std::string id;
-  bool ok = false;
-  bool cache_hit = false;
-  std::string report;   // exact one-shot report bytes (ok responses)
-  std::string error;    // bad_request | internal (error responses)
-  std::string message;  // human-readable detail for error responses
-  std::uint64_t trace_id = 0;  // echoed from the request; 0 = unassigned
-};
 
 struct EngineOptions {
   /// Result-cache budget in bytes; 0 disables result caching.
@@ -105,29 +73,44 @@ struct EngineOptions {
   std::size_t workspace_slots = 8;
   /// Simulated built-in suites kept resident (per name + instructions).
   std::size_t suite_slots = 4;
+  /// Directory for the disk-backed result store; empty = memory-only.
+  /// At most one live process may own a given directory.
+  std::string cache_dir;
+  /// On-disk budget for the segment store (cache_dir mode).
+  std::uint64_t store_bytes = 256ull << 20;
+  /// Test seam for the segment store (see store/fault_injector.hpp).
+  store::FaultInjector* store_faults = nullptr;
 };
 
-class Engine {
+class Engine : public ScoreBackend {
  public:
   explicit Engine(EngineOptions options = {});
-  ~Engine();
+  ~Engine() override;
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   /// Scores one request (thread-safe). Never throws: failures come back
   /// as structured error responses.
-  ScoreResponse score(const ScoreRequest& request);
+  ScoreResponse score(const ScoreRequest& request) override;
 
   /// Scores a group of requests in one deterministic parallel pass.
   /// Response order matches request order; duplicate requests within the
   /// batch coalesce onto one computation.
   std::vector<ScoreResponse> score_batch(
-      const std::vector<ScoreRequest>& requests);
+      const std::vector<ScoreRequest>& requests) override;
+
+  Key128 content_key(const ScoreRequest& request) override;
+  std::string metrics_line(const std::string& id) override;
+  std::string stats_line(const std::string& id) override;
+  std::string shard_stats_line(const std::string& id) override;
 
   const EngineOptions& options() const noexcept { return options_; }
   std::size_t cache_entries() const { return cache_.entries(); }
   std::size_t cache_bytes_used() const { return cache_.bytes_used(); }
+  bool cache_durable() const { return cache_.durable(); }
+  /// Flushes the durable tier's watermark (no-op without cache_dir).
+  void flush_cache() { cache_.flush(); }
 
  private:
   std::shared_ptr<const core::CounterMatrix> resolve_data(
@@ -136,10 +119,12 @@ class Engine {
   /// score() minus the latency accounting / trace propagation wrapper.
   ScoreResponse score_inner(const ScoreRequest& request);
   ScoreResponse compute(const ScoreRequest& request,
-                        const core::CounterMatrix& data);
+                        const core::CounterMatrix& data,
+                        const Key128& result_key);
 
   EngineOptions options_;
-  ResultCache cache_;
+  DurableCache cache_;
+  DigestCache digests_;
 
   // Duplicate in-flight requests wait on the first one's future instead
   // of recomputing. Entries live only while the computation runs.
@@ -147,7 +132,8 @@ class Engine {
   std::unordered_map<Key128, std::shared_future<ScoreResponse>, Key128Hash>
       inflight_;
 
-  // Warm workspaces, LRU by (suite content, event filter, code version).
+  // Warm workspaces, LRU by result key (suite content + filter + code
+  // version, folded once more so the two key spaces stay disjoint).
   std::mutex workspace_mutex_;
   std::list<std::pair<Key128, std::shared_ptr<core::ScoringWorkspace>>>
       workspaces_;

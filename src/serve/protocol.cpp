@@ -85,6 +85,26 @@ void append_trace(std::string& out, std::uint64_t trace_id) {
   out += '"';
 }
 
+/// Exactly 16 lowercase/uppercase hex digits -> u64.
+bool parse_hex_u64(const std::string& text, std::uint64_t& out) {
+  if (text.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (char ch : text) {
+    value <<= 4;
+    if (ch >= '0' && ch <= '9') {
+      value |= static_cast<std::uint64_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      value |= static_cast<std::uint64_t>(ch - 'a' + 10);
+    } else if (ch >= 'A' && ch <= 'F') {
+      value |= static_cast<std::uint64_t>(ch - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  out = value;
+  return true;
+}
+
 void append_histograms(std::string& out) {
   out += "\"histograms\":{";
   bool first = true;
@@ -149,6 +169,11 @@ ParsedRequest parse_request_line(const std::string& line) {
     parsed.op = Op::Stats;
     return parsed;
   }
+  if (op == "shard_stats") {
+    parsed.ok = true;
+    parsed.op = Op::ShardStats;
+    return parsed;
+  }
   if (op == "shutdown") {
     parsed.ok = true;
     parsed.op = Op::Shutdown;
@@ -176,6 +201,22 @@ ParsedRequest parse_request_line(const std::string& line) {
       return bad_request(parsed.id, "'events' must be a string");
     }
     score.events = events->string;
+  }
+
+  // Router-forwarded requests carry the router's trace id and content
+  // key; the worker session reuses both instead of deriving its own.
+  if (const json::Value* trace = request.find("trace")) {
+    if (!trace->is_string() ||
+        !parse_hex_u64(trace->string, score.trace_id)) {
+      return bad_request(parsed.id, "'trace' must be 16 hex digits");
+    }
+  }
+  if (const json::Value* key = request.find("key")) {
+    if (!key->is_string() || key->string.size() != 32 ||
+        !parse_hex_u64(key->string.substr(0, 16), score.content_key.hi) ||
+        !parse_hex_u64(key->string.substr(16), score.content_key.lo)) {
+      return bad_request(parsed.id, "'key' must be 32 hex digits");
+    }
   }
 
   const json::Value* suite = request.find("suite");
@@ -212,6 +253,11 @@ ParsedRequest parse_request_line(const std::string& line) {
         series ? core::read_with_series_csv_text(name, csv->string,
                                                  series->string)
                : core::read_aggregates_csv_text(name, csv->string));
+    // Retain the raw payload: the content key digests these exact bytes,
+    // and the router forwards them verbatim to its workers.
+    score.csv_name = name;
+    score.csv_text = csv->string;
+    if (series) score.series_text = series->string;
   } catch (const std::exception& e) {
     return bad_request(parsed.id, e.what());
   }
@@ -312,6 +358,195 @@ std::string serialize_shutdown(const std::string& id) {
   append_id(out, id);
   out += "\"ok\":true,\"shutting_down\":true}\n";
   return out;
+}
+
+std::string serialize_score_request(const ScoreRequest& request) {
+  std::string out = "{\"op\":\"score\",";
+  append_id(out, request.id);
+  if (request.trace_id != 0) {
+    append_trace(out, request.trace_id);
+    out += ',';
+  }
+  if (!(request.content_key == Key128{})) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64 "%016" PRIx64,
+                  request.content_key.hi, request.content_key.lo);
+    out += "\"key\":\"";
+    out += buf;
+    out += "\",";
+  }
+  out += "\"events\":";
+  json::append_quoted(out, request.events);
+  if (!request.builtin.empty()) {
+    out += ",\"suite\":";
+    json::append_quoted(out, request.builtin);
+    out += ",\"instructions\":";
+    append_u64(out, request.instructions);
+  } else if (!request.csv_text.empty()) {
+    out += ",\"name\":";
+    json::append_quoted(out, request.csv_name);
+    out += ",\"csv\":";
+    json::append_quoted(out, request.csv_text);
+    if (!request.series_text.empty()) {
+      out += ",\"series_csv\":";
+      json::append_quoted(out, request.series_text);
+    }
+  } else if (request.data) {
+    // Direct-API matrix: forwarded as lossless CSV text, so the worker
+    // parses back the exact doubles.
+    out += ",\"name\":";
+    json::append_quoted(out, request.data->suite_name());
+    out += ",\"csv\":";
+    json::append_quoted(out, core::write_aggregates_csv_text(*request.data));
+    if (request.data->has_series()) {
+      out += ",\"series_csv\":";
+      json::append_quoted(out, core::write_series_csv_text(*request.data));
+    }
+  } else {
+    throw std::runtime_error("request has nothing to score");
+  }
+  out += "}\n";
+  return out;
+}
+
+bool parse_score_response(const std::string& line, ScoreResponse& out) {
+  json::Value response;
+  try {
+    response = json::parse(line);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (!response.is_object()) return false;
+  const json::Value* ok = response.find("ok");
+  if (!ok || (ok->type != json::Value::Type::Bool)) return false;
+  out = ScoreResponse{};
+  out.id = id_of(response);
+  out.ok = ok->boolean;
+  if (const json::Value* trace = response.find("trace")) {
+    if (!trace->is_string() || !parse_hex_u64(trace->string, out.trace_id)) {
+      return false;
+    }
+  }
+  if (out.ok) {
+    const json::Value* cache = response.find("cache");
+    const json::Value* report = response.find("report");
+    if (!cache || !cache->is_string() || !report || !report->is_string()) {
+      return false;
+    }
+    out.cache_hit = cache->string == "hit";
+    out.report = report->string;
+  } else {
+    const json::Value* error = response.find("error");
+    const json::Value* message = response.find("message");
+    if (!error || !error->is_string() || !message || !message->is_string()) {
+      return false;
+    }
+    out.error = error->string;
+    out.message = message->string;
+  }
+  return true;
+}
+
+std::string serialize_shard_stats(const std::string& id,
+                                  const std::string& mode,
+                                  const std::vector<WorkerStat>& workers) {
+  std::string out = "{";
+  append_id(out, id);
+  out += "\"ok\":true,\"mode\":";
+  json::append_quoted(out, mode);
+  out += ",\"workers\":[";
+  bool first = true;
+  for (const WorkerStat& stat : workers) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"worker\":";
+    append_u64(out, stat.worker);
+    out += ",\"pid\":";
+    char pid_buf[24];
+    std::snprintf(pid_buf, sizeof pid_buf, "%" PRId64, stat.pid);
+    out += pid_buf;
+    out += ",\"alive\":";
+    out += stat.alive ? "true" : "false";
+    out += ",\"restarts\":";
+    append_u64(out, stat.restarts);
+    out += ",\"forwarded\":";
+    append_u64(out, stat.forwarded);
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string serialize_metrics_merged(
+    const std::string& id,
+    const std::map<std::string, std::uint64_t>& counters,
+    const std::map<std::string, obs::DistributionStats>& distributions) {
+  std::string out = "{";
+  append_id(out, id);
+  out += "\"ok\":true,\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    json::append_quoted(out, name);
+    out += ':';
+    append_u64(out, value);
+  }
+  out += "},\"distributions\":{";
+  first = true;
+  for (const auto& [name, stats] : distributions) {
+    if (!first) out += ',';
+    first = false;
+    json::append_quoted(out, name);
+    out += ":{\"count\":";
+    append_u64(out, stats.count);
+    out += ",\"min\":";
+    append_double(out, stats.min);
+    out += ",\"max\":";
+    append_double(out, stats.max);
+    out += ",\"sum\":";
+    append_double(out, stats.sum);
+    out += ",\"mean\":";
+    append_double(out, stats.mean());
+    out += '}';
+  }
+  out += "},";
+  append_histograms(out);
+  out += "}\n";
+  return out;
+}
+
+std::string serialize_worker_hello(std::size_t worker, std::int64_t pid) {
+  std::string out = "{\"hello\":\"perspector-worker/1\",\"worker\":";
+  append_u64(out, worker);
+  out += ",\"pid\":";
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, pid);
+  out += buf;
+  out += "}\n";
+  return out;
+}
+
+bool parse_worker_hello(const std::string& line, std::size_t& worker,
+                        std::int64_t& pid) {
+  json::Value hello;
+  try {
+    hello = json::parse(line);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (!hello.is_object()) return false;
+  const json::Value* tag = hello.find("hello");
+  const json::Value* index = hello.find("worker");
+  const json::Value* pid_value = hello.find("pid");
+  if (!tag || !tag->is_string() || tag->string != "perspector-worker/1" ||
+      !index || !index->is_number() || !pid_value ||
+      !pid_value->is_number()) {
+    return false;
+  }
+  worker = static_cast<std::size_t>(index->number);
+  pid = static_cast<std::int64_t>(pid_value->number);
+  return true;
 }
 
 }  // namespace perspector::serve

@@ -7,6 +7,12 @@
 //   {"op":"score","name":"mysuite","csv":"workload,c1\na,1\n",
 //    "series_csv":"workload,counter,sample,value\n...","deadline_ms":250}
 //   {"op":"ping"}   {"op":"metrics"}   {"op":"stats"}   {"op":"shutdown"}
+//   {"op":"shard_stats"}                    (worker topology, router tier)
+//
+// A score request may also carry "trace" (16 hex digits) and "key" (32
+// hex digits): the serve::Router stamps its trace id and content key on
+// forwarded requests so the worker session reuses them instead of
+// deriving new ones — responses stay byte-identical at any worker count.
 //
 // Every request may carry an "id" (string or number) that is echoed
 // verbatim in its response. Responses:
@@ -33,14 +39,18 @@
 // score response is byte-identical to the one-shot CLI output.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <system_error>
+#include <vector>
 
-#include "serve/engine.hpp"
+#include "obs/metrics.hpp"
+#include "serve/backend.hpp"
 
 namespace perspector::serve {
 
-enum class Op { Score, Ping, Metrics, Stats, Shutdown };
+enum class Op { Score, Ping, Metrics, Stats, ShardStats, Shutdown };
 
 /// Thread-safe strerror replacement (std::strerror shares a static buffer
 /// across threads; clang-tidy concurrency-mt-unsafe). Pass `errno`.
@@ -84,5 +94,45 @@ std::string serialize_metrics(const std::string& id);
 std::string serialize_stats(const std::string& id);
 
 std::string serialize_shutdown(const std::string& id);
+
+// ---- Router tier ----------------------------------------------------------
+
+/// Serializes a score request as one protocol line for forwarding to a
+/// worker process. The line carries the router-assigned trace id and
+/// content key; an in-memory matrix travels as lossless (%.17g) CSV text.
+/// Throws std::runtime_error when the request has nothing to score.
+std::string serialize_score_request(const ScoreRequest& request);
+
+/// Parses one worker response line back into a ScoreResponse (the exact
+/// inverse of serialize_response). False on malformed input.
+bool parse_score_response(const std::string& line, ScoreResponse& out);
+
+/// Per-worker row of the shard_stats response.
+struct WorkerStat {
+  std::size_t worker = 0;
+  std::int64_t pid = -1;
+  bool alive = false;
+  std::uint64_t restarts = 0;
+  std::uint64_t forwarded = 0;
+};
+
+/// {"ok":true,"mode":...,"workers":[{"worker":0,"pid":...,...},...]}
+std::string serialize_shard_stats(const std::string& id,
+                                  const std::string& mode,
+                                  const std::vector<WorkerStat>& workers);
+
+/// The metrics response built from pre-merged counter/distribution maps
+/// (the Router sums its workers' registries into these) plus the *local*
+/// histogram registry — histogram percentile sketches do not merge.
+std::string serialize_metrics_merged(
+    const std::string& id,
+    const std::map<std::string, std::uint64_t>& counters,
+    const std::map<std::string, obs::DistributionStats>& distributions);
+
+/// Worker handshake: the first line a worker writes after fork, so the
+/// router knows the channel is live before routing to it.
+std::string serialize_worker_hello(std::size_t worker, std::int64_t pid);
+bool parse_worker_hello(const std::string& line, std::size_t& worker,
+                        std::int64_t& pid);
 
 }  // namespace perspector::serve

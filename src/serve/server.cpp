@@ -48,7 +48,7 @@ obs::Counter& responses_counter() {
 /// determined (parse errors, rejections, ping/metrics placeholders) carry
 /// it in `response`; score entries carry the request until executed.
 struct QueueEntry {
-  enum class Kind { Ready, Score, Metrics, Stats, Ping, Shutdown };
+  enum class Kind { Ready, Score, Metrics, Stats, ShardStats, Ping, Shutdown };
   Kind kind = Kind::Ready;
   std::string id;
   std::string response;  // serialized line (Kind::Ready)
@@ -57,28 +57,27 @@ struct QueueEntry {
   std::uint64_t deadline_ms = 0;
 };
 
-/// Deterministic 64-bit trace id: content digest of the request folded
-/// with the session's admission sequence number. Same session replay =>
-/// same ids; identical requests at different queue positions differ.
-/// Never returns 0 (0 means "unassigned" on the wire).
-std::uint64_t derive_trace_id(const ScoreRequest& request,
+/// Deterministic 64-bit trace id: the request's content key folded with
+/// the event filter and the session's admission sequence number. Same
+/// session replay => same ids; identical requests at different queue
+/// positions differ. Never returns 0 (0 means "unassigned" on the wire).
+std::uint64_t derive_trace_id(const Key128& content_key,
+                              const std::string& events,
                               std::uint64_t sequence) {
-  ContentHasher hasher;
-  hasher.str("trace-v1");
-  if (!request.builtin.empty()) {
-    hasher.str(request.builtin).u64(request.instructions);
-  } else if (request.data) {
-    hash_counter_matrix(hasher, *request.data);
-  }
-  hasher.str(request.events).u64(sequence);
-  const Key128 key = hasher.digest();
+  const Key128 key = ContentHasher{}
+                         .str("trace-v2")
+                         .u64(content_key.hi)
+                         .u64(content_key.lo)
+                         .str(events)
+                         .u64(sequence)
+                         .digest();
   const std::uint64_t id = key.hi ^ key.lo;
   return id != 0 ? id : 1;
 }
 
 class Session {
  public:
-  Session(Engine& engine, int in_fd, int out_fd,
+  Session(ScoreBackend& engine, int in_fd, int out_fd,
           const SessionOptions& options)
       : engine_(engine), in_fd_(in_fd), out_fd_(out_fd), options_(options) {
     now_ = options_.now ? options_.now
@@ -189,6 +188,9 @@ class Session {
       case Op::Stats:
         entry.kind = QueueEntry::Kind::Stats;
         break;
+      case Op::ShardStats:
+        entry.kind = QueueEntry::Kind::ShardStats;
+        break;
       case Op::Shutdown:
         entry.kind = QueueEntry::Kind::Shutdown;
         break;
@@ -207,7 +209,17 @@ class Session {
         ++pending_scores_;
         entry.kind = QueueEntry::Kind::Score;
         entry.request = std::move(parsed.score);
-        entry.request.trace_id = derive_trace_id(entry.request, ++sequence_);
+        // The content key is computed once here and reused everywhere
+        // downstream (trace id, result cache, shard assignment). A
+        // forwarded request arrives with both already on the wire.
+        if (entry.request.content_key == Key128{}) {
+          entry.request.content_key = engine_.content_key(entry.request);
+        }
+        ++sequence_;
+        if (entry.request.trace_id == 0) {
+          entry.request.trace_id = derive_trace_id(
+              entry.request.content_key, entry.request.events, sequence_);
+        }
         entry.deadline_ms = entry.request.deadline_ms != 0
                                 ? entry.request.deadline_ms
                                 : options_.default_deadline_ms;
@@ -285,12 +297,17 @@ class Session {
         case QueueEntry::Kind::Metrics:
           // Snapshot at serve time, after every earlier request in the
           // pipeline has been executed — so `score, score, metrics`
-          // observes both scores.
-          write_line(serialize_metrics(entry.id));
+          // observes both scores. The backend decides what a snapshot
+          // is: the Engine reads the process registry, the Router merges
+          // its workers' registries.
+          write_line(engine_.metrics_line(entry.id));
           break;
         case QueueEntry::Kind::Stats:
           // Same snapshot-at-serve-time rule as metrics.
-          write_line(serialize_stats(entry.id));
+          write_line(engine_.stats_line(entry.id));
+          break;
+        case QueueEntry::Kind::ShardStats:
+          write_line(engine_.shard_stats_line(entry.id));
           break;
         case QueueEntry::Kind::Shutdown:
           write_line(serialize_shutdown(entry.id));
@@ -348,7 +365,7 @@ class Session {
     }
   }
 
-  Engine& engine_;
+  ScoreBackend& engine_;
   const int in_fd_;
   const int out_fd_;
   const SessionOptions& options_;
@@ -365,18 +382,19 @@ class Session {
 
 }  // namespace
 
-SessionResult run_session(Engine& engine, int in_fd, int out_fd,
+SessionResult run_session(ScoreBackend& backend, int in_fd, int out_fd,
                           const SessionOptions& options) {
-  return Session(engine, in_fd, out_fd, options).run();
+  return Session(backend, in_fd, out_fd, options).run();
 }
 
-SessionResult run_stdio_server(Engine& engine,
+SessionResult run_stdio_server(ScoreBackend& backend,
                                const SessionOptions& options) {
   connections_counter().increment();
-  return run_session(engine, STDIN_FILENO, STDOUT_FILENO, options);
+  return run_session(backend, STDIN_FILENO, STDOUT_FILENO, options);
 }
 
-std::size_t run_tcp_server(Engine& engine, const ServerOptions& options) {
+std::size_t run_tcp_server(ScoreBackend& backend,
+                           const ServerOptions& options) {
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
     throw std::runtime_error("socket failed: " +
@@ -436,7 +454,7 @@ std::size_t run_tcp_server(Engine& engine, const ServerOptions& options) {
     ++connections;
     try {
       const SessionResult result =
-          run_session(engine, conn_fd, conn_fd, options.session);
+          run_session(backend, conn_fd, conn_fd, options.session);
       shutdown_requested = result.shutdown_requested;
     } catch (...) {
       ::close(conn_fd);

@@ -1,11 +1,13 @@
-// serve::Server — the NDJSON transport over the scoring Engine.
+// serve::Server — the NDJSON transport over a ScoreBackend (the
+// in-process Engine or the multi-process Router; see backend.hpp).
 //
 // One Session speaks the protocol over a pair of file descriptors (a
 // connected TCP socket, the stdio pipes, or a test fixture). The session
 // loop is single-threaded by design — the only thread the serving layer
 // ever creates is the TCP acceptor, and even that work happens on the
 // caller of Server::run(); all scoring parallelism comes from the
-// par:: pool the Engine already owns.
+// par:: pool the Engine already owns (or from the Router's worker
+// processes).
 //
 // The loop alternates between two phases:
 //
@@ -32,11 +34,12 @@
 // CLI) and a `{"op":"shutdown"}` request.
 //
 // Trace ids: every admitted score request gets a 64-bit trace id derived
-// deterministically from its content digest and the session's admission
+// deterministically from its content key and the session's admission
 // sequence number (so retrying the same session yields the same ids, and
-// repeats of one request within a session stay distinguishable). The id
-// is echoed as the response's `trace` field and stamped on slow-request
-// log lines.
+// repeats of one request within a session stay distinguishable). A
+// request that arrives with a trace id already on the wire — a router
+// forwarding to a worker — keeps it. The id is echoed as the response's
+// `trace` field and stamped on slow-request log lines.
 //
 // Counters: serve.admitted, serve.rejected, serve.timeouts,
 // serve.connections, serve.responses.
@@ -48,7 +51,7 @@
 #include <functional>
 #include <string>
 
-#include "serve/engine.hpp"
+#include "serve/backend.hpp"
 
 namespace perspector::serve {
 
@@ -84,7 +87,7 @@ struct SessionResult {
 /// The two fds may be the same (a socket). Throws std::runtime_error
 /// only on unrecoverable transport errors (e.g. the peer vanished with
 /// responses pending is *not* an error — the session just ends).
-SessionResult run_session(Engine& engine, int in_fd, int out_fd,
+SessionResult run_session(ScoreBackend& backend, int in_fd, int out_fd,
                           const SessionOptions& options);
 
 struct ServerOptions {
@@ -98,10 +101,11 @@ struct ServerOptions {
 /// before the first accept), then accepts and serves one connection at a
 /// time until `terminate` or a shutdown request. Returns the number of
 /// connections served.
-std::size_t run_tcp_server(Engine& engine, const ServerOptions& options);
+std::size_t run_tcp_server(ScoreBackend& backend, const ServerOptions& options);
 
 /// Stdio transport: one session over fds 0/1 (EOF on stdin drains and
 /// returns).
-SessionResult run_stdio_server(Engine& engine, const SessionOptions& options);
+SessionResult run_stdio_server(ScoreBackend& backend,
+                               const SessionOptions& options);
 
 }  // namespace perspector::serve

@@ -1,0 +1,57 @@
+#include "store/fault_injector.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace perspector::store {
+
+std::unique_ptr<FaultInjector> FaultInjector::parse(const char* spec) {
+  if (spec == nullptr || *spec == '\0') return nullptr;
+  auto injector = std::make_unique<FaultInjector>();
+  const std::string text(spec);
+  std::size_t start = 0;
+  bool armed_any = false;
+  while (start <= text.size()) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string entry = text.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) return nullptr;
+    const std::string name = entry.substr(0, colon);
+    const std::string count_text = entry.substr(colon + 1);
+    if (count_text.empty()) return nullptr;
+    std::uint64_t nth = 0;
+    for (char ch : count_text) {
+      if (ch < '0' || ch > '9') return nullptr;
+      nth = nth * 10 + static_cast<std::uint64_t>(ch - '0');
+    }
+    if (nth == 0) return nullptr;
+    FaultOp op;
+    if (name == "write") {
+      op = FaultOp::Write;
+    } else if (name == "torn") {
+      op = FaultOp::TornWrite;
+    } else if (name == "fsync") {
+      op = FaultOp::Fsync;
+    } else if (name == "mmap") {
+      op = FaultOp::Mmap;
+    } else {
+      return nullptr;
+    }
+    injector->arm(op, nth);
+    armed_any = true;
+  }
+  return armed_any ? std::move(injector) : nullptr;
+}
+
+std::unique_ptr<FaultInjector> FaultInjector::from_env() {
+#ifdef NDEBUG
+  return nullptr;
+#else
+  return parse(std::getenv("PERSPECTOR_STORE_FAULTS"));
+#endif
+}
+
+}  // namespace perspector::store

@@ -1,0 +1,78 @@
+// store::FaultInjector — a deterministic failure seam for the segment
+// store (DESIGN.md section 13).
+//
+// Durability code is only trustworthy if its failure paths are exercised:
+// a torn append, a failed fsync, an mmap that never materializes. The
+// injector lets a test arm "fail the Nth write" style faults without
+// touching the kernel; SegmentStore consults it (when non-null) at every
+// syscall boundary. The pointer is nullptr in production, so the hot path
+// pays one branch.
+//
+// Two ways in:
+//   * programmatic — tests construct an injector, arm() faults, and hand
+//     it to StoreOptions::faults (works in every build type);
+//   * environment — PERSPECTOR_STORE_FAULTS="write:3,fsync:1" via
+//     from_env(), for shell-level crash drills. The env hook is compiled
+//     out in release builds (NDEBUG): a stray variable in production must
+//     never be able to fail real writes.
+//
+// Thread-safe: counters are atomics, so concurrent store operations race
+// benignly for "who hits the Nth call".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace perspector::store {
+
+/// Syscall boundaries the store routes through the injector.
+enum class FaultOp {
+  Write = 0,      ///< record append fails cleanly (no bytes land)
+  TornWrite = 1,  ///< record append writes only a prefix, then "crashes"
+  Fsync = 2,      ///< fsync/msync reports failure
+  Mmap = 3,       ///< index mmap fails (store falls back to a heap index)
+};
+
+class FaultInjector {
+ public:
+  /// Arms `op` to fail on its `nth` upcoming occurrence (1 = next call).
+  /// Re-arming replaces the previous countdown for that op.
+  void arm(FaultOp op, std::uint64_t nth) noexcept {
+    slot(op).store(nth, std::memory_order_relaxed);
+  }
+
+  /// Consumes one occurrence of `op`; true exactly when the armed
+  /// countdown reaches it.
+  bool should_fail(FaultOp op) noexcept {
+    auto& remaining = slot(op);
+    std::uint64_t current = remaining.load(std::memory_order_relaxed);
+    while (current != 0) {
+      if (remaining.compare_exchange_weak(current, current - 1,
+                                          std::memory_order_relaxed)) {
+        return current == 1;
+      }
+    }
+    return false;
+  }
+
+  /// Parses a PERSPECTOR_STORE_FAULTS-style spec ("write:3,fsync:1",
+  /// ops: write | torn | fsync | mmap). Returns nullptr for an empty,
+  /// malformed, or absent spec. Exists separately from from_env() so the
+  /// parser is testable in release builds, where from_env() is inert.
+  static std::unique_ptr<FaultInjector> parse(const char* spec);
+
+  /// Reads PERSPECTOR_STORE_FAULTS. Always nullptr under NDEBUG — the
+  /// environment hook is a debug-build test seam, never a production
+  /// control surface.
+  static std::unique_ptr<FaultInjector> from_env();
+
+ private:
+  std::atomic<std::uint64_t>& slot(FaultOp op) noexcept {
+    return slots_[static_cast<std::size_t>(op)];
+  }
+
+  std::atomic<std::uint64_t> slots_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace perspector::store

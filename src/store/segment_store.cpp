@@ -1,0 +1,666 @@
+#include "store/segment_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+
+namespace perspector::store {
+
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x31525350u;  // "PSR1"
+constexpr std::uint32_t kIndexMagic = 0x31495350u;   // "PSI1"
+constexpr std::uint32_t kIndexVersion = 1;
+constexpr std::uint32_t kSlotEmpty = 0;
+constexpr std::uint32_t kSlotLive = 1;
+constexpr std::uint32_t kSlotTombstone = 2;
+
+obs::Counter& hits_counter() {
+  static obs::Counter& c = obs::counter("store.hits");
+  return c;
+}
+obs::Counter& misses_counter() {
+  static obs::Counter& c = obs::counter("store.misses");
+  return c;
+}
+obs::Counter& puts_counter() {
+  static obs::Counter& c = obs::counter("store.puts");
+  return c;
+}
+obs::Counter& put_failures_counter() {
+  static obs::Counter& c = obs::counter("store.put_failures");
+  return c;
+}
+obs::Counter& evicted_segments_counter() {
+  static obs::Counter& c = obs::counter("store.evicted_segments");
+  return c;
+}
+obs::Counter& recovered_counter() {
+  static obs::Counter& c = obs::counter("store.recovered_records");
+  return c;
+}
+obs::Counter& corrupt_counter() {
+  static obs::Counter& c = obs::counter("store.corrupt_skipped");
+  return c;
+}
+obs::Counter& fsync_failures_counter() {
+  static obs::Counter& c = obs::counter("store.fsync_failures");
+  return c;
+}
+obs::Counter& rebuilds_counter() {
+  static obs::Counter& c = obs::counter("store.index_rebuilds");
+  return c;
+}
+obs::Histogram& get_latency() {
+  static obs::Histogram& h = obs::histogram("store.get.latency");
+  return h;
+}
+obs::Histogram& put_latency() {
+  static obs::Histogram& h = obs::histogram("store.put.latency");
+  return h;
+}
+
+struct RecordHeader {
+  std::uint32_t magic = kRecordMagic;
+  std::uint32_t value_len = 0;
+  std::uint64_t key_hi = 0;
+  std::uint64_t key_lo = 0;
+  std::uint64_t checksum = 0;
+};
+static_assert(sizeof(RecordHeader) == 32, "record header layout drifted");
+
+std::uint64_t fnv1a64(std::uint64_t hash, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::uint64_t record_checksum(const StoreKey& key, std::uint32_t value_len,
+                              const void* value) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  hash = fnv1a64(hash, &key.hi, sizeof key.hi);
+  hash = fnv1a64(hash, &key.lo, sizeof key.lo);
+  hash = fnv1a64(hash, &value_len, sizeof value_len);
+  hash = fnv1a64(hash, value, value_len);
+  return hash;
+}
+
+std::string segment_path(const std::string& dir, std::uint32_t id) {
+  char name[32];
+  std::snprintf(name, sizeof name, "seg-%06u.psd", id);
+  return dir + "/" + name;
+}
+
+std::uint64_t round_up_pow2(std::uint64_t n) {
+  std::uint64_t p = 64;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(
+      "store: " + what + ": " +
+      std::error_code(errno, std::generic_category()).message());
+}
+
+bool read_exact(int fd, void* buffer, std::size_t n, std::uint64_t offset) {
+  auto* out = static_cast<unsigned char*>(buffer);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::pread(fd, out + done, n - done,
+                                static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct SegmentStore::Slot {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  std::uint32_t segment = 0;
+  std::uint32_t offset = 0;
+  std::uint32_t value_len = 0;
+  std::uint32_t state = kSlotEmpty;
+
+  static_assert(sizeof(std::uint64_t) * 2 + sizeof(std::uint32_t) * 4 == 32);
+};
+
+struct SegmentStore::IndexHeader {
+  std::uint32_t magic = kIndexMagic;
+  std::uint32_t version = kIndexVersion;
+  std::uint64_t slot_count = 0;
+  // Durability watermark: every record strictly before (segment, offset)
+  // was in the index at the last successful flush; later records are
+  // replayed from the segment files on open.
+  std::uint32_t watermark_segment = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t watermark_offset = 0;
+  std::uint64_t reserved2[4] = {0, 0, 0, 0};
+};
+
+SegmentStore::SegmentStore(StoreOptions options)
+    : options_(std::move(options)) {
+  static_assert(sizeof(Slot) == 32, "index slot layout drifted");
+  static_assert(sizeof(IndexHeader) == 64, "index header layout drifted");
+  if (options_.dir.empty()) {
+    throw std::runtime_error("store: options.dir must not be empty");
+  }
+  if (options_.faults == nullptr) {
+    env_faults_ = FaultInjector::from_env();
+    options_.faults = env_faults_.get();
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec) {
+    throw std::runtime_error("store: cannot create directory '" +
+                             options_.dir + "': " + ec.message());
+  }
+
+  // Discover existing segments (sorted by id; the highest is active).
+  for (const auto& entry : std::filesystem::directory_iterator(options_.dir)) {
+    const std::string name = entry.path().filename().string();
+    unsigned id = 0;
+    char tail = '\0';
+    if (std::sscanf(name.c_str(), "seg-%06u.psd%c", &id, &tail) == 1) {
+      Segment segment;
+      segment.id = static_cast<std::uint32_t>(id);
+      segments_.push_back(segment);
+    }
+  }
+  std::sort(segments_.begin(), segments_.end(),
+            [](const Segment& a, const Segment& b) { return a.id < b.id; });
+  for (Segment& segment : segments_) {
+    const std::string path = segment_path(options_.dir, segment.id);
+    segment.fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+    if (segment.fd < 0) fail("cannot open segment '" + path + "'");
+    struct stat st {};
+    if (::fstat(segment.fd, &st) != 0) fail("fstat '" + path + "'");
+    segment.size = static_cast<std::uint64_t>(st.st_size);
+  }
+  if (segments_.empty()) {
+    Segment segment;
+    segment.id = 1;
+    const std::string path = segment_path(options_.dir, segment.id);
+    segment.fd =
+        ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (segment.fd < 0) fail("cannot create segment '" + path + "'");
+    segments_.push_back(segment);
+  }
+
+  open_or_create_index();
+  replay_segments_locked();
+}
+
+SegmentStore::~SegmentStore() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fsync_active_locked();
+  msync_index_locked();
+  advance_watermark_locked();
+  msync_index_locked();
+  for (Segment& segment : segments_) {
+    if (segment.fd >= 0) ::close(segment.fd);
+  }
+  close_index();
+}
+
+bool SegmentStore::fault(FaultOp op) noexcept {
+  return options_.faults != nullptr && options_.faults->should_fail(op);
+}
+
+void SegmentStore::create_index_storage(std::uint64_t slot_count) {
+  close_index();
+  slot_count_ = slot_count;
+  live_ = 0;
+  tombstones_ = 0;
+  const std::uint64_t bytes = sizeof(IndexHeader) + slot_count * sizeof(Slot);
+
+  const std::string path = options_.dir + "/index.psi";
+  bool mapped = false;
+  if (!fault(FaultOp::Mmap)) {
+    const int fd =
+        ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd >= 0 && ::ftruncate(fd, static_cast<off_t>(bytes)) == 0) {
+      void* map = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                         fd, 0);
+      if (map != MAP_FAILED) {
+        index_fd_ = fd;
+        index_map_ = map;
+        index_map_bytes_ = bytes;
+        mapped = true;
+      } else {
+        ::close(fd);
+      }
+    } else if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+  if (!mapped) {
+    // Heap fallback: a volatile index rebuilt by a full scan next open.
+    index_heap_.assign(bytes, 0);
+  }
+  auto* base = mapped ? static_cast<unsigned char*>(index_map_)
+                      : index_heap_.data();
+  std::memset(base, 0, bytes);
+  header_ = reinterpret_cast<IndexHeader*>(base);
+  header_->magic = kIndexMagic;
+  header_->version = kIndexVersion;
+  header_->slot_count = slot_count;
+  slots_ = reinterpret_cast<Slot*>(base + sizeof(IndexHeader));
+}
+
+void SegmentStore::open_or_create_index() {
+  const std::string path = options_.dir + "/index.psi";
+  struct stat st {};
+  if (::stat(path.c_str(), &st) == 0 &&
+      static_cast<std::uint64_t>(st.st_size) >= sizeof(IndexHeader) &&
+      !fault(FaultOp::Mmap)) {
+    const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+    if (fd >= 0) {
+      IndexHeader header;
+      const bool header_ok =
+          read_exact(fd, &header, sizeof header, 0) &&
+          header.magic == kIndexMagic && header.version == kIndexVersion &&
+          header.slot_count >= 64 &&
+          (header.slot_count & (header.slot_count - 1)) == 0 &&
+          static_cast<std::uint64_t>(st.st_size) ==
+              sizeof(IndexHeader) + header.slot_count * sizeof(Slot);
+      if (header_ok) {
+        const std::uint64_t bytes =
+            sizeof(IndexHeader) + header.slot_count * sizeof(Slot);
+        void* map = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                           MAP_SHARED, fd, 0);
+        if (map != MAP_FAILED) {
+          index_fd_ = fd;
+          index_map_ = map;
+          index_map_bytes_ = bytes;
+          auto* base = static_cast<unsigned char*>(map);
+          header_ = reinterpret_cast<IndexHeader*>(base);
+          slots_ = reinterpret_cast<Slot*>(base + sizeof(IndexHeader));
+          slot_count_ = header_->slot_count;
+          bool slots_ok = true;
+          for (std::uint64_t i = 0; i < slot_count_; ++i) {
+            if (slots_[i].state == kSlotLive) {
+              ++live_;
+            } else if (slots_[i].state == kSlotTombstone) {
+              ++tombstones_;
+            } else if (slots_[i].state != kSlotEmpty) {
+              slots_ok = false;
+              break;
+            }
+          }
+          if (slots_ok) return;
+          // Garbage states: treat the whole file as invalid.
+          close_index();
+          live_ = 0;
+          tombstones_ = 0;
+        } else {
+          ::close(fd);
+        }
+      } else {
+        ::close(fd);
+      }
+    }
+  }
+  rebuilds_counter().increment();
+  create_index_storage(round_up_pow2(options_.index_slots));
+}
+
+void SegmentStore::close_index() noexcept {
+  if (index_map_ != nullptr) {
+    ::munmap(index_map_, index_map_bytes_);
+    index_map_ = nullptr;
+    index_map_bytes_ = 0;
+  }
+  if (index_fd_ >= 0) {
+    ::close(index_fd_);
+    index_fd_ = -1;
+  }
+  index_heap_.clear();
+  header_ = nullptr;
+  slots_ = nullptr;
+  slot_count_ = 0;
+}
+
+SegmentStore::Slot* SegmentStore::find_slot_locked(const StoreKey& key) {
+  const std::uint64_t mask = slot_count_ - 1;
+  std::uint64_t i = (key.hi ^ (key.lo * 0x9e3779b97f4a7c15ull)) & mask;
+  for (std::uint64_t probes = 0; probes < slot_count_; ++probes) {
+    Slot& slot = slots_[i];
+    if (slot.state == kSlotEmpty) return nullptr;
+    if (slot.state == kSlotLive && slot.hi == key.hi && slot.lo == key.lo) {
+      return &slot;
+    }
+    i = (i + 1) & mask;
+  }
+  return nullptr;
+}
+
+void SegmentStore::insert_slot_locked(const StoreKey& key,
+                                      std::uint32_t segment,
+                                      std::uint32_t offset,
+                                      std::uint32_t value_len) {
+  // Grow at ~70% occupancy (live + tombstones) so probes stay short.
+  if ((live_ + tombstones_ + 1) * 10 >= slot_count_ * 7) {
+    rebuild_index_grown();
+  }
+  const std::uint64_t mask = slot_count_ - 1;
+  std::uint64_t i = (key.hi ^ (key.lo * 0x9e3779b97f4a7c15ull)) & mask;
+  while (true) {
+    Slot& slot = slots_[i];
+    if (slot.state != kSlotLive) {
+      if (slot.state == kSlotTombstone) --tombstones_;
+      slot.hi = key.hi;
+      slot.lo = key.lo;
+      slot.segment = segment;
+      slot.offset = offset;
+      slot.value_len = value_len;
+      slot.state = kSlotLive;
+      ++live_;
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void SegmentStore::tombstone_locked(Slot& slot) {
+  slot.state = kSlotTombstone;
+  --live_;
+  ++tombstones_;
+}
+
+void SegmentStore::rebuild_index_grown() {
+  std::vector<Slot> keep;
+  keep.reserve(live_);
+  for (std::uint64_t i = 0; i < slot_count_; ++i) {
+    if (slots_[i].state == kSlotLive) keep.push_back(slots_[i]);
+  }
+  rebuilds_counter().increment();
+  create_index_storage(slot_count_ * 2);
+  for (const Slot& slot : keep) {
+    insert_slot_locked({slot.hi, slot.lo}, slot.segment, slot.offset,
+                       slot.value_len);
+  }
+}
+
+std::uint64_t SegmentStore::replay_one_locked(Segment& segment,
+                                              std::uint64_t from,
+                                              bool is_active) {
+  std::uint64_t offset = from;
+  std::string value;
+  while (offset + sizeof(RecordHeader) <= segment.size) {
+    RecordHeader header;
+    if (!read_exact(segment.fd, &header, sizeof header, offset)) break;
+    if (header.magic != kRecordMagic ||
+        header.value_len > options_.budget_bytes ||
+        offset + sizeof header + header.value_len > segment.size) {
+      corrupt_counter().increment();
+      break;
+    }
+    value.resize(header.value_len);
+    if (header.value_len > 0 &&
+        !read_exact(segment.fd, value.data(), header.value_len,
+                    offset + sizeof header)) {
+      corrupt_counter().increment();
+      break;
+    }
+    const StoreKey key{header.key_hi, header.key_lo};
+    if (record_checksum(key, header.value_len, value.data()) !=
+        header.checksum) {
+      corrupt_counter().increment();
+      break;
+    }
+    if (find_slot_locked(key) == nullptr) {
+      insert_slot_locked(key, segment.id,
+                         static_cast<std::uint32_t>(offset),
+                         header.value_len);
+      recovered_counter().increment();
+    }
+    offset += sizeof header + header.value_len;
+  }
+  if (is_active && offset < segment.size) {
+    // Torn or truncated tail: cut it off so later appends stay reachable.
+    if (::ftruncate(segment.fd, static_cast<off_t>(offset)) == 0) {
+      segment.size = offset;
+    }
+  }
+  return offset;
+}
+
+void SegmentStore::replay_segments_locked() {
+  const std::uint32_t wm_segment = header_->watermark_segment;
+  const std::uint64_t wm_offset = header_->watermark_offset;
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    Segment& segment = segments_[s];
+    const bool is_active = (s + 1 == segments_.size());
+    std::uint64_t from = 0;
+    if (segment.id < wm_segment) continue;
+    if (segment.id == wm_segment) from = std::min(wm_offset, segment.size);
+    replay_one_locked(segment, from, is_active);
+  }
+}
+
+SegmentStore::Segment* SegmentStore::segment_by_id_locked(std::uint32_t id) {
+  for (Segment& segment : segments_) {
+    if (segment.id == id) return &segment;
+  }
+  return nullptr;
+}
+
+void SegmentStore::fsync_active_locked() {
+  if (segments_.empty()) return;
+  if (fault(FaultOp::Fsync) || ::fsync(segments_.back().fd) != 0) {
+    fsync_failures_counter().increment();
+  }
+}
+
+void SegmentStore::msync_index_locked() {
+  if (index_map_ == nullptr) return;
+  if (fault(FaultOp::Fsync) ||
+      ::msync(index_map_, index_map_bytes_, MS_SYNC) != 0) {
+    fsync_failures_counter().increment();
+  }
+}
+
+void SegmentStore::advance_watermark_locked() {
+  if (header_ == nullptr || segments_.empty()) return;
+  header_->watermark_segment = segments_.back().id;
+  header_->watermark_offset = segments_.back().size;
+}
+
+void SegmentStore::roll_active_locked() {
+  fsync_active_locked();
+  Segment segment;
+  segment.id = segments_.back().id + 1;
+  const std::string path = segment_path(options_.dir, segment.id);
+  segment.fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
+                      0644);
+  if (segment.fd < 0) fail("cannot create segment '" + path + "'");
+  segments_.push_back(segment);
+  active_broken_ = false;
+  // Everything in the sealed segments is indexed; persist that fact so
+  // the next open only replays the (empty) new active tail.
+  msync_index_locked();
+  advance_watermark_locked();
+  msync_index_locked();
+}
+
+void SegmentStore::evict_to_budget_locked() {
+  std::uint64_t total = 0;
+  for (const Segment& segment : segments_) total += segment.size;
+  while (total > options_.budget_bytes && segments_.size() > 1) {
+    Segment victim = segments_.front();
+    segments_.erase(segments_.begin());
+    total -= victim.size;
+    if (victim.fd >= 0) ::close(victim.fd);
+    ::unlink(segment_path(options_.dir, victim.id).c_str());
+    for (std::uint64_t i = 0; i < slot_count_; ++i) {
+      if (slots_[i].state == kSlotLive && slots_[i].segment == victim.id) {
+        tombstone_locked(slots_[i]);
+      }
+    }
+    evicted_segments_counter().increment();
+  }
+}
+
+std::optional<std::string> SegmentStore::get(const StoreKey& key) {
+  obs::LatencyTimer timer(get_latency());
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot* slot = find_slot_locked(key);
+  if (slot == nullptr) {
+    misses_counter().increment();
+    return std::nullopt;
+  }
+  Segment* segment = segment_by_id_locked(slot->segment);
+  if (segment == nullptr) {
+    // Stale entry for an evicted segment (e.g. from an unsynced index).
+    tombstone_locked(*slot);
+    misses_counter().increment();
+    return std::nullopt;
+  }
+  RecordHeader header;
+  std::string value;
+  bool ok = read_exact(segment->fd, &header, sizeof header, slot->offset);
+  ok = ok && header.magic == kRecordMagic && header.key_hi == key.hi &&
+       header.key_lo == key.lo && header.value_len == slot->value_len;
+  if (ok) {
+    value.resize(header.value_len);
+    ok = header.value_len == 0 ||
+         read_exact(segment->fd, value.data(), header.value_len,
+                    slot->offset + sizeof header);
+    ok = ok && record_checksum(key, header.value_len, value.data()) ==
+                   header.checksum;
+  }
+  if (!ok) {
+    // The invariant of the whole store: a record that fails verification
+    // is dropped and reported as a miss, never served.
+    corrupt_counter().increment();
+    tombstone_locked(*slot);
+    misses_counter().increment();
+    return std::nullopt;
+  }
+  hits_counter().increment();
+  return value;
+}
+
+bool SegmentStore::put(const StoreKey& key, std::string_view value) {
+  obs::LatencyTimer timer(put_latency());
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t record_bytes = sizeof(RecordHeader) + value.size();
+  if (record_bytes > options_.budget_bytes ||
+      value.size() > 0xffffffffull) {
+    put_failures_counter().increment();
+    return false;
+  }
+  if (find_slot_locked(key) != nullptr) return true;  // write-once
+
+  Segment* active = &segments_.back();
+  if (active_broken_ ||
+      (active->size > 0 &&
+       active->size + record_bytes > options_.segment_bytes)) {
+    roll_active_locked();
+    active = &segments_.back();
+  }
+
+  if (fault(FaultOp::Write)) {
+    put_failures_counter().increment();
+    return false;
+  }
+
+  std::string buffer;
+  buffer.resize(record_bytes);
+  RecordHeader header;
+  header.value_len = static_cast<std::uint32_t>(value.size());
+  header.key_hi = key.hi;
+  header.key_lo = key.lo;
+  header.checksum = record_checksum(key, header.value_len, value.data());
+  std::memcpy(buffer.data(), &header, sizeof header);
+  std::memcpy(buffer.data() + sizeof header, value.data(), value.size());
+
+  std::size_t to_write = buffer.size();
+  if (fault(FaultOp::TornWrite)) {
+    // Simulated crash mid-append: a prefix lands, then the "machine
+    // dies". The tail stays in the file for recovery to detect; the
+    // active segment is considered broken and rolls before the next put.
+    to_write = buffer.size() / 2;
+  }
+  std::size_t written = 0;
+  bool io_ok = true;
+  while (written < to_write) {
+    const ssize_t n = ::pwrite(active->fd, buffer.data() + written,
+                               to_write - written,
+                               static_cast<off_t>(active->size + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_ok = false;
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  active->size += written;
+  if (!io_ok || to_write != buffer.size()) {
+    active_broken_ = true;
+    put_failures_counter().increment();
+    return false;
+  }
+
+  insert_slot_locked(key, active->id,
+                     static_cast<std::uint32_t>(active->size - record_bytes),
+                     header.value_len);
+  puts_counter().increment();
+  evict_to_budget_locked();
+  return true;
+}
+
+void SegmentStore::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fsync_active_locked();
+  msync_index_locked();
+  advance_watermark_locked();
+  msync_index_locked();
+}
+
+std::uint64_t SegmentStore::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_;
+}
+
+std::uint64_t SegmentStore::segment_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segments_.size();
+}
+
+std::uint64_t SegmentStore::bytes_used() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const Segment& segment : segments_) total += segment.size;
+  return total;
+}
+
+bool SegmentStore::index_mapped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_map_ != nullptr;
+}
+
+}  // namespace perspector::store

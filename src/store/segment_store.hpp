@@ -1,0 +1,160 @@
+// store::SegmentStore — a disk-backed content-addressed value store
+// (DESIGN.md section 13).
+//
+// Layout on disk, under one directory:
+//
+//   seg-000001.psd, seg-000002.psd, ...   append-only segment files
+//   index.psi                             mmap'd open-addressing index
+//
+// Each segment record is fully self-describing:
+//
+//   [u32 magic 'PSR1'][u32 value_len][u64 key_hi][u64 key_lo]
+//   [u64 checksum][value bytes]                      (32-byte header)
+//
+// where checksum is FNV-1a(64) over key_hi, key_lo, value_len and the
+// value bytes. A record is appended with a single write(); the active
+// segment rolls over at segment_bytes, and when the total on-disk budget
+// is exceeded the *oldest sealed* segments are deleted whole (the store
+// is a cache, not a log — eviction is segment-granular compaction).
+//
+// The index is a performance cache, never a source of truth: every get()
+// re-reads the record from its segment and verifies magic, key and
+// checksum before serving, so a stale, torn or corrupted entry degrades
+// to a miss (store.corrupt_skipped) — a corrupt record is never served.
+// On open the header's durability watermark says which records were
+// indexed before the last flush; everything after it is re-scanned from
+// the segment tails, stopping (and truncating the active tail) at the
+// first record that fails its checksum. A missing or invalid index file
+// just means a full rebuild scan; a failed mmap means a heap-allocated
+// index for this run (volatile, rebuilt on next open).
+//
+// Keys are 128-bit content digests supplied by the caller. The store is
+// write-once per key (content addressing: same key implies same bytes),
+// so put() on an existing key is a cheap no-op.
+//
+// Thread-safe behind one internal mutex; the serving layer keeps its hot
+// hits in an in-memory LRU above this store, so the mutex only sees
+// misses and first-writes.
+//
+// Counters: store.hits, store.misses, store.puts, store.put_failures,
+// store.evicted_segments, store.recovered_records, store.corrupt_skipped,
+// store.fsync_failures, store.index_rebuilds, plus store.get.latency and
+// store.put.latency histograms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/fault_injector.hpp"
+
+namespace perspector::store {
+
+/// 128-bit content key. Mirrors serve::Key128 without including a
+/// rank-7 serve header from this rank-1 layer (see tools/lint/layers.conf).
+struct StoreKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const StoreKey&, const StoreKey&) = default;
+};
+
+struct StoreOptions {
+  /// Directory holding segments and index; created if absent.
+  std::string dir;
+  /// Total on-disk budget; oldest sealed segments are deleted beyond it.
+  std::uint64_t budget_bytes = 256ull << 20;
+  /// Active segment rolls to a new file at this size.
+  std::uint64_t segment_bytes = 8ull << 20;
+  /// Initial open-addressing index capacity (rounded up to a power of
+  /// two; grows by rebuilding at ~70% load).
+  std::uint64_t index_slots = 1ull << 14;
+  /// Optional failure seam (tests). When null, debug builds consult
+  /// PERSPECTOR_STORE_FAULTS; release builds run fault-free.
+  FaultInjector* faults = nullptr;
+};
+
+class SegmentStore {
+ public:
+  /// Opens (or creates) the store, replaying unindexed segment tails.
+  /// Throws std::runtime_error when the directory cannot be created or a
+  /// segment cannot be opened.
+  explicit SegmentStore(StoreOptions options);
+  ~SegmentStore();
+
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  /// Returns the stored bytes for `key`, verifying the record checksum.
+  /// A record that fails verification is dropped from the index and
+  /// reported as a miss — never served.
+  std::optional<std::string> get(const StoreKey& key);
+
+  /// Appends a record (write-once: an existing live key is a no-op
+  /// success). False when the record cannot be written (I/O failure or
+  /// value larger than the whole budget); the store stays usable.
+  bool put(const StoreKey& key, std::string_view value);
+
+  /// fsyncs the active segment and msyncs the index, then advances the
+  /// durability watermark past everything written so far.
+  void flush();
+
+  std::uint64_t entries() const;
+  std::uint64_t segment_count() const;
+  std::uint64_t bytes_used() const;
+  /// True when the index is the mmap'd file (false = heap fallback).
+  bool index_mapped() const;
+
+ private:
+  struct Slot;        // 32-byte open-addressing index slot
+  struct IndexHeader; // index file header with the durability watermark
+  struct Segment {
+    std::uint32_t id = 0;
+    int fd = -1;
+    std::uint64_t size = 0;  // valid bytes (write offset for the active)
+  };
+
+  bool fault(FaultOp op) noexcept;
+  void open_or_create_index();
+  void create_index_storage(std::uint64_t slot_count);
+  void close_index() noexcept;
+  void rebuild_index_grown();
+  Slot* find_slot_locked(const StoreKey& key);
+  void insert_slot_locked(const StoreKey& key, std::uint32_t segment,
+                          std::uint32_t offset, std::uint32_t value_len);
+  void tombstone_locked(Slot& slot);
+  void replay_segments_locked();
+  std::uint64_t replay_one_locked(Segment& segment, std::uint64_t from,
+                                  bool is_active);
+  void roll_active_locked();
+  void evict_to_budget_locked();
+  void fsync_active_locked();
+  void msync_index_locked();
+  void advance_watermark_locked();
+  Segment* segment_by_id_locked(std::uint32_t id);
+
+  StoreOptions options_;
+  std::unique_ptr<FaultInjector> env_faults_;  // owns the from_env injector
+
+  mutable std::mutex mutex_;
+  std::vector<Segment> segments_;  // sorted by id; back() is active
+  bool active_broken_ = false;     // torn append: roll before next write
+
+  // Index storage: either the mmap'd file or the heap fallback.
+  int index_fd_ = -1;
+  void* index_map_ = nullptr;
+  std::uint64_t index_map_bytes_ = 0;
+  std::vector<unsigned char> index_heap_;
+  IndexHeader* header_ = nullptr;
+  Slot* slots_ = nullptr;
+  std::uint64_t slot_count_ = 0;
+  std::uint64_t live_ = 0;
+  std::uint64_t tombstones_ = 0;
+};
+
+}  // namespace perspector::store

@@ -1,0 +1,151 @@
+// FaultInjector seams: torn appends, failed writes, failed fsync, failed
+// mmap — proving the store degrades (miss, roll, heap index) instead of
+// serving bad bytes, and that the env hook stays inert in release builds.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "store/fault_injector.hpp"
+#include "store/segment_store.hpp"
+
+namespace fs = std::filesystem;
+using perspector::store::FaultInjector;
+using perspector::store::FaultOp;
+using perspector::store::SegmentStore;
+using perspector::store::StoreKey;
+using perspector::store::StoreOptions;
+
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/perspector_fault_" + name;
+  fs::remove_all(path);
+  return path;
+}
+
+}  // namespace
+
+TEST(FaultInjector, CountdownFiresExactlyOnce) {
+  FaultInjector faults;
+  faults.arm(FaultOp::Write, 3);
+  EXPECT_FALSE(faults.should_fail(FaultOp::Write));
+  EXPECT_FALSE(faults.should_fail(FaultOp::Write));
+  EXPECT_TRUE(faults.should_fail(FaultOp::Write));   // the 3rd call
+  EXPECT_FALSE(faults.should_fail(FaultOp::Write));  // consumed
+  EXPECT_FALSE(faults.should_fail(FaultOp::Fsync));  // other ops unarmed
+}
+
+TEST(FaultInjector, ParseAcceptsTheDocumentedSpec) {
+  const auto faults = FaultInjector::parse("write:2,torn:1,fsync:3,mmap:1");
+  ASSERT_NE(faults, nullptr);
+  EXPECT_FALSE(faults->should_fail(FaultOp::Write));
+  EXPECT_TRUE(faults->should_fail(FaultOp::Write));
+  EXPECT_TRUE(faults->should_fail(FaultOp::TornWrite));
+  EXPECT_TRUE(faults->should_fail(FaultOp::Mmap));
+  EXPECT_FALSE(faults->should_fail(FaultOp::Fsync));
+}
+
+TEST(FaultInjector, ParseRejectsGarbage) {
+  EXPECT_EQ(FaultInjector::parse(nullptr), nullptr);
+  EXPECT_EQ(FaultInjector::parse(""), nullptr);
+  EXPECT_EQ(FaultInjector::parse("write"), nullptr);
+  EXPECT_EQ(FaultInjector::parse("write:abc"), nullptr);
+  EXPECT_EQ(FaultInjector::parse("explode:1"), nullptr);
+}
+
+TEST(FaultInjector, EnvHookIsInertInReleaseBuilds) {
+#ifdef NDEBUG
+  // A stray production environment variable must never arm faults.
+  ::setenv("PERSPECTOR_STORE_FAULTS", "write:1", 1);
+  EXPECT_EQ(FaultInjector::from_env(), nullptr);
+  ::unsetenv("PERSPECTOR_STORE_FAULTS");
+#else
+  ::setenv("PERSPECTOR_STORE_FAULTS", "write:1", 1);
+  const auto faults = FaultInjector::from_env();
+  ASSERT_NE(faults, nullptr);
+  EXPECT_TRUE(faults->should_fail(FaultOp::Write));
+  ::unsetenv("PERSPECTOR_STORE_FAULTS");
+#endif
+}
+
+TEST(StoreFaults, FailedWriteDegradesToCleanFailure) {
+  const std::string dir = fresh_dir("write");
+  FaultInjector faults;
+  StoreOptions options;
+  options.dir = dir;
+  options.faults = &faults;
+  SegmentStore store(options);
+
+  ASSERT_TRUE(store.put({1, 1}, "before"));
+  faults.arm(FaultOp::Write, 1);
+  EXPECT_FALSE(store.put({2, 2}, "failed"));
+  // The failed key was never indexed; earlier and later puts still work.
+  EXPECT_FALSE(store.get({2, 2}).has_value());
+  EXPECT_EQ(store.get({1, 1}).value(), "before");
+  ASSERT_TRUE(store.put({3, 3}, "after"));
+  EXPECT_EQ(store.get({3, 3}).value(), "after");
+}
+
+TEST(StoreFaults, TornWriteIsDetectedByChecksumAndNeverServed) {
+  const std::string dir = fresh_dir("torn");
+  FaultInjector faults;
+  StoreOptions options;
+  options.dir = dir;
+  options.faults = &faults;
+  {
+    SegmentStore store(options);
+    ASSERT_TRUE(store.put({1, 1}, std::string(100, 'a')));
+    faults.arm(FaultOp::TornWrite, 1);
+    // The torn append reports failure and leaves a half-written record
+    // on disk, exactly like a crash mid-write().
+    EXPECT_FALSE(store.put({2, 2}, std::string(100, 'b')));
+    EXPECT_FALSE(store.get({2, 2}).has_value());
+    // The store rolled past the broken tail and keeps accepting writes.
+    ASSERT_TRUE(store.put({3, 3}, std::string(100, 'c')));
+    EXPECT_EQ(store.get({3, 3}).value(), std::string(100, 'c'));
+  }
+  // Recovery replays the segments: the torn record fails its checksum,
+  // is skipped, and the intact neighbors survive.
+  SegmentStore reopened(options);
+  EXPECT_EQ(reopened.get({1, 1}).value(), std::string(100, 'a'));
+  EXPECT_FALSE(reopened.get({2, 2}).has_value());
+  EXPECT_EQ(reopened.get({3, 3}).value(), std::string(100, 'c'));
+}
+
+TEST(StoreFaults, FsyncFailureIsCountedNotFatal) {
+  const std::string dir = fresh_dir("fsync");
+  FaultInjector faults;
+  StoreOptions options;
+  options.dir = dir;
+  options.faults = &faults;
+  SegmentStore store(options);
+  ASSERT_TRUE(store.put({1, 1}, "durable enough"));
+  faults.arm(FaultOp::Fsync, 1);
+  store.flush();  // must not throw; store.fsync_failures counts it
+  EXPECT_EQ(store.get({1, 1}).value(), "durable enough");
+  ASSERT_TRUE(store.put({2, 2}, "still writable"));
+}
+
+TEST(StoreFaults, MmapFailureFallsBackToHeapIndex) {
+  const std::string dir = fresh_dir("mmap");
+  FaultInjector faults;
+  faults.arm(FaultOp::Mmap, 1);
+  StoreOptions options;
+  options.dir = dir;
+  options.faults = &faults;
+  {
+    SegmentStore store(options);
+    EXPECT_FALSE(store.index_mapped());
+    ASSERT_TRUE(store.put({1, 1}, "heap indexed"));
+    EXPECT_EQ(store.get({1, 1}).value(), "heap indexed");
+    store.flush();
+  }
+  // Next open mmaps normally and recovers the data by replay (a heap
+  // index is volatile — it never reached index.psi).
+  StoreOptions clean = options;
+  clean.faults = nullptr;
+  SegmentStore reopened(clean);
+  EXPECT_TRUE(reopened.index_mapped());
+  EXPECT_EQ(reopened.get({1, 1}).value(), "heap indexed");
+}

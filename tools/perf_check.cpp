@@ -12,11 +12,18 @@
 // generous because bench machines and CI runners are noisy — this gate
 // catches order-of-magnitude mistakes, not 5% drift).
 //
+// A *gated* metric (one whose suffix gives it a direction) that exists
+// in the baseline but not in the fresh record is itself a failure: a
+// renamed or deleted bench row silently un-gates the very number the
+// baseline was committed to protect. Informational metrics may come and
+// go freely.
+//
 // Prints a comparison table plus the provenance of both records (git
 // rev, worker threads, bench config) so a failure report is
 // self-contained. Exit codes: 0 all gated metrics within threshold,
 // 1 at least one regression, 2 I/O or parse trouble (missing file,
-// malformed JSON, records from different benches).
+// malformed JSON, records from different benches), 3 a gated baseline
+// metric is missing from the fresh record.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -160,15 +167,18 @@ int main(int argc, char** argv) {
   const auto* fresh_metrics = fresh.root.find("metrics");
   core::Table table({"metric", "baseline", "fresh", "ratio", "status"});
   std::vector<std::string> regressions;
+  std::vector<std::string> missing_gated;
   for (const auto& [name, base_value] : baseline_metrics->members) {
     if (!base_value.is_number()) continue;
     const auto* fresh_value = fresh_metrics->find(name);
+    const Direction direction = direction_of(name);
     if (!fresh_value || !fresh_value->is_number()) {
+      const bool gated = direction != Direction::Info;
       table.add_row({name, format_value(base_value.number), "-", "-",
-                     "missing in fresh"});
+                     gated ? "MISSING FROM FRESH" : "missing in fresh"});
+      if (gated) missing_gated.push_back(name);
       continue;
     }
-    const Direction direction = direction_of(name);
     if (direction == Direction::Info) {
       table.add_row({name, format_value(base_value.number),
                      format_value(fresh_value->number), "-", "info"});
@@ -198,6 +208,16 @@ int main(int argc, char** argv) {
   }
 
   std::cout << table.to_text();
+  if (!missing_gated.empty()) {
+    // Reported ahead of regressions: a vanished gate is worse than a
+    // tripped one, because nothing else will ever trip it again.
+    std::cout << "\n" << missing_gated.size()
+              << " gated metric(s) missing from fresh:";
+    for (const auto& name : missing_gated) std::cout << " " << name;
+    std::cout << "\n(a renamed or deleted bench row un-gates its baseline;"
+                 " refresh the baseline deliberately instead)\n";
+    return 3;
+  }
   if (!regressions.empty()) {
     std::cout << "\n" << regressions.size() << " metric(s) regressed beyond "
               << format_value(max_regress) << "x:";

@@ -53,6 +53,7 @@
 #include "serve/client.hpp"
 #include "serve/engine.hpp"
 #include "serve/protocol.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -139,7 +140,7 @@ const char* general_usage_text() {
       "  score   --csv <agg.csv> [--series <ser.csv>] [--events all|llc|tlb|branch]\n"
       "  compare --csv <a.csv> --csv <b.csv> ... [--events all|llc|tlb|branch]\n"
       "  subset  --csv <agg.csv> --size K [--method lhs|random|prior] [--seed S]\n"
-      "  serve   [--port N | --stdio] [--cache-mb N] [--max-queue N] ...\n"
+      "  serve   [--port N | --stdio] [--workers N] [--cache-dir PATH] ...\n"
       "  client  --port N (--suite <name> | --csv <file>) [--repeat K] ...\n"
       "  help    [<command>]                      this message, or per-command usage\n"
       "observability (any command):\n"
@@ -191,6 +192,7 @@ std::string command_usage_text(const std::string& command) {
     return "usage: perspector serve [--port N | --stdio] [--threads N]\n"
            "                        [--cache-mb N] [--max-queue N]\n"
            "                        [--max-batch N] [--deadline-ms N]\n"
+           "                        [--workers N] [--cache-dir PATH]\n"
            "  Run the resident scoring service. Default transport is loopback\n"
            "  TCP (--port 0 picks a free port and prints it); --stdio speaks\n"
            "  the same newline-delimited-JSON protocol over stdin/stdout.\n"
@@ -201,6 +203,14 @@ std::string command_usage_text(const std::string& command) {
            "  --deadline-ms N   default queue-wait deadline (default 0 = none)\n"
            "  --slow-ms N       warn-log requests slower than N ms (default 0\n"
            "                    = off; needs --log-level warn or higher)\n"
+           "  --workers N       fork N single-threaded worker processes and\n"
+           "                    shard requests across them by content digest\n"
+           "                    (default 0 = score in-process); crashed\n"
+           "                    workers are restarted, responses are\n"
+           "                    byte-identical at any worker count\n"
+           "  --cache-dir PATH  disk-backed result store (survives restarts;\n"
+           "                    one live process per directory)\n"
+           "  --store-mb N      on-disk budget for --cache-dir (default 256)\n"
            "  SIGTERM (or EOF in --stdio mode) drains admitted requests and\n"
            "  exits 0. Add --metrics to print the serve.* counters on exit.\n";
   }
@@ -410,12 +420,40 @@ int cmd_serve(const Args& args) {
     throw UsageError("--stdio and --port are mutually exclusive");
   }
 
+  std::size_t workers = 0;  // 0 = in-process Engine, no router tier
+  if (const auto n = args.get("workers")) {
+    workers = parse_u64(*n, "workers");
+    if (workers > 64) throw UsageError("option '--workers' must be <= 64");
+  }
+  std::string cache_dir;
+  if (const auto dir = args.get("cache-dir")) cache_dir = *dir;
+  std::uint64_t store_bytes = 256ull << 20;
+  if (const auto mb = args.get("store-mb")) {
+    store_bytes = parse_u64(*mb, "store-mb") << 20;
+  }
+
   install_signal_handlers();
   session.terminate = &g_terminate;
 
-  serve::Engine engine(engine_options);
+  // Workers must fork before the serving threads/caches warm up, so the
+  // backend is constructed before any transport work begins.
+  std::unique_ptr<serve::ScoreBackend> backend;
+  if (workers > 0) {
+    serve::RouterOptions router_options;
+    router_options.workers = workers;
+    router_options.engine = engine_options;
+    router_options.router_cache_bytes = engine_options.cache_bytes;
+    router_options.cache_dir = cache_dir;
+    router_options.store_bytes = store_bytes;
+    backend = std::make_unique<serve::Router>(router_options);
+  } else {
+    engine_options.cache_dir = cache_dir;
+    engine_options.store_bytes = store_bytes;
+    backend = std::make_unique<serve::Engine>(engine_options);
+  }
+
   if (args.has("stdio")) {
-    serve::run_stdio_server(engine, session);
+    serve::run_stdio_server(*backend, session);
     return 0;
   }
   serve::ServerOptions server;
@@ -425,7 +463,7 @@ int cmd_serve(const Args& args) {
     if (value > 65535) throw UsageError("option '--port' must be <= 65535");
     server.port = static_cast<std::uint16_t>(value);
   }
-  serve::run_tcp_server(engine, server);
+  serve::run_tcp_server(*backend, server);
   return 0;
 }
 

@@ -1,7 +1,8 @@
 #!/bin/sh
-# End-to-end smoke test for `perspector serve` over TCP, run by CI after
-# the release build:
+# End-to-end smoke tests for `perspector serve` over TCP, run by CI
+# after the release build (and, for the restart phase, by ctest).
 #
+# Phase "basic" — the single-process engine:
 #   1. start the server on an ephemeral port and parse the printed port;
 #   2. score spec17 and parsec through the client, twice each;
 #   3. assert via the metrics op that the second round was served from
@@ -11,30 +12,104 @@
 #      positive p99;
 #   5. SIGTERM the server and assert it drains and exits 0.
 #
-# Usage: tools/serve_smoke.sh [path-to-perspector-binary]
+# Phase "restart" — the multi-worker tier and its disk-backed store:
+#   1. start `serve --workers 2 --cache-dir <dir>`, score two suites
+#      twice (second round = router-cache hits), saving the responses;
+#   2. SIGKILL the whole tier — no destructor, no store flush;
+#   3. restart with the same --cache-dir and assert the same requests
+#      come back byte-identical AND from disk (store.hits > 0 in the
+#      merged metrics): tail-replay recovery must have rebuilt the
+#      store from the unflushed segment files;
+#   4. SIGTERM the restarted server and assert a clean drain.
+#
+# Usage: tools/serve_smoke.sh [path-to-perspector-binary] [basic|restart|all]
 set -eu
 
 BIN="${1:-./build/tools/perspector}"
+PHASE="${2:-all}"
 LOG="$(mktemp)"
 OUT="$(mktemp)"
-trap 'rm -f "$LOG" "$OUT"; kill "$SERVER_PID" 2>/dev/null || true' EXIT
+CACHE_DIR=""
+SERVER_PID=""
+trap 'rm -f "$LOG" "$OUT"; [ -z "$CACHE_DIR" ] || rm -rf "$CACHE_DIR"; [ -z "$SERVER_PID" ] || kill -9 "$SERVER_PID" 2>/dev/null || true' EXIT
 
-"$BIN" serve --port 0 --max-queue 8 >"$LOG" 2>&1 &
-SERVER_PID=$!
+# start_server <serve-args...> — launches the server, waits for the
+# listening line, and sets SERVER_PID / PORT.
+start_server() {
+  : >"$LOG"
+  "$BIN" serve --port 0 "$@" >"$LOG" 2>&1 &
+  SERVER_PID=$!
+  i=0
+  until grep -q "serve: listening" "$LOG"; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "FAIL: server never printed its listening line" >&2
+      cat "$LOG" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG" | head -1)
+  echo "server up on port $PORT (pid $SERVER_PID)"
+}
 
-# Wait for the listening line (the port is kernel-assigned).
-i=0
-until grep -q "serve: listening" "$LOG"; do
-  i=$((i + 1))
-  if [ "$i" -gt 100 ]; then
-    echo "FAIL: server never printed its listening line" >&2
+run_restart_phase() {
+  CACHE_DIR="$(mktemp -d)"
+  PRE1="$CACHE_DIR/pre1" PRE2="$CACHE_DIR/pre2"
+  POST1="$CACHE_DIR/post1" POST2="$CACHE_DIR/post2"
+
+  start_server --workers 2 --cache-dir "$CACHE_DIR/store" --max-queue 8
+
+  # Round 1 computes in the workers; round 2 must be served by the
+  # router's cache. The round-2 bytes are the reference transcripts.
+  "$BIN" client --port "$PORT" --suite lmbench --instructions 20000 >/dev/null
+  "$BIN" client --port "$PORT" --suite sebs --instructions 20000 >/dev/null
+  "$BIN" client --port "$PORT" --suite lmbench --instructions 20000 >"$PRE1"
+  "$BIN" client --port "$PORT" --suite sebs --instructions 20000 >"$PRE2"
+
+  # Kill the tier outright: no shutdown path runs, the store's index
+  # watermark is stale, and the tail of the segment file is unflushed.
+  kill -9 "$SERVER_PID"
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+  echo "tier SIGKILLed; restarting against the same store"
+
+  start_server --workers 2 --cache-dir "$CACHE_DIR/store" --max-queue 8
+  "$BIN" client --port "$PORT" --suite lmbench --instructions 20000 >"$POST1"
+  "$BIN" client --port "$PORT" --suite sebs --instructions 20000 >"$POST2"
+  cmp "$PRE1" "$POST1" || { echo "FAIL: lmbench response differs after restart" >&2; exit 1; }
+  cmp "$PRE2" "$POST2" || { echo "FAIL: sebs response differs after restart" >&2; exit 1; }
+
+  # Both post-restart answers must have come from the disk store (the
+  # restarted router's memory cache started empty).
+  STORE_HITS=$("$BIN" client --port "$PORT" --metrics 2>/dev/null \
+    | awk '$1 == "store.hits" { print $2 }')
+  echo "store.hits = ${STORE_HITS:-0}"
+  if [ "${STORE_HITS:-0}" -lt 2 ]; then
+    echo "FAIL: post-restart responses were not served from the store" >&2
+    exit 1
+  fi
+
+  kill -TERM "$SERVER_PID"
+  RC=0
+  wait "$SERVER_PID" || RC=$?
+  SERVER_PID=""
+  if [ "$RC" -ne 0 ]; then
+    echo "FAIL: restarted tier exited $RC on SIGTERM" >&2
     cat "$LOG" >&2
     exit 1
   fi
-  sleep 0.1
-done
-PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG" | head -1)
-echo "server up on port $PORT (pid $SERVER_PID)"
+  rm -rf "$CACHE_DIR"
+  CACHE_DIR=""
+  echo "restart smoke OK (byte-identical responses, served from disk)"
+}
+
+if [ "$PHASE" = "restart" ]; then
+  run_restart_phase
+  exit 0
+fi
+
+start_server --max-queue 8
 
 # Round 1: cold — both suites computed.
 "$BIN" client --port "$PORT" --suite spec17 --instructions 20000 >/dev/null
@@ -79,9 +154,14 @@ esac
 kill -TERM "$SERVER_PID"
 RC=0
 wait "$SERVER_PID" || RC=$?
+SERVER_PID=""
 if [ "$RC" -ne 0 ]; then
   echo "FAIL: server exited $RC on SIGTERM" >&2
   cat "$LOG" >&2
   exit 1
 fi
 echo "serve smoke OK (clean SIGTERM drain, cache hits confirmed)"
+
+if [ "$PHASE" = "all" ]; then
+  run_restart_phase
+fi
