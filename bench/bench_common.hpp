@@ -149,8 +149,8 @@ inline std::vector<core::CounterMatrix> collect_all_suites(
 /// obs histogram and per-phase trace totals for drill-down.
 ///
 /// Metric names encode their direction for perf_check via suffix:
-/// `*_rps` means higher is better; `*_us` / `*_ms` / `*_ns` mean lower
-/// is better. Other names are compared informationally only.
+/// `*_rps` / `*_mbps` mean higher is better; `*_us` / `*_ms` / `*_ns`
+/// mean lower is better. Other names are compared informationally only.
 class BenchReport {
  public:
   BenchReport(std::string bench, const BenchConfig& config)

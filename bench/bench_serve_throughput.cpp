@@ -16,6 +16,13 @@
 // are answered from the router-level cache without touching a worker,
 // so these rows must track the Engine warm rows, not the pipe latency.
 //
+// The delta section at the bottom measures the live-suite mutation
+// path: with a 50-workload resident suite, how long does add_workload
+// (one incremental DTW strip through the warm ScoringWorkspace) take
+// versus scoring the same 51-workload content cold (full re-prime)?
+// delta_speedup = full_reprime_us / delta_rescore_us is the headline
+// the incremental re-scorer exists for.
+//
 // Besides the stdout table, writes machine-readable results to
 // results/bench_serve.json (override with --out <path>).
 #include <algorithm>
@@ -28,6 +35,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/io.hpp"
 #include "serve/engine.hpp"
 #include "serve/router.hpp"
 
@@ -130,12 +138,107 @@ ModeResult run_mode_best(Args&&... args) {
   return best;
 }
 
+struct DeltaResult {
+  double delta_us = 0.0;  // add_workload against the warm resident
+  double full_us = 0.0;   // cold one-shot score of the same content
+};
+
+constexpr std::size_t kDeltaRepeats = 5;
+
+/// Times the incremental mutation path against a cold full re-prime on
+/// a 50-workload live suite. Both engines run with a zero-byte result
+/// cache so every pass is real compute; both passes produce the same
+/// 51-workload content, so the comparison is strip-vs-full-DTW plus the
+/// shared report pipeline.
+DeltaResult run_delta(const bench::BenchConfig& config) {
+  // 50-workload resident content: spec17 (43) padded with the first 7
+  // nbench workloads; the 8th nbench workload is the add payload.
+  const core::CounterMatrix spec =
+      serve::simulate_builtin("spec17", config.instructions);
+  const core::CounterMatrix nb =
+      serve::simulate_builtin("nbench", config.instructions);
+  const core::CounterMatrix pad = nb.select_workloads({0, 1, 2, 3, 4, 5, 6});
+  const core::CounterMatrix base = core::append_workloads_csv_text(
+      spec, core::write_aggregates_csv_text(pad),
+      core::write_series_csv_text(pad));
+  const core::CounterMatrix extra = nb.select_workloads({7});
+  const std::string add_agg = core::write_aggregates_csv_text(extra);
+  const std::string add_ser = core::write_series_csv_text(extra);
+  const std::string added = extra.workload_names()[0];
+
+  serve::EngineOptions no_cache;
+  no_cache.cache_bytes = 0;
+
+  serve::Engine engine(no_cache);
+  serve::MutateRequest load;
+  load.id = "load";
+  load.op = serve::MutateOp::LoadSuite;
+  load.suite = "live50";
+  load.csv_text = core::write_aggregates_csv_text(base);
+  load.series_text = core::write_series_csv_text(base);
+  if (!engine.mutate(load).ok) {
+    std::cerr << "delta bench: load_suite failed\n";
+    std::exit(1);
+  }
+  serve::MutateRequest add;
+  add.op = serve::MutateOp::AddWorkload;
+  add.suite = "live50";
+  add.csv_text = add_agg;
+  add.series_text = add_ser;
+  serve::MutateRequest drop;
+  drop.op = serve::MutateOp::DropWorkload;
+  drop.suite = "live50";
+  drop.workload = added;
+
+  DeltaResult result;
+  for (std::size_t r = 0; r < kDeltaRepeats; ++r) {
+    add.id = "a" + std::to_string(r);
+    const auto t0 = Clock::now();
+    const serve::MutateResponse response = engine.mutate(add);
+    const auto t1 = Clock::now();
+    if (!response.ok) {
+      std::cerr << "delta bench: add_workload failed: " << response.message
+                << "\n";
+      std::exit(1);
+    }
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    if (r == 0 || us < result.delta_us) result.delta_us = us;
+    drop.id = "d" + std::to_string(r);
+    if (!engine.mutate(drop).ok) {
+      std::cerr << "delta bench: drop_workload failed\n";
+      std::exit(1);
+    }
+  }
+
+  const auto full_content = std::make_shared<const core::CounterMatrix>(
+      core::append_workloads_csv_text(base, add_agg, add_ser));
+  for (std::size_t r = 0; r < kDeltaRepeats; ++r) {
+    serve::Engine cold(no_cache);  // fresh workspace: a true full prime
+    serve::ScoreRequest request;
+    request.id = "f" + std::to_string(r);
+    request.data = full_content;
+    const auto t0 = Clock::now();
+    const serve::ScoreResponse response = cold.score(request);
+    const auto t1 = Clock::now();
+    if (!response.ok) {
+      std::cerr << "delta bench: full re-prime failed: " << response.message
+                << "\n";
+      std::exit(1);
+    }
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    if (r == 0 || us < result.full_us) result.full_us = us;
+  }
+  return result;
+}
+
 /// Emits the uniform BenchReport record (see bench_common.hpp). Metric
 /// names are "<mode><clients>c_<stat>", e.g. warm4c_rps / cold1c_p99_us,
 /// so perf_check picks up direction from the suffix (rps higher-better,
 /// _us lower-better).
 void write_json(const std::string& path, const std::vector<ModeResult>& rows,
-                const bench::BenchConfig& config) {
+                const DeltaResult& delta, const bench::BenchConfig& config) {
   bench::BenchReport report("serve_throughput", config);
   for (const auto& r : rows) {
     const std::string prefix = r.mode + std::to_string(r.clients) + "c_";
@@ -143,6 +246,9 @@ void write_json(const std::string& path, const std::vector<ModeResult>& rows,
     report.add_metric(prefix + "p50_us", r.p50_us);
     report.add_metric(prefix + "p99_us", r.p99_us);
   }
+  report.add_metric("delta_rescore_us", delta.delta_us);
+  report.add_metric("full_reprime_us", delta.full_us);
+  report.add_metric("delta_speedup", delta.full_us / delta.delta_us);
   report.write(path);
 }
 
@@ -222,6 +328,10 @@ int main(int argc, char** argv) {
   rows.push_back(run_mode_best("w8warm", w8_router, 8, kWarmRequestsPerClient,
                           true, warm_request));
 
+  std::cerr << "measuring delta re-score vs full re-prime "
+               "(50-workload live suite)...\n";
+  const DeltaResult delta = run_delta(config);
+
   core::Table table(
       {"mode", "clients", "requests", "wall ms", "req/s", "p50 us", "p99 us"});
   for (const auto& r : rows) {
@@ -232,8 +342,15 @@ int main(int argc, char** argv) {
                    core::format_double(r.p99_us, 1)});
   }
   std::cout << "Serving engine throughput (cold vs warm result cache)\n\n"
-            << table.to_text();
+            << table.to_text()
+            << "\nLive-suite delta re-score (50-workload resident, "
+               "add_workload, best of "
+            << kDeltaRepeats << ")\n"
+            << "  delta re-score: " << core::format_double(delta.delta_us, 1)
+            << " us\n  full re-prime:  "
+            << core::format_double(delta.full_us, 1) << " us\n  speedup:        "
+            << core::format_double(delta.full_us / delta.delta_us, 2) << "x\n";
 
-  write_json(out_path, rows, config);
+  write_json(out_path, rows, delta, config);
   return 0;
 }

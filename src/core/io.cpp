@@ -1,22 +1,34 @@
 #include "core/io.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
+
+#include "ingest/csv_stream.hpp"
+#include "ingest/name_index.hpp"
+#include "ingest/number.hpp"
 
 namespace perspector::core {
 
 namespace {
 
+using ingest::csv_location;
+
 // Minimal RFC-4180-ish CSV line splitter (handles quoted cells with
-// embedded commas and doubled quotes).
+// embedded commas and doubled quotes). `byte_offset` is the line's first
+// byte in the input, reported alongside the line number so errors stay
+// greppable in GB-scale files.
 std::vector<std::string> split_csv_line(const std::string& line,
-                                        std::size_t line_no) {
+                                        std::size_t line_no,
+                                        std::uint64_t byte_offset) {
   std::vector<std::string> cells;
   std::string cell;
   bool quoted = false;
@@ -43,7 +55,7 @@ std::vector<std::string> split_csv_line(const std::string& line,
     }
   }
   if (quoted) {
-    throw std::runtime_error("CSV line " + std::to_string(line_no) +
+    throw std::runtime_error(csv_location(line_no, byte_offset) +
                              ": unterminated quote");
   }
   cells.push_back(std::move(cell));
@@ -61,24 +73,39 @@ std::string csv_escape(const std::string& cell) {
   return out;
 }
 
-double parse_double(const std::string& cell, std::size_t line_no) {
+double parse_double(std::string_view cell, std::size_t line_no,
+                    std::uint64_t byte_offset) {
   double value = 0.0;
   const char* first = cell.data();
   const char* last = cell.data() + cell.size();
   const auto [ptr, ec] = std::from_chars(first, last, value);
   if (ec != std::errc{} || ptr != last) {
-    throw std::runtime_error("CSV line " + std::to_string(line_no) +
-                             ": expected a number, got '" + cell + "'");
+    throw std::runtime_error(csv_location(line_no, byte_offset) +
+                             ": expected a number, got '" +
+                             std::string(cell) + "'");
   }
   // from_chars happily parses "nan"/"inf"/"infinity"; every score is
   // undefined over non-finite counters, so reject them at the boundary
   // instead of letting them poison normalization silently.
   if (!std::isfinite(value)) {
-    throw std::runtime_error("CSV line " + std::to_string(line_no) +
-                             ": non-finite value '" + cell +
+    throw std::runtime_error(csv_location(line_no, byte_offset) +
+                             ": non-finite value '" + std::string(cell) +
                              "' is not allowed");
   }
   return value;
+}
+
+/// Streamed-path variant of parse_double: the ingest fast path covers
+/// short plain decimals with a correctly-rounded (bit-identical to
+/// from_chars) multiply, and everything it declines — long significands,
+/// extreme exponents, nan/inf, malformed cells — re-parses through
+/// parse_double above, so the accepted inputs, the parsed bits, and every
+/// error message stay exactly the slurp reader's.
+double parse_double_fast(std::string_view cell, std::size_t line_no,
+                         std::uint64_t byte_offset) {
+  double value = 0.0;
+  if (ingest::parse_number(cell, value)) return value;
+  return parse_double(cell, line_no, byte_offset);
 }
 
 /// Drops a leading UTF-8 byte-order mark (EF BB BF) from the first line —
@@ -91,13 +118,15 @@ void strip_utf8_bom(std::string& line) {
   }
 }
 
-std::size_t parse_index(const std::string& cell, std::size_t line_no) {
+std::size_t parse_index(std::string_view cell, std::size_t line_no,
+                        std::uint64_t byte_offset) {
   std::size_t value = 0;
   const auto [ptr, ec] =
       std::from_chars(cell.data(), cell.data() + cell.size(), value);
   if (ec != std::errc{} || ptr != cell.data() + cell.size()) {
-    throw std::runtime_error("CSV line " + std::to_string(line_no) +
-                             ": expected an index, got '" + cell + "'");
+    throw std::runtime_error(csv_location(line_no, byte_offset) +
+                             ": expected an index, got '" + std::string(cell) +
+                             "'");
   }
   return value;
 }
@@ -220,8 +249,13 @@ CounterMatrix read_aggregates_stream(const std::string& suite_name,
   if (!std::getline(in, line)) {
     throw std::runtime_error("'" + origin + "': empty file");
   }
+  // Byte offset of the line just read; getline consumed line.size() bytes
+  // plus one '\n' (the final line may lack one, but then no further line
+  // follows and the over-count is never observed).
+  std::uint64_t offset = 0;
+  std::uint64_t consumed = line.size() + 1;
   strip_utf8_bom(line);
-  auto header = split_csv_line(line, 1);
+  auto header = split_csv_line(line, 1, 0);
   if (header.size() < 2 || header[0] != "workload") {
     throw std::runtime_error(
         "'" + origin + "': header must be 'workload,<counter>,...'");
@@ -234,22 +268,24 @@ CounterMatrix read_aggregates_stream(const std::string& suite_name,
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
+    offset = consumed;
+    consumed += line.size() + 1;
     if (line.empty()) continue;
-    const auto cells = split_csv_line(line, line_no);
+    const auto cells = split_csv_line(line, line_no, offset);
     if (cells.size() != counters.size() + 1) {
       throw std::runtime_error(
-          "CSV line " + std::to_string(line_no) + ": expected " +
+          csv_location(line_no, offset) + ": expected " +
           std::to_string(counters.size() + 1) + " cells, got " +
           std::to_string(cells.size()));
     }
     if (!seen.insert(cells[0]).second) {
-      throw std::runtime_error("CSV line " + std::to_string(line_no) +
+      throw std::runtime_error(csv_location(line_no, offset) +
                                ": duplicate workload '" + cells[0] + "'");
     }
     workloads.push_back(cells[0]);
     std::vector<double> row(counters.size());
     for (std::size_t c = 0; c < counters.size(); ++c) {
-      row[c] = parse_double(cells[c + 1], line_no);
+      row[c] = parse_double(cells[c + 1], line_no, offset);
     }
     values.append_row(row);
   }
@@ -271,9 +307,11 @@ CounterMatrix attach_series_stream(const CounterMatrix& bare,
 
   std::string line;
   bool have_header = static_cast<bool>(std::getline(in, line));
+  std::uint64_t offset = 0;
+  std::uint64_t consumed = have_header ? line.size() + 1 : 0;
   if (have_header) strip_utf8_bom(line);
   if (!have_header ||
-      split_csv_line(line, 1) !=
+      split_csv_line(line, 1, 0) !=
           std::vector<std::string>{"workload", "counter", "sample", "value"}) {
     throw std::runtime_error(
         "'" + origin +
@@ -282,24 +320,26 @@ CounterMatrix attach_series_stream(const CounterMatrix& bare,
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
+    offset = consumed;
+    consumed += line.size() + 1;
     if (line.empty()) continue;
-    const auto cells = split_csv_line(line, line_no);
+    const auto cells = split_csv_line(line, line_no, offset);
     if (cells.size() != 4) {
-      throw std::runtime_error("CSV line " + std::to_string(line_no) +
+      throw std::runtime_error(csv_location(line_no, offset) +
                                ": expected 4 cells");
     }
     const std::size_t w = bare.workload_index(cells[0]);
     const std::size_t c = bare.counter_index(cells[1]);
-    const std::size_t s = parse_index(cells[2], line_no);
+    const std::size_t s = parse_index(cells[2], line_no, offset);
     auto& target = series[w][c];
     if (s != target.size()) {
-      throw std::runtime_error("CSV line " + std::to_string(line_no) +
+      throw std::runtime_error(csv_location(line_no, offset) +
                                ": sample indices must be dense from 0 "
                                "(expected " +
                                std::to_string(target.size()) + ", got " +
                                std::to_string(s) + ")");
     }
-    target.push_back(parse_double(cells[3], line_no));
+    target.push_back(parse_double(cells[3], line_no, offset));
   }
   for (std::size_t w = 0; w < bare.num_workloads(); ++w) {
     for (std::size_t c = 0; c < bare.num_counters(); ++c) {
@@ -320,8 +360,95 @@ CounterMatrix attach_series_stream(const CounterMatrix& bare,
 
 CounterMatrix read_aggregates_csv(const std::string& suite_name,
                                   const std::string& path) {
+  // Size probe failures (missing file, permission) fall through to the
+  // slurp path, whose open_for_read reports the canonical error.
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (!ec && size >= kStreamedReadThresholdBytes) {
+    return read_aggregates_csv_streamed(suite_name, path);
+  }
+  return read_aggregates_csv_slurp(suite_name, path);
+}
+
+CounterMatrix read_aggregates_csv_slurp(const std::string& suite_name,
+                                        const std::string& path) {
   auto in = open_for_read(path);
   return read_aggregates_stream(suite_name, in, path);
+}
+
+CounterMatrix read_aggregates_csv_streamed(const std::string& suite_name,
+                                           const std::string& path,
+                                           const StreamedReadOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open '" + path + "' for reading");
+  }
+  ingest::IngestOptions ingest_options;
+  ingest_options.chunk_bytes = options.chunk_bytes;
+  ingest_options.io_thread = options.io_thread;
+  ingest::CsvStream stream(in, ingest_options);
+
+  if (!stream.next_row()) {
+    throw std::runtime_error("'" + path + "': empty file");
+  }
+  const auto& header = stream.cells();
+  if (header.size() < 2 || header[0] != "workload") {
+    throw std::runtime_error(
+        "'" + path + "': header must be 'workload,<counter>,...'");
+  }
+  std::vector<std::string> counters(header.begin() + 1, header.end());
+
+  std::vector<std::string> workloads;
+  la::Matrix values;
+  std::vector<double> row(counters.size());
+  // Capacities are estimated from the file size and the first data row's
+  // width so a multi-million-row file pays no rehash/regrow copies, and
+  // duplicate detection goes through the flat open-addressed NameIndex
+  // instead of a node-per-row std::set (see ingest/name_index.hpp).
+  std::error_code size_ec;
+  const std::uint64_t file_bytes = std::filesystem::file_size(path, size_ec);
+  ingest::NameIndex seen;
+  bool reserved = false;
+  while (stream.next_row()) {
+    const auto& cells = stream.cells();
+    if (cells.size() != counters.size() + 1) {
+      throw std::runtime_error(
+          csv_location(stream.line_no(), stream.byte_offset()) +
+          ": expected " + std::to_string(counters.size() + 1) +
+          " cells, got " + std::to_string(cells.size()));
+    }
+    if (!reserved) {
+      reserved = true;
+      if (!size_ec && file_bytes > 0) {
+        std::size_t line_bytes = cells.size();  // separators + newline
+        for (const auto& cell : cells) line_bytes += cell.size();
+        const std::size_t estimate =
+            static_cast<std::size_t>(file_bytes) /
+                std::max<std::size_t>(line_bytes, 1) +
+            16;
+        workloads.reserve(estimate);
+        values.reserve(estimate, counters.size());
+        seen = ingest::NameIndex(estimate);
+      }
+    }
+    if (seen.insert(cells[0], workloads.size(), workloads) !=
+        ingest::NameIndex::npos) {
+      throw std::runtime_error(
+          csv_location(stream.line_no(), stream.byte_offset()) +
+          ": duplicate workload '" + std::string(cells[0]) + "'");
+    }
+    workloads.emplace_back(cells[0]);
+    for (std::size_t c = 0; c < counters.size(); ++c) {
+      row[c] = parse_double_fast(cells[c + 1], stream.line_no(),
+                                 stream.byte_offset());
+    }
+    values.append_row(row);
+  }
+  if (workloads.empty()) {
+    throw std::runtime_error("'" + path + "': no data rows");
+  }
+  return CounterMatrix(suite_name, std::move(workloads), std::move(counters),
+                       std::move(values));
 }
 
 CounterMatrix read_aggregates_csv_text(const std::string& suite_name,
@@ -347,15 +474,184 @@ CounterMatrix read_with_series_csv_text(const std::string& suite_name,
   return attach_series_stream(bare, in, "<inline series csv>");
 }
 
+CounterMatrix append_workloads_csv_text(const CounterMatrix& base,
+                                        const std::string& aggregates_text,
+                                        const std::string& series_text) {
+  std::istringstream in(aggregates_text);
+  ingest::IngestOptions options;
+  options.chunk_bytes = 1 << 16;  // wire payloads are small; no IO thread
+  options.io_thread = false;
+  ingest::CsvStream stream(in, options);
+
+  if (!stream.next_row()) {
+    throw std::runtime_error("'<delta aggregates csv>': empty file");
+  }
+  const auto& header = stream.cells();
+  if (header.size() != base.num_counters() + 1 || header.empty() ||
+      header[0] != "workload") {
+    throw std::runtime_error(
+        "'<delta aggregates csv>': header must name 'workload' and exactly "
+        "the base suite's counters");
+  }
+  // With the size pinned above, a successful map means the header is a
+  // permutation of the base counters (ColumnMap throws on missing or
+  // duplicated columns).
+  const ingest::ColumnMap map(header, base.counter_names());
+
+  std::vector<std::string> workloads = base.workload_names();
+  std::set<std::string> seen(workloads.begin(), workloads.end());
+  la::Matrix values = base.values();
+  la::Matrix added_values;
+  std::vector<std::string> added;
+  std::vector<std::string_view> rearranged;
+  std::vector<double> row(base.num_counters());
+  while (stream.next_row()) {
+    const auto& cells = stream.cells();
+    if (cells.size() != base.num_counters() + 1) {
+      throw std::runtime_error(
+          csv_location(stream.line_no(), stream.byte_offset()) +
+          ": expected " + std::to_string(base.num_counters() + 1) +
+          " cells, got " + std::to_string(cells.size()));
+    }
+    std::string name(cells[0]);
+    if (!seen.insert(name).second) {
+      throw std::runtime_error(
+          csv_location(stream.line_no(), stream.byte_offset()) +
+          ": duplicate workload '" + name + "'");
+    }
+    map.rearrange(cells, rearranged);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      row[c] =
+          parse_double(rearranged[c], stream.line_no(), stream.byte_offset());
+    }
+    workloads.push_back(name);
+    added.push_back(std::move(name));
+    values.append_row(row);
+    added_values.append_row(row);
+  }
+  if (added.empty()) {
+    throw std::runtime_error("'<delta aggregates csv>': no data rows");
+  }
+
+  if (!base.has_series()) {
+    if (!series_text.empty()) {
+      throw std::logic_error(
+          "append_workloads_csv_text: base has no series but series_text "
+          "was supplied");
+    }
+    return CounterMatrix(base.suite_name(), std::move(workloads),
+                         base.counter_names(), std::move(values));
+  }
+
+  // The series payload must cover exactly the new workloads; validating it
+  // against a bare matrix of only those rows reuses the reader's dense-index
+  // and full-coverage checks verbatim (a row naming a pre-existing workload
+  // fails its workload lookup).
+  const CounterMatrix delta(base.suite_name(), added, base.counter_names(),
+                            std::move(added_values));
+  std::istringstream series_in(series_text);
+  const CounterMatrix with_series =
+      attach_series_stream(delta, series_in, "<delta series csv>");
+
+  std::vector<std::vector<std::vector<double>>> series;
+  series.reserve(workloads.size());
+  for (std::size_t w = 0; w < base.num_workloads(); ++w) {
+    std::vector<std::vector<double>> row_series(base.num_counters());
+    for (std::size_t c = 0; c < base.num_counters(); ++c) {
+      row_series[c] = base.series(w, c);
+    }
+    series.push_back(std::move(row_series));
+  }
+  for (std::size_t w = 0; w < added.size(); ++w) {
+    std::vector<std::vector<double>> row_series(base.num_counters());
+    for (std::size_t c = 0; c < base.num_counters(); ++c) {
+      row_series[c] = with_series.series(w, c);
+    }
+    series.push_back(std::move(row_series));
+  }
+  return CounterMatrix(base.suite_name(), std::move(workloads),
+                       base.counter_names(), std::move(values),
+                       std::move(series));
+}
+
+CounterMatrix append_samples_csv_text(
+    const CounterMatrix& base, const std::string& series_text,
+    std::vector<std::size_t>* touched_workloads) {
+  if (!base.has_series()) {
+    throw std::logic_error(
+        "append_samples_csv_text: base matrix carries no series");
+  }
+  std::vector<std::vector<std::vector<double>>> series(
+      base.num_workloads(),
+      std::vector<std::vector<double>>(base.num_counters()));
+  for (std::size_t w = 0; w < base.num_workloads(); ++w) {
+    for (std::size_t c = 0; c < base.num_counters(); ++c) {
+      series[w][c] = base.series(w, c);
+    }
+  }
+
+  std::istringstream in(series_text);
+  ingest::IngestOptions options;
+  options.chunk_bytes = 1 << 16;
+  options.io_thread = false;
+  ingest::CsvStream stream(in, options);
+  const bool header_ok = stream.next_row() && stream.cells().size() == 4 &&
+                         stream.cells()[0] == "workload" &&
+                         stream.cells()[1] == "counter" &&
+                         stream.cells()[2] == "sample" &&
+                         stream.cells()[3] == "value";
+  if (!header_ok) {
+    throw std::runtime_error(
+        "'<delta series csv>': header must be 'workload,counter,sample,value'");
+  }
+  std::size_t appended = 0;
+  std::set<std::size_t> touched;
+  while (stream.next_row()) {
+    const auto& cells = stream.cells();
+    if (cells.size() != 4) {
+      throw std::runtime_error(
+          csv_location(stream.line_no(), stream.byte_offset()) +
+          ": expected 4 cells");
+    }
+    const std::size_t w = base.workload_index(std::string(cells[0]));
+    touched.insert(w);
+    const std::size_t c = base.counter_index(std::string(cells[1]));
+    const std::size_t s =
+        parse_index(cells[2], stream.line_no(), stream.byte_offset());
+    auto& target = series[w][c];
+    if (s != target.size()) {
+      throw std::runtime_error(
+          csv_location(stream.line_no(), stream.byte_offset()) +
+          ": sample indices must be dense from 0 (expected " +
+          std::to_string(target.size()) + ", got " + std::to_string(s) + ")");
+    }
+    target.push_back(
+        parse_double(cells[3], stream.line_no(), stream.byte_offset()));
+    ++appended;
+  }
+  if (appended == 0) {
+    throw std::runtime_error("'<delta series csv>': no data rows");
+  }
+  if (touched_workloads != nullptr) {
+    touched_workloads->assign(touched.begin(), touched.end());
+  }
+  return CounterMatrix(base.suite_name(), base.workload_names(),
+                       base.counter_names(), base.values(), std::move(series));
+}
+
 std::vector<PerfStatRecord> parse_perf_stat(const std::string& text) {
   std::vector<PerfStatRecord> records;
   std::istringstream in(text);
   std::string line;
   std::size_t line_no = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t consumed = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    offset = consumed;
+    consumed += line.size() + 1;
     if (line.empty() || line[0] == '#') continue;
-    const auto cells = split_csv_line(line, line_no);
+    const auto cells = split_csv_line(line, line_no, offset);
     if (cells.size() < 3) {
       throw std::runtime_error("perf-stat line " + std::to_string(line_no) +
                                ": expected at least 3 fields");
@@ -369,10 +665,10 @@ std::vector<PerfStatRecord> parse_perf_stat(const std::string& text) {
     if (cells[0] == "<not counted>" || cells[0] == "<not supported>") {
       record.counted = false;
     } else {
-      record.value = parse_double(cells[0], line_no);
+      record.value = parse_double(cells[0], line_no, offset);
     }
     if (cells.size() >= 5 && !cells[4].empty()) {
-      record.pct_running = parse_double(cells[4], line_no);
+      record.pct_running = parse_double(cells[4], line_no, offset);
     }
     records.push_back(std::move(record));
   }
@@ -427,19 +723,23 @@ PerfIntervalData parse_perf_stat_intervals(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   std::size_t line_no = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t consumed = 0;
   std::size_t cursor = 0;  // position within the current interval block
   double current_time = -1.0;
 
   while (std::getline(in, line)) {
     ++line_no;
+    offset = consumed;
+    consumed += line.size() + 1;
     if (line.empty() || line[0] == '#') continue;
-    const auto cells = split_csv_line(line, line_no);
+    const auto cells = split_csv_line(line, line_no, offset);
     if (cells.size() < 4) {
       throw std::runtime_error("perf-interval line " +
                                std::to_string(line_no) +
                                ": expected at least 4 fields");
     }
-    const double timestamp = parse_double(cells[0], line_no);
+    const double timestamp = parse_double(cells[0], line_no, offset);
     const std::string& event = cells[3];
     if (event.empty()) {
       throw std::runtime_error("perf-interval line " +
@@ -447,7 +747,7 @@ PerfIntervalData parse_perf_stat_intervals(const std::string& text) {
     }
     double value = 0.0;
     if (cells[1] != "<not counted>" && cells[1] != "<not supported>") {
-      value = parse_double(cells[1], line_no);
+      value = parse_double(cells[1], line_no, offset);
     }
 
     if (timestamp != current_time) {

@@ -11,9 +11,19 @@
 //     one row per (workload, counter, sample index). Sample indices must be
 //     dense from 0 within each (workload, counter) pair.
 //
-// Both readers validate shape and report the offending line on error.
+// Both readers validate shape and report the offending line — as
+// "CSV line N (byte M)", the byte offset making errors greppable with
+// dd/tail in GB-scale files — on error.
+//
+// Large aggregate files (>= kStreamedReadThresholdBytes) are read through
+// the streaming pipeline in src/ingest/ (chunked IO overlapped with an
+// in-place cell scanner); the resulting matrices and error messages are
+// byte-identical to the historical slurp path, which remains available as
+// read_aggregates_csv_slurp for A/B benchmarking.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "core/counter_matrix.hpp"
@@ -29,16 +39,44 @@ void write_aggregates_csv(const CounterMatrix& data, const std::string& path);
 void write_series_csv(const CounterMatrix& data, const std::string& path);
 
 /// Reads an aggregate CSV (no series attached).
-/// Throws std::runtime_error with a line-numbered message on malformed
-/// input (missing header, ragged rows, non-numeric or non-finite cells,
-/// duplicate workloads).
+/// Throws std::runtime_error with a line- and byte-offset-numbered
+/// message on malformed input (missing header, ragged rows, non-numeric
+/// or non-finite cells, duplicate workloads).
 ///
 /// Interchange hardening (external producers): a leading UTF-8 BOM is
 /// skipped, CRLF line endings are accepted everywhere, and NaN/Inf cells
 /// are rejected with the offending line number (the scores are undefined
 /// over non-finite counters, so they must fail loudly at the boundary).
+///
+/// Files of at least kStreamedReadThresholdBytes take the streamed path
+/// below automatically; smaller files slurp (identical results).
 CounterMatrix read_aggregates_csv(const std::string& suite_name,
                                   const std::string& path);
+
+/// Byte threshold above which read_aggregates_csv streams instead of
+/// slurping. 1 MiB: below it the whole file fits the first chunk anyway.
+inline constexpr std::uint64_t kStreamedReadThresholdBytes = 1ull << 20;
+
+/// Tuning for read_aggregates_csv_streamed (see src/ingest/csv_stream.hpp
+/// for the pipeline). The defaults are what read_aggregates_csv uses.
+struct StreamedReadOptions {
+  std::size_t chunk_bytes = 1 << 20;
+  bool io_thread = true;  // overlap disk IO with parsing
+};
+
+/// Streamed aggregate reader: identical validation, matrices, and error
+/// messages to the slurp path, but the file is read in fixed-size chunks
+/// (optionally on a dedicated IO thread) and cells are scanned in place —
+/// no per-cell string allocation. Byte-identical output at every chunk
+/// size, including chunks that split a CRLF or a quoted cell.
+CounterMatrix read_aggregates_csv_streamed(
+    const std::string& suite_name, const std::string& path,
+    const StreamedReadOptions& options = {});
+
+/// The historical getline-based reader, kept callable at any file size as
+/// the baseline the ingest throughput bench compares against.
+CounterMatrix read_aggregates_csv_slurp(const std::string& suite_name,
+                                        const std::string& path);
 
 /// Reads an aggregate CSV and a matching series CSV, attaching the series.
 /// The series file must cover exactly the workloads and counters of the
@@ -64,6 +102,34 @@ CounterMatrix read_with_series_csv_text(const std::string& suite_name,
 std::string write_aggregates_csv_text(const CounterMatrix& data);
 /// Throws std::logic_error when the matrix carries no series.
 std::string write_series_csv_text(const CounterMatrix& data);
+
+// ---- delta ingestion (live-suite mutation payloads) ------------------------
+
+/// Appends the workloads of a delta aggregates CSV to `base` and returns
+/// the extended matrix. The payload header must name exactly the base
+/// suite's counters (any order — columns are rearranged via
+/// ingest::ColumnMap); new workload names must be unique and must not
+/// collide with existing ones. When `base` carries series, `series_text`
+/// must supply at least one sample for every (new workload, counter)
+/// pair (long format, dense indices from 0); when it does not,
+/// `series_text` must be empty. Errors use the same "CSV line N (byte
+/// M)" convention as the readers above.
+CounterMatrix append_workloads_csv_text(const CounterMatrix& base,
+                                        const std::string& aggregates_text,
+                                        const std::string& series_text);
+
+/// Extends the sampled series of existing workloads of `base` and returns
+/// the new matrix. Rows are the long series format; each (workload,
+/// counter) row's sample index must continue densely from that series'
+/// current length. Aggregate values are left unchanged (they remain the
+/// totals of the originally ingested window; re-aggregation is the
+/// caller's policy). Throws std::logic_error when `base` has no series.
+/// When `touched_workloads` is non-null it receives the sorted, deduped
+/// row indices that gained samples — the set a warm ScoringWorkspace
+/// must re-prime incrementally.
+CounterMatrix append_samples_csv_text(
+    const CounterMatrix& base, const std::string& series_text,
+    std::vector<std::size_t>* touched_workloads = nullptr);
 
 // ---- Linux `perf stat -x,` ingestion --------------------------------------
 

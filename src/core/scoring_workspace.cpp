@@ -90,6 +90,77 @@ void ScoringWorkspace::prime_trend(const CounterMatrix& suite,
   trend_primed_.store(true, std::memory_order_release);
 }
 
+bool ScoringWorkspace::upsert_row(const CounterMatrix& suite, std::size_t row,
+                                  const TrendScoreOptions& options) {
+  std::lock_guard<std::mutex> lock(prime_mutex_);
+  if (!trend_primed_.load(std::memory_order_relaxed) || !trend_usable_) {
+    return false;
+  }
+  if (!same_options(options, options_)) return false;
+  if (!suite.has_series()) return false;
+  if (suite.counter_names() != counters_) return false;
+  if (row >= suite.num_workloads()) return false;
+
+  static obs::Counter& upserts = obs::counter("cache.delta_upserts");
+  obs::Span span("cache.delta_upsert");
+
+  const std::size_t m = counters_.size();
+  const std::size_t r = trends_.size() / m;  // the new primed row's index
+
+  // Fresh normalized trends for the (re)computed workload.
+  std::vector<std::vector<double>> fresh(m);
+  par::parallel_for(m, [&](std::size_t c) {
+    fresh[c] = dtw::normalize_trend(suite.series(row, c), options_.grid_points,
+                                    options_.normalization);
+  });
+
+  // Live rows in name-sorted (deterministic) order; rows superseded or
+  // dropped earlier stay allocated but get no new distances.
+  std::vector<std::size_t> live;
+  live.reserve(row_by_name_.size());
+  for (const auto& [name, index] : row_by_name_) live.push_back(index);
+
+  // Grow each per-counter matrix by one row/column (diagonal stays 0).
+  for (la::Matrix& d : per_counter_) {
+    la::Matrix grown(r + 1, r + 1, 0.0);
+    for (std::size_t i = 0; i < r; ++i) {
+      for (std::size_t j = 0; j < r; ++j) grown(i, j) = d(i, j);
+    }
+    d = std::move(grown);
+  }
+
+  // One DTW strip — the new row against every live row, all counters — as
+  // a single parallel region; task t writes only its own (j, r)/(r, j).
+  dtw::DtwOptions dtw_options;
+  dtw_options.band_fraction = options_.dtw_band_fraction;
+  const std::size_t k = live.size();
+  par::parallel_for(m * k, [&](std::size_t t) {
+    const std::size_t c = t / k;
+    const std::size_t j = live[t % k];
+    const double dist =
+        dtw::dtw_distance(trends_[j * m + c], fresh[c], dtw_options).distance;
+    per_counter_[c](j, r) = dist;
+    per_counter_[c](r, j) = dist;
+  });
+
+  trends_.reserve(trends_.size() + m);
+  for (std::size_t c = 0; c < m; ++c) trends_.push_back(std::move(fresh[c]));
+  row_by_name_.insert_or_assign(suite.workload_names()[row], r);
+  upserts.increment();
+  return true;
+}
+
+bool ScoringWorkspace::remove_row(const std::string& workload) {
+  std::lock_guard<std::mutex> lock(prime_mutex_);
+  if (!trend_primed_.load(std::memory_order_relaxed) || !trend_usable_) {
+    return false;
+  }
+  static obs::Counter& drops = obs::counter("cache.delta_drops");
+  if (row_by_name_.erase(workload) == 0) return false;
+  drops.increment();
+  return true;
+}
+
 bool ScoringWorkspace::map_rows(const CounterMatrix& suite,
                                 const TrendScoreOptions& options,
                                 std::vector<std::size_t>& rows) const {

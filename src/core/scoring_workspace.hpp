@@ -68,6 +68,41 @@ class ScoringWorkspace {
     return trend_primed_.load(std::memory_order_acquire);
   }
 
+  /// True when the primed cache came out usable (series present, >= 2
+  /// uniquely named workloads). The delta ops below require this.
+  bool trend_usable() const noexcept {
+    return trend_primed() && trend_usable_;
+  }
+
+  /// Incrementally extends the primed cache with workload `row` of the
+  /// mutated suite `suite`: normalizes its m trends and computes one DTW
+  /// strip against every *live* primed row — O(n·m) dynamic programs
+  /// instead of the O(n²·m) of a cold re-prime. An existing workload of
+  /// the same name is superseded: its old row stays allocated but becomes
+  /// unreachable (stale rows are never compacted; residency is bounded by
+  /// mutation count, not suite size). Returns false without mutating
+  /// anything when the cache is unusable or `suite` is incompatible
+  /// (different counters or options, no series, row out of range).
+  ///
+  /// Invariant kept inductively: every pair of live rows always has a
+  /// populated distance — a drop only shrinks the live set, and an upsert
+  /// pairs the new row with every current live row. Slicing therefore
+  /// stays bit-exact after any add/drop/append sequence (DTW symmetry
+  /// makes the strip's argument order irrelevant, see the file comment).
+  ///
+  /// Unlike the write-once prime, delta ops mutate shared state: callers
+  /// must externally serialize them against concurrent map_rows /
+  /// trend_score_from_cache readers (the serving engine holds a per-suite
+  /// writer lock across mutation + re-score).
+  bool upsert_row(const CounterMatrix& suite, std::size_t row,
+                  const TrendScoreOptions& options);
+
+  /// Unmaps `workload` from the primed cache (mask, not compaction — the
+  /// row's trends and distances stay allocated but unreachable). Returns
+  /// false when the cache is unusable or the name is unknown. Same
+  /// external-synchronization contract as upsert_row.
+  bool remove_row(const std::string& workload);
+
   /// Proves `suite` is a row-view of the primed suite under the same
   /// options and fills `rows` with the primed row index of every suite
   /// row. Returns false (a cache miss) when anything fails to match.

@@ -1,0 +1,292 @@
+#include "ingest/csv_stream.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace perspector::ingest {
+
+namespace {
+
+obs::Counter& chunks_counter() {
+  static obs::Counter& counter = obs::counter("ingest.chunks");
+  return counter;
+}
+
+obs::Counter& bytes_counter() {
+  static obs::Counter& counter = obs::counter("ingest.bytes");
+  return counter;
+}
+
+obs::Counter& rows_counter() {
+  static obs::Counter& counter = obs::counter("ingest.rows");
+  return counter;
+}
+
+}  // namespace
+
+std::string csv_location(std::size_t line_no, std::uint64_t byte_offset) {
+  return "CSV line " + std::to_string(line_no) + " (byte " +
+         std::to_string(byte_offset) + ")";
+}
+
+// ---- ChunkSource -----------------------------------------------------------
+
+ChunkSource::ChunkSource(std::istream& in, const IngestOptions& options)
+    : in_(in),
+      chunk_bytes_(std::max<std::size_t>(options.chunk_bytes, 1)),
+      threaded_(options.io_thread) {
+  const std::size_t ring = threaded_ ? kRingBuffers : 1;
+  buffers_.reserve(ring);
+  for (std::size_t i = 0; i < ring; ++i) {
+    buffers_.push_back(std::make_unique<mem::Scratch<char>>(chunk_bytes_));
+    if (threaded_) free_.push_back(i);
+  }
+  if (threaded_) io_thread_ = std::thread([this] { io_loop(); });
+}
+
+ChunkSource::~ChunkSource() {
+  if (threaded_) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    space_.notify_all();
+    io_thread_.join();
+  }
+}
+
+void ChunkSource::io_loop() {
+  for (;;) {
+    std::size_t index;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      space_.wait(lock, [this] { return !free_.empty() || stop_; });
+      if (stop_) return;
+      index = free_.front();
+      free_.pop_front();
+    }
+    in_.read(buffers_[index]->data(),
+             static_cast<std::streamsize>(chunk_bytes_));
+    const std::size_t n = static_cast<std::size_t>(in_.gcount());
+    const bool at_end = n < chunk_bytes_;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (n > 0) {
+        filled_.emplace_back(index, n);
+      } else {
+        free_.push_back(index);
+      }
+      if (at_end) eof_ = true;
+    }
+    ready_.notify_all();
+    if (at_end) return;
+  }
+}
+
+std::string_view ChunkSource::next() {
+  if (!threaded_) {
+    in_.read(buffers_[0]->data(), static_cast<std::streamsize>(chunk_bytes_));
+    const std::size_t n = static_cast<std::size_t>(in_.gcount());
+    if (n == 0) return {};
+    chunks_counter().increment();
+    bytes_counter().add(n);
+    return {buffers_[0]->data(), n};
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (lent_ != kNone) {
+    free_.push_back(lent_);
+    lent_ = kNone;
+    space_.notify_all();
+  }
+  ready_.wait(lock, [this] { return !filled_.empty() || eof_; });
+  if (filled_.empty()) return {};
+  const auto [index, length] = filled_.front();
+  filled_.pop_front();
+  lent_ = index;
+  lock.unlock();
+  chunks_counter().increment();
+  bytes_counter().add(length);
+  return {buffers_[index]->data(), length};
+}
+
+// ---- CsvStream -------------------------------------------------------------
+
+CsvStream::CsvStream(std::istream& in, const IngestOptions& options)
+    : source_(in, options) {
+  cells_.reserve(16);
+  spans_.reserve(16);
+}
+
+// Rows are tallied locally and flushed in one bulk add — a relaxed atomic
+// per parsed row would be the only contended write on the hot path.
+CsvStream::~CsvStream() {
+  if (rows_seen_ > 0) rows_counter().add(rows_seen_);
+}
+
+bool CsvStream::next_line(std::string_view& line) {
+  for (;;) {
+    if (chunk_.empty()) {
+      if (eof_) {
+        if (carry_.empty()) return false;
+        // Final line without a trailing newline.
+        line_buf_.swap(carry_);
+        carry_.clear();
+        line = line_buf_;
+        return true;
+      }
+      chunk_ = source_.next();
+      if (chunk_.empty()) {
+        eof_ = true;
+        continue;
+      }
+    }
+    const std::size_t pos = chunk_.find('\n');
+    if (pos == std::string_view::npos) {
+      carry_.append(chunk_.data(), chunk_.size());
+      chunk_ = {};
+      continue;
+    }
+    if (carry_.empty()) {
+      line = chunk_.substr(0, pos);
+    } else {
+      carry_.append(chunk_.data(), pos);
+      line_buf_.swap(carry_);
+      carry_.clear();
+      line = line_buf_;
+    }
+    chunk_.remove_prefix(pos + 1);
+    return true;
+  }
+}
+
+bool CsvStream::next_row() {
+  std::string_view line;
+  while (next_line(line)) {
+    ++line_no_;
+    line_offset_ = offset_;
+    // +1 for the consumed '\n'. The final newline-less line over-counts by
+    // one, but its successor offset is never observed.
+    offset_ += line.size() + 1;
+    if (line_no_ == 1 && line.size() >= 3 && line[0] == '\xEF' &&
+        line[1] == '\xBB' && line[2] == '\xBF') {
+      line.remove_prefix(3);
+    }
+    // The header line is surfaced even when empty (the caller owns the
+    // "bad header" diagnosis, exactly like the getline-based readers);
+    // later blank lines are skipped.
+    if (line.empty() && line_no_ > 1) continue;
+    scan_cells(line);
+    ++rows_seen_;
+    return true;
+  }
+  return false;
+}
+
+void CsvStream::scan_cells(std::string_view line) {
+  cells_.clear();
+
+  // Fast path: no quotes and no interior '\r' — every cell is a view
+  // straight into the line (one trailing '\r' is trimmed, which is what
+  // dropping unquoted CRs does to a CRLF line).
+  std::string_view body = line;
+  if (!body.empty() && body.back() == '\r') body.remove_suffix(1);
+  if (body.find('"') == std::string_view::npos &&
+      body.find('\r') == std::string_view::npos) {
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t comma = body.find(',', start);
+      if (comma == std::string_view::npos) {
+        cells_.push_back(body.substr(start));
+        return;
+      }
+      cells_.push_back(body.substr(start, comma - start));
+      start = comma + 1;
+    }
+  }
+
+  // Slow path: materialize into the reused escape buffer, replicating
+  // split_csv_line (core/io.cpp) byte for byte. The buffer is reserved up
+  // front so it never reallocates mid-scan (output length <= input
+  // length), keeping the recorded spans stable.
+  escape_.clear();
+  escape_.reserve(line.size());
+  spans_.clear();
+  std::size_t cell_start = 0;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          escape_ += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        escape_ += ch;
+      }
+    } else if (ch == '"') {
+      quoted = true;
+    } else if (ch == ',') {
+      spans_.emplace_back(cell_start, escape_.size() - cell_start);
+      cell_start = escape_.size();
+    } else if (ch != '\r') {
+      escape_ += ch;
+    }
+  }
+  if (quoted) {
+    throw std::runtime_error(csv_location(line_no_, line_offset_) +
+                             ": unterminated quote");
+  }
+  spans_.emplace_back(cell_start, escape_.size() - cell_start);
+  for (const auto& [start, length] : spans_) {
+    cells_.push_back(std::string_view(escape_).substr(start, length));
+  }
+}
+
+// ---- ColumnMap -------------------------------------------------------------
+
+ColumnMap::ColumnMap(const std::vector<std::string_view>& header,
+                     std::span<const std::string> targets) {
+  if (header.empty()) {
+    throw std::invalid_argument("ColumnMap: empty header");
+  }
+  source_cells_ = header.size();
+  perm_.reserve(targets.size());
+  for (const std::string& target : targets) {
+    std::size_t found = static_cast<std::size_t>(-1);
+    for (std::size_t i = 1; i < header.size(); ++i) {
+      if (header[i] == target) {
+        if (found != static_cast<std::size_t>(-1)) {
+          throw std::invalid_argument("ColumnMap: duplicate column '" +
+                                      target + "' in source header");
+        }
+        found = i - 1;
+      }
+    }
+    if (found == static_cast<std::size_t>(-1)) {
+      throw std::invalid_argument("ColumnMap: column '" + target +
+                                  "' missing from source header");
+    }
+    perm_.push_back(found);
+  }
+}
+
+void ColumnMap::rearrange(const std::vector<std::string_view>& cells,
+                          std::vector<std::string_view>& out) const {
+  if (cells.size() != source_cells_) {
+    throw std::invalid_argument(
+        "ColumnMap: row has " + std::to_string(cells.size()) +
+        " cells, header had " + std::to_string(source_cells_));
+  }
+  out.clear();
+  out.reserve(perm_.size());
+  for (const std::size_t source : perm_) {
+    out.push_back(cells[1 + source]);
+  }
+}
+
+}  // namespace perspector::ingest

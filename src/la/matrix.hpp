@@ -73,6 +73,13 @@ class Matrix {
   /// which case the row defines the column count).
   void append_row(std::span<const double> values);
 
+  /// Pre-allocates storage for a `rows x cols` shape (a capacity hint for
+  /// append_row loops whose final row count is only estimated; never
+  /// changes the current contents or dimensions).
+  void reserve(std::size_t rows, std::size_t cols) {
+    data_.reserve(rows * cols);
+  }
+
   Matrix transposed() const;
 
   /// Matrix product this * rhs; requires cols() == rhs.rows().

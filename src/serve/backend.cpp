@@ -4,6 +4,30 @@
 
 namespace perspector::serve {
 
+std::string_view mutate_op_name(MutateOp op) {
+  switch (op) {
+    case MutateOp::LoadSuite:
+      return "load_suite";
+    case MutateOp::AddWorkload:
+      return "add_workload";
+    case MutateOp::DropWorkload:
+      return "drop_workload";
+    case MutateOp::AppendSamples:
+      return "append_samples";
+  }
+  return "load_suite";
+}
+
+MutateResponse ScoreBackend::mutate(const MutateRequest& request) {
+  MutateResponse response;
+  response.id = request.id;
+  response.ok = false;
+  response.error = "bad_request";
+  response.message = "this backend does not support resident-suite mutation";
+  response.trace_id = request.trace_id;
+  return response;
+}
+
 Key128 compute_content_key(const ScoreRequest& request, DigestCache* digests) {
   if (!request.builtin.empty()) {
     return ContentHasher{}

@@ -88,6 +88,45 @@ struct ScoreResponse {
   std::uint64_t trace_id = 0;  // echoed from the request; 0 = unassigned
 };
 
+// ---- live-suite mutation ops ----------------------------------------------
+
+/// The four delta ops of the NDJSON protocol (DESIGN.md section 14).
+/// `load_suite` makes a CSV payload resident under a name; the other
+/// three mutate the resident suite in place and re-score it with the
+/// workspace's incremental DTW updates instead of a cold O(n^2) re-prime.
+enum class MutateOp { LoadSuite, AddWorkload, DropWorkload, AppendSamples };
+
+/// Protocol name of a mutate op ("load_suite", ...).
+std::string_view mutate_op_name(MutateOp op);
+
+struct MutateRequest {
+  std::string id;
+  MutateOp op = MutateOp::LoadSuite;
+  std::string suite;        // resident suite name (required, all ops)
+  std::string workload;     // drop_workload: the workload to remove
+  std::string csv_text;     // load_suite / add_workload aggregate payload
+  std::string series_text;  // series payload (long format)
+  std::string events = "all";  // event filter of the returned re-score
+  std::uint64_t deadline_ms = 0;
+  std::uint64_t trace_id = 0;
+};
+
+/// The re-scored state of the mutated suite. `report` is byte-identical
+/// to a cold score of the same content; `version` counts mutations since
+/// the load (load = 1). `cache_hit` is honest content addressing: an
+/// add→drop round-trip back to previous content hits the result cache.
+struct MutateResponse {
+  std::string id;
+  bool ok = false;
+  std::string suite;
+  std::uint64_t version = 0;
+  bool cache_hit = false;
+  std::string report;
+  std::string error;
+  std::string message;
+  std::uint64_t trace_id = 0;
+};
+
 /// The scoring surface of the serving tier. All methods are thread-safe
 /// on every implementation.
 class ScoreBackend {
@@ -102,6 +141,13 @@ class ScoreBackend {
   /// duplicates within the batch coalesce onto one computation.
   virtual std::vector<ScoreResponse> score_batch(
       const std::vector<ScoreRequest>& requests) = 0;
+
+  /// Applies one live-suite mutation and returns the re-scored state.
+  /// The base implementation answers every op with a structured
+  /// bad_request (a backend without resident-suite support); the Engine
+  /// executes mutations locally and the Router forwards them to the
+  /// worker that owns the suite name.
+  virtual MutateResponse mutate(const MutateRequest& request);
 
   /// The request's content key (memoized where possible). Never throws;
   /// a request with nothing to score digests to a fixed empty-domain key.

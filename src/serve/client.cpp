@@ -46,6 +46,32 @@ std::string score_line(const ClientScore& score, std::uint64_t id) {
   return line;
 }
 
+std::string mutate_line(const ClientMutate& mutate, std::uint64_t id) {
+  std::string line = "{\"id\":\"m" + std::to_string(id) + "\",\"op\":";
+  json::append_quoted(line, mutate.op);
+  line += ",\"suite\":";
+  json::append_quoted(line, mutate.suite);
+  if (!mutate.workload.empty()) {
+    line += ",\"workload\":";
+    json::append_quoted(line, mutate.workload);
+  }
+  if (!mutate.csv_text.empty()) {
+    line += ",\"csv\":";
+    json::append_quoted(line, mutate.csv_text);
+  }
+  if (mutate.series_text) {
+    line += ",\"series_csv\":";
+    json::append_quoted(line, *mutate.series_text);
+  }
+  line += ",\"events\":";
+  json::append_quoted(line, mutate.events);
+  if (mutate.deadline_ms > 0) {
+    line += ",\"deadline_ms\":" + std::to_string(mutate.deadline_ms);
+  }
+  line += "}\n";
+  return line;
+}
+
 int connect_to(const std::string& host, std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) fail("socket");
@@ -137,6 +163,13 @@ bool report_response(const std::string& line, std::ostream& out,
     const json::Value* trace = response.find("trace");
     err << "response " << label << ": ok (cache "
         << (cache && cache->is_string() ? cache->string : "?");
+    // Mutate responses additionally carry the suite name and version.
+    const json::Value* suite = response.find("suite");
+    const json::Value* version = response.find("version");
+    if (suite && suite->is_string() && version && version->is_number()) {
+      err << ", suite " << suite->string << " v"
+          << static_cast<std::uint64_t>(version->number);
+    }
     if (trace && trace->is_string()) err << ", trace " << trace->string;
     err << ")\n";
     if (report->is_string()) out << report->string;
@@ -181,6 +214,10 @@ int run_client(const ClientRun& run, std::ostream& out, std::ostream& err) {
   std::size_t expected = 0;
   if (run.ping) {
     request_bytes += "{\"id\":\"ping\",\"op\":\"ping\"}\n";
+    ++expected;
+  }
+  for (std::size_t i = 0; i < run.mutations.size(); ++i) {
+    request_bytes += mutate_line(run.mutations[i], i);
     ++expected;
   }
   if (run.score) {

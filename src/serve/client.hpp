@@ -23,6 +23,7 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace perspector::serve {
 
@@ -38,9 +39,22 @@ struct ClientScore {
   std::uint64_t deadline_ms = 0;          // 0 = server default
 };
 
+/// One live-suite mutation to pipeline before the score requests (see
+/// the mutate ops in protocol.hpp). `op` is the wire op name.
+struct ClientMutate {
+  std::string op;        // load_suite|add_workload|drop_workload|append_samples
+  std::string suite;     // resident suite name
+  std::string workload;  // drop_workload only
+  std::string csv_text;  // load_suite / add_workload payload
+  std::optional<std::string> series_text;
+  std::string events = "all";
+  std::uint64_t deadline_ms = 0;  // 0 = server default
+};
+
 struct ClientRun {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
+  std::vector<ClientMutate> mutations;  // sent (in order) before scores
   std::optional<ClientScore> score;
   std::uint64_t repeat = 1;  // pipelined copies of `score`
   bool ping = false;         // prepend a ping

@@ -3,6 +3,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <optional>
+#include <shared_mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -10,6 +12,7 @@
 #include <cstdio>
 
 #include "core/event_group.hpp"
+#include "core/io.hpp"
 #include "core/perspector.hpp"
 #include "core/report.hpp"
 #include "core/scoring_workspace.hpp"
@@ -60,6 +63,10 @@ obs::Counter& dup_compute_counter() {
   static obs::Counter& c = obs::counter("serve.dup_computes");
   return c;
 }
+obs::Counter& mutations_counter() {
+  static obs::Counter& c = obs::counter("serve.mutations");
+  return c;
+}
 obs::Distribution& request_latency() {
   static obs::Distribution& d = obs::distribution("serve.request_us");
   return d;
@@ -97,6 +104,18 @@ core::EventGroup event_group_by_name(const std::string& name) {
   if (name == "tlb") return core::EventGroup::tlb();
   if (name == "branch") return core::EventGroup::branch();
   throw std::runtime_error("unknown event group '" + name + "'");
+}
+
+MutateResponse mutate_error(const MutateRequest& request, std::string error,
+                            std::string message) {
+  MutateResponse response;
+  response.id = request.id;
+  response.suite = request.suite;
+  response.ok = false;
+  response.error = std::move(error);
+  response.message = std::move(message);
+  response.trace_id = request.trace_id;
+  return response;
 }
 
 }  // namespace
@@ -245,6 +264,19 @@ std::shared_ptr<core::ScoringWorkspace> Engine::workspace_for(
 ScoreResponse Engine::compute(const ScoreRequest& request,
                               const core::CounterMatrix& data,
                               const Key128& result_key) {
+  // The workspace key folds the result key once more so the two key
+  // spaces stay disjoint — no matrix re-hash on the compute path.
+  const auto workspace = workspace_for(ContentHasher{}
+                                           .u64(result_key.hi)
+                                           .u64(result_key.lo)
+                                           .str("workspace")
+                                           .digest());
+  return compute_with(request, data, *workspace);
+}
+
+ScoreResponse Engine::compute_with(const ScoreRequest& request,
+                                   const core::CounterMatrix& data,
+                                   core::ScoringWorkspace& workspace) {
   ScoreResponse response;
   response.id = request.id;
   try {
@@ -253,16 +285,9 @@ ScoreResponse Engine::compute(const ScoreRequest& request,
     // same call sequence cmd_score/cmd_demo make.
     core::PerspectorOptions scoring;
     scoring.events = event_group_by_name(request.events);
-    // The workspace key folds the result key once more so the two key
-    // spaces stay disjoint — no matrix re-hash on the compute path.
-    const auto workspace = workspace_for(ContentHasher{}
-                                             .u64(result_key.hi)
-                                             .u64(result_key.lo)
-                                             .str("workspace")
-                                             .digest());
     obs::Span span("serve.score");
     const auto scores =
-        core::Perspector(scoring).score_suites({data}, *workspace).front();
+        core::Perspector(scoring).score_suites({data}, workspace).front();
     response.report = core::suite_report(data, scores);
     response.ok = true;
   } catch (const std::exception& e) {
@@ -294,15 +319,22 @@ ScoreResponse Engine::score_inner(const ScoreRequest& request) {
   requests_counter().increment();
 
   // Cheap validation before any hashing or simulation; error precedence
-  // matches the historical resolve-then-filter order.
+  // matches the historical resolve-then-filter order. A suite name that
+  // is neither a built-in nor a resident live suite is rejected with the
+  // historical message.
+  std::shared_ptr<ResidentSuite> resident;
   try {
     if (request.builtin.empty() && !request.data) {
       throw std::runtime_error("request carries neither suite data nor a "
                                "built-in suite name");
     }
     if (!request.builtin.empty() && !is_builtin_suite(request.builtin)) {
-      throw std::runtime_error("unknown built-in suite '" + request.builtin +
-                               "' (try: perspector suites)");
+      resident = find_resident(request.builtin);
+      if (!resident) {
+        throw std::runtime_error("unknown built-in suite '" +
+                                 request.builtin +
+                                 "' (try: perspector suites)");
+      }
     }
     if (!is_event_group(request.events)) {
       throw std::runtime_error("unknown event group '" + request.events +
@@ -313,7 +345,22 @@ ScoreResponse Engine::score_inner(const ScoreRequest& request) {
     return error_response(request.id, "bad_request", e.what());
   }
 
-  const Key128 key = result_cache_key(content_key(request), request.events);
+  // Resident scores hold the suite's reader lock across the whole
+  // request (mutations take it exclusively) and key the cache by the
+  // *live content digest* — the wire content key digests the name,
+  // which never changes across mutations, so honoring it could serve a
+  // stale report.
+  std::shared_lock<std::shared_mutex> resident_lock;
+  std::shared_ptr<const core::CounterMatrix> resident_data;
+  Key128 key;
+  if (resident) {
+    resident_lock = std::shared_lock<std::shared_mutex>(resident->rw);
+    resident_data = resident->data;
+    key = result_cache_key(digests_.matrix_digest(resident_data),
+                           request.events);
+  } else {
+    key = result_cache_key(content_key(request), request.events);
+  }
 
   std::shared_future<ScoreResponse> shared;
   std::promise<ScoreResponse> promise;
@@ -377,8 +424,12 @@ ScoreResponse Engine::score_inner(const ScoreRequest& request) {
 
   ScoreResponse response;
   try {
-    const auto data = resolve_data(request);
-    response = compute(request, *data, key);
+    if (resident) {
+      response = compute_with(request, *resident_data, *resident->workspace);
+    } else {
+      const auto data = resolve_data(request);
+      response = compute(request, *data, key);
+    }
   } catch (const std::exception& e) {
     response = error_response(request.id, "bad_request", e.what());
   }
@@ -468,6 +519,224 @@ std::vector<ScoreResponse> Engine::score_batch(
     if (primary[i] == i) out[i] = std::move(computed[i]);
   }
   return out;
+}
+
+std::shared_ptr<Engine::ResidentSuite> Engine::find_resident(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(resident_mutex_);
+  const auto it = residents_.find(name);
+  return it == residents_.end() ? nullptr : it->second;
+}
+
+MutateResponse Engine::rescore_locked(const MutateRequest& request,
+                                      ResidentSuite& resident) {
+  MutateResponse response;
+  response.id = request.id;
+  response.suite = request.suite;
+  response.version = resident.version;
+  response.trace_id = request.trace_id;
+
+  // Honest content addressing: the key digests the suite's *current*
+  // matrix, so an add→drop round-trip back to previous content is a
+  // legitimate cache hit and a mutation can never serve a stale report.
+  const Key128 key =
+      result_cache_key(digests_.matrix_digest(resident.data), request.events);
+  if (auto cached = cache_.get_memory(key)) {
+    hit_counter().increment();
+    response.ok = true;
+    response.cache_hit = true;
+    response.report = std::move(*cached);
+    return response;
+  }
+  if (auto durable = cache_.get_durable(key)) {
+    durable_hit_counter().increment();
+    hit_counter().increment();
+    response.ok = true;
+    response.cache_hit = true;
+    response.report = std::move(*durable);
+    return response;
+  }
+
+  ScoreRequest score_request;
+  score_request.id = request.id;
+  score_request.events = request.events;
+  score_request.data = resident.data;
+  score_request.trace_id = request.trace_id;
+  const ScoreResponse scored =
+      compute_with(score_request, *resident.data, *resident.workspace);
+  if (!scored.ok) {
+    errors_counter().increment();
+    response.ok = false;
+    response.error = scored.error;
+    response.message = scored.message;
+    return response;
+  }
+  cache_.put(key, scored.report);
+  miss_counter().increment();
+  response.ok = true;
+  response.cache_hit = false;
+  response.report = scored.report;
+  return response;
+}
+
+MutateResponse Engine::mutate(const MutateRequest& request) {
+  obs::Span span("serve.mutate");
+  obs::LatencyTimer timer(request_latency_histogram(), &request_latency());
+  MutateResponse response = mutate_inner(request);
+  response.trace_id = request.trace_id;
+  if (obs::Logger::instance().enabled(obs::LogLevel::kDebug)) {
+    const TraceHex trace(response.trace_id);
+    obs::log_debug(
+        "serve.mutate",
+        {obs::field("trace", trace.text), obs::field("id", response.id),
+         obs::field("op", std::string(mutate_op_name(request.op))),
+         obs::field("suite", request.suite),
+         obs::field_bool("ok", response.ok),
+         obs::field_f64("latency_us", timer.elapsed_us())});
+  }
+  return response;
+}
+
+MutateResponse Engine::mutate_inner(const MutateRequest& request) {
+  requests_counter().increment();
+  mutations_counter().increment();
+
+  if (!is_event_group(request.events)) {
+    errors_counter().increment();
+    return mutate_error(request, "bad_request",
+                        "unknown event group '" + request.events + "'");
+  }
+
+  if (request.op == MutateOp::LoadSuite) {
+    if (is_builtin_suite(request.suite)) {
+      errors_counter().increment();
+      return mutate_error(request, "bad_request",
+                          "suite name '" + request.suite +
+                              "' is reserved for a built-in suite");
+    }
+    std::shared_ptr<const core::CounterMatrix> data;
+    try {
+      data = std::make_shared<const core::CounterMatrix>(
+          request.series_text.empty()
+              ? core::read_aggregates_csv_text(request.suite,
+                                               request.csv_text)
+              : core::read_with_series_csv_text(
+                    request.suite, request.csv_text, request.series_text));
+    } catch (const std::exception& e) {
+      errors_counter().increment();
+      return mutate_error(request, "bad_request", e.what());
+    }
+    auto resident = std::make_shared<ResidentSuite>();
+    resident->data = std::move(data);
+    resident->workspace = std::make_shared<core::ScoringWorkspace>();
+    resident->version = 1;
+    resident->events = request.events;
+    {
+      // A re-load replaces the whole resident: fresh workspace, version
+      // restarts at 1. In-flight scores of the old resident finish on
+      // their own shared_ptr snapshots.
+      std::lock_guard<std::mutex> lock(resident_mutex_);
+      residents_[request.suite] = resident;
+    }
+    std::unique_lock<std::shared_mutex> lock(resident->rw);
+    return rescore_locked(request, *resident);
+  }
+
+  const auto resident = find_resident(request.suite);
+  if (!resident) {
+    errors_counter().increment();
+    return mutate_error(request, "bad_request",
+                        "unknown resident suite '" + request.suite +
+                            "' (load_suite first)");
+  }
+
+  // Writer lock across mutation + workspace maintenance + re-score: the
+  // ScoringWorkspace delta ops require external serialization against
+  // readers, and the response must score exactly the version it reports.
+  std::unique_lock<std::shared_mutex> lock(resident->rw);
+  const core::CounterMatrix& base = *resident->data;
+  std::optional<core::CounterMatrix> next;
+  std::vector<std::size_t> upserts;  // row indices of `next` to upsert
+  std::string dropped;               // workload to unmap from the cache
+  try {
+    switch (request.op) {
+      case MutateOp::AddWorkload: {
+        const std::size_t before = base.num_workloads();
+        next.emplace(core::append_workloads_csv_text(base, request.csv_text,
+                                                     request.series_text));
+        for (std::size_t w = before; w < next->num_workloads(); ++w) {
+          upserts.push_back(w);
+        }
+        break;
+      }
+      case MutateOp::DropWorkload: {
+        std::size_t at = 0;
+        try {
+          at = base.workload_index(request.workload);
+        } catch (const std::invalid_argument&) {
+          throw std::runtime_error("suite '" + request.suite +
+                                   "' has no workload '" + request.workload +
+                                   "'");
+        }
+        if (base.num_workloads() <= 2) {
+          throw std::runtime_error(
+              "suite '" + request.suite + "' has only " +
+              std::to_string(base.num_workloads()) +
+              " workloads; scoring needs at least 2");
+        }
+        std::vector<std::size_t> keep;
+        keep.reserve(base.num_workloads() - 1);
+        for (std::size_t w = 0; w < base.num_workloads(); ++w) {
+          if (w != at) keep.push_back(w);
+        }
+        next.emplace(base.select_workloads(keep));
+        dropped = request.workload;
+        break;
+      }
+      case MutateOp::AppendSamples: {
+        next.emplace(core::append_samples_csv_text(base, request.series_text,
+                                                   &upserts));
+        break;
+      }
+      case MutateOp::LoadSuite:
+        break;  // handled above
+    }
+  } catch (const std::exception& e) {
+    errors_counter().increment();
+    return mutate_error(request, "bad_request", e.what());
+  }
+
+  // Incremental workspace maintenance: one DTW strip per touched row
+  // (upsert) or a name mask (drop) — never a cold O(n^2) re-prime. A
+  // declined upsert (workspace primed under a different filter than
+  // this suite's) is harmless: map_rows verifies normalized trends
+  // element-wise, so a stale row can only miss, never serve wrong bits.
+  if (!resident->workspace->trend_primed()) resident->events = request.events;
+  if (resident->workspace->trend_usable()) {
+    try {
+      const auto group = event_group_by_name(resident->events);
+      std::optional<core::CounterMatrix> filtered;
+      const core::CounterMatrix* view = &*next;
+      if (!group.is_all()) {
+        filtered.emplace(next->select_counters(
+            group.indices_in(next->counter_names())));
+        view = &*filtered;
+      }
+      if (!dropped.empty()) resident->workspace->remove_row(dropped);
+      for (const std::size_t row : upserts) {
+        resident->workspace->upsert_row(*view, row,
+                                        core::TrendScoreOptions{});
+      }
+    } catch (const std::exception&) {
+      // The filter selects nothing from the mutated counters; the
+      // re-score below reports the scoring error.
+    }
+  }
+
+  ++resident->version;
+  resident->data =
+      std::make_shared<const core::CounterMatrix>(std::move(*next));
+  return rescore_locked(request, *resident);
 }
 
 }  // namespace perspector::serve

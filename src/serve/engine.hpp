@@ -49,8 +49,10 @@
 #include <cstdint>
 #include <future>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -100,6 +102,20 @@ class Engine : public ScoreBackend {
   std::vector<ScoreResponse> score_batch(
       const std::vector<ScoreRequest>& requests) override;
 
+  /// Applies one live-suite mutation (load/add/drop/append; DESIGN.md
+  /// section 14) and returns the mutated suite's re-score. The resident
+  /// suite keeps its own ScoringWorkspace: add_workload and
+  /// append_samples extend its primed pairwise-DTW matrices by one DTW
+  /// strip per touched workload (ScoringWorkspace::upsert_row) and
+  /// drop_workload masks a row — never a cold O(n^2) re-prime. The
+  /// response report is byte-identical to a cold score of the mutated
+  /// content, and the result cache is keyed by that content's digest, so
+  /// an add→drop round-trip is an honest cache hit. A score request
+  /// naming a resident suite (`{"op":"score","suite":"live"}`) resolves
+  /// it the same way — resident names shadow nothing (built-in names are
+  /// rejected at load) and their cache keys track the live content.
+  MutateResponse mutate(const MutateRequest& request) override;
+
   Key128 content_key(const ScoreRequest& request) override;
   std::string metrics_line(const std::string& id) override;
   std::string stats_line(const std::string& id) override;
@@ -113,14 +129,41 @@ class Engine : public ScoreBackend {
   void flush_cache() { cache_.flush(); }
 
  private:
+  /// One live suite made resident by load_suite: its current matrix, the
+  /// warm workspace the delta ops extend incrementally, and a writer
+  /// lock serializing mutations against resident-name scores (scores
+  /// hold it shared across the compute; mutations hold it exclusive
+  /// across mutation + re-score, per the ScoringWorkspace contract).
+  struct ResidentSuite {
+    std::shared_mutex rw;
+    std::shared_ptr<const core::CounterMatrix> data;
+    std::shared_ptr<core::ScoringWorkspace> workspace;
+    std::uint64_t version = 0;
+    /// Event filter the workspace is (or will be) primed under; delta
+    /// upserts must present the identically filtered counter view.
+    std::string events;
+  };
+
   std::shared_ptr<const core::CounterMatrix> resolve_data(
       const ScoreRequest& request);
   std::shared_ptr<core::ScoringWorkspace> workspace_for(const Key128& key);
+  std::shared_ptr<ResidentSuite> find_resident(const std::string& name);
   /// score() minus the latency accounting / trace propagation wrapper.
   ScoreResponse score_inner(const ScoreRequest& request);
+  /// mutate() minus the latency accounting / trace propagation wrapper.
+  MutateResponse mutate_inner(const MutateRequest& request);
+  /// Re-scores a resident suite's current content (cache tiers first,
+  /// then compute_with on its warm workspace). Caller holds its lock.
+  MutateResponse rescore_locked(const MutateRequest& request,
+                                ResidentSuite& resident);
   ScoreResponse compute(const ScoreRequest& request,
                         const core::CounterMatrix& data,
                         const Key128& result_key);
+  /// The scoring pass itself, against an explicit workspace (residents
+  /// bring their own; compute() looks one up by result key).
+  ScoreResponse compute_with(const ScoreRequest& request,
+                             const core::CounterMatrix& data,
+                             core::ScoringWorkspace& workspace);
 
   EngineOptions options_;
   DurableCache cache_;
@@ -142,6 +185,12 @@ class Engine : public ScoreBackend {
   std::mutex suite_mutex_;
   std::list<std::pair<Key128, std::shared_ptr<const core::CounterMatrix>>>
       suites_;
+
+  // Live suites by name (load_suite / add_workload / drop_workload /
+  // append_samples). Deliberately not an LRU: a resident suite is paid
+  // for by an explicit load and stays until replaced by another load.
+  std::mutex resident_mutex_;
+  std::map<std::string, std::shared_ptr<ResidentSuite>> residents_;
 };
 
 /// True when `name` names a built-in suite model.

@@ -179,6 +179,74 @@ ParsedRequest parse_request_line(const std::string& line) {
     parsed.op = Op::Shutdown;
     return parsed;
   }
+  const bool is_mutate = op == "load_suite" || op == "add_workload" ||
+                         op == "drop_workload" || op == "append_samples";
+  if (is_mutate) {
+    parsed.op = Op::Mutate;
+    MutateRequest& mutate = parsed.mutate;
+    mutate.id = parsed.id;
+    mutate.op = op == "load_suite"     ? MutateOp::LoadSuite
+                : op == "add_workload" ? MutateOp::AddWorkload
+                : op == "drop_workload" ? MutateOp::DropWorkload
+                                        : MutateOp::AppendSamples;
+    std::string problem;
+    if (!read_u64(request, "deadline_ms", mutate.deadline_ms, problem)) {
+      return bad_request(parsed.id, problem);
+    }
+    if (const json::Value* events = request.find("events")) {
+      if (!events->is_string()) {
+        return bad_request(parsed.id, "'events' must be a string");
+      }
+      mutate.events = events->string;
+    }
+    if (const json::Value* trace = request.find("trace")) {
+      if (!trace->is_string() ||
+          !parse_hex_u64(trace->string, mutate.trace_id)) {
+        return bad_request(parsed.id, "'trace' must be 16 hex digits");
+      }
+    }
+    const json::Value* suite = request.find("suite");
+    if (!suite || !suite->is_string() || suite->string.empty()) {
+      return bad_request(parsed.id,
+                         "op '" + op + "' requires 'suite' (the resident "
+                         "suite name)");
+    }
+    mutate.suite = suite->string;
+    // Payload CSV is retained raw and parsed engine-side, where the
+    // resident base suite is available for column rearrangement and
+    // delta validation.
+    const json::Value* csv = request.find("csv");
+    if (csv) {
+      if (!csv->is_string()) {
+        return bad_request(parsed.id, "'csv' must be CSV text");
+      }
+      mutate.csv_text = csv->string;
+    }
+    const json::Value* series = request.find("series_csv");
+    if (series) {
+      if (!series->is_string()) {
+        return bad_request(parsed.id, "'series_csv' must be CSV text");
+      }
+      mutate.series_text = series->string;
+    }
+    if ((mutate.op == MutateOp::LoadSuite ||
+         mutate.op == MutateOp::AddWorkload) &&
+        mutate.csv_text.empty()) {
+      return bad_request(parsed.id, "op '" + op + "' requires 'csv'");
+    }
+    if (mutate.op == MutateOp::AppendSamples && mutate.series_text.empty()) {
+      return bad_request(parsed.id, "op '" + op + "' requires 'series_csv'");
+    }
+    if (mutate.op == MutateOp::DropWorkload) {
+      const json::Value* workload = request.find("workload");
+      if (!workload || !workload->is_string() || workload->string.empty()) {
+        return bad_request(parsed.id, "op '" + op + "' requires 'workload'");
+      }
+      mutate.workload = workload->string;
+    }
+    parsed.ok = true;
+    return parsed;
+  }
   if (op != "score") {
     return bad_request(parsed.id, "unknown op '" + op + "'");
   }
@@ -358,6 +426,106 @@ std::string serialize_shutdown(const std::string& id) {
   append_id(out, id);
   out += "\"ok\":true,\"shutting_down\":true}\n";
   return out;
+}
+
+std::string serialize_mutate_response(const MutateResponse& response) {
+  if (!response.ok) {
+    ScoreResponse error;
+    error.id = response.id;
+    error.ok = false;
+    error.error = response.error;
+    error.message = response.message;
+    error.trace_id = response.trace_id;
+    return serialize_response(error);
+  }
+  std::string out = "{";
+  append_id(out, response.id);
+  out += "\"ok\":true,\"suite\":";
+  json::append_quoted(out, response.suite);
+  out += ",\"version\":";
+  append_u64(out, response.version);
+  out += ",\"cache\":";
+  out += response.cache_hit ? "\"hit\"" : "\"miss\"";
+  if (response.trace_id != 0) {
+    out += ',';
+    append_trace(out, response.trace_id);
+  }
+  out += ",\"report\":";
+  json::append_quoted(out, response.report);
+  out += "}\n";
+  return out;
+}
+
+std::string serialize_mutate_request(const MutateRequest& request) {
+  std::string out = "{\"op\":\"";
+  out += mutate_op_name(request.op);
+  out += "\",";
+  append_id(out, request.id);
+  if (request.trace_id != 0) {
+    append_trace(out, request.trace_id);
+    out += ',';
+  }
+  out += "\"suite\":";
+  json::append_quoted(out, request.suite);
+  out += ",\"events\":";
+  json::append_quoted(out, request.events);
+  if (!request.csv_text.empty()) {
+    out += ",\"csv\":";
+    json::append_quoted(out, request.csv_text);
+  }
+  if (!request.series_text.empty()) {
+    out += ",\"series_csv\":";
+    json::append_quoted(out, request.series_text);
+  }
+  if (!request.workload.empty()) {
+    out += ",\"workload\":";
+    json::append_quoted(out, request.workload);
+  }
+  out += "}\n";
+  return out;
+}
+
+bool parse_mutate_response(const std::string& line, MutateResponse& out) {
+  json::Value response;
+  try {
+    response = json::parse(line);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (!response.is_object()) return false;
+  const json::Value* ok = response.find("ok");
+  if (!ok || (ok->type != json::Value::Type::Bool)) return false;
+  out = MutateResponse{};
+  out.id = id_of(response);
+  out.ok = ok->boolean;
+  if (const json::Value* trace = response.find("trace")) {
+    if (!trace->is_string() || !parse_hex_u64(trace->string, out.trace_id)) {
+      return false;
+    }
+  }
+  if (out.ok) {
+    const json::Value* suite = response.find("suite");
+    const json::Value* version = response.find("version");
+    const json::Value* cache = response.find("cache");
+    const json::Value* report = response.find("report");
+    if (!suite || !suite->is_string() || !version || !version->is_number() ||
+        !cache || !cache->is_string() || !report || !report->is_string()) {
+      return false;
+    }
+    out.suite = suite->string;
+    out.version = static_cast<std::uint64_t>(version->number);
+    out.cache_hit = cache->string == "hit";
+    out.report = report->string;
+  } else {
+    const json::Value* error = response.find("error");
+    const json::Value* message = response.find("message");
+    if (!error || !error->is_string() || !message || !message->is_string()) {
+      return false;
+    }
+    out.error = error->string;
+    out.message = message->string;
+  }
+  return true;
 }
 
 std::string serialize_score_request(const ScoreRequest& request) {

@@ -9,6 +9,25 @@
 //   {"op":"ping"}   {"op":"metrics"}   {"op":"stats"}   {"op":"shutdown"}
 //   {"op":"shard_stats"}                    (worker topology, router tier)
 //
+// Live-suite mutation ops (DESIGN.md section 14) make a suite resident
+// under a name and then mutate + re-score it incrementally:
+//
+//   {"op":"load_suite","suite":"live","csv":"...","series_csv":"..."}
+//   {"op":"add_workload","suite":"live","csv":"...","series_csv":"..."}
+//   {"op":"drop_workload","suite":"live","workload":"a"}
+//   {"op":"append_samples","suite":"live","series_csv":"..."}
+//
+// and answer with the re-scored state of the mutated suite:
+//
+//   {"id":"1","ok":true,"suite":"live","version":3,"cache":"miss",
+//    "trace":"...","report":"..."}
+//
+// (score responses never carry "suite"/"version", so the two response
+// shapes stay distinguishable). A subsequent {"op":"score","suite":
+// "live"} scores the resident content — the engine keys its cache by
+// the *content digest* of the current version, never by the name, so a
+// mutation can never serve a stale report.
+//
 // A score request may also carry "trace" (16 hex digits) and "key" (32
 // hex digits): the serve::Router stamps its trace id and content key on
 // forwarded requests so the worker session reuses them instead of
@@ -50,7 +69,7 @@
 
 namespace perspector::serve {
 
-enum class Op { Score, Ping, Metrics, Stats, ShardStats, Shutdown };
+enum class Op { Score, Mutate, Ping, Metrics, Stats, ShardStats, Shutdown };
 
 /// Thread-safe strerror replacement (std::strerror shares a static buffer
 /// across threads; clang-tidy concurrency-mt-unsafe). Pass `errno`.
@@ -63,9 +82,10 @@ inline std::string errno_message(int err) {
 struct ParsedRequest {
   bool ok = false;
   Op op = Op::Score;
-  ScoreRequest score;  // populated for Op::Score
-  std::string id;      // echoed id (also mirrored into score.id)
-  std::string error;   // "bad_request" when !ok
+  ScoreRequest score;    // populated for Op::Score
+  MutateRequest mutate;  // populated for Op::Mutate
+  std::string id;        // echoed id (also mirrored into score.id)
+  std::string error;     // "bad_request" when !ok
   std::string message;
 };
 
@@ -95,6 +115,10 @@ std::string serialize_stats(const std::string& id);
 
 std::string serialize_shutdown(const std::string& id);
 
+/// Serializes a mutate response (ok: suite + version + cache + report;
+/// error: same shape as a score error) as one JSON line.
+std::string serialize_mutate_response(const MutateResponse& response);
+
 // ---- Router tier ----------------------------------------------------------
 
 /// Serializes a score request as one protocol line for forwarding to a
@@ -106,6 +130,14 @@ std::string serialize_score_request(const ScoreRequest& request);
 /// Parses one worker response line back into a ScoreResponse (the exact
 /// inverse of serialize_response). False on malformed input.
 bool parse_score_response(const std::string& line, ScoreResponse& out);
+
+/// Serializes a mutate request as one protocol line for forwarding to
+/// the worker that owns the suite name. The payload CSV travels
+/// verbatim; the router's trace id rides along like score forwarding.
+std::string serialize_mutate_request(const MutateRequest& request);
+
+/// Inverse of serialize_mutate_response. False on malformed input.
+bool parse_mutate_response(const std::string& line, MutateResponse& out);
 
 /// Per-worker row of the shard_stats response.
 struct WorkerStat {

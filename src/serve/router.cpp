@@ -144,6 +144,30 @@ ScoreResponse unavailable_response(const ScoreRequest& request,
   return response;
 }
 
+MutateResponse mutate_error_response(const MutateRequest& request,
+                                     std::string error, std::string message) {
+  MutateResponse response;
+  response.id = request.id;
+  response.suite = request.suite;
+  response.ok = false;
+  response.error = std::move(error);
+  response.message = std::move(message);
+  response.trace_id = request.trace_id;
+  return response;
+}
+
+/// The shard key of a resident suite: its *name*, not its content — a
+/// suite's mutations and scores must all meet the worker that holds it.
+Key128 resident_name_key(const std::string& suite) {
+  return ContentHasher{}.str("resident-suite").str(suite).digest();
+}
+
+/// True for a score request that names a resident live suite rather than
+/// a built-in model.
+bool is_resident_score(const ScoreRequest& request) {
+  return !request.builtin.empty() && !is_builtin_suite(request.builtin);
+}
+
 }  // namespace
 
 void Router::worker_main(int fd, std::size_t index,
@@ -411,6 +435,12 @@ ScoreResponse Router::cache_hit_response(const ScoreRequest& request,
 ScoreResponse Router::score(const ScoreRequest& request) {
   requests_counter().increment();
   ScoreRequest req = request;
+  if (is_resident_score(req)) {
+    // The name-derived wire key never changes across mutations, so the
+    // router's cache tiers must not serve (or store) resident results;
+    // the owning worker keys them by live content digest instead.
+    return forward(req, resident_name_key(req.builtin));
+  }
   if (req.content_key == Key128{}) req.content_key = content_key(req);
   const Key128 key = result_cache_key(req.content_key, req.events);
   if (auto hit = cache_->get_memory(key)) {
@@ -443,6 +473,20 @@ std::vector<ScoreResponse> Router::score_batch(
   for (std::size_t i = 0; i < requests.size(); ++i) {
     requests_counter().increment();
     ScoreRequest req = requests[i];
+    if (is_resident_score(req)) {
+      // Same cache bypass as Router::score: shard by suite name, never
+      // consult or fill the router tiers.
+      const Key128 name_key = resident_name_key(req.builtin);
+      const int shard = shard_of(name_key);
+      if (shard < 0) {
+        unavailable_counter().increment();
+        responses[i] = unavailable_response(req, "no worker available");
+        continue;
+      }
+      by_shard[static_cast<std::size_t>(shard)].push_back(
+          Pending{i, std::move(req), name_key});
+      continue;
+    }
     if (req.content_key == Key128{}) req.content_key = content_key(req);
     const Key128 key = result_cache_key(req.content_key, req.events);
     if (auto hit = cache_->get_memory(key)) {
@@ -569,12 +613,59 @@ std::vector<ScoreResponse> Router::score_batch(
 
   for (std::size_t i = 0; i < responses.size(); ++i) {
     if (!responses[i].ok || responses[i].cache_hit) continue;
+    if (is_resident_score(requests[i])) continue;  // cache bypass
     ScoreRequest req = requests[i];
     if (req.content_key == Key128{}) req.content_key = content_key(req);
     cache_->put(result_cache_key(req.content_key, req.events),
                 responses[i].report);
   }
   return responses;
+}
+
+MutateResponse Router::mutate(const MutateRequest& request) {
+  requests_counter().increment();
+  obs::LatencyTimer timer(forward_histogram());
+  std::string line;
+  try {
+    line = serialize_mutate_request(request);
+  } catch (const std::exception& error) {
+    return mutate_error_response(request, "bad_request", error.what());
+  }
+  const Key128 key = resident_name_key(request.suite);
+  // Same bounded re-shard loop as forward(): a failed attempt either
+  // respawned the worker or moved to the next alive one. Note a respawn
+  // loses resident state — the fresh worker answers later mutations with
+  // an honest "unknown resident suite" rather than a silently empty one.
+  for (std::size_t attempt = 0; attempt <= workers_.size(); ++attempt) {
+    const int shard = shard_of(key);
+    if (shard < 0) break;
+    std::string response_line;
+    bool sent = false;
+    if (exchange(static_cast<std::size_t>(shard), line, response_line,
+                 sent)) {
+      MutateResponse response;
+      if (!parse_mutate_response(response_line, response)) {
+        return mutate_error_response(request, "internal",
+                                     "malformed response from worker " +
+                                         std::to_string(shard));
+      }
+      forwarded_counter().increment();
+      workers_[static_cast<std::size_t>(shard)]->forwarded.fetch_add(
+          1, std::memory_order_relaxed);
+      return response;
+    }
+    if (sent) {
+      // The mutation reached the worker and the worker died before
+      // answering: the suite's state is unknown (and gone with the
+      // process) — answer honestly, never retry into a double apply.
+      unavailable_counter().increment();
+      return mutate_error_response(request, "unavailable",
+                                   "worker " + std::to_string(shard) +
+                                       " crashed while serving the request");
+    }
+  }
+  unavailable_counter().increment();
+  return mutate_error_response(request, "unavailable", "no worker available");
 }
 
 Key128 Router::content_key(const ScoreRequest& request) {

@@ -90,6 +90,15 @@ class Router : public ScoreBackend {
   ScoreResponse score(const ScoreRequest& request) override;
   std::vector<ScoreResponse> score_batch(
       const std::vector<ScoreRequest>& requests) override;
+  /// Forwards a live-suite mutation to the worker that owns the suite
+  /// *name* on the hash ring (resident-name scores route the same way,
+  /// so a suite's mutations and scores always meet the same worker).
+  /// Resident results bypass the router's cache tiers entirely: the
+  /// name-derived wire key never changes across mutations, so only the
+  /// owning worker — which keys by live content digest — may cache them.
+  /// A respawned worker loses its residents; subsequent mutations are
+  /// answered with an honest "unknown resident suite" bad_request.
+  MutateResponse mutate(const MutateRequest& request) override;
   Key128 content_key(const ScoreRequest& request) override;
   std::string metrics_line(const std::string& id) override;
   std::string stats_line(const std::string& id) override;

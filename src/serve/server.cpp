@@ -48,11 +48,21 @@ obs::Counter& responses_counter() {
 /// determined (parse errors, rejections, ping/metrics placeholders) carry
 /// it in `response`; score entries carry the request until executed.
 struct QueueEntry {
-  enum class Kind { Ready, Score, Metrics, Stats, ShardStats, Ping, Shutdown };
+  enum class Kind {
+    Ready,
+    Score,
+    Mutate,
+    Metrics,
+    Stats,
+    ShardStats,
+    Ping,
+    Shutdown
+  };
   Kind kind = Kind::Ready;
   std::string id;
-  std::string response;  // serialized line (Kind::Ready)
-  ScoreRequest request;  // Kind::Score
+  std::string response;   // serialized line (Kind::Ready)
+  ScoreRequest request;   // Kind::Score
+  MutateRequest mutate;   // Kind::Mutate
   std::chrono::steady_clock::time_point enqueued;
   std::uint64_t deadline_ms = 0;
 };
@@ -194,6 +204,43 @@ class Session {
       case Op::Shutdown:
         entry.kind = QueueEntry::Kind::Shutdown;
         break;
+      case Op::Mutate: {
+        // Mutations share the scores' admission budget: they occupy the
+        // same queue and are answered in the same arrival order.
+        if (pending_scores_ >= options_.max_queue) {
+          rejected_counter().increment();
+          entry.kind = QueueEntry::Kind::Ready;
+          entry.response = serialize_error(
+              parsed.id, "overloaded",
+              "admission queue full (max-queue=" +
+                  std::to_string(options_.max_queue) + ")");
+          pending_.push_back(std::move(entry));
+          return;
+        }
+        admitted_counter().increment();
+        ++pending_scores_;
+        entry.kind = QueueEntry::Kind::Mutate;
+        entry.mutate = std::move(parsed.mutate);
+        ++sequence_;
+        if (entry.mutate.trace_id == 0) {
+          // A mutation has no content key; its trace id digests the full
+          // mutation payload instead — still deterministic per replay.
+          const Key128 key = ContentHasher{}
+                                 .str("mutate")
+                                 .str(mutate_op_name(entry.mutate.op))
+                                 .str(entry.mutate.suite)
+                                 .str(entry.mutate.csv_text)
+                                 .str(entry.mutate.series_text)
+                                 .str(entry.mutate.workload)
+                                 .digest();
+          entry.mutate.trace_id =
+              derive_trace_id(key, entry.mutate.events, sequence_);
+        }
+        entry.deadline_ms = entry.mutate.deadline_ms != 0
+                                ? entry.mutate.deadline_ms
+                                : options_.default_deadline_ms;
+        break;
+      }
       case Op::Score: {
         if (pending_scores_ >= options_.max_queue) {
           rejected_counter().increment();
@@ -247,6 +294,14 @@ class Session {
     std::size_t take = 0;
     std::size_t batch_scores = 0;
     for (; take < pending_.size(); ++take) {
+      if (pending_[take].kind == QueueEntry::Kind::Mutate) {
+        // A mutation is a write barrier: it executes alone, so every
+        // earlier score in the pipeline observes the pre-mutation suite
+        // and every later one the post-mutation suite — deterministic
+        // responses regardless of batching boundaries.
+        if (take == 0) take = 1;
+        break;
+      }
       if (pending_[take].kind == QueueEntry::Kind::Score) {
         if (batch_scores == options_.max_batch) break;
         ++batch_scores;
@@ -259,6 +314,30 @@ class Session {
     std::vector<std::size_t> batch_slots;
     for (std::size_t i = 0; i < take; ++i) {
       QueueEntry& entry = pending_[i];
+      if (entry.kind == QueueEntry::Kind::Mutate) {
+        --pending_scores_;
+        if (expired(entry)) {
+          timeouts_counter().increment();
+          ScoreResponse timed_out;
+          timed_out.id = entry.id;
+          timed_out.error = "timeout";
+          timed_out.message = "request waited past its deadline of " +
+                              std::to_string(entry.deadline_ms) + " ms";
+          timed_out.trace_id = entry.mutate.trace_id;
+          entry.response = serialize_response(timed_out);
+        } else {
+          const MutateResponse mutated = engine_.mutate(entry.mutate);
+          entry.response = serialize_mutate_response(mutated);
+          ScoreResponse proxy;  // the slow-request log's common shape
+          proxy.id = mutated.id;
+          proxy.ok = mutated.ok;
+          proxy.cache_hit = mutated.cache_hit;
+          proxy.trace_id = mutated.trace_id;
+          maybe_log_slow(entry, proxy);
+        }
+        entry.kind = QueueEntry::Kind::Ready;
+        continue;
+      }
       if (entry.kind != QueueEntry::Kind::Score) continue;
       --pending_scores_;
       if (expired(entry)) {
@@ -314,7 +393,8 @@ class Session {
           result_.shutdown_requested = true;
           break;
         case QueueEntry::Kind::Score:
-          break;  // unreachable: all scores resolved above
+        case QueueEntry::Kind::Mutate:
+          break;  // unreachable: all scores/mutations resolved above
       }
       ++result_.responses;
       responses_counter().increment();

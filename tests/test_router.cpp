@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/io.hpp"
 #include "serve/backend.hpp"
 #include "serve/engine.hpp"
 #include "serve/protocol.hpp"
@@ -269,6 +270,111 @@ TEST(Router, BatchMatchesSequentialScoring) {
               serve::serialize_response(serial[i]))
         << "request " << i;
   }
+}
+
+TEST(Router, MutateSequenceMatchesInProcessEngine) {
+  // The same load/add/drop sequence through the router (which forwards
+  // every op of a suite name to one worker) and through an in-process
+  // Engine must produce byte-identical reports and version numbers.
+  const core::CounterMatrix base = serve::simulate_builtin("sebs", 2000);
+  const core::CounterMatrix extra =
+      serve::simulate_builtin("riotbench", 2000).select_workloads({0});
+
+  serve::MutateRequest load;
+  load.id = "l";
+  load.op = serve::MutateOp::LoadSuite;
+  load.suite = "live";
+  load.csv_text = core::write_aggregates_csv_text(base);
+  load.series_text = core::write_series_csv_text(base);
+
+  serve::MutateRequest add;
+  add.id = "a";
+  add.op = serve::MutateOp::AddWorkload;
+  add.suite = "live";
+  add.csv_text = core::write_aggregates_csv_text(extra);
+  add.series_text = core::write_series_csv_text(extra);
+
+  serve::MutateRequest drop;
+  drop.id = "d";
+  drop.op = serve::MutateOp::DropWorkload;
+  drop.suite = "live";
+  drop.workload = extra.workload_names()[0];
+
+  Router router(router_options(2));
+  serve::Engine engine;
+  for (const auto* request : {&load, &add, &drop}) {
+    const auto from_router = router.mutate(*request);
+    const auto from_engine = engine.mutate(*request);
+    ASSERT_TRUE(from_router.ok) << from_router.message;
+    ASSERT_TRUE(from_engine.ok) << from_engine.message;
+    EXPECT_EQ(from_router.version, from_engine.version) << request->id;
+    EXPECT_EQ(from_router.cache_hit, from_engine.cache_hit) << request->id;
+    EXPECT_EQ(from_router.report, from_engine.report) << request->id;
+  }
+
+  // The resident name scores through the same worker, bypassing the
+  // router cache tiers — the report is the drop re-score's bytes.
+  ScoreRequest by_name;
+  by_name.id = "s";
+  by_name.builtin = "live";
+  const ScoreResponse scored = router.score(by_name);
+  ASSERT_TRUE(scored.ok) << scored.message;
+  EXPECT_TRUE(scored.cache_hit);  // the worker's honest content-cache hit
+  EXPECT_EQ(scored.report, engine.score(by_name).report);
+  EXPECT_EQ(router.cache_entries(), 0u);  // nothing leaked into the router
+
+  // Batch scoring routes resident names the same way.
+  const auto batched = router.score_batch({by_name});
+  ASSERT_EQ(batched.size(), 1u);
+  EXPECT_EQ(batched[0].report, scored.report);
+  EXPECT_EQ(router.cache_entries(), 0u);
+}
+
+TEST(Router, MutateErrorsAreStructured) {
+  Router router(router_options(2));
+  serve::MutateRequest drop;
+  drop.id = "x";
+  drop.op = serve::MutateOp::DropWorkload;
+  drop.suite = "never-loaded";
+  drop.workload = "w";
+  const auto response = router.mutate(drop);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, "bad_request");
+  EXPECT_NE(response.message.find("unknown resident suite"),
+            std::string::npos);
+}
+
+TEST(Router, RespawnedWorkerLosesResidentsHonestly) {
+  // Residents live in worker memory only. After the owning worker is
+  // killed and respawned, a mutation must come back as an honest
+  // bad_request — never a hang, a stale answer, or a silent retry.
+  const core::CounterMatrix base = serve::simulate_builtin("sebs", 2000);
+  serve::MutateRequest load;
+  load.id = "l";
+  load.op = serve::MutateOp::LoadSuite;
+  load.suite = "live";
+  load.csv_text = core::write_aggregates_csv_text(base);
+  load.series_text = core::write_series_csv_text(base);
+
+  Router router(router_options(2));  // restart_on_crash defaults to true
+  ASSERT_TRUE(router.mutate(load).ok);
+
+  for (std::size_t w = 0; w < router.worker_count(); ++w) {
+    ASSERT_TRUE(router.kill_worker(w));
+  }
+  pause_ms(100);
+  router.metrics_line("");  // observe the deaths, trigger respawns
+
+  serve::MutateRequest drop;
+  drop.id = "d";
+  drop.op = serve::MutateOp::DropWorkload;
+  drop.suite = "live";
+  drop.workload = base.workload_names()[0];
+  const auto response = router.mutate(drop);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, "bad_request");
+  EXPECT_NE(response.message.find("unknown resident suite"),
+            std::string::npos);
 }
 
 TEST(Router, AgreesWithInProcessEngineOnMatrixRequests) {

@@ -209,5 +209,108 @@ TEST(ServeProtocol, SerializeErrorCarriesCodeAndMessage) {
   EXPECT_EQ(parsed.find("message")->string, "queue full");
 }
 
+// ---- mutate ops -----------------------------------------------------------
+
+TEST(ServeProtocol, ParsesMutateOps) {
+  const ParsedRequest load = parse_request_line(
+      R"({"id":"1","op":"load_suite","suite":"live","csv":"workload,c0\na,1\n","series_csv":"workload,counter,sample,value\na,c0,0,1\n","events":"llc","deadline_ms":50})");
+  ASSERT_TRUE(load.ok) << load.message;
+  EXPECT_EQ(load.op, Op::Mutate);
+  EXPECT_EQ(load.mutate.op, MutateOp::LoadSuite);
+  EXPECT_EQ(load.mutate.suite, "live");
+  EXPECT_EQ(load.mutate.csv_text, "workload,c0\na,1\n");
+  EXPECT_EQ(load.mutate.series_text,
+            "workload,counter,sample,value\na,c0,0,1\n");
+  EXPECT_EQ(load.mutate.events, "llc");
+  EXPECT_EQ(load.mutate.deadline_ms, 50u);
+
+  const ParsedRequest drop = parse_request_line(
+      R"({"op":"drop_workload","suite":"live","workload":"a"})");
+  ASSERT_TRUE(drop.ok);
+  EXPECT_EQ(drop.mutate.op, MutateOp::DropWorkload);
+  EXPECT_EQ(drop.mutate.workload, "a");
+
+  const ParsedRequest append = parse_request_line(
+      R"({"op":"append_samples","suite":"live","series_csv":"workload,counter,sample,value\na,c0,1,2\n"})");
+  ASSERT_TRUE(append.ok);
+  EXPECT_EQ(append.mutate.op, MutateOp::AppendSamples);
+
+  const ParsedRequest add = parse_request_line(
+      R"({"op":"add_workload","suite":"live","csv":"workload,c0\nb,2\n"})");
+  ASSERT_TRUE(add.ok);
+  EXPECT_EQ(add.mutate.op, MutateOp::AddWorkload);
+}
+
+TEST(ServeProtocol, MutateOpsValidateTheirRequiredFields) {
+  // Every op needs a suite name.
+  EXPECT_FALSE(parse_request_line(R"({"op":"load_suite","csv":"x"})").ok);
+  // load_suite / add_workload need an aggregate payload.
+  EXPECT_FALSE(parse_request_line(R"({"op":"load_suite","suite":"s"})").ok);
+  EXPECT_FALSE(parse_request_line(R"({"op":"add_workload","suite":"s"})").ok);
+  // drop_workload needs the workload, append_samples the series payload.
+  EXPECT_FALSE(
+      parse_request_line(R"({"op":"drop_workload","suite":"s"})").ok);
+  EXPECT_FALSE(
+      parse_request_line(R"({"op":"append_samples","suite":"s"})").ok);
+}
+
+TEST(ServeProtocol, MutateRequestForwardingRoundTrips) {
+  MutateRequest request;
+  request.id = "m7";
+  request.op = MutateOp::AddWorkload;
+  request.suite = "live";
+  request.csv_text = "workload,c0\nb,2\n";
+  request.series_text = "workload,counter,sample,value\nb,c0,0,2\n";
+  request.events = "llc";
+  request.trace_id = 0x9f86d081884c7d65ull;
+
+  const ParsedRequest parsed =
+      parse_request_line(serialize_mutate_request(request));
+  ASSERT_TRUE(parsed.ok) << parsed.message;
+  ASSERT_EQ(parsed.op, Op::Mutate);
+  EXPECT_EQ(parsed.mutate.id, "m7");
+  EXPECT_EQ(parsed.mutate.op, MutateOp::AddWorkload);
+  EXPECT_EQ(parsed.mutate.suite, request.suite);
+  EXPECT_EQ(parsed.mutate.csv_text, request.csv_text);
+  EXPECT_EQ(parsed.mutate.series_text, request.series_text);
+  EXPECT_EQ(parsed.mutate.events, "llc");
+  EXPECT_EQ(parsed.mutate.trace_id, request.trace_id);
+}
+
+TEST(ServeProtocol, MutateResponseRoundTripsExactly) {
+  MutateResponse response;
+  response.id = "m1";
+  response.ok = true;
+  response.suite = "live";
+  response.version = 3;
+  response.cache_hit = true;
+  response.report = "report\nwith | table |\n";
+  response.trace_id = 0xabcdef0123456789ull;
+
+  MutateResponse back;
+  ASSERT_TRUE(
+      parse_mutate_response(serialize_mutate_response(response), back));
+  EXPECT_EQ(back.id, response.id);
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.suite, "live");
+  EXPECT_EQ(back.version, 3u);
+  EXPECT_TRUE(back.cache_hit);
+  EXPECT_EQ(back.report, response.report);
+  EXPECT_EQ(back.trace_id, response.trace_id);
+
+  // Error shape: same bytes as a score error, still parseable.
+  MutateResponse error;
+  error.id = "m2";
+  error.error = "bad_request";
+  error.message = "unknown resident suite 'x' (load_suite first)";
+  MutateResponse error_back;
+  ASSERT_TRUE(
+      parse_mutate_response(serialize_mutate_response(error), error_back));
+  EXPECT_FALSE(error_back.ok);
+  EXPECT_EQ(error_back.error, "bad_request");
+  EXPECT_EQ(error_back.message, error.message);
+  EXPECT_FALSE(parse_mutate_response("not json", error_back));
+}
+
 }  // namespace
 }  // namespace perspector::serve

@@ -1,0 +1,190 @@
+// ScoringWorkspace delta ops (upsert_row / remove_row).
+//
+// The contract under test: after any add/drop/append sequence applied
+// incrementally (one O(n·m) DTW strip per touched workload), cache
+// lookups are BIT-identical to a cold workspace primed from scratch on
+// the mutated suite — and a stale superseded row can only ever MISS
+// (map_rows verifies normalized trends element-wise), never serve wrong
+// bits.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/counter_matrix.hpp"
+#include "core/io.hpp"
+#include "core/scoring_workspace.hpp"
+#include "core/trend_score.hpp"
+#include "stats/rng.hpp"
+
+namespace perspector::core {
+namespace {
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+// Same generator family as test_dtw_fast.cpp: deterministic, and
+// phased_suite(n) is a row-prefix of phased_suite(n + 1), so "the suite
+// after add_workload" is just the longer suite.
+CounterMatrix phased_suite(std::size_t workloads) {
+  stats::Rng rng(901);
+  std::vector<std::string> names;
+  la::Matrix values;
+  std::vector<std::vector<std::vector<double>>> series;
+  for (std::size_t w = 0; w < workloads; ++w) {
+    names.push_back("w" + std::to_string(w));
+    std::vector<std::vector<double>> per_counter;
+    for (std::size_t c = 0; c < 2; ++c) {
+      std::vector<double> s(48, 1.0);
+      const std::size_t step = 4 + (w * 5 + c * 3) % 40;
+      for (std::size_t t = step; t < s.size(); ++t) {
+        s[t] = 50.0 + rng.uniform(0.0, 1.0);
+      }
+      per_counter.push_back(std::move(s));
+    }
+    double t0 = 0.0, t1 = 0.0;
+    for (double v : per_counter[0]) t0 += v;
+    for (double v : per_counter[1]) t1 += v;
+    values.append_row(std::vector<double>{t0, t1});
+    series.push_back(std::move(per_counter));
+  }
+  return CounterMatrix("phased", names, {"c0", "c1"}, values, series);
+}
+
+void expect_trend_bitwise_equal(const TrendScoreResult& cached,
+                                const TrendScoreResult& direct) {
+  EXPECT_EQ(bits(cached.score), bits(direct.score));
+  ASSERT_EQ(cached.per_event.size(), direct.per_event.size());
+  for (std::size_t c = 0; c < cached.per_event.size(); ++c) {
+    EXPECT_EQ(bits(cached.per_event[c]), bits(direct.per_event[c]));
+  }
+}
+
+/// Asserts the delta-maintained workspace answers `suite` exactly like
+/// the direct (uncached) trend_score — the cold-re-prime equivalence.
+void expect_serves_exactly(const ScoringWorkspace& workspace,
+                           const CounterMatrix& suite,
+                           const TrendScoreOptions& options) {
+  std::vector<std::size_t> rows;
+  ASSERT_TRUE(workspace.map_rows(suite, options, rows));
+  expect_trend_bitwise_equal(workspace.trend_score_from_cache(rows),
+                             trend_score(suite, options));
+}
+
+TEST(WorkspaceDelta, UpsertOfNewRowMatchesColdPrime) {
+  const TrendScoreOptions options;
+  const CounterMatrix before = phased_suite(6);
+  const CounterMatrix after = phased_suite(7);  // before + one workload
+
+  ScoringWorkspace warm;
+  warm.prime_trend(before, options);
+  ASSERT_TRUE(warm.trend_usable());
+  ASSERT_TRUE(warm.upsert_row(after, 6, options));
+
+  expect_serves_exactly(warm, after, options);
+  // The original rows are still live too (subset slicing unaffected).
+  expect_serves_exactly(warm, before, options);
+}
+
+TEST(WorkspaceDelta, RemoveRowMasksExactlyThatWorkload) {
+  const TrendScoreOptions options;
+  const CounterMatrix suite = phased_suite(8);
+  ScoringWorkspace warm;
+  warm.prime_trend(suite, options);
+  ASSERT_TRUE(warm.remove_row("w3"));
+
+  // The surviving rows still slice bit-exactly...
+  const CounterMatrix kept = suite.select_workloads({0, 1, 2, 4, 5, 6, 7});
+  expect_serves_exactly(warm, kept, options);
+  // ...and any view naming the dropped workload honestly misses.
+  std::vector<std::size_t> rows;
+  EXPECT_FALSE(warm.map_rows(suite, options, rows));
+  EXPECT_FALSE(warm.remove_row("w3"));  // already gone
+}
+
+TEST(WorkspaceDelta, AddDropAddRoundTripMatchesColdPrime) {
+  const TrendScoreOptions options;
+  ScoringWorkspace warm;
+  warm.prime_trend(phased_suite(5), options);
+
+  // add w5, add w6, drop w2, drop w5 — then compare against a cold
+  // workspace primed directly on the final suite.
+  const CounterMatrix grown = phased_suite(7);
+  ASSERT_TRUE(warm.upsert_row(grown, 5, options));
+  ASSERT_TRUE(warm.upsert_row(grown, 6, options));
+  ASSERT_TRUE(warm.remove_row("w2"));
+  ASSERT_TRUE(warm.remove_row("w5"));
+
+  const CounterMatrix final_suite = grown.select_workloads({0, 1, 3, 4, 6});
+  expect_serves_exactly(warm, final_suite, options);
+
+  ScoringWorkspace cold;
+  cold.prime_trend(final_suite, options);
+  std::vector<std::size_t> warm_rows, cold_rows;
+  ASSERT_TRUE(warm.map_rows(final_suite, options, warm_rows));
+  ASSERT_TRUE(cold.map_rows(final_suite, options, cold_rows));
+  expect_trend_bitwise_equal(warm.trend_score_from_cache(warm_rows),
+                             cold.trend_score_from_cache(cold_rows));
+}
+
+TEST(WorkspaceDelta, AppendSamplesUpsertSupersedesStaleRow) {
+  const TrendScoreOptions options;
+  const CounterMatrix before = phased_suite(6);
+  ScoringWorkspace warm;
+  warm.prime_trend(before, options);
+
+  // append_samples touches w1 and w4; upsert exactly the touched rows.
+  std::vector<std::size_t> touched;
+  const CounterMatrix after = append_samples_csv_text(
+      before,
+      "workload,counter,sample,value\n"
+      "w4,c0,48,9.5\n"
+      "w1,c1,48,2.25\n"
+      "w1,c1,49,2.5\n",
+      &touched);
+  ASSERT_EQ(touched, (std::vector<std::size_t>{1, 4}));
+  for (const std::size_t row : touched) {
+    ASSERT_TRUE(warm.upsert_row(after, row, options));
+  }
+
+  expect_serves_exactly(warm, after, options);
+  // The pre-append suite's w1/w4 trends no longer match the live rows:
+  // the stale view must miss, not resolve to the superseded data.
+  std::vector<std::size_t> rows;
+  EXPECT_FALSE(warm.map_rows(before, options, rows));
+}
+
+TEST(WorkspaceDelta, PreconditionsReturnFalseWithoutMutating) {
+  const TrendScoreOptions options;
+  const CounterMatrix suite = phased_suite(5);
+
+  // Unusable cache (no series): every delta op refuses.
+  const CounterMatrix bare("bare", {"a", "b"}, {"c0"},
+                           la::Matrix{{1.0}, {2.0}});
+  ScoringWorkspace unusable;
+  unusable.prime_trend(bare, options);
+  ASSERT_TRUE(unusable.trend_primed());
+  ASSERT_FALSE(unusable.trend_usable());
+  EXPECT_FALSE(unusable.upsert_row(suite, 0, options));
+  EXPECT_FALSE(unusable.remove_row("a"));
+
+  ScoringWorkspace warm;
+  warm.prime_trend(suite, options);
+  // Row out of range.
+  EXPECT_FALSE(warm.upsert_row(suite, 5, options));
+  // Different options than the primed ones.
+  TrendScoreOptions banded;
+  banded.dtw_band_fraction = 0.1;
+  EXPECT_FALSE(warm.upsert_row(suite, 0, banded));
+  // Different counter set.
+  const CounterMatrix other = suite.select_counters({0});
+  EXPECT_FALSE(warm.upsert_row(other, 0, options));
+  // Unknown workload name.
+  EXPECT_FALSE(warm.remove_row("nope"));
+  // None of the refusals disturbed the cache.
+  expect_serves_exactly(warm, suite, options);
+}
+
+}  // namespace
+}  // namespace perspector::core

@@ -5,7 +5,7 @@
 //
 // Compares every metric the two records share. Direction comes from the
 // metric-name suffix (the BenchReport naming contract):
-//   *_rps                higher is better  (ratio = baseline / fresh)
+//   *_rps, *_mbps        higher is better  (ratio = baseline / fresh)
 //   *_us, *_ms, *_ns     lower is better   (ratio = fresh / baseline)
 //   anything else        informational only, never gates
 // A metric regresses when its ratio exceeds --max-regress (default 1.5;
@@ -99,7 +99,9 @@ bool ends_with(const std::string& name, const std::string& suffix) {
 enum class Direction { HigherBetter, LowerBetter, Info };
 
 Direction direction_of(const std::string& name) {
-  if (ends_with(name, "_rps") || name == "rps") return Direction::HigherBetter;
+  if (ends_with(name, "_rps") || ends_with(name, "_mbps") || name == "rps") {
+    return Direction::HigherBetter;
+  }
   if (ends_with(name, "_us") || ends_with(name, "_ms") ||
       ends_with(name, "_ns")) {
     return Direction::LowerBetter;

@@ -28,8 +28,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -88,8 +91,9 @@ struct Args {
 
 // Flags that take no value; everything else is --key <value>.
 const std::set<std::string>& boolean_flags() {
-  static const std::set<std::string> flags = {"metrics", "stdio", "ping",
-                                              "stats", "shutdown"};
+  static const std::set<std::string> flags = {
+      "metrics", "stdio", "ping", "stats", "shutdown", "verify",
+      "no-io-thread"};
   return flags;
 }
 
@@ -140,8 +144,12 @@ const char* general_usage_text() {
       "  score   --csv <agg.csv> [--series <ser.csv>] [--events all|llc|tlb|branch]\n"
       "  compare --csv <a.csv> --csv <b.csv> ... [--events all|llc|tlb|branch]\n"
       "  subset  --csv <agg.csv> --size K [--method lhs|random|prior] [--seed S]\n"
+      "  ingest  --csv <agg.csv> [--chunk-kb N] [--no-io-thread] [--verify]\n"
       "  serve   [--port N | --stdio] [--workers N] [--cache-dir PATH] ...\n"
-      "  client  --port N (--suite <name> | --csv <file>) [--repeat K] ...\n"
+      "  client  --port N (--suite <name> | --csv <file> | --input <file>)\n"
+      "          [--load-suite NAME | --add-workload NAME |\n"
+      "           --drop-workload NAME --workload W | --append-samples NAME]\n"
+      "          [--repeat K] ...\n"
       "  help    [<command>]                      this message, or per-command usage\n"
       "observability (any command):\n"
       "  --trace <file.json>   write Chrome trace JSON + per-phase timing table\n"
@@ -188,6 +196,18 @@ std::string command_usage_text(const std::string& command) {
            "  Select a representative K-workload subset and report the mean\n"
            "  score deviation against the full suite.\n";
   }
+  if (command == "ingest") {
+    return "usage: perspector ingest --csv <agg.csv> [--chunk-kb N]\n"
+           "                         [--no-io-thread] [--verify]\n"
+           "  Parse an aggregates CSV through the streaming reader (chunked\n"
+           "  IO-thread pipeline, zero per-field allocation) and print the\n"
+           "  parsed shape and throughput.\n"
+           "  --chunk-kb N     chunk size in KiB (default 1024)\n"
+           "  --no-io-thread   read chunks inline instead of overlapping a\n"
+           "                   dedicated IO thread with parsing\n"
+           "  --verify         also parse via the slurp reader and confirm\n"
+           "                   the two matrices are byte-identical\n";
+  }
   if (command == "serve") {
     return "usage: perspector serve [--port N | --stdio] [--threads N]\n"
            "                        [--cache-mb N] [--max-queue N]\n"
@@ -217,7 +237,11 @@ std::string command_usage_text(const std::string& command) {
   if (command == "client") {
     return "usage: perspector client --port N [--host H]\n"
            "                         (--suite <name> [--instructions N]\n"
-           "                          | --csv <file> [--series <file>])\n"
+           "                          | --csv <file> [--series <file>]\n"
+           "                          | --input <file>)\n"
+           "                         [--load-suite NAME | --add-workload NAME\n"
+           "                          | --drop-workload NAME --workload W\n"
+           "                          | --append-samples NAME]\n"
            "                         [--events all|llc|tlb|branch]\n"
            "                         [--repeat K] [--deadline-ms N]\n"
            "                         [--ping] [--metrics] [--stats]\n"
@@ -225,10 +249,18 @@ std::string command_usage_text(const std::string& command) {
            "  Scripted client for 'perspector serve'. Pipelines K copies of\n"
            "  the score request (default 1), prints each report to stdout\n"
            "  (byte-identical to the one-shot command), and cache/error\n"
-           "  status (with each response's trace id) to stderr. --metrics\n"
-           "  appends a server-counter request, --stats a latency-histogram\n"
-           "  request (p50/p90/p99/p99.9), --shutdown asks the server to\n"
-           "  exit after responding.\n"
+           "  status (with each response's trace id) to stderr.\n"
+           "  --input <file> streams the CSV through the chunked ingest\n"
+           "  reader and sends the parsed matrix as a lossless inline\n"
+           "  request (large files never buffer twice as raw text).\n"
+           "  Live-suite mutation flags send one mutate request before any\n"
+           "  scores: --load-suite/--add-workload take their payload from\n"
+           "  --csv/--series, --append-samples from --series, and\n"
+           "  --drop-workload names the victim via --workload. A later\n"
+           "  '--suite NAME' score resolves the resident suite by name.\n"
+           "  --metrics appends a server-counter request, --stats a\n"
+           "  latency-histogram request (p50/p90/p99/p99.9), --shutdown\n"
+           "  asks the server to exit after responding.\n"
            "  Exits 0 when every response was ok, 3 otherwise.\n";
   }
   if (command == "help") {
@@ -376,6 +408,67 @@ int cmd_subset(const Args& args) {
   return 0;
 }
 
+/// Field-wise equality of two counter matrices (CounterMatrix has no
+/// operator==; bit-exact doubles are the whole point of the check).
+bool matrices_identical(const core::CounterMatrix& a,
+                        const core::CounterMatrix& b) {
+  if (a.workload_names() != b.workload_names()) return false;
+  if (a.counter_names() != b.counter_names()) return false;
+  if (!(a.values() == b.values())) return false;
+  if (a.has_series() != b.has_series()) return false;
+  if (!a.has_series()) return true;
+  for (std::size_t w = 0; w < a.num_workloads(); ++w) {
+    for (std::size_t c = 0; c < a.num_counters(); ++c) {
+      if (a.series(w, c) != b.series(w, c)) return false;
+    }
+  }
+  return true;
+}
+
+int cmd_ingest(const Args& args) {
+  const auto csv = args.get("csv");
+  if (!csv) return usage();
+  core::StreamedReadOptions options;
+  if (const auto kb = args.get("chunk-kb")) {
+    const std::uint64_t n = parse_u64(*kb, "chunk-kb");
+    if (n == 0) throw UsageError("option '--chunk-kb' must be >= 1");
+    options.chunk_bytes = static_cast<std::size_t>(n) << 10;
+  }
+  options.io_thread = !args.has("no-io-thread");
+
+  const auto started = std::chrono::steady_clock::now();
+  const auto data = core::read_aggregates_csv_streamed(*csv, *csv, options);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+
+  std::cout << "parsed " << data.num_workloads() << " workloads x "
+            << data.num_counters() << " counters from " << *csv << "\n";
+  std::error_code ec;
+  const auto bytes = std::filesystem::file_size(*csv, ec);
+  if (!ec && elapsed > 0.0) {
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "%.1f MiB in %.3f s (%.1f MiB/s, chunk %zu KiB, io-thread "
+                  "%s)\n",
+                  static_cast<double>(bytes) / 1048576.0, elapsed,
+                  static_cast<double>(bytes) / 1048576.0 / elapsed,
+                  options.chunk_bytes >> 10, options.io_thread ? "on" : "off");
+    std::cout << line;
+  }
+  if (args.has("verify")) {
+    const auto slurped = core::read_aggregates_csv_slurp(*csv, *csv);
+    if (!matrices_identical(data, slurped)) {
+      throw std::runtime_error(
+          "verify failed: streamed and slurped matrices differ");
+    }
+    std::cout << "verify: streamed matrix is identical to the slurp "
+                 "reader's\n";
+  }
+  return 0;
+}
+
 // ---- serve / client -------------------------------------------------------
 
 volatile std::sig_atomic_t g_terminate = 0;
@@ -488,24 +581,85 @@ int cmd_client(const Args& args) {
   }
   run.port = static_cast<std::uint16_t>(port_value);
 
+  // Live-suite mutation flags (at most one per invocation); the payload
+  // rides on --csv/--series, which then belong to the mutation rather
+  // than the score request.
+  const auto load_suite = args.get("load-suite");
+  const auto add_workload = args.get("add-workload");
+  const auto drop_workload = args.get("drop-workload");
+  const auto append_samples = args.get("append-samples");
+  const int mutate_flags = (load_suite ? 1 : 0) + (add_workload ? 1 : 0) +
+                           (drop_workload ? 1 : 0) + (append_samples ? 1 : 0);
+  if (mutate_flags > 1) {
+    throw UsageError(
+        "--load-suite, --add-workload, --drop-workload and --append-samples "
+        "are mutually exclusive");
+  }
   const auto suite = args.get("suite");
   const auto csv = args.get("csv");
-  if (suite && csv) {
-    throw UsageError("--suite and --csv are mutually exclusive");
+  const auto input = args.get("input");
+  const auto series = args.get("series");
+  if (mutate_flags == 1) {
+    serve::ClientMutate mutate;
+    mutate.events = args.get("events").value_or("all");
+    if (const auto n = args.get("deadline-ms")) {
+      mutate.deadline_ms = parse_u64(*n, "deadline-ms");
+    }
+    if (load_suite || add_workload) {
+      mutate.op = load_suite ? "load_suite" : "add_workload";
+      mutate.suite = load_suite ? *load_suite : *add_workload;
+      if (!csv) {
+        throw UsageError("'--" + std::string(load_suite ? "load-suite"
+                                                        : "add-workload") +
+                         "' needs --csv <payload>");
+      }
+      mutate.csv_text = read_file(*csv);
+      if (series) mutate.series_text = read_file(*series);
+    } else if (drop_workload) {
+      mutate.op = "drop_workload";
+      mutate.suite = *drop_workload;
+      const auto victim = args.get("workload");
+      if (!victim) {
+        throw UsageError("'--drop-workload' needs --workload <name>");
+      }
+      mutate.workload = *victim;
+    } else {
+      mutate.op = "append_samples";
+      mutate.suite = *append_samples;
+      if (!series) {
+        throw UsageError("'--append-samples' needs --series <payload>");
+      }
+      mutate.series_text = read_file(*series);
+    }
+    run.mutations.push_back(std::move(mutate));
   }
-  if (suite || csv) {
+
+  // Score request: --suite names a built-in (or a resident suite loaded
+  // above), --csv ships raw CSV text, --input streams a CSV through the
+  // chunked ingest reader and ships the parsed matrix losslessly.
+  const bool csv_is_payload = mutate_flags == 1 && !drop_workload;
+  const bool csv_scores = csv && !csv_is_payload;
+  if ((suite ? 1 : 0) + (csv_scores ? 1 : 0) + (input ? 1 : 0) > 1) {
+    throw UsageError("--suite, --csv and --input are mutually exclusive");
+  }
+  if (suite || csv_scores || input) {
     serve::ClientScore score;
     if (suite) {
       score.builtin = *suite;
       if (const auto n = args.get("instructions")) {
         score.instructions = parse_u64(*n, "instructions");
       }
+    } else if (input) {
+      // Stream the file through the ingest pipeline, then forward the
+      // parsed matrix as lossless (%.17g) CSV — byte-identical scoring
+      // to --csv, without the server re-validating a giant raw payload.
+      score.name = *input;
+      score.csv_text = core::write_aggregates_csv_text(
+          core::read_aggregates_csv_streamed(*input, *input));
     } else {
       score.name = *csv;
       score.csv_text = read_file(*csv);
-      if (const auto series = args.get("series")) {
-        score.series_text = read_file(*series);
-      }
+      if (series) score.series_text = read_file(*series);
     }
     score.events = args.get("events").value_or("all");
     if (const auto n = args.get("deadline-ms")) {
@@ -519,11 +673,11 @@ int cmd_client(const Args& args) {
   run.metrics = args.has("metrics");
   run.stats = args.has("stats");
   run.shutdown = args.has("shutdown");
-  if (!run.score && !run.ping && !run.metrics && !run.stats &&
-      !run.shutdown) {
+  if (run.mutations.empty() && !run.score && !run.ping && !run.metrics &&
+      !run.stats && !run.shutdown) {
     throw UsageError(
-        "client needs something to send: --suite/--csv, --ping, --metrics, "
-        "--stats, or --shutdown");
+        "client needs something to send: --suite/--csv/--input, a mutation "
+        "flag, --ping, --metrics, --stats, or --shutdown");
   }
 
   std::signal(SIGPIPE, SIG_IGN);
@@ -636,6 +790,8 @@ int main(int argc, char** argv) {
       rc = cmd_compare(args);
     } else if (command == "subset") {
       rc = cmd_subset(args);
+    } else if (command == "ingest") {
+      rc = cmd_ingest(args);
     } else if (command == "serve") {
       rc = cmd_serve(args);
     } else if (command == "client") {

@@ -5,12 +5,14 @@
 # Phase "basic" — the single-process engine:
 #   1. start the server on an ephemeral port and parse the printed port;
 #   2. score spec17 and parsec through the client, twice each;
-#   3. assert via the metrics op that the second round was served from
+#   3. score one CSV file through both --csv (raw payload) and --input
+#      (client-side streamed ingest) and require byte-identical reports;
+#   4. assert via the metrics op that the second round was served from
 #      the result cache (serve.cache_hit >= 2) and that the request
 #      latency distribution and histogram were populated;
-#   4. assert via the stats op that serve.request.latency reports a
+#   5. assert via the stats op that serve.request.latency reports a
 #      positive p99;
-#   5. SIGTERM the server and assert it drains and exits 0.
+#   6. SIGTERM the server and assert it drains and exits 0.
 #
 # Phase "restart" — the multi-worker tier and its disk-backed store:
 #   1. start `serve --workers 2 --cache-dir <dir>`, score two suites
@@ -121,6 +123,32 @@ start_server --max-queue 8
 "$BIN" demo --suite spec17 --instructions 20000 2>/dev/null \
   | cmp - "$OUT" || { echo "FAIL: served spec17 report differs from one-shot" >&2; exit 1; }
 "$BIN" client --port "$PORT" --suite parsec --instructions 20000 >/dev/null
+
+# Streamed ingest leg: --input parses the CSV through the chunked
+# reader client-side and forwards the matrix as lossless CSV; the
+# server's report must be byte-identical to shipping the raw file
+# with --csv. Values carry fractions so the re-serialization path
+# (%.17g round-trip) is actually exercised, not just integers.
+INPUT_CSV="$(mktemp)"
+INPUT_OUT="$(mktemp)"
+cat >"$INPUT_CSV" <<'EOF'
+workload,cpu-cycles,branch-instructions,branch-misses,dtlb_misses.walk_pending,cycle_activity.stalls_mem_any,page-faults,dTLB-loads,dTLB-stores,dTLB-load-misses,dTLB-store-misses,LLC-loads,LLC-stores,LLC-load-misses,LLC-store-misses
+alpha,100000.5,20000.25,400.125,50,3000.75,12,15000,8000.5,120.25,60,900.5,450.125,90,45.75
+beta,200000.25,40000.5,800.5,100.25,6000,24.5,30000.75,16000,240.5,120.125,1800,900.25,180.5,90
+gamma,150000,30000.125,600.75,75.5,4500.25,18,22500.5,12000.75,180,90.5,1350.25,675,135.125,67.5
+delta,250000.75,50000,1000.25,125,7500.5,30.25,37500,20000.125,300.75,150,2250.5,1125.75,225,112.5
+epsilon,175000.5,35000.75,700,87.125,5250,21.5,26250.25,14000,210.125,105.75,1575,787.5,157.25,78.125
+zeta,225000,45000.25,900.625,112.5,6750.125,27,33750.5,18000.25,270,135.625,2025.75,1012.125,202.5,101.25
+EOF
+"$BIN" client --port "$PORT" --csv "$INPUT_CSV" >"$INPUT_OUT"
+"$BIN" client --port "$PORT" --input "$INPUT_CSV" \
+  | cmp - "$INPUT_OUT" || {
+    rm -f "$INPUT_CSV" "$INPUT_OUT"
+    echo "FAIL: --input report differs from --csv for the same file" >&2
+    exit 1
+  }
+rm -f "$INPUT_CSV" "$INPUT_OUT"
+echo "--input streamed report matches --csv"
 
 METRICS="$(mktemp)"
 "$BIN" client --port "$PORT" --metrics 2>/dev/null >"$METRICS"
