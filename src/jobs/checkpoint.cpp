@@ -1,0 +1,157 @@
+#include "jobs/checkpoint.hpp"
+
+#include <cstring>
+
+namespace perspector::jobs {
+
+namespace {
+
+constexpr std::uint32_t kVersion = 1;
+
+void put_u64(std::string& out, std::uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  out.append(bytes, sizeof bytes);
+}
+
+void put_f64(std::string& out, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_str(std::string& out, const std::string& value) {
+  put_u64(out, value.size());
+  out.append(value);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool u64(std::uint64_t& out) {
+    if (data_.size() - pos_ < 8) return fail();
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool f64(double& out) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    std::memcpy(&out, &bits, sizeof out);
+    return true;
+  }
+
+  bool str(std::string& out) {
+    std::uint64_t len = 0;
+    if (!u64(len)) return false;
+    if (len > data_.size() - pos_) return fail();
+    out.assign(data_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  bool exhausted() const { return ok_ && pos_ == data_.size(); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::string encode_checkpoint(const Checkpoint& checkpoint) {
+  std::string out;
+  put_u64(out, kVersion);
+  put_str(out, checkpoint.spec.builtin);
+  put_u64(out, checkpoint.spec.instructions);
+  put_str(out, checkpoint.spec.csv_name);
+  put_str(out, checkpoint.spec.csv_text);
+  put_str(out, checkpoint.spec.series_text);
+  put_str(out, checkpoint.spec.events);
+  put_u64(out, checkpoint.spec.target_size);
+  put_u64(out, checkpoint.spec.candidates);
+  put_u64(out, checkpoint.spec.seed);
+  put_str(out, checkpoint.spec.client);
+
+  put_u64(out, static_cast<std::uint64_t>(checkpoint.state));
+  put_u64(out, checkpoint.evaluated);
+  put_u64(out, checkpoint.progress_seq);
+  put_str(out, checkpoint.error);
+
+  put_u64(out, checkpoint.best.valid ? 1 : 0);
+  if (checkpoint.best.valid) {
+    put_u64(out, checkpoint.best.candidate);
+    put_f64(out, checkpoint.best.deviation_pct);
+    put_u64(out, checkpoint.best.per_score_deviation_pct.size());
+    for (double v : checkpoint.best.per_score_deviation_pct) put_f64(out, v);
+    put_u64(out, checkpoint.best.indices.size());
+    for (std::uint64_t v : checkpoint.best.indices) put_u64(out, v);
+    put_u64(out, checkpoint.best.names.size());
+    for (const auto& name : checkpoint.best.names) put_str(out, name);
+  }
+  return out;
+}
+
+std::optional<Checkpoint> decode_checkpoint(std::string_view payload) {
+  Reader in(payload);
+  std::uint64_t version = 0;
+  if (!in.u64(version) || version != kVersion) return std::nullopt;
+
+  Checkpoint out;
+  std::uint64_t state = 0;
+  std::uint64_t has_best = 0;
+  bool ok = in.str(out.spec.builtin) && in.u64(out.spec.instructions) &&
+            in.str(out.spec.csv_name) && in.str(out.spec.csv_text) &&
+            in.str(out.spec.series_text) && in.str(out.spec.events) &&
+            in.u64(out.spec.target_size) && in.u64(out.spec.candidates) &&
+            in.u64(out.spec.seed) && in.str(out.spec.client) &&
+            in.u64(state) && in.u64(out.evaluated) &&
+            in.u64(out.progress_seq) && in.str(out.error) && in.u64(has_best);
+  if (!ok || state > static_cast<std::uint64_t>(JobState::Failed) ||
+      has_best > 1) {
+    return std::nullopt;
+  }
+  out.state = static_cast<JobState>(state);
+  out.best.valid = has_best == 1;
+  if (out.best.valid) {
+    std::uint64_t count = 0;
+    if (!in.u64(out.best.candidate) || !in.f64(out.best.deviation_pct) ||
+        !in.u64(count) || count > payload.size()) {
+      return std::nullopt;
+    }
+    out.best.per_score_deviation_pct.resize(count);
+    for (auto& v : out.best.per_score_deviation_pct) {
+      if (!in.f64(v)) return std::nullopt;
+    }
+    if (!in.u64(count) || count > payload.size()) return std::nullopt;
+    out.best.indices.resize(count);
+    for (auto& v : out.best.indices) {
+      if (!in.u64(v)) return std::nullopt;
+    }
+    if (!in.u64(count) || count > payload.size()) return std::nullopt;
+    out.best.names.resize(count);
+    for (auto& name : out.best.names) {
+      if (!in.str(name)) return std::nullopt;
+    }
+  }
+  if (!in.exhausted()) return std::nullopt;  // trailing garbage
+  return out;
+}
+
+}  // namespace perspector::jobs

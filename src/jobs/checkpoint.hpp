@@ -1,0 +1,46 @@
+// Checkpoint codec for async jobs (DESIGN.md section 15).
+//
+// A checkpoint is the complete resumable state of one job: the full spec
+// (so a restarted process needs no other source of truth), the frontier
+// (how many candidates are already evaluated — candidate draws are pure
+// functions of (seed, index), so the frontier IS the RNG position), the
+// best subset so far, the progress-stream sequence, and the terminal
+// state if any. Resuming from a checkpoint and running to completion
+// yields a final subset byte-identical to an uninterrupted run.
+//
+// The payload encoding is a fixed-order binary format (version-tagged,
+// length-prefixed strings, little-endian u64/f64) rather than text: CSV
+// payloads embed newlines and the doubles must round-trip exactly.
+// Integrity is the CheckpointLog's job (per-frame checksums); decode
+// only has to reject structurally truncated or version-skewed payloads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "jobs/job.hpp"
+
+namespace perspector::jobs {
+
+struct Checkpoint {
+  JobSpec spec;
+  JobState state = JobState::Queued;
+  std::uint64_t evaluated = 0;   // candidate frontier (= RNG position)
+  BestCandidate best;
+  std::uint64_t progress_seq = 0;
+  std::string error;             // Failed: carried across restarts
+
+  friend bool operator==(const Checkpoint&, const Checkpoint&) = default;
+};
+
+/// Serializes a checkpoint. Deterministic: equal checkpoints encode to
+/// identical bytes.
+std::string encode_checkpoint(const Checkpoint& checkpoint);
+
+/// Parses an encoded checkpoint; nullopt when the payload is truncated,
+/// carries trailing garbage, or has an unknown version.
+std::optional<Checkpoint> decode_checkpoint(std::string_view payload);
+
+}  // namespace perspector::jobs

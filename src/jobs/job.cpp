@@ -1,0 +1,66 @@
+#include "jobs/job.hpp"
+
+#include <cstdio>
+
+namespace perspector::jobs {
+
+namespace {
+
+std::uint64_t fnv1a64(std::uint64_t hash, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::uint64_t fold_str(std::uint64_t hash, const std::string& s) {
+  // Length-prefixed so adjacent fields can never alias ("ab","c" vs
+  // "a","bc" hash differently).
+  const std::uint64_t len = s.size();
+  hash = fnv1a64(hash, &len, sizeof len);
+  return fnv1a64(hash, s.data(), s.size());
+}
+
+std::uint64_t fold_u64(std::uint64_t hash, std::uint64_t v) {
+  return fnv1a64(hash, &v, sizeof v);
+}
+
+}  // namespace
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Cancelled: return "cancelled";
+    case JobState::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+bool is_terminal(JobState state) {
+  return state == JobState::Done || state == JobState::Cancelled ||
+         state == JobState::Failed;
+}
+
+std::string derive_job_id(const JobSpec& spec) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  hash = fold_str(hash, spec.builtin);
+  hash = fold_u64(hash, spec.instructions);
+  hash = fold_str(hash, spec.csv_name);
+  hash = fold_str(hash, spec.csv_text);
+  hash = fold_str(hash, spec.series_text);
+  hash = fold_str(hash, spec.events);
+  hash = fold_u64(hash, spec.target_size);
+  hash = fold_u64(hash, spec.candidates);
+  hash = fold_u64(hash, spec.seed);
+  hash = fold_str(hash, spec.client);
+  char text[17];
+  std::snprintf(text, sizeof text, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return text;
+}
+
+}  // namespace perspector::jobs

@@ -1,0 +1,104 @@
+// jobs:: — async subset-search jobs (DESIGN.md section 15).
+//
+// A job is one LHS subset search: evaluate `candidates` independently
+// seeded Latin-hypercube draws against a suite and keep the subset with
+// the smallest mean score deviation. Jobs are submitted once, advance in
+// bounded slices driven by the serving loop, stream best-so-far progress
+// records, and checkpoint their frontier so a killed worker resumes
+// instead of recomputing.
+//
+// Everything in this header is plain data. The spec is the job's full
+// identity: two specs with equal fields are the *same* job (the job id
+// is derived from the spec, submission is idempotent), and a checkpoint
+// embeds the spec so a restarted process can resume a job it has never
+// heard of.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perspector::jobs {
+
+/// What to search: a built-in suite (simulated on demand) or an uploaded
+/// CSV payload, plus the search knobs. The candidate draw for index i is
+/// a pure function of (seed, i) — see sampling::latin_hypercube_candidate
+/// — so `candidates` bounds the search without ordering it.
+struct JobSpec {
+  std::string builtin;  // built-in suite name; empty = CSV payload
+  std::uint64_t instructions = 500'000;  // per workload, built-in only
+
+  std::string csv_name;  // uploaded suite: name + raw wire payloads
+  std::string csv_text;
+  std::string series_text;
+
+  std::string events = "all";  // all | llc | tlb | branch
+  std::uint64_t target_size = 8;
+  std::uint64_t candidates = 64;
+  std::uint64_t seed = 1234;
+
+  /// Fair-share admission bucket; per-client active-job caps reject the
+  /// excess with a structured `overloaded` error.
+  std::string client;
+
+  friend bool operator==(const JobSpec&, const JobSpec&) = default;
+};
+
+enum class JobState : std::uint8_t {
+  Queued = 0,
+  Running = 1,
+  Done = 2,
+  Cancelled = 3,
+  Failed = 4,
+};
+
+/// Protocol name of a state ("queued", "running", ...).
+const char* to_string(JobState state);
+
+/// True for Done / Cancelled / Failed — states a job never leaves.
+bool is_terminal(JobState state);
+
+/// The best subset found so far. `valid` is false until the first
+/// candidate lands. Ties never arise: candidates are compared with a
+/// strict `<` in increasing index order, so the lowest index wins.
+struct BestCandidate {
+  bool valid = false;
+  std::uint64_t candidate = 0;  // the winning candidate index
+  double deviation_pct = 0.0;   // mean score deviation, percent
+  std::vector<double> per_score_deviation_pct;  // cluster,trend,cov,spread
+  std::vector<std::uint64_t> indices;  // suite rows, ascending
+  std::vector<std::string> names;      // corresponding workload names
+
+  friend bool operator==(const BestCandidate&, const BestCandidate&) = default;
+};
+
+/// One streamed progress record: emitted whenever the best subset
+/// improves. `seq` increases monotonically per job; job_watch resumes a
+/// stream from any cursor.
+struct JobProgress {
+  std::uint64_t seq = 0;
+  std::uint64_t evaluated = 0;  // candidates evaluated when this landed
+  std::uint64_t total = 0;
+  BestCandidate best;
+};
+
+/// A point-in-time view of one job, served by job_status / job_list.
+struct JobStatus {
+  std::string id;
+  JobState state = JobState::Queued;
+  std::string client;
+  std::uint64_t evaluated = 0;
+  std::uint64_t total = 0;
+  BestCandidate best;
+  /// True when this job was restored from a checkpoint (process restart
+  /// or post-eviction lookup) rather than submitted in this process.
+  bool resumed = false;
+  std::string error;  // Failed: human-readable cause
+};
+
+/// Derives the job id (16 lowercase hex chars) from the spec. Pure
+/// function of the spec: the router and its workers compute identical
+/// ids without coordination, and resubmitting a spec is idempotent.
+std::string derive_job_id(const JobSpec& spec);
+
+}  // namespace perspector::jobs

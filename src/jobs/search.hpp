@@ -1,0 +1,91 @@
+// jobs::SubsetSearch — re-entrant candidate evaluation for one job
+// (DESIGN.md section 15).
+//
+// The search mirrors core::generate_subset's LHS pipeline but exposes it
+// candidate-at-a-time: candidate i's hypercube is derived from
+// (seed, i) alone (sampling::latin_hypercube_candidate), mapped through
+// the suite's per-counter ECDF quantile functions, matched to distinct
+// workloads, and the {full suite, subset} pair is scored on one shared
+// ScoringWorkspace — so the full suite's pairwise DTW matrix is computed
+// once and every subset re-score slices it (the 21–44x cached path).
+//
+// evaluate(i) is a pure function of (spec, i): no state survives between
+// calls that influences a result, so candidates may be evaluated in any
+// order, a resumed process re-creates the context and continues from any
+// frontier, and the final best subset is byte-identical to an
+// uninterrupted run at any thread count (the inner scoring kernels run
+// on the deterministic par:: pool).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/counter_matrix.hpp"
+#include "core/perspector.hpp"
+#include "core/scoring_workspace.hpp"
+#include "jobs/job.hpp"
+#include "stats/ecdf.hpp"
+
+namespace perspector::jobs {
+
+/// The outcome of evaluating one candidate subset.
+struct CandidateOutcome {
+  std::vector<std::uint64_t> indices;  // suite rows, ascending
+  std::vector<std::string> names;
+  double deviation_pct = 0.0;  // mean score deviation vs the full suite
+  std::vector<double> per_score_deviation_pct;  // cluster,trend,cov,spread
+};
+
+/// Cross-job dedupe key for one candidate: digests everything that
+/// determines the outcome (suite content, events, target size, seed,
+/// index) and nothing that doesn't (client, candidate budget).
+struct CandidateKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const CandidateKey&, const CandidateKey&) = default;
+  friend bool operator<(const CandidateKey& a, const CandidateKey& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+class SubsetSearch {
+ public:
+  /// Resolves the suite (simulating a built-in or parsing the CSV
+  /// payload), validates the spec against it, normalizes, builds the
+  /// per-counter ECDFs and primes the scoring workspace with the full
+  /// suite. Throws std::invalid_argument / std::runtime_error on a bad
+  /// spec; the scheduler turns that into a Failed job.
+  explicit SubsetSearch(const JobSpec& spec);
+  ~SubsetSearch();
+
+  SubsetSearch(const SubsetSearch&) = delete;
+  SubsetSearch& operator=(const SubsetSearch&) = delete;
+
+  /// Evaluates candidate `index`: draw, quantile-map, match, score.
+  CandidateOutcome evaluate(std::uint64_t index);
+
+  /// Dedupe key for candidate `index` (see CandidateKey).
+  CandidateKey candidate_key(std::uint64_t index) const;
+
+  std::size_t suite_size() const { return suite_.num_workloads(); }
+
+ private:
+  JobSpec spec_;
+  core::CounterMatrix suite_;
+  la::Matrix normalized_;
+  std::vector<stats::Ecdf> cdfs_;  // one per counter column
+  core::PerspectorOptions scoring_;
+  std::unique_ptr<core::Perspector> engine_;
+  core::ScoringWorkspace workspace_;
+  std::uint64_t spec_digest_hi_ = 0;
+  std::uint64_t spec_digest_lo_ = 0;
+};
+
+/// Runs a whole search synchronously (the CLI's `subset --search scored`
+/// reference mode and tests): evaluates candidates 0..spec.candidates-1
+/// in order and returns the winner. Throws on a bad spec.
+BestCandidate run_search(const JobSpec& spec);
+
+}  // namespace perspector::jobs

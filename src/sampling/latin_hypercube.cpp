@@ -104,4 +104,22 @@ la::Matrix maximin_latin_hypercube(std::size_t samples, std::size_t dims,
   return best;
 }
 
+std::uint64_t candidate_seed(std::uint64_t seed, std::uint64_t index) {
+  // splitmix64 finalizer over the combined words: cheap, stateless, and
+  // avalanching, so adjacent candidate indices land on unrelated seeds.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+la::Matrix latin_hypercube_candidate(std::size_t samples, std::size_t dims,
+                                     std::uint64_t seed, std::uint64_t index,
+                                     bool centered) {
+  LhsOptions options;
+  options.centered = centered;
+  options.seed = candidate_seed(seed, index);
+  return latin_hypercube(samples, dims, options);
+}
+
 }  // namespace perspector::sampling

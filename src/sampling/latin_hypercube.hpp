@@ -44,4 +44,18 @@ la::Matrix maximin_latin_hypercube(std::size_t samples, std::size_t dims,
                                    std::size_t candidates = 16,
                                    const LhsOptions& options = {});
 
+/// Derives the per-candidate RNG seed for candidate `index` of a search
+/// rooted at `seed`. Pure function of (seed, index): no shared RNG stream
+/// exists, so a search can evaluate candidates in any order — or resume
+/// from any frontier after a crash — and draw identical hypercubes.
+std::uint64_t candidate_seed(std::uint64_t seed, std::uint64_t index);
+
+/// Re-entrant candidate draw: the hypercube candidate `index` of the
+/// search rooted at `seed`, derived from (seed, index) alone. Checkpointed
+/// searches record only their next candidate index; this function
+/// reconstructs every remaining draw bit-identically on resume.
+la::Matrix latin_hypercube_candidate(std::size_t samples, std::size_t dims,
+                                     std::uint64_t seed, std::uint64_t index,
+                                     bool centered = false);
+
 }  // namespace perspector::sampling

@@ -18,6 +18,36 @@ std::string_view mutate_op_name(MutateOp op) {
   return "load_suite";
 }
 
+std::string_view job_op_name(JobOp op) {
+  switch (op) {
+    case JobOp::Submit:
+      return "generate_submit";
+    case JobOp::Status:
+      return "job_status";
+    case JobOp::Watch:
+      return "job_watch";
+    case JobOp::Cancel:
+      return "job_cancel";
+    case JobOp::List:
+      return "job_list";
+  }
+  return "job_status";
+}
+
+JobResponse ScoreBackend::job(const JobRequest& request) {
+  JobResponse response;
+  response.id = request.id;
+  response.ok = false;
+  response.error = "bad_request";
+  response.message = "this backend does not support async jobs";
+  response.trace_id = request.trace_id;
+  return response;
+}
+
+bool ScoreBackend::jobs_runnable() { return false; }
+
+void ScoreBackend::jobs_step() {}
+
 MutateResponse ScoreBackend::mutate(const MutateRequest& request) {
   MutateResponse response;
   response.id = request.id;

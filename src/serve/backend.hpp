@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "jobs/job.hpp"
 #include "serve/content_hash.hpp"
 
 namespace perspector::core {
@@ -127,6 +128,43 @@ struct MutateResponse {
   std::uint64_t trace_id = 0;
 };
 
+// ---- async subset-search jobs ---------------------------------------------
+
+/// The five job ops of the NDJSON protocol (DESIGN.md section 15).
+/// `generate_submit` answers immediately with a deterministic job id;
+/// the search itself advances in slices whenever the serving loop is
+/// idle (jobs_step) and is observed through status / watch.
+enum class JobOp { Submit, Status, Watch, Cancel, List };
+
+/// Protocol name of a job op ("generate_submit", "job_status", ...).
+std::string_view job_op_name(JobOp op);
+
+struct JobRequest {
+  std::string id;
+  JobOp op = JobOp::Status;
+  jobs::JobSpec spec;  // Submit only
+  std::string job;     // Status/Watch/Cancel: the target job id
+  std::uint64_t from = 0;  // Watch: progress cursor (seq >= from)
+  std::uint64_t trace_id = 0;
+};
+
+struct JobResponse {
+  std::string id;
+  JobOp op = JobOp::Status;  // selects the serialized response shape
+  bool ok = false;
+  std::string error;    // bad_request | overloaded | internal | unavailable
+  std::string message;  // human-readable detail for error responses
+  jobs::JobStatus status;  // Submit / Status / Watch / Cancel
+  bool duplicate = false;  // Submit: the spec was already admitted
+  std::vector<jobs::JobProgress> progress;  // Watch
+  std::uint64_t next = 1;                   // Watch: poll-from cursor
+  std::vector<jobs::JobStatus> jobs;        // List
+  std::uint64_t trace_id = 0;
+  /// Worker index that owns the job, stamped by the Router (-1 = not a
+  /// routed response; the Engine serves jobs in-process).
+  int worker = -1;
+};
+
 /// The scoring surface of the serving tier. All methods are thread-safe
 /// on every implementation.
 class ScoreBackend {
@@ -148,6 +186,21 @@ class ScoreBackend {
   /// executes mutations locally and the Router forwards them to the
   /// worker that owns the suite name.
   virtual MutateResponse mutate(const MutateRequest& request);
+
+  /// Serves one async-job op. The base implementation answers every op
+  /// with a structured bad_request (a backend without a job scheduler);
+  /// the Engine runs a jobs::Scheduler in-process and the Router
+  /// forwards each op to the worker that owns the job id.
+  virtual JobResponse job(const JobRequest& request);
+
+  /// True when the backend has queued or mid-run jobs — i.e. jobs_step()
+  /// has work to do. The serving loop polls this to decide whether idle
+  /// time should advance jobs or block on input.
+  virtual bool jobs_runnable();
+
+  /// Advances job execution by one bounded slice (see
+  /// jobs::Scheduler::step). The base implementation is a no-op.
+  virtual void jobs_step();
 
   /// The request's content key (memoized where possible). Never throws;
   /// a request with nothing to score digests to a fixed empty-domain key.

@@ -5,6 +5,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <poll.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <stdexcept>
@@ -195,6 +197,29 @@ bool report_response(const std::string& line, std::ostream& out,
     print_stat_object(out, *histograms);
     return true;
   }
+  if (const json::Value* workers = response.find("workers")) {
+    // shard_stats: one "worker.N.field value" line per topology field, so
+    // shell scripts can awk out a worker's pid (the serve smoke's
+    // kill-the-owner phase does exactly that).
+    err << "response " << label << ": shard_stats\n";
+    for (const json::Value& row : workers->elements) {
+      const json::Value* index = row.find("worker");
+      if (!index || !index->is_number()) continue;
+      const auto prefix =
+          "worker." + std::to_string(static_cast<std::uint64_t>(index->number));
+      for (const auto& [field, value] : row.members) {
+        if (field == "worker") continue;
+        if (value.is_number()) {
+          out << prefix << '.' << field << ' '
+              << static_cast<std::int64_t>(value.number) << '\n';
+        } else if (value.type == json::Value::Type::Bool) {
+          out << prefix << '.' << field << ' ' << (value.boolean ? 1 : 0)
+              << '\n';
+        }
+      }
+    }
+    return true;
+  }
   if (response.find("pong")) {
     err << "response " << label << ": pong\n";
     return true;
@@ -207,9 +232,237 @@ bool report_response(const std::string& line, std::ostream& out,
   return true;
 }
 
+/// Reads one '\n'-terminated line (newline stripped) through `buffer`,
+/// blocking until the server answers. False on EOF.
+bool read_one_line(int fd, std::string& buffer, std::string& line) {
+  for (;;) {
+    const std::size_t pos = buffer.find('\n');
+    if (pos != std::string::npos) {
+      line.assign(buffer, 0, pos);
+      buffer.erase(0, pos + 1);
+      return true;
+    }
+    char chunk[65536];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("read");
+    }
+    if (n == 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+/// One lockstep job-op exchange. Throws on transport failure, returns
+/// false (with a line on `err`) on a malformed response.
+bool job_exchange(int fd, std::string& rx, const JobRequest& request,
+                  JobResponse& response, std::ostream& err) {
+  send_all(fd, serialize_job_request(request));
+  std::string line;
+  if (!read_one_line(fd, rx, line)) {
+    throw std::runtime_error("client: server closed the connection");
+  }
+  if (!parse_job_response(line, response)) {
+    err << "client: malformed job response: " << line << "\n";
+    return false;
+  }
+  return true;
+}
+
+/// "job <id> <state> client=<c> evaluated=E/T ..." — one line per job
+/// for status / cancel / list output.
+void print_status_line(std::ostream& out, const jobs::JobStatus& status,
+                       int worker) {
+  out << "job " << status.id << " " << jobs::to_string(status.state)
+      << " client=" << (status.client.empty() ? "-" : status.client)
+      << " evaluated=" << status.evaluated << "/" << status.total;
+  if (status.best.valid) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", status.best.deviation_pct);
+    out << " deviation_pct=" << buf;
+  }
+  if (status.resumed) out << " resumed";
+  if (worker >= 0) out << " worker=" << worker;
+  if (!status.error.empty()) out << " detail=" << status.error;
+  out << "\n";
+}
+
+/// Terminal-state epilogue of a watch: status summary to `err`, the
+/// final subset (the byte-comparable reference format) to `out`.
+int print_final(const jobs::JobStatus& status, std::ostream& out,
+                std::ostream& err) {
+  err << "job " << status.id << ": " << jobs::to_string(status.state)
+      << " (evaluated " << status.evaluated << "/" << status.total;
+  if (status.resumed) err << ", resumed";
+  err << ")\n";
+  if (status.state == jobs::JobState::Failed) {
+    err << "job " << status.id << ": " << status.error << "\n";
+    return 3;
+  }
+  if (status.state != jobs::JobState::Done) return 3;
+  if (status.best.valid) {
+    out << "subset:";
+    for (const std::string& name : status.best.names) out << ' ' << name;
+    out << "\n";
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", status.best.deviation_pct);
+    out << "deviation_pct: " << buf << "\n";
+  }
+  return 0;
+}
+
+/// Polls job_watch until the job reaches a terminal state, streaming
+/// progress records to `err`. The poll sleep uses ::poll (no clock
+/// reads) so the client stays det-clock clean.
+int watch_job(int fd, std::string& rx, const std::string& job_id,
+              std::uint64_t interval_ms, std::ostream& out,
+              std::ostream& err) {
+  std::uint64_t from = 1;
+  for (;;) {
+    JobRequest request;
+    request.id = "watch";
+    request.op = JobOp::Watch;
+    request.job = job_id;
+    request.from = from;
+    JobResponse response;
+    if (!job_exchange(fd, rx, request, response, err)) return 3;
+    if (!response.ok) {
+      err << "watch " << job_id << ": error " << response.error << ": "
+          << response.message << "\n";
+      return 3;
+    }
+    for (const auto& record : response.progress) {
+      err << "progress " << job_id << " seq=" << record.seq
+          << " evaluated=" << record.evaluated << "/" << record.total;
+      if (record.best.valid) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.6g", record.best.deviation_pct);
+        err << " best=candidate" << record.best.candidate
+            << " deviation_pct=" << buf;
+      }
+      err << "\n";
+    }
+    from = response.next;
+    if (jobs::is_terminal(response.status.state)) {
+      return print_final(response.status, out, err);
+    }
+    if (interval_ms > 0) ::poll(nullptr, 0, static_cast<int>(interval_ms));
+  }
+}
+
+/// Job mode: a lockstep conversation instead of the pipelined burst.
+int run_job_client(const ClientRun& run, const ClientJob& job,
+                   std::ostream& out, std::ostream& err) {
+  const int fd = connect_to(run.host, run.port);
+  std::string rx;
+  int rc = 0;
+  try {
+    if (job.submit) {
+      JobRequest request;
+      request.id = "submit";
+      request.op = JobOp::Submit;
+      request.spec.builtin = job.suite;
+      request.spec.instructions = job.instructions;
+      if (job.suite.empty()) {
+        request.spec.csv_name = job.name;
+        request.spec.csv_text = job.csv_text;
+        if (job.series_text) request.spec.series_text = *job.series_text;
+      }
+      request.spec.events = job.events;
+      request.spec.target_size = job.size;
+      request.spec.candidates = job.candidates;
+      request.spec.seed = job.seed;
+      request.spec.client = job.client;
+      JobResponse response;
+      if (!job_exchange(fd, rx, request, response, err)) {
+        rc = 3;
+      } else if (!response.ok) {
+        err << "submit: error " << response.error << ": " << response.message
+            << "\n";
+        rc = 3;
+      } else {
+        err << "submitted job " << response.status.id << " state "
+            << jobs::to_string(response.status.state);
+        if (response.duplicate) err << " (duplicate)";
+        if (response.worker >= 0) err << " worker=" << response.worker;
+        err << "\n";
+        out << "job: " << response.status.id << "\n";
+        if (job.follow) {
+          rc = watch_job(fd, rx, response.status.id, job.watch_interval_ms,
+                         out, err);
+        }
+      }
+    } else if (!job.watch.empty()) {
+      rc = watch_job(fd, rx, job.watch, job.watch_interval_ms, out, err);
+    } else if (!job.status.empty()) {
+      JobRequest request;
+      request.id = "status";
+      request.op = JobOp::Status;
+      request.job = job.status;
+      JobResponse response;
+      if (!job_exchange(fd, rx, request, response, err) || !response.ok) {
+        if (!response.error.empty()) {
+          err << "status " << job.status << ": error " << response.error
+              << ": " << response.message << "\n";
+        }
+        rc = 3;
+      } else {
+        print_status_line(out, response.status, response.worker);
+      }
+    } else if (!job.cancel.empty()) {
+      JobRequest request;
+      request.id = "cancel";
+      request.op = JobOp::Cancel;
+      request.job = job.cancel;
+      JobResponse response;
+      if (!job_exchange(fd, rx, request, response, err) || !response.ok) {
+        if (!response.error.empty()) {
+          err << "cancel " << job.cancel << ": error " << response.error
+              << ": " << response.message << "\n";
+        }
+        rc = 3;
+      } else {
+        err << "cancel requested for job " << response.status.id << "\n";
+        print_status_line(out, response.status, response.worker);
+      }
+    } else if (job.list) {
+      JobRequest request;
+      request.id = "list";
+      request.op = JobOp::List;
+      JobResponse response;
+      if (!job_exchange(fd, rx, request, response, err) || !response.ok) {
+        if (!response.error.empty()) {
+          err << "list: error " << response.error << ": " << response.message
+              << "\n";
+        }
+        rc = 3;
+      } else {
+        for (const auto& status : response.jobs) {
+          print_status_line(out, status, -1);
+        }
+        err << "listed " << response.jobs.size() << " jobs\n";
+      }
+    } else {
+      err << "client: job mode needs one of submit/watch/status/cancel/list\n";
+      rc = 3;
+    }
+    if (run.shutdown) {
+      send_all(fd, "{\"id\":\"shutdown\",\"op\":\"shutdown\"}\n");
+      std::string line;
+      read_one_line(fd, rx, line);
+    }
+    ::close(fd);
+    return rc;
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
 }  // namespace
 
 int run_client(const ClientRun& run, std::ostream& out, std::ostream& err) {
+  if (run.job) return run_job_client(run, *run.job, out, err);
   std::string request_bytes;
   std::size_t expected = 0;
   if (run.ping) {
@@ -232,6 +485,10 @@ int run_client(const ClientRun& run, std::ostream& out, std::ostream& err) {
   }
   if (run.stats) {
     request_bytes += "{\"id\":\"stats\",\"op\":\"stats\"}\n";
+    ++expected;
+  }
+  if (run.shard_stats) {
+    request_bytes += "{\"id\":\"shard\",\"op\":\"shard_stats\"}\n";
     ++expected;
   }
   if (run.shutdown) {

@@ -51,15 +51,50 @@ struct ClientMutate {
   std::uint64_t deadline_ms = 0;  // 0 = server default
 };
 
+/// One async-job interaction (DESIGN.md section 15). Unlike the
+/// pipelined score path, job mode keeps the connection open and speaks
+/// one request/response at a time: submit answers immediately with the
+/// job id; `follow` (or a non-empty `watch`) then polls job_watch every
+/// `watch_interval_ms` until the job reaches a terminal state, streaming
+/// progress records to `err` and printing the final subset to `out` as
+///
+///   subset: <name> <name> ...
+///   deviation_pct: <value>
+///
+/// — the same two lines `perspector subset --search scored` prints, so
+/// scripts can diff the served search against the one-shot reference.
+struct ClientJob {
+  // generate_submit payload (exactly one of suite / csv_text):
+  std::string suite;                       // built-in suite name
+  std::uint64_t instructions = 500'000;    // built-in path only
+  std::string name = "uploaded";           // suite label for CSV data
+  std::string csv_text;                    // aggregate CSV payload
+  std::optional<std::string> series_text;  // optional series CSV payload
+  std::string events = "all";
+  std::uint64_t size = 8;        // subset target size
+  std::uint64_t candidates = 64; // LHS candidates to evaluate
+  std::uint64_t seed = 1234;
+  std::string client;            // fair-share admission bucket
+  bool submit = false;           // send generate_submit
+  bool follow = false;           // after submit: watch to completion
+  std::string watch;             // job id to watch (no submit)
+  std::string status;            // job id for one job_status
+  std::string cancel;            // job id to cancel
+  bool list = false;             // job_list
+  std::uint64_t watch_interval_ms = 100;  // poll cadence while watching
+};
+
 struct ClientRun {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   std::vector<ClientMutate> mutations;  // sent (in order) before scores
   std::optional<ClientScore> score;
+  std::optional<ClientJob> job;  // job mode; takes precedence over score
   std::uint64_t repeat = 1;  // pipelined copies of `score`
   bool ping = false;         // prepend a ping
   bool metrics = false;      // append a metrics request
   bool stats = false;        // append a stats (histogram) request
+  bool shard_stats = false;  // append a shard_stats (topology) request
   bool shutdown = false;     // append a shutdown request
 };
 

@@ -79,6 +79,14 @@ obs::Histogram& simulate_latency_histogram() {
   static obs::Histogram& h = obs::histogram("serve.simulate.latency");
   return h;
 }
+obs::Histogram& job_submit_latency_histogram() {
+  static obs::Histogram& h = obs::histogram("jobs.submit.latency");
+  return h;
+}
+obs::Histogram& job_watch_latency_histogram() {
+  static obs::Histogram& h = obs::histogram("jobs.watch.latency");
+  return h;
+}
 
 /// 16-hex-digit rendering of a trace id for log lines.
 struct TraceHex {
@@ -125,43 +133,14 @@ bool is_event_group(const std::string& name) {
 }
 
 bool is_builtin_suite(const std::string& name) {
-  static const char* const kNames[] = {
-      "parsec", "spec17", "ligra",     "lmbench", "nbench",
-      "sgxgauge", "riotbench", "sebs", "comb",    "splash2"};
-  return std::find_if(std::begin(kNames), std::end(kNames),
-                      [&](const char* n) { return name == n; }) !=
-         std::end(kNames);
+  return suites::is_builtin_suite(name);
 }
 
 core::CounterMatrix simulate_builtin(const std::string& name,
                                      std::uint64_t instructions) {
   suites::SuiteBuildOptions build;
   build.instructions_per_workload = instructions;
-  sim::SuiteSpec spec;
-  if (name == "parsec") {
-    spec = suites::parsec(build);
-  } else if (name == "spec17") {
-    spec = suites::spec17(build);
-  } else if (name == "ligra") {
-    spec = suites::ligra(build);
-  } else if (name == "lmbench") {
-    spec = suites::lmbench(build);
-  } else if (name == "nbench") {
-    spec = suites::nbench(build);
-  } else if (name == "sgxgauge") {
-    spec = suites::sgxgauge(build);
-  } else if (name == "riotbench") {
-    spec = suites::riotbench(build);
-  } else if (name == "sebs") {
-    spec = suites::sebs(build);
-  } else if (name == "comb") {
-    spec = suites::comb(build);
-  } else if (name == "splash2") {
-    spec = suites::splash2(build);
-  } else {
-    throw std::runtime_error("unknown built-in suite '" + name +
-                             "' (try: perspector suites)");
-  }
+  const sim::SuiteSpec spec = suites::suite_by_name(name, build);
   // Identical to cmd_demo: ~100 samples per workload, floor of 1.
   sim::SimOptions sim_options;
   sim_options.sample_interval = std::max<std::uint64_t>(instructions / 100, 1);
@@ -172,7 +151,8 @@ core::CounterMatrix simulate_builtin(const std::string& name,
 Engine::Engine(EngineOptions options)
     : options_(options),
       cache_(options.cache_bytes, options.cache_dir, options.store_bytes,
-             options.store_faults) {
+             options.store_faults),
+      jobs_(std::make_unique<jobs::Scheduler>(options.jobs)) {
   // Spin the persistent parallel backend up front so the first request
   // does not pay pool construction.
   if (par::thread_count() > 1) par::global_pool();
@@ -186,6 +166,80 @@ Key128 Engine::content_key(const ScoreRequest& request) {
   if (!(request.content_key == Key128{})) return request.content_key;
   return compute_content_key(request, &digests_);
 }
+
+JobResponse Engine::job(const JobRequest& request) {
+  JobResponse response;
+  response.id = request.id;
+  response.op = request.op;
+  response.trace_id = request.trace_id;
+  switch (request.op) {
+    case JobOp::Submit: {
+      obs::LatencyTimer timer(job_submit_latency_histogram());
+      const jobs::SubmitOutcome outcome = jobs_->submit(request.spec);
+      if (!outcome.ok) {
+        response.error = outcome.error;
+        response.message = outcome.message;
+        return response;
+      }
+      response.ok = true;
+      response.duplicate = outcome.duplicate;
+      if (const auto status = jobs_->status(outcome.id)) {
+        response.status = *status;
+      } else {
+        response.status.id = outcome.id;
+        response.status.total = request.spec.candidates;
+      }
+      return response;
+    }
+    case JobOp::Status: {
+      const auto status = jobs_->status(request.job);
+      if (!status) {
+        response.error = "bad_request";
+        response.message = "unknown job '" + request.job + "'";
+        return response;
+      }
+      response.ok = true;
+      response.status = *status;
+      return response;
+    }
+    case JobOp::Watch: {
+      obs::LatencyTimer timer(job_watch_latency_histogram());
+      const auto watched = jobs_->watch(request.job, request.from);
+      if (!watched) {
+        response.error = "bad_request";
+        response.message = "unknown job '" + request.job + "'";
+        return response;
+      }
+      response.ok = true;
+      response.status = watched->status;
+      response.progress = watched->progress;
+      response.next = watched->next;
+      return response;
+    }
+    case JobOp::Cancel: {
+      const auto status = jobs_->cancel(request.job);
+      if (!status) {
+        response.error = "bad_request";
+        response.message = "unknown job '" + request.job + "'";
+        return response;
+      }
+      response.ok = true;
+      response.status = *status;
+      return response;
+    }
+    case JobOp::List:
+      response.ok = true;
+      response.jobs = jobs_->list();
+      return response;
+  }
+  response.error = "internal";
+  response.message = "unhandled job op";
+  return response;
+}
+
+bool Engine::jobs_runnable() { return jobs_->runnable(); }
+
+void Engine::jobs_step() { jobs_->step(); }
 
 std::string Engine::metrics_line(const std::string& id) {
   return serialize_metrics(id);

@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "core/counter_matrix.hpp"
+#include "jobs/scheduler.hpp"
 #include "serve/backend.hpp"
 #include "serve/content_hash.hpp"
 #include "serve/durable_cache.hpp"
@@ -82,6 +83,9 @@ struct EngineOptions {
   std::uint64_t store_bytes = 256ull << 20;
   /// Test seam for the segment store (see store/fault_injector.hpp).
   store::FaultInjector* store_faults = nullptr;
+  /// Async-job scheduler knobs (DESIGN.md section 15). An empty
+  /// `jobs.checkpoint_dir` runs jobs in memory only (no resume).
+  jobs::SchedulerOptions jobs;
 };
 
 class Engine : public ScoreBackend {
@@ -116,12 +120,21 @@ class Engine : public ScoreBackend {
   /// rejected at load) and their cache keys track the live content.
   MutateResponse mutate(const MutateRequest& request) override;
 
+  /// Serves one async-job op against the in-process jobs::Scheduler
+  /// (DESIGN.md section 15). Submission answers immediately; the search
+  /// advances via jobs_step() whenever the serving loop is idle.
+  JobResponse job(const JobRequest& request) override;
+  bool jobs_runnable() override;
+  void jobs_step() override;
+
   Key128 content_key(const ScoreRequest& request) override;
   std::string metrics_line(const std::string& id) override;
   std::string stats_line(const std::string& id) override;
   std::string shard_stats_line(const std::string& id) override;
 
   const EngineOptions& options() const noexcept { return options_; }
+  /// Direct scheduler access (tests, CLI drain loops).
+  jobs::Scheduler& scheduler() { return *jobs_; }
   std::size_t cache_entries() const { return cache_.entries(); }
   std::size_t cache_bytes_used() const { return cache_.bytes_used(); }
   bool cache_durable() const { return cache_.durable(); }
@@ -168,6 +181,7 @@ class Engine : public ScoreBackend {
   EngineOptions options_;
   DurableCache cache_;
   DigestCache digests_;
+  std::unique_ptr<jobs::Scheduler> jobs_;
 
   // Duplicate in-flight requests wait on the first one's future instead
   // of recomputing. Entries live only while the computation runs.

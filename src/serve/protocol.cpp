@@ -105,6 +105,150 @@ bool parse_hex_u64(const std::string& text, std::uint64_t& out) {
   return true;
 }
 
+/// Exactly 16 lowercase hex digits — the job-id alphabet. Ids double as
+/// checkpoint-log file names, so nothing else may pass.
+bool valid_job_id(const std::string& id) {
+  if (id.size() != 16) return false;
+  for (char ch : id) {
+    const bool ok = (ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void append_best(std::string& out, const jobs::BestCandidate& best) {
+  out += "\"best\":{\"candidate\":";
+  append_u64(out, best.candidate);
+  out += ",\"deviation_pct\":";
+  append_double(out, best.deviation_pct);
+  out += ",\"per_score_deviation_pct\":[";
+  bool first = true;
+  for (double value : best.per_score_deviation_pct) {
+    if (!first) out += ',';
+    first = false;
+    append_double(out, value);
+  }
+  out += "],\"indices\":[";
+  first = true;
+  for (std::uint64_t index : best.indices) {
+    if (!first) out += ',';
+    first = false;
+    append_u64(out, index);
+  }
+  out += "],\"subset\":[";
+  first = true;
+  for (const std::string& name : best.names) {
+    if (!first) out += ',';
+    first = false;
+    json::append_quoted(out, name);
+  }
+  out += "]}";
+}
+
+void append_job_status(std::string& out, const jobs::JobStatus& status) {
+  out += "\"job\":";
+  json::append_quoted(out, status.id);
+  out += ",\"state\":\"";
+  out += jobs::to_string(status.state);
+  out += "\",\"client\":";
+  json::append_quoted(out, status.client);
+  out += ",\"evaluated\":";
+  append_u64(out, status.evaluated);
+  out += ",\"total\":";
+  append_u64(out, status.total);
+  out += ",\"resumed\":";
+  out += status.resumed ? "true" : "false";
+  if (status.best.valid) {
+    out += ',';
+    append_best(out, status.best);
+  }
+  if (!status.error.empty()) {
+    out += ",\"detail\":";
+    json::append_quoted(out, status.error);
+  }
+}
+
+bool parse_best_object(const json::Value& value, jobs::BestCandidate& best) {
+  if (!value.is_object()) return false;
+  const json::Value* candidate = value.find("candidate");
+  const json::Value* deviation = value.find("deviation_pct");
+  const json::Value* per_score = value.find("per_score_deviation_pct");
+  const json::Value* indices = value.find("indices");
+  const json::Value* subset = value.find("subset");
+  if (!candidate || !candidate->is_number() || !deviation ||
+      !deviation->is_number() || !per_score ||
+      per_score->type != json::Value::Type::Array || !indices ||
+      indices->type != json::Value::Type::Array || !subset ||
+      subset->type != json::Value::Type::Array) {
+    return false;
+  }
+  best.valid = true;
+  best.candidate = static_cast<std::uint64_t>(candidate->number);
+  best.deviation_pct = deviation->number;
+  for (const json::Value& element : per_score->elements) {
+    if (!element.is_number()) return false;
+    best.per_score_deviation_pct.push_back(element.number);
+  }
+  for (const json::Value& element : indices->elements) {
+    if (!element.is_number()) return false;
+    best.indices.push_back(static_cast<std::uint64_t>(element.number));
+  }
+  for (const json::Value& element : subset->elements) {
+    if (!element.is_string()) return false;
+    best.names.push_back(element.string);
+  }
+  return true;
+}
+
+bool parse_job_state(const std::string& text, jobs::JobState& out) {
+  if (text == "queued") {
+    out = jobs::JobState::Queued;
+  } else if (text == "running") {
+    out = jobs::JobState::Running;
+  } else if (text == "done") {
+    out = jobs::JobState::Done;
+  } else if (text == "cancelled") {
+    out = jobs::JobState::Cancelled;
+  } else if (text == "failed") {
+    out = jobs::JobState::Failed;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_status_fields(const json::Value& object, jobs::JobStatus& status) {
+  const json::Value* job = object.find("job");
+  const json::Value* state = object.find("state");
+  const json::Value* evaluated = object.find("evaluated");
+  const json::Value* total = object.find("total");
+  if (!job || !job->is_string() || !state || !state->is_string() ||
+      !evaluated || !evaluated->is_number() || !total ||
+      !total->is_number()) {
+    return false;
+  }
+  status.id = job->string;
+  if (!parse_job_state(state->string, status.state)) return false;
+  status.evaluated = static_cast<std::uint64_t>(evaluated->number);
+  status.total = static_cast<std::uint64_t>(total->number);
+  if (const json::Value* client = object.find("client")) {
+    if (!client->is_string()) return false;
+    status.client = client->string;
+  }
+  if (const json::Value* resumed = object.find("resumed")) {
+    if (resumed->type != json::Value::Type::Bool) return false;
+    status.resumed = resumed->boolean;
+  }
+  if (const json::Value* best = object.find("best")) {
+    if (!parse_best_object(*best, status.best)) return false;
+  }
+  if (const json::Value* detail = object.find("detail")) {
+    if (!detail->is_string()) return false;
+    status.error = detail->string;
+  }
+  return true;
+}
+
 void append_histograms(std::string& out) {
   out += "\"histograms\":{";
   bool first = true;
@@ -243,6 +387,95 @@ ParsedRequest parse_request_line(const std::string& line) {
         return bad_request(parsed.id, "op '" + op + "' requires 'workload'");
       }
       mutate.workload = workload->string;
+    }
+    parsed.ok = true;
+    return parsed;
+  }
+  const bool is_job = op == "generate_submit" || op == "job_status" ||
+                      op == "job_watch" || op == "job_cancel" ||
+                      op == "job_list";
+  if (is_job) {
+    parsed.op = Op::Job;
+    JobRequest& job = parsed.job;
+    job.id = parsed.id;
+    job.op = op == "generate_submit" ? JobOp::Submit
+             : op == "job_status"    ? JobOp::Status
+             : op == "job_watch"     ? JobOp::Watch
+             : op == "job_cancel"    ? JobOp::Cancel
+                                     : JobOp::List;
+    if (const json::Value* trace = request.find("trace")) {
+      if (!trace->is_string() ||
+          !parse_hex_u64(trace->string, job.trace_id)) {
+        return bad_request(parsed.id, "'trace' must be 16 hex digits");
+      }
+    }
+    if (job.op == JobOp::Submit) {
+      jobs::JobSpec& spec = job.spec;
+      std::string problem;
+      if (!read_u64(request, "instructions", spec.instructions, problem) ||
+          !read_u64(request, "size", spec.target_size, problem) ||
+          !read_u64(request, "candidates", spec.candidates, problem) ||
+          !read_u64(request, "seed", spec.seed, problem)) {
+        return bad_request(parsed.id, problem);
+      }
+      if (spec.instructions == 0) {
+        return bad_request(parsed.id, "field 'instructions' must be >= 1");
+      }
+      if (const json::Value* events = request.find("events")) {
+        if (!events->is_string()) {
+          return bad_request(parsed.id, "'events' must be a string");
+        }
+        spec.events = events->string;
+      }
+      if (const json::Value* client = request.find("client")) {
+        if (!client->is_string()) {
+          return bad_request(parsed.id, "'client' must be a string");
+        }
+        spec.client = client->string;
+      }
+      const json::Value* suite = request.find("suite");
+      const json::Value* csv = request.find("csv");
+      if ((suite != nullptr) == (csv != nullptr)) {
+        return bad_request(parsed.id,
+                           "exactly one of 'suite' or 'csv' is required");
+      }
+      if (suite) {
+        if (!suite->is_string() || suite->string.empty()) {
+          return bad_request(parsed.id, "'suite' must be a suite name");
+        }
+        spec.builtin = suite->string;
+      } else {
+        if (!csv->is_string()) {
+          return bad_request(parsed.id, "'csv' must be CSV text");
+        }
+        spec.csv_text = csv->string;
+        spec.csv_name = "uploaded";
+        if (const json::Value* label = request.find("name")) {
+          if (!label->is_string()) {
+            return bad_request(parsed.id, "'name' must be a string");
+          }
+          spec.csv_name = label->string;
+        }
+        if (const json::Value* series = request.find("series_csv")) {
+          if (!series->is_string()) {
+            return bad_request(parsed.id, "'series_csv' must be CSV text");
+          }
+          spec.series_text = series->string;
+        }
+      }
+    } else if (job.op != JobOp::List) {
+      const json::Value* target = request.find("job");
+      if (!target || !target->is_string() || !valid_job_id(target->string)) {
+        return bad_request(
+            parsed.id, "op '" + op + "' requires 'job' (16 hex digits)");
+      }
+      job.job = target->string;
+      if (job.op == JobOp::Watch) {
+        std::string problem;
+        if (!read_u64(request, "from", job.from, problem)) {
+          return bad_request(parsed.id, problem);
+        }
+      }
     }
     parsed.ok = true;
     return parsed;
@@ -524,6 +757,201 @@ bool parse_mutate_response(const std::string& line, MutateResponse& out) {
     }
     out.error = error->string;
     out.message = message->string;
+  }
+  return true;
+}
+
+std::string serialize_job_response(const JobResponse& response) {
+  if (!response.ok) {
+    ScoreResponse error;
+    error.id = response.id;
+    error.ok = false;
+    error.error = response.error;
+    error.message = response.message;
+    error.trace_id = response.trace_id;
+    return serialize_response(error);
+  }
+  std::string out = "{";
+  append_id(out, response.id);
+  out += "\"ok\":true,";
+  if (response.op == JobOp::List) {
+    out += "\"jobs\":[";
+    bool first = true;
+    for (const jobs::JobStatus& status : response.jobs) {
+      if (!first) out += ',';
+      first = false;
+      out += '{';
+      append_job_status(out, status);
+      out += '}';
+    }
+    out += ']';
+  } else {
+    append_job_status(out, response.status);
+    if (response.op == JobOp::Submit) {
+      out += ",\"duplicate\":";
+      out += response.duplicate ? "true" : "false";
+    }
+    if (response.op == JobOp::Watch) {
+      out += ",\"progress\":[";
+      bool first = true;
+      for (const jobs::JobProgress& record : response.progress) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"seq\":";
+        append_u64(out, record.seq);
+        out += ",\"evaluated\":";
+        append_u64(out, record.evaluated);
+        out += ",\"total\":";
+        append_u64(out, record.total);
+        if (record.best.valid) {
+          out += ',';
+          append_best(out, record.best);
+        }
+        out += '}';
+      }
+      out += "],\"next\":";
+      append_u64(out, response.next);
+    }
+  }
+  if (response.trace_id != 0) {
+    out += ',';
+    append_trace(out, response.trace_id);
+  }
+  if (response.worker >= 0) {
+    out += ",\"worker\":";
+    append_u64(out, static_cast<std::uint64_t>(response.worker));
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string serialize_job_request(const JobRequest& request) {
+  std::string out = "{\"op\":\"";
+  out += job_op_name(request.op);
+  out += "\",";
+  append_id(out, request.id);
+  if (request.trace_id != 0) {
+    append_trace(out, request.trace_id);
+    out += ',';
+  }
+  if (request.op == JobOp::Submit) {
+    const jobs::JobSpec& spec = request.spec;
+    // Every job-id-relevant field travels explicitly (no wire defaults):
+    // the worker must derive the identical id from the forwarded line.
+    out += "\"events\":";
+    json::append_quoted(out, spec.events);
+    out += ",\"instructions\":";
+    append_u64(out, spec.instructions);
+    out += ",\"size\":";
+    append_u64(out, spec.target_size);
+    out += ",\"candidates\":";
+    append_u64(out, spec.candidates);
+    out += ",\"seed\":";
+    append_u64(out, spec.seed);
+    if (!spec.client.empty()) {
+      out += ",\"client\":";
+      json::append_quoted(out, spec.client);
+    }
+    if (!spec.builtin.empty()) {
+      out += ",\"suite\":";
+      json::append_quoted(out, spec.builtin);
+    } else {
+      out += ",\"name\":";
+      json::append_quoted(out, spec.csv_name);
+      out += ",\"csv\":";
+      json::append_quoted(out, spec.csv_text);
+      if (!spec.series_text.empty()) {
+        out += ",\"series_csv\":";
+        json::append_quoted(out, spec.series_text);
+      }
+    }
+  } else if (request.op != JobOp::List) {
+    out += "\"job\":";
+    json::append_quoted(out, request.job);
+    if (request.op == JobOp::Watch) {
+      out += ",\"from\":";
+      append_u64(out, request.from);
+    }
+  }
+  if (out.back() == ',') out.pop_back();  // job_list may carry no fields
+  out += "}\n";
+  return out;
+}
+
+bool parse_job_response(const std::string& line, JobResponse& out) {
+  json::Value response;
+  try {
+    response = json::parse(line);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (!response.is_object()) return false;
+  const json::Value* ok = response.find("ok");
+  if (!ok || (ok->type != json::Value::Type::Bool)) return false;
+  out = JobResponse{};
+  out.id = id_of(response);
+  out.ok = ok->boolean;
+  if (const json::Value* trace = response.find("trace")) {
+    if (!trace->is_string() || !parse_hex_u64(trace->string, out.trace_id)) {
+      return false;
+    }
+  }
+  if (const json::Value* worker = response.find("worker")) {
+    if (!worker->is_number()) return false;
+    out.worker = static_cast<int>(worker->number);
+  }
+  if (!out.ok) {
+    const json::Value* error = response.find("error");
+    const json::Value* message = response.find("message");
+    if (!error || !error->is_string() || !message || !message->is_string()) {
+      return false;
+    }
+    out.error = error->string;
+    out.message = message->string;
+    return true;
+  }
+  if (const json::Value* list = response.find("jobs")) {
+    if (list->type != json::Value::Type::Array) return false;
+    out.op = JobOp::List;
+    for (const json::Value& element : list->elements) {
+      jobs::JobStatus status;
+      if (!element.is_object() || !parse_status_fields(element, status)) {
+        return false;
+      }
+      out.jobs.push_back(std::move(status));
+    }
+    return true;
+  }
+  if (!parse_status_fields(response, out.status)) return false;
+  if (const json::Value* duplicate = response.find("duplicate")) {
+    if (duplicate->type != json::Value::Type::Bool) return false;
+    out.op = JobOp::Submit;
+    out.duplicate = duplicate->boolean;
+  }
+  if (const json::Value* progress = response.find("progress")) {
+    if (progress->type != json::Value::Type::Array) return false;
+    out.op = JobOp::Watch;
+    for (const json::Value& element : progress->elements) {
+      if (!element.is_object()) return false;
+      const json::Value* seq = element.find("seq");
+      const json::Value* evaluated = element.find("evaluated");
+      const json::Value* total = element.find("total");
+      if (!seq || !seq->is_number() || !evaluated ||
+          !evaluated->is_number() || !total || !total->is_number()) {
+        return false;
+      }
+      jobs::JobProgress record;
+      record.seq = static_cast<std::uint64_t>(seq->number);
+      record.evaluated = static_cast<std::uint64_t>(evaluated->number);
+      record.total = static_cast<std::uint64_t>(total->number);
+      if (const json::Value* best = element.find("best")) {
+        if (!parse_best_object(*best, record.best)) return false;
+      }
+      out.progress.push_back(std::move(record));
+    }
+    const json::Value* next = response.find("next");
+    if (!next || !next->is_number()) return false;
+    out.next = static_cast<std::uint64_t>(next->number);
   }
   return true;
 }

@@ -28,6 +28,24 @@
 // the *content digest* of the current version, never by the name, so a
 // mutation can never serve a stale report.
 //
+// Async-job ops (DESIGN.md section 15) run an LHS subset search in the
+// background and observe it through a deterministic job id:
+//
+//   {"op":"generate_submit","suite":"spec17","instructions":40000,
+//    "size":8,"candidates":64,"seed":7,"client":"alice"}
+//   {"op":"job_status","job":"<16 hex>"}
+//   {"op":"job_watch","job":"<16 hex>","from":3}
+//   {"op":"job_cancel","job":"<16 hex>"}
+//   {"op":"job_list"}
+//
+// A submit answers immediately ({"ok":true,"job":"...","state":
+// "queued","duplicate":false}); status/watch/cancel echo the job's
+// current state, evaluated/total counts and best-so-far subset, watch
+// additionally carrying the progress records at or after the "from"
+// cursor plus the "next" cursor to poll from. job_list returns every
+// known job. Responses behind a router carry "worker": the index of the
+// worker that owns the job.
+//
 // A score request may also carry "trace" (16 hex digits) and "key" (32
 // hex digits): the serve::Router stamps its trace id and content key on
 // forwarded requests so the worker session reuses them instead of
@@ -69,7 +87,7 @@
 
 namespace perspector::serve {
 
-enum class Op { Score, Mutate, Ping, Metrics, Stats, ShardStats, Shutdown };
+enum class Op { Score, Mutate, Job, Ping, Metrics, Stats, ShardStats, Shutdown };
 
 /// Thread-safe strerror replacement (std::strerror shares a static buffer
 /// across threads; clang-tidy concurrency-mt-unsafe). Pass `errno`.
@@ -84,6 +102,7 @@ struct ParsedRequest {
   Op op = Op::Score;
   ScoreRequest score;    // populated for Op::Score
   MutateRequest mutate;  // populated for Op::Mutate
+  JobRequest job;        // populated for Op::Job
   std::string id;        // echoed id (also mirrored into score.id)
   std::string error;     // "bad_request" when !ok
   std::string message;
@@ -119,6 +138,13 @@ std::string serialize_shutdown(const std::string& id);
 /// error: same shape as a score error) as one JSON line.
 std::string serialize_mutate_response(const MutateResponse& response);
 
+/// Serializes a job response. Ok responses carry the job's status
+/// (id/state/client/evaluated/total/resumed, the best-so-far subset when
+/// one exists), plus per-op extras: "duplicate" (submit), "progress" +
+/// "next" (watch), "jobs" (list), "worker" (routed responses). Errors
+/// use the common error shape.
+std::string serialize_job_response(const JobResponse& response);
+
 // ---- Router tier ----------------------------------------------------------
 
 /// Serializes a score request as one protocol line for forwarding to a
@@ -138,6 +164,14 @@ std::string serialize_mutate_request(const MutateRequest& request);
 
 /// Inverse of serialize_mutate_response. False on malformed input.
 bool parse_mutate_response(const std::string& line, MutateResponse& out);
+
+/// Serializes a job request as one protocol line for forwarding to the
+/// worker that owns the job id (consistent-hash affinity). The spec
+/// payload travels verbatim, so the worker derives the identical job id.
+std::string serialize_job_request(const JobRequest& request);
+
+/// Inverse of serialize_job_response. False on malformed input.
+bool parse_job_response(const std::string& line, JobResponse& out);
 
 /// Per-worker row of the shard_stats response.
 struct WorkerStat {

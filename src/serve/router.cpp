@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <csignal>
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
@@ -168,6 +169,12 @@ bool is_resident_score(const ScoreRequest& request) {
   return !request.builtin.empty() && !is_builtin_suite(request.builtin);
 }
 
+/// The shard key of an async job: its id — every op on a job must meet
+/// the worker whose scheduler (and checkpoint log) owns it.
+Key128 job_affinity_key(const std::string& job_id) {
+  return ContentHasher{}.str("job").str(job_id).digest();
+}
+
 }  // namespace
 
 void Router::worker_main(int fd, std::size_t index,
@@ -184,6 +191,10 @@ void Router::worker_main(int fd, std::size_t index,
   EngineOptions options = engine_options;
   options.cache_dir.clear();  // the router owns the store; workers are
   options.store_faults = nullptr;  // memory-only
+  options.jobs.faults = nullptr;  // parent-owned test seam
+  // options.jobs.checkpoint_dir is deliberately KEPT: job affinity gives
+  // each job one owning worker, and a respawned worker resumes its jobs
+  // from the shared directory.
   int exit_code = 0;
   try {
     Engine engine(options);
@@ -666,6 +677,89 @@ MutateResponse Router::mutate(const MutateRequest& request) {
   }
   unavailable_counter().increment();
   return mutate_error_response(request, "unavailable", "no worker available");
+}
+
+JobResponse Router::job(const JobRequest& request) {
+  requests_counter().increment();
+  obs::LatencyTimer timer(forward_histogram());
+  JobResponse failure;
+  failure.id = request.id;
+  failure.op = request.op;
+  failure.trace_id = request.trace_id;
+
+  if (request.op == JobOp::List) {
+    // Fan out to every worker and merge the tier-wide job table, id
+    // ordered. A job that moved across a death/respawn cycle can appear
+    // on two workers; the first (lowest-index alive worker) wins.
+    JobResponse merged;
+    merged.id = request.id;
+    merged.op = JobOp::List;
+    merged.ok = true;
+    merged.trace_id = request.trace_id;
+    const std::string line = serialize_job_request(request);
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      std::string response_line;
+      bool sent = false;
+      if (!exchange(i, line, response_line, sent)) continue;
+      JobResponse partial;
+      if (!parse_job_response(response_line, partial) || !partial.ok) {
+        continue;
+      }
+      forwarded_counter().increment();
+      workers_[i]->forwarded.fetch_add(1, std::memory_order_relaxed);
+      merged.jobs.insert(merged.jobs.end(),
+                         std::make_move_iterator(partial.jobs.begin()),
+                         std::make_move_iterator(partial.jobs.end()));
+    }
+    std::stable_sort(merged.jobs.begin(), merged.jobs.end(),
+                     [](const jobs::JobStatus& a, const jobs::JobStatus& b) {
+                       return a.id < b.id;
+                     });
+    merged.jobs.erase(
+        std::unique(merged.jobs.begin(), merged.jobs.end(),
+                    [](const jobs::JobStatus& a, const jobs::JobStatus& b) {
+                      return a.id == b.id;
+                    }),
+        merged.jobs.end());
+    return merged;
+  }
+
+  const std::string job_id = request.op == JobOp::Submit
+                                 ? jobs::derive_job_id(request.spec)
+                                 : request.job;
+  const Key128 key = job_affinity_key(job_id);
+  const std::string line = serialize_job_request(request);
+  // Bounded retry loop. Unlike scores, a death observed *after* the
+  // request was sent is also retried: every job op is idempotent
+  // (submission re-derives the same id, status/watch are reads, cancel
+  // is an at-least-once flag), and the respawned owner resumes the job
+  // from its checkpoint log before answering.
+  for (std::size_t attempt = 0; attempt <= workers_.size(); ++attempt) {
+    const int shard = shard_of(key);
+    if (shard < 0) break;
+    std::string response_line;
+    bool sent = false;
+    if (exchange(static_cast<std::size_t>(shard), line, response_line,
+                 sent)) {
+      JobResponse response;
+      if (!parse_job_response(response_line, response)) {
+        failure.error = "internal";
+        failure.message =
+            "malformed response from worker " + std::to_string(shard);
+        return failure;
+      }
+      forwarded_counter().increment();
+      workers_[static_cast<std::size_t>(shard)]->forwarded.fetch_add(
+          1, std::memory_order_relaxed);
+      response.op = request.op;
+      response.worker = shard;
+      return response;
+    }
+  }
+  unavailable_counter().increment();
+  failure.error = "unavailable";
+  failure.message = "no worker available";
+  return failure;
 }
 
 Key128 Router::content_key(const ScoreRequest& request) {

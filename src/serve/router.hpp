@@ -99,6 +99,17 @@ class Router : public ScoreBackend {
   /// A respawned worker loses its residents; subsequent mutations are
   /// answered with an honest "unknown resident suite" bad_request.
   MutateResponse mutate(const MutateRequest& request) override;
+  /// Forwards a job op to the worker that owns the job id on the hash
+  /// ring (the id is a pure function of the spec, so the router derives
+  /// it for submits without asking anyone). Job ops are idempotent —
+  /// resubmitting a spec returns the same id, status/watch are reads,
+  /// cancel is an at-least-once flag — so unlike scores, a worker death
+  /// mid-op is safely retried against the respawned worker, which
+  /// transparently resumes the job from its checkpoint log (workers
+  /// keep the shared jobs directory across respawns). job_list fans out
+  /// to every alive worker and merges. Responses carry "worker": the
+  /// owning worker's index.
+  JobResponse job(const JobRequest& request) override;
   Key128 content_key(const ScoreRequest& request) override;
   std::string metrics_line(const std::string& id) override;
   std::string stats_line(const std::string& id) override;

@@ -52,6 +52,7 @@ struct QueueEntry {
     Ready,
     Score,
     Mutate,
+    Job,
     Metrics,
     Stats,
     ShardStats,
@@ -63,6 +64,7 @@ struct QueueEntry {
   std::string response;   // serialized line (Kind::Ready)
   ScoreRequest request;   // Kind::Score
   MutateRequest mutate;   // Kind::Mutate
+  JobRequest job;         // Kind::Job
   std::chrono::steady_clock::time_point enqueued;
   std::uint64_t deadline_ms = 0;
 };
@@ -102,6 +104,10 @@ class Session {
       }
       drain_input();
       execute_pending();
+      // Guaranteed job progress: one slice per protocol pass, so a
+      // client saturating the input cannot starve running jobs. Idle
+      // time advances them much faster (see wait_for_input).
+      if (engine_.jobs_runnable()) engine_.jobs_step();
       if ((eof_ || terminated() || result_.shutdown_requested) &&
           pending_.empty()) {
         break;
@@ -116,18 +122,23 @@ class Session {
   }
 
   /// Blocks (in 200 ms slices, so SIGTERM is noticed) until the input
-  /// has data or is at EOF.
+  /// has data or is at EOF. While async jobs are runnable the wait
+  /// degrades to a zero-timeout poll and idle time drives job slices
+  /// instead of sleeping — the cooperative scheduling loop of
+  /// DESIGN.md section 15.
   void wait_for_input() {
     while (!eof_ && !terminated()) {
       struct pollfd pfd {};
       pfd.fd = in_fd_;
       pfd.events = POLLIN;
-      const int rc = ::poll(&pfd, 1, 200);
+      const bool jobs_waiting = engine_.jobs_runnable();
+      const int rc = ::poll(&pfd, 1, jobs_waiting ? 0 : 200);
       if (rc < 0) {
         if (errno == EINTR) continue;
         throw std::runtime_error("poll failed: " + errno_message(errno));
       }
       if (rc > 0) return;
+      if (jobs_waiting) engine_.jobs_step();
     }
   }
 
@@ -204,6 +215,29 @@ class Session {
       case Op::Shutdown:
         entry.kind = QueueEntry::Kind::Shutdown;
         break;
+      case Op::Job: {
+        // Job ops are constant-time control-plane requests (the search
+        // itself runs in jobs_step slices); they ride the queue without
+        // touching the scores' admission budget — fair-share admission
+        // happens in the scheduler, per client.
+        entry.kind = QueueEntry::Kind::Job;
+        entry.job = std::move(parsed.job);
+        ++sequence_;
+        if (entry.job.trace_id == 0) {
+          const Key128 key = ContentHasher{}
+                                 .str("job")
+                                 .str(std::string(job_op_name(entry.job.op)))
+                                 .str(entry.job.job)
+                                 .str(entry.job.spec.builtin)
+                                 .str(entry.job.spec.csv_text)
+                                 .str(entry.job.spec.client)
+                                 .u64(entry.job.spec.seed)
+                                 .digest();
+          entry.job.trace_id =
+              derive_trace_id(key, entry.job.spec.events, sequence_);
+        }
+        break;
+      }
       case Op::Mutate: {
         // Mutations share the scores' admission budget: they occupy the
         // same queue and are answered in the same arrival order.
@@ -370,6 +404,12 @@ class Session {
         case QueueEntry::Kind::Ready:
           write_line(entry.response);
           break;
+        case QueueEntry::Kind::Job:
+          // Executed at serve time like metrics: every earlier request
+          // in the pipeline has already been answered, so `submit,
+          // status` observes the submission.
+          write_line(serialize_job_response(engine_.job(entry.job)));
+          break;
         case QueueEntry::Kind::Ping:
           write_line(serialize_ping(entry.id));
           break;
@@ -514,14 +554,20 @@ std::size_t run_tcp_server(ScoreBackend& backend,
     struct pollfd pfd {};
     pfd.fd = listen_fd;
     pfd.events = POLLIN;
-    const int rc = ::poll(&pfd, 1, 200);
+    // Between connections, idle time drives job slices (zero-timeout
+    // poll while the scheduler has work; see Session::wait_for_input).
+    const bool jobs_waiting = backend.jobs_runnable();
+    const int rc = ::poll(&pfd, 1, jobs_waiting ? 0 : 200);
     if (rc < 0) {
       if (errno == EINTR) continue;
       const std::string what = errno_message(errno);
       ::close(listen_fd);
       throw std::runtime_error("poll failed: " + what);
     }
-    if (rc == 0) continue;
+    if (rc == 0) {
+      if (jobs_waiting) backend.jobs_step();
+      continue;
+    }
 
     const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
     if (conn_fd < 0) {

@@ -1,0 +1,226 @@
+#include "store/checkpoint_log.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace perspector::store {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x31435350u;  // "PSC1"
+
+obs::Counter& appends_counter() {
+  static obs::Counter& c = obs::counter("store.ckpt.appends");
+  return c;
+}
+obs::Counter& append_failures_counter() {
+  static obs::Counter& c = obs::counter("store.ckpt.append_failures");
+  return c;
+}
+obs::Counter& recovered_counter() {
+  static obs::Counter& c = obs::counter("store.ckpt.recovered");
+  return c;
+}
+obs::Counter& corrupt_counter() {
+  static obs::Counter& c = obs::counter("store.ckpt.corrupt_skipped");
+  return c;
+}
+obs::Counter& truncated_counter() {
+  static obs::Counter& c = obs::counter("store.ckpt.truncated_tails");
+  return c;
+}
+obs::Counter& fsync_failures_counter() {
+  static obs::Counter& c = obs::counter("store.ckpt.fsync_failures");
+  return c;
+}
+
+struct FrameHeader {
+  std::uint32_t magic = kCheckpointMagic;
+  std::uint32_t payload_len = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t checksum = 0;
+};
+static_assert(sizeof(FrameHeader) == 24, "checkpoint frame layout drifted");
+
+std::uint64_t fnv1a64(std::uint64_t hash, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::uint64_t frame_checksum(std::uint64_t seq, std::uint32_t payload_len,
+                             const void* payload) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  hash = fnv1a64(hash, &seq, sizeof seq);
+  hash = fnv1a64(hash, &payload_len, sizeof payload_len);
+  hash = fnv1a64(hash, payload, payload_len);
+  return hash;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(
+      "checkpoint_log: " + what + ": " +
+      std::error_code(errno, std::generic_category()).message());
+}
+
+bool read_exact(int fd, std::uint64_t offset, void* out, std::size_t n) {
+  std::size_t done = 0;
+  auto* bytes = static_cast<char*>(out);
+  while (done < n) {
+    const ssize_t got = ::pread(fd, bytes + done, n - done,
+                                static_cast<off_t>(offset + done));
+    if (got <= 0) return false;
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace
+
+CheckpointLog::CheckpointLog(CheckpointLogOptions options)
+    : options_(std::move(options)) {
+  const auto parent = std::filesystem::path(options_.path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      throw std::runtime_error("checkpoint_log: cannot create '" +
+                               parent.string() + "': " + ec.message());
+    }
+  }
+  fd_ = ::open(options_.path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) fail("cannot open '" + options_.path + "'");
+  recover_locked();
+}
+
+CheckpointLog::~CheckpointLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool CheckpointLog::fault(FaultOp op) noexcept {
+  return options_.faults != nullptr && options_.faults->should_fail(op);
+}
+
+void CheckpointLog::recover_locked() {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) fail("fstat '" + options_.path + "'");
+  const auto size = static_cast<std::uint64_t>(st.st_size);
+
+  std::uint64_t offset = 0;
+  std::uint64_t valid_end = 0;
+  while (offset + sizeof(FrameHeader) <= size) {
+    FrameHeader header;
+    if (!read_exact(fd_, offset, &header, sizeof header)) break;
+    if (header.magic != kCheckpointMagic) break;
+    const std::uint64_t frame_end =
+        offset + sizeof header + header.payload_len;
+    if (frame_end > size) break;  // torn tail: payload never fully landed
+    std::string payload(header.payload_len, '\0');
+    if (header.payload_len != 0 &&
+        !read_exact(fd_, offset + sizeof header, payload.data(),
+                    header.payload_len)) {
+      break;
+    }
+    if (frame_checksum(header.seq, header.payload_len, payload.data()) ==
+        header.checksum) {
+      // Newest valid frame wins; out-of-order seqs cannot happen on the
+      // append path but a replayed frame with an older seq must not
+      // regress the resume point.
+      if (!last_payload_ || header.seq >= last_seq_) {
+        last_seq_ = header.seq;
+        last_payload_ = std::move(payload);
+        recovered_counter().add(1);
+      }
+    } else {
+      // Bit flip inside an intact frame: the frame boundaries still
+      // parse, so skip it and keep scanning for a newer valid record.
+      ++corrupt_skipped_;
+      corrupt_counter().add(1);
+    }
+    offset = frame_end;
+    valid_end = frame_end;
+  }
+
+  append_offset_ = valid_end;
+  if (valid_end < size) {
+    // Truncate the torn tail so the next append starts on a frame
+    // boundary instead of splicing into half-written garbage.
+    truncated_tail_ = true;
+    truncated_counter().add(1);
+    if (::ftruncate(fd_, static_cast<off_t>(valid_end)) != 0) {
+      fail("truncate torn tail of '" + options_.path + "'");
+    }
+  }
+}
+
+bool CheckpointLog::append(std::string_view payload) {
+  if (payload.size() > (1ull << 31)) {
+    append_failures_counter().add(1);
+    return false;
+  }
+  FrameHeader header;
+  header.payload_len = static_cast<std::uint32_t>(payload.size());
+  header.seq = last_seq_ + 1;
+  header.checksum =
+      frame_checksum(header.seq, header.payload_len, payload.data());
+
+  std::vector<char> frame(sizeof header + payload.size());
+  std::memcpy(frame.data(), &header, sizeof header);
+  std::memcpy(frame.data() + sizeof header, payload.data(), payload.size());
+
+  std::size_t to_write = frame.size();
+  if (fault(FaultOp::Write)) {
+    append_failures_counter().add(1);
+    return false;
+  }
+  if (fault(FaultOp::TornWrite)) to_write = sizeof header + payload.size() / 2;
+
+  std::size_t done = 0;
+  while (done < to_write) {
+    const ssize_t put =
+        ::pwrite(fd_, frame.data() + done, to_write - done,
+                 static_cast<off_t>(append_offset_ + done));
+    if (put <= 0) break;
+    done += static_cast<std::size_t>(put);
+  }
+  if (done != frame.size()) {
+    // Torn append: leave the offset where it was — recover() on the next
+    // open truncates the partial frame, and an in-process retry
+    // overwrites it in place.
+    append_failures_counter().add(1);
+    return false;
+  }
+
+  if (fault(FaultOp::Fsync) || ::fsync(fd_) != 0) {
+    fsync_failures_counter().add(1);
+    append_failures_counter().add(1);
+    return false;
+  }
+
+  append_offset_ += frame.size();
+  last_seq_ = header.seq;
+  last_payload_ = std::string(payload);
+  appends_counter().add(1);
+  return true;
+}
+
+bool remove_checkpoint_log(const std::string& path) noexcept {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  return !ec;
+}
+
+}  // namespace perspector::store

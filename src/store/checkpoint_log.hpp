@@ -1,0 +1,97 @@
+// store::CheckpointLog — a per-job append-only checkpoint record log
+// (DESIGN.md section 15).
+//
+// The segment store is write-once per key (content addressing), which is
+// exactly wrong for checkpoints: a job writes a *sequence* of states for
+// one identity and recovery wants the newest valid one. The checkpoint
+// log is the complement — one file per job, records appended in seq
+// order, each fully self-describing:
+//
+//   [u32 magic 'PSC1'][u32 payload_len][u64 seq][u64 checksum][payload]
+//                                                     (24-byte header)
+//
+// where checksum is FNV-1a(64) over seq, payload_len and the payload
+// bytes. Every append is one write() followed by fsync(), so a live
+// checkpoint is on disk before the job advances past it.
+//
+// Recovery (done at open) scans the file front to back:
+//   * a record whose checksum fails but whose frame is intact (bit flip
+//     in the payload) is skipped — the scan continues and the *previous*
+//     valid record wins unless a later one verifies;
+//   * a torn frame (truncated tail, bad magic, or a length running past
+//     EOF) ends the scan, and the file is truncated back to the end of
+//     the last intact frame so future appends never interleave with
+//     garbage.
+// The newest record that verified is exposed via last(); a job resumes
+// from it, which is at worst one checkpoint cadence of recomputation.
+//
+// The same FaultInjector seam as SegmentStore covers the write, torn
+// write and fsync paths, so tests can kill an append mid-frame.
+//
+// Counters: store.ckpt.appends, store.ckpt.append_failures,
+// store.ckpt.recovered, store.ckpt.corrupt_skipped,
+// store.ckpt.truncated_tails, store.ckpt.fsync_failures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "store/fault_injector.hpp"
+
+namespace perspector::store {
+
+struct CheckpointLogOptions {
+  /// Log file path; created (with parent directories) if absent.
+  std::string path;
+  /// Optional failure seam (tests); nullptr runs fault-free.
+  FaultInjector* faults = nullptr;
+};
+
+class CheckpointLog {
+ public:
+  /// Opens (or creates) the log and recovers the newest valid record.
+  /// Throws std::runtime_error when the file cannot be opened.
+  explicit CheckpointLog(CheckpointLogOptions options);
+  ~CheckpointLog();
+
+  CheckpointLog(const CheckpointLog&) = delete;
+  CheckpointLog& operator=(const CheckpointLog&) = delete;
+
+  /// Appends a checkpoint with seq = last_seq() + 1 and fsyncs. False
+  /// when the frame cannot be written durably; the log stays usable and
+  /// last() still answers with the previous checkpoint.
+  bool append(std::string_view payload);
+
+  /// The payload of the newest record that verified (recovered at open
+  /// or appended since), or nullopt for an empty/fully-corrupt log.
+  const std::optional<std::string>& last() const { return last_payload_; }
+
+  /// Sequence number of last(); 0 when the log holds no valid record.
+  std::uint64_t last_seq() const { return last_seq_; }
+
+  /// Records skipped during open because their checksum failed.
+  std::uint64_t corrupt_skipped() const { return corrupt_skipped_; }
+
+  /// True when open found a torn tail and truncated it away.
+  bool truncated_tail() const { return truncated_tail_; }
+
+ private:
+  bool fault(FaultOp op) noexcept;
+  void recover_locked();
+
+  CheckpointLogOptions options_;
+  int fd_ = -1;
+  std::uint64_t append_offset_ = 0;
+  std::uint64_t last_seq_ = 0;
+  std::optional<std::string> last_payload_;
+  std::uint64_t corrupt_skipped_ = 0;
+  bool truncated_tail_ = false;
+};
+
+/// Removes the checkpoint log at `path`, ignoring a missing file.
+/// Returns false when an existing file could not be removed.
+bool remove_checkpoint_log(const std::string& path) noexcept;
+
+}  // namespace perspector::store

@@ -1,10 +1,46 @@
 #include "suites/suite_factory.hpp"
 
+#include <stdexcept>
+
 namespace perspector::suites {
 
 std::vector<sim::SuiteSpec> all_suites(const SuiteBuildOptions& options) {
   return {parsec(options), spec17(options),  ligra(options),
           lmbench(options), nbench(options), sgxgauge(options)};
+}
+
+namespace {
+
+using Factory = sim::SuiteSpec (*)(const SuiteBuildOptions&);
+
+struct NamedFactory {
+  const char* name;
+  Factory factory;
+};
+
+constexpr NamedFactory kFactories[] = {
+    {"spec17", spec17},     {"parsec", parsec},       {"ligra", ligra},
+    {"lmbench", lmbench},   {"nbench", nbench},       {"sgxgauge", sgxgauge},
+    {"riotbench", riotbench}, {"sebs", sebs},         {"comb", comb},
+    {"splash2", splash2},
+};
+
+}  // namespace
+
+bool is_builtin_suite(const std::string& name) {
+  for (const auto& entry : kFactories) {
+    if (name == entry.name) return true;
+  }
+  return false;
+}
+
+sim::SuiteSpec suite_by_name(const std::string& name,
+                             const SuiteBuildOptions& options) {
+  for (const auto& entry : kFactories) {
+    if (name == entry.name) return entry.factory(options);
+  }
+  throw std::invalid_argument("unknown built-in suite '" + name +
+                              "' (try: perspector suites)");
 }
 
 }  // namespace perspector::suites

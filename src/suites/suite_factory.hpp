@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/workload.hpp"
@@ -55,5 +56,15 @@ sim::SuiteSpec comb(const SuiteBuildOptions& options = {});
 /// SPLASH-2: the 1995 HPC suite PARSEC replaced (12 workloads) — for the
 /// reference-[29] comparison bench.
 sim::SuiteSpec splash2(const SuiteBuildOptions& options = {});
+
+/// True when `name` names one of the built-in suites above (demo_five
+/// excluded — it is a figure fixture, not a servable suite).
+bool is_builtin_suite(const std::string& name);
+
+/// Builds the named built-in suite. Throws std::invalid_argument for an
+/// unknown name; the serving and job layers share this dispatch so their
+/// notions of "built-in" can never drift apart.
+sim::SuiteSpec suite_by_name(const std::string& name,
+                             const SuiteBuildOptions& options = {});
 
 }  // namespace perspector::suites

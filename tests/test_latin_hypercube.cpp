@@ -113,5 +113,43 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<std::size_t, std::size_t>{43, 14},
                       std::pair<std::size_t, std::size_t>{100, 3}));
 
+// Re-entrant candidate draws (the async-job search): candidate i is a
+// pure function of (seed, i), so draws are order-independent and a
+// resumed search reconstructs them bit-identically from the frontier.
+
+TEST(LhsCandidate, SeedsAreDistinctAcrossIndicesAndRoots) {
+  EXPECT_NE(candidate_seed(7, 0), candidate_seed(7, 1));
+  EXPECT_NE(candidate_seed(7, 0), candidate_seed(8, 0));
+  // Nearby (seed, index) pairs must not collide through the mixer: the
+  // naive seed+index would alias (7,1) with (8,0).
+  EXPECT_NE(candidate_seed(7, 1), candidate_seed(8, 0));
+  EXPECT_EQ(candidate_seed(7, 3), candidate_seed(7, 3));
+}
+
+TEST(LhsCandidate, DrawsAreLatinAndDeterministic) {
+  for (std::uint64_t index : {0u, 1u, 5u, 63u}) {
+    const la::Matrix draw = latin_hypercube_candidate(8, 5, 1234, index);
+    EXPECT_TRUE(is_latin(draw)) << "candidate " << index;
+    EXPECT_EQ(draw, latin_hypercube_candidate(8, 5, 1234, index));
+  }
+}
+
+TEST(LhsCandidate, DrawsDifferAcrossIndices) {
+  EXPECT_NE(latin_hypercube_candidate(8, 5, 1234, 0),
+            latin_hypercube_candidate(8, 5, 1234, 1));
+  EXPECT_NE(latin_hypercube_candidate(8, 5, 1234, 0),
+            latin_hypercube_candidate(8, 5, 4321, 0));
+}
+
+TEST(LhsCandidate, DrawIsIndependentOfEvaluationOrder) {
+  // Reading candidates 5,2,7 then 2 again yields the same matrices as a
+  // fresh in-order walk — no hidden stream state.
+  const la::Matrix out_of_order_first = latin_hypercube_candidate(6, 4, 9, 5);
+  const la::Matrix second = latin_hypercube_candidate(6, 4, 9, 2);
+  latin_hypercube_candidate(6, 4, 9, 7);
+  EXPECT_EQ(latin_hypercube_candidate(6, 4, 9, 2), second);
+  EXPECT_EQ(latin_hypercube_candidate(6, 4, 9, 5), out_of_order_first);
+}
+
 }  // namespace
 }  // namespace perspector::sampling

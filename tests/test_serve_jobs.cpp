@@ -1,0 +1,355 @@
+// The async-job ops through the serving tier: protocol parse/serialize
+// round trips, the in-process Engine backend, the Session's cooperative
+// job stepping, and the Router's job-id-affinity routing with
+// kill-and-resume (the served twin of test_jobs.cpp's scheduler-level
+// resume tests).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "jobs/job.hpp"
+#include "jobs/search.hpp"
+#include "serve/backend.hpp"
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+#include "serve/router.hpp"
+
+namespace fs = std::filesystem;
+using namespace perspector;
+using jobs::JobState;
+using serve::Engine;
+using serve::EngineOptions;
+using serve::JobOp;
+using serve::JobRequest;
+using serve::JobResponse;
+using serve::Router;
+using serve::RouterOptions;
+
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string path =
+      ::testing::TempDir() + "/perspector_serve_jobs_" + name;
+  fs::remove_all(path);
+  fs::create_directories(path);
+  return path;
+}
+
+jobs::JobSpec small_spec(std::uint64_t candidates = 8,
+                         std::uint64_t seed = 1234) {
+  jobs::JobSpec spec;
+  spec.builtin = "nbench";
+  spec.instructions = 2000;
+  spec.target_size = 4;
+  spec.candidates = candidates;
+  spec.seed = seed;
+  return spec;
+}
+
+JobRequest submit_request(const jobs::JobSpec& spec,
+                          const std::string& id = "s") {
+  JobRequest request;
+  request.id = id;
+  request.op = JobOp::Submit;
+  request.spec = spec;
+  return request;
+}
+
+/// Drives the backend's cooperative scheduler until the job is terminal
+/// (bounded; fails the test instead of spinning forever).
+jobs::JobStatus drive_to_terminal(serve::ScoreBackend& backend,
+                                  const std::string& job_id) {
+  JobRequest status_request;
+  status_request.id = "st";
+  status_request.op = JobOp::Status;
+  status_request.job = job_id;
+  for (int i = 0; i < 10000; ++i) {
+    if (backend.jobs_runnable()) backend.jobs_step();
+    const JobResponse response = backend.job(status_request);
+    if (response.ok && jobs::is_terminal(response.status.state)) {
+      return response.status;
+    }
+    if (!backend.jobs_runnable()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ADD_FAILURE() << "job " << job_id << " never reached a terminal state";
+  return {};
+}
+
+}  // namespace
+
+// ---- protocol -------------------------------------------------------------
+
+TEST(JobProtocol, ParsesGenerateSubmit) {
+  const auto parsed = serve::parse_request_line(
+      R"({"id":"1","op":"generate_submit","suite":"nbench",)"
+      R"("instructions":2000,"size":4,"candidates":8,"seed":7,)"
+      R"("client":"alice"})");
+  ASSERT_TRUE(parsed.ok) << parsed.message;
+  EXPECT_EQ(parsed.op, serve::Op::Job);
+  EXPECT_EQ(parsed.job.op, JobOp::Submit);
+  EXPECT_EQ(parsed.job.spec.builtin, "nbench");
+  EXPECT_EQ(parsed.job.spec.instructions, 2000u);
+  EXPECT_EQ(parsed.job.spec.target_size, 4u);
+  EXPECT_EQ(parsed.job.spec.candidates, 8u);
+  EXPECT_EQ(parsed.job.spec.seed, 7u);
+  EXPECT_EQ(parsed.job.spec.client, "alice");
+}
+
+TEST(JobProtocol, SubmitRequiresExactlyOneSource) {
+  EXPECT_FALSE(
+      serve::parse_request_line(R"({"op":"generate_submit"})").ok);
+  EXPECT_FALSE(serve::parse_request_line(
+                   R"({"op":"generate_submit","suite":"nbench",)"
+                   R"("csv":"workload,c\na,1\n"})")
+                   .ok);
+}
+
+TEST(JobProtocol, TargetedOpsValidateTheJobId) {
+  // Ids become checkpoint file names, so anything but 16 hex chars is
+  // rejected at parse time (path-traversal guard).
+  EXPECT_TRUE(serve::parse_request_line(
+                  R"({"op":"job_status","job":"0123456789abcdef"})")
+                  .ok);
+  for (const char* bad :
+       {R"({"op":"job_status"})", R"({"op":"job_status","job":""})",
+        R"({"op":"job_status","job":"0123456789abcde"})",
+        R"({"op":"job_status","job":"0123456789ABCDEF"})",
+        R"({"op":"job_status","job":"../../../etc/pwned"})"}) {
+    const auto parsed = serve::parse_request_line(bad);
+    EXPECT_FALSE(parsed.ok) << bad;
+    EXPECT_EQ(parsed.error, "bad_request");
+  }
+}
+
+TEST(JobProtocol, WatchParsesTheCursor) {
+  const auto parsed = serve::parse_request_line(
+      R"({"op":"job_watch","job":"0123456789abcdef","from":5})");
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.job.op, JobOp::Watch);
+  EXPECT_EQ(parsed.job.from, 5u);
+}
+
+TEST(JobProtocol, ForwardedSubmitRoundTripsEveryIdRelevantField) {
+  // The router derives the job id from its copy of the spec; the worker
+  // re-derives it from the wire line. Any field that does not survive
+  // the round trip verbatim would split the id space.
+  jobs::JobSpec spec;
+  spec.csv_name = "uploaded";
+  spec.csv_text = "workload,c1\na,1\nb,2\n";
+  spec.series_text = "workload,counter,sample,value\na,c1,0,1\n";
+  spec.events = "llc";
+  spec.target_size = 5;
+  spec.candidates = 3;
+  spec.seed = 99;
+  spec.client = "bob";
+  const JobRequest request = submit_request(spec, "fwd");
+  const auto parsed =
+      serve::parse_request_line(serve::serialize_job_request(request));
+  ASSERT_TRUE(parsed.ok) << parsed.message;
+  EXPECT_EQ(parsed.job.spec, spec);
+  EXPECT_EQ(jobs::derive_job_id(parsed.job.spec), jobs::derive_job_id(spec));
+
+  // Same for the builtin flavor with non-default instructions.
+  jobs::JobSpec builtin = small_spec(7, 3);
+  builtin.instructions = 1234;
+  const auto parsed_builtin = serve::parse_request_line(
+      serve::serialize_job_request(submit_request(builtin)));
+  ASSERT_TRUE(parsed_builtin.ok);
+  EXPECT_EQ(parsed_builtin.job.spec, builtin);
+}
+
+TEST(JobProtocol, ResponsesRoundTripThroughTheRouterCodec) {
+  JobResponse response;
+  response.id = "w";
+  response.op = JobOp::Watch;
+  response.ok = true;
+  response.status.id = "0123456789abcdef";
+  response.status.state = JobState::Running;
+  response.status.client = "alice";
+  response.status.evaluated = 5;
+  response.status.total = 8;
+  response.status.resumed = true;
+  response.status.best.valid = true;
+  response.status.best.candidate = 3;
+  response.status.best.deviation_pct = 12.5;
+  response.status.best.per_score_deviation_pct = {1.0, 2.0, 3.0, 4.0};
+  response.status.best.indices = {1, 4, 6, 9};
+  response.status.best.names = {"a", "b", "c", "d"};
+  jobs::JobProgress progress;
+  progress.seq = 2;
+  progress.evaluated = 4;
+  progress.total = 8;
+  progress.best = response.status.best;
+  response.progress.push_back(progress);
+  response.next = 3;
+
+  JobResponse decoded;
+  ASSERT_TRUE(serve::parse_job_response(
+      serve::serialize_job_response(response), decoded));
+  EXPECT_EQ(decoded.op, JobOp::Watch);
+  EXPECT_TRUE(decoded.ok);
+  EXPECT_EQ(decoded.status.state, JobState::Running);
+  EXPECT_EQ(decoded.status.best, response.status.best);
+  ASSERT_EQ(decoded.progress.size(), 1u);
+  EXPECT_EQ(decoded.progress[0].seq, 2u);
+  EXPECT_EQ(decoded.progress[0].best, progress.best);
+  EXPECT_EQ(decoded.next, 3u);
+
+  // Error responses keep the common error shape.
+  JobResponse error;
+  error.id = "e";
+  error.ok = false;
+  error.error = "overloaded";
+  error.message = "queue full";
+  JobResponse decoded_error;
+  ASSERT_TRUE(serve::parse_job_response(serve::serialize_job_response(error),
+                                        decoded_error));
+  EXPECT_FALSE(decoded_error.ok);
+  EXPECT_EQ(decoded_error.error, "overloaded");
+  EXPECT_EQ(decoded_error.message, "queue full");
+}
+
+// ---- engine backend -------------------------------------------------------
+
+TEST(EngineJobs, SubmitStatusWatchCompleteInProcess) {
+  Engine engine(EngineOptions{});
+  const jobs::JobSpec spec = small_spec(8, 5);
+  const JobResponse submitted = engine.job(submit_request(spec));
+  ASSERT_TRUE(submitted.ok) << submitted.message;
+  EXPECT_FALSE(submitted.duplicate);
+  EXPECT_EQ(submitted.status.id, jobs::derive_job_id(spec));
+  EXPECT_EQ(submitted.status.total, spec.candidates);
+
+  const auto final_status = drive_to_terminal(engine, submitted.status.id);
+  EXPECT_EQ(final_status.state, JobState::Done);
+  EXPECT_EQ(final_status.best, jobs::run_search(spec));
+
+  // Resubmitting the identical spec is a duplicate of the finished job.
+  const JobResponse again = engine.job(submit_request(spec));
+  ASSERT_TRUE(again.ok);
+  EXPECT_TRUE(again.duplicate);
+  EXPECT_EQ(again.status.id, submitted.status.id);
+
+  // The finished job shows up in job_list.
+  JobRequest list;
+  list.id = "l";
+  list.op = JobOp::List;
+  const JobResponse listed = engine.job(list);
+  ASSERT_TRUE(listed.ok);
+  ASSERT_EQ(listed.jobs.size(), 1u);
+  EXPECT_EQ(listed.jobs[0].id, submitted.status.id);
+}
+
+TEST(EngineJobs, UnknownJobIdIsBadRequest) {
+  Engine engine(EngineOptions{});
+  JobRequest request;
+  request.id = "st";
+  request.op = JobOp::Status;
+  request.job = "0123456789abcdef";
+  const JobResponse response = engine.job(request);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, "bad_request");
+}
+
+// ---- router ---------------------------------------------------------------
+
+TEST(RouterJobs, SubmitRoutesByIdAndCompletes) {
+  const std::string jobs_dir = fresh_dir("route");
+  RouterOptions options;
+  options.workers = 2;
+  options.engine.cache_bytes = 16ull << 20;
+  options.engine.jobs.checkpoint_dir = jobs_dir;
+  options.engine.jobs.slice_candidates = 2;
+  options.engine.jobs.checkpoint_every = 2;
+  Router router(options);
+
+  const jobs::JobSpec spec = small_spec(8, 11);
+  const JobResponse submitted = router.job(submit_request(spec));
+  ASSERT_TRUE(submitted.ok) << submitted.message;
+  EXPECT_GE(submitted.worker, 0);
+  EXPECT_EQ(submitted.status.id, jobs::derive_job_id(spec));
+
+  const auto final_status = drive_to_terminal(router, submitted.status.id);
+  EXPECT_EQ(final_status.state, JobState::Done);
+  EXPECT_EQ(final_status.best, jobs::run_search(spec));
+
+  // job_list fans out and merges; the job appears exactly once.
+  JobRequest list;
+  list.id = "l";
+  list.op = JobOp::List;
+  const JobResponse listed = router.job(list);
+  ASSERT_TRUE(listed.ok);
+  ASSERT_EQ(listed.jobs.size(), 1u);
+  EXPECT_EQ(listed.jobs[0].id, submitted.status.id);
+}
+
+TEST(RouterJobs, KilledWorkerResumesJobByteIdentically) {
+  // The acceptance invariant at the tier level: SIGKILL the owning
+  // worker mid-job; the router must retry the (idempotent) job ops
+  // against the respawned worker, which resumes from the shared
+  // checkpoint directory and lands on the uninterrupted run's subset.
+  const std::string jobs_dir = fresh_dir("kill_resume");
+  RouterOptions options;
+  options.workers = 2;
+  options.engine.cache_bytes = 16ull << 20;
+  options.engine.jobs.checkpoint_dir = jobs_dir;
+  options.engine.jobs.slice_candidates = 2;
+  options.engine.jobs.checkpoint_every = 2;
+  Router router(options);
+
+  const jobs::JobSpec spec = small_spec(16, 23);
+  const jobs::BestCandidate reference = jobs::run_search(spec);
+  const JobResponse submitted = router.job(submit_request(spec));
+  ASSERT_TRUE(submitted.ok) << submitted.message;
+  const std::string job_id = submitted.status.id;
+  ASSERT_GE(submitted.worker, 0);
+  const auto owner = static_cast<std::size_t>(submitted.worker);
+
+  ASSERT_TRUE(router.kill_worker(owner));
+
+  const auto final_status = drive_to_terminal(router, job_id);
+  EXPECT_EQ(final_status.state, JobState::Done);
+  EXPECT_EQ(final_status.evaluated, spec.candidates);
+  EXPECT_EQ(final_status.best, reference);
+  EXPECT_GE(router.total_restarts(), 1u);
+  EXPECT_TRUE(router.worker_alive(owner));
+}
+
+TEST(RouterJobs, CancelAndWatchRouteToTheOwner) {
+  const std::string jobs_dir = fresh_dir("cancel");
+  RouterOptions options;
+  options.workers = 2;
+  options.engine.cache_bytes = 16ull << 20;
+  options.engine.jobs.checkpoint_dir = jobs_dir;
+  Router router(options);
+
+  const jobs::JobSpec spec = small_spec(64, 41);
+  const JobResponse submitted = router.job(submit_request(spec));
+  ASSERT_TRUE(submitted.ok);
+
+  JobRequest cancel;
+  cancel.id = "c";
+  cancel.op = JobOp::Cancel;
+  cancel.job = submitted.status.id;
+  const JobResponse cancelled = router.job(cancel);
+  ASSERT_TRUE(cancelled.ok);
+  EXPECT_EQ(cancelled.worker, submitted.worker);
+
+  const auto final_status = drive_to_terminal(router, submitted.status.id);
+  EXPECT_EQ(final_status.state, JobState::Cancelled);
+
+  JobRequest watch;
+  watch.id = "w";
+  watch.op = JobOp::Watch;
+  watch.job = submitted.status.id;
+  watch.from = 1;
+  const JobResponse watched = router.job(watch);
+  ASSERT_TRUE(watched.ok);
+  EXPECT_EQ(watched.status.state, JobState::Cancelled);
+}

@@ -48,6 +48,8 @@
 #include "core/ranking.hpp"
 #include "core/report.hpp"
 #include "core/subset.hpp"
+#include "jobs/job.hpp"
+#include "jobs/search.hpp"
 #include "obs/histogram.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -93,7 +95,7 @@ struct Args {
 const std::set<std::string>& boolean_flags() {
   static const std::set<std::string> flags = {
       "metrics", "stdio", "ping", "stats", "shutdown", "verify",
-      "no-io-thread"};
+      "no-io-thread", "submit", "follow", "job-list", "shard-stats"};
   return flags;
 }
 
@@ -144,11 +146,14 @@ const char* general_usage_text() {
       "  score   --csv <agg.csv> [--series <ser.csv>] [--events all|llc|tlb|branch]\n"
       "  compare --csv <a.csv> --csv <b.csv> ... [--events all|llc|tlb|branch]\n"
       "  subset  --csv <agg.csv> --size K [--method lhs|random|prior] [--seed S]\n"
+      "          [--search scored [--suite <name>] [--candidates N]]\n"
       "  ingest  --csv <agg.csv> [--chunk-kb N] [--no-io-thread] [--verify]\n"
       "  serve   [--port N | --stdio] [--workers N] [--cache-dir PATH] ...\n"
       "  client  --port N (--suite <name> | --csv <file> | --input <file>)\n"
       "          [--load-suite NAME | --add-workload NAME |\n"
       "           --drop-workload NAME --workload W | --append-samples NAME]\n"
+      "          [--submit [--follow] | --watch JOB | --job-status JOB |\n"
+      "           --job-cancel JOB | --job-list]\n"
       "          [--repeat K] ...\n"
       "  help    [<command>]                      this message, or per-command usage\n"
       "observability (any command):\n"
@@ -193,8 +198,21 @@ std::string command_usage_text(const std::string& command) {
   if (command == "subset") {
     return "usage: perspector subset --csv <agg.csv> --size K\n"
            "                         [--method lhs|random|prior] [--seed S]\n"
+           "       perspector subset --search scored --size K\n"
+           "                         (--suite <name> [--instructions N]\n"
+           "                          | --csv <agg.csv> [--series <ser.csv>])\n"
+           "                         [--candidates N] [--seed S]\n"
+           "                         [--events all|llc|tlb|branch]\n"
            "  Select a representative K-workload subset and report the mean\n"
-           "  score deviation against the full suite.\n";
+           "  score deviation against the full suite.\n"
+           "  --search scored runs the async-job candidate search (the same\n"
+           "  code path 'serve' jobs execute) synchronously and prints the\n"
+           "  reference result:\n"
+           "      subset: <name> <name> ...\n"
+           "      deviation_pct: <value>\n"
+           "  byte-identical to what 'client --submit --follow' prints for\n"
+           "  the same spec, so scripts can diff served against one-shot.\n"
+           "  --candidates N   LHS candidates to evaluate (default 64)\n";
   }
   if (command == "ingest") {
     return "usage: perspector ingest --csv <agg.csv> [--chunk-kb N]\n"
@@ -231,6 +249,18 @@ std::string command_usage_text(const std::string& command) {
            "  --cache-dir PATH  disk-backed result store (survives restarts;\n"
            "                    one live process per directory)\n"
            "  --store-mb N      on-disk budget for --cache-dir (default 256)\n"
+           "  Async jobs (generate_submit/job_status/job_watch/job_cancel/\n"
+           "  job_list ops; see README 'Async jobs'):\n"
+           "  --jobs-dir PATH   per-job checkpoint logs; a restarted worker\n"
+           "                    resumes its jobs from here (empty = jobs run\n"
+           "                    without checkpoints and cannot resume)\n"
+           "  --job-queue N     max active (queued+running) jobs before\n"
+           "                    submits get a structured 'overloaded' error\n"
+           "                    (default 256)\n"
+           "  --jobs-per-client N  fair-share cap on active jobs per client\n"
+           "                    bucket (default 64)\n"
+           "  --checkpoint-every N  candidates between checkpoints (default\n"
+           "                    16; 0 = checkpoint only at terminal states)\n"
            "  SIGTERM (or EOF in --stdio mode) drains admitted requests and\n"
            "  exits 0. Add --metrics to print the serve.* counters on exit.\n";
   }
@@ -244,8 +274,14 @@ std::string command_usage_text(const std::string& command) {
            "                          | --append-samples NAME]\n"
            "                         [--events all|llc|tlb|branch]\n"
            "                         [--repeat K] [--deadline-ms N]\n"
+           "                         [--submit [--follow] [--size K]\n"
+           "                          [--candidates N] [--seed S]\n"
+           "                          [--client NAME]\n"
+           "                          | --watch JOB | --job-status JOB\n"
+           "                          | --job-cancel JOB | --job-list]\n"
+           "                         [--watch-interval-ms N]\n"
            "                         [--ping] [--metrics] [--stats]\n"
-           "                         [--shutdown]\n"
+           "                         [--shard-stats] [--shutdown]\n"
            "  Scripted client for 'perspector serve'. Pipelines K copies of\n"
            "  the score request (default 1), prints each report to stdout\n"
            "  (byte-identical to the one-shot command), and cache/error\n"
@@ -259,8 +295,19 @@ std::string command_usage_text(const std::string& command) {
            "  --drop-workload names the victim via --workload. A later\n"
            "  '--suite NAME' score resolves the resident suite by name.\n"
            "  --metrics appends a server-counter request, --stats a\n"
-           "  latency-histogram request (p50/p90/p99/p99.9), --shutdown\n"
-           "  asks the server to exit after responding.\n"
+           "  latency-histogram request (p50/p90/p99/p99.9), --shard-stats\n"
+           "  a worker-topology request ('worker.N.pid P' lines; router\n"
+           "  tier), --shutdown asks the server to exit after responding.\n"
+           "  Async-job flags switch to a lockstep conversation (one request,\n"
+           "  one response): --submit sends a generate_submit built from\n"
+           "  --suite/--csv plus --size/--candidates/--seed/--client and\n"
+           "  prints 'job: <id>'; --follow then polls job_watch every\n"
+           "  --watch-interval-ms (default 100) until the job finishes,\n"
+           "  streaming progress to stderr and printing the final\n"
+           "  'subset:'/'deviation_pct:' lines (byte-identical to\n"
+           "  'subset --search scored'). --watch JOB resumes watching an\n"
+           "  existing job; --job-status/--job-cancel/--job-list print one\n"
+           "  status line per job.\n"
            "  Exits 0 when every response was ok, 3 otherwise.\n";
   }
   if (command == "help") {
@@ -327,6 +374,16 @@ core::CounterMatrix load_csv(const Args& args, const std::string& csv) {
   return core::read_aggregates_csv(csv, csv);
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
 core::EventGroup event_group(const std::string& name) {
   if (name == "all") return core::EventGroup::all();
   if (name == "llc") return core::EventGroup::llc();
@@ -375,7 +432,58 @@ int cmd_compare(const Args& args) {
   return 0;
 }
 
+/// `subset --search scored`: the one-shot reference for the async-job
+/// search. Builds the same JobSpec a served generate_submit would carry,
+/// runs jobs::run_search synchronously, and prints exactly the two lines
+/// the job client prints for a finished job — so the serve smoke test
+/// can diff a kill-and-resume served search against this output.
+int cmd_subset_search(const Args& args) {
+  const std::string mode = args.get("search").value_or("scored");
+  if (mode != "scored") {
+    throw UsageError("unknown --search mode '" + mode + "' (only: scored)");
+  }
+  jobs::JobSpec spec;
+  const auto suite = args.get("suite");
+  const auto csv = args.get("csv");
+  if ((suite ? 1 : 0) + (csv ? 1 : 0) != 1) {
+    throw UsageError(
+        "subset --search scored needs exactly one of --suite or --csv");
+  }
+  if (suite) {
+    spec.builtin = *suite;
+    if (const auto n = args.get("instructions")) {
+      spec.instructions = parse_u64(*n, "instructions");
+    }
+  } else {
+    spec.csv_name = *csv;
+    spec.csv_text = read_file(*csv);
+    if (const auto series = args.get("series")) {
+      spec.series_text = read_file(*series);
+    }
+  }
+  spec.events = args.get("events").value_or("all");
+  spec.target_size = parse_u64(args.get("size").value_or("8"), "size");
+  spec.candidates =
+      parse_u64(args.get("candidates").value_or("64"), "candidates");
+  if (spec.candidates == 0) {
+    throw UsageError("option '--candidates' must be >= 1");
+  }
+  if (const auto seed = args.get("seed")) {
+    spec.seed = parse_u64(*seed, "seed");
+  }
+  const auto best = jobs::run_search(spec);
+  if (!best.valid) throw std::runtime_error("search produced no candidate");
+  std::cout << "subset:";
+  for (const std::string& name : best.names) std::cout << ' ' << name;
+  std::cout << "\n";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", best.deviation_pct);
+  std::cout << "deviation_pct: " << buf << "\n";
+  return 0;
+}
+
 int cmd_subset(const Args& args) {
+  if (args.has("search")) return cmd_subset_search(args);
   const auto csv = args.get("csv");
   if (!csv) return usage();
 
@@ -509,6 +617,29 @@ int cmd_serve(const Args& args) {
   if (const auto n = args.get("slow-ms")) {
     session.slow_request_ms = parse_u64(*n, "slow-ms");
   }
+  // Async-job scheduler knobs. These ride inside EngineOptions, so the
+  // router path below inherits them (every worker checkpoints into the
+  // shared --jobs-dir and resumes from it after a respawn).
+  if (const auto dir = args.get("jobs-dir")) {
+    engine_options.jobs.checkpoint_dir = *dir;
+  }
+  if (const auto n = args.get("job-queue")) {
+    engine_options.jobs.max_active = parse_u64(*n, "job-queue");
+    if (engine_options.jobs.max_active == 0) {
+      throw UsageError("option '--job-queue' must be >= 1");
+    }
+  }
+  if (const auto n = args.get("jobs-per-client")) {
+    engine_options.jobs.max_active_per_client =
+        parse_u64(*n, "jobs-per-client");
+    if (engine_options.jobs.max_active_per_client == 0) {
+      throw UsageError("option '--jobs-per-client' must be >= 1");
+    }
+  }
+  if (const auto n = args.get("checkpoint-every")) {
+    // 0 is meaningful: checkpoint only at terminal transitions.
+    engine_options.jobs.checkpoint_every = parse_u64(*n, "checkpoint-every");
+  }
   if (args.has("stdio") && args.has("port")) {
     throw UsageError("--stdio and --port are mutually exclusive");
   }
@@ -560,16 +691,6 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    throw std::runtime_error("cannot open '" + path + "' for reading");
-  }
-  std::ostringstream out;
-  out << in.rdbuf();
-  return out.str();
-}
-
 int cmd_client(const Args& args) {
   serve::ClientRun run;
   run.host = args.get("host").value_or("127.0.0.1");
@@ -580,6 +701,70 @@ int cmd_client(const Args& args) {
     throw UsageError("option '--port' must be in 1..65535");
   }
   run.port = static_cast<std::uint16_t>(port_value);
+
+  // Async-job flags put the client in job mode: a lockstep conversation
+  // (serve/client.hpp) instead of the pipelined score burst. --csv and
+  // --suite then describe the submit payload, not a score request.
+  const auto watch_id = args.get("watch");
+  const auto status_id = args.get("job-status");
+  const auto cancel_id = args.get("job-cancel");
+  const int job_flags = (args.has("submit") ? 1 : 0) + (watch_id ? 1 : 0) +
+                        (status_id ? 1 : 0) + (cancel_id ? 1 : 0) +
+                        (args.has("job-list") ? 1 : 0);
+  if (job_flags > 1) {
+    throw UsageError(
+        "--submit, --watch, --job-status, --job-cancel and --job-list are "
+        "mutually exclusive");
+  }
+  if (job_flags == 1) {
+    serve::ClientJob job;
+    job.submit = args.has("submit");
+    job.follow = args.has("follow");
+    if (job.follow && !job.submit) {
+      throw UsageError("'--follow' needs --submit (use --watch JOB instead)");
+    }
+    if (watch_id) job.watch = *watch_id;
+    if (status_id) job.status = *status_id;
+    if (cancel_id) job.cancel = *cancel_id;
+    job.list = args.has("job-list");
+    if (job.submit) {
+      const auto suite = args.get("suite");
+      const auto csv = args.get("csv");
+      if ((suite ? 1 : 0) + (csv ? 1 : 0) != 1) {
+        throw UsageError("'--submit' needs exactly one of --suite or --csv");
+      }
+      if (suite) {
+        job.suite = *suite;
+        if (const auto n = args.get("instructions")) {
+          job.instructions = parse_u64(*n, "instructions");
+        }
+      } else {
+        job.name = *csv;
+        job.csv_text = read_file(*csv);
+        if (const auto series = args.get("series")) {
+          job.series_text = read_file(*series);
+        }
+      }
+      job.events = args.get("events").value_or("all");
+      job.size = parse_u64(args.get("size").value_or("8"), "size");
+      job.candidates =
+          parse_u64(args.get("candidates").value_or("64"), "candidates");
+      if (job.candidates == 0) {
+        throw UsageError("option '--candidates' must be >= 1");
+      }
+      if (const auto seed = args.get("seed")) {
+        job.seed = parse_u64(*seed, "seed");
+      }
+      job.client = args.get("client").value_or("");
+    }
+    if (const auto n = args.get("watch-interval-ms")) {
+      job.watch_interval_ms = parse_u64(*n, "watch-interval-ms");
+    }
+    run.job = std::move(job);
+    run.shutdown = args.has("shutdown");
+    std::signal(SIGPIPE, SIG_IGN);
+    return serve::run_client(run, std::cout, std::cerr);
+  }
 
   // Live-suite mutation flags (at most one per invocation); the payload
   // rides on --csv/--series, which then belong to the mutation rather
@@ -672,12 +857,13 @@ int cmd_client(const Args& args) {
   run.ping = args.has("ping");
   run.metrics = args.has("metrics");
   run.stats = args.has("stats");
+  run.shard_stats = args.has("shard-stats");
   run.shutdown = args.has("shutdown");
   if (run.mutations.empty() && !run.score && !run.ping && !run.metrics &&
-      !run.stats && !run.shutdown) {
+      !run.stats && !run.shard_stats && !run.shutdown) {
     throw UsageError(
         "client needs something to send: --suite/--csv/--input, a mutation "
-        "flag, --ping, --metrics, --stats, or --shutdown");
+        "flag, --ping, --metrics, --stats, --shard-stats, or --shutdown");
   }
 
   std::signal(SIGPIPE, SIG_IGN);

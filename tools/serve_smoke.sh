@@ -24,7 +24,20 @@
 #      store from the unflushed segment files;
 #   4. SIGTERM the restarted server and assert a clean drain.
 #
-# Usage: tools/serve_smoke.sh [path-to-perspector-binary] [basic|restart|all]
+# Phase "jobs" — the async-job subsystem surviving a worker SIGKILL:
+#   1. compute the uninterrupted reference subset with
+#      `subset --search scored` (the one-shot twin of a served job);
+#   2. start `serve --workers 2 --jobs-dir <dir> --checkpoint-every 4`,
+#      submit the same spec as an async job, and note the owning worker
+#      from the submit response's worker=N;
+#   3. SIGKILL that worker's pid (found via --shard-stats) mid-job;
+#   4. watch the job to completion: the router must respawn the worker
+#      (restarts >= 1 in --shard-stats), the respawned worker must
+#      resume the job from its checkpoint log, and the final
+#      'subset:'/'deviation_pct:' lines must be byte-identical to the
+#      uninterrupted reference.
+#
+# Usage: tools/serve_smoke.sh [path-to-perspector-binary] [basic|restart|jobs|all]
 set -eu
 
 BIN="${1:-./build/tools/perspector}"
@@ -106,8 +119,85 @@ run_restart_phase() {
   echo "restart smoke OK (byte-identical responses, served from disk)"
 }
 
+run_jobs_phase() {
+  CACHE_DIR="$(mktemp -d)"
+  REF="$CACHE_DIR/ref" GOT="$CACHE_DIR/got" SUBMIT_ERR="$CACHE_DIR/submit.err"
+
+  # The job spec, shared between the one-shot reference and the served
+  # submit. Enough candidates that the SIGKILL lands mid-search.
+  SPEC="--suite nbench --size 4 --candidates 48 --instructions 50000"
+
+  echo "computing uninterrupted reference subset..."
+  # shellcheck disable=SC2086
+  "$BIN" subset --search scored $SPEC >"$REF"
+
+  start_server --workers 2 --jobs-dir "$CACHE_DIR/jobs" --checkpoint-every 4
+
+  # shellcheck disable=SC2086
+  JOB_ID=$("$BIN" client --port "$PORT" --submit $SPEC 2>"$SUBMIT_ERR" \
+    | sed -n 's/^job: //p')
+  WORKER=$(sed -n 's/.*worker=\([0-9]*\).*/\1/p' "$SUBMIT_ERR")
+  if [ -z "$JOB_ID" ] || [ -z "$WORKER" ]; then
+    echo "FAIL: submit did not return a job id and owning worker" >&2
+    cat "$SUBMIT_ERR" >&2
+    exit 1
+  fi
+  echo "job $JOB_ID owned by worker $WORKER"
+
+  OWNER_PID=$("$BIN" client --port "$PORT" --shard-stats 2>/dev/null \
+    | awk -v key="worker.$WORKER.pid" '$1 == key { print $2 }')
+  if [ -z "$OWNER_PID" ]; then
+    echo "FAIL: shard_stats did not report worker $WORKER's pid" >&2
+    exit 1
+  fi
+
+  kill -9 "$OWNER_PID"
+  echo "SIGKILLed owning worker (pid $OWNER_PID) mid-job"
+
+  # The watch must ride out the death: the router retries the (idempotent)
+  # job ops against the respawned worker, which resumes from the shared
+  # checkpoint directory and finishes the search.
+  if ! "$BIN" client --port "$PORT" --watch "$JOB_ID" >"$GOT" 2>"$CACHE_DIR/watch.err"; then
+    echo "FAIL: watch after worker SIGKILL did not complete cleanly" >&2
+    cat "$CACHE_DIR/watch.err" >&2
+    cat "$GOT" >&2
+    exit 1
+  fi
+  cmp "$REF" "$GOT" || {
+    echo "FAIL: resumed job's subset differs from the uninterrupted run" >&2
+    echo "--- reference:" >&2; cat "$REF" >&2
+    echo "--- resumed:" >&2; cat "$GOT" >&2
+    exit 1
+  }
+
+  RESTARTS=$("$BIN" client --port "$PORT" --shard-stats 2>/dev/null \
+    | awk -v key="worker.$WORKER.restarts" '$1 == key { print $2 }')
+  echo "worker.$WORKER.restarts = ${RESTARTS:-0}"
+  if [ "${RESTARTS:-0}" -lt 1 ]; then
+    echo "FAIL: router never restarted the SIGKILLed worker" >&2
+    exit 1
+  fi
+
+  kill -TERM "$SERVER_PID"
+  RC=0
+  wait "$SERVER_PID" || RC=$?
+  SERVER_PID=""
+  if [ "$RC" -ne 0 ]; then
+    echo "FAIL: tier exited $RC on SIGTERM after the jobs phase" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  rm -rf "$CACHE_DIR"
+  CACHE_DIR=""
+  echo "jobs smoke OK (worker killed mid-job, resumed byte-identical)"
+}
+
 if [ "$PHASE" = "restart" ]; then
   run_restart_phase
+  exit 0
+fi
+if [ "$PHASE" = "jobs" ]; then
+  run_jobs_phase
   exit 0
 fi
 
@@ -192,4 +282,5 @@ echo "serve smoke OK (clean SIGTERM drain, cache hits confirmed)"
 
 if [ "$PHASE" = "all" ]; then
   run_restart_phase
+  run_jobs_phase
 fi
