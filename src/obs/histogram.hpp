@@ -104,6 +104,9 @@ double bucket_percentile(const std::uint64_t* buckets, int bucket_count,
 /// stay free of raw clock tokens.
 class LatencyTimer {
  public:
+  // The construction-time clock read feeds the latency histogram only;
+  // no scored value is derived from it.
+  // lint:seam(det-taint): latency samples never feed a score
   explicit LatencyTimer(Histogram& histogram,
                         Distribution* mirror = nullptr) noexcept
       : histogram_(histogram),

@@ -159,6 +159,9 @@ struct Logger::Impl {
 };
 
 Logger::Logger() : impl_(new Impl()) {
+  // getenv races with setenv, but the logger singleton is constructed
+  // once and nothing mutates the environment after main() starts.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("PERSPECTOR_LOG")) {
     if (const auto level = parse_log_level(env)) {
       impl_->level.store(static_cast<int>(*level), std::memory_order_relaxed);

@@ -57,6 +57,9 @@ void json_escape(std::ostringstream& os, const std::string& s) {
 }  // namespace
 
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  // getenv races with setenv, but the tracer singleton is constructed
+  // once and nothing mutates the environment after main() starts.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("PERSPECTOR_TRACE")) {
     const std::string value = env;
     if (value == "0" || value == "off" || value == "false") {
@@ -96,6 +99,9 @@ std::vector<TraceEvent> Tracer::events() const {
   return events_;
 }
 
+// Observability timestamps annotate spans in the trace JSON only; no
+// scored value is derived from them.
+// lint:seam(det-taint): trace timestamps never feed a score
 double Tracer::now_us() const {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - epoch_)

@@ -89,6 +89,9 @@ bool write_all(int fd, const std::string& buffer) {
 /// Reads one '\n'-terminated line (newline stripped) through `buffer`,
 /// blocking until the worker answers. False on EOF or error — the
 /// worker died.
+// The socketpair wait for a worker's answer IS the forwarding protocol;
+// workers answer every request, and a dead worker closes the pair.
+// lint:seam(block-serve-loop): transport — worker response protocol
 bool read_line(int fd, std::string& buffer, std::string& line) {
   for (;;) {
     const std::size_t pos = buffer.find('\n');
@@ -110,6 +113,7 @@ bool read_line(int fd, std::string& buffer, std::string& line) {
 
 /// Reads one line with a deadline (hello handshake only — a worker that
 /// cannot say hello within the timeout is broken, not busy).
+// lint:seam(block-serve-loop): transport — bounded by the poll deadline
 bool read_line_timeout(int fd, std::string& buffer, std::string& line,
                        int timeout_ms) {
   for (;;) {

@@ -155,6 +155,7 @@ class Session {
   }
 
   /// Reads every complete line currently available and enqueues it.
+  // lint:seam(block-serve-loop): transport — ::read after poll readiness
   void drain_input() {
     while (!eof_ && input_ready()) {
       char chunk[65536];

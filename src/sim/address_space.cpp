@@ -13,6 +13,10 @@ AddressSpace::AddressSpace(std::uint64_t page_bytes) {
   page_shift_ = static_cast<std::uint64_t>(std::countr_zero(page_bytes));
 }
 
+// pages_ is an unordered_set used only for insert() and size() —
+// membership and cardinality are order-free, and nothing ever iterates
+// it, so hash order cannot reach a counter.
+// lint:seam(det-taint): page set is insert/size-only, order-free
 bool AddressSpace::touch(std::uint64_t address) {
   const auto [it, inserted] = pages_.insert(address >> page_shift_);
   if (inserted) {

@@ -166,6 +166,10 @@ void CheckpointLog::recover_locked() {
   }
 }
 
+// The scheduler calls this every --checkpoint-every evaluations, not
+// per slice; durability at a declared cadence is the job-resume
+// contract (DESIGN.md section 10).
+// lint:seam(block-serve-loop): checkpoint cadence — --checkpoint-every
 bool CheckpointLog::append(std::string_view payload) {
   if (payload.size() > (1ull << 31)) {
     append_failures_counter().add(1);

@@ -50,6 +50,9 @@ std::unique_ptr<FaultInjector> FaultInjector::from_env() {
 #ifdef NDEBUG
   return nullptr;
 #else
+  // getenv races with setenv; fault injection is a debug-build test
+  // hook read once per store construction, before workers spawn.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   return parse(std::getenv("PERSPECTOR_STORE_FAULTS"));
 #endif
 }

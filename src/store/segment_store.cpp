@@ -489,6 +489,9 @@ void SegmentStore::advance_watermark_locked() {
   header_->watermark_offset = segments_.back().size;
 }
 
+// fsync/msync happen once per segment roll (every segment_bytes of
+// appends), not per request — amortized, bounded by the segment knob.
+// lint:seam(block-serve-loop): checkpoint cadence — sync at segment roll
 void SegmentStore::roll_active_locked() {
   fsync_active_locked();
   Segment segment;
@@ -524,6 +527,9 @@ void SegmentStore::evict_to_budget_locked() {
   }
 }
 
+// A cache fill is one indexed pread of a known length (the mmap index
+// resolves the slot without touching the file) — no scans.
+// lint:seam(block-serve-loop): bounded IO — single indexed pread
 std::optional<std::string> SegmentStore::get(const StoreKey& key) {
   obs::LatencyTimer timer(get_latency());
   std::lock_guard<std::mutex> lock(mutex_);

@@ -24,6 +24,8 @@ const char* const kLayers = R"(
 0 src/obs
 1 src/par
 1 src/mem
+1 src/store
+2 src/ingest
 2 src/la
 3 src/stats
 4 src/dtw
@@ -33,7 +35,8 @@ const char* const kLayers = R"(
 4 src/sim
 5 src/suites
 6 src/core
-7 src/serve
+7 src/jobs
+8 src/serve
 )";
 
 std::vector<Finding> run(std::vector<SourceFile> files) {
@@ -237,6 +240,50 @@ TEST(LintRules, LayerCycle) {
   EXPECT_NE(f[0].message.find("src/core/b.hpp"), std::string::npos);
 }
 
+TEST(LintRules, LayerRanksForStoreAndIngest) {
+  // src/store (rank 1) and src/ingest (rank 2) are ranked layers, not
+  // unranked consumers: an upward or peer edge out of them is an error.
+  EXPECT_EQ(with_rule(run({{"src/store/x.cpp",
+                            "#include \"core/perspector.hpp\"\n"}}),
+                      "layer-order")
+                .size(),
+            1u);
+  EXPECT_EQ(with_rule(run({{"src/ingest/x.cpp",
+                            "#include \"la/matrix.hpp\"\n"}}),
+                      "layer-order")
+                .size(),
+            1u);
+  // Their legal downward edges stay legal.
+  EXPECT_TRUE(with_rule(run({{"src/store/x.cpp",
+                              "#include \"obs/metrics.hpp\"\n"}}),
+                        "layer-order")
+                  .empty());
+  EXPECT_TRUE(with_rule(run({{"src/ingest/x.cpp",
+                              "#include \"obs/metrics.hpp\"\n"}}),
+                        "layer-order")
+                  .empty());
+}
+
+TEST(LintRules, LayerCycleInsideStore) {
+  const auto f = run({{"src/store/a.hpp",
+                       "#pragma once\n#include \"store/b.hpp\"\n"},
+                      {"src/store/b.hpp",
+                       "#pragma once\n#include \"store/a.hpp\"\n"}});
+  ASSERT_EQ(with_rule(f, "layer-cycle").size(), 1u);
+  EXPECT_NE(f[0].message.find("src/store/a.hpp"), std::string::npos);
+  EXPECT_NE(f[0].message.find("src/store/b.hpp"), std::string::npos);
+}
+
+TEST(LintRules, LayerCycleInsideIngest) {
+  const auto f = run({{"src/ingest/reader.hpp",
+                       "#pragma once\n#include \"ingest/parser.hpp\"\n"},
+                      {"src/ingest/parser.hpp",
+                       "#pragma once\n#include \"ingest/reader.hpp\"\n"}});
+  ASSERT_EQ(with_rule(f, "layer-cycle").size(), 1u);
+  EXPECT_NE(f[0].message.find("src/ingest/parser.hpp"), std::string::npos);
+  EXPECT_NE(f[0].message.find("src/ingest/reader.hpp"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // R3: parallel safety
 
@@ -389,6 +436,49 @@ TEST(LintRules, HygLogRawStderrWrites) {
                               "void f() { std::cerr << \"x\"; }\n"}}),
                         "hyg-log")
                   .empty());
+}
+
+// ---------------------------------------------------------------------------
+// lint:allow × transitive rules: an allow on a function definition
+// suppresses the whole call path through it, not just its own line.
+// (The deep engine itself is covered in test_lint_deep.cpp.)
+
+TEST(LintAllow, FunctionLevelAllowSuppressesTransitivePath) {
+  const std::vector<SourceFile> files = {
+      {"src/serve/loop.hpp",
+       "#pragma once\n"
+       "namespace perspector::serve {\n"
+       "void pump();\n"
+       "void drain();\n"
+       "}  // namespace perspector::serve\n"},
+      {"src/serve/loop.cpp",
+       "#include \"serve/loop.hpp\"\n"
+       "namespace perspector::serve {\n"
+       "void pump() { drain(); }\n"
+       "// lint:allow(block-serve-loop): fixture — drain is bounded\n"
+       "void drain() { ::fsync(1); }\n"
+       "}  // namespace perspector::serve\n"}};
+  lint::DeepConfig deep;
+  deep.seams_text = "root block-serve-loop serve::pump\n";
+
+  const auto suppressed =
+      lint::run_rules(files, lint::parse_layers(kLayers), deep);
+  EXPECT_TRUE(with_rule(suppressed, "block-serve-loop").empty());
+
+  // Without the allow the same path is a finding two hops from the root.
+  auto hot = files;
+  hot[1].text =
+      "#include \"serve/loop.hpp\"\n"
+      "namespace perspector::serve {\n"
+      "void pump() { drain(); }\n"
+      "void drain() { ::fsync(1); }\n"
+      "}  // namespace perspector::serve\n";
+  const auto hits = with_rule(
+      lint::run_rules(hot, lint::parse_layers(kLayers), deep),
+      "block-serve-loop");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("serve::pump -> serve::drain"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

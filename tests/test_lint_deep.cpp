@@ -1,0 +1,555 @@
+// Cross-TU analysis tests: symbol table, call graph, and the transitive
+// rules (block-serve-loop / det-taint) on in-memory mini-trees through
+// the same 3-arg run_rules() entry point the binary uses in deep mode.
+//
+// The golden fixtures seed a violation two call hops from the root with
+// the marker in a different translation unit than the root — the exact
+// shape the lexical linter cannot see — and assert the precise finding
+// (file, line, rule, message) including the rendered call path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/callgraph.hpp"
+#include "lint/config.hpp"
+#include "lint/lexer.hpp"
+#include "lint/reach.hpp"
+#include "lint/rules.hpp"
+#include "lint/symbols.hpp"
+
+namespace lint = perspector::lint;
+using lint::Finding;
+using lint::SourceFile;
+
+namespace {
+
+// Mirrors tools/lint/layers.conf closely enough for the deep fixtures.
+const char* const kLayers = R"(
+0 src/obs
+1 src/store
+2 src/ingest
+4 src/sim
+6 src/core
+7 src/jobs
+8 src/serve
+)";
+
+std::vector<Finding> run_deep(std::vector<SourceFile> files,
+                              const std::string& seams) {
+  lint::DeepConfig deep;
+  deep.seams_text = seams;
+  return lint::run_rules(files, lint::parse_layers(kLayers), deep);
+}
+
+std::vector<Finding> with_rule(const std::vector<Finding>& findings,
+                               const std::string& rule) {
+  std::vector<Finding> out;
+  std::copy_if(findings.begin(), findings.end(), std::back_inserter(out),
+               [&](const Finding& f) { return f.rule == rule; });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixture 1: a serve loop that reaches fsync two hops away, with
+// the fsync in another TU (src/store) than the root (src/serve).
+
+const char* const kLoopHpp = R"(#pragma once
+namespace perspector::serve {
+class Loop {
+ public:
+  void run();
+  void tick();
+};
+}  // namespace perspector::serve
+)";
+
+const char* const kLoopCpp = R"(#include "serve/loop.hpp"
+#include "store/store.hpp"
+namespace perspector::serve {
+void Loop::run() { tick(); }
+void Loop::tick() { store::flush_all(3); }
+}  // namespace perspector::serve
+)";
+
+const char* const kStoreHpp = R"(#pragma once
+namespace perspector::store {
+void flush_all(int fd);
+}  // namespace perspector::store
+)";
+
+const char* const kStoreCpp = R"(#include "store/store.hpp"
+namespace perspector::store {
+void flush_all(int fd) {
+  ::fsync(fd);
+}
+}  // namespace perspector::store
+)";
+
+std::vector<SourceFile> block_fixture() {
+  return {{"src/serve/loop.hpp", kLoopHpp},
+          {"src/serve/loop.cpp", kLoopCpp},
+          {"src/store/store.hpp", kStoreHpp},
+          {"src/store/store.cpp", kStoreCpp}};
+}
+
+TEST(LintDeep, BlockRuleCatchesCrossTuTransitivePath) {
+  const auto f =
+      run_deep(block_fixture(), "root block-serve-loop serve::Loop::run\n");
+  const auto hits = with_rule(f, "block-serve-loop");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/store/store.cpp");
+  EXPECT_EQ(hits[0].line, 4);  // the ::fsync call
+  EXPECT_EQ(hits[0].message,
+            "'fsync' can block the cooperative serve loop; path: "
+            "serve::Loop::run -> serve::Loop::tick -> store::flush_all");
+  EXPECT_TRUE(with_rule(f, "seam-config").empty());
+}
+
+TEST(LintDeep, LexicalRunCannotSeeTheTransitivePath) {
+  // The 2-arg entry point stays purely lexical: no deep findings.
+  const auto f =
+      lint::run_rules(block_fixture(), lint::parse_layers(kLayers));
+  EXPECT_TRUE(with_rule(f, "block-serve-loop").empty());
+  EXPECT_TRUE(with_rule(f, "det-taint").empty());
+}
+
+TEST(LintDeep, RootBodyIsScannedAndUnreachableMarkersAreNot) {
+  // A marker in a function nothing on the path calls is NOT a finding;
+  // the root's own body IS scanned (a zero-hop path).
+  auto files = block_fixture();
+  files.push_back({"src/store/cold.cpp",
+                   "namespace perspector::store {\n"
+                   "void cold_sync() {\n"
+                   "  ::fsync(9);\n"
+                   "}\n"
+                   "}  // namespace perspector::store\n"});
+  const auto f =
+      run_deep(std::move(files), "root block-serve-loop store::flush_all\n");
+  const auto hits = with_rule(f, "block-serve-loop");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/store/store.cpp");
+  EXPECT_EQ(hits[0].message,
+            "'fsync' can block the cooperative serve loop; path: "
+            "store::flush_all");
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixture 2: a scoring root that reaches a steady_clock read two
+// hops away in src/obs — a dir the lexical det-clock rule allowlists, so
+// only the transitive rule can catch the taint.
+
+const char* const kScorerHpp = R"(#pragma once
+namespace perspector::core {
+class Scorer {
+ public:
+  double score_suites();
+  double normalize(double v);
+};
+}  // namespace perspector::core
+)";
+
+const char* const kScorerCpp = R"(#include "core/scorer.hpp"
+#include "obs/meter.hpp"
+namespace perspector::core {
+double Scorer::score_suites() { return normalize(1.0); }
+double Scorer::normalize(double v) { return v * obs::stamp(); }
+}  // namespace perspector::core
+)";
+
+const char* const kMeterHpp = R"(#pragma once
+namespace perspector::obs {
+double stamp();
+}  // namespace perspector::obs
+)";
+
+const char* const kMeterCpp = R"(#include "obs/meter.hpp"
+#include <chrono>
+namespace perspector::obs {
+double stamp() {
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+}  // namespace perspector::obs
+)";
+
+// As kMeterCpp but with the seam annotation on the definition.
+const char* const kMeterCppSeamed = R"(#include "obs/meter.hpp"
+#include <chrono>
+namespace perspector::obs {
+// lint:seam(det-taint): meter feeds the display only, never a score
+double stamp() {
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+}  // namespace perspector::obs
+)";
+
+std::vector<SourceFile> taint_fixture(const char* meter_cpp = kMeterCpp) {
+  return {{"src/core/scorer.hpp", kScorerHpp},
+          {"src/core/scorer.cpp", kScorerCpp},
+          {"src/obs/meter.hpp", kMeterHpp},
+          {"src/obs/meter.cpp", meter_cpp}};
+}
+
+constexpr const char* kTaintRoot = "root det-taint core::Scorer::score_suites\n";
+
+TEST(LintDeep, DetTaintCatchesClockReadAcrossTus) {
+  const auto f = run_deep(taint_fixture(), kTaintRoot);
+  const auto hits = with_rule(f, "det-taint");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/obs/meter.cpp");
+  EXPECT_EQ(hits[0].line, 5);  // the steady_clock::now() read
+  EXPECT_EQ(hits[0].message,
+            "'steady_clock::now' taints scoring with nondeterminism; path: "
+            "core::Scorer::score_suites -> core::Scorer::normalize -> "
+            "obs::stamp");
+  // And the lexical det-clock rule indeed stays silent: src/obs is on
+  // its allowlist, which is exactly why the transitive rule exists.
+  EXPECT_TRUE(with_rule(f, "det-clock").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Seam policy: suppression requires BOTH the seams.conf entry and the
+// code-side annotation; each one alone is a seam-config finding.
+
+TEST(LintDeep, SeamWithConfAndAnnotationSuppressesPath) {
+  const auto f = run_deep(taint_fixture(kMeterCppSeamed),
+                          std::string(kTaintRoot) + "seam det-taint obs::stamp\n");
+  EXPECT_TRUE(with_rule(f, "det-taint").empty());
+  EXPECT_TRUE(with_rule(f, "seam-config").empty());
+}
+
+TEST(LintDeep, ConfEntryWithoutAnnotationIsFlagged) {
+  const auto f = run_deep(taint_fixture(),
+                          std::string(kTaintRoot) + "seam det-taint obs::stamp\n");
+  // The declared seam still bounds the traversal...
+  EXPECT_TRUE(with_rule(f, "det-taint").empty());
+  // ...but the missing annotation is its own finding, at the definition.
+  const auto hits = with_rule(f, "seam-config");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/obs/meter.cpp");
+  EXPECT_EQ(hits[0].line, 4);
+  EXPECT_NE(hits[0].message.find("lacks a lint:seam(det-taint) annotation"),
+            std::string::npos);
+}
+
+TEST(LintDeep, AnnotationWithoutConfEntryIsFlagged) {
+  const auto f = run_deep(taint_fixture(kMeterCppSeamed), kTaintRoot);
+  // An annotation alone does NOT suppress: the path is still a finding.
+  EXPECT_EQ(with_rule(f, "det-taint").size(), 1u);
+  const auto hits = with_rule(f, "seam-config");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/obs/meter.cpp");
+  EXPECT_EQ(hits[0].line, 4);  // the annotation line
+  EXPECT_NE(hits[0].message.find("has no matching seam entry"),
+            std::string::npos);
+}
+
+TEST(LintDeep, StaleConfEntryIsFlagged) {
+  const auto f = run_deep(taint_fixture(),
+                          std::string(kTaintRoot) +
+                              "seam det-taint gone::Missing::fn\n");
+  const auto hits = with_rule(f, "seam-config");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "tools/lint/seams.conf");
+  EXPECT_EQ(hits[0].line, 2);
+  EXPECT_NE(hits[0].message.find("stale seams.conf entry"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("gone::Missing::fn"), std::string::npos);
+}
+
+TEST(LintDeep, MalformedSeamsLineIsFlagged) {
+  const auto f = run_deep(taint_fixture(),
+                          "seam det-taint\n"        // missing pattern
+                          "grow det-taint a::b\n"   // unknown kind
+                          "# comment\n" +
+                              std::string(kTaintRoot));
+  const auto hits = with_rule(f, "seam-config");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_EQ(hits[1].line, 2);
+  EXPECT_NE(hits[0].message.find("malformed line"), std::string::npos);
+}
+
+TEST(LintDeep, AnnotationNamingUnknownRuleIsFlagged) {
+  auto files = taint_fixture();
+  files[3].text =
+      "#include \"obs/meter.hpp\"\n"
+      "namespace perspector::obs {\n"
+      "// lint:seam(det-hash): not a transitive rule\n"
+      "double stamp() { return 0.0; }\n"
+      "}  // namespace perspector::obs\n";
+  const auto f = run_deep(std::move(files), kTaintRoot);
+  const auto hits = with_rule(f, "seam-config");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_NE(hits[0].message.find("unknown rule 'det-hash'"),
+            std::string::npos);
+}
+
+TEST(LintDeep, AnnotationNotOnADefinitionIsFlagged) {
+  auto files = taint_fixture();
+  files[3].text =
+      "#include \"obs/meter.hpp\"\n"
+      "// lint:seam(det-taint): floating annotation, no definition here\n"
+      "namespace perspector::obs {\n"
+      "double stamp() { return 0.0; }\n"
+      "}  // namespace perspector::obs\n";
+  const auto f = run_deep(std::move(files), kTaintRoot);
+  const auto hits = with_rule(f, "seam-config");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 2);
+  EXPECT_NE(hits[0].message.find("not attached to a function definition"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// lint:allow on a function definition prunes its whole subtree from the
+// transitive rules (same contract as the per-line allow, lifted to the
+// call graph).
+
+TEST(LintDeep, AllowOnIntermediateFunctionSuppressesSubtree) {
+  auto files = block_fixture();
+  files[1].text =
+      "#include \"serve/loop.hpp\"\n"
+      "#include \"store/store.hpp\"\n"
+      "namespace perspector::serve {\n"
+      "void Loop::run() { tick(); }\n"
+      "// lint:allow(block-serve-loop): fixture — reviewed bounded flush\n"
+      "void Loop::tick() { store::flush_all(3); }\n"
+      "}  // namespace perspector::serve\n";
+  const auto f =
+      run_deep(std::move(files), "root block-serve-loop serve::Loop::run\n");
+  EXPECT_TRUE(with_rule(f, "block-serve-loop").empty());
+}
+
+TEST(LintDeep, AllowOnRootSuppressesEverything) {
+  auto files = block_fixture();
+  files[1].text =
+      "#include \"serve/loop.hpp\"\n"
+      "#include \"store/store.hpp\"\n"
+      "namespace perspector::serve {\n"
+      "// lint:allow(block-serve-loop): fixture — root opted out\n"
+      "void Loop::run() { tick(); }\n"
+      "void Loop::tick() { store::flush_all(3); }\n"
+      "}  // namespace perspector::serve\n";
+  const auto f =
+      run_deep(std::move(files), "root block-serve-loop serve::Loop::run\n");
+  EXPECT_TRUE(with_rule(f, "block-serve-loop").empty());
+}
+
+TEST(LintDeep, AllowForOtherRuleDoesNotSuppress) {
+  auto files = block_fixture();
+  files[1].text =
+      "#include \"serve/loop.hpp\"\n"
+      "#include \"store/store.hpp\"\n"
+      "namespace perspector::serve {\n"
+      "void Loop::run() { tick(); }\n"
+      "// lint:allow(det-taint): wrong rule for this path\n"
+      "void Loop::tick() { store::flush_all(3); }\n"
+      "}  // namespace perspector::serve\n";
+  const auto f =
+      run_deep(std::move(files), "root block-serve-loop serve::Loop::run\n");
+  EXPECT_EQ(with_rule(f, "block-serve-loop").size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Resolution corners the golden fixtures don't cover.
+
+TEST(LintDeep, VirtualDispatchOverApproximatesToDerived) {
+  // A call through a base reference reaches every derived override —
+  // the conservative over-approximation the rule set is built on. The
+  // caller's TU does not even include the derived class's header.
+  const std::vector<SourceFile> files = {
+      {"src/serve/backend.hpp",
+       "#pragma once\n"
+       "namespace perspector::serve {\n"
+       "class Backend {\n"
+       " public:\n"
+       "  virtual ~Backend() = default;\n"
+       "  virtual void step() = 0;\n"
+       "};\n"
+       "}  // namespace perspector::serve\n"},
+      {"src/serve/slow_backend.hpp",
+       "#pragma once\n"
+       "#include \"serve/backend.hpp\"\n"
+       "namespace perspector::serve {\n"
+       "class SlowBackend : public Backend {\n"
+       " public:\n"
+       "  void step() override {\n"
+       "    std::this_thread::sleep_for(std::chrono::milliseconds(1));\n"
+       "  }\n"
+       "};\n"
+       "}  // namespace perspector::serve\n"},
+      {"src/serve/drive.cpp",
+       "#include \"serve/backend.hpp\"\n"
+       "namespace perspector::serve {\n"
+       "void drive(Backend& backend) {\n"
+       "  backend.step();\n"
+       "}\n"
+       "}  // namespace perspector::serve\n"}};
+  const auto f = run_deep(files, "root block-serve-loop serve::drive\n");
+  const auto hits = with_rule(f, "block-serve-loop");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/serve/slow_backend.hpp");
+  EXPECT_EQ(hits[0].line, 7);
+  EXPECT_EQ(hits[0].message,
+            "'sleep_for' can block the cooperative serve loop; path: "
+            "serve::drive -> serve::SlowBackend::step");
+}
+
+TEST(LintDeep, ConstructorInitListCallsAreGraphEdges) {
+  // build_widget -> Widget::Widget (constructor) -> seed_value, where
+  // the tainted call sits in the constructor's initializer list.
+  const std::vector<SourceFile> files = {
+      {"src/core/widget.hpp",
+       "#pragma once\n"
+       "namespace perspector::core {\n"
+       "int seed_value(int salt);\n"
+       "class Widget {\n"
+       " public:\n"
+       "  explicit Widget(int salt);\n"
+       "  int value() const { return v_; }\n"
+       " private:\n"
+       "  int v_;\n"
+       "};\n"
+       "int build_widget();\n"
+       "}  // namespace perspector::core\n"},
+      {"src/core/widget.cpp",
+       "#include \"core/widget.hpp\"\n"
+       "namespace perspector::core {\n"
+       "int seed_value(int salt) {\n"
+       "  // lint:allow(det-rand): fixture — the deep rule must still fire\n"
+       "  return salt ^ std::rand();\n"
+       "}\n"
+       "Widget::Widget(int salt) : v_(seed_value(salt)) {}\n"
+       "int build_widget() {\n"
+       "  Widget w(3);\n"
+       "  return w.value();\n"
+       "}\n"
+       "}  // namespace perspector::core\n"}};
+  const auto f = run_deep(files, "root det-taint core::build_widget\n");
+  const auto hits = with_rule(f, "det-taint");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/core/widget.cpp");
+  EXPECT_EQ(hits[0].line, 5);
+  EXPECT_EQ(hits[0].message,
+            "'rand' taints scoring with nondeterminism; path: "
+            "core::build_widget -> core::Widget::Widget -> core::seed_value");
+}
+
+TEST(LintDeep, UnorderedMemberUseIsATaintMarker) {
+  const std::vector<SourceFile> files = {
+      {"src/jobs/dedup.hpp",
+       "#pragma once\n"
+       "#include <unordered_set>\n"
+       "namespace perspector::jobs {\n"
+       "class Dedup {\n"
+       " public:\n"
+       "  bool add(unsigned long long key);\n"
+       " private:\n"
+       "  std::unordered_set<unsigned long long> seen_;\n"
+       "};\n"
+       "}  // namespace perspector::jobs\n"},
+      {"src/jobs/dedup.cpp",
+       "#include \"jobs/dedup.hpp\"\n"
+       "namespace perspector::jobs {\n"
+       "bool Dedup::add(unsigned long long key) {\n"
+       "  return seen_.insert(key).second;\n"
+       "}\n"
+       "}  // namespace perspector::jobs\n"},
+      {"src/jobs/runner.cpp",
+       "#include \"jobs/dedup.hpp\"\n"
+       "namespace perspector::jobs {\n"
+       "int runner() {\n"
+       "  Dedup d;\n"
+       "  return d.add(7) ? 1 : 0;\n"
+       "}\n"
+       "}  // namespace perspector::jobs\n"}};
+  const auto f = run_deep(files, "root det-taint jobs::runner\n");
+  const auto hits = with_rule(f, "det-taint");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/jobs/dedup.cpp");
+  EXPECT_EQ(hits[0].line, 4);
+  EXPECT_NE(hits[0].message.find("'seen_ (unordered container)'"),
+            std::string::npos);
+  EXPECT_NE(hits[0].message.find("jobs::runner -> jobs::Dedup::add"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// seams.conf parsing and pattern semantics.
+
+TEST(LintDeep, ParseSeams) {
+  std::vector<Finding> findings;
+  const auto cfg = lint::parse_seams(
+      "# comment\n"
+      "\n"
+      "root det-taint core::Perspector::score_suites\n"
+      "seam block-serve-loop store::CheckpointLog::append  # trailing\n",
+      "tools/lint/seams.conf", findings);
+  EXPECT_TRUE(findings.empty());
+  ASSERT_EQ(cfg.entries.size(), 2u);
+  EXPECT_TRUE(cfg.entries[0].is_root);
+  EXPECT_EQ(cfg.entries[0].rule, "det-taint");
+  EXPECT_EQ(cfg.entries[0].pattern, "core::Perspector::score_suites");
+  EXPECT_EQ(cfg.entries[0].line, 3);
+  EXPECT_FALSE(cfg.entries[1].is_root);
+  EXPECT_EQ(cfg.entries[1].line, 4);
+}
+
+TEST(LintDeep, PatternMatchesComponentSuffix) {
+  const std::string fn = "perspector::serve::Session::run";
+  EXPECT_TRUE(lint::pattern_matches("run", fn));
+  EXPECT_TRUE(lint::pattern_matches("Session::run", fn));
+  EXPECT_TRUE(lint::pattern_matches("serve::Session::run", fn));
+  EXPECT_TRUE(lint::pattern_matches("perspector::serve::Session::run", fn));
+  // Components match whole, aligned at the end.
+  EXPECT_FALSE(lint::pattern_matches("ession::run", fn));
+  EXPECT_FALSE(lint::pattern_matches("Session", fn));
+  EXPECT_FALSE(lint::pattern_matches("core::Session::run", fn));
+}
+
+TEST(LintDeep, PatternMatchesClassWildcard) {
+  EXPECT_TRUE(lint::pattern_matches("SubsetSearch::*",
+                                    "perspector::jobs::SubsetSearch::step"));
+  EXPECT_TRUE(
+      lint::pattern_matches("jobs::SubsetSearch::*",
+                            "perspector::jobs::SubsetSearch::SubsetSearch"));
+  // The wildcard needs at least one component after the match.
+  EXPECT_FALSE(lint::pattern_matches("SubsetSearch::*",
+                                     "perspector::jobs::SubsetSearch"));
+  EXPECT_FALSE(lint::pattern_matches("SubsetSearch::*",
+                                     "perspector::jobs::Scheduler::step"));
+}
+
+// ---------------------------------------------------------------------------
+// Call-graph dump: deterministic, sorted, and faithful to the edges.
+
+TEST(LintDeep, CallgraphDumpIsDeterministicAndSorted) {
+  std::vector<lint::LexedFile> lexed;
+  for (const SourceFile& f : block_fixture()) {
+    lexed.push_back(lint::lex(f.path, f.text));
+  }
+  const auto table = lint::build_symbols(lexed);
+  const auto graph = lint::build_callgraph(table, lexed);
+
+  std::ostringstream a, b;
+  lint::dump_callgraph_json(table, graph, a);
+  lint::dump_callgraph_json(table, graph, b);
+  EXPECT_EQ(a.str(), b.str());
+
+  const std::string json = a.str();
+  const auto run_pos = json.find("\"perspector::serve::Loop::run\"");
+  const auto tick_pos = json.find("\"perspector::serve::Loop::tick\"");
+  ASSERT_NE(run_pos, std::string::npos);
+  ASSERT_NE(tick_pos, std::string::npos);
+  // Functions are sorted by qualified name: run before tick.
+  EXPECT_LT(run_pos, tick_pos);
+  // run's entry lists tick as a callee, tick lists flush_all.
+  EXPECT_NE(json.find("\"perspector::store::flush_all\""), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,251 @@
+#include "lint/callgraph.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace perspector::lint {
+
+namespace {
+
+/// File path -> indices of files transitively reachable through quoted
+/// includes (angled includes are system headers — never repo files).
+std::map<std::string, std::set<std::string>> include_closure(
+    const std::vector<LexedFile>& files) {
+  std::set<std::string> known;
+  for (const LexedFile& f : files) known.insert(f.path);
+
+  std::map<std::string, std::vector<std::string>> direct;
+  for (const LexedFile& f : files) {
+    for (const Include& inc : f.includes) {
+      if (inc.angled) continue;
+      const std::string resolved = resolve_include(f.path, inc.path, known);
+      if (known.count(resolved)) direct[f.path].push_back(resolved);
+    }
+  }
+  std::map<std::string, std::set<std::string>> closure;
+  for (const LexedFile& f : files) {
+    std::set<std::string>& seen = closure[f.path];
+    std::vector<std::string> work{f.path};
+    while (!work.empty()) {
+      const std::string cur = work.back();
+      work.pop_back();
+      if (!seen.insert(cur).second) continue;
+      const auto it = direct.find(cur);
+      if (it == direct.end()) continue;
+      for (const std::string& next : it->second) work.push_back(next);
+    }
+  }
+  return closure;
+}
+
+/// "a.cpp" -> "a.hpp"/"a.h" if present in the tree, else "".
+std::string sibling_header(const std::string& path,
+                           const std::set<std::string>& known) {
+  const std::size_t dot = path.rfind(".cpp");
+  if (dot == std::string::npos || dot + 4 != path.size()) return {};
+  const std::string stem = path.substr(0, dot);
+  if (known.count(stem + ".hpp")) return stem + ".hpp";
+  if (known.count(stem + ".h")) return stem + ".h";
+  return {};
+}
+
+class Resolver {
+ public:
+  Resolver(const SymbolTable& table, const std::vector<LexedFile>& files)
+      : table_(table), closure_(include_closure(files)) {
+    for (const LexedFile& f : files) known_.insert(f.path);
+  }
+
+  CallGraph resolve() {
+    CallGraph graph;
+    graph.edges.resize(table_.functions.size());
+    for (std::size_t i = 0; i < table_.functions.size(); ++i) {
+      const Function& caller = table_.functions[i];
+      if (!caller.defined) continue;
+      std::map<std::size_t, int> callees;  // callee -> first line
+      for (const CallSite& call : caller.calls) {
+        for (const std::size_t callee : candidates(caller, call)) {
+          callees.emplace(callee, call.line);
+        }
+      }
+      for (const auto& [callee, line] : callees) {
+        graph.edges[i].push_back(CallEdge{callee, line});
+      }
+    }
+    return graph;
+  }
+
+ private:
+  /// Can a call in `from_file` plausibly reach the definition `def`?
+  /// Yes when the definition's file — or the header declaring it (the
+  /// .cpp's sibling) — is in `from_file`'s transitive include set.
+  bool visible(const std::string& from_file, const Function& def) const {
+    if (def.file == from_file) return true;
+    const auto it = closure_.find(from_file);
+    if (it == closure_.end()) return false;
+    if (it->second.count(def.file)) return true;
+    const std::string header = sibling_header(def.file, known_);
+    return !header.empty() && it->second.count(header);
+  }
+
+  /// TU-local (anonymous-namespace) definitions match same-file calls only.
+  bool tu_ok(const Function& caller, const Function& def) const {
+    return !def.tu_local || def.file == caller.file;
+  }
+
+  /// Applies the include-visibility filter, keeping the unfiltered set
+  /// when it would otherwise come back empty (over-approximate).
+  std::vector<std::size_t> filter_visible(
+      const Function& caller, const std::vector<std::size_t>& cands) const {
+    std::vector<std::size_t> kept;
+    for (const std::size_t c : cands) {
+      if (visible(caller.file, table_.functions[c])) kept.push_back(c);
+    }
+    return kept.empty() ? cands : kept;
+  }
+
+  std::vector<std::size_t> candidates(const Function& caller,
+                                      const CallSite& call) const {
+    const auto by_name = table_.defs_by_name.find(call.name);
+    if (by_name == table_.defs_by_name.end()) return {};
+    std::vector<std::size_t> cands;
+
+    switch (call.form) {
+      case CallSite::Form::Qualified: {
+        // `::f(...)` with no qualifier names the global scope: only an
+        // unnamespaced definition can match (never a suffix).
+        if (call.quals.empty()) {
+          for (const std::size_t c : by_name->second) {
+            const Function& def = table_.functions[c];
+            if (tu_ok(caller, def) && def.qualified == call.name) {
+              cands.push_back(c);
+            }
+          }
+          return cands;
+        }
+        // Suffix match on "::" components: `Session::run` matches
+        // `perspector::serve::Session::run`.
+        std::string suffix;
+        for (const std::string& q : call.quals) suffix += q + "::";
+        suffix += call.name;
+        const std::string dotted = "::" + suffix;
+        for (const std::size_t c : by_name->second) {
+          const Function& def = table_.functions[c];
+          if (!tu_ok(caller, def)) continue;
+          if (def.qualified == suffix ||
+              (def.qualified.size() > dotted.size() &&
+               def.qualified.compare(def.qualified.size() - dotted.size(),
+                                     dotted.size(), dotted) == 0)) {
+            cands.push_back(c);
+          }
+        }
+        return cands;
+      }
+
+      case CallSite::Form::Member: {
+        if (call.receiver_inferred) {
+          if (!table_.classes_by_name.count(call.receiver_type)) {
+            return {};  // std::string etc. — external, no edge
+          }
+          const std::set<std::string> classes =
+              table_.self_and_derived(call.receiver_type);
+          for (const std::size_t c : by_name->second) {
+            const Function& def = table_.functions[c];
+            if (!tu_ok(caller, def)) continue;
+            if (!def.class_name.empty() && classes.count(def.class_name)) {
+              cands.push_back(c);
+            }
+          }
+          return cands;
+        }
+        // Unknown receiver: every same-named method, visibility-filtered.
+        for (const std::size_t c : by_name->second) {
+          const Function& def = table_.functions[c];
+          if (!tu_ok(caller, def)) continue;
+          if (!def.class_name.empty()) cands.push_back(c);
+        }
+        return filter_visible(caller, cands);
+      }
+
+      case CallSite::Form::Free: {
+        // Free functions, plus methods of the caller's own class and its
+        // bases (unqualified method calls from inside a member function).
+        std::set<std::string> own;
+        if (!caller.class_name.empty()) {
+          own = table_.self_and_bases(caller.class_name);
+        }
+        for (const std::size_t c : by_name->second) {
+          const Function& def = table_.functions[c];
+          if (!tu_ok(caller, def)) continue;
+          if (def.class_name.empty() || own.count(def.class_name) ||
+              def.class_name == def.name) {  // constructors: `Foo f(...)`
+            cands.push_back(c);
+          }
+        }
+        return filter_visible(caller, cands);
+      }
+    }
+    return cands;
+  }
+
+  const SymbolTable& table_;
+  std::map<std::string, std::set<std::string>> closure_;
+  std::set<std::string> known_;
+};
+
+void json_escape(const std::string& s, std::ostream& out) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+}
+
+}  // namespace
+
+CallGraph build_callgraph(const SymbolTable& table,
+                          const std::vector<LexedFile>& files) {
+  return Resolver(table, files).resolve();
+}
+
+void dump_callgraph_json(const SymbolTable& table, const CallGraph& graph,
+                         std::ostream& out) {
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < table.functions.size(); ++i) {
+    if (table.functions[i].defined) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Function& fa = table.functions[a];
+    const Function& fb = table.functions[b];
+    if (fa.qualified != fb.qualified) return fa.qualified < fb.qualified;
+    if (fa.file != fb.file) return fa.file < fb.file;
+    return fa.line < fb.line;
+  });
+
+  out << "{\n  \"functions\": [\n";
+  for (std::size_t n = 0; n < order.size(); ++n) {
+    const std::size_t i = order[n];
+    const Function& fn = table.functions[i];
+    out << "    {\"name\": \"";
+    json_escape(fn.qualified, out);
+    out << "\", \"file\": \"";
+    json_escape(fn.file, out);
+    out << "\", \"line\": " << fn.line << ", \"calls\": [";
+    // Callees by qualified name, sorted and deduplicated for stability.
+    std::vector<std::string> names;
+    for (const CallEdge& e : graph.edges[i]) {
+      names.push_back(table.functions[e.callee].qualified);
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    for (std::size_t k = 0; k < names.size(); ++k) {
+      if (k > 0) out << ", ";
+      out << '"';
+      json_escape(names[k], out);
+      out << '"';
+    }
+    out << "]}" << (n + 1 < order.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace perspector::lint

@@ -1,0 +1,55 @@
+// perspector_lint call graph: resolves the symbol table's call sites
+// into edges between function definitions, cross-translation-unit
+// (DESIGN.md section 11). Resolution is name-indexed and deliberately
+// over-approximate where the token-level front end cannot decide:
+//
+//   * qualified calls (`store::CheckpointLog::append`) match by
+//     "::"-component suffix against qualified definition names;
+//   * member calls with an inferred receiver type resolve to that
+//     class's methods plus every transitively derived class's override
+//     (the virtual-dispatch over-approximation); an inferred receiver
+//     of an *unknown* class (std::string, std::vector) produces no edge
+//     — those are external calls;
+//   * member calls with an unknown receiver match every same-named
+//     method, filtered by include-graph visibility (the definition's
+//     file, or its sibling header, must be transitively includable from
+//     the caller's file); if the filter would drop every candidate the
+//     full set is kept — conservative beats silently wrong;
+//   * free calls match free functions plus methods of the caller's own
+//     class and its bases (unqualified method calls), same filter;
+//   * anonymous-namespace definitions only ever match calls from their
+//     own file.
+//
+// Function pointers and std::function indirection are not resolved; the
+// repo's hot paths do not dispatch through them, and the fixture tests
+// pin the cases that matter.
+#pragma once
+
+#include <iosfwd>
+
+#include "lint/symbols.hpp"
+
+namespace perspector::lint {
+
+struct CallEdge {
+  std::size_t callee = 0;  // index into SymbolTable::functions
+  int line = 0;            // first call-site line in the caller
+};
+
+struct CallGraph {
+  /// edges[i] — resolved callees of functions[i], sorted by callee index
+  /// (one edge per callee; the first call site's line wins).
+  std::vector<std::vector<CallEdge>> edges;
+};
+
+/// Resolves every call site in `table` against the lexed tree.
+CallGraph build_callgraph(const SymbolTable& table,
+                          const std::vector<LexedFile>& files);
+
+/// Writes the graph as deterministic JSON: functions sorted by
+/// (qualified, file, line), each with its resolved callees by qualified
+/// name. This is the `--dump-callgraph` artifact CI diffs across PRs.
+void dump_callgraph_json(const SymbolTable& table, const CallGraph& graph,
+                         std::ostream& out);
+
+}  // namespace perspector::lint

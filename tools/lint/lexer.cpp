@@ -14,25 +14,31 @@ bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/// Extracts every `lint:allow(a, b)` occurrence from a comment's text and
-/// records the ids against `line`.
-void scan_allow(const std::string& comment, int line, LexedFile& out) {
-  static const std::string kMarker = "lint:allow(";
+/// Extracts every `<marker>(a, b)` occurrence from a comment's text and
+/// records the ids against `line` in `into`.
+void scan_marker(const std::string& comment, const std::string& marker,
+                 int line, std::map<int, std::set<std::string>>& into) {
   std::size_t pos = 0;
-  while ((pos = comment.find(kMarker, pos)) != std::string::npos) {
-    pos += kMarker.size();
+  while ((pos = comment.find(marker, pos)) != std::string::npos) {
+    pos += marker.size();
     std::string id;
     for (; pos < comment.size() && comment[pos] != ')'; ++pos) {
       const char c = comment[pos];
       if (c == ',' || c == ' ' || c == '\t') {
-        if (!id.empty()) out.allows[line].insert(id);
+        if (!id.empty()) into[line].insert(id);
         id.clear();
       } else {
         id.push_back(c);
       }
     }
-    if (!id.empty()) out.allows[line].insert(id);
+    if (!id.empty()) into[line].insert(id);
   }
+}
+
+/// lint:allow suppressions and lint:seam boundary declarations.
+void scan_allow(const std::string& comment, int line, LexedFile& out) {
+  scan_marker(comment, "lint:allow(", line, out.allows);
+  scan_marker(comment, "lint:seam(", line, out.seams);
 }
 
 class Lexer {

@@ -32,7 +32,11 @@ struct Include {
 
 /// One lexed translation unit (or header). `allows` maps a line number to
 /// the set of rule ids suppressed there via `lint:allow(a, b)` comments;
-/// a block comment contributes to the line it starts on.
+/// a block comment contributes to the line it starts on. `seams` is the
+/// same for lint:seam annotations — `lint:seam` + parenthesized rule +
+/// `: why` — which declare a function as a reviewed boundary the
+/// transitive rules stop at (the annotation must be paired with a
+/// matching entry in tools/lint/seams.conf).
 struct LexedFile {
   std::string path;
   std::vector<Token> tokens;
@@ -40,6 +44,7 @@ struct LexedFile {
   bool has_pragma_once = false;
   bool has_include_guard = false;  // leading #ifndef X / #define X pair
   std::map<int, std::set<std::string>> allows;
+  std::map<int, std::set<std::string>> seams;
 };
 
 /// Lexes `text` (the file contents). `path` is carried through verbatim

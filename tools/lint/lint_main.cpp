@@ -1,9 +1,11 @@
 // perspector_lint: walks src/, tools/, bench/, and tests/ under --root,
-// runs the determinism / layering / parallel-safety / hygiene rules
-// (see rules.hpp), subtracts the baseline, and prints surviving findings
-// as `file:line: rule-id: message`. Exit 0 = clean, 1 = findings,
-// 2 = usage or I/O error. The walk and the output are fully sorted — the
-// linter itself honors the determinism policy it enforces.
+// runs the determinism / layering / parallel-safety / hygiene rules plus
+// (by default) the cross-TU transitive rules block-serve-loop and
+// det-taint (see rules.hpp, reach.hpp), subtracts the baseline, and
+// prints surviving findings as `file:line: rule-id: message`. Exit 0 =
+// clean, 1 = findings, 2 = usage or I/O error. The walk and the output
+// are fully sorted — the linter itself honors the determinism policy it
+// enforces.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -12,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/callgraph.hpp"
 #include "lint/config.hpp"
 #include "lint/rules.hpp"
 
@@ -25,15 +28,24 @@ namespace {
 
 int usage(std::ostream& out, int exit_code) {
   out << "usage: perspector_lint [--root DIR] [--layers FILE]\n"
-         "                       [--baseline FILE] [paths...]\n"
+         "                       [--baseline FILE] [--seams FILE]\n"
+         "                       [--no-deep] [--dump-callgraph FILE]\n"
+         "                       [--stale-baseline-error] [paths...]\n"
          "\n"
          "Static checks for the determinism, layering, and parallel-safety\n"
          "invariants (DESIGN.md section 11). With no explicit paths, walks\n"
          "src/, tools/, bench/, and tests/ under --root (default: .).\n"
-         "--layers defaults to <root>/tools/lint/layers.conf and\n"
-         "--baseline to <root>/tools/lint/baseline.txt (missing baseline ==\n"
-         "empty). Suppress one finding with a `// lint:allow(rule-id): why`\n"
-         "comment on its line or the line above.\n";
+         "--layers defaults to <root>/tools/lint/layers.conf, --baseline to\n"
+         "<root>/tools/lint/baseline.txt (missing baseline == empty), and\n"
+         "--seams to <root>/tools/lint/seams.conf (roots and reviewed\n"
+         "boundaries for the cross-TU block-serve-loop / det-taint rules;\n"
+         "--no-deep skips those rules for a fast lexical-only pass).\n"
+         "--dump-callgraph writes the resolved cross-TU call graph as\n"
+         "deterministic JSON. --stale-baseline-error promotes baseline\n"
+         "entries that no longer match anything from a warning to exit 1.\n"
+         "Suppress one finding with a `// lint:allow(rule-id): why`\n"
+         "comment on its line or the line above; an allow on a function\n"
+         "definition suppresses the transitive rules for its whole subtree.\n";
   return exit_code;
 }
 
@@ -59,7 +71,9 @@ std::string rel_path(const fs::path& root, const fs::path& p) {
 
 int main(int argc, char** argv) {
   fs::path root = ".";
-  std::string layers_file, baseline_file;
+  std::string layers_file, baseline_file, seams_file, callgraph_file;
+  bool deep = true;
+  bool stale_baseline_error = false;
   std::vector<std::string> explicit_paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -76,6 +90,14 @@ int main(int argc, char** argv) {
       layers_file = value();
     } else if (arg == "--baseline") {
       baseline_file = value();
+    } else if (arg == "--seams") {
+      seams_file = value();
+    } else if (arg == "--no-deep") {
+      deep = false;
+    } else if (arg == "--dump-callgraph") {
+      callgraph_file = value();
+    } else if (arg == "--stale-baseline-error") {
+      stale_baseline_error = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage(std::cout, 0);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -92,6 +114,9 @@ int main(int argc, char** argv) {
     }
     if (baseline_file.empty()) {
       baseline_file = (root / "tools/lint/baseline.txt").string();
+    }
+    if (seams_file.empty()) {
+      seams_file = (root / "tools/lint/seams.conf").string();
     }
 
     // Collect files: explicit paths verbatim, else the standard walk.
@@ -128,15 +153,47 @@ int main(int argc, char** argv) {
       baseline = perspector::lint::parse_baseline(slurp(baseline_file));
     }
 
-    std::vector<Finding> findings =
-        perspector::lint::run_rules(files, layers);
+    std::vector<Finding> findings;
+    if (deep) {
+      perspector::lint::DeepConfig deep_config;
+      deep_config.seams_path = "tools/lint/seams.conf";
+      if (fs::exists(seams_file)) {
+        deep_config.seams_text = slurp(seams_file);
+      } else {
+        std::cerr << "perspector_lint: warning: no seams table (" << seams_file
+                  << "); transitive rules run with no roots\n";
+      }
+      findings = perspector::lint::run_rules(files, layers, deep_config);
+    } else {
+      findings = perspector::lint::run_rules(files, layers);
+    }
+
+    if (!callgraph_file.empty()) {
+      std::vector<perspector::lint::LexedFile> lexed;
+      lexed.reserve(files.size());
+      for (const SourceFile& f : files) {
+        lexed.push_back(perspector::lint::lex(f.path, f.text));
+      }
+      const perspector::lint::SymbolTable table =
+          perspector::lint::build_symbols(lexed);
+      const perspector::lint::CallGraph graph =
+          perspector::lint::build_callgraph(table, lexed);
+      std::ofstream out(callgraph_file, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot write " + callgraph_file);
+      perspector::lint::dump_callgraph_json(table, graph, out);
+      std::cerr << "perspector_lint: call graph written to " << callgraph_file
+                << "\n";
+    }
+
     const std::size_t raw = findings.size();
     std::vector<BaselineEntry> unused;
     findings = perspector::lint::apply_baseline(std::move(findings), baseline,
                                                 &unused);
     for (const BaselineEntry& e : unused) {
-      std::cerr << "perspector_lint: warning: stale baseline entry " << e.file
-                << ":" << e.line << ": " << e.rule << "\n";
+      std::cerr << "perspector_lint: "
+                << (stale_baseline_error ? "error" : "warning")
+                << ": stale baseline entry " << e.file << ":" << e.line
+                << ": " << e.rule << "\n";
     }
     for (const Finding& f : findings) {
       std::cout << perspector::lint::to_string(f) << "\n";
@@ -147,6 +204,9 @@ int main(int argc, char** argv) {
       std::cerr << " (" << raw - findings.size() << " baselined)";
     }
     std::cerr << "\n";
+    if (findings.empty() && stale_baseline_error && !unused.empty()) {
+      return 1;
+    }
     return findings.empty() ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "perspector_lint: " << e.what() << "\n";

@@ -1,0 +1,69 @@
+// perspector_lint reachability rules: the transitive layer on the call
+// graph (DESIGN.md section 11). Two rule families run here:
+//
+//   block-serve-loop  from the declared serve-loop roots (session loop,
+//                     job slices, router forwarding) no transitive path
+//                     may reach a blocking primitive — fsync/fdatasync,
+//                     sleep_*, file streams/fopen/fread, ::read, popen —
+//                     except through a declared seam.
+//   det-taint         from the declared scoring roots no transitive path
+//                     may reach a nondeterminism source — rand/
+//                     random_device, clock reads, thread::id, pointer
+//                     hashing, or any use of an unordered container —
+//                     except through a declared seam.
+//
+// Seams are the reviewed boundaries (checkpoint cadence, transport IO,
+// observability timers). A seam is active only when BOTH sides agree:
+// an entry in tools/lint/seams.conf AND a lint:seam comment — the
+// marker, the rule in parentheses, then `: why` — on the function's
+// definition line (or the line above).
+// Any one-sided declaration is itself a finding (`seam-config`), so the
+// conf file cannot drift from the code. A `lint:allow(rule)` on a
+// function's definition suppresses the entire subtree beneath it, the
+// same way a seam does — an allow on the seam function suppresses the
+// whole path, not just one line.
+//
+// seams.conf format (order-insensitive, '#' comments):
+//   root <rule> <pattern>   # reachability starts here
+//   seam <rule> <pattern>   # traversal stops here (must be annotated)
+// where <pattern> is a "::"-separated component suffix of the qualified
+// function name (`serve::Session::run` matches
+// `perspector::serve::Session::run`), or `Class::*` to cover every
+// method of a class.
+#pragma once
+
+#include "lint/callgraph.hpp"
+#include "lint/rules.hpp"
+
+namespace perspector::lint {
+
+struct SeamEntry {
+  bool is_root = false;  // `root` vs `seam` line
+  std::string rule;
+  std::string pattern;
+  int line = 0;  // in seams.conf, for stale-entry findings
+};
+
+struct SeamConfig {
+  std::vector<SeamEntry> entries;
+};
+
+/// Parses seams.conf text. Malformed lines are reported as `seam-config`
+/// findings against `path`.
+SeamConfig parse_seams(const std::string& text, const std::string& path,
+                       std::vector<Finding>& findings);
+
+/// Does `pattern` match the qualified function name? Component-suffix
+/// semantics; a trailing `::*` matches any method of the named class.
+bool pattern_matches(const std::string& pattern,
+                     const std::string& qualified);
+
+/// Runs block-serve-loop, det-taint, and the seam-config consistency
+/// checks over the resolved call graph. `seams_path` names the conf file
+/// in stale-entry findings. Appends findings (unsorted; the caller sorts).
+void run_reach_rules(const std::vector<LexedFile>& files,
+                     const SymbolTable& table, const CallGraph& graph,
+                     const SeamConfig& seams, const std::string& seams_path,
+                     std::vector<Finding>& findings);
+
+}  // namespace perspector::lint

@@ -7,6 +7,8 @@
 #include <tuple>
 #include <utility>
 
+#include "lint/reach.hpp"
+
 namespace perspector::lint {
 
 namespace {
@@ -501,8 +503,11 @@ std::string to_string(const Finding& finding) {
          finding.rule + ": " + finding.message;
 }
 
-std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
-                               const LayerConfig& layers) {
+namespace {
+
+std::vector<Finding> run_all(const std::vector<SourceFile>& files,
+                             const LayerConfig& layers,
+                             const DeepConfig* deep) {
   std::vector<LexedFile> lexed;
   lexed.reserve(files.size());
   for (const SourceFile& f : files) lexed.push_back(lex(f.path, f.text));
@@ -519,12 +524,33 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
   }
   check_layering(lexed, layers, findings);
 
+  if (deep != nullptr) {
+    const SymbolTable table = build_symbols(lexed);
+    const CallGraph graph = build_callgraph(table, lexed);
+    const SeamConfig seams =
+        parse_seams(deep->seams_text, deep->seams_path, findings);
+    run_reach_rules(lexed, table, graph, seams, deep->seams_path, findings);
+  }
+
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule, a.message) <
                      std::tie(b.file, b.line, b.rule, b.message);
             });
   return findings;
+}
+
+}  // namespace
+
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
+                               const LayerConfig& layers) {
+  return run_all(files, layers, nullptr);
+}
+
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
+                               const LayerConfig& layers,
+                               const DeepConfig& deep) {
+  return run_all(files, layers, &deep);
 }
 
 std::vector<Finding> apply_baseline(std::vector<Finding> findings,

@@ -67,6 +67,19 @@ std::string to_string(const Finding& finding);
 std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
                                const LayerConfig& layers);
 
+/// Cross-TU analysis inputs (the contents of tools/lint/seams.conf and
+/// its path, used in stale-entry findings).
+struct DeepConfig {
+  std::string seams_text;
+  std::string seams_path = "tools/lint/seams.conf";
+};
+
+/// As above, plus the transitive rules (block-serve-loop, det-taint,
+/// seam-config) over the cross-TU call graph (see reach.hpp).
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
+                               const LayerConfig& layers,
+                               const DeepConfig& deep);
+
 /// Removes findings matched by a baseline entry (exact file:line:rule).
 /// When `unused` is non-null it receives the entries that matched
 /// nothing — a stale baseline that should be pruned.

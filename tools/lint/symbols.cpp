@@ -1,0 +1,862 @@
+#include "lint/symbols.hpp"
+
+#include <algorithm>
+
+namespace perspector::lint {
+
+namespace {
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Token::Kind::Identifier && t.text == text;
+}
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::Punct && t.text == text;
+}
+
+/// Keywords that look like calls when followed by '(' but are not.
+const std::set<std::string>& call_keywords() {
+  static const std::set<std::string> kKeywords = {
+      "if",       "while",    "for",          "switch",  "return",
+      "sizeof",   "alignof",  "alignas",      "decltype", "typeid",
+      "catch",    "throw",    "new",          "delete",  "static_assert",
+      "noexcept", "case",     "co_return",    "co_await", "co_yield",
+      "requires", "explicit", "static_cast",  "const_cast",
+      "dynamic_cast", "reinterpret_cast", "defined"};
+  return kKeywords;
+}
+
+/// Type/declaration keywords that must not be mistaken for type names
+/// when inferring a declared variable's type.
+const std::set<std::string>& type_keywords() {
+  static const std::set<std::string> kKeywords = {
+      "const",    "constexpr", "constinit", "static",   "inline",
+      "mutable",  "volatile",  "register",  "extern",   "thread_local",
+      "typename", "struct",    "class",     "union",    "enum",
+      "unsigned", "signed",    "long",      "short",    "friend",
+      "virtual",  "explicit",  "using",     "typedef",  "return",
+      "new",      "throw",     "operator",  "template", "public",
+      "private",  "protected", "if",        "while",    "for",
+      "switch",   "case",      "else",      "do",       "goto",
+      "co_return", "co_await", "sizeof",    "delete",   "namespace"};
+  return kKeywords;
+}
+
+const std::set<std::string>& unordered_types() {
+  static const std::set<std::string> kTypes = {"unordered_map",
+                                               "unordered_set",
+                                               "unordered_multimap",
+                                               "unordered_multiset"};
+  return kTypes;
+}
+
+/// Joins non-empty name components with "::".
+std::string join_qualified(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& p : parts) {
+    if (p.empty()) continue;
+    if (!out.empty()) out += "::";
+    out += p;
+  }
+  return out;
+}
+
+/// Walks one file's token stream, growing the symbol table. Run twice:
+/// pass 1 collects classes tree-wide, pass 2 (with classes complete)
+/// collects function definitions, call sites, and typed-variable uses.
+class FileScanner {
+ public:
+  FileScanner(const LexedFile& file, int file_index, SymbolTable& table,
+              bool collect_classes, bool collect_functions)
+      : file_(file),
+        file_index_(file_index),
+        table_(table),
+        collect_classes_(collect_classes),
+        collect_functions_(collect_functions) {}
+
+  void run() {
+    const auto& t = file_.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind == Token::Kind::Punct) {
+        const std::string& p = t[i].text;
+        if (p == ";") {
+          on_statement_end(i);
+          stmt_start_ = i + 1;
+          continue;
+        }
+        if (p == "{") {
+          on_open_brace(i);
+          continue;
+        }
+        if (p == "}") {
+          on_close_brace(i);
+          continue;
+        }
+      }
+      if (collect_functions_ && current_func_ != kNone &&
+          t[i].kind == Token::Kind::Identifier) {
+        scan_body_identifier(i);
+      }
+    }
+  }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  struct Frame {
+    enum class Kind { Namespace, Type, Func, Other };
+    Kind kind = Kind::Other;
+    std::string name;              // namespace path piece or class name
+    std::string class_qualified;   // Type frames: key into table_.classes
+    std::size_t func_index = kNone;  // Func frames
+    std::size_t saved_stmt_start = 0;
+    std::size_t saved_func = kNone;
+  };
+
+  const Token& tok(std::size_t i) const { return file_.tokens[i]; }
+
+  bool in_function_or_block() const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->kind == Frame::Kind::Func || it->kind == Frame::Kind::Other) {
+        return true;
+      }
+      if (it->kind == Frame::Kind::Type ||
+          it->kind == Frame::Kind::Namespace) {
+        return false;
+      }
+    }
+    return false;
+  }
+
+  /// Innermost Type frame not separated by a Func frame (the class whose
+  /// member declarations we are reading).
+  const Frame* enclosing_type() const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->kind == Frame::Kind::Type) return &*it;
+      if (it->kind == Frame::Kind::Func) return nullptr;
+    }
+    return nullptr;
+  }
+
+  std::vector<std::string> namespace_path() const {
+    std::vector<std::string> parts;
+    for (const Frame& f : stack_) {
+      if (f.kind == Frame::Kind::Namespace && !f.name.empty()) {
+        parts.push_back(f.name);
+      }
+      if (f.kind == Frame::Kind::Type && !f.name.empty()) {
+        parts.push_back(f.name);
+      }
+    }
+    return parts;
+  }
+
+  bool in_anonymous_namespace() const {
+    return std::any_of(stack_.begin(), stack_.end(), [](const Frame& f) {
+      return f.kind == Frame::Kind::Namespace && f.name.empty();
+    });
+  }
+
+  // -- statement-head helpers -----------------------------------------------
+
+  /// The head [stmt_start_, end) classified the way the brace tracker
+  /// needs: does it start a namespace, a type, or a function?
+  bool head_has(std::size_t end, const char* kw) const {
+    for (std::size_t k = stmt_start_; k < end; ++k) {
+      if (is_ident(tok(k), kw)) return true;
+    }
+    return false;
+  }
+
+  /// Index of the parameter-list '(' in [stmt_start_, end), or kNone.
+  /// Angle-bracket depth is tracked so template arguments (which may
+  /// contain parentheses, e.g. std::function<void()>) are skipped.
+  std::size_t find_param_paren(std::size_t end) const {
+    int angle = 0;
+    for (std::size_t k = stmt_start_; k < end; ++k) {
+      const Token& t = tok(k);
+      if (t.kind == Token::Kind::Punct) {
+        if (t.text == "<") {
+          // '<' opens template args only after a name or another '>'.
+          if (k > stmt_start_ &&
+              (tok(k - 1).kind == Token::Kind::Identifier ||
+               is_punct(tok(k - 1), ">"))) {
+            ++angle;
+          }
+        } else if (t.text == ">" && angle > 0) {
+          --angle;
+        } else if (t.text == ">>" && angle > 0) {
+          angle = angle >= 2 ? angle - 2 : 0;
+        } else if (t.text == "(" && angle == 0) {
+          // The parameter paren follows the function's name token (an
+          // identifier, or the symbol of an operator function).
+          if (k > stmt_start_ &&
+              (tok(k - 1).kind == Token::Kind::Identifier ||
+               (tok(k - 1).kind == Token::Kind::Punct &&
+                k >= 2 && is_ident(tok(k - 2), "operator")) ||
+               is_ident(tok(k - 1), "operator"))) {
+            return k;
+          }
+          return kNone;  // grouping paren: not a declarator we handle
+        }
+      }
+    }
+    return kNone;
+  }
+
+  /// Matching ')' for the '(' at `open` (token indices), or kNone.
+  std::size_t match_paren(std::size_t open, std::size_t limit) const {
+    int depth = 0;
+    for (std::size_t k = open; k < limit; ++k) {
+      if (is_punct(tok(k), "(")) ++depth;
+      if (is_punct(tok(k), ")")) {
+        if (--depth == 0) return k;
+      }
+    }
+    return kNone;
+  }
+
+  /// Reads the declarator name ending just before `paren`: the name
+  /// itself (identifier, ~dtor, operator symbol) plus any A::B::
+  /// qualifiers in front of it. Returns false if no name is present.
+  bool read_declarator(std::size_t paren, std::string& name,
+                       std::vector<std::string>& quals, int& line) const {
+    std::size_t k = paren;  // token after the name, scanning backwards
+    if (k == stmt_start_) return false;
+    const Token& prev = tok(k - 1);
+    if (prev.kind == Token::Kind::Identifier) {
+      if (prev.text == "operator") {
+        name = "operator()";  // `operator()(...)` — paren follows directly
+        line = prev.line;
+        k -= 1;
+      } else {
+        name = prev.text;
+        line = prev.line;
+        k -= 1;
+        // operator name? `operator ==` lexes as Ident(operator) Punct(==).
+        if (k > stmt_start_ && is_ident(tok(k - 1), "operator")) {
+          return false;  // `operator int()` conversions: skip entirely
+        }
+      }
+    } else if (prev.kind == Token::Kind::Punct) {
+      // Operator function: collect the symbol tokens back to `operator`.
+      std::string sym;
+      std::size_t j = k;
+      while (j > stmt_start_ && tok(j - 1).kind == Token::Kind::Punct &&
+             tok(j - 1).text != ")" && tok(j - 1).text != "]") {
+        sym = tok(j - 1).text + sym;
+        --j;
+      }
+      if (j == stmt_start_ || !is_ident(tok(j - 1), "operator")) return false;
+      name = "operator" + sym;
+      line = tok(j - 1).line;
+      k = j - 1;
+    } else {
+      return false;
+    }
+    // Destructor tilde.
+    if (k > stmt_start_ && is_punct(tok(k - 1), "~")) {
+      name = "~" + name;
+      k -= 1;
+    }
+    // Qualifiers: Ident :: Ident :: name
+    while (k >= stmt_start_ + 2 && is_punct(tok(k - 1), "::") &&
+           tok(k - 2).kind == Token::Kind::Identifier) {
+      quals.insert(quals.begin(), tok(k - 2).text);
+      k -= 2;
+    }
+    if (call_keywords().count(name) || type_keywords().count(name)) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Infers a declared variable's type by scanning backwards from the
+  /// variable name at `var` (skipping &, *, and balanced <...>). Returns
+  /// "" when no plausible type name precedes it.
+  std::string type_before(std::size_t var) const {
+    std::size_t k = var;
+    while (k > 0) {
+      const Token& p = tok(k - 1);
+      if (is_punct(p, "&") || is_punct(p, "*") || is_punct(p, "&&")) {
+        --k;
+        continue;
+      }
+      if (is_punct(p, ">") || is_punct(p, ">>")) {
+        // Skip balanced template arguments backwards, remembering the
+        // last identifier inside them (the pointee of a smart pointer).
+        const std::size_t args_end = k - 1;
+        int depth = p.text == ">>" ? 2 : 1;
+        --k;
+        while (k > 0 && depth > 0) {
+          const Token& q = tok(k - 1);
+          if (is_punct(q, ">")) ++depth;
+          if (is_punct(q, ">>")) depth += 2;
+          if (is_punct(q, "<")) --depth;
+          --k;
+        }
+        // `std::unique_ptr<jobs::Scheduler> jobs_` declares a Scheduler
+        // for resolution purposes: unwrap the wrapper one level.
+        if (k > 0 && tok(k - 1).kind == Token::Kind::Identifier) {
+          const std::string& outer = tok(k - 1).text;
+          if (outer == "unique_ptr" || outer == "shared_ptr" ||
+              outer == "weak_ptr" || outer == "optional") {
+            std::string inner;
+            int d = 0;
+            for (std::size_t j = k; j < args_end; ++j) {
+              if (is_punct(tok(j), "<")) ++d;
+              if (is_punct(tok(j), ">")) --d;
+              if (is_punct(tok(j), ",") && d == 1) break;
+              if (d >= 1 && tok(j).kind == Token::Kind::Identifier) {
+                inner = tok(j).text;
+              }
+            }
+            if (!inner.empty()) return inner;
+          }
+        }
+        continue;
+      }
+      if (p.kind == Token::Kind::Identifier) {
+        if (p.text == "auto") return "auto";
+        if (type_keywords().count(p.text)) {
+          --k;  // e.g. `const X& v` — keep walking to reach X
+          continue;
+        }
+        // `a.b(...)` receivers and `a->b` are not declarations.
+        if (k >= 2 && (is_punct(tok(k - 2), ".") ||
+                       is_punct(tok(k - 2), "->"))) {
+          return std::string();
+        }
+        return p.text;
+      }
+      return std::string();
+    }
+    return std::string();
+  }
+
+  // -- class collection (pass 1) --------------------------------------------
+
+  /// Parses `class X : public A, private b::B {` heads. Returns the
+  /// class's unqualified name ("" = anonymous/unnamed).
+  std::string parse_type_head(std::size_t brace,
+                              std::vector<std::string>& bases) const {
+    std::size_t kw = kNone;
+    for (std::size_t k = stmt_start_; k < brace; ++k) {
+      if (is_ident(tok(k), "class") || is_ident(tok(k), "struct") ||
+          is_ident(tok(k), "union") || is_ident(tok(k), "enum")) {
+        kw = k;  // last type keyword wins (`enum class X`)
+      }
+    }
+    if (kw == kNone) return std::string();
+    std::string name;
+    std::size_t k = kw + 1;
+    if (k < brace && tok(k).kind == Token::Kind::Identifier) {
+      name = tok(k).text;
+      ++k;
+    }
+    // Base clause: after ':', identifiers minus access keywords; keep the
+    // last component of qualified names, skip template arguments.
+    while (k < brace && !is_punct(tok(k), ":")) ++k;
+    std::string last_ident;
+    int angle = 0;
+    for (++k; k < brace; ++k) {
+      const Token& t = tok(k);
+      if (is_punct(t, "<")) ++angle;
+      if (is_punct(t, ">")) angle = angle > 0 ? angle - 1 : 0;
+      if (angle > 0) continue;
+      if (t.kind == Token::Kind::Identifier) {
+        if (t.text == "public" || t.text == "protected" ||
+            t.text == "private" || t.text == "virtual") {
+          continue;
+        }
+        last_ident = t.text;
+      } else if (is_punct(t, ",")) {
+        if (!last_ident.empty()) bases.push_back(last_ident);
+        last_ident.clear();
+      }
+    }
+    if (!last_ident.empty()) bases.push_back(last_ident);
+    return name;
+  }
+
+  /// Records one member declaration statement [stmt_start_, end) of the
+  /// enclosing class: a method name (head contains a parameter paren) or
+  /// a member variable with its inferred type.
+  void on_class_member_statement(std::size_t end) {
+    const Frame* type = enclosing_type();
+    if (type == nullptr || type->class_qualified.empty()) return;
+    auto it = table_.classes.find(type->class_qualified);
+    if (it == table_.classes.end()) return;
+    ClassInfo& cls = it->second;
+
+    // Access labels don't end a statement (only ';' does), so the first
+    // member after `private:` shares its statement with the label — skip
+    // past any leading access specifiers instead of bailing.
+    std::size_t start = stmt_start_;
+    while (start + 1 < end && is_punct(tok(start + 1), ":") &&
+           (is_ident(tok(start), "public") ||
+            is_ident(tok(start), "private") ||
+            is_ident(tok(start), "protected"))) {
+      start += 2;
+    }
+    if (end <= start) return;
+    const Token& first = tok(start);
+    if (is_ident(first, "using") || is_ident(first, "typedef") ||
+        is_ident(first, "static_assert") || is_ident(first, "template")) {
+      return;
+    }
+    const std::size_t paren = find_param_paren(end);
+    if (paren != kNone) {
+      std::string name;
+      std::vector<std::string> quals;
+      int line = 0;
+      if (read_declarator(paren, name, quals, line)) {
+        cls.methods.insert(name);
+      }
+      return;
+    }
+    // Member variable: name is the identifier before ';', '=', or '{'.
+    std::size_t name_at = kNone;
+    for (std::size_t k = start; k < end; ++k) {
+      if (is_punct(tok(k), "=") || is_punct(tok(k), "{")) break;
+      if (tok(k).kind == Token::Kind::Identifier) name_at = k;
+    }
+    if (name_at == kNone || name_at == start) return;
+    const std::string type_name = type_before(name_at);
+    if (type_name.empty() || type_name == "auto") return;
+    cls.member_types.emplace(tok(name_at).text, type_name);
+  }
+
+  // -- function collection (pass 2) -----------------------------------------
+
+  /// Parameters of the function being created: [open+1, close) split at
+  /// top-level commas, each contributing `var -> type`.
+  void collect_params(std::size_t open, std::size_t close,
+                      std::map<std::string, std::string>& locals) const {
+    std::size_t seg_start = open + 1;
+    int paren = 0, angle = 0;
+    for (std::size_t k = open + 1; k <= close; ++k) {
+      const Token& t = tok(k);
+      const bool at_end = k == close;
+      if (!at_end && t.kind == Token::Kind::Punct) {
+        if (t.text == "(") ++paren;
+        if (t.text == ")") --paren;
+        if (t.text == "<") ++angle;
+        if (t.text == ">") angle = angle > 0 ? angle - 1 : 0;
+      }
+      if (at_end || (is_punct(t, ",") && paren == 0 && angle == 0)) {
+        // Segment [seg_start, k): the name is the last identifier before
+        // any default-argument '='.
+        std::size_t name_at = kNone;
+        for (std::size_t j = seg_start; j < k; ++j) {
+          if (is_punct(tok(j), "=")) break;
+          if (tok(j).kind == Token::Kind::Identifier &&
+              !type_keywords().count(tok(j).text)) {
+            name_at = j;
+          }
+        }
+        if (name_at != kNone && name_at > seg_start) {
+          const std::string type_name = type_before(name_at);
+          if (!type_name.empty()) {
+            locals.emplace(tok(name_at).text, type_name);
+          }
+        }
+        seg_start = k + 1;
+      }
+    }
+  }
+
+  /// Creates the Function for a definition whose body brace is at
+  /// `brace` and whose parameter list is at [paren, paren_close].
+  std::size_t create_function(std::size_t paren, std::size_t brace) {
+    std::string name;
+    std::vector<std::string> quals;
+    int line = 0;
+    if (!read_declarator(paren, name, quals, line)) return kNone;
+    const std::size_t paren_close = match_paren(paren, brace);
+
+    Function fn;
+    fn.name = name;
+    fn.file = file_.path;
+    fn.file_index = file_index_;
+    fn.line = line;
+    fn.defined = true;
+    fn.tu_local = in_anonymous_namespace();
+    fn.body_begin = paren_close == kNone ? brace + 1 : paren_close + 1;
+
+    // Class attribution: an enclosing Type frame (inline method), or a
+    // qualifier naming a known class (out-of-class definition).
+    std::vector<std::string> path = namespace_path();
+    const Frame* type = enclosing_type();
+    if (type != nullptr && !type->name.empty()) {
+      fn.class_name = type->name;
+    }
+    for (const std::string& q : quals) path.push_back(q);
+    if (fn.class_name.empty() && !quals.empty() &&
+        table_.classes_by_name.count(quals.back())) {
+      fn.class_name = quals.back();
+    }
+    // Constructors/destructors of a qualifier class: `Session::Session`.
+    if (fn.class_name.empty() && !quals.empty() &&
+        (name == quals.back() || name == "~" + quals.back())) {
+      fn.class_name = quals.back();
+    }
+    path.push_back(name);
+    fn.qualified = join_qualified(path);
+
+    if (paren_close != kNone) {
+      collect_params(paren, paren_close, locals_);
+    }
+    table_.functions.push_back(std::move(fn));
+    return table_.functions.size() - 1;
+  }
+
+  /// Merged member-variable map of the current function's class and its
+  /// transitive bases (for receiver-type and unordered-use inference).
+  const std::map<std::string, std::string>& current_members() {
+    if (members_cached_) return members_;
+    members_cached_ = true;
+    members_.clear();
+    if (current_func_ == kNone) return members_;
+    const std::string& cls = table_.functions[current_func_].class_name;
+    if (cls.empty()) return members_;
+    for (const std::string& c : table_.self_and_bases(cls)) {
+      const auto it = table_.classes_by_name.find(c);
+      if (it == table_.classes_by_name.end()) continue;
+      for (const std::string& key : it->second) {
+        const ClassInfo& info = table_.classes.at(key);
+        for (const auto& [var, type] : info.member_types) {
+          members_.emplace(var, type);
+        }
+      }
+    }
+    return members_;
+  }
+
+  /// Type of variable `v` as visible from the current function body.
+  std::string var_type(const std::string& v) {
+    const auto local = locals_.find(v);
+    if (local != locals_.end()) return local->second;
+    const auto& members = current_members();
+    const auto member = members.find(v);
+    if (member != members.end()) return member->second;
+    return std::string();
+  }
+
+  /// One identifier inside a function body: record local declarations,
+  /// call sites, and unordered-container uses.
+  void scan_body_identifier(std::size_t i) {
+    Function& fn = table_.functions[current_func_];
+    const std::string& id = tok(i).text;
+    const auto& t = file_.tokens;
+
+    // Unordered-container use: a direct type token, or a variable whose
+    // declared type is an unordered container.
+    if (unordered_types().count(id)) {
+      fn.unordered_uses.emplace_back(tok(i).line, id);
+    } else {
+      const std::string vt = var_type(id);
+      if (!vt.empty() && unordered_types().count(vt)) {
+        fn.unordered_uses.emplace_back(tok(i).line, id);
+      }
+    }
+
+    // Local declaration: `Type [&*] name` followed by ; = , ( or {.
+    if (i + 1 < t.size() && tok(i + 1).kind == Token::Kind::Punct) {
+      const std::string& nx = tok(i + 1).text;
+      if (nx == ";" || nx == "=" || nx == "," || nx == "(" || nx == "{") {
+        const std::string type_name = type_before(i);
+        if (!type_name.empty() && !call_keywords().count(id) &&
+            !type_keywords().count(id)) {
+          locals_.emplace(id, type_name);
+          if (nx == "(") {
+            // `Foo bar(args);` also calls Foo's constructor. Resolution
+            // keeps the edge only if a constructor (or free function)
+            // named `Foo` is actually defined somewhere.
+            CallSite call;
+            call.form = CallSite::Form::Free;
+            call.name = type_name;
+            call.line = tok(i).line;
+            fn.calls.push_back(std::move(call));
+            return;  // `bar` itself is a variable, not a callee
+          }
+        }
+      }
+    }
+
+    // Call site: identifier followed by '(' (or by template args '<...>'
+    // then '('), excluding keywords.
+    if (call_keywords().count(id)) return;
+    std::size_t after = i + 1;
+    if (after < t.size() && is_punct(tok(after), "<")) {
+      // Shallow balanced scan with a budget; bail on statement enders.
+      int depth = 1;
+      std::size_t k = after + 1;
+      const std::size_t budget = std::min(t.size(), after + 64);
+      while (k < budget && depth > 0) {
+        const Token& q = tok(k);
+        if (is_punct(q, "<")) ++depth;
+        if (is_punct(q, ">")) --depth;
+        if (is_punct(q, ">>")) depth -= 2;
+        if (is_punct(q, ";") || is_punct(q, "{") || is_punct(q, "}")) break;
+        ++k;
+      }
+      if (depth > 0) return;
+      after = k;
+    }
+    if (after >= t.size() || !is_punct(tok(after), "(")) return;
+
+    CallSite call;
+    call.name = id;
+    call.line = tok(i).line;
+    if (i > 0 && is_punct(tok(i - 1), "::")) {
+      call.form = CallSite::Form::Qualified;
+      std::size_t k = i;
+      while (k >= 2 && is_punct(tok(k - 1), "::") &&
+             tok(k - 2).kind == Token::Kind::Identifier) {
+        call.quals.insert(call.quals.begin(), tok(k - 2).text);
+        k -= 2;
+      }
+    } else if (i > 0 &&
+               (is_punct(tok(i - 1), ".") || is_punct(tok(i - 1), "->"))) {
+      call.form = CallSite::Form::Member;
+      if (i > 1) {
+        const Token& recv = tok(i - 2);
+        if (is_ident(recv, "this")) {
+          call.receiver_type = table_.functions[current_func_].class_name;
+          call.receiver_inferred = !call.receiver_type.empty();
+        } else if (recv.kind == Token::Kind::Identifier) {
+          const std::string vt = var_type(recv.text);
+          if (!vt.empty() && vt != "auto") {
+            call.receiver_type = vt;
+            call.receiver_inferred = true;
+          }
+        }
+      }
+    } else {
+      call.form = CallSite::Form::Free;
+    }
+    fn.calls.push_back(std::move(call));
+  }
+
+  // -- brace tracking --------------------------------------------------------
+
+  void on_statement_end(std::size_t i) {
+    if (collect_classes_ && !in_function_or_block() &&
+        enclosing_type() != nullptr) {
+      on_class_member_statement(i);
+    }
+  }
+
+  void on_open_brace(std::size_t i) {
+    Frame frame;
+    frame.saved_stmt_start = stmt_start_;
+    frame.saved_func = current_func_;
+
+    if (in_function_or_block()) {
+      // Inside a body: every brace (lambda, block, local class, init
+      // list) folds into the enclosing function.
+      frame.kind = Frame::Kind::Other;
+      stack_.push_back(std::move(frame));
+      stmt_start_ = i + 1;
+      return;
+    }
+    // Initializer braces continue the current statement.
+    const bool initializer =
+        i > 0 && (is_punct(tok(i - 1), "=") || is_punct(tok(i - 1), ",") ||
+                  is_punct(tok(i - 1), "(") || is_punct(tok(i - 1), "{") ||
+                  is_ident(tok(i - 1), "return"));
+    if (initializer) {
+      frame.kind = Frame::Kind::Other;
+      stack_.push_back(std::move(frame));
+      stmt_start_ = i + 1;
+      return;
+    }
+
+    bool has_type_kw = false, has_ns = false;
+    for (std::size_t k = stmt_start_; k < i; ++k) {
+      if (is_ident(tok(k), "namespace")) has_ns = true;
+      if (is_ident(tok(k), "class") || is_ident(tok(k), "struct") ||
+          is_ident(tok(k), "union") || is_ident(tok(k), "enum")) {
+        has_type_kw = true;
+      }
+    }
+    const std::size_t paren = find_param_paren(i);
+
+    if (has_ns) {
+      frame.kind = Frame::Kind::Namespace;
+      // `namespace a::b {` — collect the full path as one frame name.
+      std::vector<std::string> parts;
+      for (std::size_t k = stmt_start_; k + 1 < i; ++k) {
+        if (is_ident(tok(k), "namespace") || is_punct(tok(k), "::")) {
+          if (k + 1 < i && tok(k + 1).kind == Token::Kind::Identifier) {
+            parts.push_back(tok(k + 1).text);
+          }
+        }
+      }
+      frame.name = join_qualified(parts);
+    } else if (has_type_kw && paren == kNone) {
+      frame.kind = Frame::Kind::Type;
+      std::vector<std::string> bases;
+      frame.name = parse_type_head(i, bases);
+      if (collect_classes_ && !frame.name.empty()) {
+        std::vector<std::string> path = namespace_path();
+        path.push_back(frame.name);
+        frame.class_qualified = join_qualified(path);
+        ClassInfo& cls = table_.classes[frame.class_qualified];
+        if (cls.name.empty()) {
+          cls.name = frame.name;
+          cls.qualified = frame.class_qualified;
+          cls.file = file_.path;
+          cls.line = tok(i).line;
+          cls.bases = std::move(bases);
+          table_.classes_by_name[cls.name].push_back(cls.qualified);
+        }
+      } else if (!frame.name.empty()) {
+        std::vector<std::string> path = namespace_path();
+        path.push_back(frame.name);
+        frame.class_qualified = join_qualified(path);
+      }
+    } else if (paren != kNone) {
+      frame.kind = Frame::Kind::Func;
+      if (collect_functions_) {
+        locals_.clear();
+        members_cached_ = false;
+        frame.func_index = create_function(paren, i);
+        current_func_ = frame.func_index;
+        if (current_func_ != kNone) {
+          // The linear walk already passed the tokens between the
+          // parameter ')' and this '{' — the constructor initializer
+          // list lives there, and `suite_(resolve_suite(spec))` is a
+          // real call edge. Replay that range now that the function
+          // exists.
+          const std::size_t from =
+              table_.functions[current_func_].body_begin;
+          for (std::size_t k = from; k < i; ++k) {
+            if (tok(k).kind == Token::Kind::Identifier) {
+              scan_body_identifier(k);
+            }
+          }
+        }
+      }
+      if (collect_classes_) {
+        // An inline method definition also registers its name.
+        on_class_member_statement(i);
+      }
+    } else {
+      frame.kind = Frame::Kind::Other;
+    }
+    stack_.push_back(std::move(frame));
+    stmt_start_ = i + 1;
+  }
+
+  void on_close_brace(std::size_t i) {
+    if (stack_.empty()) {
+      stmt_start_ = i + 1;
+      return;
+    }
+    const Frame top = stack_.back();
+    stack_.pop_back();
+    if (top.kind == Frame::Kind::Func && top.func_index != kNone) {
+      table_.functions[top.func_index].body_end = i + 1;
+    }
+    current_func_ = top.saved_func;
+    if (current_func_ != kNone) {
+      members_cached_ = false;  // re-derive for the resumed function
+    }
+    stmt_start_ = top.kind == Frame::Kind::Other ? top.saved_stmt_start
+                                                 : i + 1;
+  }
+
+  const LexedFile& file_;
+  const int file_index_;
+  SymbolTable& table_;
+  const bool collect_classes_;
+  const bool collect_functions_;
+
+  std::vector<Frame> stack_;
+  std::size_t stmt_start_ = 0;
+  std::size_t current_func_ = kNone;
+  std::map<std::string, std::string> locals_;  // current function only
+  std::map<std::string, std::string> members_;
+  bool members_cached_ = false;
+};
+
+}  // namespace
+
+std::set<std::string> SymbolTable::self_and_derived(
+    const std::string& base) const {
+  // Reverse edges: class -> classes that list it as a direct base.
+  std::map<std::string, std::vector<std::string>> derived;
+  for (const auto& [key, info] : classes) {
+    for (const std::string& b : info.bases) {
+      derived[b].push_back(info.name);
+    }
+  }
+  std::set<std::string> out;
+  std::vector<std::string> work{base};
+  while (!work.empty()) {
+    const std::string cls = work.back();
+    work.pop_back();
+    if (!out.insert(cls).second) continue;
+    const auto it = derived.find(cls);
+    if (it == derived.end()) continue;
+    for (const std::string& d : it->second) work.push_back(d);
+  }
+  return out;
+}
+
+std::set<std::string> SymbolTable::self_and_bases(
+    const std::string& cls) const {
+  std::set<std::string> out;
+  std::vector<std::string> work{cls};
+  while (!work.empty()) {
+    const std::string c = work.back();
+    work.pop_back();
+    if (!out.insert(c).second) continue;
+    const auto it = classes_by_name.find(c);
+    if (it == classes_by_name.end()) continue;
+    for (const std::string& key : it->second) {
+      for (const std::string& b : classes.at(key).bases) work.push_back(b);
+    }
+  }
+  return out;
+}
+
+SymbolTable build_symbols(const std::vector<LexedFile>& files) {
+  SymbolTable table;
+  // Pass 1: classes tree-wide, so pass 2 can attribute out-of-class
+  // definitions and infer member types across translation units.
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    FileScanner(files[i], static_cast<int>(i), table,
+                /*collect_classes=*/true, /*collect_functions=*/false)
+        .run();
+  }
+  // Pass 2: functions, call sites, typed uses.
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    FileScanner(files[i], static_cast<int>(i), table,
+                /*collect_classes=*/false, /*collect_functions=*/true)
+        .run();
+  }
+  for (std::size_t i = 0; i < table.functions.size(); ++i) {
+    if (table.functions[i].defined) {
+      table.defs_by_name[table.functions[i].name].push_back(i);
+    }
+  }
+  return table;
+}
+
+std::string resolve_include(const std::string& includer,
+                            const std::string& inc,
+                            const std::set<std::string>& known_paths) {
+  const std::size_t slash = includer.rfind('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string() : includer.substr(0, slash);
+  const std::string candidates[] = {dir + "/" + inc, inc, "src/" + inc,
+                                    "tools/" + inc, "tests/" + inc};
+  for (const std::string& c : candidates) {
+    if (known_paths.count(c)) return c;
+  }
+  return "src/" + inc;
+}
+
+}  // namespace perspector::lint

@@ -1,0 +1,106 @@
+// perspector_lint symbol table: the cross-translation-unit layer on top
+// of the lexer (DESIGN.md section 11). From each file's token stream it
+// recovers just enough structure for call-graph construction:
+//
+//   * classes/structs with their base classes, member-variable types and
+//     method names (pass 1, whole tree — out-of-class definitions in a
+//     .cpp need the class shape from its header);
+//   * function definitions with a stable qualified name
+//     ("perspector::serve::Session::run"), the token range of their body
+//     (constructor initializer lists included), and every call site in
+//     that range, each with the receiver's *inferred* type where a
+//     member/local/parameter declaration makes it inferable (pass 2);
+//   * per-function uses of unordered containers, resolved through the
+//     same type inference (a bare `pages_` token says nothing — its
+//     declared `std::unordered_set` type does).
+//
+// Lambdas, nested blocks, and local classes all fold into the enclosing
+// function: a call made inside a lambda IS a call the function can make,
+// which is exactly the over-approximation the reachability rules want.
+// This is deliberately not a C++ front end — overload sets collapse onto
+// one name and templates are walked as ordinary tokens — the call-graph
+// layer compensates by over-approximating resolution.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace perspector::lint {
+
+/// One call site inside a function body.
+struct CallSite {
+  enum class Form {
+    Free,       // f(...) — free function or unqualified method call
+    Member,     // obj.f(...) / obj->f(...) / this->f(...)
+    Qualified,  // A::B::f(...)
+  };
+  Form form = Form::Free;
+  std::string name;                 // callee's unqualified name
+  std::vector<std::string> quals;   // explicit qualifiers, outermost first
+  std::string receiver_type;        // inferred class name; "" = unknown
+  bool receiver_inferred = false;   // true when receiver_type is trustworthy
+  int line = 0;
+};
+
+/// One function definition (or declaration when `defined` is false).
+struct Function {
+  std::string name;        // unqualified ("run", "~Session", "operator==")
+  std::string qualified;   // namespace + class qualified ("a::B::run")
+  std::string class_name;  // enclosing class, unqualified; "" = free
+  std::string file;
+  int file_index = -1;     // into the lexed-file vector given to build()
+  int line = 0;            // line of the name token
+  bool defined = false;    // has a body (vs a pure declaration)
+  bool tu_local = false;   // anonymous namespace: callable same-file only
+  std::size_t body_begin = 0;  // token range: after the parameter ')'
+  std::size_t body_end = 0;    // one past the closing '}'
+  std::vector<CallSite> calls;
+  /// Uses of variables whose declared type is unordered_map/unordered_set
+  /// (line, variable name) — the det-taint hash-iteration source.
+  std::vector<std::pair<int, std::string>> unordered_uses;
+};
+
+/// One class/struct with what resolution needs.
+struct ClassInfo {
+  std::string name;       // unqualified
+  std::string qualified;  // fully qualified
+  std::string file;
+  int line = 0;
+  std::vector<std::string> bases;  // unqualified base-class names
+  std::map<std::string, std::string> member_types;  // var -> type name
+  std::set<std::string> methods;  // declared or defined method names
+};
+
+struct SymbolTable {
+  std::vector<Function> functions;  // definitions first-class; decls too
+  std::map<std::string, ClassInfo> classes;  // keyed by qualified name
+  /// Unqualified function name -> indices into `functions` (defs only).
+  std::map<std::string, std::vector<std::size_t>> defs_by_name;
+  /// Unqualified class name -> qualified keys (usually one).
+  std::map<std::string, std::vector<std::string>> classes_by_name;
+
+  /// All classes transitively derived from `base` (unqualified name),
+  /// plus `base` itself — the virtual-dispatch over-approximation set.
+  std::set<std::string> self_and_derived(const std::string& base) const;
+
+  /// `cls` and all its transitive bases (unqualified names).
+  std::set<std::string> self_and_bases(const std::string& cls) const;
+};
+
+/// Builds the table from every lexed file (two passes; see file comment).
+SymbolTable build_symbols(const std::vector<LexedFile>& files);
+
+/// Resolves a quoted include against the walked file set (the same
+/// candidate order the layering rule uses): includer-relative, verbatim,
+/// then rooted at src/, tools/, tests/. Falls back to "src/" + inc for
+/// unresolved paths so in-memory fixtures still rank-check.
+std::string resolve_include(const std::string& includer,
+                            const std::string& inc,
+                            const std::set<std::string>& known_paths);
+
+}  // namespace perspector::lint
